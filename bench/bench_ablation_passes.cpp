@@ -1,0 +1,149 @@
+// Ablation study (DESIGN.md design-choice index): which compile-time
+// optimization contributes how much of the specialization speedup? Each row
+// disables exactly one pass family for the specialized PIV regblock kernel
+// and the backprojection kernel.
+#include <iostream>
+
+#include "apps/backproj/gpu.hpp"
+#include "apps/piv/gpu.hpp"
+#include "bench_common.hpp"
+#include "support/math.hpp"
+#include "kcc/compiler.hpp"
+#include "apps/piv/kernels.hpp"
+#include "apps/backproj/kernels.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace {
+
+using namespace kspec;
+
+struct Ablation {
+  const char* label;
+  bool unroll, sr, cse;
+};
+
+const Ablation kAblations[] = {
+    {"all passes", true, true, true},
+    {"no unroll", false, true, true},
+    {"no strength-red.", true, false, true},
+    {"no CSE", true, true, false},
+    {"none (O0-ish)", false, false, false},
+};
+
+std::string PivSrc() {
+  std::string body = apps::piv::kPivBasicSource;
+  std::string tag = "__COMMON__";
+  body.replace(body.find(tag), tag.size(), apps::piv::kPivCommonHeader);
+  return body;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation", "contribution of each compile-time optimization (specialized builds)");
+  bench::Note("Simulated time of the same specialized kernel with one pass family disabled;");
+  bench::Note("'none' approximates compiling the specialized source without optimization.");
+
+  apps::piv::Problem piv_p = apps::piv::Generate("ablate", 64, 16, 3, 8, 123);
+  apps::backproj::Problem bp_p = apps::backproj::BenchmarkSets()[0];
+
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  Table table({"config", "PIV ms", "PIV instrs", "PIV regs", "backproj ms",
+               "bp instrs", "bp regs"});
+
+  for (const auto& ab : kAblations) {
+    // ---- PIV basic kernel, specialized ----
+    kcc::CompileOptions piv_opts;
+    piv_opts.defines = {{"CT_MASK", "1"},
+                        {"K_MASK_W", std::to_string(piv_p.mask_w)},
+                        {"K_MASK_AREA", std::to_string(piv_p.mask_area())},
+                        {"CT_SEARCH", "1"},
+                        {"K_SEARCH_W", std::to_string(piv_p.search_w())},
+                        {"K_N_OFFSETS", std::to_string(piv_p.n_offsets())},
+                        {"CT_THREADS", "1"},
+                        {"K_THREADS", "64"}};
+    piv_opts.enable_unroll = ab.unroll;
+    piv_opts.enable_strength_reduction = ab.sr;
+    piv_opts.enable_cse = ab.cse;
+    auto piv_mod = ctx.LoadModule(PivSrc(), piv_opts);
+    auto d_a = vcuda::Upload<float>(ctx, std::span<const float>(piv_p.frame_a));
+    auto d_b = vcuda::Upload<float>(ctx, std::span<const float>(piv_p.frame_b));
+    auto d_best = ctx.Malloc(piv_p.n_masks() * 4);
+    auto d_score = ctx.Malloc(piv_p.n_masks() * 4);
+    vcuda::ArgPack piv_args;
+    piv_args.Ptr(d_a).Ptr(d_b).Ptr(d_best).Ptr(d_score)
+        .Int(piv_p.img_w).Int(piv_p.mask_w).Int(piv_p.mask_area())
+        .Int(piv_p.stride_x).Int(piv_p.stride_y).Int(piv_p.masks_x())
+        .Int(piv_p.search_w()).Int(piv_p.n_offsets())
+        .Int(piv_p.origin_x()).Int(piv_p.origin_y())
+        .Int(-piv_p.range_x).Int(-piv_p.range_y);
+    auto piv_stats = ctx.Launch(*piv_mod, "pivBasic",
+                                vgpu::Dim3(static_cast<unsigned>(piv_p.n_masks())),
+                                vgpu::Dim3(64), piv_args);
+    const auto& piv_k = piv_mod->GetKernel("pivBasic");
+
+    // ---- backprojection kernel, specialized ----
+    kcc::CompileOptions bp_opts;
+    bp_opts.defines = {{"CT_ANGLES", "1"},
+                       {"K_N_ANGLES", std::to_string(bp_p.geo.n_angles)},
+                       {"CT_ZPT", "1"},
+                       {"K_ZPT", "4"},
+                       {"CT_VOL", "1"},
+                       {"K_VOL_Z", std::to_string(bp_p.geo.vol_z)},
+                       {"CT_THREADS", "1"},
+                       {"K_THREADS", "64"}};
+    bp_opts.enable_unroll = ab.unroll;
+    bp_opts.enable_strength_reduction = ab.sr;
+    bp_opts.enable_cse = ab.cse;
+
+    double bp_ms = -1;
+    int bp_instrs = -1, bp_regs = -1;
+    try {
+      auto bp_mod = ctx.LoadModule(apps::backproj::kBackprojSource, bp_opts);
+      std::vector<float> cos_tab, sin_tab;
+      apps::backproj::AngleTables(bp_p.geo, &cos_tab, &sin_tab);
+      bp_mod->SetConstant("cosTab", cos_tab.data(), cos_tab.size() * 4);
+      bp_mod->SetConstant("sinTab", sin_tab.data(), sin_tab.size() * 4);
+      auto d_proj = vcuda::Upload<float>(ctx, std::span<const float>(bp_p.projections));
+      auto d_vol = ctx.Malloc(bp_p.voxel_count() * 4);
+      const auto& g = bp_p.geo;
+      vcuda::ArgPack bp_args;
+      bp_args.Ptr(d_proj).Ptr(d_vol)
+          .Int(g.vol_n).Int(g.vol_z).Int(g.det_u).Int(g.det_v).Int(g.n_angles)
+          .Float(g.du).Float(g.dv).Float(g.cu()).Float(g.cv())
+          .Float(g.sad).Float(g.vox_size);
+      auto bp_stats = ctx.Launch(
+          *bp_mod, "backproject",
+          vgpu::Dim3(kspec::CeilDiv<unsigned>(static_cast<unsigned>(g.vol_n * g.vol_n), 64)),
+          vgpu::Dim3(64), bp_args);
+      bp_ms = bp_stats.sim_millis;
+      const auto& bp_k = bp_mod->GetKernel("backproject");
+      bp_instrs = bp_k.stats.static_instrs;
+      bp_regs = bp_k.stats.reg_count;
+      ctx.Free(d_proj);
+      ctx.Free(d_vol);
+    } catch (const Error&) {
+      // zpt=4 without unrolling cannot scalarize the register array — a real
+      // dependency between the passes worth surfacing in the table.
+    }
+
+    auto row = table.Row();
+    row << ab.label << piv_stats.sim_millis << piv_k.stats.static_instrs
+        << piv_k.stats.reg_count;
+    if (bp_ms >= 0) {
+      row << bp_ms << bp_instrs << bp_regs;
+    } else {
+      row << "needs unroll" << "-" << "-";
+    }
+
+    ctx.Free(d_a);
+    ctx.Free(d_b);
+    ctx.Free(d_best);
+    ctx.Free(d_score);
+  }
+  table.WriteAscii(std::cout);
+  std::cout << "\nShape check: unrolling is the dominant single contribution; strength\n"
+               "reduction matters most where div/mod feed the inner loop; register\n"
+               "blocking (backproj zpt) is impossible without unrolling at all.\n";
+  return 0;
+}

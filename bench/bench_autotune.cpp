@@ -1,0 +1,49 @@
+// Autotuner companion bench (Chapter 3's "complementary" positioning):
+// exhaustive grid search vs multi-start coordinate descent over the PIV
+// register-blocking space — configurations measured, time to tune, and the
+// quality of the chosen configuration, per data set and device.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/timer.hpp"
+#include "tune/tuner.hpp"
+
+int main() {
+  using namespace kspec;
+  using namespace kspec::apps::piv;
+  bench::Banner("Autotuning", "grid search vs coordinate descent for PIV (regblock)");
+  bench::Note("Because specialization compiles in milliseconds and the cache absorbs");
+  bench::Note("repeats, the tuner's cost is dominated by the measured launches.");
+
+  std::vector<tune::ParamRange> space = {{"threads", {32, 64, 128, 256}},
+                                         {"rb", {1, 2, 4, 8, 16}}};
+
+  for (const auto& profile : bench::Devices()) {
+    std::cout << "\n--- " << profile.name << " ---\n";
+    Table table({"data set", "grid evals", "grid best ms", "cd evals", "cd best ms",
+                 "cd quality %", "tune wall ms (cd)"});
+    for (const Problem& p : MaskSizeSet()) {
+      vcuda::Context ctx(profile);
+      auto eval = [&](const tune::Config& c) -> double {
+        PivConfig cfg;
+        cfg.variant = Variant::kRegBlock;
+        cfg.threads = static_cast<int>(c.at("threads"));
+        cfg.rb = static_cast<int>(c.at("rb"));
+        cfg.specialize = true;
+        if (cfg.rb * cfg.threads < p.mask_area()) throw Error("uncoverable");
+        return GpuPiv(ctx, p, cfg).stats.sim_millis;
+      };
+      tune::TuneResult grid = tune::GridSearch(space, eval);
+      WallTimer timer;
+      tune::TuneResult cd = tune::CoordinateDescent(space, eval);
+      double cd_wall = timer.ElapsedMillis();
+      table.Row() << p.name << static_cast<std::int64_t>(grid.evaluated) << grid.best_millis
+                  << static_cast<std::int64_t>(cd.evaluated) << cd.best_millis
+                  << (100.0 * grid.best_millis / cd.best_millis) << cd_wall;
+    }
+    table.WriteAscii(std::cout);
+  }
+  std::cout << "\nShape check: coordinate descent reaches >=90% of the exhaustive optimum\n"
+               "with fewer measured configurations.\n";
+  return 0;
+}

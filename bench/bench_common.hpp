@@ -1,0 +1,80 @@
+// Shared helpers for the per-table benchmark binaries.
+//
+// Every bench prints an ASCII table shaped like the corresponding table (or
+// figure) in the dissertation's Chapter 6 and, where relevant, the expected
+// qualitative shape being reproduced. Absolute numbers are simulated-device
+// milliseconds (the vgpu cost model) and are deterministic across runs.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/piv/gpu.hpp"
+#include "support/csv.hpp"
+#include "support/str.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/device.hpp"
+
+namespace kspec::bench {
+
+inline void Banner(const std::string& id, const std::string& caption) {
+  std::cout << "\n============================================================\n"
+            << id << " — " << caption << "\n"
+            << "============================================================\n";
+}
+
+inline void Note(const std::string& text) { std::cout << "  " << text << "\n"; }
+
+inline std::vector<vgpu::DeviceProfile> Devices() {
+  return {vgpu::TeslaC1060(), vgpu::TeslaC2070()};
+}
+
+// Result of a PIV implementation-parameter sweep: the best (threads, rb)
+// configuration by simulated time.
+struct PivBest {
+  apps::piv::PivGpuResult result;
+  int threads = 0;
+  int rb = 0;
+};
+
+// Sweeps thread counts (and register blocking for the regblock variant) and
+// returns the fastest configuration — the "optimal configuration" columns of
+// Tables 6.15-6.18.
+inline PivBest SweepPiv(vcuda::Context& ctx, const apps::piv::Problem& p,
+                        apps::piv::Variant variant, bool specialize,
+                        const std::vector<int>& thread_options = {32, 64, 128, 256},
+                        const std::vector<int>& rb_options = {0, 1, 2, 4, 8}) {
+  using apps::piv::PivConfig;
+  PivBest best;
+  double best_ms = 1e300;
+  for (int threads : thread_options) {
+    std::vector<int> rbs =
+        variant == apps::piv::Variant::kRegBlock ? rb_options : std::vector<int>{0};
+    for (int rb : rbs) {
+      if (rb > 0 && rb * threads < p.mask_area()) continue;  // cannot cover the mask
+      PivConfig cfg;
+      cfg.variant = variant;
+      cfg.threads = threads;
+      cfg.specialize = specialize;
+      cfg.rb = rb;
+      try {
+        apps::piv::PivGpuResult r = GpuPiv(ctx, p, cfg);
+        if (r.stats.sim_millis < best_ms) {
+          best_ms = r.stats.sim_millis;
+          best.result = std::move(r);
+          best.threads = threads;
+          best.rb = rb == 0 ? static_cast<int>((p.mask_area() + threads - 1) / threads) : rb;
+        }
+      } catch (const Error&) {
+        // Configuration not launchable on this device (occupancy/limits);
+        // real sweeps skip those too.
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace kspec::bench

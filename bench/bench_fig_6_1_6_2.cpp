@@ -1,0 +1,87 @@
+// Figures 6.1 / 6.2: contour plots of PIV performance relative to the peak
+// over the (register blocking x thread count) configuration plane, for each
+// Table 6.4 data set, on the VC1060 (Fig 6.1) and VC2070 (Fig 6.2). Emits an
+// ASCII heat map per data set (peak marked '#', like the paper's white
+// square) and writes the underlying grids as CSV for external plotting.
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace kspec;
+  using namespace kspec::apps::piv;
+
+  const std::vector<int> rb_opts = {1, 2, 4, 8, 16};
+  const std::vector<int> thread_opts = {32, 64, 128, 256};
+
+  int fig = 1;
+  for (const auto& profile : bench::Devices()) {
+    bench::Banner(Format("Figure 6.%d", fig),
+                  Format("PIV perf relative to peak over (rb x threads), %s",
+                         profile.name.c_str()));
+    ++fig;
+    for (const Problem& p : MaskSizeSet()) {
+      std::map<std::pair<int, int>, double> grid;
+      double peak = 1e300;
+      std::pair<int, int> peak_cfg{-1, -1};
+      for (int rb : rb_opts) {
+        for (int threads : thread_opts) {
+          if (rb * threads < p.mask_area()) continue;
+          vcuda::Context ctx(profile);
+          PivConfig cfg;
+          cfg.variant = Variant::kRegBlock;
+          cfg.threads = threads;
+          cfg.rb = rb;
+          cfg.specialize = true;
+          try {
+            PivGpuResult r = GpuPiv(ctx, p, cfg);
+            grid[{rb, threads}] = r.stats.sim_millis;
+            if (r.stats.sim_millis < peak) {
+              peak = r.stats.sim_millis;
+              peak_cfg = {rb, threads};
+            }
+          } catch (const Error&) {
+          }
+        }
+      }
+
+      // ASCII heat map: rows = rb, cols = threads; cells = % of peak.
+      std::cout << "\n" << p.name << " (mask " << p.mask_w << "x" << p.mask_h
+                << "): % of peak, '#' marks the peak configuration\n";
+      std::cout << "  rb\\thr ";
+      for (int threads : thread_opts) std::cout << Format("%8d", threads);
+      std::cout << "\n";
+      for (int rb : rb_opts) {
+        std::cout << Format("  %4d   ", rb);
+        for (int threads : thread_opts) {
+          auto it = grid.find({rb, threads});
+          if (it == grid.end()) {
+            std::cout << Format("%8s", ".");
+          } else if (std::make_pair(rb, threads) == peak_cfg) {
+            std::cout << Format("%7s#", "100");
+          } else {
+            std::cout << Format("%8.0f", 100.0 * peak / it->second);
+          }
+        }
+        std::cout << "\n";
+      }
+
+      // CSV artifact for external contour plotting.
+      std::string csv_name =
+          Format("fig_6_%d_%s.csv", fig - 1, p.name.c_str());
+      std::ofstream csv(csv_name);
+      csv << "rb,threads,sim_ms,pct_of_peak\n";
+      for (const auto& [key, ms] : grid) {
+        csv << key.first << "," << key.second << "," << ms << ","
+            << 100.0 * peak / ms << "\n";
+      }
+      std::cout << "  (grid written to " << csv_name << ")\n";
+    }
+  }
+  std::cout << "\nShape check: the peak marker moves across the (rb, threads) plane as mask\n"
+               "size changes, and lands in different cells on the two devices — the paper's\n"
+               "core argument for per-instance specialization over fixed configurations.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Listings 4.1/4.2 and Appendices B/C/D: the mathTest kernel compiled
+// run-time evaluated and specialized from one source, with both MiniPTX
+// listings printed (the dissertation's side-by-side PTX comparison) and the
+// dynamic-execution contrast measured.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "kcc/compiler.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace {
+
+constexpr const char* kMathTest = R"(
+#ifndef CT_LOOP_COUNT
+#define LOOP_COUNT loopCount
+#endif
+#ifndef CT_ARGS
+#define STRIDE (argA * argB)
+#else
+#define STRIDE (ARG_A * ARG_B)
+#endif
+#ifndef CT_BLOCK_DIM
+#define BLOCK_DIM_X blockDim.x
+#endif
+
+__kernel void mathTest(float* in, float* out, int argA, int argB, int loopCount) {
+  float acc = 0.0f;
+  const unsigned int stride = STRIDE;
+  const unsigned int offset = blockIdx.x * BLOCK_DIM_X + threadIdx.x;
+  for (int i = 0; i < LOOP_COUNT; i++) {
+    acc += *(in + offset + i * stride);
+  }
+  *(out + offset) = acc;
+  return;
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace kspec;
+  bench::Banner("Listings 4.1 / 4.2 + Appendices C / D",
+                "mathTest: run-time evaluated vs specialized kernel");
+
+  const int arg_a = 3, arg_b = 7, loops = 5;
+  const unsigned threads = 128, blocks = 64;
+
+  kcc::CompileOptions re_opts;  // fully run-time evaluated
+  kcc::CompileOptions sk_opts;
+  sk_opts.defines = {
+      {"CT_LOOP_COUNT", "1"}, {"LOOP_COUNT", std::to_string(loops)},
+      {"CT_ARGS", "1"},       {"ARG_A", std::to_string(arg_a)},
+      {"ARG_B", std::to_string(arg_b)},
+      {"CT_BLOCK_DIM", "1"},  {"BLOCK_DIM_X", std::to_string(threads)},
+  };
+
+  Table table({"device", "variant", "static instrs", "regs/thread", "warp instrs",
+               "sim ms", "speedup vs RE"});
+
+  std::string re_listing, sk_listing;
+  for (const auto& profile : bench::Devices()) {
+    vcuda::Context ctx(profile);
+    const unsigned n = threads * blocks;
+    std::vector<float> in(n + loops * arg_a * arg_b + 1, 1.0f);
+    auto d_in = vcuda::Upload<float>(ctx, std::span<const float>(in));
+    auto d_out = ctx.Malloc(n * sizeof(float));
+
+    double re_ms = 0;
+    for (bool specialized : {false, true}) {
+      auto mod = ctx.LoadModule(kMathTest, specialized ? sk_opts : re_opts);
+      const auto& kernel = mod->GetKernel("mathTest");
+      vcuda::ArgPack args;
+      args.Ptr(d_in).Ptr(d_out).Int(arg_a).Int(arg_b).Int(loops);
+      auto stats = ctx.Launch(*mod, "mathTest", vgpu::Dim3(blocks), vgpu::Dim3(threads), args);
+      if (!specialized) re_ms = stats.sim_millis;
+      table.Row() << profile.name << (specialized ? "SK" : "RE") << kernel.stats.static_instrs
+                  << kernel.stats.reg_count << static_cast<std::int64_t>(stats.warp_instrs)
+                  << stats.sim_millis << (re_ms / stats.sim_millis);
+      if (profile.name == "VC1060") {
+        (specialized ? sk_listing : re_listing) = kernel.listing;
+      }
+    }
+    ctx.Free(d_in);
+    ctx.Free(d_out);
+  }
+  table.WriteAscii(std::cout);
+
+  std::cout << "\n--- Appendix C: run-time evaluated MiniPTX ---\n" << re_listing;
+  std::cout << "\n--- Appendix D: specialized MiniPTX (no control flow) ---\n" << sk_listing;
+  std::cout << "\nShape check: the SK listing contains no branches (Appendix D's \"no control\n"
+               "flow\"), needs fewer registers, and issues ~2x fewer dynamic instructions.\n"
+               "The end-to-end time gain is small because mathTest does one FLOP per loaded\n"
+               "word — it is bandwidth-bound; the application kernels (Tables 6.13/6.14/6.19)\n"
+               "show where removing issue pressure actually pays.\n";
+  return 0;
+}

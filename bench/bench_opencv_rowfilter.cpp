@@ -1,0 +1,42 @@
+// Sections 2.6 / 4.2 (Appendices E/F): the OpenCV row-filter case study.
+// One adaptable source, specialized per (filter size, border mode, element
+// type) on demand, versus the run-time evaluated fallback — and versus the
+// 192-variant ahead-of-time matrix OpenCV compiles into its binary.
+#include <iostream>
+
+#include "apps/rowfilter/rowfilter.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace kspec;
+  using namespace kspec::apps::rowfilter;
+  bench::Banner("OpenCV row filter (Sections 2.6/4.2)",
+                "specialized on demand vs run-time evaluated");
+
+  Image img = MakeTestImage(192, 32, 77);
+
+  for (const auto& profile : bench::Devices()) {
+    std::cout << "\n--- " << profile.name << " ---\n";
+    vcuda::Context ctx(profile);
+    Table table({"ksize", "border", "RE ms", "RE regs", "SK ms", "SK regs", "speedup"});
+    for (int ksize : {3, 7, 15, 31}) {
+      for (Border border : {Border::kClamp, Border::kReflect, Border::kWrap}) {
+        FilterSpec spec = BinomialFilter(ksize, border);
+        RowFilterConfig cfg;
+        cfg.specialize = false;
+        auto re = GpuRowFilter(ctx, img, spec, cfg);
+        cfg.specialize = true;
+        auto sk = GpuRowFilter(ctx, img, spec, cfg);
+        table.Row() << ksize << BorderName(border) << re.sim_millis << re.reg_count
+                    << sk.sim_millis << sk.reg_count << (re.sim_millis / sk.sim_millis);
+      }
+    }
+    table.WriteAscii(std::cout);
+    std::cout << "  on-demand compiles this sweep: " << ctx.cache_stats().misses
+              << " (OpenCV's ahead-of-time matrix: " << kAotVariantCount
+              << " variants in the binary)\n";
+  }
+  std::cout << "\nShape check: specialization wins grow with filter size (deeper unrolled\n"
+               "loops) and the border-mode switch vanishes from the specialized binary.\n";
+  return 0;
+}

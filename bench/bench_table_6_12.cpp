@@ -1,0 +1,54 @@
+// Table 6.12: cone-beam backprojection — OpenMP CPU implementation (four
+// threads) vs the best-performing configuration on both GPUs.
+#include <iostream>
+
+#include "apps/backproj/cpu_ref.hpp"
+#include "apps/cpu_model.hpp"
+#include "apps/backproj/gpu.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace kspec;
+  using namespace kspec::apps::backproj;
+  bench::Banner("Table 6.12", "Backprojection: OpenMP CPU (4 threads) vs both GPUs");
+
+  Table table({"data set", "voxels", "angles", "cpu wall ms", "cpu model ms", "VC1060 ms",
+               "VC1060 cfg", "VC2070 ms", "VC2070 cfg", "best speedup"});
+  apps::CpuModel cpu_model;
+
+  for (const Problem& p : BenchmarkSets()) {
+    CpuResult cpu = CpuBackproject(p, 4);
+    std::vector<double> gpu_ms(2, 1e300);
+    std::vector<std::string> cfg_desc(2);
+    int di = 0;
+    for (const auto& profile : bench::Devices()) {
+      vcuda::Context ctx(profile);
+      for (int threads : {32, 64, 128, 256}) {
+        for (int zpt : {1, 2, 4}) {
+          if (p.geo.vol_z % zpt != 0) continue;
+          BackprojConfig cfg;
+          cfg.threads = threads;
+          cfg.zpt = zpt;
+          cfg.specialize = true;
+          try {
+            BackprojGpuResult r = GpuBackproject(ctx, p, cfg);
+            if (r.sim_millis < gpu_ms[di]) {
+              gpu_ms[di] = r.sim_millis;
+              cfg_desc[di] = Format("t%d z%d", threads, zpt);
+            }
+          } catch (const Error&) {
+          }
+        }
+      }
+      ++di;
+    }
+    double model_ms = cpu_model.Millis(apps::BackprojFlops(p.voxel_count(), p.geo.n_angles), 4);
+    table.Row() << p.name << static_cast<std::int64_t>(p.voxel_count()) << p.geo.n_angles
+                << cpu.wall_millis << model_ms << gpu_ms[0] << cfg_desc[0] << gpu_ms[1]
+                << cfg_desc[1] << (cpu.wall_millis / std::min(gpu_ms[0], gpu_ms[1]));
+  }
+  table.WriteAscii(std::cout);
+  std::cout << "\nShape check: both GPUs beat the 4-thread CPU; the optimal voxels-per-thread\n"
+               "and thread-count configuration varies with the data set and device.\n";
+  return 0;
+}

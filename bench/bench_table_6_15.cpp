@@ -1,0 +1,9 @@
+// Table 6.15: PIV performance data for the FPGA benchmark set, including
+// optimal register blocking and thread counts.
+#include "piv_sweep_table.hpp"
+
+int main() {
+  return kspec::bench::PivSweepTableMain(
+      "Table 6.15", "PIV: FPGA benchmark set with optimal register blocking / thread counts",
+      kspec::apps::piv::FpgaBenchmarkSet());
+}

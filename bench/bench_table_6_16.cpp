@@ -1,0 +1,9 @@
+// Table 6.16: PIV performance for the varying mask-size benchmark set
+// (Table 6.4 problems), including optimal register blocking and threads.
+#include "piv_sweep_table.hpp"
+
+int main() {
+  return kspec::bench::PivSweepTableMain(
+      "Table 6.16", "PIV: impact of mask size (Table 6.4 problem set)",
+      kspec::apps::piv::MaskSizeSet());
+}

@@ -1,0 +1,9 @@
+// Table 6.17: PIV performance for the varying search-offset benchmark set
+// (Table 6.5 problems), including optimal register blocking and threads.
+#include "piv_sweep_table.hpp"
+
+int main() {
+  return kspec::bench::PivSweepTableMain(
+      "Table 6.17", "PIV: impact of search offset count (Table 6.5 problem set)",
+      kspec::apps::piv::SearchSizeSet());
+}

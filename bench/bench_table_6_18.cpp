@@ -1,0 +1,10 @@
+// Table 6.18: PIV performance for the varying interrogation-window-overlap
+// benchmark set (Table 6.6 problems), including optimal register blocking
+// and thread counts.
+#include "piv_sweep_table.hpp"
+
+int main() {
+  return kspec::bench::PivSweepTableMain(
+      "Table 6.18", "PIV: impact of window overlap (Table 6.6 problem set)",
+      kspec::apps::piv::OverlapSet());
+}

@@ -1,0 +1,107 @@
+// Sections 4.3 / 7.2.3: when does specialization pay? Total cost (real
+// compile wall time + simulated launch time) of three policies over N
+// launches of the same parameter set:
+//   RE only   — compile the adaptable build once, never specialize
+//   SK always — specialize up front
+//   tiered    — serve RE while cold, promote to SK at the hot threshold
+#include <iostream>
+
+#include "apps/piv/gpu.hpp"
+#include "apps/piv/kernels.hpp"
+#include "bench_common.hpp"
+#include "support/timer.hpp"
+#include "vcuda/tiered.hpp"
+
+namespace {
+
+using namespace kspec;
+
+// The PIV basic kernel as a single-source RE/SK kernel (the Appendix B way).
+std::string Source() {
+  std::string body = apps::piv::kPivBasicSource;
+  std::string tag = "__COMMON__";
+  body.replace(body.find(tag), tag.size(), apps::piv::kPivCommonHeader);
+  return body;
+}
+
+// The register-blocked kernel: the realistic "hot" build (bigger per-launch
+// savings, only expressible specialized — Stivala et al.'s two-kernel
+// pattern from Chapter 3).
+std::string RegBlockSource() {
+  std::string body = apps::piv::kPivRegBlockSource;
+  std::string tag = "__COMMON__";
+  body.replace(body.find(tag), tag.size(), apps::piv::kPivCommonHeader);
+  return body;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kspec::apps::piv;
+  bench::Banner("Section 4.3 / 7.2.3", "specialization break-even: RE vs SK vs tiered");
+  bench::Note("'total' = measured compile wall time + simulated launch time; the");
+  bench::Note("crossover is where per-launch SK savings have paid for the SK compile.");
+
+  Problem p = Generate("tiered", 64, 16, 3, 8, 55);
+  kcc::CompileOptions sk_opts;
+  sk_opts.defines = {{"CT_MASK", "1"},    {"K_MASK_W", std::to_string(p.mask_w)},
+                     {"K_MASK_AREA", std::to_string(p.mask_area())},
+                     {"CT_SEARCH", "1"},  {"K_SEARCH_W", std::to_string(p.search_w())},
+                     {"K_N_OFFSETS", std::to_string(p.n_offsets())},
+                     {"CT_THREADS", "1"}, {"K_THREADS", "64"},
+                     {"K_RB", "4"},       {"K_GUARD", "0"}};
+
+  Table table({"launches", "RE-only total ms", "SK-always total ms", "tiered total ms",
+               "winner"});
+
+  for (int launches : {1, 3, 10, 30, 100, 300}) {
+    double totals[3] = {0, 0, 0};
+    const char* names[3] = {"RE", "SK", "tiered"};
+    for (int policy = 0; policy < 3; ++policy) {
+      vcuda::Context ctx(vgpu::TeslaC1060());
+      auto d_a = vcuda::Upload<float>(ctx, std::span<const float>(p.frame_a));
+      auto d_b = vcuda::Upload<float>(ctx, std::span<const float>(p.frame_b));
+      auto d_best = ctx.Malloc(p.n_masks() * 4);
+      auto d_score = ctx.Malloc(p.n_masks() * 4);
+      double total = 0;
+      for (int n = 0; n < launches; ++n) {
+        WallTimer compile_timer;
+        std::shared_ptr<vcuda::Module> mod;
+        const char* kernel_name;
+        bool hot = policy == 1 || (policy == 2 && n >= 2);  // tiered promotes at launch 3
+        if (hot) {
+          mod = ctx.LoadModule(RegBlockSource(), sk_opts);
+          kernel_name = "pivRegBlock";
+        } else {
+          mod = ctx.LoadModule(Source(), {});
+          kernel_name = "pivBasic";
+        }
+        total += compile_timer.ElapsedMillis();  // ~0 on cache hits
+
+        vcuda::ArgPack args;
+        args.Ptr(d_a).Ptr(d_b).Ptr(d_best).Ptr(d_score)
+            .Int(p.img_w).Int(p.mask_w).Int(p.mask_area())
+            .Int(p.stride_x).Int(p.stride_y).Int(p.masks_x())
+            .Int(p.search_w()).Int(p.n_offsets())
+            .Int(p.origin_x()).Int(p.origin_y())
+            .Int(-p.range_x).Int(-p.range_y);
+        auto stats = ctx.Launch(*mod, kernel_name,
+                                vgpu::Dim3(static_cast<unsigned>(p.n_masks())),
+                                vgpu::Dim3(64), args);
+        total += stats.sim_millis;
+      }
+      totals[policy] = total;
+    }
+    int win = 0;
+    for (int k = 1; k < 3; ++k) {
+      if (totals[k] < totals[win]) win = k;
+    }
+    table.Row() << launches << totals[0] << totals[1] << totals[2] << names[win];
+  }
+  table.WriteAscii(std::cout);
+  std::cout << "\nShape check: RE-only wins one-shot and short runs (nothing to amortize);\n"
+               "SK-always wins once the per-launch savings repay its compile (~10^2 launches\n"
+               "here); tiered matches the winner at both extremes, paying a bounded premium\n"
+               "mid-range (it buys both builds) without knowing the launch count in advance.\n";
+  return 0;
+}

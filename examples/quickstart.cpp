@@ -1,0 +1,74 @@
+// Quickstart: the kernel-specialization workflow in one file.
+//
+//   1. Write a Kernel-C kernel in terms of macros with run-time fallbacks
+//      (the dissertation's Appendix B pattern).
+//   2. Create a context for a simulated device.
+//   3. Load the module twice: once bare (run-time evaluated) and once with
+//      -D definitions for the current problem instance (specialized).
+//   4. Launch both, compare results, statistics, and the MiniPTX listings.
+//
+// Build: cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "vcuda/vcuda.hpp"
+
+// A dot-product-with-stride kernel. TILE (the per-thread work count) controls
+// loop unrolling; when it is a compile-time constant the loop disappears.
+constexpr const char* kKernel = R"(
+#ifndef TILE
+#define TILE tile          // run-time fallback: TILE is just the argument
+#endif
+
+__kernel void strideSum(float* in, float* out, int tile, int stride) {
+  unsigned int t = blockIdx.x * blockDim.x + threadIdx.x;
+  float acc = 0.0f;
+  for (int i = 0; i < TILE; i++) {
+    acc += in[(int)t + i * stride];
+  }
+  out[t] = acc;
+}
+)";
+
+int main() {
+  using namespace kspec;
+
+  // A context owns one simulated device and its memory. Two device profiles
+  // ship with the library: TeslaC1060 (cc 1.3) and TeslaC2070 (Fermi).
+  vcuda::Context ctx(vgpu::TeslaC2070());
+
+  const int tile = 8, stride = 4;
+  const unsigned threads = 128, blocks = 8, n = threads * blocks;
+
+  std::vector<float> input(n + tile * stride, 1.0f);
+  auto d_in = vcuda::Upload<float>(ctx, std::span<const float>(input));
+  auto d_out = ctx.Malloc(n * sizeof(float));
+
+  // --- run-time evaluated: one binary adapts to any tile/stride ---
+  auto re = ctx.LoadModule(kKernel);
+
+  // --- specialized: recompiled for THIS tile value (cached thereafter) ---
+  kcc::CompileOptions opts;
+  opts.defines["TILE"] = std::to_string(tile);
+  auto sk = ctx.LoadModule(kKernel, opts);
+
+  for (auto& [name, mod] : {std::pair{"RE", re}, std::pair{"SK", sk}}) {
+    vcuda::ArgPack args;
+    args.Ptr(d_in).Ptr(d_out).Int(tile).Int(stride);
+    vgpu::LaunchStats stats =
+        ctx.Launch(*mod, "strideSum", vgpu::Dim3(blocks), vgpu::Dim3(threads), args);
+
+    auto result = vcuda::Download<float>(ctx, d_out, n);
+    const auto& k = mod->GetKernel("strideSum");
+    std::cout << name << ": result[0]=" << result[0]
+              << "  static instrs=" << k.stats.static_instrs
+              << "  regs/thread=" << k.stats.reg_count
+              << "  dynamic warp instrs=" << stats.warp_instrs
+              << "  simulated time=" << stats.sim_millis << " ms\n";
+  }
+
+  std::cout << "\nSpecialized MiniPTX (note: no loop, immediate strides):\n"
+            << sk->GetKernel("strideSum").listing << "\n";
+  std::cout << "Cache: " << ctx.cache_stats().misses << " compile(s), "
+            << ctx.cache_stats().hits << " hit(s)\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// GPU-PF streaming-pipeline demo (dissertation Section 4.4.1, Appendix G):
+// a long-running pipeline that streams frames through a specialized kernel,
+// then changes a specialization-bound parameter mid-run — the refresh phase
+// recompiles exactly the affected module and the pipeline keeps going.
+#include <iostream>
+
+#include "gpupf/pipeline.hpp"
+#include "support/log.hpp"
+
+// Box filter whose WIDTH is a specialization constant: fixed width means a
+// fully unrolled inner loop.
+constexpr const char* kFilterKernel = R"(
+#ifndef WIDTH
+#define WIDTH width
+#endif
+
+__kernel void boxFilter(float* in, float* out, int n, int width) {
+  int i = (int)(blockIdx.x * blockDim.x + threadIdx.x);
+  if (i < n) {
+    float acc = 0.0f;
+    for (int k = 0; k < WIDTH; k++) {
+      int j = i + k - WIDTH / 2;
+      j = max(0, min(j, n - 1));
+      acc += in[j];
+    }
+    out[i] = acc / (float)WIDTH;
+  }
+}
+)";
+
+int main() {
+  using namespace kspec;
+  using namespace kspec::gpupf;
+
+  Logger::Instance().set_level(LogLevel::kInfo);  // show refresh activity
+
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  Pipeline pipe(&ctx);
+
+  const int kFrame = 256, kFrames = 6;
+
+  // --- specification phase ---
+  auto* full = pipe.AddExtent("recording", sizeof(float), kFrame * kFrames);
+  auto* window = pipe.AddExtent("frame", sizeof(float), kFrame);
+  auto* host_in = pipe.AddHostMemory("host-in", full);
+  auto* host_out = pipe.AddHostMemory("host-out", window);
+  auto* dev_in = pipe.AddGlobalMemory("dev-in", window);
+  auto* dev_out = pipe.AddGlobalMemory("dev-out", window);
+  auto* stream = pipe.AddSubset("stream", host_in, window, kFrame, kFrames);
+
+  auto* width = pipe.AddInt("filter-width", 5);
+  auto* module = pipe.AddModule("filter-mod", kFilterKernel);
+  module->BindDefine("WIDTH", width);  // re-specializes when width changes
+  auto* kernel = pipe.AddKernel("filter", module, "boxFilter");
+
+  auto* n = pipe.AddInt("n", kFrame);
+  auto* grid = pipe.AddTriplet("grid", vgpu::Dim3(kFrame / 64));
+  auto* block = pipe.AddTriplet("block", vgpu::Dim3(64));
+  auto* every = pipe.AddSchedule("every-frame", 1);
+
+  pipe.AddCopy("upload", every, stream, dev_in);
+  pipe.AddKernelExec("filter", every, kernel, grid, block, {dev_in, dev_out, n, width});
+  pipe.AddCopy("download", every, dev_out, host_out);
+
+  double checksum = 0;
+  pipe.AddUserFn("consume", every, [&](Pipeline&, std::uint64_t iter) {
+    auto out = host_out->host_span<float>();
+    double s = 0;
+    for (float v : out) s += v;
+    checksum += s;
+    std::cout << "  frame " << iter << ": output checksum " << s << "\n";
+  });
+
+  // --- refresh + execution phases ---
+  pipe.Refresh();
+  auto in = host_in->host_span<float>();
+  for (int i = 0; i < kFrame * kFrames; ++i) in[i] = static_cast<float>(i % 17);
+
+  std::cout << "Streaming with WIDTH=5 (specialized):\n";
+  pipe.Run(3);
+
+  std::cout << "\nOperator widens the filter; the module re-specializes once:\n";
+  width->Set(9);
+  pipe.Run(3);
+
+  std::cout << "\n" << pipe.TimingReport();
+  std::cout << "Compilations: " << ctx.cache_stats().misses
+            << ", cache hits: " << ctx.cache_stats().hits << "\n";
+  return 0;
+}

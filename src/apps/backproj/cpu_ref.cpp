@@ -1,0 +1,67 @@
+#include "apps/backproj/cpu_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/timer.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace kspec::apps::backproj {
+
+CpuResult CpuBackproject(const Problem& p, int num_threads) {
+  WallTimer timer;
+  const Geometry& g = p.geo;
+  CpuResult out;
+  out.volume.assign(p.voxel_count(), 0.0f);
+
+  std::vector<float> cos_tab, sin_tab;
+  AngleTables(g, &cos_tab, &sin_tab);
+  const float* proj = p.projections.data();
+  const int nxy = g.vol_n * g.vol_n;
+
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(num_threads) schedule(static)
+#endif
+  for (int idx = 0; idx < nxy; ++idx) {
+    int ixv = idx % g.vol_n;
+    int iyv = idx / g.vol_n;
+    float xc = (static_cast<float>(ixv) - 0.5f * g.vol_n + 0.5f) * g.vox_size;
+    float yc = (static_cast<float>(iyv) - 0.5f * g.vol_n + 0.5f) * g.vox_size;
+    for (int z = 0; z < g.vol_z; ++z) {
+      float acc = 0.0f;
+      for (int a = 0; a < g.n_angles; ++a) {
+        float c = cos_tab[a], s = sin_tab[a];
+        float t = xc * c + yc * s;
+        float r = -xc * s + yc * c;
+        float w = g.sad / (g.sad + r);
+        float u = t * w / g.du + g.cu();
+        int u0 = static_cast<int>(std::floor(u));
+        float fu = u - static_cast<float>(u0);
+        u0 = std::max(0, std::min(u0, g.det_u - 2));
+        float w2 = w * w;
+        float zc = (static_cast<float>(z) - 0.5f * g.vol_z + 0.5f) * g.vox_size;
+        float v = zc * w / g.dv + g.cv();
+        int v0 = static_cast<int>(std::floor(v));
+        float fv = v - static_cast<float>(v0);
+        v0 = std::max(0, std::min(v0, g.det_v - 2));
+        std::size_t base = (static_cast<std::size_t>(a) * g.det_v + v0) * g.det_u + u0;
+        float p00 = proj[base];
+        float p01 = proj[base + 1];
+        float p10 = proj[base + g.det_u];
+        float p11 = proj[base + g.det_u + 1];
+        float top = p00 + fu * (p01 - p00);
+        float bot = p10 + fu * (p11 - p10);
+        acc += (top + fv * (bot - top)) * w2;
+      }
+      out.volume[static_cast<std::size_t>(z) * nxy + idx] = acc;
+    }
+  }
+  (void)num_threads;
+  out.wall_millis = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace kspec::apps::backproj

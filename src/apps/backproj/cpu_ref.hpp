@@ -1,0 +1,20 @@
+// OpenMP CPU reference for cone-beam backprojection (the dissertation's
+// Table 6.12 baseline ran OpenMP with four threads). Math is kept
+// bit-identical to the GPU kernel: same single-precision operations in the
+// same order, same clamped bilinear sampling.
+#pragma once
+
+#include <vector>
+
+#include "apps/backproj/problem.hpp"
+
+namespace kspec::apps::backproj {
+
+struct CpuResult {
+  std::vector<float> volume;  // vol_z * vol_n * vol_n (z-major like the GPU)
+  double wall_millis = 0;
+};
+
+CpuResult CpuBackproject(const Problem& p, int num_threads = 4);
+
+}  // namespace kspec::apps::backproj

@@ -1,0 +1,82 @@
+#include "apps/backproj/gpu.hpp"
+
+#include "apps/backproj/kernels.hpp"
+#include "support/math.hpp"
+#include "support/status.hpp"
+
+namespace kspec::apps::backproj {
+
+using vcuda::ArgPack;
+using vgpu::Dim3;
+
+BackprojGpuResult GpuBackproject(vcuda::Context& ctx, const Problem& p,
+                                 const BackprojConfig& cfg) {
+  const Geometry& g = p.geo;
+  KSPEC_CHECK_MSG(cfg.threads > 0 && cfg.threads <= 512, "bad thread count");
+  KSPEC_CHECK_MSG(cfg.zpt >= 1 && g.vol_z % cfg.zpt == 0,
+                  "voxels-per-thread must divide the volume depth");
+  if (!cfg.specialize) {
+    if (cfg.zpt != 1) {
+      throw DeviceError(
+          "z register blocking requires specialization: the accumulator array size must be "
+          "a compile-time constant");
+    }
+    if (g.n_angles > 64) {
+      throw DeviceError(
+          "run-time evaluated backprojection caps angles at 64 (fixed constant-memory "
+          "tables); specialize to lift the ceiling");
+    }
+  }
+
+  kcc::CompileOptions opts;
+  if (cfg.specialize) {
+    opts.defines["CT_ANGLES"] = "1";
+    opts.defines["K_N_ANGLES"] = std::to_string(g.n_angles);
+    opts.defines["CT_ZPT"] = "1";
+    opts.defines["K_ZPT"] = std::to_string(cfg.zpt);
+    opts.defines["CT_VOL"] = "1";
+    opts.defines["K_VOL_Z"] = std::to_string(g.vol_z);
+    opts.defines["CT_THREADS"] = "1";
+    opts.defines["K_THREADS"] = std::to_string(cfg.threads);
+  }
+  auto mod = ctx.LoadModule(cfg.use_texture ? kBackprojTexSource : kBackprojSource, opts);
+
+  std::vector<float> cos_tab, sin_tab;
+  AngleTables(g, &cos_tab, &sin_tab);
+  mod->SetConstant("cosTab", cos_tab.data(), cos_tab.size() * sizeof(float));
+  mod->SetConstant("sinTab", sin_tab.data(), sin_tab.size() * sizeof(float));
+
+  auto d_proj = vcuda::Upload<float>(ctx, std::span<const float>(p.projections));
+  if (cfg.use_texture) {
+    // All angles stack vertically: one detU x (nAngles * detV) texture.
+    mod->BindTexture("projTex", d_proj, g.det_u, g.n_angles * g.det_v);
+  }
+  auto d_vol = ctx.Malloc(p.voxel_count() * sizeof(float));
+  ctx.Memset(d_vol, 0, p.voxel_count() * sizeof(float));
+
+  const unsigned nxy = static_cast<unsigned>(g.vol_n * g.vol_n);
+  const unsigned blocks = static_cast<unsigned>(CeilDiv<unsigned>(nxy, cfg.threads));
+
+  ArgPack args;
+  if (!cfg.use_texture) args.Ptr(d_proj);
+  args.Ptr(d_vol)
+      .Int(g.vol_n).Int(g.vol_z).Int(g.det_u).Int(g.det_v).Int(g.n_angles)
+      .Float(g.du).Float(g.dv).Float(g.cu()).Float(g.cv())
+      .Float(g.sad).Float(g.vox_size);
+
+  const char* kernel_name = cfg.use_texture ? "backprojectTex" : "backproject";
+  BackprojGpuResult out;
+  out.stats = ctx.Launch(*mod, kernel_name, Dim3(blocks),
+                         Dim3(static_cast<unsigned>(cfg.threads)), args);
+  out.sim_millis = out.stats.sim_millis;
+  const vgpu::CompiledKernel& k = mod->GetKernel(kernel_name);
+  out.reg_count = k.stats.reg_count;
+  out.kernel_listing = k.listing;
+  out.volume = vcuda::Download<float>(ctx, d_vol, p.voxel_count());
+
+  ctx.Free(d_proj);
+  ctx.Free(d_vol);
+  return out;
+}
+
+}  // namespace kspec::apps::backproj

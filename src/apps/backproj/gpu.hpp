@@ -1,0 +1,34 @@
+// GPU cone-beam backprojection host (Section 5.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/backproj/problem.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/launch.hpp"
+
+namespace kspec::apps::backproj {
+
+struct BackprojConfig {
+  int threads = 64;        // per block
+  int zpt = 1;             // voxels per thread in z (register blocking);
+                           // values > 1 require specialization
+  bool specialize = true;
+  // Sample projections through a bilinear 2D texture instead of manual
+  // global loads (the classic CUDA backprojection design).
+  bool use_texture = false;
+};
+
+struct BackprojGpuResult {
+  std::vector<float> volume;  // vol_z * vol_n * vol_n
+  vgpu::LaunchStats stats;
+  int reg_count = 0;
+  double sim_millis = 0;
+  std::string kernel_listing;
+};
+
+BackprojGpuResult GpuBackproject(vcuda::Context& ctx, const Problem& p,
+                                 const BackprojConfig& cfg);
+
+}  // namespace kspec::apps::backproj

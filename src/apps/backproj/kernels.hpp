@@ -1,0 +1,178 @@
+// Kernel-C source for the cone-beam backprojection kernel (Section 5.3).
+//
+// Specialization points (Section 5.3.1):
+//  * the angle count — specialized builds unroll the projection loop and
+//    size the constant-memory trig tables exactly; run-time evaluated builds
+//    must reserve a fixed worst-case table (the CUDA constant-memory
+//    compile-time-size restriction of Section 2.4);
+//  * voxels per thread (Z blocking, Table 6.9) — the per-thread accumulator
+//    array lives in registers, so its size is always a compile-time constant;
+//    RE builds are pinned at 1 while specialized builds can register-block.
+#pragma once
+
+namespace kspec::apps::backproj {
+
+inline constexpr const char* kBackprojSource = R"KC(
+#ifdef CT_ANGLES
+#define N_ANGLES K_N_ANGLES
+#define ANGLE_CAP K_N_ANGLES
+#else
+#define N_ANGLES nAngles
+#define ANGLE_CAP 64
+#endif
+
+#ifdef CT_ZPT
+#define ZPT K_ZPT
+#else
+#define ZPT 1
+#endif
+
+#ifdef CT_VOL
+#define VOL_Z K_VOL_Z
+#else
+#define VOL_Z volZ
+#endif
+
+#ifdef CT_THREADS
+#define NTHREADS K_THREADS
+#else
+#define NTHREADS blockDim.x
+#endif
+
+__constant float cosTab[ANGLE_CAP];
+__constant float sinTab[ANGLE_CAP];
+
+__kernel void backproject(float* proj, float* vol,
+                          int volN, int volZ, int detU, int detV, int nAngles,
+                          float du, float dv, float cu, float cv,
+                          float sad, float voxSize) {
+  unsigned int idx = blockIdx.x * NTHREADS + threadIdx.x;
+  unsigned int nxy = (unsigned int)(volN * volN);
+  if (idx >= nxy) {
+    return;
+  }
+  int ixv = (int)(idx % (unsigned int)volN);
+  int iyv = (int)(idx / (unsigned int)volN);
+  float xc = ((float)ixv - 0.5f * (float)volN + 0.5f) * voxSize;
+  float yc = ((float)iyv - 0.5f * (float)volN + 0.5f) * voxSize;
+
+  for (int z0 = 0; z0 < VOL_Z; z0 += ZPT) {
+    float acc[ZPT];
+    for (int k = 0; k < ZPT; k++) {
+      acc[k] = 0.0f;
+    }
+    for (int a = 0; a < N_ANGLES; a++) {
+      float c = cosTab[a];
+      float s = sinTab[a];
+      float t = xc * c + yc * s;
+      float r = -xc * s + yc * c;
+      float w = sad / (sad + r);
+      float u = t * w / du + cu;
+      int u0 = (int)floorf(u);
+      float fu = u - (float)u0;
+      u0 = max(0, min(u0, detU - 2));
+      float w2 = w * w;
+      for (int k = 0; k < ZPT; k++) {
+        float zc = ((float)(z0 + k) - 0.5f * (float)VOL_Z + 0.5f) * voxSize;
+        float v = zc * w / dv + cv;
+        int v0 = (int)floorf(v);
+        float fv = v - (float)v0;
+        v0 = max(0, min(v0, detV - 2));
+        int base = (a * detV + v0) * detU + u0;
+        float p00 = proj[base];
+        float p01 = proj[base + 1];
+        float p10 = proj[base + detU];
+        float p11 = proj[base + detU + 1];
+        float top = p00 + fu * (p01 - p00);
+        float bot = p10 + fu * (p11 - p10);
+        acc[k] += (top + fv * (bot - top)) * w2;
+      }
+    }
+    for (int k = 0; k < ZPT; k++) {
+      vol[(z0 + k) * (int)nxy + (int)idx] = acc[k];
+    }
+  }
+}
+)KC";
+
+// Texture-path variant (the classic CUDA backprojection design): projections
+// are sampled through a bilinear 2D texture instead of four manual global
+// loads. All angles stack vertically in one texture (height = nAngles *
+// detV); each sample clamps v within its angle's band before offsetting, so
+// filtering never bleeds between angles.
+inline constexpr const char* kBackprojTexSource = R"KC(
+#ifdef CT_ANGLES
+#define N_ANGLES K_N_ANGLES
+#define ANGLE_CAP K_N_ANGLES
+#else
+#define N_ANGLES nAngles
+#define ANGLE_CAP 64
+#endif
+
+#ifdef CT_ZPT
+#define ZPT K_ZPT
+#else
+#define ZPT 1
+#endif
+
+#ifdef CT_VOL
+#define VOL_Z K_VOL_Z
+#else
+#define VOL_Z volZ
+#endif
+
+#ifdef CT_THREADS
+#define NTHREADS K_THREADS
+#else
+#define NTHREADS blockDim.x
+#endif
+
+__constant float cosTab[ANGLE_CAP];
+__constant float sinTab[ANGLE_CAP];
+
+__texture float projTex;
+
+__kernel void backprojectTex(float* vol,
+                             int volN, int volZ, int detU, int detV, int nAngles,
+                             float du, float dv, float cu, float cv,
+                             float sad, float voxSize) {
+  unsigned int idx = blockIdx.x * NTHREADS + threadIdx.x;
+  unsigned int nxy = (unsigned int)(volN * volN);
+  if (idx >= nxy) {
+    return;
+  }
+  int ixv = (int)(idx % (unsigned int)volN);
+  int iyv = (int)(idx / (unsigned int)volN);
+  float xc = ((float)ixv - 0.5f * (float)volN + 0.5f) * voxSize;
+  float yc = ((float)iyv - 0.5f * (float)volN + 0.5f) * voxSize;
+
+  for (int z0 = 0; z0 < VOL_Z; z0 += ZPT) {
+    float acc[ZPT];
+    for (int k = 0; k < ZPT; k++) {
+      acc[k] = 0.0f;
+    }
+    for (int a = 0; a < N_ANGLES; a++) {
+      float c = cosTab[a];
+      float s = sinTab[a];
+      float t = xc * c + yc * s;
+      float r = -xc * s + yc * c;
+      float w = sad / (sad + r);
+      float u = t * w / du + cu;
+      u = fmaxf(0.0f, fminf(u, (float)(detU - 2)));
+      float w2 = w * w;
+      float vBase = (float)(a * detV);
+      for (int k = 0; k < ZPT; k++) {
+        float zc = ((float)(z0 + k) - 0.5f * (float)VOL_Z + 0.5f) * voxSize;
+        float v = zc * w / dv + cv;
+        v = fmaxf(0.0f, fminf(v, (float)(detV - 2)));
+        acc[k] += tex2D(projTex, u, vBase + v) * w2;
+      }
+    }
+    for (int k = 0; k < ZPT; k++) {
+      vol[(z0 + k) * (int)nxy + (int)idx] = acc[k];
+    }
+  }
+}
+)KC";
+
+}  // namespace kspec::apps::backproj

@@ -1,0 +1,95 @@
+#include "apps/backproj/problem.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace kspec::apps::backproj {
+
+void AngleTables(const Geometry& geo, std::vector<float>* cos_tab, std::vector<float>* sin_tab) {
+  cos_tab->resize(geo.n_angles);
+  sin_tab->resize(geo.n_angles);
+  for (int a = 0; a < geo.n_angles; ++a) {
+    double theta = 2.0 * M_PI * a / geo.n_angles;
+    (*cos_tab)[a] = static_cast<float>(std::cos(theta));
+    (*sin_tab)[a] = static_cast<float>(std::sin(theta));
+  }
+}
+
+Problem Generate(std::string name, const Geometry& geo, int n_blobs, std::uint64_t seed) {
+  KSPEC_CHECK_MSG(geo.vol_n > 0 && geo.vol_z > 0 && geo.n_angles > 0, "bad geometry");
+  Problem p;
+  p.name = std::move(name);
+  p.geo = geo;
+  p.seed = seed;
+
+  Rng rng(seed);
+  const float half = 0.3f * geo.vol_n;  // keep blobs inside the field of view
+  for (int b = 0; b < n_blobs; ++b) {
+    Problem::Blob blob;
+    blob.x = static_cast<float>(rng.NextDouble() * 2 - 1) * half;
+    blob.y = static_cast<float>(rng.NextDouble() * 2 - 1) * half;
+    blob.z = static_cast<float>(rng.NextDouble() * 2 - 1) * 0.3f * geo.vol_z;
+    blob.amplitude = 0.5f + rng.NextFloat();
+    p.blobs.push_back(blob);
+  }
+
+  // Analytic cone-beam forward projection of the Gaussian blobs: each blob
+  // projects to a Gaussian splat on the detector at every angle.
+  std::vector<float> cos_tab, sin_tab;
+  AngleTables(geo, &cos_tab, &sin_tab);
+  p.projections.assign(p.proj_count(), 0.0f);
+  const float sigma2 = 2.0f * 1.8f * 1.8f;
+  for (int a = 0; a < geo.n_angles; ++a) {
+    float c = cos_tab[a], s = sin_tab[a];
+    for (const auto& blob : p.blobs) {
+      float t = blob.x * c + blob.y * s;
+      float r = -blob.x * s + blob.y * c;
+      float w = geo.sad / (geo.sad + r);
+      float ub = t * w / geo.du + geo.cu();
+      float vb = blob.z * w / geo.dv + geo.cv();
+      for (int v = 0; v < geo.det_v; ++v) {
+        for (int u = 0; u < geo.det_u; ++u) {
+          float duv = (u - ub) * (u - ub) + (v - vb) * (v - vb);
+          if (duv < 9.0f * sigma2) {
+            p.projections[(static_cast<std::size_t>(a) * geo.det_v + v) * geo.det_u + u] +=
+                blob.amplitude * std::exp(-duv / sigma2);
+          }
+        }
+      }
+    }
+  }
+  return p;
+}
+
+std::vector<Problem> BenchmarkSets() {
+  Geometry v1;
+  v1.vol_n = 16;
+  v1.vol_z = 12;
+  v1.det_u = 32;
+  v1.det_v = 24;
+  v1.n_angles = 12;
+
+  Geometry v2;  // the Table 6.20 occupancy-study set
+  v2.vol_n = 24;
+  v2.vol_z = 16;
+  v2.det_u = 48;
+  v2.det_v = 32;
+  v2.n_angles = 16;
+
+  Geometry v3;
+  v3.vol_n = 32;
+  v3.vol_z = 16;
+  v3.det_u = 64;
+  v3.det_v = 32;
+  v3.n_angles = 20;
+
+  return {
+      Generate("V1", v1, 2, 51),
+      Generate("V2", v2, 3, 52),
+      Generate("V3", v3, 3, 53),
+  };
+}
+
+}  // namespace kspec::apps::backproj

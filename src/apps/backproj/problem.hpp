@@ -1,0 +1,65 @@
+// Cone-beam backprojection problem definitions (dissertation Section 5.3).
+//
+// Geometry (Figure 5.13): an X-ray source and detector rotate around the
+// reconstruction volume; backprojection accumulates, for every voxel and
+// every projection angle, the bilinearly-sampled detector value at the
+// voxel's perspective projection, weighted by the inverse-distance factor.
+//
+// The original evaluation used CT scanner data; projections here are
+// generated analytically from a phantom of Gaussian blobs so the
+// reconstruction peak locations are known, and CPU/GPU implementations can
+// be compared bit-nearly on identical input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kspec::apps::backproj {
+
+struct Geometry {
+  int vol_n = 24;     // volume is vol_n x vol_n x vol_z voxels
+  int vol_z = 16;
+  int det_u = 48;     // detector columns
+  int det_v = 32;     // detector rows
+  int n_angles = 16;  // projection angles over [0, 2*pi)
+  float sad = 60.0f;  // source-axis distance (voxel units)
+  float du = 1.0f;    // detector pixel pitch
+  float dv = 1.0f;
+  float vox_size = 1.0f;
+
+  float cu() const { return 0.5f * static_cast<float>(det_u); }
+  float cv() const { return 0.5f * static_cast<float>(det_v); }
+};
+
+struct Problem {
+  std::string name;
+  Geometry geo;
+  std::uint64_t seed = 1;
+
+  // Projections: n_angles x det_v x det_u.
+  std::vector<float> projections;
+  // Phantom blob centers in voxel-centered coordinates, for sanity checks.
+  struct Blob {
+    float x, y, z, amplitude;
+  };
+  std::vector<Blob> blobs;
+
+  std::size_t proj_count() const {
+    return static_cast<std::size_t>(geo.n_angles) * geo.det_v * geo.det_u;
+  }
+  std::size_t voxel_count() const {
+    return static_cast<std::size_t>(geo.vol_n) * geo.vol_n * geo.vol_z;
+  }
+};
+
+Problem Generate(std::string name, const Geometry& geo, int n_blobs, std::uint64_t seed);
+
+// The dissertation's backprojection benchmark volumes (Table 6.8) scaled to
+// interpreter size; "V2" is the set Table 6.20's occupancy study uses.
+std::vector<Problem> BenchmarkSets();
+
+// Per-angle cosine/sine tables (uploaded to constant memory on the GPU).
+void AngleTables(const Geometry& geo, std::vector<float>* cos_tab, std::vector<float>* sin_tab);
+
+}  // namespace kspec::apps::backproj

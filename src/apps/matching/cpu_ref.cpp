@@ -1,0 +1,82 @@
+#include "apps/matching/cpu_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "support/timer.hpp"
+
+namespace kspec::apps::matching {
+
+float TemplateMean(const Problem& p) {
+  double sum = 0;
+  for (float v : p.tpl) sum += v;
+  return static_cast<float>(sum / static_cast<double>(p.tpl.size()));
+}
+
+float TemplateDenom(const Problem& p) {
+  float mean = TemplateMean(p);
+  double acc = 0;
+  for (float v : p.tpl) {
+    double d = v - mean;
+    acc += d * d;
+  }
+  return static_cast<float>(acc);
+}
+
+CpuResult CpuMatch(const Problem& p, int num_threads) {
+  WallTimer timer;
+  CpuResult out;
+  const int n_shifts = p.n_shifts();
+  out.scores.assign(n_shifts, 0.0f);
+
+  const float mean = TemplateMean(p);
+  const float tpl_denom = TemplateDenom(p);
+  const float inv_n = 1.0f / static_cast<float>(p.tpl_h * p.tpl_w);
+  const int rw = p.roi_w();
+
+  auto worker = [&](int begin, int end) {
+    for (int shift = begin; shift < end; ++shift) {
+      int sy = shift / p.shift_w;
+      int sx = shift % p.shift_w;
+      float num = 0, s = 0, s2 = 0;
+      for (int y = 0; y < p.tpl_h; ++y) {
+        const float* trow = &p.tpl[static_cast<std::size_t>(y) * p.tpl_w];
+        const float* irow = &p.roi[static_cast<std::size_t>(y + sy) * rw + sx];
+        for (int x = 0; x < p.tpl_w; ++x) {
+          float tv = trow[x] - mean;
+          float iv = irow[x];
+          num += tv * iv;
+          s += iv;
+          s2 += iv * iv;
+        }
+      }
+      float var = s2 - s * s * inv_n;
+      float denom = std::sqrt(std::max(var, 0.0f) * tpl_denom);
+      out.scores[shift] = num / std::max(denom, 1e-12f);
+    }
+  };
+
+  num_threads = std::max(1, num_threads);
+  if (num_threads == 1) {
+    worker(0, n_shifts);
+  } else {
+    std::vector<std::thread> threads;
+    int chunk = (n_shifts + num_threads - 1) / num_threads;
+    for (int t = 0; t < num_threads; ++t) {
+      int begin = t * chunk;
+      int end = std::min(n_shifts, begin + chunk);
+      if (begin >= end) break;
+      threads.emplace_back(worker, begin, end);
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  auto it = std::max_element(out.scores.begin(), out.scores.end());
+  out.best_idx = static_cast<int>(it - out.scores.begin());
+  out.best_score = *it;
+  out.wall_millis = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace kspec::apps::matching

@@ -1,0 +1,27 @@
+// Multi-threaded CPU reference for template matching (Section 5.1.4): the
+// same normalized-cross-correlation decomposition the GPU pipeline uses,
+// parallelized over shift offsets with std::thread (Figure 5.7's per-thread
+// loop structure).
+#pragma once
+
+#include <vector>
+
+#include "apps/matching/problem.hpp"
+
+namespace kspec::apps::matching {
+
+struct CpuResult {
+  std::vector<float> scores;  // shift_h * shift_w
+  int best_idx = -1;
+  float best_score = 0;
+  double wall_millis = 0;
+};
+
+CpuResult CpuMatch(const Problem& p, int num_threads = 4);
+
+// Scalar helpers shared with tests: template mean and the template part of
+// the denominator (sum of squared mean-subtracted values).
+float TemplateMean(const Problem& p);
+float TemplateDenom(const Problem& p);
+
+}  // namespace kspec::apps::matching

@@ -1,0 +1,47 @@
+// GPU template matcher (Section 5.1.3): four-stage pipeline over vcuda.
+//
+// Stage 1 computes tiled numerator partial sums, launched once per tile
+// region (main / right-edge / bottom-edge / corner, Figure 5.4) so that a
+// specialized build compiles a dedicated kernel per tile geometry — the
+// paper's "variable tile sizes via kernel specialization" (Section 5.1.3.2,
+// Table 5.2). Stages 2-4 sum partials, compute per-shift window statistics,
+// and produce normalized scores plus the peak via an in-block reduction.
+#pragma once
+
+#include <vector>
+
+#include "apps/matching/problem.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/launch.hpp"
+
+namespace kspec::apps::matching {
+
+struct MatcherConfig {
+  int tile_h = 8;
+  int tile_w = 8;
+  int threads = 128;       // per block; power of two required
+  bool specialize = true;  // SK when true, fully run-time evaluated when false
+};
+
+struct StageStats {
+  std::string name;
+  vgpu::LaunchStats launch;   // last launch of the stage
+  int reg_count = 0;
+  double sim_millis = 0;      // accumulated over the stage's launches
+};
+
+struct MatchResult {
+  std::vector<float> scores;
+  int best_idx = -1;
+  float best_score = 0;
+  double sim_millis = 0;       // total simulated GPU time
+  double transfer_millis = 0;  // modeled host<->device transfer time
+  std::vector<StageStats> stages;
+};
+
+// Runs the full pipeline for one problem. Throws on invalid configurations
+// (e.g. RE tile larger than the fixed worst-case shared allocation — the
+// exact adaptability ceiling the paper's OpenCV example suffers from).
+MatchResult GpuMatch(vcuda::Context& ctx, const Problem& p, const MatcherConfig& cfg);
+
+}  // namespace kspec::apps::matching

@@ -1,0 +1,212 @@
+// Kernel-C sources for the template matching pipeline (Section 5.1.3).
+//
+// Every kernel follows the dissertation's Appendix B pattern: a single source
+// compiles either run-time evaluated (no CT_* macros; parameters arrive as
+// kernel arguments, shared arrays use fixed worst-case allocations) or
+// specialized (CT_* macros defined; loop bounds become constants, loops
+// unroll, div/mod by tile widths strength-reduce, shared allocations shrink
+// to exact sizes).
+#pragma once
+
+namespace kspec::apps::matching {
+
+// Stage 1 — tiled numerator (Sections 5.1.3.1/5.1.3.2, Figures 5.4-5.6).
+// One block processes one template tile against THREADS shift offsets; each
+// thread accumulates the tile's contribution to a single shift offset. Edge
+// tiles of different dimensions use separate launches (specialized builds
+// compile one kernel per tile geometry, Table 5.2).
+inline constexpr const char* kNumeratorSource = R"KC(
+#ifdef CT_TILE
+#define TILE_H K_TILE_H
+#define TILE_W K_TILE_W
+#define TILE_ALLOC (K_TILE_H * K_TILE_W)
+#else
+#define TILE_H tileH
+#define TILE_W tileW
+#define TILE_ALLOC 1024
+#endif
+
+#ifdef CT_SHIFT
+#define SHIFT_W K_SHIFT_W
+#define N_SHIFTS K_N_SHIFTS
+#else
+#define SHIFT_W shiftW
+#define N_SHIFTS nShifts
+#endif
+
+#ifdef CT_THREADS
+#define NTHREADS K_THREADS
+#else
+#define NTHREADS blockDim.x
+#endif
+
+__kernel void numeratorTiles(float* roi, float* tplc, float* partials,
+                             int roiW, int tplW,
+                             int tileH, int tileW,
+                             int regionOffY, int regionOffX,
+                             int tilesX, int tileBase,
+                             int shiftW, int nShifts) {
+  __shared float tile[TILE_ALLOC];
+
+  int tileIdx = blockIdx.x;
+  int tileY = tileIdx / tilesX;
+  int tileX = tileIdx % tilesX;
+  int baseY = regionOffY + tileY * TILE_H;
+  int baseX = regionOffX + tileX * TILE_W;
+
+  // Cooperative load of the mean-subtracted template tile into shared memory.
+  int tid = threadIdx.x;
+  for (int i = tid; i < TILE_H * TILE_W; i += NTHREADS) {
+    int ty = i / TILE_W;
+    int tx = i % TILE_W;
+    tile[i] = tplc[(baseY + ty) * tplW + (baseX + tx)];
+  }
+  __syncthreads();
+
+  int shift = blockIdx.y * NTHREADS + tid;
+  if (shift < N_SHIFTS) {
+    int sy = shift / SHIFT_W;
+    int sx = shift % SHIFT_W;
+    float acc = 0.0f;
+    for (int ty = 0; ty < TILE_H; ty++) {
+      for (int tx = 0; tx < TILE_W; tx++) {
+        acc += tile[ty * TILE_W + tx] * roi[(baseY + ty + sy) * roiW + (baseX + tx + sx)];
+      }
+    }
+    partials[(tileBase + tileIdx) * N_SHIFTS + shift] = acc;
+  }
+}
+)KC";
+
+// Stage 2 — partial-sum summation across tiles (the "tiled summation kernel"
+// of Table 6.13). Specialization fixes the tile count so the loop unrolls.
+inline constexpr const char* kSummationSource = R"KC(
+#ifdef CT_SUM
+#define N_TILES K_N_TILES
+#define N_SHIFTS K_N_SHIFTS
+#else
+#define N_TILES nTiles
+#define N_SHIFTS nShifts
+#endif
+
+#ifdef CT_THREADS
+#define NTHREADS K_THREADS
+#else
+#define NTHREADS blockDim.x
+#endif
+
+__kernel void sumPartials(float* partials, float* numerators, int nTiles, int nShifts) {
+  int shift = blockIdx.x * NTHREADS + threadIdx.x;
+  if (shift < N_SHIFTS) {
+    float acc = 0.0f;
+    for (int t = 0; t < N_TILES; t++) {
+      acc += partials[t * N_SHIFTS + shift];
+    }
+    numerators[shift] = acc;
+  }
+}
+)KC";
+
+// Stage 3 — per-shift window statistics for the denominator (Figure 5.2):
+// sum and sum-of-squares of the ROI window at every shift offset.
+inline constexpr const char* kWindowStatsSource = R"KC(
+#ifdef CT_TEMPLATE
+#define TPL_H K_TPL_H
+#define TPL_W K_TPL_W
+#else
+#define TPL_H tplH
+#define TPL_W tplW
+#endif
+
+#ifdef CT_SHIFT
+#define SHIFT_W K_SHIFT_W
+#define N_SHIFTS K_N_SHIFTS
+#else
+#define SHIFT_W shiftW
+#define N_SHIFTS nShifts
+#endif
+
+#ifdef CT_THREADS
+#define NTHREADS K_THREADS
+#else
+#define NTHREADS blockDim.x
+#endif
+
+__kernel void windowStats(float* roi, float* sums, float* sumsqs,
+                          int roiW, int tplH, int tplW,
+                          int shiftW, int nShifts) {
+  int shift = blockIdx.x * NTHREADS + threadIdx.x;
+  if (shift < N_SHIFTS) {
+    int sy = shift / SHIFT_W;
+    int sx = shift % SHIFT_W;
+    float s = 0.0f;
+    float s2 = 0.0f;
+    for (int y = 0; y < TPL_H; y++) {
+      for (int x = 0; x < TPL_W; x++) {
+        float v = roi[(y + sy) * roiW + (x + sx)];
+        s += v;
+        s2 += v * v;
+      }
+    }
+    sums[shift] = s;
+    sumsqs[shift] = s2;
+  }
+}
+)KC";
+
+// Stage 4 — normalized score plus in-block max reduction (the classic shared
+// memory tree of Section 2.2; thread counts must be a power of two, the kind
+// of hardware-friendly value restriction Section 2.4 discusses). One result
+// per block; the host reduces the block results.
+inline constexpr const char* kScorePeakSource = R"KC(
+#ifdef CT_THREADS
+#define NTHREADS K_THREADS
+#define SMEM_ALLOC K_THREADS
+#else
+#define NTHREADS blockDim.x
+#define SMEM_ALLOC 512
+#endif
+
+#ifdef CT_SHIFT
+#define N_SHIFTS K_N_SHIFTS
+#else
+#define N_SHIFTS nShifts
+#endif
+
+__kernel void scorePeak(float* numerators, float* sums, float* sumsqs,
+                        float* scores, float* blockBest, int* blockBestIdx,
+                        int nShifts, float tplDenom, float invN) {
+  __shared float sVal[SMEM_ALLOC];
+  __shared int sIdx[SMEM_ALLOC];
+
+  int tid = threadIdx.x;
+  int shift = blockIdx.x * NTHREADS + tid;
+  float score = -1.0e30f;
+  if (shift < N_SHIFTS) {
+    float s = sums[shift];
+    float var = sumsqs[shift] - s * s * invN;
+    float denom = sqrtf(fmaxf(var, 0.0f) * tplDenom);
+    score = numerators[shift] / fmaxf(denom, 1.0e-12f);
+    scores[shift] = score;
+  }
+  sVal[tid] = score;
+  sIdx[tid] = shift;
+  __syncthreads();
+
+  for (int step = NTHREADS / 2; step > 0; step = step >> 1) {
+    if (tid < step) {
+      if (sVal[tid + step] > sVal[tid]) {
+        sVal[tid] = sVal[tid + step];
+        sIdx[tid] = sIdx[tid + step];
+      }
+    }
+    __syncthreads();
+  }
+  if (tid == 0) {
+    blockBest[blockIdx.x] = sVal[0];
+    blockBestIdx[blockIdx.x] = sIdx[0];
+  }
+}
+)KC";
+
+}  // namespace kspec::apps::matching

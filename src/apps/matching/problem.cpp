@@ -1,0 +1,56 @@
+#include "apps/matching/problem.hpp"
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace kspec::apps::matching {
+
+Problem Generate(std::string name, int tpl_h, int tpl_w, int shift_h, int shift_w,
+                 std::uint64_t seed) {
+  KSPEC_CHECK_MSG(tpl_h > 0 && tpl_w > 0 && shift_h > 0 && shift_w > 0, "bad problem geometry");
+  Problem p;
+  p.name = std::move(name);
+  p.tpl_h = tpl_h;
+  p.tpl_w = tpl_w;
+  p.shift_h = shift_h;
+  p.shift_w = shift_w;
+  p.seed = seed;
+
+  Rng rng(seed);
+  const int rh = p.roi_h(), rw = p.roi_w();
+  p.roi.resize(static_cast<std::size_t>(rh) * rw);
+  // Smooth-ish texture: white noise plus a low-frequency ramp so correlation
+  // surfaces are non-degenerate.
+  for (int y = 0; y < rh; ++y) {
+    for (int x = 0; x < rw; ++x) {
+      float base = 0.35f * (static_cast<float>(y) / rh) + 0.2f * (static_cast<float>(x) / rw);
+      p.roi[static_cast<std::size_t>(y) * rw + x] = base + rng.NextFloat();
+    }
+  }
+
+  p.true_sy = static_cast<int>(rng.NextInt(0, shift_h - 1));
+  p.true_sx = static_cast<int>(rng.NextInt(0, shift_w - 1));
+
+  // Template = ROI window at the planted shift + small noise.
+  p.tpl.resize(static_cast<std::size_t>(tpl_h) * tpl_w);
+  for (int y = 0; y < tpl_h; ++y) {
+    for (int x = 0; x < tpl_w; ++x) {
+      float v = p.roi[static_cast<std::size_t>(y + p.true_sy) * rw + (x + p.true_sx)];
+      p.tpl[static_cast<std::size_t>(y) * tpl_w + x] = v + 0.02f * (rng.NextFloat() - 0.5f);
+    }
+  }
+  return p;
+}
+
+std::vector<Problem> PatientSets() {
+  // Table 5.1 geometry scaled ~1/5 linearly; the patients differ in template
+  // aspect and shift-region size the way the clinical sets did.
+  return {
+      Generate("patient1", 24, 20, 12, 12, 101),
+      Generate("patient2", 32, 24, 10, 14, 202),
+      Generate("patient3", 16, 16, 16, 16, 303),
+      Generate("patient4", 31, 23, 8, 10, 404),
+  };
+}
+
+}  // namespace kspec::apps::matching

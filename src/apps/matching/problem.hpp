@@ -1,0 +1,44 @@
+// Problem definitions and synthetic data for the large template matching
+// application (dissertation Section 5.1).
+//
+// The original evaluation used clinical image sequences (Table 5.1: per
+// patient, template sizes up to 156x116 and shift regions within an ROI).
+// Those are proprietary, so problems here are synthesized: a random textured
+// region of interest with the template cut out of it at a known shift and
+// perturbed with noise, which makes the correct answer (the planted shift)
+// verifiable. Sizes are scaled down so the interpreted vgpu substrate runs
+// the full pipeline in seconds; DESIGN.md documents the scaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kspec::apps::matching {
+
+struct Problem {
+  std::string name;
+  int tpl_h = 0, tpl_w = 0;      // template dimensions (pixels)
+  int shift_h = 0, shift_w = 0;  // number of vertical/horizontal shifts
+  std::uint64_t seed = 1;
+
+  // Derived: region-of-interest dimensions.
+  int roi_h() const { return tpl_h + shift_h - 1; }
+  int roi_w() const { return tpl_w + shift_w - 1; }
+  int n_shifts() const { return shift_h * shift_w; }
+
+  // Data (filled by Generate).
+  std::vector<float> roi;   // roi_h x roi_w row-major
+  std::vector<float> tpl;   // tpl_h x tpl_w row-major
+  int true_sy = 0, true_sx = 0;
+};
+
+// Builds a problem with the template planted at a deterministic shift.
+Problem Generate(std::string name, int tpl_h, int tpl_w, int shift_h, int shift_w,
+                 std::uint64_t seed);
+
+// Scaled-down analogues of the dissertation's Table 5.1 patient data sets
+// (four patients with distinct template and shift-region geometry).
+std::vector<Problem> PatientSets();
+
+}  // namespace kspec::apps::matching

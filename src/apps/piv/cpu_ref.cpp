@@ -1,0 +1,90 @@
+#include "apps/piv/cpu_ref.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/timer.hpp"
+
+namespace kspec::apps::piv {
+
+namespace {
+
+// SSD of the mask at (my,mx) in frame A vs the window displaced by (oy,ox)
+// in frame B.
+float MaskSsd(const Problem& p, int my, int mx, int oy, int ox) {
+  float acc = 0;
+  for (int y = 0; y < p.mask_h; ++y) {
+    const float* a = &p.frame_a[static_cast<std::size_t>(my + y) * p.img_w + mx];
+    const float* b = &p.frame_b[static_cast<std::size_t>(my + y + oy) * p.img_w + (mx + ox)];
+    for (int x = 0; x < p.mask_w; ++x) {
+      float d = a[x] - b[x];
+      acc += d * d;
+    }
+  }
+  return acc;
+}
+
+void SearchMasks(const Problem& p, int begin, int end, VectorField* out) {
+  const int mx_count = p.masks_x();
+  for (int m = begin; m < end; ++m) {
+    int my = p.origin_y() + (m / mx_count) * p.stride_y;
+    int mx = p.origin_x() + (m % mx_count) * p.stride_x;
+    float best = 1e30f;
+    int best_idx = 0;
+    for (int off = 0; off < p.n_offsets(); ++off) {
+      int oy = off / p.search_w() - p.range_y;
+      int ox = off % p.search_w() - p.range_x;
+      float ssd = MaskSsd(p, my, mx, oy, ox);
+      if (ssd < best) {
+        best = ssd;
+        best_idx = off;
+      }
+    }
+    out->best_offset[m] = best_idx;
+    out->best_score[m] = best;
+  }
+}
+
+}  // namespace
+
+VectorField CpuPiv(const Problem& p, int num_threads) {
+  WallTimer timer;
+  VectorField out;
+  const int n = p.n_masks();
+  out.best_offset.assign(n, 0);
+  out.best_score.assign(n, 0);
+
+  num_threads = std::max(1, num_threads);
+  if (num_threads == 1) {
+    SearchMasks(p, 0, n, &out);
+  } else {
+    std::vector<std::thread> threads;
+    int chunk = (n + num_threads - 1) / num_threads;
+    for (int t = 0; t < num_threads; ++t) {
+      int begin = t * chunk;
+      int end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      threads.emplace_back(SearchMasks, std::cref(p), begin, end, &out);
+    }
+    for (auto& th : threads) th.join();
+  }
+  out.millis = timer.ElapsedMillis();
+  return out;
+}
+
+VectorField FpgaModel(const Problem& p, const FpgaModelConfig& cfg) {
+  // Functionally identical to the single-threaded CPU search.
+  VectorField out;
+  out.best_offset.assign(p.n_masks(), 0);
+  out.best_score.assign(p.n_masks(), 0);
+  SearchMasks(p, 0, p.n_masks(), &out);
+
+  // Analytic pipeline throughput: one mask-pixel-offset per cycle per
+  // pipeline, plus a per-mask drain overhead.
+  const double work = static_cast<double>(p.n_masks()) * p.n_offsets() * p.mask_area();
+  const double cycles = work / cfg.pipelines + 64.0 * p.n_masks();
+  out.millis = cycles / (cfg.clock_mhz * 1e3);
+  return out;
+}
+
+}  // namespace kspec::apps::piv

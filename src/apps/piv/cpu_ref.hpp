@@ -1,0 +1,35 @@
+// Reference implementations for PIV: a direct multi-threaded CPU version and
+// the FPGA stand-in.
+//
+// The dissertation compared against Bennis's FPGA implementation (Figure
+// 5.9), a deep fixed-function pipeline with deterministic throughput. No
+// FPGA exists here, so FpgaModel computes the same answers functionally and
+// reports time from an analytic pipeline model: `pipelines` SSD units each
+// retiring one mask-pixel-offset per cycle at `clock_mhz` (DESIGN.md records
+// this substitution).
+#pragma once
+
+#include <vector>
+
+#include "apps/piv/problem.hpp"
+
+namespace kspec::apps::piv {
+
+struct VectorField {
+  std::vector<int> best_offset;   // per mask: flat offset index
+  std::vector<float> best_score;  // per mask: SSD at the best offset
+  double millis = 0;              // wall (CPU) or modeled (FPGA) time
+};
+
+// Direct SSD search on the host, threaded over masks.
+VectorField CpuPiv(const Problem& p, int num_threads = 4);
+
+struct FpgaModelConfig {
+  int pipelines = 4;
+  double clock_mhz = 133.0;
+};
+
+// Functional FPGA stand-in with analytic timing.
+VectorField FpgaModel(const Problem& p, const FpgaModelConfig& cfg = {});
+
+}  // namespace kspec::apps::piv

@@ -1,0 +1,133 @@
+#include "apps/piv/gpu.hpp"
+
+#include <algorithm>
+
+#include "apps/piv/kernels.hpp"
+#include "support/math.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+
+namespace kspec::apps::piv {
+
+namespace {
+
+using vcuda::ArgPack;
+using vgpu::Dim3;
+
+std::string SourceFor(Variant v) {
+  std::string body;
+  switch (v) {
+    case Variant::kBasic: body = kPivBasicSource; break;
+    case Variant::kRegBlock: body = kPivRegBlockSource; break;
+    case Variant::kWarpSpec: body = kPivWarpSpecSource; break;
+    case Variant::kMultiMask: body = kPivMultiMaskSource; break;
+  }
+  const std::string tag = "__COMMON__";
+  std::size_t pos = body.find(tag);
+  KSPEC_CHECK(pos != std::string::npos);
+  body.replace(pos, tag.size(), kPivCommonHeader);
+  return body;
+}
+
+const char* KernelName(Variant v) {
+  switch (v) {
+    case Variant::kBasic: return "pivBasic";
+    case Variant::kRegBlock: return "pivRegBlock";
+    case Variant::kWarpSpec: return "pivWarpSpec";
+    case Variant::kMultiMask: return "pivMultiMask";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kBasic: return "basic";
+    case Variant::kRegBlock: return "regblock";
+    case Variant::kWarpSpec: return "warpspec";
+    case Variant::kMultiMask: return "multimask";
+  }
+  return "?";
+}
+
+PivGpuResult GpuPiv(vcuda::Context& ctx, const Problem& p, const PivConfig& cfg) {
+  KSPEC_CHECK_MSG(IsPow2(static_cast<std::uint64_t>(cfg.threads)) && cfg.threads >= 32 &&
+                      cfg.threads <= 256,
+                  "PIV thread count must be a power of two in [32, 256]");
+  if (cfg.variant == Variant::kRegBlock && !cfg.specialize) {
+    throw DeviceError(
+        "register blocking requires kernel specialization: register arrays need "
+        "compile-time bounds (Section 2.3 of the dissertation)");
+  }
+  if (!cfg.specialize && p.mask_area() > 1024 && cfg.variant == Variant::kWarpSpec) {
+    throw DeviceError("RE warp-spec kernel caps masks at 1024 pixels (fixed shared allocation)");
+  }
+
+  const int rb = cfg.rb > 0 ? cfg.rb
+                            : static_cast<int>(CeilDiv(p.mask_area(), cfg.threads));
+  KSPEC_CHECK_MSG(rb * cfg.threads >= p.mask_area(),
+                  "register blocking depth too small to cover the mask");
+
+  kcc::CompileOptions opts;
+  if (cfg.specialize) {
+    opts.defines["CT_MASK"] = "1";
+    opts.defines["K_MASK_W"] = std::to_string(p.mask_w);
+    opts.defines["K_MASK_AREA"] = std::to_string(p.mask_area());
+    opts.defines["CT_SEARCH"] = "1";
+    opts.defines["K_SEARCH_W"] = std::to_string(p.search_w());
+    opts.defines["K_N_OFFSETS"] = std::to_string(p.n_offsets());
+    opts.defines["CT_THREADS"] = "1";
+    opts.defines["K_THREADS"] = std::to_string(cfg.threads);
+    if (cfg.variant == Variant::kRegBlock) {
+      opts.defines["K_RB"] = std::to_string(rb);
+      // The striped index k*NTHREADS+tid is provably in range only when the
+      // register file tiles the mask exactly.
+      opts.defines["K_GUARD"] = (rb * cfg.threads == p.mask_area()) ? "0" : "1";
+    }
+  }
+
+  auto mod = ctx.LoadModule(SourceFor(cfg.variant), opts);
+  const vgpu::CompiledKernel& kernel = mod->GetKernel(KernelName(cfg.variant));
+
+  auto d_a = vcuda::Upload<float>(ctx, std::span<const float>(p.frame_a));
+  auto d_b = vcuda::Upload<float>(ctx, std::span<const float>(p.frame_b));
+  const int n_masks = p.n_masks();
+  auto d_best = ctx.Malloc(static_cast<std::uint64_t>(n_masks) * sizeof(int));
+  auto d_score = ctx.Malloc(static_cast<std::uint64_t>(n_masks) * sizeof(float));
+
+  ArgPack args;
+  args.Ptr(d_a).Ptr(d_b).Ptr(d_best).Ptr(d_score)
+      .Int(p.img_w).Int(p.mask_w).Int(p.mask_area())
+      .Int(p.stride_x).Int(p.stride_y).Int(p.masks_x())
+      .Int(p.search_w()).Int(p.n_offsets())
+      .Int(p.origin_x()).Int(p.origin_y())
+      .Int(-p.range_x).Int(-p.range_y);
+
+  unsigned grid_x = static_cast<unsigned>(n_masks);
+  if (cfg.variant == Variant::kMultiMask) {
+    args.Int(n_masks);
+    unsigned masks_per_block = static_cast<unsigned>(cfg.threads) / 32;
+    grid_x = static_cast<unsigned>(CeilDiv<unsigned>(n_masks, masks_per_block));
+  }
+
+  PivGpuResult out;
+  out.stats = ctx.Launch(*mod, KernelName(cfg.variant),
+                         Dim3(grid_x),
+                         Dim3(static_cast<unsigned>(cfg.threads)), args);
+  out.reg_count = kernel.stats.reg_count;
+  out.compile_millis = kernel.stats.compile_millis;
+  out.kernel_listing = kernel.listing;
+
+  out.field.best_offset = vcuda::Download<int>(ctx, d_best, n_masks);
+  out.field.best_score = vcuda::Download<float>(ctx, d_score, n_masks);
+  out.field.millis = out.stats.sim_millis;
+
+  ctx.Free(d_a);
+  ctx.Free(d_b);
+  ctx.Free(d_best);
+  ctx.Free(d_score);
+  return out;
+}
+
+}  // namespace kspec::apps::piv

@@ -1,0 +1,41 @@
+// GPU PIV host (Section 5.2.1): one block per interrogation window, kernel
+// variant and implementation parameters selectable per run.
+#pragma once
+
+#include <string>
+
+#include "apps/piv/cpu_ref.hpp"
+#include "apps/piv/problem.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/launch.hpp"
+
+namespace kspec::apps::piv {
+
+enum class Variant {
+  kBasic,      // block-wide reduction per offset
+  kRegBlock,   // + register blocking (specialization required)
+  kWarpSpec,   // warp-per-offset with intra-warp reduction
+  kMultiMask,  // warp-per-mask, NTHREADS/32 masks per block (Section 7.2.1)
+};
+
+const char* VariantName(Variant v);
+
+struct PivConfig {
+  Variant variant = Variant::kWarpSpec;
+  int threads = 64;        // power of two, multiple of 32, <= 256
+  bool specialize = true;  // kRegBlock requires true
+  // Register blocking depth; 0 = automatic ceil(mask_area / threads).
+  int rb = 0;
+};
+
+struct PivGpuResult {
+  VectorField field;            // per-mask vectors; millis = simulated time
+  vgpu::LaunchStats stats;      // the launch's statistics
+  int reg_count = 0;            // kernel registers/thread
+  double compile_millis = 0;
+  std::string kernel_listing;   // MiniPTX of the kernel that ran
+};
+
+PivGpuResult GpuPiv(vcuda::Context& ctx, const Problem& p, const PivConfig& cfg);
+
+}  // namespace kspec::apps::piv

@@ -1,0 +1,330 @@
+// Kernel-C sources for the PIV kernel variants (Section 5.2.1/5.2.2).
+//
+// Three implementations of the same mask/offset SSD search, matching the
+// variants the dissertation compares (Table 6.14):
+//
+//  * pivBasic     — one block per mask; threads striped across the mask area
+//                   (Figure 5.11); a full block-wide shared-memory tree
+//                   reduction per search offset. The reduction (and its
+//                   __syncthreads) is the bottleneck this ordering exposes.
+//  * pivRegBlock  — adds register blocking: each thread caches its RB mask
+//                   pixels in a register array. Requires specialization:
+//                   registers cannot be indirectly addressed, so RB and the
+//                   loop bounds must be compile-time constants (Section 2.3).
+//  * pivWarpSpec  — warp specialization (Figure 5.12): each warp owns a
+//                   subset of offsets and reduces within the warp's
+//                   synchronous lanes, eliminating block-wide barriers from
+//                   the inner loop.
+#pragma once
+
+namespace kspec::apps::piv {
+
+inline constexpr const char* kPivCommonHeader = R"KC(
+#ifdef CT_MASK
+#define MASK_W K_MASK_W
+#define MASK_AREA K_MASK_AREA
+#else
+#define MASK_W maskW
+#define MASK_AREA maskArea
+#endif
+
+#ifdef CT_SEARCH
+#define SEARCH_W K_SEARCH_W
+#define N_OFFSETS K_N_OFFSETS
+#else
+#define SEARCH_W searchW
+#define N_OFFSETS nOffsets
+#endif
+
+#ifdef CT_THREADS
+#define NTHREADS K_THREADS
+#define NT_ALLOC K_THREADS
+#else
+#define NTHREADS blockDim.x
+#define NT_ALLOC 256
+#endif
+)KC";
+
+inline constexpr const char* kPivBasicSource = R"KC(
+__COMMON__
+
+__kernel void pivBasic(float* frameA, float* frameB, int* bestOff, float* bestScore,
+                       int imgW, int maskW, int maskArea,
+                       int strideX, int strideY, int masksX,
+                       int searchW, int nOffsets,
+                       int originX, int originY, int offX0, int offY0) {
+  __shared float red[NT_ALLOC];
+
+  unsigned int tid = threadIdx.x;
+  int maskIdx = blockIdx.x;
+  int mx = originX + (maskIdx % masksX) * strideX;
+  int my = originY + (maskIdx / masksX) * strideY;
+
+  float best = 1.0e30f;
+  int bestIdx = 0;
+  for (int off = 0; off < N_OFFSETS; off++) {
+    int oy = off / SEARCH_W + offY0;
+    int ox = off % SEARCH_W + offX0;
+    float partial = 0.0f;
+    for (int i = tid; i < MASK_AREA; i += NTHREADS) {
+      int yy = i / MASK_W;
+      int xx = i % MASK_W;
+      float a = frameA[(my + yy) * imgW + (mx + xx)];
+      float b = frameB[(my + yy + oy) * imgW + (mx + xx + ox)];
+      float d = a - b;
+      partial += d * d;
+    }
+    red[tid] = partial;
+    __syncthreads();
+    for (unsigned int step = NTHREADS / 2; step > 0; step = step >> 1) {
+      if (tid < step) {
+        red[tid] += red[tid + step];
+      }
+      __syncthreads();
+    }
+    float total = red[0];
+    if (total < best) {
+      best = total;
+      bestIdx = off;
+    }
+    __syncthreads();
+  }
+  if (tid == 0) {
+    bestOff[maskIdx] = bestIdx;
+    bestScore[maskIdx] = best;
+  }
+}
+)KC";
+
+// Register-blocked variant. Compiles ONLY with CT_MASK, CT_THREADS, and K_RB
+// defined: the register array needs constant bounds to live in registers.
+// K_GUARD is 0 when NTHREADS divides MASK_AREA (the striped index is then
+// provably in range and the guard disappears from the generated code).
+inline constexpr const char* kPivRegBlockSource = R"KC(
+__COMMON__
+
+#ifndef K_RB
+#error pivRegBlock requires specialization: define K_RB (and CT_MASK/CT_THREADS)
+#endif
+#ifndef K_GUARD
+#define K_GUARD 1
+#endif
+
+__kernel void pivRegBlock(float* frameA, float* frameB, int* bestOff, float* bestScore,
+                          int imgW, int maskW, int maskArea,
+                          int strideX, int strideY, int masksX,
+                          int searchW, int nOffsets,
+                          int originX, int originY, int offX0, int offY0) {
+  __shared float red[NT_ALLOC];
+
+  unsigned int tid = threadIdx.x;
+  int maskIdx = blockIdx.x;
+  int mx = originX + (maskIdx % masksX) * strideX;
+  int my = originY + (maskIdx / masksX) * strideY;
+
+  // Register blocking: cache this thread's striped mask pixels (Section 2.3).
+  float mreg[K_RB];
+  for (int k = 0; k < K_RB; k++) {
+    int i = k * NTHREADS + (int)tid;
+#if K_GUARD
+    if (i < MASK_AREA) {
+#endif
+      int yy = i / MASK_W;
+      int xx = i % MASK_W;
+      mreg[k] = frameA[(my + yy) * imgW + (mx + xx)];
+#if K_GUARD
+    }
+#endif
+  }
+
+  float best = 1.0e30f;
+  int bestIdx = 0;
+  for (int off = 0; off < N_OFFSETS; off++) {
+    int oy = off / SEARCH_W + offY0;
+    int ox = off % SEARCH_W + offX0;
+    float partial = 0.0f;
+    for (int k = 0; k < K_RB; k++) {
+      int i = k * NTHREADS + (int)tid;
+#if K_GUARD
+      if (i < MASK_AREA) {
+#endif
+        int yy = i / MASK_W;
+        int xx = i % MASK_W;
+        float b = frameB[(my + yy + oy) * imgW + (mx + xx + ox)];
+        float d = mreg[k] - b;
+        partial += d * d;
+#if K_GUARD
+      }
+#endif
+    }
+    red[tid] = partial;
+    __syncthreads();
+    for (unsigned int step = NTHREADS / 2; step > 0; step = step >> 1) {
+      if (tid < step) {
+        red[tid] += red[tid + step];
+      }
+      __syncthreads();
+    }
+    float total = red[0];
+    if (total < best) {
+      best = total;
+      bestIdx = off;
+    }
+    __syncthreads();
+  }
+  if (tid == 0) {
+    bestOff[maskIdx] = bestIdx;
+    bestScore[maskIdx] = best;
+  }
+}
+)KC";
+
+// Warp-specialized variant: the mask loads into shared memory once; then
+// each warp sweeps its own offsets and reduces among its 32 synchronous
+// lanes without any block-wide barrier (Figure 5.12's removal of the
+// reduction bottleneck). MASK_ALLOC caps the run-time-evaluated build the
+// same way the fixed OpenCV constant buffer does (Section 2.6).
+inline constexpr const char* kPivWarpSpecSource = R"KC(
+__COMMON__
+
+#ifdef CT_MASK
+#define MASK_ALLOC K_MASK_AREA
+#else
+#define MASK_ALLOC 1024
+#endif
+
+__kernel void pivWarpSpec(float* frameA, float* frameB, int* bestOff, float* bestScore,
+                          int imgW, int maskW, int maskArea,
+                          int strideX, int strideY, int masksX,
+                          int searchW, int nOffsets,
+                          int originX, int originY, int offX0, int offY0) {
+  __shared float smask[MASK_ALLOC];
+  __shared float swred[NT_ALLOC];
+  __shared float wBest[8];
+  __shared int wBestIdx[8];
+
+  unsigned int tid = threadIdx.x;
+  unsigned int lane = tid % 32;
+  unsigned int warp = tid / 32;
+  unsigned int nwarps = NTHREADS / 32;
+
+  int maskIdx = blockIdx.x;
+  int mx = originX + (maskIdx % masksX) * strideX;
+  int my = originY + (maskIdx / masksX) * strideY;
+
+  for (int i = tid; i < MASK_AREA; i += NTHREADS) {
+    int yy = i / MASK_W;
+    int xx = i % MASK_W;
+    smask[i] = frameA[(my + yy) * imgW + (mx + xx)];
+  }
+  __syncthreads();
+
+  float best = 1.0e30f;
+  int bestIdx = 0;
+  for (int off = warp; off < N_OFFSETS; off += nwarps) {
+    int oy = off / SEARCH_W + offY0;
+    int ox = off % SEARCH_W + offX0;
+    float partial = 0.0f;
+    for (int i = lane; i < MASK_AREA; i += 32) {
+      int yy = i / MASK_W;
+      int xx = i % MASK_W;
+      float b = frameB[(my + yy + oy) * imgW + (mx + xx + ox)];
+      float d = smask[i] - b;
+      partial += d * d;
+    }
+    // Intra-warp tree reduction: lanes are synchronous, no barrier needed.
+    swred[tid] = partial;
+    if (lane < 16) { swred[tid] += swred[tid + 16]; }
+    if (lane < 8) { swred[tid] += swred[tid + 8]; }
+    if (lane < 4) { swred[tid] += swred[tid + 4]; }
+    if (lane < 2) { swred[tid] += swred[tid + 2]; }
+    if (lane < 1) { swred[tid] += swred[tid + 1]; }
+    float total = swred[warp * 32];
+    if (total < best) {
+      best = total;
+      bestIdx = off;
+    }
+  }
+
+  if (lane == 0) {
+    wBest[warp] = best;
+    wBestIdx[warp] = bestIdx;
+  }
+  __syncthreads();
+  if (tid == 0) {
+    float b0 = wBest[0];
+    int i0 = wBestIdx[0];
+    for (unsigned int w = 1; w < nwarps; w++) {
+      if (wBest[w] < b0) {
+        b0 = wBest[w];
+        i0 = wBestIdx[w];
+      }
+    }
+    bestOff[maskIdx] = i0;
+    bestScore[maskIdx] = b0;
+  }
+}
+)KC";
+
+// Multi-mask variant (the dissertation's Section 7.2.1 extension direction:
+// more work per block for problems whose mask count is too small to fill the
+// device). Each warp owns ONE mask and sweeps every offset with intra-warp
+// reductions; a block carries NTHREADS/32 masks. No block-wide barriers at
+// all — warps never interact.
+inline constexpr const char* kPivMultiMaskSource = R"KC(
+__COMMON__
+
+__kernel void pivMultiMask(float* frameA, float* frameB, int* bestOff, float* bestScore,
+                           int imgW, int maskW, int maskArea,
+                           int strideX, int strideY, int masksX,
+                           int searchW, int nOffsets,
+                           int originX, int originY, int offX0, int offY0,
+                           int nMasks) {
+  __shared float swred[NT_ALLOC];
+
+  unsigned int tid = threadIdx.x;
+  unsigned int lane = tid % 32;
+  unsigned int warp = tid / 32;
+  unsigned int warpsPerBlock = NTHREADS / 32;
+
+  int maskIdx = (int)(blockIdx.x * warpsPerBlock + warp);
+  if (maskIdx >= nMasks) {
+    return;
+  }
+  int mx = originX + (maskIdx % masksX) * strideX;
+  int my = originY + (maskIdx / masksX) * strideY;
+
+  float best = 1.0e30f;
+  int bestIdx = 0;
+  for (int off = 0; off < N_OFFSETS; off++) {
+    int oy = off / SEARCH_W + offY0;
+    int ox = off % SEARCH_W + offX0;
+    float partial = 0.0f;
+    for (int i = lane; i < MASK_AREA; i += 32) {
+      int yy = i / MASK_W;
+      int xx = i % MASK_W;
+      float a = frameA[(my + yy) * imgW + (mx + xx)];
+      float b = frameB[(my + yy + oy) * imgW + (mx + xx + ox)];
+      float d = a - b;
+      partial += d * d;
+    }
+    swred[tid] = partial;
+    if (lane < 16) { swred[tid] += swred[tid + 16]; }
+    if (lane < 8) { swred[tid] += swred[tid + 8]; }
+    if (lane < 4) { swred[tid] += swred[tid + 4]; }
+    if (lane < 2) { swred[tid] += swred[tid + 2]; }
+    if (lane < 1) { swred[tid] += swred[tid + 1]; }
+    float total = swred[warp * 32];
+    if (total < best) {
+      best = total;
+      bestIdx = off;
+    }
+  }
+  if (lane == 0) {
+    bestOff[maskIdx] = bestIdx;
+    bestScore[maskIdx] = best;
+  }
+}
+)KC";
+
+}  // namespace kspec::apps::piv

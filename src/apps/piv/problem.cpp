@@ -1,0 +1,92 @@
+#include "apps/piv/problem.hpp"
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace kspec::apps::piv {
+
+Problem Generate(std::string name, int img, int mask, int range, int stride,
+                 std::uint64_t seed) {
+  KSPEC_CHECK_MSG(img > mask + 2 * range, "image too small for mask + search range");
+  KSPEC_CHECK_MSG(stride > 0, "stride must be positive");
+  Problem p;
+  p.name = std::move(name);
+  p.img_h = p.img_w = img;
+  p.mask_h = p.mask_w = mask;
+  p.range_y = p.range_x = range;
+  p.stride_y = p.stride_x = stride;
+  p.seed = seed;
+
+  Rng rng(seed);
+  p.true_dy = range > 0 ? static_cast<int>(rng.NextInt(-range, range)) : 0;
+  p.true_dx = range > 0 ? static_cast<int>(rng.NextInt(-range, range)) : 0;
+
+  // Frame A: sparse bright particles over a dark background (PIV-like).
+  p.frame_a.assign(static_cast<std::size_t>(img) * img, 0.0f);
+  const int particles = img * img / 12;
+  for (int i = 0; i < particles; ++i) {
+    int y = static_cast<int>(rng.NextInt(0, img - 1));
+    int x = static_cast<int>(rng.NextInt(0, img - 1));
+    p.frame_a[static_cast<std::size_t>(y) * img + x] = 0.5f + 0.5f * rng.NextFloat();
+  }
+
+  // Frame B: frame A displaced by the planted vector plus mild noise.
+  p.frame_b.assign(static_cast<std::size_t>(img) * img, 0.0f);
+  for (int y = 0; y < img; ++y) {
+    for (int x = 0; x < img; ++x) {
+      int sy = y - p.true_dy;
+      int sx = x - p.true_dx;
+      float v = 0.0f;
+      if (sy >= 0 && sy < img && sx >= 0 && sx < img) {
+        v = p.frame_a[static_cast<std::size_t>(sy) * img + sx];
+      } else {
+        v = rng.NextFloat() < 0.08 ? 0.5f + 0.5f * rng.NextFloat() : 0.0f;
+      }
+      p.frame_b[static_cast<std::size_t>(y) * img + x] = v + 0.01f * rng.NextFloat();
+    }
+  }
+  return p;
+}
+
+std::vector<Problem> FpgaBenchmarkSet() {
+  // Tables 6.2/6.3 varied interrogation-window and search geometry across
+  // image sizes; these keep the same relative spreads at interpreter scale.
+  return {
+      Generate("fpga_s16_r2", 72, 16, 2, 8, 11),
+      Generate("fpga_s16_r4", 80, 16, 4, 8, 12),
+      Generate("fpga_s24_r3", 96, 24, 3, 12, 13),
+      Generate("fpga_s32_r4", 112, 32, 4, 16, 14),
+  };
+}
+
+std::vector<Problem> MaskSizeSet() {
+  // Table 6.4: mask size sweep, fixed search range and overlap ratio.
+  return {
+      Generate("mask8", 80, 8, 3, 4, 21),
+      Generate("mask12", 80, 12, 3, 6, 22),
+      Generate("mask16", 80, 16, 3, 8, 23),
+      Generate("mask24", 96, 24, 3, 12, 24),
+      Generate("mask32", 112, 32, 3, 16, 25),
+  };
+}
+
+std::vector<Problem> SearchSizeSet() {
+  // Table 6.5: search-offset sweep, fixed mask.
+  return {
+      Generate("search1", 80, 16, 1, 8, 31),
+      Generate("search2", 80, 16, 2, 8, 32),
+      Generate("search4", 80, 16, 4, 8, 33),
+      Generate("search6", 96, 16, 6, 8, 34),
+  };
+}
+
+std::vector<Problem> OverlapSet() {
+  // Table 6.6: overlap sweep (stride = mask, mask/2, mask/4).
+  return {
+      Generate("overlap0", 96, 16, 3, 16, 41),
+      Generate("overlap50", 96, 16, 3, 8, 42),
+      Generate("overlap75", 96, 16, 3, 4, 43),
+  };
+}
+
+}  // namespace kspec::apps::piv

@@ -1,0 +1,137 @@
+#include "apps/piv/stream.hpp"
+
+#include "apps/piv/kernels.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace kspec::apps::piv {
+
+Recording GenerateRecording(int img, int n_pairs, int range, std::uint64_t seed) {
+  Recording rec;
+  rec.img = img;
+  rec.n_pairs = n_pairs;
+  const std::size_t frame = static_cast<std::size_t>(img) * img;
+  rec.frames_a.resize(frame * n_pairs);
+  rec.frames_b.resize(frame * n_pairs);
+  for (int f = 0; f < n_pairs; ++f) {
+    // Each pair reuses the single-problem generator with its own seed.
+    Problem p = Generate("rec", img, 8, range, 8, seed + 1000 * f);
+    std::copy(p.frame_a.begin(), p.frame_a.end(), rec.frames_a.begin() + f * frame);
+    std::copy(p.frame_b.begin(), p.frame_b.end(), rec.frames_b.begin() + f * frame);
+    rec.true_dy.push_back(p.true_dy);
+    rec.true_dx.push_back(p.true_dx);
+  }
+  return rec;
+}
+
+namespace {
+
+std::string WarpSpecSource() {
+  std::string body = kPivWarpSpecSource;
+  const std::string tag = "__COMMON__";
+  body.replace(body.find(tag), tag.size(), kPivCommonHeader);
+  return body;
+}
+
+constexpr int kThreads = 64;
+
+}  // namespace
+
+PivStream::PivStream(vcuda::Context* ctx, const Recording& rec, int mask, int range, int stride)
+    : rec_(rec), pipe_(std::make_unique<gpupf::Pipeline>(ctx)), range_(range), stride_(stride) {
+  using namespace gpupf;
+  Pipeline& p = *pipe_;
+  const int img = rec.img;
+  const std::size_t frame_elems = static_cast<std::size_t>(img) * img;
+
+  // --- parameters ---
+  mask_ = p.AddInt("mask", mask);
+  mask_area_ = p.AddInt("mask-area", mask * mask);
+  search_w_ = p.AddInt("search-w", 2 * range + 1);
+  n_offsets_ = p.AddInt("n-offsets", (2 * range + 1) * (2 * range + 1));
+  masks_x_ = p.AddInt("masks-x", 1);
+  n_masks_param_ = p.AddInt("n-masks", 1);
+  auto* img_w = p.AddInt("img-w", img);
+  auto* stride_p = p.AddInt("stride", stride);
+  auto* origin = p.AddInt("origin", range);
+  auto* off0 = p.AddInt("off0", -range);
+  auto* threads_param = p.AddInt("threads", kThreads);
+  grid_ = p.AddTriplet("grid", vgpu::Dim3(1));
+  auto* block = p.AddTriplet("block", vgpu::Dim3(kThreads));
+  auto* every = p.AddSchedule("every", 1);
+
+  // --- resources ---
+  auto* rec_extent = p.AddExtent("recording", sizeof(float), frame_elems * rec.n_pairs);
+  auto* frame_extent = p.AddExtent("frame", sizeof(float), frame_elems);
+  auto* host_a = p.AddHostMemory("host-a", rec_extent);
+  auto* host_b = p.AddHostMemory("host-b", rec_extent);
+  auto* dev_a = p.AddGlobalMemory("dev-a", frame_extent);
+  auto* dev_b = p.AddGlobalMemory("dev-b", frame_extent);
+  auto* stream_a = p.AddSubset("stream-a", host_a, frame_extent,
+                               static_cast<std::int64_t>(frame_elems), rec.n_pairs);
+  auto* stream_b = p.AddSubset("stream-b", host_b, frame_extent,
+                               static_cast<std::int64_t>(frame_elems), rec.n_pairs);
+
+  best_extent_ = p.AddExtent("vectors", sizeof(int), 1);
+  auto* best_dev = p.AddGlobalMemory("best-dev", best_extent_);
+  auto* score_dev = p.AddGlobalMemory("score-dev", best_extent_);
+  best_host_ = p.AddHostMemory("best-host", best_extent_);
+
+  auto* mod = p.AddModule("piv-mod", WarpSpecSource());
+  mod->SetDefine("CT_MASK", "1");
+  mod->BindDefine("K_MASK_W", mask_);
+  mod->BindDefine("K_MASK_AREA", mask_area_);
+  mod->SetDefine("CT_SEARCH", "1");
+  mod->BindDefine("K_SEARCH_W", search_w_);
+  mod->BindDefine("K_N_OFFSETS", n_offsets_);
+  mod->SetDefine("CT_THREADS", "1");
+  mod->BindDefine("K_THREADS", threads_param);
+  auto* kernel = p.AddKernel("piv-kernel", mod, "pivWarpSpec");
+
+  // --- actions ---
+  p.AddCopy("upload-a", every, stream_a, dev_a);
+  p.AddCopy("upload-b", every, stream_b, dev_b);
+  p.AddKernelExec("piv", every, kernel, grid_, block,
+                  {dev_a, dev_b, best_dev, score_dev,
+                   img_w, mask_, mask_area_,
+                   stride_p, stride_p, masks_x_,
+                   search_w_, n_offsets_,
+                   origin, origin, off0, off0});
+  p.AddCopy("download", every, best_dev, best_host_);
+  p.AddUserFn("collect", every, [this](gpupf::Pipeline&, std::uint64_t) {
+    auto span = best_host_->host_span<int>();
+    results_.emplace_back(span.begin(), span.end());
+  });
+
+  UpdateGeometry();
+  p.Refresh();
+  std::copy(rec.frames_a.begin(), rec.frames_a.end(), host_a->host_span<float>().begin());
+  std::copy(rec.frames_b.begin(), rec.frames_b.end(), host_b->host_span<float>().begin());
+}
+
+int PivStream::masks_per_pair() const {
+  int mx = (rec_.img - mask_->value() - 2 * range_) / stride_ + 1;
+  return mx * mx;
+}
+
+int PivStream::search_w() const { return static_cast<int>(search_w_->value()); }
+
+void PivStream::UpdateGeometry() {
+  const int mask = static_cast<int>(mask_->value());
+  KSPEC_CHECK_MSG(rec_.img > mask + 2 * range_, "mask too large for the recording frames");
+  mask_area_->Set(mask * mask);
+  int mx = (rec_.img - mask - 2 * range_) / stride_ + 1;
+  masks_x_->Set(mx);
+  n_masks_param_->Set(static_cast<std::int64_t>(mx) * mx);
+  grid_->Set(vgpu::Dim3(static_cast<unsigned>(mx * mx)));
+  best_extent_->Set(static_cast<std::uint64_t>(mx) * mx);
+}
+
+void PivStream::SetMaskSize(int mask) {
+  mask_->Set(mask);
+  UpdateGeometry();
+}
+
+void PivStream::Run(int n) { pipe_->Run(static_cast<std::uint64_t>(n)); }
+
+}  // namespace kspec::apps::piv

@@ -1,0 +1,72 @@
+// Streaming PIV on GPU-PF (the dissertation's target deployment: GPU-PF "is
+// designed for rapidly constructing applications with streaming processing
+// pipelines", Section 4.4.1).
+//
+// A recording of frame pairs streams through the pipeline one pair per
+// iteration via subset windows; the PIV kernel is specialized once for the
+// mask/search geometry and reused across the recording. Changing the mask
+// size mid-stream (an operator retuning the interrogation windows) re-enters
+// the refresh phase: the module recompiles, buffers reallocate, and the
+// stream continues.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/piv/problem.hpp"
+#include "gpupf/pipeline.hpp"
+
+namespace kspec::apps::piv {
+
+// A deterministic synthetic recording: `n_pairs` frame pairs, each with its
+// own planted displacement.
+struct Recording {
+  int img = 0;
+  int n_pairs = 0;
+  std::vector<float> frames_a;  // n_pairs * img * img
+  std::vector<float> frames_b;
+  std::vector<int> true_dy, true_dx;
+};
+
+Recording GenerateRecording(int img, int n_pairs, int range, std::uint64_t seed);
+
+// GPU-PF pipeline wrapper around the warp-specialized PIV kernel.
+class PivStream {
+ public:
+  // `mask` and `range`/`stride` define the interrogation geometry; bound as
+  // specialization constants, so SetMaskSize() triggers re-specialization.
+  PivStream(vcuda::Context* ctx, const Recording& rec, int mask, int range, int stride);
+
+  // Processes the next `n` frame pairs; appends one VectorField-worth of
+  // best offsets per pair to results().
+  void Run(int n);
+
+  // Operator retuning: changes the interrogation window size. Takes effect
+  // (recompile + reallocation) on the next Run().
+  void SetMaskSize(int mask);
+
+  int masks_per_pair() const;
+  int search_w() const;
+  const std::vector<std::vector<int>>& results() const { return results_; }
+  gpupf::Pipeline& pipeline() { return *pipe_; }
+
+ private:
+  const Recording& rec_;
+  std::unique_ptr<gpupf::Pipeline> pipe_;
+  // Geometry parameters (owned by the pipeline).
+  gpupf::IntParam* mask_ = nullptr;
+  gpupf::IntParam* mask_area_ = nullptr;
+  gpupf::IntParam* search_w_ = nullptr;
+  gpupf::IntParam* n_offsets_ = nullptr;
+  gpupf::IntParam* masks_x_ = nullptr;
+  gpupf::IntParam* n_masks_param_ = nullptr;
+  gpupf::TripletParam* grid_ = nullptr;
+  gpupf::ExtentParam* best_extent_ = nullptr;
+  gpupf::MemoryRes* best_host_ = nullptr;
+  int range_ = 0, stride_ = 0;
+  std::vector<std::vector<int>> results_;
+
+  void UpdateGeometry();
+};
+
+}  // namespace kspec::apps::piv

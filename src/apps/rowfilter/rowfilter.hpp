@@ -1,0 +1,72 @@
+// The OpenCV row-filter case study (dissertation Sections 2.6 and 4.2,
+// Appendices E/F).
+//
+// OpenCV's CUDA row filter pre-compiles 800 kernel variants — every filter
+// size from 1 to 32, every border mode, every source/destination type pair —
+// into the binary, because each needs its loop bound, anchor, and branch
+// structure fixed at compile time. This module reproduces the specialized
+// alternative: ONE Kernel-C source whose filter size (KSIZE), anchor
+// (ANCHOR), border mode (BORDER), and element type (SRC_T) are specialization
+// constants with run-time fallbacks, compiled on demand per combination and
+// cached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcuda/vcuda.hpp"
+#include "vgpu/launch.hpp"
+
+namespace kspec::apps::rowfilter {
+
+enum class Border : int { kClamp = 0, kReflect = 1, kWrap = 2 };
+const char* BorderName(Border b);
+
+enum class ElemType : int { kFloat = 0, kInt = 1 };
+
+struct Image {
+  int w = 0, h = 0;
+  std::vector<float> data;  // stored as float; ElemType controls kernel-side type
+};
+
+Image MakeTestImage(int w, int h, std::uint64_t seed);
+
+struct FilterSpec {
+  std::vector<float> taps;  // <= 32 coefficients (the constant-memory ceiling)
+  int anchor = -1;          // -1 = centered
+  Border border = Border::kClamp;
+  ElemType elem = ElemType::kFloat;
+
+  int ksize() const { return static_cast<int>(taps.size()); }
+  int anchor_or_default() const { return anchor >= 0 ? anchor : ksize() / 2; }
+};
+
+// Normalized box / binomial test filters.
+FilterSpec BoxFilter(int ksize, Border border = Border::kClamp);
+FilterSpec BinomialFilter(int ksize, Border border = Border::kClamp);
+
+struct RowFilterConfig {
+  int threads = 64;
+  bool specialize = true;
+};
+
+struct RowFilterResult {
+  std::vector<float> out;
+  vgpu::LaunchStats stats;
+  int reg_count = 0;
+  double sim_millis = 0;
+};
+
+// Applies the filter along rows on the simulated GPU.
+RowFilterResult GpuRowFilter(vcuda::Context& ctx, const Image& img, const FilterSpec& spec,
+                             const RowFilterConfig& cfg);
+
+// CPU reference (identical arithmetic).
+std::vector<float> CpuRowFilter(const Image& img, const FilterSpec& spec);
+
+// Number of ahead-of-time variants OpenCV-style explicit instantiation would
+// need to cover what on-demand specialization serves from one source.
+constexpr int kAotVariantCount = 32 /*ksize*/ * 3 /*border*/ * 2 /*types*/;
+
+}  // namespace kspec::apps::rowfilter

@@ -1,0 +1,257 @@
+// GPU-PF parameter objects (dissertation Table 4.1).
+//
+// Parameters are the root of the GPU-PF dependency hierarchy: resources are
+// defined in terms of parameters, actions in terms of parameters and
+// resources (Figure 4.1). Every mutation bumps a version counter; the
+// pipeline's refresh phase re-derives exactly the resources whose parameter
+// dependencies changed — including re-specializing (recompiling) kernels
+// whose bound defines changed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+#include "support/str.hpp"
+#include "vgpu/memory.hpp"
+#include "vgpu/types.hpp"
+
+namespace kspec::gpupf {
+
+class Param {
+ public:
+  explicit Param(std::string name) : name_(std::move(name)) {}
+  virtual ~Param() = default;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t version() const { return version_; }
+
+  // Human-readable current value (used in Appendix-G-style logs).
+  virtual std::string Describe() const = 0;
+
+ protected:
+  void Touch() { ++version_; }
+
+ private:
+  std::string name_;
+  std::uint64_t version_ = 1;
+};
+
+class IntParam : public Param {
+ public:
+  IntParam(std::string name, std::int64_t value) : Param(std::move(name)), value_(value) {}
+  std::int64_t value() const { return value_; }
+  void Set(std::int64_t v) {
+    if (v != value_) {
+      value_ = v;
+      Touch();
+    }
+  }
+  std::string Describe() const override { return Format("%lld", static_cast<long long>(value_)); }
+
+ private:
+  std::int64_t value_;
+};
+
+class FloatParam : public Param {
+ public:
+  FloatParam(std::string name, double value) : Param(std::move(name)), value_(value) {}
+  double value() const { return value_; }
+  void Set(double v) {
+    if (v != value_) {
+      value_ = v;
+      Touch();
+    }
+  }
+  std::string Describe() const override { return Format("%g", value_); }
+
+ private:
+  double value_;
+};
+
+class BoolParam : public Param {
+ public:
+  BoolParam(std::string name, bool value) : Param(std::move(name)), value_(value) {}
+  bool value() const { return value_; }
+  void Set(bool v) {
+    if (v != value_) {
+      value_ = v;
+      Touch();
+    }
+  }
+  std::string Describe() const override { return value_ ? "true" : "false"; }
+
+ private:
+  bool value_;
+};
+
+// Data type parameter (Table 4.1 "Type").
+class TypeParam : public Param {
+ public:
+  TypeParam(std::string name, vgpu::Type value) : Param(std::move(name)), value_(value) {}
+  vgpu::Type value() const { return value_; }
+  void Set(vgpu::Type v) {
+    if (v != value_) {
+      value_ = v;
+      Touch();
+    }
+  }
+  std::string Describe() const override { return vgpu::TypeName(value_); }
+
+ private:
+  vgpu::Type value_;
+};
+
+// Three integers; commonly grid/block dimensions.
+class TripletParam : public Param {
+ public:
+  TripletParam(std::string name, vgpu::Dim3 value) : Param(std::move(name)), value_(value) {}
+  vgpu::Dim3 value() const { return value_; }
+  void Set(vgpu::Dim3 v) {
+    if (!(v == value_)) {
+      value_ = v;
+      Touch();
+    }
+  }
+  std::string Describe() const override { return value_.ToString(); }
+
+ private:
+  vgpu::Dim3 value_;
+};
+
+class PairParam : public Param {
+ public:
+  PairParam(std::string name, std::int64_t first, std::int64_t second)
+      : Param(std::move(name)), first_(first), second_(second) {}
+  std::int64_t first() const { return first_; }
+  std::int64_t second() const { return second_; }
+  void Set(std::int64_t f, std::int64_t s) {
+    if (f != first_ || s != second_) {
+      first_ = f;
+      second_ = s;
+      Touch();
+    }
+  }
+  std::string Describe() const override {
+    return Format("(%lld,%lld)", static_cast<long long>(first_), static_cast<long long>(second_));
+  }
+
+ private:
+  std::int64_t first_, second_;
+};
+
+class PointerParam : public Param {
+ public:
+  PointerParam(std::string name, vgpu::DevPtr value) : Param(std::move(name)), value_(value) {}
+  vgpu::DevPtr value() const { return value_; }
+  void Set(vgpu::DevPtr v) {
+    if (v != value_) {
+      value_ = v;
+      Touch();
+    }
+  }
+  std::string Describe() const override {
+    return Format("0x%llx", static_cast<unsigned long long>(value_));
+  }
+
+ private:
+  vgpu::DevPtr value_;
+};
+
+// Memory geometry: up to three dimensions plus element size (Table 4.1
+// "Memory Extent").
+class ExtentParam : public Param {
+ public:
+  ExtentParam(std::string name, std::size_t elem_size, std::uint64_t x, std::uint64_t y = 1,
+              std::uint64_t z = 1)
+      : Param(std::move(name)), elem_size_(elem_size), dims_{x, y, z} {}
+
+  std::uint64_t x() const { return dims_[0]; }
+  std::uint64_t y() const { return dims_[1]; }
+  std::uint64_t z() const { return dims_[2]; }
+  std::size_t elem_size() const { return elem_size_; }
+  std::uint64_t count() const { return dims_[0] * dims_[1] * dims_[2]; }
+  std::uint64_t bytes() const { return count() * elem_size_; }
+
+  void Set(std::uint64_t x, std::uint64_t y = 1, std::uint64_t z = 1) {
+    if (x != dims_[0] || y != dims_[1] || z != dims_[2]) {
+      dims_ = {x, y, z};
+      Touch();
+    }
+  }
+  void SetElemSize(std::size_t s) {
+    if (s != elem_size_) {
+      elem_size_ = s;
+      Touch();
+    }
+  }
+  std::string Describe() const override {
+    return Format("%llux%llux%llu x %zuB", static_cast<unsigned long long>(dims_[0]),
+                  static_cast<unsigned long long>(dims_[1]),
+                  static_cast<unsigned long long>(dims_[2]), elem_size_);
+  }
+
+ private:
+  std::size_t elem_size_;
+  std::array<std::uint64_t, 3> dims_;
+};
+
+// Event timing: an action fires on iterations where
+// (iter >= delay) && ((iter - delay) % period == 0).
+class ScheduleParam : public Param {
+ public:
+  ScheduleParam(std::string name, std::uint64_t period = 1, std::uint64_t delay = 0)
+      : Param(std::move(name)), period_(period ? period : 1), delay_(delay) {}
+  bool FiresAt(std::uint64_t iter) const {
+    return iter >= delay_ && (iter - delay_) % period_ == 0;
+  }
+  void Set(std::uint64_t period, std::uint64_t delay = 0) {
+    period = period ? period : 1;
+    if (period != period_ || delay != delay_) {
+      period_ = period;
+      delay_ = delay;
+      Touch();
+    }
+  }
+  std::string Describe() const override {
+    return Format("every %llu (delay %llu)", static_cast<unsigned long long>(period_),
+                  static_cast<unsigned long long>(delay_));
+  }
+
+ private:
+  std::uint64_t period_, delay_;
+};
+
+// Self-updating parameter sweeping [lo, hi] by stride (Table 4.1 "Step").
+class StepParam : public Param {
+ public:
+  StepParam(std::string name, std::int64_t lo, std::int64_t hi, std::int64_t stride)
+      : Param(std::move(name)), lo_(lo), hi_(hi), stride_(stride), value_(lo) {
+    KSPEC_CHECK_MSG(stride != 0, "step stride must be nonzero");
+  }
+  std::int64_t value() const { return value_; }
+  // Advances; wraps to lo past hi. Returns true when it wrapped.
+  bool Advance() {
+    value_ += stride_;
+    if ((stride_ > 0 && value_ > hi_) || (stride_ < 0 && value_ < lo_)) {
+      value_ = lo_;
+      Touch();
+      return true;
+    }
+    Touch();
+    return false;
+  }
+  std::string Describe() const override {
+    return Format("%lld in [%lld,%lld] step %lld", static_cast<long long>(value_),
+                  static_cast<long long>(lo_), static_cast<long long>(hi_),
+                  static_cast<long long>(stride_));
+  }
+
+ private:
+  std::int64_t lo_, hi_, stride_, value_;
+};
+
+}  // namespace kspec::gpupf

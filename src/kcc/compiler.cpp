@@ -1,0 +1,118 @@
+#include "kcc/compiler.hpp"
+
+#include "kcc/lower.hpp"
+#include "kcc/parser.hpp"
+#include "kcc/passes.hpp"
+#include "kcc/preprocess.hpp"
+#include "kcc/regalloc.hpp"
+#include "kcc/sema.hpp"
+#include "kcc/unroll.hpp"
+#include "support/str.hpp"
+#include "support/timer.hpp"
+
+namespace kspec::kcc {
+
+const vgpu::CompiledKernel* CompiledModule::FindKernel(const std::string& name) const {
+  for (const auto& k : kernels) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+const ConstantInfo* CompiledModule::FindConstant(const std::string& name) const {
+  for (const auto& c : constants) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string DefinesToString(const std::map<std::string, std::string>& defines) {
+  std::string out;
+  for (const auto& [k, v] : defines) {
+    if (!out.empty()) out += ' ';
+    out += "-D " + k + "=" + v;
+  }
+  return out;
+}
+
+CompiledModule CompileModule(const std::string& source, const CompileOptions& opts) {
+  WallTimer timer;
+
+  std::string preprocessed = Preprocess(source, opts.defines);
+  ModuleAst ast = Parse(preprocessed);
+  Analyze(ast);
+
+  CompiledModule mod;
+  unsigned const_end = 0;
+  for (const auto& c : ast.constants) {
+    ConstantInfo info;
+    info.name = c.name;
+    info.elem = ScalarToIr(c.elem);
+    info.count = c.folded_size;
+    info.offset = c.offset;
+    info.bytes = static_cast<unsigned>(c.folded_size * ScalarSize(c.elem));
+    const_end = std::max(const_end, info.offset + info.bytes);
+    mod.constants.push_back(info);
+  }
+  mod.const_bytes = const_end;
+  for (const auto& t : ast.textures) mod.textures.push_back(t.name);
+
+  for (auto& kdecl : ast.kernels) {
+    UnrollResult unrolled = UnrollLoops(kdecl, opts.enable_unroll ? opts.max_unroll : 1);
+    ScalarizeLocalArrays(kdecl);
+    // Transformations introduced new variables/literals; re-check to keep the
+    // tree consistent (and to catch transformation bugs early).
+    AnalyzeKernel(ast, kdecl);
+
+    LoweredKernel low = Lower(ast, kdecl);
+
+    PassStats passes;
+    if (opts.optimize) {
+      PassOptions pass_opts;
+      pass_opts.strength_reduction = opts.enable_strength_reduction;
+      pass_opts.cse = opts.enable_cse;
+      passes = Optimize(low.code, low.vreg_types, pass_opts);
+    }
+    AllocResult alloc = AllocateRegisters(low.code, low.vreg_types);
+
+    vgpu::CompiledKernel k;
+    k.name = low.name;
+    k.code = std::move(low.code);
+    k.params = std::move(low.params);
+    k.num_vregs = low.num_vregs;
+    k.static_smem_bytes = low.static_smem_bytes;
+    k.ilp_at_pc = std::move(alloc.ilp_at_pc);
+    k.stats.reg_count = alloc.reg_count;
+    k.stats.static_instrs = static_cast<int>(k.code.size());
+    k.stats.unrolled_loops = unrolled.loops_unrolled;
+    k.stats.folded_consts = passes.folded_consts;
+    k.stats.strength_reduced = passes.strength_reduced;
+
+    std::string listing = Format(
+        "// MiniPTX for kernel %s\n"
+        "// %s\n"
+        "// regs/thread: %d, static smem: %u bytes, instrs: %d, "
+        "unrolled loops: %d, folded: %d, strength-reduced: %d\n",
+        k.name.c_str(), DefinesToString(opts.defines).c_str(), k.stats.reg_count,
+        k.static_smem_bytes, k.stats.static_instrs, k.stats.unrolled_loops,
+        k.stats.folded_consts, k.stats.strength_reduced);
+    listing += ".entry " + k.name + "(";
+    for (std::size_t p = 0; p < k.params.size(); ++p) {
+      if (p) listing += ", ";
+      listing += Format(".param .%s %s", vgpu::TypeName(k.params[p].type),
+                        k.params[p].name.c_str());
+    }
+    listing += ")\n{\n";
+    listing += vgpu::Disassemble(k.code);
+    listing += "}\n";
+    k.listing = std::move(listing);
+
+    mod.kernels.push_back(std::move(k));
+  }
+
+  double ms = timer.ElapsedMillis();
+  for (auto& k : mod.kernels) k.stats.compile_millis = ms;
+  return mod;
+}
+
+}  // namespace kspec::kcc

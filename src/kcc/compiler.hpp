@@ -1,0 +1,65 @@
+// The kcc compiler driver: Kernel-C source -> executable MiniPTX module.
+//
+// This is the stand-in for invoking `nvcc` at run time (Section 4.4): the
+// caller provides the kernel source and a set of -D definitions carrying the
+// specialized problem/implementation parameters, and receives compiled
+// kernels with register counts, shared-memory footprints, ILP estimates, and
+// a printable MiniPTX listing (the Appendix C/D artifact).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vgpu/module.hpp"
+
+namespace kspec::kcc {
+
+struct CompileOptions {
+  // -D NAME=value definitions. An empty value defines the macro to 1... no:
+  // the value is substituted verbatim; use "1" for flags.
+  std::map<std::string, std::string> defines;
+
+  // Full-unroll budget in iterations per loop (nvcc-like heuristic cap).
+  int max_unroll = 512;
+
+  // Run the IR optimization passes. Disabling approximates -O0 and is used
+  // by tests to compare optimized vs unoptimized code.
+  bool optimize = true;
+
+  // Fine-grained ablation switches (all on by default). These isolate the
+  // contribution of each static-value optimization the dissertation names —
+  // the bench_ablation_passes binary sweeps them.
+  bool enable_unroll = true;
+  bool enable_strength_reduction = true;
+  bool enable_cse = true;
+};
+
+struct ConstantInfo {
+  std::string name;
+  vgpu::Type elem = vgpu::Type::kF32;
+  std::int64_t count = 0;
+  unsigned offset = 0;  // byte offset in the module's constant segment
+  unsigned bytes = 0;
+};
+
+struct CompiledModule {
+  std::vector<vgpu::CompiledKernel> kernels;
+  std::vector<ConstantInfo> constants;
+  // Texture names in slot order (slot index = position).
+  std::vector<std::string> textures;
+  unsigned const_bytes = 0;
+
+  const vgpu::CompiledKernel* FindKernel(const std::string& name) const;
+  const ConstantInfo* FindConstant(const std::string& name) const;
+};
+
+// Compiles every kernel in `source`. Throws CompileError with source context
+// on any error.
+CompiledModule CompileModule(const std::string& source, const CompileOptions& opts = {});
+
+// Renders a `-D` command line equivalent for logging/caching, in
+// deterministic (sorted) order, e.g. "-D TILE_W=16 -D CT_COUNT=1".
+std::string DefinesToString(const std::map<std::string, std::string>& defines);
+
+}  // namespace kspec::kcc

@@ -1,0 +1,290 @@
+#include "kcc/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/status.hpp"
+#include "support/str.hpp"
+
+namespace kspec::kcc {
+
+const char* TokName(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kComma: return ",";
+    case Tok::kSemi: return ";";
+    case Tok::kColon: return ":";
+    case Tok::kQuestion: return "?";
+    case Tok::kDot: return ".";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kAmp: return "&";
+    case Tok::kPipe: return "|";
+    case Tok::kCaret: return "^";
+    case Tok::kTilde: return "~";
+    case Tok::kBang: return "!";
+    case Tok::kLess: return "<";
+    case Tok::kGreater: return ">";
+    case Tok::kLessEq: return "<=";
+    case Tok::kGreaterEq: return ">=";
+    case Tok::kEqEq: return "==";
+    case Tok::kBangEq: return "!=";
+    case Tok::kAmpAmp: return "&&";
+    case Tok::kPipePipe: return "||";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kAssign: return "=";
+    case Tok::kPlusEq: return "+=";
+    case Tok::kMinusEq: return "-=";
+    case Tok::kStarEq: return "*=";
+    case Tok::kSlashEq: return "/=";
+    case Tok::kPercentEq: return "%=";
+    case Tok::kAmpEq: return "&=";
+    case Tok::kPipeEq: return "|=";
+    case Tok::kCaretEq: return "^=";
+    case Tok::kShlEq: return "<<=";
+    case Tok::kShrEq: return ">>=";
+    case Tok::kPlusPlus: return "++";
+    case Tok::kMinusMinus: return "--";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token t = Next();
+      bool eof = t.kind == Tok::kEof;
+      out.push_back(std::move(t));
+      if (eof) return out;
+    }
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& msg) {
+    throw CompileError(Format("%d:%d: %s", line_, Col(), msg.c_str()));
+  }
+
+  int Col() const { return static_cast<int>(pos_ - line_start_) + 1; }
+  char Peek(std::size_t k = 0) const {
+    return pos_ + k < src_.size() ? src_[pos_ + k] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
+    return c;
+  }
+  bool Match(char c) {
+    if (Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (pos_ < src_.size() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (pos_ < src_.size() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+        if (pos_ >= src_.size()) Fail("unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token Make(Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.col = Col();
+    return t;
+  }
+
+  Token Next() {
+    if (pos_ >= src_.size()) return Make(Tok::kEof);
+    int tok_line = line_;
+    int tok_col = Col();
+    char c = Peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+        Advance();
+      }
+      Token t = Make(Tok::kIdent);
+      t.text = std::string(src_.substr(start, pos_ - start));
+      t.line = tok_line;
+      t.col = tok_col;
+      return t;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return Number(tok_line, tok_col);
+    }
+
+    Advance();
+    Token t;
+    t.line = tok_line;
+    t.col = tok_col;
+    switch (c) {
+      case '(': t.kind = Tok::kLParen; return t;
+      case ')': t.kind = Tok::kRParen; return t;
+      case '{': t.kind = Tok::kLBrace; return t;
+      case '}': t.kind = Tok::kRBrace; return t;
+      case '[': t.kind = Tok::kLBracket; return t;
+      case ']': t.kind = Tok::kRBracket; return t;
+      case ',': t.kind = Tok::kComma; return t;
+      case ';': t.kind = Tok::kSemi; return t;
+      case ':': t.kind = Tok::kColon; return t;
+      case '?': t.kind = Tok::kQuestion; return t;
+      case '.': t.kind = Tok::kDot; return t;
+      case '~': t.kind = Tok::kTilde; return t;
+      case '+':
+        t.kind = Match('+') ? Tok::kPlusPlus : Match('=') ? Tok::kPlusEq : Tok::kPlus;
+        return t;
+      case '-':
+        t.kind = Match('-') ? Tok::kMinusMinus : Match('=') ? Tok::kMinusEq : Tok::kMinus;
+        return t;
+      case '*': t.kind = Match('=') ? Tok::kStarEq : Tok::kStar; return t;
+      case '/': t.kind = Match('=') ? Tok::kSlashEq : Tok::kSlash; return t;
+      case '%': t.kind = Match('=') ? Tok::kPercentEq : Tok::kPercent; return t;
+      case '^': t.kind = Match('=') ? Tok::kCaretEq : Tok::kCaret; return t;
+      case '&':
+        t.kind = Match('&') ? Tok::kAmpAmp : Match('=') ? Tok::kAmpEq : Tok::kAmp;
+        return t;
+      case '|':
+        t.kind = Match('|') ? Tok::kPipePipe : Match('=') ? Tok::kPipeEq : Tok::kPipe;
+        return t;
+      case '!': t.kind = Match('=') ? Tok::kBangEq : Tok::kBang; return t;
+      case '=': t.kind = Match('=') ? Tok::kEqEq : Tok::kAssign; return t;
+      case '<':
+        if (Match('<')) {
+          t.kind = Match('=') ? Tok::kShlEq : Tok::kShl;
+        } else {
+          t.kind = Match('=') ? Tok::kLessEq : Tok::kLess;
+        }
+        return t;
+      case '>':
+        if (Match('>')) {
+          t.kind = Match('=') ? Tok::kShrEq : Tok::kShr;
+        } else {
+          t.kind = Match('=') ? Tok::kGreaterEq : Tok::kGreater;
+        }
+        return t;
+      default:
+        Fail(Format("unexpected character '%c'", c));
+    }
+  }
+
+  Token Number(int tok_line, int tok_col) {
+    std::size_t start = pos_;
+    bool is_hex = false;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      is_hex = true;
+      Advance();
+      Advance();
+      while (std::isxdigit(static_cast<unsigned char>(Peek()))) Advance();
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+    bool is_float = false;
+    if (!is_hex && Peek() == '.') {
+      is_float = true;
+      Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+    if (!is_hex && (Peek() == 'e' || Peek() == 'E')) {
+      char sign = Peek(1);
+      if (std::isdigit(static_cast<unsigned char>(sign)) ||
+          ((sign == '+' || sign == '-') && std::isdigit(static_cast<unsigned char>(Peek(2))))) {
+        is_float = true;
+        Advance();
+        if (Peek() == '+' || Peek() == '-') Advance();
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+      }
+    }
+    std::string digits(src_.substr(start, pos_ - start));
+
+    Token t;
+    t.line = tok_line;
+    t.col = tok_col;
+    if (is_float) {
+      t.kind = Tok::kFloatLit;
+      t.float_value = std::strtod(digits.c_str(), nullptr);
+      if (Peek() == 'f' || Peek() == 'F') {
+        Advance();
+        t.is_f32 = true;
+      }
+      return t;
+    }
+    t.kind = Tok::kIntLit;
+    t.int_value = std::strtoull(digits.c_str(), nullptr, 0);
+    // Suffixes: any combination of u/U and l/L (ll/LL).
+    while (true) {
+      char s = Peek();
+      if (s == 'u' || s == 'U') {
+        t.is_unsigned = true;
+        Advance();
+      } else if (s == 'l' || s == 'L') {
+        t.is_wide = true;
+        Advance();
+        if (Peek() == 'l' || Peek() == 'L') Advance();
+      } else if (s == 'f' || s == 'F') {
+        // "1f" style literal: treat as float.
+        Advance();
+        t.kind = Tok::kFloatLit;
+        t.float_value = static_cast<double>(t.int_value);
+        t.is_f32 = true;
+        return t;
+      } else {
+        break;
+      }
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace kspec::kcc

@@ -1,0 +1,15 @@
+// Kernel-C lexer. Operates on preprocessed source (see preprocess.hpp).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "kcc/token.hpp"
+
+namespace kspec::kcc {
+
+// Tokenizes `source`; throws CompileError with line/column context on invalid
+// input. The returned vector ends with a kEof token.
+std::vector<Token> Lex(std::string_view source);
+
+}  // namespace kspec::kcc

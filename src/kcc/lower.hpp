@@ -1,0 +1,30 @@
+// AST -> MiniPTX lowering.
+//
+// Every scalar variable (including kernel parameters) receives a virtual
+// register; parameters occupy vregs [0, nparams) and are pre-loaded by the
+// interpreter at thread start. Divergent branches are emitted with their
+// structured reconvergence label, which the vgpu interpreter's SIMT stack
+// relies on. Shared and constant arrays are laid out here; note that by this
+// point every size is a compile-time constant (sema enforced), which is the
+// CUDA restriction specialization works around.
+#pragma once
+
+#include <vector>
+
+#include "kcc/ast.hpp"
+#include "vgpu/module.hpp"
+
+namespace kspec::kcc {
+
+struct LoweredKernel {
+  std::string name;
+  std::vector<vgpu::Instr> code;
+  std::vector<vgpu::KernelParam> params;
+  int num_vregs = 0;
+  std::vector<vgpu::Type> vreg_types;
+  unsigned static_smem_bytes = 0;
+};
+
+LoweredKernel Lower(const ModuleAst& module, const KernelDecl& kernel);
+
+}  // namespace kspec::kcc

@@ -1,0 +1,636 @@
+#include "kcc/parser.hpp"
+
+#include <optional>
+
+#include "kcc/lexer.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+
+namespace kspec::kcc {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  ModuleAst Run() {
+    ModuleAst mod;
+    while (Peek().kind != Tok::kEof) {
+      if (IsIdent("__constant") || IsIdent("__constant__")) {
+        Get();
+        mod.constants.push_back(ConstantDeclRule());
+      } else if (IsIdent("__texture")) {
+        Get();
+        if (!MatchIdent("float")) Fail("textures hold float texels (__texture float name;)");
+        TextureDecl tex;
+        tex.line = Peek().line;
+        tex.name = ExpectIdent("texture name");
+        Expect(Tok::kSemi, ";");
+        mod.textures.push_back(std::move(tex));
+      } else if (IsIdent("__kernel") || IsIdent("__global__")) {
+        Get();
+        mod.kernels.push_back(KernelDeclRule());
+      } else {
+        Fail("expected __kernel or __constant at top level");
+      }
+    }
+    return mod;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& msg) {
+    const Token& t = Peek();
+    throw CompileError(Format("%d:%d: %s (at '%s')", t.line, t.col, msg.c_str(),
+                              t.kind == Tok::kIdent ? t.text.c_str() : TokName(t.kind)));
+  }
+
+  const Token& Peek(std::size_t k = 0) const {
+    std::size_t i = pos_ + k;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& Get() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+
+  bool IsIdent(std::string_view name, std::size_t k = 0) const {
+    const Token& t = Peek(k);
+    return t.kind == Tok::kIdent && t.text == name;
+  }
+  bool MatchIdent(std::string_view name) {
+    if (IsIdent(name)) {
+      Get();
+      return true;
+    }
+    return false;
+  }
+  void Expect(Tok kind, const char* what) {
+    if (Peek().kind != kind) Fail(Format("expected %s", what));
+    Get();
+  }
+  std::string ExpectIdent(const char* what) {
+    if (Peek().kind != Tok::kIdent) Fail(Format("expected %s", what));
+    return Get().text;
+  }
+
+  // -------------------------------------------------------------- types ----
+  bool PeekIsTypeKeyword(std::size_t k = 0) const {
+    const Token& t = Peek(k);
+    if (t.kind != Tok::kIdent) return false;
+    return t.text == "int" || t.text == "unsigned" || t.text == "uint" ||
+           t.text == "float" || t.text == "double" || t.text == "long" ||
+           t.text == "bool" || t.text == "void" || t.text == "const" ||
+           t.text == "size_t";
+  }
+
+  Scalar ScalarTypeRule() {
+    if (MatchIdent("const")) {
+      // const is accepted and ignored at type level (tracked per-decl).
+    }
+    if (MatchIdent("void")) return Scalar::kVoid;
+    if (MatchIdent("bool")) return Scalar::kBool;
+    if (MatchIdent("float")) return Scalar::kFloat;
+    if (MatchIdent("double")) return Scalar::kDouble;
+    if (MatchIdent("int")) return Scalar::kInt;
+    if (MatchIdent("uint")) return Scalar::kUint;
+    if (MatchIdent("size_t")) return Scalar::kUlong;
+    if (MatchIdent("unsigned")) {
+      if (MatchIdent("int")) return Scalar::kUint;
+      if (MatchIdent("long")) {
+        MatchIdent("long");
+        MatchIdent("int");
+        return Scalar::kUlong;
+      }
+      return Scalar::kUint;
+    }
+    if (MatchIdent("long")) {
+      MatchIdent("long");
+      MatchIdent("int");
+      return Scalar::kLong;
+    }
+    Fail("expected a type name");
+  }
+
+  // ---------------------------------------------------------- top level ----
+  ConstantDecl ConstantDeclRule() {
+    ConstantDecl decl;
+    decl.line = Peek().line;
+    decl.elem = ScalarTypeRule();
+    if (decl.elem == Scalar::kVoid) Fail("__constant element type cannot be void");
+    decl.name = ExpectIdent("constant array name");
+    Expect(Tok::kLBracket, "[");
+    decl.size = ExprRule();
+    Expect(Tok::kRBracket, "]");
+    Expect(Tok::kSemi, ";");
+    return decl;
+  }
+
+  KernelDecl KernelDeclRule() {
+    KernelDecl k;
+    k.line = Peek().line;
+    Scalar ret = ScalarTypeRule();
+    if (ret != Scalar::kVoid) Fail("kernels must return void");
+    k.name = ExpectIdent("kernel name");
+    Expect(Tok::kLParen, "(");
+    if (Peek().kind != Tok::kRParen) {
+      while (true) {
+        k.params.push_back(ParamRule());
+        if (!MatchTok(Tok::kComma)) break;
+      }
+    }
+    Expect(Tok::kRParen, ")");
+    if (Peek().kind != Tok::kLBrace) Fail("expected kernel body");
+    k.body = BlockRule();
+    return k;
+  }
+
+  bool MatchTok(Tok kind) {
+    if (Peek().kind == kind) {
+      Get();
+      return true;
+    }
+    return false;
+  }
+
+  ParamDecl ParamRule() {
+    ParamDecl p;
+    MatchIdent("__global");  // optional address-space decoration
+    Scalar s = ScalarTypeRule();
+    if (MatchTok(Tok::kStar)) {
+      MatchIdent("const");
+      MatchIdent("__restrict__");
+      p.type = TypeRef::Pointer(s, vgpu::Space::kGlobal);
+    } else {
+      if (s == Scalar::kVoid) Fail("parameter type cannot be void");
+      p.type = TypeRef::Value(s);
+    }
+    p.name = ExpectIdent("parameter name");
+    return p;
+  }
+
+  // ---------------------------------------------------------- statements ----
+  StmtPtr BlockRule() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kBlock;
+    s->line = Peek().line;
+    Expect(Tok::kLBrace, "{");
+    while (Peek().kind != Tok::kRBrace) {
+      if (Peek().kind == Tok::kEof) Fail("unterminated block");
+      s->stmts.push_back(StmtRule());
+    }
+    Get();
+    return s;
+  }
+
+  StmtPtr StmtRule() {
+    const Token& t = Peek();
+    if (t.kind == Tok::kLBrace) return BlockRule();
+    if (t.kind == Tok::kSemi) {
+      Get();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kBlock;  // empty statement
+      s->line = t.line;
+      return s;
+    }
+    if (t.kind == Tok::kIdent) {
+      if (t.text == "if") return IfRule();
+      if (t.text == "for") return ForRule();
+      if (t.text == "while") return WhileRule();
+      if (t.text == "return") {
+        Get();
+        Expect(Tok::kSemi, "; after return");
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kReturn;
+        s->line = t.line;
+        return s;
+      }
+      if (t.text == "break" || t.text == "continue") {
+        Fail("break/continue are not supported in Kernel-C (restructure the loop; "
+             "the SIMT reconvergence model requires structured control flow)");
+      }
+      if (t.text == "__shared" || t.text == "__shared__") {
+        Get();
+        return ArrayDeclRule(vgpu::Space::kShared, /*dynamic=*/false);
+      }
+      if (t.text == "extern") {
+        Get();
+        if (!MatchIdent("__shared") && !MatchIdent("__shared__")) {
+          Fail("expected __shared after extern (dynamic shared memory declaration)");
+        }
+        return ArrayDeclRule(vgpu::Space::kShared, /*dynamic=*/true);
+      }
+      if (t.text == "__syncthreads") {
+        Get();
+        Expect(Tok::kLParen, "(");
+        Expect(Tok::kRParen, ")");
+        Expect(Tok::kSemi, ";");
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kSync;
+        s->line = t.line;
+        return s;
+      }
+      if (PeekIsTypeKeyword()) return DeclStmtRule();
+    }
+    // Expression statement.
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kExpr;
+    s->line = t.line;
+    s->expr = ExprRule();
+    Expect(Tok::kSemi, "; after expression");
+    return s;
+  }
+
+  // `<type> name[N];` declares a local (register) array; `<type> name = e, ...;`
+  // declares scalars.
+  StmtPtr DeclStmtRule() {
+    int line = Peek().line;
+    bool is_const = IsIdent("const");
+    Scalar s = ScalarTypeRule();
+    if (s == Scalar::kVoid) Fail("cannot declare a void variable");
+    bool is_pointer = MatchTok(Tok::kStar);
+
+    // Local array?
+    if (Peek().kind == Tok::kIdent && Peek(1).kind == Tok::kLBracket) {
+      if (is_pointer) Fail("arrays of pointers are not supported");
+      std::string name = Get().text;
+      Get();  // [
+      auto st = std::make_unique<Stmt>();
+      st->kind = StmtKind::kArrayDecl;
+      st->line = line;
+      st->array_name = name;
+      st->array_elem = TypeRef::Value(s);
+      st->array_size = ExprRule();
+      st->array_space = vgpu::Space::kLocal;
+      Expect(Tok::kRBracket, "]");
+      Expect(Tok::kSemi, ";");
+      return st;
+    }
+
+    auto st = std::make_unique<Stmt>();
+    st->kind = StmtKind::kDecl;
+    st->line = line;
+    while (true) {
+      VarDecl d;
+      d.type = is_pointer ? TypeRef::Pointer(s, vgpu::Space::kGlobal) : TypeRef::Value(s);
+      d.is_const = is_const;
+      d.name = ExpectIdent("variable name");
+      if (MatchTok(Tok::kAssign)) d.init = AssignmentRule();
+      st->decls.push_back(std::move(d));
+      if (!MatchTok(Tok::kComma)) break;
+    }
+    Expect(Tok::kSemi, ";");
+    return st;
+  }
+
+  StmtPtr ArrayDeclRule(vgpu::Space space, bool dynamic = false) {
+    auto st = std::make_unique<Stmt>();
+    st->kind = StmtKind::kArrayDecl;
+    st->line = Peek().line;
+    Scalar s = ScalarTypeRule();
+    if (s == Scalar::kVoid) Fail("array element type cannot be void");
+    st->array_elem = TypeRef::Value(s);
+    st->array_name = ExpectIdent("array name");
+    st->array_space = space;
+    st->array_dynamic = dynamic;
+    Expect(Tok::kLBracket, "[");
+    if (dynamic) {
+      if (Peek().kind != Tok::kRBracket) {
+        Fail("extern __shared arrays take no size (it is supplied at launch)");
+      }
+    } else {
+      st->array_size = ExprRule();
+    }
+    Expect(Tok::kRBracket, "]");
+    Expect(Tok::kSemi, ";");
+    return st;
+  }
+
+  StmtPtr IfRule() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kIf;
+    s->line = Peek().line;
+    Get();  // if
+    Expect(Tok::kLParen, "(");
+    s->cond = ExprRule();
+    Expect(Tok::kRParen, ")");
+    s->then_branch = StmtRule();
+    if (MatchIdent("else")) s->else_branch = StmtRule();
+    return s;
+  }
+
+  StmtPtr WhileRule() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kWhile;
+    s->line = Peek().line;
+    Get();  // while
+    Expect(Tok::kLParen, "(");
+    s->cond = ExprRule();
+    Expect(Tok::kRParen, ")");
+    s->body = StmtRule();
+    return s;
+  }
+
+  StmtPtr ForRule() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kFor;
+    s->line = Peek().line;
+    Get();  // for
+    Expect(Tok::kLParen, "(");
+    if (!MatchTok(Tok::kSemi)) {
+      if (PeekIsTypeKeyword()) {
+        s->init = DeclStmtRule();  // consumes the ';'
+      } else {
+        auto e = std::make_unique<Stmt>();
+        e->kind = StmtKind::kExpr;
+        e->line = Peek().line;
+        e->expr = ExprRule();
+        s->init = std::move(e);
+        Expect(Tok::kSemi, "; in for header");
+      }
+    }
+    if (Peek().kind != Tok::kSemi) s->cond = ExprRule();
+    Expect(Tok::kSemi, "; in for header");
+    if (Peek().kind != Tok::kRParen) s->step = ExprRule();
+    Expect(Tok::kRParen, ")");
+    s->body = StmtRule();
+    return s;
+  }
+
+  // -------------------------------------------------------- expressions ----
+  ExprPtr ExprRule() { return AssignmentRule(); }
+
+  ExprPtr AssignmentRule() {
+    ExprPtr lhs = TernaryRule();
+    Tok k = Peek().kind;
+    std::optional<BinOp> op;
+    switch (k) {
+      case Tok::kAssign: op = std::nullopt; break;
+      case Tok::kPlusEq: op = BinOp::kAdd; break;
+      case Tok::kMinusEq: op = BinOp::kSub; break;
+      case Tok::kStarEq: op = BinOp::kMul; break;
+      case Tok::kSlashEq: op = BinOp::kDiv; break;
+      case Tok::kPercentEq: op = BinOp::kRem; break;
+      case Tok::kAmpEq: op = BinOp::kAnd; break;
+      case Tok::kPipeEq: op = BinOp::kOr; break;
+      case Tok::kCaretEq: op = BinOp::kXor; break;
+      case Tok::kShlEq: op = BinOp::kShl; break;
+      case Tok::kShrEq: op = BinOp::kShr; break;
+      default:
+        return lhs;
+    }
+    int line = Get().line;
+    ExprPtr rhs = AssignmentRule();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kAssign;
+    e->line = line;
+    e->is_compound = op.has_value();
+    if (op) e->assign_op = *op;
+    e->a = std::move(lhs);
+    e->b = std::move(rhs);
+    return e;
+  }
+
+  ExprPtr TernaryRule() {
+    ExprPtr cond = BinaryRule(0);
+    if (!MatchTok(Tok::kQuestion)) return cond;
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kTernary;
+    e->line = cond->line;
+    e->a = std::move(cond);
+    e->b = ExprRule();
+    Expect(Tok::kColon, ": in ?:");
+    e->c = TernaryRule();
+    return e;
+  }
+
+  static int Precedence(Tok k) {
+    switch (k) {
+      case Tok::kStar: case Tok::kSlash: case Tok::kPercent: return 10;
+      case Tok::kPlus: case Tok::kMinus: return 9;
+      case Tok::kShl: case Tok::kShr: return 8;
+      case Tok::kLess: case Tok::kLessEq: case Tok::kGreater: case Tok::kGreaterEq: return 7;
+      case Tok::kEqEq: case Tok::kBangEq: return 6;
+      case Tok::kAmp: return 5;
+      case Tok::kCaret: return 4;
+      case Tok::kPipe: return 3;
+      case Tok::kAmpAmp: return 2;
+      case Tok::kPipePipe: return 1;
+      default: return -1;
+    }
+  }
+
+  static BinOp TokToBinOp(Tok k) {
+    switch (k) {
+      case Tok::kStar: return BinOp::kMul;
+      case Tok::kSlash: return BinOp::kDiv;
+      case Tok::kPercent: return BinOp::kRem;
+      case Tok::kPlus: return BinOp::kAdd;
+      case Tok::kMinus: return BinOp::kSub;
+      case Tok::kShl: return BinOp::kShl;
+      case Tok::kShr: return BinOp::kShr;
+      case Tok::kLess: return BinOp::kLt;
+      case Tok::kLessEq: return BinOp::kLe;
+      case Tok::kGreater: return BinOp::kGt;
+      case Tok::kGreaterEq: return BinOp::kGe;
+      case Tok::kEqEq: return BinOp::kEq;
+      case Tok::kBangEq: return BinOp::kNe;
+      case Tok::kAmp: return BinOp::kAnd;
+      case Tok::kCaret: return BinOp::kXor;
+      case Tok::kPipe: return BinOp::kOr;
+      case Tok::kAmpAmp: return BinOp::kLogAnd;
+      case Tok::kPipePipe: return BinOp::kLogOr;
+      default: throw InternalError("not a binary operator token");
+    }
+  }
+
+  ExprPtr BinaryRule(int min_prec) {
+    ExprPtr lhs = UnaryRule();
+    while (true) {
+      int prec = Precedence(Peek().kind);
+      if (prec < 0 || prec < min_prec) return lhs;
+      Tok k = Get().kind;
+      ExprPtr rhs = BinaryRule(prec + 1);
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->line = lhs->line;
+      e->bin_op = TokToBinOp(k);
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr UnaryRule() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kMinus:
+      case Tok::kBang:
+      case Tok::kTilde:
+      case Tok::kPlus: {
+        Get();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kUnary;
+        e->line = t.line;
+        e->un_op = t.kind == Tok::kMinus  ? UnOp::kNeg
+                   : t.kind == Tok::kBang ? UnOp::kNot
+                   : t.kind == Tok::kTilde ? UnOp::kBitNot
+                                           : UnOp::kPlus;
+        e->a = UnaryRule();
+        return e;
+      }
+      case Tok::kStar: {
+        // Pointer dereference: *p == p[0].
+        Get();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIndex;
+        e->line = t.line;
+        e->a = UnaryRule();
+        e->b = MakeIntLit(0, Scalar::kInt, t.line);
+        return e;
+      }
+      case Tok::kPlusPlus:
+      case Tok::kMinusMinus: {
+        Get();
+        ExprPtr target = UnaryRule();
+        return MakeIncDec(std::move(target), t.kind == Tok::kPlusPlus, t.line);
+      }
+      case Tok::kLParen:
+        // Cast if a type keyword follows.
+        if (PeekIsTypeKeyword(1)) {
+          Get();
+          Scalar s = ScalarTypeRule();
+          bool pointer = MatchTok(Tok::kStar);
+          Expect(Tok::kRParen, ") after cast type");
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kCast;
+          e->line = t.line;
+          e->type = pointer ? TypeRef::Pointer(s, vgpu::Space::kGlobal) : TypeRef::Value(s);
+          e->a = UnaryRule();
+          return e;
+        }
+        break;
+      default:
+        break;
+    }
+    return PostfixRule();
+  }
+
+  ExprPtr MakeIncDec(ExprPtr target, bool inc, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kAssign;
+    e->line = line;
+    e->is_compound = true;
+    e->assign_op = inc ? BinOp::kAdd : BinOp::kSub;
+    e->a = std::move(target);
+    e->b = MakeIntLit(1, Scalar::kInt, line);
+    return e;
+  }
+
+  ExprPtr PostfixRule() {
+    ExprPtr e = PrimaryRule();
+    while (true) {
+      const Token& t = Peek();
+      if (t.kind == Tok::kLBracket) {
+        Get();
+        auto idx = std::make_unique<Expr>();
+        idx->kind = ExprKind::kIndex;
+        idx->line = t.line;
+        idx->a = std::move(e);
+        idx->b = ExprRule();
+        Expect(Tok::kRBracket, "]");
+        e = std::move(idx);
+      } else if (t.kind == Tok::kPlusPlus || t.kind == Tok::kMinusMinus) {
+        // Post-increment: supported as a statement-level operation (its value
+        // is the updated variable, i.e. pre-increment semantics; sema warns
+        // when used as a subexpression).
+        Get();
+        e = MakeIncDec(std::move(e), t.kind == Tok::kPlusPlus, t.line);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr PrimaryRule() {
+    const Token& t = Peek();
+    if (t.kind == Tok::kIntLit) {
+      Get();
+      Scalar s = t.is_wide ? (t.is_unsigned ? Scalar::kUlong : Scalar::kLong)
+                           : (t.is_unsigned ? Scalar::kUint : Scalar::kInt);
+      // Large literals widen automatically.
+      if (!t.is_wide && t.int_value > 0xffffffffull) {
+        s = t.is_unsigned ? Scalar::kUlong : Scalar::kLong;
+      }
+      auto e = MakeIntLit(static_cast<std::int64_t>(t.int_value), s, t.line);
+      return e;
+    }
+    if (t.kind == Tok::kFloatLit) {
+      Get();
+      return MakeFloatLit(t.float_value, t.is_f32 ? Scalar::kFloat : Scalar::kDouble, t.line);
+    }
+    if (t.kind == Tok::kLParen) {
+      Get();
+      ExprPtr e = ExprRule();
+      Expect(Tok::kRParen, ")");
+      return e;
+    }
+    if (t.kind == Tok::kIdent) {
+      // Thread geometry builtins.
+      static const struct {
+        const char* base;
+        vgpu::SpecialReg x, y, z;
+      } kGeom[] = {
+          {"threadIdx", vgpu::SpecialReg::kTidX, vgpu::SpecialReg::kTidY, vgpu::SpecialReg::kTidZ},
+          {"blockIdx", vgpu::SpecialReg::kCtaidX, vgpu::SpecialReg::kCtaidY, vgpu::SpecialReg::kCtaidZ},
+          {"blockDim", vgpu::SpecialReg::kNtidX, vgpu::SpecialReg::kNtidY, vgpu::SpecialReg::kNtidZ},
+          {"gridDim", vgpu::SpecialReg::kNctaidX, vgpu::SpecialReg::kNctaidY, vgpu::SpecialReg::kNctaidZ},
+      };
+      for (const auto& g : kGeom) {
+        if (t.text == g.base) {
+          Get();
+          Expect(Tok::kDot, ". after thread geometry builtin");
+          std::string member = ExpectIdent("x, y, or z");
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kSreg;
+          e->line = t.line;
+          if (member == "x") e->sreg = g.x;
+          else if (member == "y") e->sreg = g.y;
+          else if (member == "z") e->sreg = g.z;
+          else Fail("expected .x, .y, or .z");
+          return e;
+        }
+      }
+      // Call?
+      if (Peek(1).kind == Tok::kLParen) {
+        Get();
+        Get();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kCall;
+        e->line = t.line;
+        e->name = t.text;
+        if (Peek().kind != Tok::kRParen) {
+          while (true) {
+            e->args.push_back(AssignmentRule());
+            if (!MatchTok(Tok::kComma)) break;
+          }
+        }
+        Expect(Tok::kRParen, ") after call arguments");
+        return e;
+      }
+      Get();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kVarRef;
+      e->line = t.line;
+      e->name = t.text;
+      return e;
+    }
+    Fail("expected an expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ModuleAst Parse(const std::string& source) { return Parser(Lex(source)).Run(); }
+
+}  // namespace kspec::kcc

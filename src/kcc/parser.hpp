@@ -1,0 +1,22 @@
+// Recursive-descent parser for Kernel-C.
+//
+// The accepted language is a CUDA-C-shaped subset: `__kernel void f(...)`
+// entry points, `__constant`/`__shared` array declarations, scalar and
+// pointer types, full C expression syntax (including casts, the conditional
+// operator, and compound assignment), `if`/`for`/`while`, early `return`, and
+// the built-in thread geometry variables (threadIdx, blockIdx, blockDim,
+// gridDim). `break`/`continue` are rejected with a diagnostic: the vgpu
+// reconvergence model requires structured control flow, matching the paper's
+// kernels which never use them.
+#pragma once
+
+#include <string>
+
+#include "kcc/ast.hpp"
+
+namespace kspec::kcc {
+
+// Parses preprocessed source into a module AST. Throws CompileError.
+ModuleAst Parse(const std::string& source);
+
+}  // namespace kspec::kcc

@@ -1,0 +1,686 @@
+#include "kcc/passes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/math.hpp"
+#include "support/status.hpp"
+
+namespace kspec::kcc {
+
+namespace {
+
+using vgpu::CmpOp;
+using vgpu::Instr;
+using vgpu::Opcode;
+using vgpu::Operand;
+using vgpu::Type;
+
+bool IsPure(Opcode op) {
+  switch (op) {
+    case Opcode::kMov: case Opcode::kSreg:
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul: case Opcode::kDiv:
+    case Opcode::kRem: case Opcode::kMul24: case Opcode::kMad:
+    case Opcode::kMin: case Opcode::kMax: case Opcode::kNeg: case Opcode::kAbs:
+    case Opcode::kAnd: case Opcode::kOr: case Opcode::kXor: case Opcode::kNot:
+    case Opcode::kShl: case Opcode::kShr:
+    case Opcode::kSqrt: case Opcode::kRsqrt: case Opcode::kFloor: case Opcode::kCeil:
+    case Opcode::kExp: case Opcode::kLog: case Opcode::kSin: case Opcode::kCos:
+    case Opcode::kSetp: case Opcode::kSel: case Opcode::kCvt:
+      return true;
+    case Opcode::kLd:
+    case Opcode::kTex2D:
+    case Opcode::kTex1D:
+      return true;  // no side effects; removable when the result is dead
+    default:
+      return false;
+  }
+}
+
+// Sreg depends on the thread, so it is pure-but-not-constant; kLd reads
+// memory. Neither is const-evaluable.
+bool IsConstEvaluable(Opcode op) {
+  return IsPure(op) && op != Opcode::kSreg && op != Opcode::kLd &&
+         op != Opcode::kTex2D && op != Opcode::kTex1D;
+}
+
+bool IsCommutative(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kMul: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kMin: case Opcode::kMax: case Opcode::kMul24:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool EvalConstInstr(const Instr& i, std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                    std::uint64_t* out) {
+  using vgpu::DecodeF32;
+  using vgpu::DecodeF64;
+  using vgpu::DecodeI32;
+  using vgpu::EncodeF32;
+  using vgpu::EncodeF64;
+  using vgpu::EncodeI32;
+
+  if (!IsConstEvaluable(i.op)) return false;
+  const Type t = i.op == Opcode::kSetp ? i.type : i.type;
+
+  if (i.op == Opcode::kMov) {
+    *out = a;
+    return true;
+  }
+  if (i.op == Opcode::kSel) {
+    *out = c ? a : b;
+    return true;
+  }
+  if (i.op == Opcode::kCvt) {
+    double d = 0;
+    std::int64_t s = 0;
+    bool src_f = vgpu::IsFloatType(i.type2);
+    switch (i.type2) {
+      case Type::kF32: d = DecodeF32(a); break;
+      case Type::kF64: d = DecodeF64(a); break;
+      case Type::kI32: s = DecodeI32(a); break;
+      case Type::kU32: s = static_cast<std::uint32_t>(a); break;
+      case Type::kPred: s = a ? 1 : 0; break;
+      default: s = static_cast<std::int64_t>(a); break;
+    }
+    double v = src_f ? d : (i.type2 == Type::kU64 ? static_cast<double>(a) : static_cast<double>(s));
+    switch (i.type) {
+      case Type::kF32: *out = EncodeF32(static_cast<float>(v)); return true;
+      case Type::kF64: *out = EncodeF64(v); return true;
+      case Type::kPred: *out = src_f ? (d != 0) : (s != 0); return true;
+      case Type::kI32:
+        *out = EncodeI32(src_f ? static_cast<std::int32_t>(d) : static_cast<std::int32_t>(s));
+        return true;
+      case Type::kU32:
+        *out = src_f ? static_cast<std::uint32_t>(static_cast<std::int64_t>(d))
+                     : static_cast<std::uint32_t>(s);
+        return true;
+      default:
+        *out = src_f ? static_cast<std::uint64_t>(static_cast<std::int64_t>(d))
+                     : (i.type2 == Type::kU64 ? a : static_cast<std::uint64_t>(s));
+        return true;
+    }
+  }
+
+  if (t == Type::kF32 || t == Type::kF64) {
+    const bool f32 = t == Type::kF32;
+    double x = f32 ? DecodeF32(a) : DecodeF64(a);
+    double y = f32 ? DecodeF32(b) : DecodeF64(b);
+    double z = f32 ? DecodeF32(c) : DecodeF64(c);
+    if (i.op == Opcode::kSetp) {
+      bool r;
+      switch (i.cmp) {
+        case CmpOp::kEq: r = x == y; break;
+        case CmpOp::kNe: r = x != y; break;
+        case CmpOp::kLt: r = x < y; break;
+        case CmpOp::kLe: r = x <= y; break;
+        case CmpOp::kGt: r = x > y; break;
+        default: r = x >= y; break;
+      }
+      *out = r;
+      return true;
+    }
+    double r;
+    switch (i.op) {
+      case Opcode::kAdd: r = x + y; break;
+      case Opcode::kSub: r = x - y; break;
+      case Opcode::kMul: r = x * y; break;
+      case Opcode::kDiv: r = x / y; break;
+      case Opcode::kRem: r = std::fmod(x, y); break;
+      case Opcode::kMad: r = x * y + z; break;
+      case Opcode::kMin: r = std::min(x, y); break;
+      case Opcode::kMax: r = std::max(x, y); break;
+      case Opcode::kNeg: r = -x; break;
+      case Opcode::kAbs: r = std::fabs(x); break;
+      case Opcode::kSqrt: r = std::sqrt(x); break;
+      case Opcode::kRsqrt: r = 1.0 / std::sqrt(x); break;
+      case Opcode::kFloor: r = std::floor(x); break;
+      case Opcode::kCeil: r = std::ceil(x); break;
+      case Opcode::kExp: r = std::exp(x); break;
+      case Opcode::kLog: r = std::log(x); break;
+      case Opcode::kSin: r = std::sin(x); break;
+      case Opcode::kCos: r = std::cos(x); break;
+      default: return false;
+    }
+    *out = f32 ? EncodeF32(static_cast<float>(r)) : EncodeF64(r);
+    return true;
+  }
+
+  // Integer / predicate.
+  const bool is64 = t == Type::kI64 || t == Type::kU64;
+  const bool sgn = t == Type::kI32 || t == Type::kI64;
+  auto norm = [&](std::uint64_t v) -> std::uint64_t {
+    if (t == Type::kPred) return v ? 1 : 0;
+    if (is64) return v;
+    if (sgn) return EncodeI32(static_cast<std::int32_t>(static_cast<std::uint32_t>(v)));
+    return static_cast<std::uint32_t>(v);
+  };
+  auto sval = [&](std::uint64_t v) -> std::int64_t {
+    return is64 ? static_cast<std::int64_t>(v) : DecodeI32(v);
+  };
+  auto uval = [&](std::uint64_t v) -> std::uint64_t {
+    return is64 ? v : static_cast<std::uint32_t>(v);
+  };
+
+  if (i.op == Opcode::kSetp) {
+    bool r;
+    if (sgn) {
+      std::int64_t x = sval(a), y = sval(b);
+      switch (i.cmp) {
+        case CmpOp::kEq: r = x == y; break;
+        case CmpOp::kNe: r = x != y; break;
+        case CmpOp::kLt: r = x < y; break;
+        case CmpOp::kLe: r = x <= y; break;
+        case CmpOp::kGt: r = x > y; break;
+        default: r = x >= y; break;
+      }
+    } else {
+      std::uint64_t x = uval(a), y = uval(b);
+      switch (i.cmp) {
+        case CmpOp::kEq: r = x == y; break;
+        case CmpOp::kNe: r = x != y; break;
+        case CmpOp::kLt: r = x < y; break;
+        case CmpOp::kLe: r = x <= y; break;
+        case CmpOp::kGt: r = x > y; break;
+        default: r = x >= y; break;
+      }
+    }
+    *out = r;
+    return true;
+  }
+
+  const unsigned width = is64 ? 64 : 32;
+  switch (i.op) {
+    case Opcode::kAdd: *out = norm(a + b); return true;
+    case Opcode::kSub: *out = norm(a - b); return true;
+    case Opcode::kMul: *out = norm(a * b); return true;
+    case Opcode::kMul24: {
+      std::uint64_t x = a & 0xffffffu, y = b & 0xffffffu;
+      if (sgn) {
+        std::int64_t sx = static_cast<std::int64_t>(x << 40) >> 40;
+        std::int64_t sy = static_cast<std::int64_t>(y << 40) >> 40;
+        *out = norm(static_cast<std::uint64_t>(sx * sy));
+      } else {
+        *out = norm(x * y);
+      }
+      return true;
+    }
+    case Opcode::kMad: *out = norm(a * b + c); return true;
+    case Opcode::kDiv:
+      if (uval(b) == 0) return false;
+      *out = norm(sgn ? static_cast<std::uint64_t>(sval(a) / sval(b)) : uval(a) / uval(b));
+      return true;
+    case Opcode::kRem:
+      if (uval(b) == 0) return false;
+      *out = norm(sgn ? static_cast<std::uint64_t>(sval(a) % sval(b)) : uval(a) % uval(b));
+      return true;
+    case Opcode::kMin:
+      *out = norm(sgn ? static_cast<std::uint64_t>(std::min(sval(a), sval(b)))
+                      : std::min(uval(a), uval(b)));
+      return true;
+    case Opcode::kMax:
+      *out = norm(sgn ? static_cast<std::uint64_t>(std::max(sval(a), sval(b)))
+                      : std::max(uval(a), uval(b)));
+      return true;
+    case Opcode::kNeg: *out = norm(~a + 1); return true;
+    case Opcode::kAbs: {
+      std::int64_t v = sval(a);
+      *out = norm(static_cast<std::uint64_t>(v < 0 ? -v : v));
+      return true;
+    }
+    case Opcode::kAnd: *out = norm(a & b); return true;
+    case Opcode::kOr: *out = norm(a | b); return true;
+    case Opcode::kXor: *out = norm(a ^ b); return true;
+    case Opcode::kNot: *out = t == Type::kPred ? (a ? 0 : 1) : norm(~a); return true;
+    case Opcode::kShl:
+      *out = b >= width ? 0 : norm(a << b);
+      return true;
+    case Opcode::kShr:
+      if (sgn) {
+        std::int64_t v = sval(a);
+        *out = b >= width ? norm(static_cast<std::uint64_t>(v < 0 ? -1 : 0))
+                          : norm(static_cast<std::uint64_t>(v >> b));
+      } else {
+        *out = b >= width ? 0 : norm(uval(a) >> b);
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Basic-block leader computation.
+std::vector<int> BlockStarts(const std::vector<Instr>& code) {
+  std::set<int> leaders;
+  leaders.insert(0);
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instr& i = code[pc];
+    if (i.op == Opcode::kBra || i.op == Opcode::kBraPred || i.op == Opcode::kExit) {
+      leaders.insert(static_cast<int>(pc) + 1);
+    }
+    if (i.op == Opcode::kBra || i.op == Opcode::kBraPred) {
+      leaders.insert(i.target);
+      if (i.reconv >= 0) leaders.insert(i.reconv);
+    }
+    if (i.op == Opcode::kBarSync) leaders.insert(static_cast<int>(pc) + 1);
+  }
+  std::vector<int> out;
+  for (int l : leaders) {
+    if (l >= 0 && l <= static_cast<int>(code.size())) out.push_back(l);
+  }
+  if (out.empty() || out.back() != static_cast<int>(code.size())) {
+    out.push_back(static_cast<int>(code.size()));
+  }
+  return out;
+}
+
+class Optimizer {
+ public:
+  Optimizer(std::vector<Instr>& code, const std::vector<Type>& vreg_types,
+            const PassOptions& options)
+      : code_(code), types_(vreg_types), options_(options) {}
+
+  PassStats Run() {
+    for (int round = 0; round < 3; ++round) {
+      LocalPropagateFoldCse();
+      RemoveUnreachable();
+      Dce();
+    }
+    Compact();
+    return stats_;
+  }
+
+ private:
+  // ---- local constant/copy propagation + folding + strength red. + CSE ----
+  void LocalPropagateFoldCse() {
+    std::vector<int> starts = BlockStarts(code_);
+    for (std::size_t b = 0; b + 1 < starts.size(); ++b) {
+      BlockPass(starts[b], starts[b + 1]);
+    }
+  }
+
+  struct CseEntry {
+    Opcode op;
+    Type type;
+    Type type2;
+    CmpOp cmp;
+    Operand a, b, c;
+    int dst;
+    int pc;  // where the value was defined
+  };
+
+  // Reusing a value defined far upstream extends its live range across
+  // everything in between; past this distance recomputation is cheaper than
+  // the register pressure (the rematerialization heuristic real GPU
+  // compilers apply, which keeps heavily unrolled kernels allocatable).
+  static constexpr int kCseReuseWindow = 96;
+
+  static bool SameOperand(const Operand& x, const Operand& y) {
+    if (x.kind != y.kind) return false;
+    if (x.is_reg()) return x.reg == y.reg;
+    if (x.is_imm()) return x.imm == y.imm;
+    return true;
+  }
+
+  void BlockPass(int begin, int end) {
+    std::map<int, std::uint64_t> consts;  // vreg -> immediate
+    std::map<int, int> copies;            // vreg -> source vreg
+    // vreg -> (base reg, byte offset) for u64 `add dst, base, imm` defs;
+    // folded into ld/st address immediates.
+    std::map<int, std::pair<int, std::uint64_t>> addrs;
+    // vreg -> defining cvt (for conversion-chain collapsing).
+    std::map<int, Instr> cvts;
+    std::vector<CseEntry> cse;
+
+    auto invalidate = [&](int reg) {
+      consts.erase(reg);
+      copies.erase(reg);
+      addrs.erase(reg);
+      cvts.erase(reg);
+      for (auto it = copies.begin(); it != copies.end();) {
+        if (it->second == reg) it = copies.erase(it);
+        else ++it;
+      }
+      for (auto it = addrs.begin(); it != addrs.end();) {
+        if (it->second.first == reg) it = addrs.erase(it);
+        else ++it;
+      }
+      for (auto it = cvts.begin(); it != cvts.end();) {
+        if (it->second.a.is_reg() && it->second.a.reg == reg) it = cvts.erase(it);
+        else ++it;
+      }
+      for (auto it = cse.begin(); it != cse.end();) {
+        bool kill = it->dst == reg || (it->a.is_reg() && it->a.reg == reg) ||
+                    (it->b.is_reg() && it->b.reg == reg) ||
+                    (it->c.is_reg() && it->c.reg == reg);
+        if (kill) it = cse.erase(it);
+        else ++it;
+      }
+    };
+
+    auto subst = [&](Operand& o) {
+      if (!o.is_reg()) return;
+      auto cp = copies.find(o.reg);
+      if (cp != copies.end()) o.reg = cp->second;
+      auto ct = consts.find(o.reg);
+      if (ct != consts.end()) o = Operand::Imm(ct->second);
+    };
+
+    for (int pc = begin; pc < end; ++pc) {
+      Instr& i = code_[pc];
+      if (i.op == Opcode::kNop) continue;
+
+      // Entries past the reuse window can never match again; pruning keeps
+      // the CSE scan linear in huge unrolled blocks. (Entries are appended in
+      // pc order, so expired ones sit at the front.)
+      std::size_t expired = 0;
+      while (expired < cse.size() && pc - cse[expired].pc > kCseReuseWindow) ++expired;
+      if (expired) cse.erase(cse.begin(), cse.begin() + static_cast<std::ptrdiff_t>(expired));
+
+      // The other fact maps are iterated by invalidate(); capping them keeps
+      // the whole pass linear on multi-thousand-instruction unrolled blocks.
+      // Dropping facts only forgoes optimization opportunities, never
+      // correctness (straight-line temps are single-def, so stale entries are
+      // rare anyway).
+      constexpr std::size_t kFactCap = 768;
+      if (copies.size() > kFactCap) copies.clear();
+      if (addrs.size() > kFactCap) addrs.clear();
+      if (cvts.size() > kFactCap) cvts.clear();
+      if (consts.size() > 4 * kFactCap) consts.clear();
+
+      subst(i.a);
+      if (i.op != Opcode::kSreg) {
+        subst(i.b);
+        subst(i.c);
+      }
+      // Keep ld/st byte-offset immediates as immediates (b operand).
+
+      // Canonicalize commutative ops: immediate to the right.
+      if (IsCommutative(i.op) && i.a.is_imm() && i.b.is_reg()) std::swap(i.a, i.b);
+
+      // Fold `add.u64 r, base, imm` address arithmetic into the ld/st byte
+      // offset (what PTX's [reg+imm] addressing mode exists for).
+      if ((i.op == Opcode::kLd || i.op == Opcode::kSt) && i.a.is_reg()) {
+        auto it = addrs.find(i.a.reg);
+        if (it != addrs.end()) {
+          i.a = Operand::Reg(it->second.first);
+          i.b = Operand::Imm(i.b.imm + it->second.second);
+        }
+      }
+
+      // Collapse 32->64->64 integer conversion chains (e.g. cvt.s64.s32
+      // followed by cvt.u64.s64) into a single conversion; both orders of
+      // extension agree with the direct conversion.
+      if (i.op == Opcode::kCvt && i.a.is_reg()) {
+        auto it = cvts.find(i.a.reg);
+        if (it != cvts.end()) {
+          const Instr& inner = it->second;
+          bool outer64 = i.type == Type::kI64 || i.type == Type::kU64;
+          bool mid64 = inner.type == Type::kI64 || inner.type == Type::kU64;
+          bool src32 = inner.type2 == Type::kI32 || inner.type2 == Type::kU32;
+          if (outer64 && mid64 && src32 && i.type2 == inner.type) {
+            i.type2 = inner.type2;
+            i.a = inner.a;
+          }
+        }
+      }
+
+      // Constant-fold branches.
+      if (i.op == Opcode::kBraPred && i.a.is_imm()) {
+        bool taken = (i.a.imm != 0) != i.neg;
+        if (taken) {
+          Instr br = Instr::Make(Opcode::kBra, Type::kI32, -1);
+          br.target = i.target;
+          i = br;
+        } else {
+          i = Instr::Make(Opcode::kNop, Type::kI32, -1);
+        }
+        ++stats_.folded_consts;
+        continue;
+      }
+
+      if (i.dst < 0) continue;
+
+      // Full constant evaluation.
+      bool all_imm = (!i.a.is_reg()) && (!i.b.is_reg()) && (!i.c.is_reg()) &&
+                     i.op != Opcode::kSreg && i.op != Opcode::kLd;
+      if (all_imm && IsConstEvaluable(i.op) && i.op != Opcode::kMov) {
+        std::uint64_t out;
+        if (EvalConstInstr(i, i.a.imm, i.b.imm, i.c.imm, &out)) {
+          i = Instr::Make(Opcode::kMov, i.type, i.dst, Operand::Imm(out));
+          ++stats_.folded_consts;
+        }
+      }
+
+      if (options_.strength_reduction) StrengthReduce(i);
+
+      // CSE lookup (pure, non-load, non-mov), bounded by reuse distance.
+      if (options_.cse && IsConstEvaluable(i.op) && i.op != Opcode::kMov) {
+        for (const auto& e : cse) {
+          if (pc - e.pc <= kCseReuseWindow && e.op == i.op && e.type == i.type &&
+              e.type2 == i.type2 && e.cmp == i.cmp && SameOperand(e.a, i.a) &&
+              SameOperand(e.b, i.b) && SameOperand(e.c, i.c)) {
+            i = Instr::Make(Opcode::kMov, i.type, i.dst, Operand::Reg(e.dst));
+            ++stats_.cse_hits;
+            break;
+          }
+        }
+      }
+
+      // Kill stale facts about the overwritten register, then record the new
+      // ones. A definition whose operands include its own dst (e.g. the loop
+      // `add r, r, 1`) is never a valid CSE source: the recorded operands
+      // would name the post-update value.
+      int dst = i.dst;
+      invalidate(dst);
+      bool self_ref = (i.a.is_reg() && i.a.reg == dst) || (i.b.is_reg() && i.b.reg == dst) ||
+                      (i.c.is_reg() && i.c.reg == dst);
+      if (IsConstEvaluable(i.op) && i.op != Opcode::kMov && !self_ref) {
+        cse.push_back({i.op, i.type, i.type2, i.cmp, i.a, i.b, i.c, dst, pc});
+      }
+      if (i.op == Opcode::kMov) {
+        if (i.a.is_imm()) {
+          consts[dst] = i.a.imm;
+        } else if (i.a.is_reg() && i.a.reg != dst) {
+          copies[dst] = i.a.reg;
+        }
+      }
+      if (i.op == Opcode::kAdd && i.type == Type::kU64 && i.a.is_reg() && i.b.is_imm() &&
+          !self_ref) {
+        // Resolve transitively so chained adds fold to one base.
+        int base = i.a.reg;
+        std::uint64_t off = i.b.imm;
+        auto it = addrs.find(base);
+        if (it != addrs.end()) {
+          off += it->second.second;
+          base = it->second.first;
+        }
+        addrs[dst] = {base, off};
+      }
+      if (i.op == Opcode::kCvt && !self_ref) cvts[dst] = i;
+    }
+  }
+
+  void StrengthReduce(Instr& i) {
+    const bool is_int = vgpu::IsIntType(i.type);
+    if (!is_int) return;
+    const bool sgn = vgpu::IsSignedInt(i.type);
+
+    auto imm_val = [&](const Operand& o) -> std::uint64_t {
+      if (i.type == Type::kI32) {
+        return static_cast<std::uint64_t>(static_cast<std::uint32_t>(o.imm));
+      }
+      return o.imm;
+    };
+
+    if (i.op == Opcode::kMul && i.b.is_imm()) {
+      std::uint64_t v = imm_val(i.b);
+      if (v == 0) {
+        i = Instr::Make(Opcode::kMov, i.type, i.dst, Operand::Imm(0));
+        ++stats_.strength_reduced;
+      } else if (v == 1) {
+        i = Instr::Make(Opcode::kMov, i.type, i.dst, i.a);
+        ++stats_.strength_reduced;
+      } else if (IsPow2(v)) {
+        i.op = Opcode::kShl;
+        i.b = Operand::Imm(ILog2(v));
+        ++stats_.strength_reduced;
+      }
+      return;
+    }
+    if ((i.op == Opcode::kDiv || i.op == Opcode::kRem) && i.b.is_imm() && !sgn) {
+      std::uint64_t v = imm_val(i.b);
+      if (v != 0 && IsPow2(v)) {
+        if (i.op == Opcode::kDiv) {
+          i.op = Opcode::kShr;
+          i.b = Operand::Imm(ILog2(v));
+        } else {
+          i.op = Opcode::kAnd;
+          i.b = Operand::Imm(v - 1);
+        }
+        ++stats_.strength_reduced;
+      }
+      return;
+    }
+    if ((i.op == Opcode::kAdd || i.op == Opcode::kSub) && i.b.is_imm() && imm_val(i.b) == 0) {
+      i = Instr::Make(Opcode::kMov, i.type, i.dst, i.a);
+      ++stats_.strength_reduced;
+      return;
+    }
+    if ((i.op == Opcode::kShl || i.op == Opcode::kShr) && i.b.is_imm() && i.b.imm == 0) {
+      i = Instr::Make(Opcode::kMov, i.type, i.dst, i.a);
+      ++stats_.strength_reduced;
+      return;
+    }
+  }
+
+  // ---- unreachable code removal ----
+  void RemoveUnreachable() {
+    std::vector<bool> reachable(code_.size(), false);
+    std::vector<int> work{0};
+    while (!work.empty()) {
+      int pc = work.back();
+      work.pop_back();
+      if (pc < 0 || pc >= static_cast<int>(code_.size()) || reachable[pc]) continue;
+      reachable[pc] = true;
+      const Instr& i = code_[pc];
+      if (i.op == Opcode::kExit) continue;
+      if (i.op == Opcode::kBra) {
+        work.push_back(i.target);
+        continue;
+      }
+      if (i.op == Opcode::kBraPred) {
+        work.push_back(i.target);
+        work.push_back(pc + 1);
+        if (i.reconv >= 0) work.push_back(i.reconv);
+        continue;
+      }
+      work.push_back(pc + 1);
+    }
+    for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+      if (!reachable[pc] && code_[pc].op != Opcode::kNop) {
+        code_[pc] = Instr::Make(Opcode::kNop, Type::kI32, -1);
+      }
+    }
+  }
+
+  // ---- dead code elimination ----
+  void Dce() {
+    // Dense use counts indexed by vreg (types_ sizes the register file).
+    std::vector<int> uses(types_.size() + 1, 0);
+    auto add_uses = [&](const Instr& i, int delta) {
+      if (i.a.is_reg()) uses[i.a.reg] += delta;
+      if (i.b.is_reg()) uses[i.b.reg] += delta;
+      if (i.c.is_reg()) uses[i.c.reg] += delta;
+    };
+    for (const auto& i : code_) {
+      if (i.op == Opcode::kNop) continue;
+      add_uses(i, 1);
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // Backward scan: a dead chain's tail dies first, freeing its inputs in
+      // the same pass, so chains disappear in one sweep instead of one pass
+      // per link.
+      for (auto it = code_.rbegin(); it != code_.rend(); ++it) {
+        Instr& i = *it;
+        if (i.op == Opcode::kNop || i.dst < 0) continue;
+        if (!IsPure(i.op)) continue;
+        if (uses[i.dst] != 0) continue;
+        // Self-moves are also dead.
+        add_uses(i, -1);
+        i = Instr::Make(Opcode::kNop, Type::kI32, -1);
+        ++stats_.dce_removed;
+        changed = true;
+      }
+    }
+    // Remove mov r, r.
+    for (auto& i : code_) {
+      if (i.op == Opcode::kMov && i.a.is_reg() && i.a.reg == i.dst) {
+        i = Instr::Make(Opcode::kNop, Type::kI32, -1);
+        ++stats_.dce_removed;
+      }
+    }
+  }
+
+  // ---- compaction: drop nops, remap branch targets ----
+  void Compact() {
+    // Branches to the immediately following instruction become nops first.
+    for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+      Instr& i = code_[pc];
+      if (i.op == Opcode::kBra) {
+        // Find next non-nop after pc.
+        std::size_t next = pc + 1;
+        while (next < code_.size() && code_[next].op == Opcode::kNop) ++next;
+        std::size_t tgt = static_cast<std::size_t>(i.target);
+        while (tgt < code_.size() && code_[tgt].op == Opcode::kNop) ++tgt;
+        if (tgt == next) i = Instr::Make(Opcode::kNop, Type::kI32, -1);
+      }
+    }
+
+    std::vector<int> remap(code_.size() + 1, 0);
+    int new_pc = 0;
+    for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+      remap[pc] = new_pc;
+      if (code_[pc].op != Opcode::kNop) ++new_pc;
+    }
+    remap[code_.size()] = new_pc;
+
+    std::vector<Instr> out;
+    out.reserve(new_pc);
+    for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+      if (code_[pc].op == Opcode::kNop) continue;
+      Instr i = code_[pc];
+      if (i.op == Opcode::kBra || i.op == Opcode::kBraPred) {
+        i.target = remap[std::min<std::size_t>(i.target, code_.size())];
+        if (i.reconv >= 0) i.reconv = remap[std::min<std::size_t>(i.reconv, code_.size())];
+      }
+      out.push_back(i);
+    }
+    code_ = std::move(out);
+  }
+
+  std::vector<Instr>& code_;
+  const std::vector<Type>& types_;
+  PassOptions options_;
+  PassStats stats_;
+};
+
+}  // namespace
+
+PassStats Optimize(std::vector<Instr>& code, const std::vector<Type>& vreg_types,
+                   const PassOptions& options) {
+  return Optimizer(code, vreg_types, options).Run();
+}
+
+}  // namespace kspec::kcc

@@ -1,0 +1,367 @@
+#include "kcc/preprocess.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "kcc/lexer.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+
+namespace kspec::kcc {
+
+std::string StripComments(const std::string& source) {
+  std::string out;
+  out.reserve(source.size());
+  std::size_t i = 0;
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+    } else if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < source.size() && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') out += '\n';
+        ++i;
+      }
+      if (i + 1 >= source.size()) throw CompileError("unterminated block comment");
+      i += 2;
+      out += ' ';
+    } else {
+      out += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(const std::map<std::string, std::string>& defines)
+      : macros_(defines) {}
+
+  std::string Run(const std::string& source) {
+    std::vector<std::string> lines = SplitLogicalLines(StripComments(source));
+    std::string out;
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+      line_no_ = static_cast<int>(n) + 1;
+      const std::string& line = lines[n];
+      std::string_view trimmed = Trim(line);
+      if (!trimmed.empty() && trimmed[0] == '#') {
+        Directive(std::string(trimmed.substr(1)));
+        out += '\n';  // keep line numbers stable
+        continue;
+      }
+      if (Active()) {
+        out += Expand(line, {});
+      }
+      out += '\n';
+    }
+    if (!cond_.empty()) throw CompileError("unterminated #if block");
+    return out;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& msg) {
+    throw CompileError(Format("line %d: %s", line_no_, msg.c_str()));
+  }
+
+  // Merges lines ending in a backslash continuation.
+  static std::vector<std::string> SplitLogicalLines(const std::string& src) {
+    std::vector<std::string> raw = Split(src, '\n');
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      std::string line = raw[i];
+      while (EndsWith(Trim(line), "\\") && i + 1 < raw.size()) {
+        std::string_view t = Trim(line);
+        line = std::string(t.substr(0, t.size() - 1));
+        line += raw[++i];
+      }
+      out.push_back(line);
+    }
+    return out;
+  }
+
+  struct Cond {
+    bool parent_active;
+    bool taken;      // some branch of this #if chain has been taken
+    bool this_active;
+  };
+
+  bool Active() const {
+    return cond_.empty() || (cond_.back().this_active && cond_.back().parent_active);
+  }
+
+  void Directive(const std::string& body) {
+    std::string_view rest = Trim(body);
+    std::size_t sp = 0;
+    while (sp < rest.size() && IsIdentChar(rest[sp])) ++sp;
+    std::string name(rest.substr(0, sp));
+    std::string args = std::string(Trim(rest.substr(sp)));
+
+    if (name == "if" || name == "ifdef" || name == "ifndef") {
+      bool parent = Active();
+      bool value = false;
+      if (parent) {
+        if (name == "if") {
+          value = EvalCondition(args);
+        } else {
+          bool defined = macros_.count(args) > 0;
+          value = (name == "ifdef") ? defined : !defined;
+        }
+      }
+      cond_.push_back({parent, value, value});
+      return;
+    }
+    if (name == "elif") {
+      if (cond_.empty()) Fail("#elif without #if");
+      Cond& c = cond_.back();
+      if (!c.parent_active) return;
+      if (c.taken) {
+        c.this_active = false;
+      } else {
+        c.this_active = EvalCondition(args);
+        c.taken = c.this_active;
+      }
+      return;
+    }
+    if (name == "else") {
+      if (cond_.empty()) Fail("#else without #if");
+      Cond& c = cond_.back();
+      c.this_active = c.parent_active && !c.taken;
+      c.taken = true;
+      return;
+    }
+    if (name == "endif") {
+      if (cond_.empty()) Fail("#endif without #if");
+      cond_.pop_back();
+      return;
+    }
+    if (!Active()) return;
+
+    if (name == "define") {
+      std::size_t i = 0;
+      while (i < args.size() && IsIdentChar(args[i])) ++i;
+      std::string macro_name = args.substr(0, i);
+      if (macro_name.empty() || !IsIdentStart(macro_name[0])) Fail("bad #define name");
+      if (i < args.size() && args[i] == '(') {
+        Fail("function-like macros are not supported; use C++-style constants or kernel parameters");
+      }
+      macros_[macro_name] = std::string(Trim(args.substr(i)));
+      return;
+    }
+    if (name == "undef") {
+      macros_.erase(std::string(Trim(args)));
+      return;
+    }
+    if (name == "error") {
+      Fail("#error " + args);
+    }
+    if (name == "pragma") {
+      return;  // #pragma unroll etc. accepted and ignored (unrolling is automatic)
+    }
+    Fail("unknown preprocessor directive #" + name);
+  }
+
+  // Expands macros in `text`. `expanding` guards against self-recursion.
+  std::string Expand(const std::string& text, std::set<std::string> expanding,
+                     int depth = 0) {
+    if (depth > 32) Fail("macro expansion too deep");
+    std::string out;
+    out.reserve(text.size());
+    std::size_t i = 0;
+    while (i < text.size()) {
+      char c = text[i];
+      if (IsIdentStart(c)) {
+        std::size_t start = i;
+        while (i < text.size() && IsIdentChar(text[i])) ++i;
+        std::string ident = text.substr(start, i - start);
+        auto it = macros_.find(ident);
+        if (it != macros_.end() && !expanding.count(ident)) {
+          std::set<std::string> nested = expanding;
+          nested.insert(ident);
+          out += ' ';
+          out += Expand(it->second, nested, depth + 1);
+          out += ' ';
+        } else {
+          out += ident;
+        }
+      } else {
+        out += c;
+        ++i;
+      }
+    }
+    return out;
+  }
+
+  // Evaluates a #if condition: handles defined(X)/defined X, then macro
+  // expansion, then a constant integer expression where any remaining
+  // identifier evaluates to 0 (standard C semantics).
+  bool EvalCondition(const std::string& expr_in) {
+    std::string expr;
+    std::size_t i = 0;
+    while (i < expr_in.size()) {
+      if (IsIdentStart(expr_in[i])) {
+        std::size_t start = i;
+        while (i < expr_in.size() && IsIdentChar(expr_in[i])) ++i;
+        std::string ident = expr_in.substr(start, i - start);
+        if (ident == "defined") {
+          while (i < expr_in.size() && std::isspace(static_cast<unsigned char>(expr_in[i]))) ++i;
+          bool paren = i < expr_in.size() && expr_in[i] == '(';
+          if (paren) ++i;
+          while (i < expr_in.size() && std::isspace(static_cast<unsigned char>(expr_in[i]))) ++i;
+          std::size_t ns = i;
+          while (i < expr_in.size() && IsIdentChar(expr_in[i])) ++i;
+          std::string name = expr_in.substr(ns, i - ns);
+          if (name.empty()) Fail("defined() needs a name");
+          if (paren) {
+            while (i < expr_in.size() && std::isspace(static_cast<unsigned char>(expr_in[i]))) ++i;
+            if (i >= expr_in.size() || expr_in[i] != ')') Fail("missing ) after defined(");
+            ++i;
+          }
+          expr += macros_.count(name) ? " 1 " : " 0 ";
+        } else {
+          expr += ident;
+        }
+      } else {
+        expr += expr_in[i++];
+      }
+    }
+    expr = Expand(expr, {});
+    // Any identifier left after expansion becomes 0.
+    std::string final_expr;
+    i = 0;
+    while (i < expr.size()) {
+      if (IsIdentStart(expr[i])) {
+        std::size_t start = i;
+        while (i < expr.size() && IsIdentChar(expr[i])) ++i;
+        std::string ident = expr.substr(start, i - start);
+        // Integer suffixes attached to numbers are handled by the lexer, not
+        // here; pure identifiers become 0.
+        if (std::isdigit(static_cast<unsigned char>(ident[0]))) {
+          final_expr += ident;
+        } else {
+          final_expr += " 0 ";
+        }
+      } else {
+        final_expr += expr[i++];
+      }
+    }
+    return EvalIntExpr(final_expr) != 0;
+  }
+
+  // Tiny recursive-descent evaluator over lexer tokens for #if expressions.
+  std::int64_t EvalIntExpr(const std::string& text) {
+    std::vector<Token> toks;
+    try {
+      toks = Lex(text);
+    } catch (const CompileError& e) {
+      Fail(std::string("bad #if expression: ") + e.what());
+    }
+    std::size_t pos = 0;
+    auto peek = [&]() -> const Token& { return toks[pos]; };
+    auto get = [&]() -> const Token& { return toks[pos++]; };
+
+    // Precedence climbing.
+    std::function<std::int64_t(int)> parse = [&](int min_prec) -> std::int64_t {
+      std::int64_t lhs;
+      const Token& t = get();
+      switch (t.kind) {
+        case Tok::kIntLit: lhs = static_cast<std::int64_t>(t.int_value); break;
+        case Tok::kFloatLit: Fail("float in #if expression"); break;
+        case Tok::kMinus: lhs = -parse(100); break;
+        case Tok::kPlus: lhs = parse(100); break;
+        case Tok::kBang: lhs = !parse(100); break;
+        case Tok::kTilde: lhs = ~parse(100); break;
+        case Tok::kLParen:
+          lhs = parse(0);
+          if (get().kind != Tok::kRParen) Fail("missing ) in #if expression");
+          break;
+        default:
+          Fail("bad token in #if expression");
+      }
+      while (true) {
+        int prec;
+        Tok op = peek().kind;
+        switch (op) {
+          case Tok::kStar: case Tok::kSlash: case Tok::kPercent: prec = 10; break;
+          case Tok::kPlus: case Tok::kMinus: prec = 9; break;
+          case Tok::kShl: case Tok::kShr: prec = 8; break;
+          case Tok::kLess: case Tok::kLessEq: case Tok::kGreater: case Tok::kGreaterEq:
+            prec = 7; break;
+          case Tok::kEqEq: case Tok::kBangEq: prec = 6; break;
+          case Tok::kAmp: prec = 5; break;
+          case Tok::kCaret: prec = 4; break;
+          case Tok::kPipe: prec = 3; break;
+          case Tok::kAmpAmp: prec = 2; break;
+          case Tok::kPipePipe: prec = 1; break;
+          default: return lhs;
+        }
+        if (prec < min_prec) return lhs;
+        get();
+        std::int64_t rhs = parse(prec + 1);
+        switch (op) {
+          case Tok::kStar: lhs *= rhs; break;
+          case Tok::kSlash: lhs = rhs ? lhs / rhs : 0; break;
+          case Tok::kPercent: lhs = rhs ? lhs % rhs : 0; break;
+          case Tok::kPlus: lhs += rhs; break;
+          case Tok::kMinus: lhs -= rhs; break;
+          case Tok::kShl: lhs <<= rhs; break;
+          case Tok::kShr: lhs >>= rhs; break;
+          case Tok::kLess: lhs = lhs < rhs; break;
+          case Tok::kLessEq: lhs = lhs <= rhs; break;
+          case Tok::kGreater: lhs = lhs > rhs; break;
+          case Tok::kGreaterEq: lhs = lhs >= rhs; break;
+          case Tok::kEqEq: lhs = lhs == rhs; break;
+          case Tok::kBangEq: lhs = lhs != rhs; break;
+          case Tok::kAmp: lhs &= rhs; break;
+          case Tok::kCaret: lhs ^= rhs; break;
+          case Tok::kPipe: lhs |= rhs; break;
+          case Tok::kAmpAmp: lhs = lhs && rhs; break;
+          case Tok::kPipePipe: lhs = lhs || rhs; break;
+          default: break;
+        }
+      }
+    };
+    std::int64_t v = parse(0);
+    if (peek().kind != Tok::kEof) Fail("trailing tokens in #if expression");
+    return v;
+  }
+
+  std::map<std::string, std::string> macros_;
+  std::vector<Cond> cond_;
+  int line_no_ = 0;
+};
+
+}  // namespace
+
+std::string Preprocess(const std::string& source,
+                       const std::map<std::string, std::string>& defines) {
+  return Preprocessor(defines).Run(source);
+}
+
+std::string SpecializeSource(const std::string& source,
+                             const std::map<std::string, std::string>& defines) {
+  std::string out;
+  out.reserve(source.size() + defines.size() * 24);
+  out += "// --- specialized by kcc::SpecializeSource ---\n";
+  for (const auto& [name, value] : defines) {
+    out += "#define " + name + " " + value + "\n";
+  }
+  out += "// --- original source follows ---\n";
+  out += source;
+  return out;
+}
+
+}  // namespace kspec::kcc

@@ -1,0 +1,36 @@
+// Kernel-C preprocessor.
+//
+// This is the mechanism behind kernel specialization (Chapter 4): the driver
+// layer passes the `-D NAME=value` definitions for the current problem and
+// hardware instance, and the preprocessor folds them into the kernel source
+// before parsing. Supports object-like #define/#undef, the conditional
+// family (#if/#ifdef/#ifndef/#elif/#else/#endif with defined() and integer
+// expressions), #error, line continuations, and recursive macro expansion
+// with self-reference protection — enough to express the dissertation's
+// Appendix B "flexibly specializable kernel" pattern (CT_* toggles with
+// default fallbacks).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace kspec::kcc {
+
+// Expands `source` with `defines` pre-installed (as if passed via -D).
+// Throws CompileError on malformed directives or #error.
+std::string Preprocess(const std::string& source,
+                       const std::map<std::string, std::string>& defines);
+
+// Replaces // and /* */ comments with whitespace, preserving line structure.
+std::string StripComments(const std::string& source);
+
+// Source-to-source specialization: the alternative mechanism Section 4.4
+// sketches for APIs that compile from source text (OpenCL-style) rather than
+// accepting command-line definitions — "the source itself would be directly
+// customized". Produces a self-contained source with the definitions baked
+// in as #define lines, so compiling it with NO options yields the same
+// binary as compiling the original with -D flags.
+std::string SpecializeSource(const std::string& source,
+                             const std::map<std::string, std::string>& defines);
+
+}  // namespace kspec::kcc

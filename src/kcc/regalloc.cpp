@@ -1,0 +1,197 @@
+#include "kcc/regalloc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/status.hpp"
+
+namespace kspec::kcc {
+
+namespace {
+
+using vgpu::Instr;
+using vgpu::Opcode;
+using vgpu::Type;
+
+struct Block {
+  int begin = 0;
+  int end = 0;  // exclusive
+  std::vector<int> succs;
+  std::set<int> use, def;
+  std::set<int> live_in, live_out;
+};
+
+std::vector<Block> BuildBlocks(const std::vector<Instr>& code) {
+  std::set<int> leaders{0};
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instr& i = code[pc];
+    if (i.op == Opcode::kBra || i.op == Opcode::kBraPred || i.op == Opcode::kExit) {
+      leaders.insert(static_cast<int>(pc) + 1);
+    }
+    if (i.op == Opcode::kBra || i.op == Opcode::kBraPred) {
+      leaders.insert(i.target);
+      if (i.reconv >= 0) leaders.insert(i.reconv);
+    }
+  }
+  leaders.insert(static_cast<int>(code.size()));
+
+  std::vector<Block> blocks;
+  std::map<int, int> block_of_pc;
+  int prev = -1;
+  for (int l : leaders) {
+    if (l < 0 || l > static_cast<int>(code.size())) continue;
+    if (prev >= 0 && l > prev) {
+      Block b;
+      b.begin = prev;
+      b.end = l;
+      block_of_pc[prev] = static_cast<int>(blocks.size());
+      blocks.push_back(b);
+    }
+    prev = l;
+  }
+  // Successors.
+  for (auto& b : blocks) {
+    if (b.begin >= b.end) continue;
+    const Instr& last = code[b.end - 1];
+    auto add = [&](int pc) {
+      auto it = block_of_pc.find(pc);
+      if (it != block_of_pc.end()) b.succs.push_back(it->second);
+    };
+    switch (last.op) {
+      case Opcode::kExit:
+        break;
+      case Opcode::kBra:
+        add(last.target);
+        break;
+      case Opcode::kBraPred:
+        add(last.target);
+        add(b.end);
+        break;
+      default:
+        add(b.end);
+        break;
+    }
+  }
+  return blocks;
+}
+
+void CollectUseDef(const std::vector<Instr>& code, Block& b) {
+  for (int pc = b.begin; pc < b.end; ++pc) {
+    const Instr& i = code[pc];
+    auto use = [&](const vgpu::Operand& o) {
+      if (o.is_reg() && !b.def.count(o.reg)) b.use.insert(o.reg);
+    };
+    if (i.op != Opcode::kSreg) {
+      use(i.a);
+      use(i.b);
+      use(i.c);
+    }
+    if (i.dst >= 0) b.def.insert(i.dst);
+  }
+}
+
+}  // namespace
+
+AllocResult AllocateRegisters(const std::vector<Instr>& code,
+                              const std::vector<Type>& vreg_types) {
+  AllocResult out;
+  out.ilp_at_pc.assign(code.size(), 1.0f);
+  if (code.empty()) return out;
+
+  std::vector<Block> blocks = BuildBlocks(code);
+  for (auto& b : blocks) CollectUseDef(code, b);
+
+  // Iterative backward liveness.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+      Block& b = *it;
+      std::set<int> new_out;
+      for (int s : b.succs) {
+        new_out.insert(blocks[s].live_in.begin(), blocks[s].live_in.end());
+      }
+      std::set<int> new_in = b.use;
+      for (int r : new_out) {
+        if (!b.def.count(r)) new_in.insert(r);
+      }
+      if (new_out != b.live_out || new_in != b.live_in) {
+        b.live_out = std::move(new_out);
+        b.live_in = std::move(new_in);
+        changed = true;
+      }
+    }
+  }
+
+  // Peak pressure: walk each block backwards from live_out.
+  auto width = [&](int reg) -> int {
+    Type t = vreg_types[static_cast<std::size_t>(reg)];
+    if (t == Type::kPred) return 0;
+    return vgpu::TypeSize(t) > 4 ? 2 : 1;
+  };
+  auto pred_width = [&](int reg) -> int {
+    return vreg_types[static_cast<std::size_t>(reg)] == Type::kPred ? 1 : 0;
+  };
+
+  int peak = 0, peak_pred = 0;
+  for (const auto& b : blocks) {
+    std::set<int> live = b.live_out;
+    auto measure = [&]() {
+      int w = 0, p = 0;
+      for (int r : live) {
+        w += width(r);
+        p += pred_width(r);
+      }
+      peak = std::max(peak, w);
+      peak_pred = std::max(peak_pred, p);
+    };
+    measure();
+    for (int pc = b.end - 1; pc >= b.begin; --pc) {
+      const Instr& i = code[pc];
+      if (i.dst >= 0) live.erase(i.dst);
+      if (i.op != Opcode::kSreg) {
+        if (i.a.is_reg()) live.insert(i.a.reg);
+        if (i.b.is_reg()) live.insert(i.b.reg);
+        if (i.c.is_reg()) live.insert(i.c.reg);
+      }
+      measure();
+    }
+  }
+  // Real kernels always need a couple of registers for addresses/indices.
+  out.reg_count = std::max(peak, 2);
+  out.pred_count = peak_pred;
+
+  // Static ILP per block: instructions / critical path. Dependencies are
+  // def->use within the block; loads depend on their address, stores on both
+  // operands. Memory is not serialized for the estimate (GPUs overlap
+  // independent accesses aggressively).
+  for (const auto& b : blocks) {
+    int n = b.end - b.begin;
+    if (n <= 0) continue;
+    std::map<int, int> depth_of_def;  // vreg -> chain depth at its last def
+    int cp = 1;
+    for (int pc = b.begin; pc < b.end; ++pc) {
+      const Instr& i = code[pc];
+      int d = 0;
+      auto dep = [&](const vgpu::Operand& o) {
+        if (!o.is_reg()) return;
+        auto it = depth_of_def.find(o.reg);
+        if (it != depth_of_def.end()) d = std::max(d, it->second);
+      };
+      if (i.op != Opcode::kSreg) {
+        dep(i.a);
+        dep(i.b);
+        dep(i.c);
+      }
+      int my_depth = d + 1;
+      if (i.dst >= 0) depth_of_def[i.dst] = my_depth;
+      cp = std::max(cp, my_depth);
+    }
+    float ilp = static_cast<float>(n) / static_cast<float>(cp);
+    for (int pc = b.begin; pc < b.end; ++pc) out.ilp_at_pc[pc] = ilp;
+  }
+  return out;
+}
+
+}  // namespace kspec::kcc

@@ -1,0 +1,567 @@
+#include "kcc/sema.hpp"
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "support/math.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+
+namespace kspec::kcc {
+
+namespace {
+
+[[noreturn]] void Fail(int line, const std::string& msg) {
+  throw CompileError(Format("line %d: %s", line, msg.c_str()));
+}
+
+// --------------------------------------------------------------------------
+// Usual arithmetic conversions (simplified C rules over our scalar set).
+// --------------------------------------------------------------------------
+
+int Rank(Scalar s) {
+  switch (s) {
+    case Scalar::kBool: return 0;
+    case Scalar::kInt: return 1;
+    case Scalar::kUint: return 2;
+    case Scalar::kLong: return 3;
+    case Scalar::kUlong: return 4;
+    case Scalar::kFloat: return 5;
+    case Scalar::kDouble: return 6;
+    case Scalar::kVoid: return -1;
+  }
+  return -1;
+}
+
+Scalar Promote(Scalar a, Scalar b) {
+  if (a == b) return a;
+  return Rank(a) >= Rank(b) ? a : b;
+}
+
+// --------------------------------------------------------------------------
+// Intrinsics
+// --------------------------------------------------------------------------
+
+struct Intrinsic {
+  Scalar result;
+  std::vector<Scalar> args;
+};
+
+const std::map<std::string, Intrinsic>& Intrinsics() {
+  using S = Scalar;
+  static const std::map<std::string, Intrinsic> table = {
+      {"min", {S::kInt, {S::kInt, S::kInt}}},
+      {"max", {S::kInt, {S::kInt, S::kInt}}},
+      {"abs", {S::kInt, {S::kInt}}},
+      {"umin", {S::kUint, {S::kUint, S::kUint}}},
+      {"umax", {S::kUint, {S::kUint, S::kUint}}},
+      {"fminf", {S::kFloat, {S::kFloat, S::kFloat}}},
+      {"fmaxf", {S::kFloat, {S::kFloat, S::kFloat}}},
+      {"fabsf", {S::kFloat, {S::kFloat}}},
+      {"sqrtf", {S::kFloat, {S::kFloat}}},
+      {"rsqrtf", {S::kFloat, {S::kFloat}}},
+      {"__fsqrt_rn", {S::kFloat, {S::kFloat}}},
+      {"floorf", {S::kFloat, {S::kFloat}}},
+      {"ceilf", {S::kFloat, {S::kFloat}}},
+      {"expf", {S::kFloat, {S::kFloat}}},
+      {"__expf", {S::kFloat, {S::kFloat}}},
+      {"logf", {S::kFloat, {S::kFloat}}},
+      {"__logf", {S::kFloat, {S::kFloat}}},
+      {"sinf", {S::kFloat, {S::kFloat}}},
+      {"__sinf", {S::kFloat, {S::kFloat}}},
+      {"cosf", {S::kFloat, {S::kFloat}}},
+      {"__cosf", {S::kFloat, {S::kFloat}}},
+      {"fmaf", {S::kFloat, {S::kFloat, S::kFloat, S::kFloat}}},
+      {"sqrt", {S::kDouble, {S::kDouble}}},
+      {"fabs", {S::kDouble, {S::kDouble}}},
+      {"floor", {S::kDouble, {S::kDouble}}},
+      {"ceil", {S::kDouble, {S::kDouble}}},
+      {"fma", {S::kDouble, {S::kDouble, S::kDouble, S::kDouble}}},
+      {"__mul24", {S::kInt, {S::kInt, S::kInt}}},
+      {"__umul24", {S::kUint, {S::kUint, S::kUint}}},
+  };
+  return table;
+}
+
+// Atomic intrinsics take a pointer first argument; handled separately.
+bool IsAtomicName(const std::string& n) {
+  return n == "atomicAdd" || n == "atomicMin" || n == "atomicMax" || n == "atomicExch" ||
+         n == "atomicCAS";
+}
+
+// --------------------------------------------------------------------------
+// Symbols
+// --------------------------------------------------------------------------
+
+struct Symbol {
+  enum class Kind { kScalar, kPointer, kSharedArray, kLocalArray, kConstArray, kTexture };
+  Kind kind = Kind::kScalar;
+  TypeRef type;  // scalar type (for arrays: element type as non-pointer)
+  bool is_const = false;
+};
+
+class KernelSema {
+ public:
+  KernelSema(ModuleAst& module, KernelDecl& kernel) : module_(module), kernel_(kernel) {}
+
+  void Run() {
+    PushScope();
+    for (auto& c : module_.constants) {
+      Symbol sym;
+      sym.kind = Symbol::Kind::kConstArray;
+      sym.type = TypeRef::Value(c.elem);
+      sym.is_const = true;
+      Declare(c.name, sym, c.line);
+    }
+    for (auto& t : module_.textures) {
+      Symbol sym;
+      sym.kind = Symbol::Kind::kTexture;
+      sym.type = TypeRef::Value(Scalar::kFloat);
+      sym.is_const = true;
+      Declare(t.name, sym, t.line);
+    }
+    PushScope();
+    for (auto& p : kernel_.params) {
+      Symbol sym;
+      sym.kind = p.type.is_pointer ? Symbol::Kind::kPointer : Symbol::Kind::kScalar;
+      sym.type = p.type;
+      Declare(p.name, sym, kernel_.line);
+    }
+    CheckStmt(*kernel_.body, /*top_level=*/true, /*in_loop=*/false);
+    PopScope();
+    PopScope();
+  }
+
+ private:
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+
+  void Declare(const std::string& name, Symbol sym, int line) {
+    for (const auto& scope : scopes_) {
+      if (scope.count(name)) {
+        Fail(line, Format("redeclaration or shadowing of '%s' (Kernel-C forbids shadowing)",
+                          name.c_str()));
+      }
+    }
+    scopes_.back()[name] = std::move(sym);
+  }
+
+  const Symbol* Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  // Wraps `e` in a cast to `target` when types differ.
+  void Coerce(ExprPtr& e, Scalar target) {
+    if (e->type.is_pointer) Fail(e->line, "cannot convert a pointer to a scalar");
+    if (e->type.scalar == target) return;
+    auto cast = std::make_unique<Expr>();
+    cast->kind = ExprKind::kCast;
+    cast->line = e->line;
+    cast->type = TypeRef::Value(target);
+    cast->a = std::move(e);
+    e = std::move(cast);
+  }
+
+  void CheckCondition(ExprPtr& e) {
+    CheckExpr(e);
+    if (e->type.is_pointer) Fail(e->line, "pointer used as a condition");
+    if (e->type.scalar == Scalar::kVoid) Fail(e->line, "void used as a condition");
+  }
+
+  void CheckStmt(Stmt& s, bool top_level, bool in_loop) {
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        PushScope();
+        for (auto& st : s.stmts) CheckStmt(*st, top_level, in_loop);
+        PopScope();
+        return;
+      }
+      case StmtKind::kDecl: {
+        for (auto& d : s.decls) {
+          if (d.init) {
+            CheckExpr(d.init);
+            if (d.init->type.is_pointer != d.type.is_pointer) {
+              Fail(s.line, "pointer/scalar mismatch in initialization of '" + d.name + "'");
+            }
+            if (d.type.is_pointer) {
+              if (d.init->type.scalar != d.type.scalar) {
+                Fail(s.line, "pointer element type mismatch in '" + d.name + "'");
+              }
+              d.type.space = d.init->type.space;  // adopt the source space
+            } else {
+              Coerce(d.init, d.type.scalar);
+            }
+          } else if (d.type.is_pointer) {
+            Fail(s.line, "pointer variable '" + d.name + "' needs an initializer");
+          }
+          Symbol sym;
+          sym.kind = d.type.is_pointer ? Symbol::Kind::kPointer : Symbol::Kind::kScalar;
+          sym.type = d.type;
+          sym.is_const = d.is_const;
+          Declare(d.name, sym, s.line);
+        }
+        return;
+      }
+      case StmtKind::kArrayDecl: {
+        if (s.array_space == vgpu::Space::kShared && !top_level) {
+          Fail(s.line, "__shared__ arrays must be declared at kernel top level");
+        }
+        if (s.array_dynamic) {
+          // extern __shared__: sized by the launch configuration; the kernel
+          // only knows the base. (The simpler static syntax "behaving like
+          // dynamic" is what specialization buys — Section 4.1.)
+          Symbol dyn_sym;
+          dyn_sym.kind = Symbol::Kind::kSharedArray;
+          dyn_sym.type = s.array_elem;
+          Declare(s.array_name, dyn_sym, s.line);
+          return;
+        }
+        CheckExpr(s.array_size);
+        FoldInPlace(s.array_size);
+        auto n = EvalConstInt(*s.array_size);
+        if (!n || *n <= 0) {
+          Fail(s.line,
+               Format("array '%s' needs a positive compile-time constant size; pass the size "
+                      "as a specialization constant (-D) to fix it at compile time",
+                      s.array_name.c_str()));
+        }
+        Symbol sym;
+        sym.kind = s.array_space == vgpu::Space::kShared ? Symbol::Kind::kSharedArray
+                                                         : Symbol::Kind::kLocalArray;
+        sym.type = s.array_elem;
+        Declare(s.array_name, sym, s.line);
+        return;
+      }
+      case StmtKind::kExpr:
+        CheckExpr(s.expr);
+        return;
+      case StmtKind::kIf:
+        CheckCondition(s.cond);
+        CheckStmt(*s.then_branch, false, in_loop);
+        if (s.else_branch) CheckStmt(*s.else_branch, false, in_loop);
+        return;
+      case StmtKind::kWhile:
+        CheckCondition(s.cond);
+        CheckStmt(*s.body, false, true);
+        return;
+      case StmtKind::kFor: {
+        PushScope();  // for-scope holds the induction variable
+        if (s.init) CheckStmt(*s.init, false, in_loop);
+        if (s.cond) CheckCondition(s.cond);
+        if (s.step) CheckExpr(s.step);
+        CheckStmt(*s.body, false, true);
+        PopScope();
+        return;
+      }
+      case StmtKind::kReturn:
+      case StmtKind::kSync:
+        return;
+    }
+  }
+
+  void CheckLvalue(const Expr& e) {
+    if (e.kind == ExprKind::kVarRef) {
+      const Symbol* sym = Lookup(e.name);
+      KSPEC_CHECK(sym != nullptr);
+      if (sym->is_const) Fail(e.line, "assignment to const variable '" + e.name + "'");
+      if (sym->kind == Symbol::Kind::kSharedArray || sym->kind == Symbol::Kind::kLocalArray ||
+          sym->kind == Symbol::Kind::kConstArray) {
+        Fail(e.line, "cannot assign to an array; index it");
+      }
+      return;
+    }
+    if (e.kind == ExprKind::kIndex) {
+      if (e.a->kind == ExprKind::kVarRef) {
+        const Symbol* sym = Lookup(e.a->name);
+        if (sym && sym->kind == Symbol::Kind::kConstArray) {
+          Fail(e.line, "constant memory is read-only on the device");
+        }
+      }
+      return;
+    }
+    Fail(e.line, "expression is not assignable");
+  }
+
+  void CheckExpr(ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+        return;  // typed at parse
+      case ExprKind::kSreg:
+        e->type = TypeRef::Value(Scalar::kUint);
+        return;
+      case ExprKind::kVarRef: {
+        const Symbol* sym = Lookup(e->name);
+        if (!sym) {
+          bool all_caps =
+              e->name.find_first_of("abcdefghijklmnopqrstuvwxyz") == std::string::npos;
+          Fail(e->line,
+               Format("use of undeclared identifier '%s'%s", e->name.c_str(),
+                      all_caps ? " (ALL-CAPS identifiers are usually specialization "
+                                 "constants: define it with -D or provide a #ifndef default)"
+                               : ""));
+        }
+        switch (sym->kind) {
+          case Symbol::Kind::kScalar:
+            e->type = sym->type;
+            return;
+          case Symbol::Kind::kPointer:
+            e->type = sym->type;
+            return;
+          case Symbol::Kind::kSharedArray:
+            e->type = TypeRef::Pointer(sym->type.scalar, vgpu::Space::kShared);
+            return;
+          case Symbol::Kind::kLocalArray:
+            e->type = TypeRef::Pointer(sym->type.scalar, vgpu::Space::kLocal);
+            return;
+          case Symbol::Kind::kConstArray:
+            e->type = TypeRef::Pointer(sym->type.scalar, vgpu::Space::kConst);
+            return;
+          case Symbol::Kind::kTexture:
+            Fail(e->line, "textures may only be used through tex2D()/tex1Dfetch()");
+        }
+        return;
+      }
+      case ExprKind::kUnary: {
+        CheckExpr(e->a);
+        if (e->a->type.is_pointer) Fail(e->line, "unary operator on a pointer");
+        Scalar s = e->a->type.scalar;
+        switch (e->un_op) {
+          case UnOp::kNot:
+            e->type = TypeRef::Value(Scalar::kBool);
+            return;
+          case UnOp::kBitNot:
+            if (IsFloatScalar(s)) Fail(e->line, "~ requires an integer operand");
+            if (s == Scalar::kBool) Coerce(e->a, Scalar::kInt), s = Scalar::kInt;
+            e->type = TypeRef::Value(s);
+            return;
+          case UnOp::kNeg:
+          case UnOp::kPlus:
+            if (s == Scalar::kBool) Coerce(e->a, Scalar::kInt), s = Scalar::kInt;
+            e->type = TypeRef::Value(s);
+            return;
+        }
+        return;
+      }
+      case ExprKind::kBinary: {
+        CheckExpr(e->a);
+        CheckExpr(e->b);
+        // Pointer arithmetic: ptr +/- integer.
+        if (e->a->type.is_pointer || e->b->type.is_pointer) {
+          if (e->bin_op != BinOp::kAdd && e->bin_op != BinOp::kSub) {
+            Fail(e->line, "only + and - are defined on pointers");
+          }
+          if (e->a->type.is_pointer && e->b->type.is_pointer) {
+            Fail(e->line, "pointer-pointer arithmetic is not supported");
+          }
+          if (e->b->type.is_pointer) {
+            if (e->bin_op == BinOp::kSub) Fail(e->line, "integer - pointer is not valid");
+            std::swap(e->a, e->b);  // normalize to ptr + int
+          }
+          if (IsFloatScalar(e->b->type.scalar)) Fail(e->line, "pointer offset must be an integer");
+          e->type = e->a->type;
+          return;
+        }
+        switch (e->bin_op) {
+          case BinOp::kLogAnd:
+          case BinOp::kLogOr:
+            e->type = TypeRef::Value(Scalar::kBool);
+            return;
+          case BinOp::kLt: case BinOp::kLe: case BinOp::kGt: case BinOp::kGe:
+          case BinOp::kEq: case BinOp::kNe: {
+            Scalar common = Promote(e->a->type.scalar, e->b->type.scalar);
+            if (common == Scalar::kBool) common = Scalar::kInt;
+            Coerce(e->a, common);
+            Coerce(e->b, common);
+            e->type = TypeRef::Value(Scalar::kBool);
+            return;
+          }
+          case BinOp::kShl:
+          case BinOp::kShr: {
+            if (IsFloatScalar(e->a->type.scalar) || IsFloatScalar(e->b->type.scalar)) {
+              Fail(e->line, "shift requires integer operands");
+            }
+            if (e->a->type.scalar == Scalar::kBool) Coerce(e->a, Scalar::kInt);
+            Coerce(e->b, Scalar::kUint);
+            e->type = e->a->type;
+            return;
+          }
+          case BinOp::kAnd: case BinOp::kOr: case BinOp::kXor:
+            if (IsFloatScalar(e->a->type.scalar) || IsFloatScalar(e->b->type.scalar)) {
+              Fail(e->line, "bitwise operators require integer operands");
+            }
+            [[fallthrough]];
+          default: {
+            Scalar common = Promote(e->a->type.scalar, e->b->type.scalar);
+            if (common == Scalar::kBool) common = Scalar::kInt;
+            Coerce(e->a, common);
+            Coerce(e->b, common);
+            e->type = TypeRef::Value(common);
+            return;
+          }
+        }
+      }
+      case ExprKind::kAssign: {
+        CheckExpr(e->a);
+        CheckExpr(e->b);
+        CheckLvalue(*e->a);
+        if (e->a->type.is_pointer) {
+          // Pointer reassignment (e.g. walking a base pointer).
+          if (!e->b->type.is_pointer && !e->is_compound) {
+            Fail(e->line, "assigning a scalar to a pointer");
+          }
+          if (e->is_compound) {
+            if (e->assign_op != BinOp::kAdd && e->assign_op != BinOp::kSub) {
+              Fail(e->line, "only += and -= are defined on pointers");
+            }
+            if (IsFloatScalar(e->b->type.scalar)) Fail(e->line, "pointer offset must be integer");
+          }
+          e->type = e->a->type;
+          return;
+        }
+        Coerce(e->b, e->a->type.scalar);
+        e->type = e->a->type;
+        return;
+      }
+      case ExprKind::kTernary: {
+        CheckCondition(e->a);
+        CheckExpr(e->b);
+        CheckExpr(e->c);
+        if (e->b->type.is_pointer != e->c->type.is_pointer) {
+          Fail(e->line, "?: branches must both be pointers or both scalars");
+        }
+        if (e->b->type.is_pointer) {
+          e->type = e->b->type;
+          return;
+        }
+        Scalar common = Promote(e->b->type.scalar, e->c->type.scalar);
+        Coerce(e->b, common);
+        Coerce(e->c, common);
+        e->type = TypeRef::Value(common);
+        return;
+      }
+      case ExprKind::kIndex: {
+        CheckExpr(e->a);
+        CheckExpr(e->b);
+        if (!e->a->type.is_pointer) Fail(e->line, "indexing a non-pointer");
+        if (IsFloatScalar(e->b->type.scalar)) Fail(e->line, "array index must be an integer");
+        e->type = TypeRef::Value(e->a->type.scalar);
+        return;
+      }
+      case ExprKind::kCast: {
+        CheckExpr(e->a);
+        if (e->type.is_pointer) {
+          // (float*)expr — reinterpret an integer or pointer as a pointer.
+          if (!e->a->type.is_pointer && IsFloatScalar(e->a->type.scalar)) {
+            Fail(e->line, "cannot cast a float to a pointer");
+          }
+          // Preserve the source address space when casting pointer->pointer.
+          if (e->a->type.is_pointer) e->type.space = e->a->type.space;
+          return;
+        }
+        if (e->a->type.is_pointer) {
+          if (e->type.scalar != Scalar::kUlong && e->type.scalar != Scalar::kLong) {
+            Fail(e->line, "pointers may only be cast to (unsigned) long long");
+          }
+        }
+        return;
+      }
+      case ExprKind::kCall: {
+        if (e->name == "tex2D" || e->name == "tex1Dfetch") {
+          bool is2d = e->name == "tex2D";
+          std::size_t want = is2d ? 3u : 2u;
+          if (e->args.size() != want) {
+            Fail(e->line, e->name + ": wrong number of arguments");
+          }
+          const Expr& t = *e->args[0];
+          const Symbol* sym = t.kind == ExprKind::kVarRef ? Lookup(t.name) : nullptr;
+          if (!sym || sym->kind != Symbol::Kind::kTexture) {
+            Fail(e->line, e->name + ": first argument must name a __texture");
+          }
+          e->args[0]->type = TypeRef::Value(Scalar::kFloat);  // placeholder; never lowered
+          for (std::size_t i = 1; i < e->args.size(); ++i) {
+            CheckExpr(e->args[i]);
+            Coerce(e->args[i], is2d ? Scalar::kFloat : Scalar::kInt);
+          }
+          e->type = TypeRef::Value(Scalar::kFloat);
+          return;
+        }
+        if (IsAtomicName(e->name)) {
+          if (e->args.size() != (e->name == "atomicCAS" ? 3u : 2u)) {
+            Fail(e->line, e->name + ": wrong number of arguments");
+          }
+          CheckExpr(e->args[0]);
+          if (!e->args[0]->type.is_pointer) Fail(e->line, e->name + ": first argument must be a pointer");
+          Scalar elem = e->args[0]->type.scalar;
+          for (std::size_t i = 1; i < e->args.size(); ++i) {
+            CheckExpr(e->args[i]);
+            Coerce(e->args[i], elem);
+          }
+          e->type = TypeRef::Value(elem);
+          return;
+        }
+        auto it = Intrinsics().find(e->name);
+        if (it == Intrinsics().end()) {
+          Fail(e->line, Format("unknown function '%s' (Kernel-C supports intrinsics only; "
+                               "there are no user function calls)",
+                               e->name.c_str()));
+        }
+        const Intrinsic& sig = it->second;
+        if (e->args.size() != sig.args.size()) {
+          Fail(e->line, Format("%s expects %zu arguments, got %zu", e->name.c_str(),
+                               sig.args.size(), e->args.size()));
+        }
+        for (std::size_t i = 0; i < e->args.size(); ++i) {
+          CheckExpr(e->args[i]);
+          if (e->args[i]->type.is_pointer) Fail(e->line, "pointer passed to " + e->name);
+          Coerce(e->args[i], sig.args[i]);
+        }
+        e->type = TypeRef::Value(sig.result);
+        return;
+      }
+    }
+  }
+
+  ModuleAst& module_;
+  KernelDecl& kernel_;
+  std::vector<std::map<std::string, Symbol>> scopes_;
+};
+
+}  // namespace
+
+void AnalyzeKernel(ModuleAst& module, KernelDecl& kernel) {
+  KernelSema(module, kernel).Run();
+}
+
+void Analyze(ModuleAst& module) {
+  // Fold and validate constant-array sizes; assign constant-segment offsets.
+  unsigned offset = 0;
+  for (auto& c : module.constants) {
+    // Sizes may reference earlier macros only (already literal after
+    // preprocessing); no symbols are in scope here.
+    FoldInPlace(c.size);
+    auto n = EvalConstInt(*c.size);
+    if (!n || *n <= 0) {
+      Fail(c.line, Format("__constant array '%s' needs a positive compile-time size "
+                          "(CUDA requires constant memory sizes to be fixed at compile time; "
+                          "specialize the size with -D)",
+                          c.name.c_str()));
+    }
+    c.folded_size = *n;
+    offset = static_cast<unsigned>(AlignUp<std::uint64_t>(offset, ScalarSize(c.elem)));
+    c.offset = offset;
+    offset += static_cast<unsigned>(*n * ScalarSize(c.elem));
+    if (offset > 64 * 1024) {
+      Fail(c.line, "constant memory exceeds the 64 KB limit");
+    }
+  }
+  for (auto& k : module.kernels) AnalyzeKernel(module, k);
+}
+
+}  // namespace kspec::kcc

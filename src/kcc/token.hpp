@@ -1,0 +1,42 @@
+// Token definitions for the Kernel-C lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kspec::kcc {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,    // value in Token::int_value; unsignedness/width in suffix flags
+  kFloatLit,  // value in Token::float_value; kIsFloat32 when 'f' suffix
+  // Punctuation / operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi, kColon, kQuestion, kDot,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kLess, kGreater, kLessEq, kGreaterEq, kEqEq, kBangEq,
+  kAmpAmp, kPipePipe,
+  kShl, kShr,
+  kAssign,
+  kPlusEq, kMinusEq, kStarEq, kSlashEq, kPercentEq,
+  kAmpEq, kPipeEq, kCaretEq, kShlEq, kShrEq,
+  kPlusPlus, kMinusMinus,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  std::uint64_t int_value = 0;
+  double float_value = 0;
+  bool is_unsigned = false;  // integer literal had a 'u' suffix
+  bool is_wide = false;      // integer literal had an 'll'/'l' suffix
+  bool is_f32 = false;       // float literal had an 'f' suffix
+  int line = 0;
+  int col = 0;
+};
+
+const char* TokName(Tok t);
+
+}  // namespace kspec::kcc

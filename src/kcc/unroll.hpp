@@ -1,0 +1,33 @@
+// Front-end loop unrolling and local-array scalarization.
+//
+// These two transformations are the heart of what specialization buys
+// (Sections 2.4 and 4): a `for` loop whose bounds fold to compile-time
+// constants is fully unrolled (the specialized PTX in Appendix D "has no
+// control flow"), and a local array whose every index is then a constant is
+// promoted to scalar variables — i.e. registers. NVIDIA GPUs cannot
+// indirectly address registers, so register blocking requires exactly this
+// chain: fixed trip counts -> unrolling -> constant indices -> registers.
+// When the chain breaks (a run-time bound), the loop simply stays rolled and
+// a local array becomes a compile error with guidance, mirroring real CUDA
+// behaviour where such arrays fall to slow local memory.
+#pragma once
+
+#include "kcc/ast.hpp"
+
+namespace kspec::kcc {
+
+struct UnrollResult {
+  int loops_unrolled = 0;
+  int loops_kept = 0;  // loops left rolled (run-time bounds or over budget)
+};
+
+// Unrolls every fully-constant counted loop in `kernel` whose trip count is
+// <= max_unroll. Folds as it goes. The AST must be sema-typed.
+UnrollResult UnrollLoops(KernelDecl& kernel, int max_unroll);
+
+// Replaces local (register) arrays with scalars. Must run after UnrollLoops.
+// Throws CompileError if a non-constant index into a local array survives.
+// Returns the number of arrays scalarized.
+int ScalarizeLocalArrays(KernelDecl& kernel);
+
+}  // namespace kspec::kcc

@@ -1,0 +1,66 @@
+#include "support/csv.hpp"
+
+#include <algorithm>
+
+#include "support/str.hpp"
+
+namespace kspec {
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(double v) {
+  cells_.push_back(Format("%.4g", v));
+  return *this;
+}
+
+Table::RowBuilder::~RowBuilder() { table_->AddRow(std::move(cells_)); }
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void Table::WriteCsv(std::ostream& os) const {
+  std::vector<std::string> escaped;
+  escaped.reserve(header_.size());
+  for (const auto& h : header_) escaped.push_back(CsvEscape(h));
+  os << Join(escaped, ",") << "\n";
+  for (const auto& row : rows_) {
+    escaped.clear();
+    for (const auto& cell : row) escaped.push_back(CsvEscape(cell));
+    os << Join(escaped, ",") << "\n";
+  }
+}
+
+void Table::WriteAscii(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i) width[i] = std::max(width[i], row[i].size());
+
+  auto write_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << " " << cell << std::string(width[i] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  write_row(header_);
+  os << "|";
+  for (std::size_t i = 0; i < header_.size(); ++i) os << std::string(width[i] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace kspec

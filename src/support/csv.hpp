@@ -1,0 +1,55 @@
+// CSV and fixed-width table writers used by the benchmark harness to emit the
+// paper's tables and the data behind its contour figures.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kspec {
+
+// Accumulates rows of string cells and renders them either as CSV or as an
+// aligned ASCII table (the format the bench binaries print).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  // Adds a row; pads or truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats arbitrary cell types with to_string-ish rules.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table* table) : table_(table) {}
+    RowBuilder& operator<<(const std::string& s) { cells_.push_back(s); return *this; }
+    RowBuilder& operator<<(const char* s) { cells_.emplace_back(s); return *this; }
+    RowBuilder& operator<<(double v);
+    RowBuilder& operator<<(std::int64_t v) { cells_.push_back(std::to_string(v)); return *this; }
+    RowBuilder& operator<<(int v) { cells_.push_back(std::to_string(v)); return *this; }
+    RowBuilder& operator<<(unsigned v) { cells_.push_back(std::to_string(v)); return *this; }
+    RowBuilder& operator<<(std::size_t v) { cells_.push_back(std::to_string(v)); return *this; }
+    ~RowBuilder();
+
+   private:
+    Table* table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder Row() { return RowBuilder(this); }
+
+  void WriteCsv(std::ostream& os) const;
+  void WriteAscii(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Escapes a CSV field per RFC 4180 (quotes fields containing , " or newline).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace kspec

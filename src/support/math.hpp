@@ -1,0 +1,48 @@
+// Small integer-math helpers shared by the simulator, compiler, and apps.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "support/status.hpp"
+
+namespace kspec {
+
+// Ceiling division for non-negative integers.
+template <typename T>
+constexpr T CeilDiv(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return (a + b - 1) / b;
+}
+
+// Rounds `v` up to the next multiple of `align` (align > 0).
+template <typename T>
+constexpr T AlignUp(T v, T align) {
+  static_assert(std::is_integral_v<T>);
+  return CeilDiv(v, align) * align;
+}
+
+// Rounds `v` down to a multiple of `align`.
+template <typename T>
+constexpr T AlignDown(T v, T align) {
+  static_assert(std::is_integral_v<T>);
+  return (v / align) * align;
+}
+
+constexpr bool IsPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Floor of log2; requires v > 0.
+constexpr unsigned ILog2(std::uint64_t v) {
+  unsigned r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+// Next power of two >= v (v >= 1).
+constexpr std::uint64_t NextPow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace kspec

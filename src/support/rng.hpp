@@ -1,0 +1,56 @@
+// Deterministic pseudo-random generation for synthetic workloads.
+//
+// All data sets in the benchmark suite are generated from fixed seeds so every
+// run (and every implementation variant) sees identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace kspec {
+
+// xoshiro256** — small, fast, and good enough for synthetic image content.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding.
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    auto rotl = [](std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(NextDouble() * static_cast<double>(hi - lo + 1));
+  }
+
+  void FillUniform(std::span<float> out, float lo = 0.0f, float hi = 1.0f) {
+    for (auto& v : out) v = lo + (hi - lo) * NextFloat();
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace kspec

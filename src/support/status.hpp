@@ -1,0 +1,64 @@
+// Lightweight error handling used throughout the library.
+//
+// Recoverable failures (bad kernel source, invalid launch configurations,
+// out-of-range parameters) are reported as exceptions derived from
+// kspec::Error so callers can distinguish subsystem failures. Programming
+// errors use KSPEC_CHECK, which throws InternalError with location context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kspec {
+
+// Base class for all recoverable errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Kernel-C compilation failure (syntax, semantic, or preprocessor error).
+class CompileError : public Error {
+ public:
+  explicit CompileError(const std::string& what) : Error("compile error: " + what) {}
+};
+
+// Invalid use of the vgpu device model (bad launch config, OOB access, ...).
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error("device error: " + what) {}
+};
+
+// Invalid use of the GPU-PF pipeline API.
+class PipelineError : public Error {
+ public:
+  explicit PipelineError(const std::string& what) : Error("pipeline error: " + what) {}
+};
+
+// Invariant violation inside the library itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::string what = std::string(file) + ":" + std::to_string(line) +
+                     ": check failed: " + expr;
+  if (!msg.empty()) what += " — " + msg;
+  throw InternalError(what);
+}
+}  // namespace detail
+
+}  // namespace kspec
+
+#define KSPEC_CHECK(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) ::kspec::detail::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define KSPEC_CHECK_MSG(expr, msg)                                             \
+  do {                                                                         \
+    if (!(expr)) ::kspec::detail::CheckFailed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,32 @@
+// String helpers used by the preprocessor, lexer, loggers, and table writers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kspec {
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// 64-bit FNV-1a hash, used for kernel-cache keys.
+std::uint64_t Fnv1a(std::string_view s);
+
+// Renders a double with `digits` significant digits (for table output).
+std::string HumanNumber(double v, int digits = 3);
+
+}  // namespace kspec

@@ -1,0 +1,25 @@
+// Wall-clock timing for host-side measurements (compile overhead, CPU refs).
+// The vgpu simulator never uses wall time; its results are simulated cycles.
+#pragma once
+
+#include <chrono>
+
+namespace kspec {
+
+class WallTimer {
+ public:
+  WallTimer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kspec

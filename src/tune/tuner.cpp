@@ -1,0 +1,143 @@
+#include "tune/tuner.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/status.hpp"
+
+namespace kspec::tune {
+
+namespace {
+
+// Safely evaluates one configuration; infeasible points become +inf.
+double TryEval(const EvalFn& eval, const Config& cfg, TuneResult* result) {
+  double ms = std::numeric_limits<double>::infinity();
+  try {
+    ms = eval(cfg);
+    if (!std::isfinite(ms)) ms = std::numeric_limits<double>::infinity();
+  } catch (const Error&) {
+    ms = std::numeric_limits<double>::infinity();
+  }
+  if (std::isinf(ms)) {
+    ++result->skipped;
+  } else {
+    ++result->evaluated;
+    result->history.push_back({cfg, ms});
+  }
+  return ms;
+}
+
+}  // namespace
+
+TuneResult GridSearch(const std::vector<ParamRange>& space, const EvalFn& eval) {
+  KSPEC_CHECK_MSG(!space.empty(), "empty tuning space");
+  for (const auto& r : space) KSPEC_CHECK_MSG(!r.values.empty(), "empty range: " + r.name);
+
+  TuneResult result;
+  result.best_millis = std::numeric_limits<double>::infinity();
+
+  std::vector<std::size_t> idx(space.size(), 0);
+  while (true) {
+    Config cfg;
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      cfg[space[d].name] = space[d].values[idx[d]];
+    }
+    double ms = TryEval(eval, cfg, &result);
+    if (ms < result.best_millis) {
+      result.best_millis = ms;
+      result.best = cfg;
+    }
+    // Odometer increment.
+    std::size_t d = 0;
+    while (d < space.size()) {
+      if (++idx[d] < space[d].values.size()) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == space.size()) break;
+  }
+  return result;
+}
+
+TuneResult CoordinateDescent(const std::vector<ParamRange>& space, const EvalFn& eval,
+                             int max_rounds) {
+  KSPEC_CHECK_MSG(!space.empty(), "empty tuning space");
+  for (const auto& r : space) KSPEC_CHECK_MSG(!r.values.empty(), "empty range: " + r.name);
+
+  TuneResult result;
+  result.best_millis = std::numeric_limits<double>::infinity();
+
+  // Evaluations are memoized so multi-start restarts never re-measure a
+  // configuration (kernel-cache-style reuse).
+  std::map<Config, double> memo;
+  auto eval_memo = [&](const Config& cfg) -> double {
+    auto it = memo.find(cfg);
+    if (it != memo.end()) return it->second;
+    double ms = TryEval(eval, cfg, &result);
+    memo[cfg] = ms;
+    return ms;
+  };
+
+  // Multi-start: descend once from every value of the first dimension. GPU
+  // cost surfaces are only piecewise-smooth (feasibility cliffs from
+  // occupancy and coverage constraints), so single-seed descent can trap.
+  for (std::int64_t seed : space[0].values) {
+    Config current;
+    for (const auto& r : space) current[r.name] = r.values.front();
+    current[space[0].name] = seed;
+    double current_ms = eval_memo(current);
+
+    if (std::isinf(current_ms)) {
+      // Walk remaining dimensions looking for any feasible start.
+      for (std::size_t d = 1; d < space.size() && std::isinf(current_ms); ++d) {
+        for (std::int64_t v : space[d].values) {
+          Config probe = current;
+          probe[space[d].name] = v;
+          double ms = eval_memo(probe);
+          if (!std::isinf(ms)) {
+            current = probe;
+            current_ms = ms;
+            break;
+          }
+        }
+      }
+      if (std::isinf(current_ms)) continue;
+    }
+
+    for (int round = 0; round < max_rounds; ++round) {
+      bool improved = false;
+      for (const auto& r : space) {
+        for (std::int64_t v : r.values) {
+          if (v == current[r.name]) continue;
+          Config probe = current;
+          probe[r.name] = v;
+          double ms = eval_memo(probe);
+          if (ms < current_ms) {
+            current = probe;
+            current_ms = ms;
+            improved = true;
+          }
+        }
+      }
+      if (!improved) break;
+    }
+
+    if (current_ms < result.best_millis) {
+      result.best_millis = current_ms;
+      result.best = current;
+    }
+  }
+  return result;
+}
+
+std::optional<Config> TuningCache::Lookup(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TuningCache::Store(const std::string& key, Config config) {
+  entries_[key] = std::move(config);
+}
+
+}  // namespace kspec::tune

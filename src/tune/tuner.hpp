@@ -1,0 +1,72 @@
+// Implementation-parameter autotuning.
+//
+// Chapter 3 of the dissertation positions kernel specialization as
+// complementary to autotuning: "by using highly parameterized CUDA kernels
+// that are specialized quickly at run time, autotuning tools can be used to
+// characterize the performance of a given implementation so that effective
+// parameters can be selected quickly and used to compile a specialized
+// kernel." This module is that companion tool: generic search over named
+// integer parameter ranges with a pluggable evaluation function (typically:
+// specialize, launch on the simulator, return simulated milliseconds), plus a
+// result cache keyed by problem signature so a tuned configuration is reused
+// across pipeline runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace kspec::tune {
+
+struct ParamRange {
+  std::string name;
+  std::vector<std::int64_t> values;
+};
+
+using Config = std::map<std::string, std::int64_t>;
+
+struct Sample {
+  Config config;
+  double millis = 0;
+};
+
+struct TuneResult {
+  Config best;
+  double best_millis = 0;
+  std::size_t evaluated = 0;  // configurations actually measured
+  std::size_t skipped = 0;    // configurations rejected by the evaluator
+  std::vector<Sample> history;
+};
+
+// Evaluation callback: returns the cost (simulated ms) of a configuration,
+// or throws / returns a non-finite value to mark it infeasible (occupancy
+// limits, uncoverable masks, ...).
+using EvalFn = std::function<double(const Config&)>;
+
+// Exhaustive search over the cross product of all ranges.
+TuneResult GridSearch(const std::vector<ParamRange>& space, const EvalFn& eval);
+
+// Greedy coordinate descent: start from each range's first feasible value,
+// then repeatedly sweep one parameter at a time until no sweep improves.
+// Evaluates far fewer points than the grid on separable-ish cost surfaces.
+TuneResult CoordinateDescent(const std::vector<ParamRange>& space, const EvalFn& eval,
+                             int max_rounds = 4);
+
+// Remembers tuned configurations per problem signature (e.g. a string built
+// from the problem parameters plus the device name), so repeated problems
+// skip the search entirely — mirroring the compiled-binary cache one level
+// up.
+class TuningCache {
+ public:
+  std::optional<Config> Lookup(const std::string& key) const;
+  void Store(const std::string& key, Config config);
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Config> entries_;
+};
+
+}  // namespace kspec::tune

@@ -1,0 +1,28 @@
+#include "vcuda/tiered.hpp"
+
+namespace kspec::vcuda {
+
+std::shared_ptr<Module> TieredLoader::Get(const kcc::CompileOptions& specialized_opts) {
+  std::string key = Key(specialized_opts);
+  int& heat = heat_[key];
+  ++heat;
+  if (heat < hot_threshold_) {
+    ++stats_.re_served;
+    if (!re_module_) {
+      re_module_ = ctx_->LoadModule(source_, {});  // one RE build for all sets
+    }
+    return re_module_;
+  }
+  if (heat == hot_threshold_) ++stats_.specializations;
+  ++stats_.sk_served;
+  // The context's cache makes repeated loads of the same specialization
+  // cheap; this call compiles only on the promotion request.
+  return ctx_->LoadModule(source_, specialized_opts);
+}
+
+bool TieredLoader::IsSpecialized(const kcc::CompileOptions& specialized_opts) const {
+  auto it = heat_.find(Key(specialized_opts));
+  return it != heat_.end() && it->second >= hot_threshold_;
+}
+
+}  // namespace kspec::vcuda

@@ -1,0 +1,57 @@
+// Tiered (lazy) specialization — the dissertation's future-work direction of
+// deciding *when* specialization pays (Sections 4.3 / 7.2.3).
+//
+// Run-time compilation has a cost; for a kernel launched once on a given
+// parameter set, the adaptable run-time-evaluated binary may win overall.
+// TieredLoader implements the classic JIT tiering policy: the first
+// `hot_threshold` requests for a parameter set are served by the RE build
+// (compiled once, shared by every parameter set); once a set proves hot, the
+// specialized build is compiled and served from then on. The break-even
+// arithmetic is exactly Section 4.3's: compile overhead is amortized when
+//   launches * (re_time - sk_time) > compile_time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "vcuda/vcuda.hpp"
+
+namespace kspec::vcuda {
+
+class TieredLoader {
+ public:
+  // `source` must compile in a fully run-time-evaluated configuration when
+  // no defines are provided (the Appendix B single-source pattern).
+  TieredLoader(Context* ctx, std::string source, int hot_threshold = 3)
+      : ctx_(ctx), source_(std::move(source)), hot_threshold_(hot_threshold) {}
+
+  // Returns the module to use for this parameter set: the shared RE build
+  // while the set is cold, the specialized build once it is hot.
+  std::shared_ptr<Module> Get(const kcc::CompileOptions& specialized_opts);
+
+  // True if the given parameter set is currently served specialized.
+  bool IsSpecialized(const kcc::CompileOptions& specialized_opts) const;
+
+  struct Stats {
+    std::uint64_t re_served = 0;
+    std::uint64_t sk_served = 0;
+    std::uint64_t specializations = 0;  // parameter sets promoted
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string Key(const kcc::CompileOptions& opts) const {
+    return kcc::DefinesToString(opts.defines);
+  }
+
+  Context* ctx_;
+  std::string source_;
+  int hot_threshold_;
+  std::shared_ptr<Module> re_module_;
+  std::map<std::string, int> heat_;
+  Stats stats_;
+};
+
+}  // namespace kspec::vcuda

@@ -1,0 +1,148 @@
+#include "vcuda/vcuda.hpp"
+
+#include "support/log.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+
+namespace kspec::vcuda {
+
+Module::Module(std::shared_ptr<const kcc::CompiledModule> compiled)
+    : compiled_(std::move(compiled)) {
+  const_mem_.assign(compiled_->const_bytes, 0);
+  textures_.resize(compiled_->textures.size());
+}
+
+void Module::BindTexture(const std::string& name, DevPtr base, int w, int h) {
+  for (std::size_t i = 0; i < compiled_->textures.size(); ++i) {
+    if (compiled_->textures[i] == name) {
+      if (w <= 0 || h <= 0) throw DeviceError("texture dimensions must be positive");
+      textures_[i] = {base, w, h};
+      return;
+    }
+  }
+  throw DeviceError("module has no __texture named '" + name + "'");
+}
+
+const vgpu::CompiledKernel& Module::GetKernel(const std::string& name) const {
+  const vgpu::CompiledKernel* k = compiled_->FindKernel(name);
+  if (!k) throw DeviceError("module has no kernel named '" + name + "'");
+  return *k;
+}
+
+bool Module::HasKernel(const std::string& name) const {
+  return compiled_->FindKernel(name) != nullptr;
+}
+
+void Module::SetConstant(const std::string& name, const void* data, std::size_t bytes) {
+  const kcc::ConstantInfo* c = compiled_->FindConstant(name);
+  if (!c) throw DeviceError("module has no __constant named '" + name + "'");
+  if (bytes > c->bytes) {
+    throw DeviceError(Format("constant '%s' holds %u bytes; %zu provided", name.c_str(),
+                             c->bytes, bytes));
+  }
+  std::memcpy(const_mem_.data() + c->offset, data, bytes);
+}
+
+ArgPack& ArgPack::Int(std::int32_t v) {
+  values_.push_back(vgpu::EncodeI32(v));
+  types_.push_back(vgpu::Type::kI32);
+  return *this;
+}
+ArgPack& ArgPack::Uint(std::uint32_t v) {
+  values_.push_back(v);
+  types_.push_back(vgpu::Type::kU32);
+  return *this;
+}
+ArgPack& ArgPack::Long(std::int64_t v) {
+  values_.push_back(static_cast<std::uint64_t>(v));
+  types_.push_back(vgpu::Type::kI64);
+  return *this;
+}
+ArgPack& ArgPack::Ulong(std::uint64_t v) {
+  values_.push_back(v);
+  types_.push_back(vgpu::Type::kU64);
+  return *this;
+}
+ArgPack& ArgPack::Float(float v) {
+  values_.push_back(vgpu::EncodeF32(v));
+  types_.push_back(vgpu::Type::kF32);
+  return *this;
+}
+ArgPack& ArgPack::Double(double v) {
+  values_.push_back(vgpu::EncodeF64(v));
+  types_.push_back(vgpu::Type::kF64);
+  return *this;
+}
+ArgPack& ArgPack::Ptr(DevPtr p) {
+  values_.push_back(p);
+  types_.push_back(vgpu::Type::kU64);
+  return *this;
+}
+
+Context::Context(vgpu::DeviceProfile profile, std::uint64_t heap_bytes)
+    : device_(std::move(profile)), memory_(heap_bytes) {}
+
+std::shared_ptr<Module> Context::LoadModule(const std::string& source,
+                                            const kcc::CompileOptions& opts) {
+  std::string key_text = source;
+  key_text += '\x1f';
+  key_text += kcc::DefinesToString(opts.defines);
+  key_text += Format("|unroll=%d|opt=%d%d%d%d|dev=%s", opts.max_unroll, opts.optimize ? 1 : 0,
+                     opts.enable_unroll ? 1 : 0, opts.enable_strength_reduction ? 1 : 0,
+                     opts.enable_cse ? 1 : 0, device_.name.c_str());
+  std::uint64_t key = Fnv1a(key_text);
+
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_stats_.hits;
+    KSPEC_LOG_DEBUG << "module cache hit (" << kcc::DefinesToString(opts.defines) << ")";
+    return std::make_shared<Module>(it->second);
+  }
+  ++cache_stats_.misses;
+  auto compiled = std::make_shared<const kcc::CompiledModule>(kcc::CompileModule(source, opts));
+  if (!compiled->kernels.empty()) {
+    cache_stats_.compile_millis_total += compiled->kernels.front().stats.compile_millis;
+  }
+  cache_[key] = compiled;
+  KSPEC_LOG_DEBUG << "compiled module (" << kcc::DefinesToString(opts.defines) << ") in "
+                  << (compiled->kernels.empty() ? 0.0
+                                                : compiled->kernels.front().stats.compile_millis)
+                  << " ms";
+  return std::make_shared<Module>(compiled);
+}
+
+vgpu::LaunchStats Context::Launch(const Module& module, const std::string& kernel,
+                                  vgpu::Dim3 grid, vgpu::Dim3 block, const ArgPack& args,
+                                  unsigned dynamic_smem_bytes) {
+  const vgpu::CompiledKernel& k = module.GetKernel(kernel);
+  if (args.values().size() != k.params.size()) {
+    throw DeviceError(Format("kernel %s takes %zu arguments; %zu supplied", kernel.c_str(),
+                             k.params.size(), args.values().size()));
+  }
+  for (std::size_t i = 0; i < k.params.size(); ++i) {
+    vgpu::Type want = k.params[i].type;
+    vgpu::Type got = args.types()[i];
+    bool ok = want == got ||
+              // signed/unsigned of the same width are interchangeable slots
+              (vgpu::TypeSize(want) == vgpu::TypeSize(got) && vgpu::IsIntType(want) &&
+               vgpu::IsIntType(got));
+    if (!ok) {
+      throw DeviceError(Format("kernel %s argument %zu ('%s') expects %s, got %s",
+                               kernel.c_str(), i, k.params[i].name.c_str(),
+                               vgpu::TypeName(want), vgpu::TypeName(got)));
+    }
+  }
+  vgpu::LaunchConfig cfg;
+  cfg.grid = grid;
+  cfg.block = block;
+  cfg.dynamic_smem_bytes = dynamic_smem_bytes;
+  cfg.args = args.values();
+  cfg.textures = module.texture_bindings();
+
+  vgpu::Interpreter interp(device_, &memory_);
+  vgpu::LaunchStats stats = interp.Launch(k, cfg, module.const_mem());
+  total_sim_millis_ += stats.sim_millis;
+  return stats;
+}
+
+}  // namespace kspec::vcuda

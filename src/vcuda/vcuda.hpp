@@ -1,0 +1,148 @@
+// vcuda: a CUDA-driver-API-shaped layer over kcc + vgpu.
+//
+// Mirrors the machinery the dissertation's GPU-PF framework drives
+// (Section 4.4): contexts own a device and its memory; modules are compiled
+// *at run time* from Kernel-C source plus -D definitions (the kernel
+// specialization step); compiled binaries are cached so that re-encountering
+// a parameter set loads "with speed similar to loading a dynamically linked
+// shared object" (Section 4.3); launches return the simulated execution
+// statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kcc/compiler.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/interp.hpp"
+#include "vgpu/memory.hpp"
+
+namespace kspec::vcuda {
+
+using vgpu::DevPtr;
+
+class Context;
+
+// A loaded module: immutable compiled code (possibly shared through the
+// specialization cache) plus this instance's own constant-memory segment.
+class Module {
+ public:
+  Module(std::shared_ptr<const kcc::CompiledModule> compiled);
+
+  const kcc::CompiledModule& compiled() const { return *compiled_; }
+
+  // Returns the kernel or throws DeviceError if absent.
+  const vgpu::CompiledKernel& GetKernel(const std::string& name) const;
+  bool HasKernel(const std::string& name) const;
+
+  // Copies `bytes` of host data into the constant array `name`.
+  void SetConstant(const std::string& name, const void* data, std::size_t bytes);
+
+  // Binds the named __texture to linear device memory holding w x h floats
+  // (cudaBindTexture2D-style). Bindings persist until rebound.
+  void BindTexture(const std::string& name, DevPtr base, int w, int h = 1);
+
+  std::span<const unsigned char> const_mem() const { return const_mem_; }
+  const std::vector<vgpu::TextureBinding>& texture_bindings() const { return textures_; }
+
+ private:
+  std::shared_ptr<const kcc::CompiledModule> compiled_;
+  std::vector<unsigned char> const_mem_;
+  std::vector<vgpu::TextureBinding> textures_;
+};
+
+// Typed argument pack checked against the kernel's parameter list at launch.
+class ArgPack {
+ public:
+  ArgPack& Int(std::int32_t v);
+  ArgPack& Uint(std::uint32_t v);
+  ArgPack& Long(std::int64_t v);
+  ArgPack& Ulong(std::uint64_t v);
+  ArgPack& Float(float v);
+  ArgPack& Double(double v);
+  ArgPack& Ptr(DevPtr p);
+
+  const std::vector<std::uint64_t>& values() const { return values_; }
+  const std::vector<vgpu::Type>& types() const { return types_; }
+
+ private:
+  std::vector<std::uint64_t> values_;
+  std::vector<vgpu::Type> types_;
+};
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  double compile_millis_total = 0;
+};
+
+class Context {
+ public:
+  explicit Context(vgpu::DeviceProfile profile,
+                   std::uint64_t heap_bytes = 1ull << 30);
+
+  const vgpu::DeviceProfile& device() const { return device_; }
+  vgpu::GlobalMemory& memory() { return memory_; }
+
+  // -------- memory --------
+  DevPtr Malloc(std::uint64_t bytes) { return memory_.Alloc(bytes); }
+  void Free(DevPtr p) { memory_.Free(p); }
+  void MemcpyHtoD(DevPtr dst, const void* src, std::uint64_t bytes) {
+    memory_.Write(dst, src, bytes);
+  }
+  void MemcpyDtoH(void* dst, DevPtr src, std::uint64_t bytes) const {
+    memory_.Read(dst, src, bytes);
+  }
+  void Memset(DevPtr dst, unsigned char v, std::uint64_t bytes) {
+    memory_.Memset(dst, v, bytes);
+  }
+
+  // -------- modules --------
+  // Compiles (or retrieves from the specialization cache) a module. The cache
+  // key covers the source text, every -D definition, and the compile options;
+  // the device is fixed per context.
+  std::shared_ptr<Module> LoadModule(const std::string& source,
+                                     const kcc::CompileOptions& opts = {});
+
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
+  // -------- execution --------
+  // Launches and runs to completion; returns simulated statistics (including
+  // sim_millis from the cost model). Argument types are validated.
+  vgpu::LaunchStats Launch(const Module& module, const std::string& kernel, vgpu::Dim3 grid,
+                           vgpu::Dim3 block, const ArgPack& args,
+                           unsigned dynamic_smem_bytes = 0);
+
+  // Total simulated GPU milliseconds accumulated across launches (the
+  // "GPU time" the benchmark tables report).
+  double total_sim_millis() const { return total_sim_millis_; }
+  void reset_sim_clock() { total_sim_millis_ = 0; }
+
+ private:
+  vgpu::DeviceProfile device_;
+  vgpu::GlobalMemory memory_;
+  std::map<std::uint64_t, std::shared_ptr<const kcc::CompiledModule>> cache_;
+  CacheStats cache_stats_;
+  double total_sim_millis_ = 0;
+};
+
+// Convenience: uploads a host vector and returns the device pointer.
+template <typename T>
+DevPtr Upload(Context& ctx, std::span<const T> host) {
+  DevPtr p = ctx.Malloc(host.size_bytes());
+  ctx.MemcpyHtoD(p, host.data(), host.size_bytes());
+  return p;
+}
+
+template <typename T>
+std::vector<T> Download(Context& ctx, DevPtr p, std::size_t count) {
+  std::vector<T> out(count);
+  ctx.MemcpyDtoH(out.data(), p, count * sizeof(T));
+  return out;
+}
+
+}  // namespace kspec::vcuda

@@ -1,0 +1,408 @@
+#include "vgpu/asm.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "support/status.hpp"
+#include "support/str.hpp"
+
+namespace kspec::vgpu {
+
+namespace {
+
+// Cursor over one instruction line.
+class LineParser {
+ public:
+  LineParser(std::string_view line, int line_no) : s_(line), line_no_(line_no) {}
+
+  [[noreturn]] void Fail(const std::string& msg) {
+    throw DeviceError(Format("miniptx line %d: %s (near '%.*s')", line_no_, msg.c_str(),
+                             static_cast<int>(std::min<std::size_t>(16, s_.size() - pos_)),
+                             s_.data() + pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    // Trailing comments terminate the instruction.
+    return pos_ >= s_.size() || (pos_ + 1 < s_.size() && s_[pos_] == '/' && s_[pos_ + 1] == '/');
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void Expect(char c) {
+    if (!Consume(c)) Fail(Format("expected '%c'", c));
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  // Reads an identifier-ish token (letters, digits, '.', '_', '%', '!', '@').
+  std::string Token() {
+    SkipWs();
+    std::size_t start = pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '_' || c == '%' ||
+          c == '!' || c == '@') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) Fail("expected a token");
+    return std::string(s_.substr(start, pos_ - start));
+  }
+
+  // Register: %r12 or %p7.
+  std::int32_t Reg() {
+    SkipWs();
+    if (Peek() != '%') Fail("expected a register");
+    std::string t = Token();
+    if (t.size() < 3 || (t[1] != 'r' && t[1] != 'p')) Fail("bad register name " + t);
+    return static_cast<std::int32_t>(std::strtol(t.c_str() + 2, nullptr, 10));
+  }
+
+  // Operand: register, float bit pattern (0f... / 0d...), or decimal.
+  Operand Op() {
+    SkipWs();
+    if (Peek() == '%') return Operand::Reg(Reg());
+    std::string t = Token();
+    SkipComment();
+    if (t.size() > 2 && t[0] == '0' && (t[1] == 'f' || t[1] == 'd')) {
+      return Operand::Imm(std::strtoull(t.c_str() + 2, nullptr, 16));
+    }
+    if (t[0] == '-') {
+      return Operand::Imm(static_cast<std::uint64_t>(std::strtoll(t.c_str(), nullptr, 10)));
+    }
+    return Operand::Imm(std::strtoull(t.c_str(), nullptr, 10));
+  }
+
+  // Skips an inline /*...*/ comment (Disassemble annotates float imms).
+  void SkipComment() {
+    SkipWs();
+    if (pos_ + 1 < s_.size() && s_[pos_] == '/' && s_[pos_ + 1] == '*') {
+      std::size_t end = s_.find("*/", pos_ + 2);
+      if (end == std::string_view::npos) Fail("unterminated comment");
+      pos_ = end + 2;
+    }
+  }
+
+  // Label: L12.
+  std::int32_t Label() {
+    std::string t = Token();
+    if (t.empty() || t[0] != 'L') Fail("expected a label");
+    return static_cast<std::int32_t>(std::strtol(t.c_str() + 1, nullptr, 10));
+  }
+
+  std::int64_t Integer() {
+    SkipWs();
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (pos_ == start) Fail("expected an integer");
+    return std::strtoll(std::string(s_.substr(start, pos_ - start)).c_str(), nullptr, 10);
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int line_no_;
+};
+
+Type ParseType(const std::string& name, LineParser& p) {
+  if (name == "pred") return Type::kPred;
+  if (name == "s32") return Type::kI32;
+  if (name == "u32") return Type::kU32;
+  if (name == "s64") return Type::kI64;
+  if (name == "u64") return Type::kU64;
+  if (name == "f32") return Type::kF32;
+  if (name == "f64") return Type::kF64;
+  p.Fail("unknown type ." + name);
+}
+
+Space ParseSpace(const std::string& name, LineParser& p) {
+  if (name == "global") return Space::kGlobal;
+  if (name == "shared") return Space::kShared;
+  if (name == "const") return Space::kConst;
+  if (name == "local") return Space::kLocal;
+  if (name == "param") return Space::kParam;
+  p.Fail("unknown space ." + name);
+}
+
+CmpOp ParseCmp(const std::string& name, LineParser& p) {
+  if (name == "eq") return CmpOp::kEq;
+  if (name == "ne") return CmpOp::kNe;
+  if (name == "lt") return CmpOp::kLt;
+  if (name == "le") return CmpOp::kLe;
+  if (name == "gt") return CmpOp::kGt;
+  if (name == "ge") return CmpOp::kGe;
+  p.Fail("unknown comparison ." + name);
+}
+
+const std::map<std::string, SpecialReg>& SregNames() {
+  static const std::map<std::string, SpecialReg> table = {
+      {"%tid.x", SpecialReg::kTidX},       {"%tid.y", SpecialReg::kTidY},
+      {"%tid.z", SpecialReg::kTidZ},       {"%ntid.x", SpecialReg::kNtidX},
+      {"%ntid.y", SpecialReg::kNtidY},     {"%ntid.z", SpecialReg::kNtidZ},
+      {"%ctaid.x", SpecialReg::kCtaidX},   {"%ctaid.y", SpecialReg::kCtaidY},
+      {"%ctaid.z", SpecialReg::kCtaidZ},   {"%nctaid.x", SpecialReg::kNctaidX},
+      {"%nctaid.y", SpecialReg::kNctaidY}, {"%nctaid.z", SpecialReg::kNctaidZ},
+      {"%laneid", SpecialReg::kLaneId},    {"%warpid", SpecialReg::kWarpId},
+  };
+  return table;
+}
+
+const std::map<std::string, Opcode>& AluNames() {
+  static const std::map<std::string, Opcode> table = {
+      {"nop", Opcode::kNop},   {"mov", Opcode::kMov},     {"add", Opcode::kAdd},
+      {"sub", Opcode::kSub},   {"mul", Opcode::kMul},     {"div", Opcode::kDiv},
+      {"rem", Opcode::kRem},   {"mul24", Opcode::kMul24}, {"mad", Opcode::kMad},
+      {"min", Opcode::kMin},   {"max", Opcode::kMax},     {"neg", Opcode::kNeg},
+      {"abs", Opcode::kAbs},   {"and", Opcode::kAnd},     {"or", Opcode::kOr},
+      {"xor", Opcode::kXor},   {"not", Opcode::kNot},     {"shl", Opcode::kShl},
+      {"shr", Opcode::kShr},   {"sqrt", Opcode::kSqrt},   {"rsqrt", Opcode::kRsqrt},
+      {"floor", Opcode::kFloor}, {"ceil", Opcode::kCeil}, {"exp", Opcode::kExp},
+      {"log", Opcode::kLog},   {"sin", Opcode::kSin},     {"cos", Opcode::kCos},
+  };
+  return table;
+}
+
+Instr ParseLine(std::string_view raw, int line_no) {
+  LineParser p(raw, line_no);
+
+  // Optional "@[!]%pN bra LT // reconv LR" predicated branch.
+  if (p.Peek() == '@') {
+    std::string t = p.Token();  // @%p4 or @!%p4
+    Instr i;
+    i.op = Opcode::kBraPred;
+    i.type = Type::kPred;
+    std::size_t at = 1;
+    if (t.size() > at && t[at] == '!') {
+      i.neg = true;
+      ++at;
+    }
+    if (t.size() < at + 3 || t[at] != '%' || t[at + 1] != 'p') p.Fail("bad predicate " + t);
+    i.a = Operand::Reg(static_cast<std::int32_t>(std::strtol(t.c_str() + at + 2, nullptr, 10)));
+    std::string bra = p.Token();
+    if (bra != "bra") p.Fail("expected bra after predicate");
+    i.target = p.Label();
+    // Trailing "// reconv Lk".
+    std::string rest(raw.substr(raw.find("//") != std::string::npos ? raw.find("//") : raw.size()));
+    std::size_t lpos = rest.find('L');
+    if (lpos != std::string::npos) {
+      i.reconv = static_cast<std::int32_t>(std::strtol(rest.c_str() + lpos + 1, nullptr, 10));
+    }
+    return i;
+  }
+
+  std::string head = p.Token();  // e.g. "ld.global.f32", "add.s32", "bar.sync"
+  std::vector<std::string> parts = Split(head, '.');
+
+  if (parts[0] == "exit") return Instr::Make(Opcode::kExit, Type::kI32, -1);
+  if (parts[0] == "bra") {
+    Instr i = Instr::Make(Opcode::kBra, Type::kI32, -1);
+    i.target = p.Label();
+    return i;
+  }
+  if (parts[0] == "bar") {
+    p.Integer();  // barrier id (always 0)
+    return Instr::Make(Opcode::kBarSync, Type::kI32, -1);
+  }
+  if (parts[0] == "nop") return Instr::Make(Opcode::kNop, Type::kI32, -1);
+
+  if (parts[0] == "setp") {
+    if (parts.size() != 3) p.Fail("setp needs .cmp.type");
+    Instr i;
+    i.op = Opcode::kSetp;
+    i.cmp = ParseCmp(parts[1], p);
+    i.type = ParseType(parts[2], p);
+    i.dst = p.Reg();
+    p.Expect(',');
+    i.a = p.Op();
+    p.Expect(',');
+    i.b = p.Op();
+    return i;
+  }
+  if (parts[0] == "selp") {
+    Instr i;
+    i.op = Opcode::kSel;
+    i.type = ParseType(parts[1], p);
+    i.dst = p.Reg();
+    p.Expect(',');
+    i.a = p.Op();
+    p.Expect(',');
+    i.b = p.Op();
+    p.Expect(',');
+    i.c = Operand::Reg(p.Reg());
+    return i;
+  }
+  if (parts[0] == "cvt") {
+    if (parts.size() != 3) p.Fail("cvt needs .dst.src types");
+    Instr i;
+    i.op = Opcode::kCvt;
+    i.type = ParseType(parts[1], p);
+    i.type2 = ParseType(parts[2], p);
+    i.dst = p.Reg();
+    p.Expect(',');
+    i.a = p.Op();
+    return i;
+  }
+  if (parts[0] == "ld" || parts[0] == "st") {
+    if (parts.size() != 3) p.Fail("ld/st need .space.type");
+    Instr i;
+    i.op = parts[0] == "ld" ? Opcode::kLd : Opcode::kSt;
+    i.space = ParseSpace(parts[1], p);
+    i.type = ParseType(parts[2], p);
+    if (i.op == Opcode::kLd) {
+      i.dst = p.Reg();
+      p.Expect(',');
+    }
+    p.Expect('[');
+    i.a = p.Op();
+    std::int64_t off = 0;
+    if (p.Peek() == '+' || p.Peek() == '-') off = p.Integer();  // %+lld form: "+8" / "-8"
+    i.b = Operand::Imm(static_cast<std::uint64_t>(off));
+    p.Expect(']');
+    if (i.op == Opcode::kSt) {
+      p.Expect(',');
+      i.c = p.Op();
+    }
+    return i;
+  }
+  if (parts[0] == "atom") {
+    if (parts.size() != 4) p.Fail("atomics need .op.space.type");
+    Instr i;
+    if (parts[1] == "add") i.op = Opcode::kAtomAdd;
+    else if (parts[1] == "min") i.op = Opcode::kAtomMin;
+    else if (parts[1] == "max") i.op = Opcode::kAtomMax;
+    else if (parts[1] == "exch") i.op = Opcode::kAtomExch;
+    else if (parts[1] == "cas") i.op = Opcode::kAtomCas;
+    else p.Fail("unknown atomic ." + parts[1]);
+    i.space = ParseSpace(parts[2], p);
+    i.type = ParseType(parts[3], p);
+    i.dst = p.Reg();
+    p.Expect(',');
+    p.Expect('[');
+    i.a = p.Op();
+    p.Expect(']');
+    p.Expect(',');
+    i.b = p.Op();
+    if (i.op == Opcode::kAtomCas) {
+      p.Expect(',');
+      i.c = p.Op();
+    }
+    return i;
+  }
+  if (parts[0] == "tex") {
+    Instr i;
+    i.op = parts[1] == "2d" ? Opcode::kTex2D : Opcode::kTex1D;
+    i.type = Type::kF32;
+    i.dst = p.Reg();
+    p.Expect(',');
+    p.Expect('[');
+    std::string tex = p.Token();  // tex<N>
+    if (tex.rfind("tex", 0) != 0) p.Fail("expected texN");
+    i.target = static_cast<std::int32_t>(std::strtol(tex.c_str() + 3, nullptr, 10));
+    p.Expect(',');
+    if (i.op == Opcode::kTex2D) {
+      p.Expect('{');
+      i.a = p.Op();
+      p.Expect(',');
+      i.b = p.Op();
+      p.Expect('}');
+    } else {
+      i.a = p.Op();
+    }
+    p.Expect(']');
+    return i;
+  }
+  if (parts[0] == "mov" && parts.size() == 2) {
+    // Either "mov.u32 %rD, %tid.x" (sreg) or a plain move.
+    Instr i;
+    i.type = ParseType(parts[1], p);
+    i.dst = p.Reg();
+    p.Expect(',');
+    if (p.Peek() == '%') {
+      // Lookahead: special registers start with %tid/%ctaid/... while plain
+      // registers are %rN / %pN.
+      std::string t = p.Token();
+      auto sr = SregNames().find(t);
+      if (sr != SregNames().end()) {
+        i.op = Opcode::kSreg;
+        i.a = Operand::Imm(static_cast<std::uint64_t>(sr->second));
+        return i;
+      }
+      if (t.size() > 2 && (t[1] == 'r' || t[1] == 'p')) {
+        i.op = Opcode::kMov;
+        i.a = Operand::Reg(static_cast<std::int32_t>(std::strtol(t.c_str() + 2, nullptr, 10)));
+        return i;
+      }
+      p.Fail("bad mov source " + t);
+    }
+    i.op = Opcode::kMov;
+    i.a = p.Op();
+    return i;
+  }
+
+  // Generic ALU: op.type dst [, a [, b [, c]]]
+  auto alu = AluNames().find(parts[0]);
+  if (alu == AluNames().end() || parts.size() != 2) p.Fail("unknown instruction " + head);
+  Instr i;
+  i.op = alu->second;
+  i.type = ParseType(parts[1], p);
+  i.dst = p.Reg();
+  while (p.Consume(',')) {
+    Operand o = p.Op();
+    if (i.a.is_none()) i.a = o;
+    else if (i.b.is_none()) i.b = o;
+    else if (i.c.is_none()) i.c = o;
+    else p.Fail("too many operands");
+  }
+  return i;
+}
+
+}  // namespace
+
+std::vector<Instr> Assemble(const std::string& text) {
+  std::vector<Instr> out;
+  int line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || StartsWith(line, "//") || StartsWith(line, ".") ||
+        StartsWith(line, "{") || StartsWith(line, "}")) {
+      continue;  // comments, directives, braces from full listings
+    }
+    // Strip the "  12:  " pc prefix Disassemble adds.
+    std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      bool all_digits = colon > 0;
+      for (std::size_t k = 0; k < colon; ++k) {
+        if (!std::isdigit(static_cast<unsigned char>(line[k]))) {
+          all_digits = false;
+          break;
+        }
+      }
+      if (all_digits) line = Trim(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+    out.push_back(ParseLine(line, line_no));
+  }
+  return out;
+}
+
+}  // namespace kspec::vgpu

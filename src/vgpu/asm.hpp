@@ -1,0 +1,23 @@
+// MiniPTX assembler: parses the textual form produced by Disassemble() back
+// into an instruction stream.
+//
+// Two uses: (1) round-trip property testing of the ISA layer — for any
+// compiled kernel, Assemble(Disassemble(code)) must reproduce `code`
+// exactly; (2) hand-written instruction sequences in simulator tests and
+// golden files, without going through the compiler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vgpu/isa.hpp"
+
+namespace kspec::vgpu {
+
+// Parses one instruction per non-empty line. Accepts the exact Disassemble()
+// syntax, including the "  12:  " pc prefix (optional) and trailing
+// "// reconv L7" comments. Throws DeviceError with line context on syntax
+// errors.
+std::vector<Instr> Assemble(const std::string& text);
+
+}  // namespace kspec::vgpu

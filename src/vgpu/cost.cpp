@@ -1,0 +1,63 @@
+#include "vgpu/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/math.hpp"
+#include "support/str.hpp"
+
+namespace kspec::vgpu {
+
+void ApplyCostModel(const DeviceProfile& dev, LaunchStats& stats,
+                    const CostModelConstants& constants) {
+  if (stats.blocks == 0) {
+    stats.sim_cycles = 0;
+    stats.sim_millis = 0;
+    return;
+  }
+
+  // How much of the launch lands on the busiest SM (blocks are distributed
+  // round-robin).
+  const double max_blocks_on_sm =
+      static_cast<double>(CeilDiv<unsigned>(stats.blocks, dev.num_sms));
+  const double busiest_share = max_blocks_on_sm / static_cast<double>(stats.blocks);
+
+  const double ilp =
+      std::clamp(stats.avg_ilp, constants.min_ilp, constants.max_ilp);
+
+  // Latency hiding: resident warps per SM relative to what the pipeline needs.
+  const double active_warps = std::max(1u, stats.occupancy.active_warps);
+  const double hide = std::min(1.0, active_warps / dev.latency_hiding_warps);
+
+  // Compute pipe: when latency is not hidden by other warps, each issue from a
+  // dependent chain stalls ~dependent_latency/ILP cycles.
+  const double chain_stall = std::max(0.0, dev.dependent_latency / ilp - 1.0);
+  const double compute_inflation = 1.0 + chain_stall * (1.0 - hide);
+  const double compute = stats.issue_cycles * compute_inflation;
+
+  // Exposed global-memory latency: charged per global warp-instruction when
+  // occupancy is too low, amortized by memory-level parallelism (~ILP).
+  const double mem_exposed = static_cast<double>(stats.global_instrs) *
+                             constants.memory_latency * (1.0 - hide) / ilp;
+
+  // Compute and memory pipes overlap, but not perfectly: the issue stage is
+  // shared, so the shorter pipe still contributes a fraction of its cycles.
+  constexpr double kOverlapLeak = 0.15;
+  const double a = compute + mem_exposed;
+  const double b = stats.memory_cycles;
+  const double sm_cycles = (std::max(a, b) + kOverlapLeak * std::min(a, b)) * busiest_share;
+
+  stats.sim_cycles = sm_cycles;
+  stats.sim_millis = sm_cycles / (dev.clock_ghz * 1e6);
+}
+
+std::string LaunchStats::ToString() const {
+  return Format(
+      "blocks=%u threads=%u regs=%u smem=%u occ=%.2f (%s) warp_instrs=%llu "
+      "tx=%llu ilp=%.2f sim=%.4f ms",
+      blocks, threads_per_block, regs_per_thread, smem_per_block, occupancy.occupancy,
+      occupancy.limiter, static_cast<unsigned long long>(warp_instrs),
+      static_cast<unsigned long long>(mem_transactions), avg_ilp, sim_millis);
+}
+
+}  // namespace kspec::vgpu

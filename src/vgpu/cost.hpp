@@ -1,0 +1,35 @@
+// The analytic execution-time model.
+//
+// The interpreter gathers exact dynamic counts (instruction issues, memory
+// transactions after coalescing, bank-conflict cycles); this model turns them
+// into simulated time for a device profile. It is intentionally simple but
+// captures the performance mechanisms the dissertation's results depend on:
+//
+//  * dynamic instruction count — specialization removes loop overhead,
+//    folded arithmetic, and parameter loads, directly shrinking issue cycles;
+//  * occupancy — register usage and shared-memory footprint bound resident
+//    warps per SM; too few warps expose pipeline and memory latency;
+//  * ILP — register-blocked/unrolled code has more independent instructions
+//    per thread, hiding latency even at low occupancy (Section 2.3);
+//  * coalescing and bank conflicts — memory-system behaviour feeds the
+//    throughput term.
+#pragma once
+
+#include "vgpu/device.hpp"
+#include "vgpu/launch.hpp"
+
+namespace kspec::vgpu {
+
+// Model constants shared by both device profiles.
+struct CostModelConstants {
+  double memory_latency = 320.0;  // cycles of exposed global-memory latency
+  double min_ilp = 1.0;
+  double max_ilp = 8.0;
+};
+
+// Fills stats.sim_cycles / stats.sim_millis from the raw counters. `stats`
+// must already contain occupancy and configuration fields.
+void ApplyCostModel(const DeviceProfile& dev, LaunchStats& stats,
+                    const CostModelConstants& constants = {});
+
+}  // namespace kspec::vgpu

@@ -1,0 +1,115 @@
+#include "vgpu/device.hpp"
+
+#include <algorithm>
+
+#include "support/math.hpp"
+#include "support/status.hpp"
+
+namespace kspec::vgpu {
+
+DeviceProfile TeslaC1060() {
+  DeviceProfile d;
+  d.name = "VC1060";
+  d.compute_major = 1;
+  d.compute_minor = 3;
+  d.max_threads_per_block = 512;
+  d.max_warps_per_sm = 32;
+  d.max_blocks_per_sm = 8;
+  d.registers_per_sm = 16 * 1024;
+  d.shared_mem_per_sm = 16 * 1024;
+  d.max_regs_per_thread = 124;
+  d.shared_mem_banks = 16;
+  d.register_alloc_unit = 512;
+  d.num_sms = 30;
+  d.clock_ghz = 1.30;
+  d.global_mem_bytes = 4096ull << 20;
+  d.cycles_per_global_tx = 44.0;     // no L1; half-warp segment transactions
+  d.dependent_latency = 24.0;
+  d.latency_hiding_warps = 20.0;
+  d.shared_access_cost = 1.0;        // shared throughput matches register file
+  return d;
+}
+
+DeviceProfile TeslaC2070() {
+  DeviceProfile d;
+  d.name = "VC2070";
+  d.compute_major = 2;
+  d.compute_minor = 0;
+  d.max_threads_per_block = 1024;
+  d.max_warps_per_sm = 48;
+  d.max_blocks_per_sm = 8;
+  d.registers_per_sm = 32 * 1024;
+  d.shared_mem_per_sm = 48 * 1024;
+  d.max_regs_per_thread = 63;
+  d.shared_mem_banks = 32;
+  d.register_alloc_unit = 64;
+  d.num_sms = 14;
+  d.clock_ghz = 1.15;
+  d.global_mem_bytes = 6144ull << 20;
+  d.cycles_per_global_tx = 30.0;     // L1-cached 128-byte lines
+  d.dependent_latency = 18.0;
+  d.latency_hiding_warps = 24.0;
+  d.shared_access_cost = 2.0;        // shared slower relative to registers (Sec 2.4)
+  return d;
+}
+
+DeviceProfile ProfileByName(const std::string& name) {
+  if (name == "VC1060" || name == "C1060" || name == "c1060") return TeslaC1060();
+  if (name == "VC2070" || name == "C2070" || name == "c2070") return TeslaC2070();
+  throw DeviceError("unknown device profile: " + name);
+}
+
+Occupancy ComputeOccupancy(const DeviceProfile& dev, Dim3 block, unsigned regs_per_thread,
+                           unsigned smem_per_block) {
+  Occupancy occ;
+  unsigned long long threads = block.Count();
+  KSPEC_CHECK_MSG(threads > 0, "empty block");
+  if (threads > dev.max_threads_per_block) {
+    occ.limiter = "threads-per-block";
+    return occ;
+  }
+  unsigned warps_per_block =
+      static_cast<unsigned>(CeilDiv<unsigned long long>(threads, dev.warp_size));
+
+  // Warp limit.
+  unsigned by_warps = dev.max_warps_per_sm / warps_per_block;
+
+  // Register limit: registers are allocated per warp in units of
+  // register_alloc_unit (matches the coarse allocation granularity of real
+  // devices).
+  unsigned regs = std::max(regs_per_thread, 1u);
+  if (regs > dev.max_regs_per_thread) {
+    occ.limiter = "regs-per-thread";
+    return occ;
+  }
+  unsigned regs_per_warp = AlignUp(regs * dev.warp_size, dev.register_alloc_unit);
+  unsigned regs_per_block = regs_per_warp * warps_per_block;
+  unsigned by_regs = dev.registers_per_sm / regs_per_block;
+
+  // Shared memory limit (allocation granularity 128 bytes).
+  unsigned smem = AlignUp(std::max(smem_per_block, 1u), 128u);
+  if (smem > dev.shared_mem_per_sm) {
+    occ.limiter = "shared-mem";
+    return occ;
+  }
+  unsigned by_smem = dev.shared_mem_per_sm / smem;
+
+  unsigned blocks = std::min({by_warps, by_regs, by_smem, dev.max_blocks_per_sm});
+  occ.blocks_per_sm = blocks;
+  occ.active_warps = blocks * warps_per_block;
+  occ.occupancy = static_cast<double>(occ.active_warps) / dev.max_warps_per_sm;
+  if (blocks == by_warps && by_warps <= by_regs && by_warps <= by_smem &&
+      by_warps <= dev.max_blocks_per_sm) {
+    occ.limiter = "warps";
+  } else if (blocks == dev.max_blocks_per_sm && dev.max_blocks_per_sm <= by_regs &&
+             dev.max_blocks_per_sm <= by_smem) {
+    occ.limiter = "blocks";
+  } else if (blocks == by_regs && by_regs <= by_smem) {
+    occ.limiter = "registers";
+  } else {
+    occ.limiter = "shared-mem";
+  }
+  return occ;
+}
+
+}  // namespace kspec::vgpu

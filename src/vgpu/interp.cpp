@@ -1,0 +1,968 @@
+#include "vgpu/interp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "support/math.hpp"
+#include "support/str.hpp"
+#include "vgpu/cost.hpp"
+
+namespace kspec::vgpu {
+
+namespace {
+
+constexpr std::uint32_t kNoReconv = 0xffffffffu;
+
+struct StackEntry {
+  std::uint32_t pc;
+  std::uint32_t mask;
+  std::uint32_t rpc;
+};
+
+struct Warp {
+  std::uint32_t pc = 0;
+  std::uint32_t mask = 0;   // active lanes
+  std::uint32_t live = 0;   // non-retired lanes
+  std::uint32_t rpc = kNoReconv;
+  std::vector<StackEntry> stack;
+  enum class State { kRunnable, kAtBarrier, kDone } state = State::kRunnable;
+};
+
+// Issue cost in compute-pipe cycles. Device dependent where the dissertation
+// calls out generation differences (Section 2.4: the relative throughput of
+// `*` and __[u]mul24() inverted between cc 1.3 and cc 2.0; double precision
+// rates differ strongly).
+double IssueCost(const DeviceProfile& dev, const Instr& i) {
+  const bool f64 = i.type == Type::kF64;
+  switch (i.op) {
+    case Opcode::kMul:
+    case Opcode::kMad:
+      if (i.type == Type::kI32 || i.type == Type::kU32) return dev.IsFermi() ? 1.0 : 2.0;
+      if (f64) return dev.IsFermi() ? 2.0 : 8.0;
+      return 1.0;
+    case Opcode::kMul24:
+      return dev.IsFermi() ? 3.0 : 1.0;
+    case Opcode::kDiv:
+    case Opcode::kRem:
+      if (IsIntType(i.type)) return 16.0;
+      return f64 ? 24.0 : 8.0;
+    case Opcode::kSqrt:
+    case Opcode::kRsqrt:
+    case Opcode::kExp:
+    case Opcode::kLog:
+    case Opcode::kSin:
+    case Opcode::kCos:
+      return f64 ? 24.0 : 8.0;
+    case Opcode::kBarSync:
+      return 2.0;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+      if (f64) return dev.IsFermi() ? 2.0 : 8.0;
+      return 1.0;
+    default:
+      return 1.0;
+  }
+}
+
+class BlockRunner {
+ public:
+  BlockRunner(const DeviceProfile& dev, GlobalMemory* gmem, const CompiledKernel& kernel,
+              const LaunchConfig& cfg, std::span<const unsigned char> const_mem,
+              LaunchStats* stats)
+      : dev_(dev),
+        gmem_(gmem),
+        kernel_(kernel),
+        cfg_(cfg),
+        const_mem_(const_mem),
+        stats_(stats) {
+    nthreads_ = static_cast<unsigned>(cfg.block.Count());
+    nwarps_ = CeilDiv(nthreads_, dev.warp_size);
+    stride_ = nwarps_ * dev.warp_size;
+    regs_.resize(static_cast<std::size_t>(kernel.num_vregs) * stride_);
+    shared_.resize(kernel.static_smem_bytes + cfg.dynamic_smem_bytes);
+    // Per-lane thread coordinates (identical across blocks).
+    tid_x_.resize(stride_);
+    tid_y_.resize(stride_);
+    tid_z_.resize(stride_);
+    for (unsigned t = 0; t < stride_; ++t) {
+      unsigned lin = std::min(t, nthreads_ - 1);
+      tid_x_[t] = lin % cfg.block.x;
+      tid_y_[t] = (lin / cfg.block.x) % cfg.block.y;
+      tid_z_[t] = lin / (cfg.block.x * cfg.block.y);
+    }
+    has_ilp_ = kernel.ilp_at_pc.size() == kernel.code.size();
+  }
+
+  void RunBlock(Dim3 ctaid) {
+    ctaid_ = ctaid;
+    std::fill(shared_.begin(), shared_.end(), 0);
+    InitWarps();
+    // Scheduler: run each runnable warp to its next barrier (or retirement);
+    // when all live warps have arrived, release the barrier.
+    while (true) {
+      bool any_runnable = false;
+      for (auto& w : warps_) {
+        if (w.state == Warp::State::kRunnable) {
+          RunWarp(w);
+          any_runnable = true;
+        }
+      }
+      bool all_done = true;
+      bool any_barrier = false;
+      for (auto& w : warps_) {
+        if (w.state != Warp::State::kDone) all_done = false;
+        if (w.state == Warp::State::kAtBarrier) any_barrier = true;
+      }
+      if (all_done) return;
+      if (!any_barrier) {
+        if (!any_runnable) throw DeviceError("block made no progress (scheduler deadlock)");
+        continue;
+      }
+      // Every non-done warp must be at the barrier to release it.
+      for (auto& w : warps_) {
+        if (w.state == Warp::State::kRunnable) {
+          throw DeviceError("__syncthreads deadlock: a warp retired or diverged past the barrier");
+        }
+      }
+      for (auto& w : warps_) {
+        if (w.state == Warp::State::kAtBarrier) w.state = Warp::State::kRunnable;
+      }
+      ++stats_->barriers;
+    }
+  }
+
+ private:
+  void InitWarps() {
+    warps_.assign(nwarps_, Warp{});
+    for (unsigned w = 0; w < nwarps_; ++w) {
+      unsigned first = w * dev_.warp_size;
+      unsigned count = std::min(dev_.warp_size, nthreads_ - first);
+      std::uint32_t mask = count == 32 ? 0xffffffffu : ((1u << count) - 1u);
+      warps_[w].pc = 0;
+      warps_[w].mask = mask;
+      warps_[w].live = mask;
+      warps_[w].rpc = kNoReconv;
+      warps_[w].state = Warp::State::kRunnable;
+    }
+    // Kernel parameters land in virtual registers [0, nparams).
+    KSPEC_CHECK_MSG(cfg_.args.size() == kernel_.params.size(), "argument count mismatch");
+    for (std::size_t p = 0; p < cfg_.args.size(); ++p) {
+      std::uint64_t* row = regs_.data() + p * stride_;
+      std::fill(row, row + stride_, cfg_.args[p]);
+    }
+  }
+
+  std::uint64_t* Row(std::int32_t reg) { return regs_.data() + static_cast<std::size_t>(reg) * stride_; }
+
+  std::uint64_t OperandVal(const Operand& o, unsigned lane_base, unsigned lane) {
+    return o.is_reg() ? Row(o.reg)[lane_base + lane] : o.imm;
+  }
+
+  // Pops reconvergence-stack entries until one with live lanes is found.
+  // Returns false when the warp has fully retired.
+  static bool PopState(Warp& w) {
+    while (!w.stack.empty()) {
+      StackEntry e = w.stack.back();
+      w.stack.pop_back();
+      e.mask &= w.live;
+      if (e.mask) {
+        w.pc = e.pc;
+        w.mask = e.mask;
+        w.rpc = e.rpc;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void RunWarp(Warp& w);
+
+  void ExecAlu(const Instr& i, Warp& w, unsigned lane_base);
+  void ExecMemory(const Instr& i, Warp& w, unsigned lane_base);
+  void ExecAtomic(const Instr& i, Warp& w, unsigned lane_base);
+  void ExecTexture(const Instr& i, Warp& w, unsigned lane_base);
+
+  // Charges global-memory transactions for the active lanes' addresses.
+  void ChargeGlobal(const std::uint64_t* addrs, std::uint32_t mask);
+  // Charges shared-memory bank conflicts.
+  void ChargeShared(const std::uint64_t* addrs, std::uint32_t mask);
+
+  unsigned char* ResolveAddress(Space space, std::uint64_t addr, std::size_t bytes,
+                                bool for_write);
+
+  const DeviceProfile& dev_;
+  GlobalMemory* gmem_;
+  const CompiledKernel& kernel_;
+  const LaunchConfig& cfg_;
+  std::span<const unsigned char> const_mem_;
+  LaunchStats* stats_;
+
+  unsigned nthreads_ = 0;
+  unsigned nwarps_ = 0;
+  unsigned stride_ = 0;
+  Dim3 ctaid_;
+  std::vector<std::uint64_t> regs_;
+  std::vector<unsigned char> shared_;
+  std::vector<std::uint32_t> tid_x_, tid_y_, tid_z_;
+  std::vector<Warp> warps_;
+  bool has_ilp_ = false;
+  double ilp_sum_ = 0;
+
+ public:
+  double ilp_sum() const { return ilp_sum_; }
+};
+
+unsigned char* BlockRunner::ResolveAddress(Space space, std::uint64_t addr, std::size_t bytes,
+                                           bool for_write) {
+  switch (space) {
+    case Space::kGlobal:
+      return gmem_->Access(addr, bytes);
+    case Space::kShared:
+      if (addr + bytes > shared_.size()) {
+        throw DeviceError(Format("shared-memory access out of bounds: 0x%llx (+%zu) of %zu bytes",
+                                 static_cast<unsigned long long>(addr), bytes, shared_.size()));
+      }
+      return shared_.data() + addr;
+    case Space::kConst:
+      if (for_write) throw DeviceError("store to constant memory");
+      if (addr + bytes > const_mem_.size()) {
+        throw DeviceError(Format("constant-memory access out of bounds: 0x%llx of %zu bytes",
+                                 static_cast<unsigned long long>(addr), const_mem_.size()));
+      }
+      return const_cast<unsigned char*>(const_mem_.data() + addr);
+    default:
+      throw DeviceError("unsupported memory space in ld/st");
+  }
+}
+
+void BlockRunner::ChargeGlobal(const std::uint64_t* addrs, std::uint32_t mask) {
+  // Transactions are 128-byte segments. cc1.x coalesces per half-warp,
+  // cc2.x per full warp through the L1 line.
+  auto count_segments = [&](std::uint32_t m) {
+    std::uint64_t segs[32];
+    int n = 0;
+    while (m) {
+      int lane = std::countr_zero(m);
+      m &= m - 1;
+      std::uint64_t seg = addrs[lane] >> 7;
+      bool seen = false;
+      for (int k = 0; k < n; ++k) {
+        if (segs[k] == seg) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) segs[n++] = seg;
+    }
+    return n;
+  };
+  int tx = 0;
+  if (dev_.IsFermi()) {
+    tx = count_segments(mask);
+  } else {
+    tx = count_segments(mask & 0xffffu) + count_segments(mask >> 16 << 16);
+  }
+  stats_->mem_transactions += tx;
+  stats_->memory_cycles += tx * dev_.cycles_per_global_tx;
+  ++stats_->global_instrs;
+}
+
+void BlockRunner::ChargeShared(const std::uint64_t* addrs, std::uint32_t mask) {
+  // Conflict degree = max number of distinct addresses mapping to one bank.
+  auto degree = [&](std::uint32_t m) {
+    int counts[32] = {0};
+    std::uint64_t seen_addr[32];
+    int seen_n = 0;
+    while (m) {
+      int lane = std::countr_zero(m);
+      m &= m - 1;
+      std::uint64_t a = addrs[lane];
+      bool dup = false;
+      for (int k = 0; k < seen_n; ++k) {
+        if (seen_addr[k] == a) {
+          dup = true;  // same word: broadcast, no extra cycle
+          break;
+        }
+      }
+      if (dup) continue;
+      if (seen_n < 32) seen_addr[seen_n++] = a;
+      ++counts[(a >> 2) % dev_.shared_mem_banks];
+    }
+    int d = 1;
+    for (int b = 0; b < 32; ++b) d = std::max(d, counts[b]);
+    return d;
+  };
+  int extra;
+  if (dev_.IsFermi()) {
+    extra = degree(mask) - 1;
+  } else {
+    extra = (degree(mask & 0xffffu) - 1) + (degree(mask >> 16 << 16) - 1);
+  }
+  if (extra > 0) {
+    stats_->shared_conflict_cycles += extra;
+    stats_->issue_cycles += extra;
+  }
+  stats_->issue_cycles += (dev_.shared_access_cost - 1.0);
+}
+
+void BlockRunner::ExecMemory(const Instr& i, Warp& w, unsigned lane_base) {
+  std::uint64_t addrs[32];
+  std::uint32_t m = w.mask;
+  const std::size_t esz = TypeSize(i.type);
+  while (m) {
+    int lane = std::countr_zero(m);
+    m &= m - 1;
+    addrs[lane] = OperandVal(i.a, lane_base, lane) + static_cast<std::int64_t>(i.b.imm);
+  }
+  if (i.space == Space::kGlobal) {
+    ChargeGlobal(addrs, w.mask);
+  } else if (i.space == Space::kShared) {
+    ChargeShared(addrs, w.mask);
+  }
+  m = w.mask;
+  if (i.op == Opcode::kLd) {
+    std::uint64_t* dst = Row(i.dst);
+    while (m) {
+      int lane = std::countr_zero(m);
+      m &= m - 1;
+      const unsigned char* p = ResolveAddress(i.space, addrs[lane], esz, false);
+      std::uint64_t raw = 0;
+      std::memcpy(&raw, p, esz);
+      if (i.type == Type::kI32) raw = EncodeI32(static_cast<std::int32_t>(raw));  // sign handling
+      dst[lane_base + lane] = raw;
+    }
+  } else {
+    while (m) {
+      int lane = std::countr_zero(m);
+      m &= m - 1;
+      unsigned char* p = ResolveAddress(i.space, addrs[lane], esz, true);
+      std::uint64_t raw = OperandVal(i.c, lane_base, lane);
+      std::memcpy(p, &raw, esz);
+    }
+  }
+}
+
+void BlockRunner::ExecAtomic(const Instr& i, Warp& w, unsigned lane_base) {
+  std::uint32_t m = w.mask;
+  const std::size_t esz = TypeSize(i.type);
+  // Atomics serialize: one transaction per active lane.
+  int lanes = std::popcount(m);
+  if (i.space == Space::kGlobal) {
+    stats_->mem_transactions += lanes;
+    stats_->memory_cycles += lanes * dev_.cycles_per_global_tx;
+    ++stats_->global_instrs;
+  } else {
+    stats_->issue_cycles += lanes;
+  }
+  std::uint64_t* dst = i.dst >= 0 ? Row(i.dst) : nullptr;
+  while (m) {
+    int lane = std::countr_zero(m);
+    m &= m - 1;
+    std::uint64_t addr = OperandVal(i.a, lane_base, lane);
+    unsigned char* p = ResolveAddress(i.space, addr, esz, true);
+    std::uint64_t old = 0;
+    std::memcpy(&old, p, esz);
+    std::uint64_t operand = OperandVal(i.b, lane_base, lane);
+    std::uint64_t result = old;
+    switch (i.op) {
+      case Opcode::kAtomAdd:
+        if (i.type == Type::kF32) result = EncodeF32(DecodeF32(old) + DecodeF32(operand));
+        else if (i.type == Type::kF64) result = EncodeF64(DecodeF64(old) + DecodeF64(operand));
+        else result = old + operand;
+        break;
+      case Opcode::kAtomMin:
+        if (i.type == Type::kI32) {
+          result = EncodeI32(std::min(DecodeI32(old), DecodeI32(operand)));
+        } else if (i.type == Type::kI64) {
+          result = static_cast<std::uint64_t>(std::min(static_cast<std::int64_t>(old),
+                                                       static_cast<std::int64_t>(operand)));
+        } else if (i.type == Type::kF32) {
+          result = EncodeF32(std::min(DecodeF32(old), DecodeF32(operand)));
+        } else {
+          result = std::min(old, operand);
+        }
+        break;
+      case Opcode::kAtomMax:
+        if (i.type == Type::kI32) {
+          result = EncodeI32(std::max(DecodeI32(old), DecodeI32(operand)));
+        } else if (i.type == Type::kI64) {
+          result = static_cast<std::uint64_t>(std::max(static_cast<std::int64_t>(old),
+                                                       static_cast<std::int64_t>(operand)));
+        } else if (i.type == Type::kF32) {
+          result = EncodeF32(std::max(DecodeF32(old), DecodeF32(operand)));
+        } else {
+          result = std::max(old, operand);
+        }
+        break;
+      case Opcode::kAtomExch:
+        result = operand;
+        break;
+      case Opcode::kAtomCas: {
+        std::uint64_t desired = OperandVal(i.c, lane_base, lane);
+        if (esz == 4 ? (static_cast<std::uint32_t>(old) == static_cast<std::uint32_t>(operand))
+                     : (old == operand)) {
+          result = desired;
+        }
+        break;
+      }
+      default:
+        throw InternalError("bad atomic opcode");
+    }
+    std::memcpy(p, &result, esz);
+    if (dst) dst[lane_base + lane] = old;
+  }
+}
+
+
+void BlockRunner::ExecTexture(const Instr& i, Warp& w, unsigned lane_base) {
+  if (i.target < 0 || static_cast<std::size_t>(i.target) >= cfg_.textures.size()) {
+    throw DeviceError(Format("texture slot %d is not bound at launch", i.target));
+  }
+  const TextureBinding& tex = cfg_.textures[static_cast<std::size_t>(i.target)];
+  if (tex.base == 0 || tex.w <= 0 || tex.h <= 0) {
+    throw DeviceError(Format("texture slot %d has an invalid binding", i.target));
+  }
+  // Texture reads go through the (simulated) texture cache: charge a reduced
+  // per-fetch memory cost compared to uncached global loads.
+  int lanes = std::popcount(w.mask);
+  stats_->texture_fetches += static_cast<std::uint64_t>(lanes);
+  stats_->memory_cycles += 0.25 * dev_.cycles_per_global_tx *
+                           std::max(1, lanes / 8);
+  ++stats_->global_instrs;
+
+  auto fetch = [&](int x, int y) -> float {
+    x = std::clamp(x, 0, tex.w - 1);
+    y = std::clamp(y, 0, tex.h - 1);
+    std::uint64_t addr = tex.base +
+                         (static_cast<std::uint64_t>(y) * tex.w + static_cast<std::uint64_t>(x)) * 4;
+    const unsigned char* p = gmem_->Access(addr, 4);
+    float v;
+    std::memcpy(&v, p, 4);
+    return v;
+  };
+
+  std::uint64_t* dst = Row(i.dst);
+  std::uint32_t m = w.mask;
+  while (m) {
+    int lane = std::countr_zero(m);
+    m &= m - 1;
+    if (i.op == Opcode::kTex1D) {
+      std::int32_t idx = DecodeI32(OperandVal(i.a, lane_base, lane));
+      dst[lane_base + lane] = EncodeF32(fetch(idx % std::max(tex.w, 1),
+                                              idx / std::max(tex.w, 1)));
+      continue;
+    }
+    // tex2D with bilinear filtering, texel centers at integer coordinates
+    // (matching the manual bilinear code in the CPU references).
+    float fx = DecodeF32(OperandVal(i.a, lane_base, lane));
+    float fy = DecodeF32(OperandVal(i.b, lane_base, lane));
+    int x0 = static_cast<int>(std::floor(fx));
+    int y0 = static_cast<int>(std::floor(fy));
+    float ax = fx - static_cast<float>(x0);
+    float ay = fy - static_cast<float>(y0);
+    float p00 = fetch(x0, y0);
+    float p01 = fetch(x0 + 1, y0);
+    float p10 = fetch(x0, y0 + 1);
+    float p11 = fetch(x0 + 1, y0 + 1);
+    float top = p00 + ax * (p01 - p00);
+    float bot = p10 + ax * (p11 - p10);
+    dst[lane_base + lane] = EncodeF32(top + ay * (bot - top));
+  }
+}
+
+void BlockRunner::ExecAlu(const Instr& i, Warp& w, unsigned lane_base) {
+  std::uint64_t* dst = Row(i.dst);
+  std::uint32_t m = w.mask;
+
+  auto for_lanes = [&](auto&& fn) {
+    std::uint32_t mm = m;
+    while (mm) {
+      int lane = std::countr_zero(mm);
+      mm &= mm - 1;
+      dst[lane_base + lane] = fn(lane);
+    }
+  };
+  auto A = [&](int lane) { return OperandVal(i.a, lane_base, lane); };
+  auto B = [&](int lane) { return OperandVal(i.b, lane_base, lane); };
+  auto C = [&](int lane) { return OperandVal(i.c, lane_base, lane); };
+
+  switch (i.op) {
+    case Opcode::kMov:
+      for_lanes([&](int l) { return A(l); });
+      return;
+    case Opcode::kSreg: {
+      auto sr = static_cast<SpecialReg>(i.a.imm);
+      for_lanes([&](int l) -> std::uint64_t {
+        unsigned t = lane_base + l;
+        switch (sr) {
+          case SpecialReg::kTidX: return tid_x_[t];
+          case SpecialReg::kTidY: return tid_y_[t];
+          case SpecialReg::kTidZ: return tid_z_[t];
+          case SpecialReg::kNtidX: return cfg_.block.x;
+          case SpecialReg::kNtidY: return cfg_.block.y;
+          case SpecialReg::kNtidZ: return cfg_.block.z;
+          case SpecialReg::kCtaidX: return ctaid_.x;
+          case SpecialReg::kCtaidY: return ctaid_.y;
+          case SpecialReg::kCtaidZ: return ctaid_.z;
+          case SpecialReg::kNctaidX: return cfg_.grid.x;
+          case SpecialReg::kNctaidY: return cfg_.grid.y;
+          case SpecialReg::kNctaidZ: return cfg_.grid.z;
+          case SpecialReg::kLaneId: return static_cast<unsigned>(l);
+          case SpecialReg::kWarpId: return t / dev_.warp_size;
+        }
+        return 0;
+      });
+      return;
+    }
+    case Opcode::kSetp: {
+      auto cmp_int = [&](std::int64_t x, std::int64_t y) -> bool {
+        switch (i.cmp) {
+          case CmpOp::kEq: return x == y;
+          case CmpOp::kNe: return x != y;
+          case CmpOp::kLt: return x < y;
+          case CmpOp::kLe: return x <= y;
+          case CmpOp::kGt: return x > y;
+          case CmpOp::kGe: return x >= y;
+        }
+        return false;
+      };
+      auto cmp_f = [&](double x, double y) -> bool {
+        switch (i.cmp) {
+          case CmpOp::kEq: return x == y;
+          case CmpOp::kNe: return x != y;
+          case CmpOp::kLt: return x < y;
+          case CmpOp::kLe: return x <= y;
+          case CmpOp::kGt: return x > y;
+          case CmpOp::kGe: return x >= y;
+        }
+        return false;
+      };
+      switch (i.type) {
+        case Type::kI32:
+          for_lanes([&](int l) -> std::uint64_t { return cmp_int(DecodeI32(A(l)), DecodeI32(B(l))); });
+          return;
+        case Type::kU32:
+          for_lanes([&](int l) -> std::uint64_t {
+            return cmp_int(static_cast<std::uint32_t>(A(l)), static_cast<std::uint32_t>(B(l)));
+          });
+          return;
+        case Type::kI64:
+          for_lanes([&](int l) -> std::uint64_t {
+            return cmp_int(static_cast<std::int64_t>(A(l)), static_cast<std::int64_t>(B(l)));
+          });
+          return;
+        case Type::kU64:
+        case Type::kPred:
+          for_lanes([&](int l) -> std::uint64_t {
+            std::uint64_t x = A(l), y = B(l);
+            switch (i.cmp) {
+              case CmpOp::kEq: return x == y;
+              case CmpOp::kNe: return x != y;
+              case CmpOp::kLt: return x < y;
+              case CmpOp::kLe: return x <= y;
+              case CmpOp::kGt: return x > y;
+              case CmpOp::kGe: return x >= y;
+            }
+            return 0;
+          });
+          return;
+        case Type::kF32:
+          for_lanes([&](int l) -> std::uint64_t { return cmp_f(DecodeF32(A(l)), DecodeF32(B(l))); });
+          return;
+        case Type::kF64:
+          for_lanes([&](int l) -> std::uint64_t { return cmp_f(DecodeF64(A(l)), DecodeF64(B(l))); });
+          return;
+      }
+      return;
+    }
+    case Opcode::kSel:
+      for_lanes([&](int l) { return C(l) ? A(l) : B(l); });
+      return;
+    case Opcode::kCvt: {
+      auto load_src = [&](int l) -> double {
+        switch (i.type2) {
+          case Type::kI32: return DecodeI32(A(l));
+          case Type::kU32: return static_cast<std::uint32_t>(A(l));
+          case Type::kI64: return static_cast<double>(static_cast<std::int64_t>(A(l)));
+          case Type::kU64: return static_cast<double>(A(l));
+          case Type::kF32: return DecodeF32(A(l));
+          case Type::kF64: return DecodeF64(A(l));
+          case Type::kPred: return A(l) ? 1.0 : 0.0;
+        }
+        return 0;
+      };
+      // Integer->integer conversions must not round-trip through double
+      // (precision loss on 64-bit); handle them on the integer path.
+      if (IsIntType(i.type) && (IsIntType(i.type2) || i.type2 == Type::kPred)) {
+        for_lanes([&](int l) -> std::uint64_t {
+          std::uint64_t v = A(l);
+          std::int64_t sv;
+          switch (i.type2) {
+            case Type::kI32: sv = DecodeI32(v); break;
+            case Type::kU32: sv = static_cast<std::uint32_t>(v); break;
+            default: sv = static_cast<std::int64_t>(v); break;
+          }
+          switch (i.type) {
+            case Type::kI32: return EncodeI32(static_cast<std::int32_t>(sv));
+            case Type::kU32: return static_cast<std::uint32_t>(sv);
+            default: return static_cast<std::uint64_t>(sv);
+          }
+        });
+        return;
+      }
+      for_lanes([&](int l) -> std::uint64_t {
+        double v = load_src(l);
+        switch (i.type) {
+          case Type::kI32: return EncodeI32(static_cast<std::int32_t>(v));
+          case Type::kU32: return static_cast<std::uint32_t>(static_cast<std::int64_t>(v));
+          case Type::kI64: return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+          case Type::kU64: return static_cast<std::uint64_t>(v);
+          case Type::kF32: return EncodeF32(static_cast<float>(v));
+          case Type::kF64: return EncodeF64(v);
+          case Type::kPred: return v != 0.0;
+        }
+        return 0;
+      });
+      return;
+    }
+    default:
+      break;
+  }
+
+  // Generic arithmetic by type.
+  switch (i.type) {
+    case Type::kF32: {
+      auto af = [&](int l) { return DecodeF32(A(l)); };
+      auto bf = [&](int l) { return DecodeF32(B(l)); };
+      auto cf = [&](int l) { return DecodeF32(C(l)); };
+      switch (i.op) {
+        case Opcode::kAdd: for_lanes([&](int l) { return EncodeF32(af(l) + bf(l)); }); return;
+        case Opcode::kSub: for_lanes([&](int l) { return EncodeF32(af(l) - bf(l)); }); return;
+        case Opcode::kMul: for_lanes([&](int l) { return EncodeF32(af(l) * bf(l)); }); return;
+        case Opcode::kDiv: for_lanes([&](int l) { return EncodeF32(af(l) / bf(l)); }); return;
+        case Opcode::kRem: for_lanes([&](int l) { return EncodeF32(std::fmod(af(l), bf(l))); }); return;
+        case Opcode::kMad: for_lanes([&](int l) { return EncodeF32(af(l) * bf(l) + cf(l)); }); return;
+        case Opcode::kMin: for_lanes([&](int l) { return EncodeF32(std::min(af(l), bf(l))); }); return;
+        case Opcode::kMax: for_lanes([&](int l) { return EncodeF32(std::max(af(l), bf(l))); }); return;
+        case Opcode::kNeg: for_lanes([&](int l) { return EncodeF32(-af(l)); }); return;
+        case Opcode::kAbs: for_lanes([&](int l) { return EncodeF32(std::fabs(af(l))); }); return;
+        case Opcode::kSqrt: for_lanes([&](int l) { return EncodeF32(std::sqrt(af(l))); }); return;
+        case Opcode::kRsqrt: for_lanes([&](int l) { return EncodeF32(1.0f / std::sqrt(af(l))); }); return;
+        case Opcode::kFloor: for_lanes([&](int l) { return EncodeF32(std::floor(af(l))); }); return;
+        case Opcode::kCeil: for_lanes([&](int l) { return EncodeF32(std::ceil(af(l))); }); return;
+        case Opcode::kExp: for_lanes([&](int l) { return EncodeF32(std::exp(af(l))); }); return;
+        case Opcode::kLog: for_lanes([&](int l) { return EncodeF32(std::log(af(l))); }); return;
+        case Opcode::kSin: for_lanes([&](int l) { return EncodeF32(std::sin(af(l))); }); return;
+        case Opcode::kCos: for_lanes([&](int l) { return EncodeF32(std::cos(af(l))); }); return;
+        default: throw InternalError(Format("op %s invalid for f32", OpcodeName(i.op)));
+      }
+    }
+    case Type::kF64: {
+      auto ad = [&](int l) { return DecodeF64(A(l)); };
+      auto bd = [&](int l) { return DecodeF64(B(l)); };
+      auto cd = [&](int l) { return DecodeF64(C(l)); };
+      switch (i.op) {
+        case Opcode::kAdd: for_lanes([&](int l) { return EncodeF64(ad(l) + bd(l)); }); return;
+        case Opcode::kSub: for_lanes([&](int l) { return EncodeF64(ad(l) - bd(l)); }); return;
+        case Opcode::kMul: for_lanes([&](int l) { return EncodeF64(ad(l) * bd(l)); }); return;
+        case Opcode::kDiv: for_lanes([&](int l) { return EncodeF64(ad(l) / bd(l)); }); return;
+        case Opcode::kRem: for_lanes([&](int l) { return EncodeF64(std::fmod(ad(l), bd(l))); }); return;
+        case Opcode::kMad: for_lanes([&](int l) { return EncodeF64(ad(l) * bd(l) + cd(l)); }); return;
+        case Opcode::kMin: for_lanes([&](int l) { return EncodeF64(std::min(ad(l), bd(l))); }); return;
+        case Opcode::kMax: for_lanes([&](int l) { return EncodeF64(std::max(ad(l), bd(l))); }); return;
+        case Opcode::kNeg: for_lanes([&](int l) { return EncodeF64(-ad(l)); }); return;
+        case Opcode::kAbs: for_lanes([&](int l) { return EncodeF64(std::fabs(ad(l))); }); return;
+        case Opcode::kSqrt: for_lanes([&](int l) { return EncodeF64(std::sqrt(ad(l))); }); return;
+        case Opcode::kRsqrt: for_lanes([&](int l) { return EncodeF64(1.0 / std::sqrt(ad(l))); }); return;
+        case Opcode::kFloor: for_lanes([&](int l) { return EncodeF64(std::floor(ad(l))); }); return;
+        case Opcode::kCeil: for_lanes([&](int l) { return EncodeF64(std::ceil(ad(l))); }); return;
+        default: throw InternalError(Format("op %s invalid for f64", OpcodeName(i.op)));
+      }
+    }
+    default:
+      break;
+  }
+
+  // Integer types. Arithmetic wraps; shifts clamp at the type width; integer
+  // division by zero yields zero (PTX leaves it undefined; a defined result
+  // keeps the simulator deterministic).
+  const bool is64 = i.type == Type::kI64 || i.type == Type::kU64;
+  const bool is_signed = IsSignedInt(i.type);
+  auto norm = [&](std::uint64_t v) -> std::uint64_t {
+    if (is64) return v;
+    std::uint32_t t = static_cast<std::uint32_t>(v);
+    if (is_signed) return EncodeI32(static_cast<std::int32_t>(t));
+    return t;
+  };
+  auto as_signed = [&](std::uint64_t v) -> std::int64_t {
+    if (is64) return static_cast<std::int64_t>(v);
+    return DecodeI32(v);
+  };
+  switch (i.op) {
+    case Opcode::kAdd: for_lanes([&](int l) { return norm(A(l) + B(l)); }); return;
+    case Opcode::kSub: for_lanes([&](int l) { return norm(A(l) - B(l)); }); return;
+    case Opcode::kMul: for_lanes([&](int l) { return norm(A(l) * B(l)); }); return;
+    case Opcode::kMul24:
+      for_lanes([&](int l) {
+        std::uint64_t x = A(l) & 0xffffffu, y = B(l) & 0xffffffu;
+        if (is_signed) {
+          std::int64_t sx = static_cast<std::int64_t>(x << 40) >> 40;
+          std::int64_t sy = static_cast<std::int64_t>(y << 40) >> 40;
+          return norm(static_cast<std::uint64_t>(sx * sy));
+        }
+        return norm(x * y);
+      });
+      return;
+    case Opcode::kMad: for_lanes([&](int l) { return norm(A(l) * B(l) + C(l)); }); return;
+    case Opcode::kDiv:
+      for_lanes([&](int l) -> std::uint64_t {
+        if (is_signed) {
+          std::int64_t d = as_signed(B(l));
+          return d == 0 ? 0 : norm(static_cast<std::uint64_t>(as_signed(A(l)) / d));
+        }
+        std::uint64_t d = is64 ? B(l) : static_cast<std::uint32_t>(B(l));
+        std::uint64_t n = is64 ? A(l) : static_cast<std::uint32_t>(A(l));
+        return d == 0 ? 0 : norm(n / d);
+      });
+      return;
+    case Opcode::kRem:
+      for_lanes([&](int l) -> std::uint64_t {
+        if (is_signed) {
+          std::int64_t d = as_signed(B(l));
+          return d == 0 ? 0 : norm(static_cast<std::uint64_t>(as_signed(A(l)) % d));
+        }
+        std::uint64_t d = is64 ? B(l) : static_cast<std::uint32_t>(B(l));
+        std::uint64_t n = is64 ? A(l) : static_cast<std::uint32_t>(A(l));
+        return d == 0 ? 0 : norm(n % d);
+      });
+      return;
+    case Opcode::kMin:
+      for_lanes([&](int l) {
+        if (is_signed) return norm(static_cast<std::uint64_t>(std::min(as_signed(A(l)), as_signed(B(l)))));
+        std::uint64_t x = is64 ? A(l) : static_cast<std::uint32_t>(A(l));
+        std::uint64_t y = is64 ? B(l) : static_cast<std::uint32_t>(B(l));
+        return norm(std::min(x, y));
+      });
+      return;
+    case Opcode::kMax:
+      for_lanes([&](int l) {
+        if (is_signed) return norm(static_cast<std::uint64_t>(std::max(as_signed(A(l)), as_signed(B(l)))));
+        std::uint64_t x = is64 ? A(l) : static_cast<std::uint32_t>(A(l));
+        std::uint64_t y = is64 ? B(l) : static_cast<std::uint32_t>(B(l));
+        return norm(std::max(x, y));
+      });
+      return;
+    case Opcode::kNeg: for_lanes([&](int l) { return norm(~A(l) + 1); }); return;
+    case Opcode::kAbs:
+      for_lanes([&](int l) {
+        std::int64_t v = as_signed(A(l));
+        return norm(static_cast<std::uint64_t>(v < 0 ? -v : v));
+      });
+      return;
+    case Opcode::kAnd: for_lanes([&](int l) { return norm(A(l) & B(l)); }); return;
+    case Opcode::kOr: for_lanes([&](int l) { return norm(A(l) | B(l)); }); return;
+    case Opcode::kXor: for_lanes([&](int l) { return norm(A(l) ^ B(l)); }); return;
+    case Opcode::kNot: for_lanes([&](int l) { return norm(~A(l)); }); return;
+    case Opcode::kShl:
+      for_lanes([&](int l) -> std::uint64_t {
+        unsigned width = is64 ? 64 : 32;
+        std::uint64_t sh = B(l);
+        if (sh >= width) return 0;
+        return norm(A(l) << sh);
+      });
+      return;
+    case Opcode::kShr:
+      for_lanes([&](int l) -> std::uint64_t {
+        unsigned width = is64 ? 64 : 32;
+        std::uint64_t sh = B(l);
+        if (is_signed) {
+          std::int64_t v = as_signed(A(l));
+          if (sh >= width) return norm(static_cast<std::uint64_t>(v < 0 ? -1 : 0));
+          return norm(static_cast<std::uint64_t>(v >> sh));
+        }
+        if (sh >= width) return 0;
+        std::uint64_t v = is64 ? A(l) : static_cast<std::uint32_t>(A(l));
+        return norm(v >> sh);
+      });
+      return;
+    default:
+      throw InternalError(Format("unhandled opcode %s for type %s", OpcodeName(i.op),
+                                 TypeName(i.type)));
+  }
+}
+
+void BlockRunner::RunWarp(Warp& w) {
+  const std::vector<Instr>& code = kernel_.code;
+  const unsigned lane_base = (&w - warps_.data()) * dev_.warp_size;
+
+  while (true) {
+    if (w.pc == w.rpc) {
+      if (!PopState(w)) {
+        w.state = Warp::State::kDone;
+        return;
+      }
+      continue;
+    }
+    if (w.pc >= code.size()) {
+      // Fell off the end: implicit exit of all active lanes.
+      w.live &= ~w.mask;
+      if (!PopState(w)) {
+        w.state = Warp::State::kDone;
+        return;
+      }
+      continue;
+    }
+    const Instr& inst = code[w.pc];
+
+    if (++stats_->warp_instrs > dev_.watchdog_warp_instrs) {
+      throw DeviceError(
+          "kernel exceeded the simulator watchdog limit (likely a non-terminating loop); "
+          "raise DeviceProfile::watchdog_warp_instrs if the workload is legitimately huge");
+    }
+    stats_->lane_instrs += std::popcount(w.mask);
+    stats_->issue_cycles += IssueCost(dev_, inst);
+    if (has_ilp_) ilp_sum_ += kernel_.ilp_at_pc[w.pc];
+
+    switch (inst.op) {
+      case Opcode::kBra:
+        w.pc = static_cast<std::uint32_t>(inst.target);
+        continue;
+      case Opcode::kBraPred: {
+        const std::uint64_t* preds = Row(inst.a.reg);
+        std::uint32_t taken = 0;
+        std::uint32_t m = w.mask;
+        while (m) {
+          int lane = std::countr_zero(m);
+          m &= m - 1;
+          bool p = preds[lane_base + lane] != 0;
+          if (p != inst.neg) taken |= (1u << lane);
+        }
+        if (taken == w.mask) {
+          w.pc = static_cast<std::uint32_t>(inst.target);
+        } else if (taken == 0) {
+          ++w.pc;
+        } else {
+          KSPEC_CHECK_MSG(inst.reconv >= 0, "divergent branch without reconvergence point");
+          // Join continuation first, then the fall-through side; the taken
+          // side executes now.
+          w.stack.push_back({static_cast<std::uint32_t>(inst.reconv), w.mask, w.rpc});
+          w.stack.push_back({w.pc + 1, w.mask & ~taken,
+                             static_cast<std::uint32_t>(inst.reconv)});
+          w.mask = taken;
+          w.rpc = static_cast<std::uint32_t>(inst.reconv);
+          w.pc = static_cast<std::uint32_t>(inst.target);
+        }
+        continue;
+      }
+      case Opcode::kBarSync:
+        if (w.mask != w.live) {
+          throw DeviceError("__syncthreads() executed in divergent control flow");
+        }
+        ++w.pc;
+        w.state = Warp::State::kAtBarrier;
+        return;
+      case Opcode::kExit: {
+        w.live &= ~w.mask;
+        for (auto& e : w.stack) e.mask &= w.live;
+        if (!PopState(w)) {
+          w.state = Warp::State::kDone;
+          return;
+        }
+        continue;
+      }
+      case Opcode::kLd:
+      case Opcode::kSt:
+        ExecMemory(inst, w, lane_base);
+        ++w.pc;
+        continue;
+      case Opcode::kAtomAdd:
+      case Opcode::kAtomMin:
+      case Opcode::kAtomMax:
+      case Opcode::kAtomExch:
+      case Opcode::kAtomCas:
+        ExecAtomic(inst, w, lane_base);
+        ++w.pc;
+        continue;
+      case Opcode::kTex2D:
+      case Opcode::kTex1D:
+        ExecTexture(inst, w, lane_base);
+        ++w.pc;
+        continue;
+      case Opcode::kNop:
+        ++w.pc;
+        continue;
+      default:
+        ExecAlu(inst, w, lane_base);
+        ++w.pc;
+        continue;
+    }
+  }
+}
+
+}  // namespace
+
+LaunchStats Interpreter::Launch(const CompiledKernel& kernel, const LaunchConfig& cfg,
+                                std::span<const unsigned char> const_mem) {
+  if (cfg.block.Count() == 0 || cfg.grid.Count() == 0) {
+    throw DeviceError("empty grid or block");
+  }
+  if (cfg.block.Count() > dev_.max_threads_per_block) {
+    throw DeviceError(Format("block of %llu threads exceeds device limit %u",
+                             cfg.block.Count(), dev_.max_threads_per_block));
+  }
+  unsigned smem = kernel.static_smem_bytes + cfg.dynamic_smem_bytes;
+  if (smem > dev_.shared_mem_per_sm) {
+    throw DeviceError(Format("shared memory per block %u exceeds device limit %u", smem,
+                             dev_.shared_mem_per_sm));
+  }
+  // Register demand beyond the device limit spills to local memory, exactly
+  // as nvcc would: the kernel still runs, but every spilled value pays
+  // memory traffic (and the clamped count is what occupancy sees).
+  const unsigned wanted_regs = std::max(kernel.stats.reg_count, 1);
+  unsigned regs = wanted_regs;
+  unsigned spilled = 0;
+  if (regs > dev_.max_regs_per_thread) {
+    spilled = regs - dev_.max_regs_per_thread;
+    regs = dev_.max_regs_per_thread;
+  }
+
+  LaunchStats stats;
+  stats.spilled_regs = spilled;
+  stats.blocks = static_cast<unsigned>(cfg.grid.Count());
+  stats.threads_per_block = static_cast<unsigned>(cfg.block.Count());
+  stats.regs_per_thread = regs;
+  stats.smem_per_block = smem;
+  stats.occupancy = ComputeOccupancy(dev_, cfg.block, regs, smem);
+  if (stats.occupancy.blocks_per_sm == 0) {
+    throw DeviceError(Format("kernel cannot be launched: zero occupancy (limited by %s)",
+                             stats.occupancy.limiter));
+  }
+
+  BlockRunner runner(dev_, gmem_, kernel, cfg, const_mem, &stats);
+  for (unsigned z = 0; z < cfg.grid.z; ++z) {
+    for (unsigned y = 0; y < cfg.grid.y; ++y) {
+      for (unsigned x = 0; x < cfg.grid.x; ++x) {
+        runner.RunBlock(Dim3(x, y, z));
+      }
+    }
+  }
+  if (stats.warp_instrs > 0 && runner.ilp_sum() > 0) {
+    stats.avg_ilp = runner.ilp_sum() / static_cast<double>(stats.warp_instrs);
+  }
+  if (spilled > 0) {
+    // Approximate spill traffic: the fraction of values living in local
+    // memory forces a load+store round trip on roughly that fraction of
+    // instructions (local accesses coalesce, so charge throughput cost).
+    double spill_frac =
+        std::min(1.0, 2.0 * static_cast<double>(spilled) / static_cast<double>(wanted_regs));
+    stats.memory_cycles += static_cast<double>(stats.warp_instrs) * spill_frac *
+                           0.5 * dev_.cycles_per_global_tx;
+  }
+  ApplyCostModel(dev_, stats);
+  return stats;
+}
+
+}  // namespace kspec::vgpu

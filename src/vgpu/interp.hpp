@@ -1,0 +1,43 @@
+// The SIMT interpreter.
+//
+// Executes a CompiledKernel over a grid of thread blocks, warp by warp, with
+// the classic reconvergence-stack treatment of divergent branches: every
+// divergent branch carries its structured reconvergence pc (emitted by the
+// kcc lowering), the taken side runs first, and the join continuation restores
+// the full mask. Early `return` is implemented as lane retirement (the lane is
+// removed from the current mask and every stack entry), which handles the
+// ubiquitous `if (out_of_range) return;` guard pattern exactly.
+//
+// Blocks execute sequentially (the host has no real parallelism to offer) but
+// the cost model accounts for them as if distributed across the device's SMs.
+// Warps within a block are scheduled round-robin between barriers, which makes
+// producer/consumer warp specialization (Section 5.2) deterministic.
+#pragma once
+
+#include <span>
+
+#include "vgpu/device.hpp"
+#include "vgpu/launch.hpp"
+#include "vgpu/memory.hpp"
+#include "vgpu/module.hpp"
+
+namespace kspec::vgpu {
+
+class Interpreter {
+ public:
+  Interpreter(const DeviceProfile& dev, GlobalMemory* gmem)
+      : dev_(dev), gmem_(gmem) {}
+
+  // Runs the kernel to completion and returns the dynamic statistics with the
+  // cost model applied. `const_mem` is the module's constant-memory segment.
+  // Throws DeviceError on invalid configurations, out-of-bounds accesses,
+  // barrier divergence, or deadlock.
+  LaunchStats Launch(const CompiledKernel& kernel, const LaunchConfig& cfg,
+                     std::span<const unsigned char> const_mem = {});
+
+ private:
+  const DeviceProfile& dev_;
+  GlobalMemory* gmem_;
+};
+
+}  // namespace kspec::vgpu

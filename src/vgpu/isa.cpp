@@ -1,0 +1,238 @@
+#include "vgpu/isa.hpp"
+
+#include "support/str.hpp"
+
+namespace kspec::vgpu {
+
+const char* TypeName(Type t) {
+  switch (t) {
+    case Type::kPred: return "pred";
+    case Type::kI32: return "s32";
+    case Type::kU32: return "u32";
+    case Type::kI64: return "s64";
+    case Type::kU64: return "u64";
+    case Type::kF32: return "f32";
+    case Type::kF64: return "f64";
+  }
+  return "?";
+}
+
+std::size_t TypeSize(Type t) {
+  switch (t) {
+    case Type::kPred: return 1;
+    case Type::kI32:
+    case Type::kU32:
+    case Type::kF32: return 4;
+    case Type::kI64:
+    case Type::kU64:
+    case Type::kF64: return 8;
+  }
+  return 0;
+}
+
+bool IsFloatType(Type t) { return t == Type::kF32 || t == Type::kF64; }
+bool IsSignedInt(Type t) { return t == Type::kI32 || t == Type::kI64; }
+bool IsIntType(Type t) {
+  return t == Type::kI32 || t == Type::kU32 || t == Type::kI64 || t == Type::kU64;
+}
+
+std::string Dim3::ToString() const { return Format("(%u,%u,%u)", x, y, z); }
+
+const char* SpaceName(Space s) {
+  switch (s) {
+    case Space::kGlobal: return "global";
+    case Space::kShared: return "shared";
+    case Space::kConst: return "const";
+    case Space::kLocal: return "local";
+    case Space::kParam: return "param";
+  }
+  return "?";
+}
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kMov: return "mov";
+    case Opcode::kSreg: return "sreg";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kRem: return "rem";
+    case Opcode::kMul24: return "mul24";
+    case Opcode::kMad: return "mad";
+    case Opcode::kMin: return "min";
+    case Opcode::kMax: return "max";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kAbs: return "abs";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kNot: return "not";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kSqrt: return "sqrt";
+    case Opcode::kRsqrt: return "rsqrt";
+    case Opcode::kFloor: return "floor";
+    case Opcode::kCeil: return "ceil";
+    case Opcode::kExp: return "exp";
+    case Opcode::kLog: return "log";
+    case Opcode::kSin: return "sin";
+    case Opcode::kCos: return "cos";
+    case Opcode::kSetp: return "setp";
+    case Opcode::kSel: return "sel";
+    case Opcode::kCvt: return "cvt";
+    case Opcode::kLd: return "ld";
+    case Opcode::kSt: return "st";
+    case Opcode::kBra: return "bra";
+    case Opcode::kBraPred: return "bra.pred";
+    case Opcode::kBarSync: return "bar.sync";
+    case Opcode::kExit: return "exit";
+    case Opcode::kAtomAdd: return "atom.add";
+    case Opcode::kAtomMin: return "atom.min";
+    case Opcode::kAtomMax: return "atom.max";
+    case Opcode::kAtomExch: return "atom.exch";
+    case Opcode::kAtomCas: return "atom.cas";
+    case Opcode::kTex2D: return "tex.2d";
+    case Opcode::kTex1D: return "tex.1d";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "eq";
+    case CmpOp::kNe: return "ne";
+    case CmpOp::kLt: return "lt";
+    case CmpOp::kLe: return "le";
+    case CmpOp::kGt: return "gt";
+    case CmpOp::kGe: return "ge";
+  }
+  return "?";
+}
+
+const char* SpecialRegName(SpecialReg r) {
+  switch (r) {
+    case SpecialReg::kTidX: return "%tid.x";
+    case SpecialReg::kTidY: return "%tid.y";
+    case SpecialReg::kTidZ: return "%tid.z";
+    case SpecialReg::kNtidX: return "%ntid.x";
+    case SpecialReg::kNtidY: return "%ntid.y";
+    case SpecialReg::kNtidZ: return "%ntid.z";
+    case SpecialReg::kCtaidX: return "%ctaid.x";
+    case SpecialReg::kCtaidY: return "%ctaid.y";
+    case SpecialReg::kCtaidZ: return "%ctaid.z";
+    case SpecialReg::kNctaidX: return "%nctaid.x";
+    case SpecialReg::kNctaidY: return "%nctaid.y";
+    case SpecialReg::kNctaidZ: return "%nctaid.z";
+    case SpecialReg::kLaneId: return "%laneid";
+    case SpecialReg::kWarpId: return "%warpid";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string OperandStr(const Operand& op, Type type) {
+  switch (op.kind) {
+    case Operand::Kind::kNone: return "_";
+    case Operand::Kind::kReg: return Format("%%r%d", op.reg);
+    case Operand::Kind::kImm:
+      if (type == Type::kF32) return Format("0f%08X /*%g*/", static_cast<unsigned>(op.imm), DecodeF32(op.imm));
+      if (type == Type::kF64) return Format("0d%016llX /*%g*/", static_cast<unsigned long long>(op.imm), DecodeF64(op.imm));
+      if (IsSignedInt(type)) return Format("%lld", static_cast<long long>(static_cast<std::int64_t>(op.imm)));
+      return Format("%llu", static_cast<unsigned long long>(op.imm));
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Disassemble(const Instr& i, std::size_t pc) {
+  std::string out = Format("%4zu:  ", pc);
+  switch (i.op) {
+    case Opcode::kSreg:
+      out += Format("mov.u32 %%r%d, %s", i.dst,
+                    SpecialRegName(static_cast<SpecialReg>(i.a.imm)));
+      return out;
+    case Opcode::kSetp:
+      out += Format("setp.%s.%s %%p%d, %s, %s", CmpOpName(i.cmp), TypeName(i.type), i.dst,
+                    OperandStr(i.a, i.type).c_str(), OperandStr(i.b, i.type).c_str());
+      return out;
+    case Opcode::kSel:
+      out += Format("selp.%s %%r%d, %s, %s, %%p%d", TypeName(i.type), i.dst,
+                    OperandStr(i.a, i.type).c_str(), OperandStr(i.b, i.type).c_str(), i.c.reg);
+      return out;
+    case Opcode::kCvt:
+      out += Format("cvt.%s.%s %%r%d, %s", TypeName(i.type), TypeName(i.type2), i.dst,
+                    OperandStr(i.a, i.type2).c_str());
+      return out;
+    case Opcode::kLd:
+      out += Format("ld.%s.%s %%r%d, [%s%+lld]", SpaceName(i.space), TypeName(i.type), i.dst,
+                    OperandStr(i.a, Type::kU64).c_str(),
+                    static_cast<long long>(static_cast<std::int64_t>(i.b.imm)));
+      return out;
+    case Opcode::kSt:
+      out += Format("st.%s.%s [%s%+lld], %s", SpaceName(i.space), TypeName(i.type),
+                    OperandStr(i.a, Type::kU64).c_str(),
+                    static_cast<long long>(static_cast<std::int64_t>(i.b.imm)),
+                    OperandStr(i.c, i.type).c_str());
+      return out;
+    case Opcode::kAtomAdd:
+    case Opcode::kAtomMin:
+    case Opcode::kAtomMax:
+    case Opcode::kAtomExch:
+      out += Format("%s.%s.%s %%r%d, [%s], %s", OpcodeName(i.op), SpaceName(i.space),
+                    TypeName(i.type), i.dst, OperandStr(i.a, Type::kU64).c_str(),
+                    OperandStr(i.b, i.type).c_str());
+      return out;
+    case Opcode::kAtomCas:
+      out += Format("atom.cas.%s.%s %%r%d, [%s], %s, %s", SpaceName(i.space), TypeName(i.type),
+                    i.dst, OperandStr(i.a, Type::kU64).c_str(), OperandStr(i.b, i.type).c_str(),
+                    OperandStr(i.c, i.type).c_str());
+      return out;
+    case Opcode::kTex2D:
+      out += Format("tex.2d.f32 %%r%d, [tex%d, {%s, %s}]", i.dst, i.target,
+                    OperandStr(i.a, Type::kF32).c_str(), OperandStr(i.b, Type::kF32).c_str());
+      return out;
+    case Opcode::kTex1D:
+      out += Format("tex.1d.f32 %%r%d, [tex%d, %s]", i.dst, i.target,
+                    OperandStr(i.a, Type::kI32).c_str());
+      return out;
+    case Opcode::kBra:
+      out += Format("bra L%d", i.target);
+      return out;
+    case Opcode::kBraPred:
+      out += Format("@%s%%p%d bra L%d  // reconv L%d", i.neg ? "!" : "", i.a.reg, i.target,
+                    i.reconv);
+      return out;
+    case Opcode::kBarSync:
+      out += "bar.sync 0";
+      return out;
+    case Opcode::kExit:
+      out += "exit";
+      return out;
+    case Opcode::kNop:
+      out += "nop";
+      return out;
+    default:
+      break;
+  }
+  // Generic ALU form.
+  out += Format("%s.%s %%r%d", OpcodeName(i.op), TypeName(i.type), i.dst);
+  if (!i.a.is_none()) out += ", " + OperandStr(i.a, i.type);
+  if (!i.b.is_none()) out += ", " + OperandStr(i.b, i.type);
+  if (!i.c.is_none()) out += ", " + OperandStr(i.c, i.type);
+  return out;
+}
+
+std::string Disassemble(const std::vector<Instr>& code) {
+  std::string out;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    out += Disassemble(code[pc], pc);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace kspec::vgpu

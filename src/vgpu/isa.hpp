@@ -1,0 +1,121 @@
+// MiniPTX: the typed, virtual-register, load/store intermediate representation
+// executed by the vgpu interpreter.
+//
+// MiniPTX stands in for NVIDIA's PTX (Section 2.4 of the dissertation): it is
+// the target of the kcc compiler front-end, it has a printable textual form so
+// that run-time-evaluated vs specialized code can be compared side by side
+// (Appendices C/D), and register assignment happens when it is "translated"
+// (here: register-allocated) for a device.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vgpu/types.hpp"
+
+namespace kspec::vgpu {
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  // Data movement.
+  kMov,       // dst = a
+  kSreg,      // dst = special register (a.imm selects SpecialReg)
+  // Integer / float arithmetic. Operand types given by Instr::type.
+  kAdd, kSub, kMul, kDiv, kRem,
+  kMul24,     // 24-bit integer multiply intrinsic (__[u]mul24)
+  kMad,       // dst = a * b + c (integer MAD or float FMA)
+  kMin, kMax,
+  kNeg, kAbs,
+  kAnd, kOr, kXor, kNot,
+  kShl, kShr,  // shift; kShr is arithmetic for signed types, logical otherwise
+  // Float-only unary math.
+  kSqrt, kRsqrt, kFloor, kCeil, kExp, kLog, kSin, kCos,
+  // Comparison -> predicate register. CmpOp in Instr::cmp.
+  kSetp,
+  // dst = pred ? a : b
+  kSel,
+  // Type conversion: dst type = Instr::type, source type = Instr::type2.
+  kCvt,
+  // Memory. Address operand a (+ b immediate byte offset). Space in Instr::space.
+  kLd, kSt,
+  // Control flow.
+  kBra,       // unconditional branch to Instr::target
+  kBraPred,   // branch to target if pred (negated when Instr::neg); carries
+              // the structured reconvergence pc in Instr::reconv
+  kBarSync,   // __syncthreads()
+  kExit,      // thread retires (also used for early return)
+  // Atomics on global/shared memory (returns old value).
+  kAtomAdd, kAtomMin, kAtomMax, kAtomExch, kAtomCas,
+  // Texture sampling: dst = tex2D(texture[target], a, b) with bilinear
+  // filtering and clamp addressing; kTex1D fetches element a of the bound
+  // buffer (no filtering). The texture slot index lives in Instr::target.
+  kTex2D, kTex1D,
+};
+
+const char* OpcodeName(Opcode op);
+
+enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CmpOpName(CmpOp op);
+
+enum class SpecialReg : std::uint8_t {
+  kTidX, kTidY, kTidZ,
+  kNtidX, kNtidY, kNtidZ,
+  kCtaidX, kCtaidY, kCtaidZ,
+  kNctaidX, kNctaidY, kNctaidZ,
+  kLaneId, kWarpId,
+};
+const char* SpecialRegName(SpecialReg r);
+
+// An operand is either a virtual register index or an immediate value encoded
+// in a 64-bit slot (interpretation depends on the instruction type).
+struct Operand {
+  enum class Kind : std::uint8_t { kNone, kReg, kImm };
+  Kind kind = Kind::kNone;
+  std::int32_t reg = -1;
+  std::uint64_t imm = 0;
+
+  static Operand Reg(std::int32_t r) { return {Kind::kReg, r, 0}; }
+  static Operand Imm(std::uint64_t v) { return {Kind::kImm, -1, v}; }
+  static Operand ImmF32(float v) { return Imm(EncodeF32(v)); }
+  static Operand ImmI32(std::int32_t v) { return Imm(EncodeI32(v)); }
+  static Operand None() { return {}; }
+
+  bool is_reg() const { return kind == Kind::kReg; }
+  bool is_imm() const { return kind == Kind::kImm; }
+  bool is_none() const { return kind == Kind::kNone; }
+};
+
+struct Instr {
+  Opcode op = Opcode::kNop;
+  Type type = Type::kI32;   // primary operand type
+  Type type2 = Type::kI32;  // source type for kCvt
+  CmpOp cmp = CmpOp::kEq;   // for kSetp
+  Space space = Space::kGlobal;  // for kLd/kSt/atomics
+  bool neg = false;         // for kBraPred: branch when predicate is false
+  std::int32_t dst = -1;    // destination virtual register (or pred reg)
+  Operand a, b, c;
+  std::int32_t target = -1;  // branch target pc
+  std::int32_t reconv = -1;  // reconvergence pc for divergent branches
+
+  static Instr Make(Opcode op, Type t, std::int32_t dst, Operand a = Operand::None(),
+                    Operand b = Operand::None(), Operand c = Operand::None()) {
+    Instr i;
+    i.op = op;
+    i.type = t;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    i.c = c;
+    return i;
+  }
+};
+
+// Renders one instruction in MiniPTX textual syntax, e.g.
+//   "mad.f32 %r12, %r3, %r7, %r11" or "ld.global.f32 %r4, [%r2+16]".
+std::string Disassemble(const Instr& instr, std::size_t pc);
+
+// Renders a whole instruction stream with pc labels.
+std::string Disassemble(const std::vector<Instr>& code);
+
+}  // namespace kspec::vgpu

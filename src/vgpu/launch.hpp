@@ -1,0 +1,60 @@
+// Launch configuration and per-launch statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vgpu/device.hpp"
+#include "vgpu/types.hpp"
+
+namespace kspec::vgpu {
+
+// A 2D (or 1D when h == 1) float texture bound to linear global memory.
+struct TextureBinding {
+  std::uint64_t base = 0;  // device pointer to float data
+  int w = 0, h = 1;        // texels
+};
+
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  unsigned dynamic_smem_bytes = 0;
+  // One 64-bit slot per kernel parameter, encoded per the parameter type.
+  std::vector<std::uint64_t> args;
+  // Texture slot bindings (indexed by the slot in Instr::target).
+  std::vector<TextureBinding> textures;
+};
+
+// Raw counters collected by the interpreter plus the modeled execution time.
+struct LaunchStats {
+  // Dynamic counts.
+  std::uint64_t warp_instrs = 0;   // warp-level instruction issues
+  std::uint64_t lane_instrs = 0;   // per-lane executed operations
+  std::uint64_t global_instrs = 0; // warp-level global ld/st issues
+  std::uint64_t mem_transactions = 0;
+  std::uint64_t texture_fetches = 0;
+  std::uint64_t shared_conflict_cycles = 0;
+  std::uint64_t barriers = 0;
+
+  // Cost-model inputs.
+  double issue_cycles = 0;     // compute-pipe cycles (incl. bank conflicts)
+  double memory_cycles = 0;    // memory-throughput cycles
+  double avg_ilp = 2.0;        // dynamic-weighted static ILP estimate
+
+  // Configuration echo.
+  unsigned blocks = 0;
+  unsigned threads_per_block = 0;
+  unsigned regs_per_thread = 0;   // after clamping to the device limit
+  unsigned spilled_regs = 0;      // registers demoted to local memory
+  unsigned smem_per_block = 0;
+  Occupancy occupancy;
+
+  // Modeled result.
+  double sim_cycles = 0;
+  double sim_millis = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace kspec::vgpu

@@ -1,0 +1,86 @@
+#include "vgpu/memory.hpp"
+
+#include <algorithm>
+
+#include "support/math.hpp"
+#include "support/str.hpp"
+
+namespace kspec::vgpu {
+
+GlobalMemory::GlobalMemory(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes), bump_(kBase) {
+  // The backing store grows on demand (capacity_ is the cap, not the initial
+  // allocation) so that creating a context with a multi-GB heap stays cheap.
+  data_.resize(kBase + 4096);
+}
+
+DevPtr GlobalMemory::Alloc(std::uint64_t bytes) {
+  bytes = AlignUp<std::uint64_t>(std::max<std::uint64_t>(bytes, 1), 16);
+  // First-fit reuse of freed blocks keeps long-running pipelines bounded.
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second >= bytes) {
+      DevPtr ptr = it->first;
+      std::uint64_t size = it->second;
+      free_list_.erase(it);
+      live_[ptr] = size;
+      in_use_ += size;
+      return ptr;
+    }
+  }
+  if (bump_ + bytes > capacity_ + kBase) {
+    throw DeviceError(Format("out of device memory: requested %llu bytes, %llu in use",
+                             static_cast<unsigned long long>(bytes),
+                             static_cast<unsigned long long>(in_use_)));
+  }
+  if (bump_ + bytes > data_.size()) {
+    std::uint64_t want = std::max<std::uint64_t>(bump_ + bytes, data_.size() * 2);
+    data_.resize(std::min<std::uint64_t>(want, capacity_ + kBase));
+  }
+  DevPtr ptr = bump_;
+  bump_ += bytes;
+  live_[ptr] = bytes;
+  in_use_ += bytes;
+  return ptr;
+}
+
+void GlobalMemory::Free(DevPtr ptr) {
+  auto it = live_.find(ptr);
+  if (it == live_.end()) throw DeviceError("free of unknown device pointer");
+  in_use_ -= it->second;
+  free_list_.emplace_back(it->first, it->second);
+  live_.erase(it);
+}
+
+void GlobalMemory::CheckRange(DevPtr addr, std::uint64_t bytes) const {
+  // A fast path covers the vast majority of accesses: inside the arena and
+  // above the guard region.
+  if (addr < kBase || addr + bytes > data_.size()) {
+    throw DeviceError(Format("out-of-bounds device access at 0x%llx (%llu bytes)",
+                             static_cast<unsigned long long>(addr),
+                             static_cast<unsigned long long>(bytes)));
+  }
+}
+
+unsigned char* GlobalMemory::Access(DevPtr addr, std::uint64_t bytes) {
+  CheckRange(addr, bytes);
+  return data_.data() + addr;
+}
+
+const unsigned char* GlobalMemory::Access(DevPtr addr, std::uint64_t bytes) const {
+  CheckRange(addr, bytes);
+  return data_.data() + addr;
+}
+
+void GlobalMemory::Write(DevPtr dst, const void* src, std::uint64_t bytes) {
+  std::memcpy(Access(dst, bytes), src, bytes);
+}
+
+void GlobalMemory::Read(void* dst, DevPtr src, std::uint64_t bytes) const {
+  std::memcpy(dst, Access(src, bytes), bytes);
+}
+
+void GlobalMemory::Memset(DevPtr dst, unsigned char value, std::uint64_t bytes) {
+  std::memset(Access(dst, bytes), value, bytes);
+}
+
+}  // namespace kspec::vgpu

@@ -1,0 +1,64 @@
+// Simulated device global memory with a simple allocator and bounds checking.
+//
+// Device pointers are plain 64-bit offsets into one flat arena, biased so a
+// null pointer never aliases a live allocation. The host reads and writes
+// through typed spans, mirroring cudaMemcpy semantics in the driver layer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace kspec::vgpu {
+
+using DevPtr = std::uint64_t;
+
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(std::uint64_t capacity_bytes);
+
+  // Allocates `bytes` (16-byte aligned); throws DeviceError when exhausted.
+  DevPtr Alloc(std::uint64_t bytes);
+
+  // Frees an allocation returned by Alloc (exact pointer required).
+  void Free(DevPtr ptr);
+
+  std::uint64_t bytes_in_use() const { return in_use_; }
+  std::uint64_t capacity() const { return capacity_; }
+
+  // Host <-> device transfers.
+  void Write(DevPtr dst, const void* src, std::uint64_t bytes);
+  void Read(void* dst, DevPtr src, std::uint64_t bytes) const;
+  void Memset(DevPtr dst, unsigned char value, std::uint64_t bytes);
+
+  template <typename T>
+  void WriteSpan(DevPtr dst, std::span<const T> src) {
+    Write(dst, src.data(), src.size_bytes());
+  }
+  template <typename T>
+  void ReadSpan(DevPtr src, std::span<T> dst) const {
+    Read(dst.data(), src, dst.size_bytes());
+  }
+
+  // Raw access for the interpreter. Validates [addr, addr+bytes) is inside a
+  // live allocation region.
+  unsigned char* Access(DevPtr addr, std::uint64_t bytes);
+  const unsigned char* Access(DevPtr addr, std::uint64_t bytes) const;
+
+ private:
+  void CheckRange(DevPtr addr, std::uint64_t bytes) const;
+
+  static constexpr DevPtr kBase = 0x10000;  // null-pointer guard region
+  std::uint64_t capacity_;
+  std::uint64_t bump_;
+  std::uint64_t in_use_ = 0;
+  std::vector<unsigned char> data_;
+  std::map<DevPtr, std::uint64_t> live_;  // ptr -> size
+  std::vector<std::pair<DevPtr, std::uint64_t>> free_list_;
+};
+
+}  // namespace kspec::vgpu

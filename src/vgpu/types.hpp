@@ -1,0 +1,87 @@
+// Core value and geometry types shared by the vgpu simulator and the kcc
+// compiler. Registers are 64-bit slots reinterpreted according to the static
+// type carried by each instruction (as in PTX, where virtual registers are
+// typed by the instruction that uses them).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace kspec::vgpu {
+
+enum class Type : std::uint8_t {
+  kPred,  // boolean predicate
+  kI32,
+  kU32,
+  kI64,
+  kU64,  // also pointer type
+  kF32,
+  kF64,
+};
+
+const char* TypeName(Type t);
+
+// Size in bytes of a value of type `t` in memory.
+std::size_t TypeSize(Type t);
+
+bool IsFloatType(Type t);
+bool IsSignedInt(Type t);
+bool IsIntType(Type t);
+
+// A 64-bit register slot. Helpers encode/decode typed values.
+union Slot {
+  std::uint64_t raw;
+  struct {
+  } _;
+};
+
+inline std::uint64_t EncodeF32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  return bits;
+}
+inline float DecodeF32(std::uint64_t raw) {
+  std::uint32_t bits = static_cast<std::uint32_t>(raw);
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+inline std::uint64_t EncodeF64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  return bits;
+}
+inline double DecodeF64(std::uint64_t raw) {
+  double v;
+  std::memcpy(&v, &raw, 8);
+  return v;
+}
+inline std::uint64_t EncodeI32(std::int32_t v) {
+  return static_cast<std::uint32_t>(v);
+}
+inline std::int32_t DecodeI32(std::uint64_t raw) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(raw));
+}
+
+struct Dim3 {
+  unsigned x = 1, y = 1, z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(unsigned x_, unsigned y_ = 1, unsigned z_ = 1) : x(x_), y(y_), z(z_) {}
+
+  constexpr unsigned long long Count() const {
+    return static_cast<unsigned long long>(x) * y * z;
+  }
+  bool operator==(const Dim3&) const = default;
+
+  std::string ToString() const;
+};
+
+// Memory address spaces, mirroring the CUDA memory hierarchy relevant to the
+// dissertation (Section 2.1).
+enum class Space : std::uint8_t { kGlobal, kShared, kConst, kLocal, kParam };
+
+const char* SpaceName(Space s);
+
+}  // namespace kspec::vgpu

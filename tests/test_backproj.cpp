@@ -1,0 +1,146 @@
+// Backprojection application tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/backproj/cpu_ref.hpp"
+#include "apps/backproj/gpu.hpp"
+#include "apps/backproj/problem.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace kspec::apps::backproj {
+namespace {
+
+Problem SmallProblem() {
+  Geometry g;
+  g.vol_n = 12;
+  g.vol_z = 8;
+  g.det_u = 24;
+  g.det_v = 16;
+  g.n_angles = 8;
+  return Generate("small", g, 2, 77);
+}
+
+TEST(BackprojProblem, ProjectionsNonTrivial) {
+  Problem p = SmallProblem();
+  EXPECT_EQ(p.projections.size(), p.proj_count());
+  float max_val = *std::max_element(p.projections.begin(), p.projections.end());
+  EXPECT_GT(max_val, 0.1f);
+}
+
+TEST(BackprojCpu, PeaksNearPlantedBlob) {
+  Geometry g;
+  g.vol_n = 16;
+  g.vol_z = 12;
+  g.det_u = 32;
+  g.det_v = 24;
+  g.n_angles = 16;
+  Problem p = Generate("single", g, 1, 3);
+  CpuResult r = CpuBackproject(p, 1);
+
+  // Find the voxel with the maximum reconstructed value.
+  auto it = std::max_element(r.volume.begin(), r.volume.end());
+  std::size_t idx = static_cast<std::size_t>(it - r.volume.begin());
+  int nxy = g.vol_n * g.vol_n;
+  int z = static_cast<int>(idx) / nxy;
+  int y = (static_cast<int>(idx) % nxy) / g.vol_n;
+  int x = static_cast<int>(idx) % g.vol_n;
+  float xc = (x - 0.5f * g.vol_n + 0.5f) * g.vox_size;
+  float yc = (y - 0.5f * g.vol_n + 0.5f) * g.vox_size;
+  float zc = (z - 0.5f * g.vol_z + 0.5f) * g.vox_size;
+  // Backprojection smears, but the peak should land within ~2.5 voxels.
+  EXPECT_NEAR(xc, p.blobs[0].x, 2.5f);
+  EXPECT_NEAR(yc, p.blobs[0].y, 2.5f);
+  EXPECT_NEAR(zc, p.blobs[0].z, 2.5f);
+}
+
+void ExpectVolumesClose(const std::vector<float>& a, const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], 1e-4f * (1.0f + std::fabs(a[i]))) << "voxel " << i;
+  }
+}
+
+TEST(BackprojGpu, SpecializedMatchesCpu) {
+  Problem p = SmallProblem();
+  CpuResult cpu = CpuBackproject(p, 1);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  BackprojConfig cfg;
+  cfg.threads = 32;
+  cfg.zpt = 2;
+  cfg.specialize = true;
+  BackprojGpuResult gpu = GpuBackproject(ctx, p, cfg);
+  ExpectVolumesClose(cpu.volume, gpu.volume);
+}
+
+TEST(BackprojGpu, RunTimeEvaluatedMatchesCpu) {
+  Problem p = SmallProblem();
+  CpuResult cpu = CpuBackproject(p, 1);
+  vcuda::Context ctx(vgpu::TeslaC2070());
+  BackprojConfig cfg;
+  cfg.threads = 64;
+  cfg.zpt = 1;
+  cfg.specialize = false;
+  BackprojGpuResult gpu = GpuBackproject(ctx, p, cfg);
+  ExpectVolumesClose(cpu.volume, gpu.volume);
+}
+
+TEST(BackprojGpu, ZptSweepStaysCorrect) {
+  Problem p = SmallProblem();  // vol_z = 8
+  CpuResult cpu = CpuBackproject(p, 1);
+  for (int zpt : {1, 2, 4, 8}) {
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    BackprojConfig cfg;
+    cfg.threads = 32;
+    cfg.zpt = zpt;
+    cfg.specialize = true;
+    BackprojGpuResult gpu = GpuBackproject(ctx, p, cfg);
+    ExpectVolumesClose(cpu.volume, gpu.volume);
+  }
+}
+
+TEST(BackprojGpu, ZBlockingRequiresSpecialization) {
+  Problem p = SmallProblem();
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  BackprojConfig cfg;
+  cfg.zpt = 2;
+  cfg.specialize = false;
+  EXPECT_THROW(GpuBackproject(ctx, p, cfg), DeviceError);
+}
+
+TEST(BackprojGpu, SpecializationImprovesTime) {
+  Problem p = SmallProblem();
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  BackprojConfig re;
+  re.threads = 64;
+  re.zpt = 1;
+  re.specialize = false;
+  BackprojConfig sk = re;
+  sk.specialize = true;
+  BackprojGpuResult r_re = GpuBackproject(ctx, p, re);
+  BackprojGpuResult r_sk = GpuBackproject(ctx, p, sk);
+  ExpectVolumesClose(r_re.volume, r_sk.volume);
+  EXPECT_LT(r_sk.sim_millis, r_re.sim_millis);
+  EXPECT_LE(r_sk.reg_count, r_re.reg_count);
+}
+
+TEST(BackprojGpu, ConstantMemoryAngleCapEnforced) {
+  Geometry g;
+  g.vol_n = 8;
+  g.vol_z = 4;
+  g.det_u = 16;
+  g.det_v = 12;
+  g.n_angles = 80;  // beyond the RE build's fixed 64-entry tables
+  Problem p = Generate("manyangles", g, 1, 9);
+  vcuda::Context ctx(vgpu::TeslaC2070());
+  BackprojConfig cfg;
+  cfg.threads = 32;
+  cfg.specialize = false;
+  EXPECT_THROW(GpuBackproject(ctx, p, cfg), DeviceError);
+  cfg.specialize = true;  // exact-size constant tables
+  EXPECT_NO_THROW(GpuBackproject(ctx, p, cfg));
+}
+
+}  // namespace
+}  // namespace kspec::apps::backproj

@@ -1,0 +1,121 @@
+// Tests for the future-work extensions (dissertation Section 7.2): tiered
+// (lazy) specialization and the multi-mask PIV kernel variant.
+#include <gtest/gtest.h>
+
+#include "apps/piv/cpu_ref.hpp"
+#include "apps/piv/gpu.hpp"
+#include "vcuda/tiered.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace kspec {
+namespace {
+
+constexpr const char* kTieredKernel = R"(
+#ifndef N
+#define N n
+#endif
+__kernel void f(float* out, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < N; i++) { acc += 1.0f; }
+  out[threadIdx.x] = acc;
+}
+)";
+
+kcc::CompileOptions OptsFor(int n) {
+  kcc::CompileOptions opts;
+  opts.defines["N"] = std::to_string(n);
+  return opts;
+}
+
+float RunOnce(vcuda::Context& ctx, vcuda::Module& mod, int n) {
+  auto d_out = ctx.Malloc(32 * 4);
+  vcuda::ArgPack args;
+  args.Ptr(d_out).Int(n);
+  ctx.Launch(mod, "f", vgpu::Dim3(1), vgpu::Dim3(32), args);
+  float v = vcuda::Download<float>(ctx, d_out, 1)[0];
+  ctx.Free(d_out);
+  return v;
+}
+
+TEST(TieredLoader, ColdSetsServeReThenPromote) {
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  vcuda::TieredLoader tiered(&ctx, kTieredKernel, /*hot_threshold=*/3);
+
+  auto opts = OptsFor(7);
+  EXPECT_FALSE(tiered.IsSpecialized(opts));
+  // Requests 1 and 2: the shared RE build (one compile total).
+  auto m1 = tiered.Get(opts);
+  auto m2 = tiered.Get(opts);
+  EXPECT_FALSE(tiered.IsSpecialized(opts));
+  EXPECT_EQ(ctx.cache_stats().misses, 1u);  // only the RE build compiled
+  EXPECT_FLOAT_EQ(RunOnce(ctx, *m1, 7), 7.0f);
+
+  // Request 3: promoted — the specialized build compiles now.
+  auto m3 = tiered.Get(opts);
+  EXPECT_TRUE(tiered.IsSpecialized(opts));
+  EXPECT_EQ(ctx.cache_stats().misses, 2u);
+  EXPECT_FLOAT_EQ(RunOnce(ctx, *m3, 7), 7.0f);
+
+  // A DIFFERENT parameter set is still cold and reuses the RE build.
+  auto other = tiered.Get(OptsFor(11));
+  EXPECT_EQ(ctx.cache_stats().misses, 2u);
+  EXPECT_FLOAT_EQ(RunOnce(ctx, *other, 11), 11.0f);
+
+  EXPECT_EQ(tiered.stats().specializations, 1u);
+  EXPECT_EQ(tiered.stats().re_served, 3u);
+  EXPECT_EQ(tiered.stats().sk_served, 1u);
+}
+
+TEST(TieredLoader, PromotedBuildIsActuallySpecialized) {
+  vcuda::Context ctx(vgpu::TeslaC2070());
+  vcuda::TieredLoader tiered(&ctx, kTieredKernel, 2);
+  auto opts = OptsFor(6);
+  auto cold = tiered.Get(opts);
+  auto hot = tiered.Get(opts);
+  // The RE build keeps its loop; the specialized build unrolled it away.
+  EXPECT_EQ(cold->GetKernel("f").stats.unrolled_loops, 0);
+  EXPECT_EQ(hot->GetKernel("f").stats.unrolled_loops, 1);
+}
+
+TEST(PivMultiMask, MatchesCpuReference) {
+  apps::piv::Problem p = apps::piv::Generate("mm", 48, 8, 2, 8, 99);
+  apps::piv::VectorField cpu = apps::piv::CpuPiv(p, 1);
+  for (bool spec : {false, true}) {
+    for (int threads : {32, 64, 128}) {
+      vcuda::Context ctx(vgpu::TeslaC2070());
+      apps::piv::PivConfig cfg;
+      cfg.variant = apps::piv::Variant::kMultiMask;
+      cfg.threads = threads;
+      cfg.specialize = spec;
+      auto r = GpuPiv(ctx, p, cfg);
+      EXPECT_EQ(r.field.best_offset, cpu.best_offset)
+          << "spec=" << spec << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PivMultiMask, UsesFewerBlocksAndNoBarriers) {
+  apps::piv::Problem p = apps::piv::Generate("mmperf", 64, 16, 2, 8, 13);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  apps::piv::PivConfig one{apps::piv::Variant::kWarpSpec, 64, true, 0};
+  apps::piv::PivConfig multi{apps::piv::Variant::kMultiMask, 64, true, 0};
+  auto r1 = GpuPiv(ctx, p, one);
+  auto rm = GpuPiv(ctx, p, multi);
+  EXPECT_EQ(r1.field.best_offset, rm.field.best_offset);
+  EXPECT_LT(rm.stats.blocks, r1.stats.blocks);
+  EXPECT_EQ(rm.stats.barriers, 0u);  // warps never need block-level sync
+}
+
+TEST(PivMultiMask, HandlesMaskCountNotMultipleOfWarps) {
+  // masks_x * masks_y deliberately not divisible by threads/32.
+  apps::piv::Problem p = apps::piv::Generate("odd", 48, 8, 2, 6, 7);  // 49 masks
+  ASSERT_NE(p.n_masks() % (128 / 32), 0);
+  apps::piv::VectorField cpu = apps::piv::CpuPiv(p, 1);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  apps::piv::PivConfig cfg{apps::piv::Variant::kMultiMask, 128, true, 0};
+  auto r = GpuPiv(ctx, p, cfg);
+  EXPECT_EQ(r.field.best_offset, cpu.best_offset);
+}
+
+}  // namespace
+}  // namespace kspec

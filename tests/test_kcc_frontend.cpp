@@ -1,0 +1,261 @@
+// Unit tests for the kcc front-end: preprocessor, lexer, parser, and
+// semantic analysis diagnostics.
+#include <gtest/gtest.h>
+
+#include "kcc/lexer.hpp"
+#include "kcc/parser.hpp"
+#include "kcc/preprocess.hpp"
+#include "kcc/sema.hpp"
+#include "support/status.hpp"
+
+namespace kspec::kcc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Preprocessor
+// ---------------------------------------------------------------------------
+
+TEST(Preprocess, DefineSubstitution) {
+  std::string out = Preprocess("int x = N;", {{"N", "42"}});
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(out.find(" N "), std::string::npos);
+}
+
+TEST(Preprocess, IdentifierBoundariesRespected) {
+  // "N" must not replace inside "N2" or "xN".
+  std::string out = Preprocess("int N2 = N + xN;", {{"N", "7"}});
+  EXPECT_NE(out.find("N2"), std::string::npos);
+  EXPECT_NE(out.find("xN"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+TEST(Preprocess, NestedMacroExpansion) {
+  std::string out = Preprocess("#define A B\n#define B 5\nint x = A;", {});
+  EXPECT_NE(out.find("5"), std::string::npos);
+}
+
+TEST(Preprocess, SelfReferenceDoesNotLoop) {
+  std::string out = Preprocess("#define X X\nint X = 1;", {});
+  EXPECT_NE(out.find("X"), std::string::npos);
+}
+
+TEST(Preprocess, IfdefElseEndif) {
+  std::string with = Preprocess("#ifdef F\nyes\n#else\nno\n#endif", {{"F", "1"}});
+  EXPECT_NE(with.find("yes"), std::string::npos);
+  EXPECT_EQ(with.find("no"), std::string::npos);
+  std::string without = Preprocess("#ifdef F\nyes\n#else\nno\n#endif", {});
+  EXPECT_EQ(without.find("yes"), std::string::npos);
+  EXPECT_NE(without.find("no"), std::string::npos);
+}
+
+TEST(Preprocess, IfExpressionArithmetic) {
+  std::string out = Preprocess("#if N * 2 > 10\nbig\n#else\nsmall\n#endif", {{"N", "6"}});
+  EXPECT_NE(out.find("big"), std::string::npos);
+  out = Preprocess("#if N * 2 > 10\nbig\n#else\nsmall\n#endif", {{"N", "4"}});
+  EXPECT_NE(out.find("small"), std::string::npos);
+}
+
+TEST(Preprocess, IfDefinedOperator) {
+  std::string out = Preprocess("#if defined(A) && !defined(B)\nok\n#endif", {{"A", "1"}});
+  EXPECT_NE(out.find("ok"), std::string::npos);
+}
+
+TEST(Preprocess, ElifChain) {
+  const char* src = "#if N == 1\none\n#elif N == 2\ntwo\n#else\nmany\n#endif";
+  EXPECT_NE(Preprocess(src, {{"N", "1"}}).find("one"), std::string::npos);
+  EXPECT_NE(Preprocess(src, {{"N", "2"}}).find("two"), std::string::npos);
+  EXPECT_NE(Preprocess(src, {{"N", "9"}}).find("many"), std::string::npos);
+}
+
+TEST(Preprocess, UndefinedIdentifierIsZeroInIf) {
+  std::string out = Preprocess("#if UNDEF\nyes\n#else\nno\n#endif", {});
+  EXPECT_NE(out.find("no"), std::string::npos);
+}
+
+TEST(Preprocess, ErrorDirectiveThrows) {
+  EXPECT_THROW(Preprocess("#error boom", {}), CompileError);
+  EXPECT_NO_THROW(Preprocess("#ifdef X\n#error boom\n#endif", {}));
+}
+
+TEST(Preprocess, UnterminatedIfThrows) {
+  EXPECT_THROW(Preprocess("#ifdef X\nint a;\n", {}), CompileError);
+}
+
+TEST(Preprocess, FunctionLikeMacroRejected) {
+  EXPECT_THROW(Preprocess("#define F(x) x\n", {}), CompileError);
+}
+
+TEST(Preprocess, CommentsStripped) {
+  std::string out = Preprocess("int a; // c1 N\n/* N */ int b;", {{"N", "9"}});
+  EXPECT_EQ(out.find("9"), std::string::npos);
+  EXPECT_EQ(out.find("c1"), std::string::npos);
+}
+
+TEST(Preprocess, LineContinuation) {
+  std::string out = Preprocess("#define V 1 + \\\n 2\nint x = V;", {});
+  EXPECT_NE(out.find("1 +"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(Preprocess, PragmaIgnored) {
+  EXPECT_NO_THROW(Preprocess("#pragma unroll\nint x;", {}));
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, IntegerLiterals) {
+  auto toks = Lex("42 0x1F 7u 9ULL");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].int_value, 42u);
+  EXPECT_EQ(toks[1].int_value, 0x1Fu);
+  EXPECT_TRUE(toks[2].is_unsigned);
+  EXPECT_TRUE(toks[3].is_unsigned);
+  EXPECT_TRUE(toks[3].is_wide);
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto toks = Lex("1.5 2.0f 1e3 2.5e-2f");
+  EXPECT_EQ(toks[0].kind, Tok::kFloatLit);
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 1.5);
+  EXPECT_TRUE(toks[1].is_f32);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 1000.0);
+  EXPECT_TRUE(toks[3].is_f32);
+  EXPECT_NEAR(toks[3].float_value, 0.025, 1e-12);
+}
+
+TEST(Lexer, OperatorsGreedy) {
+  auto toks = Lex("<<= >>= << >> <= >= == != && || ++ --");
+  std::vector<Tok> expect = {Tok::kShlEq, Tok::kShrEq, Tok::kShl, Tok::kShr,
+                             Tok::kLessEq, Tok::kGreaterEq, Tok::kEqEq, Tok::kBangEq,
+                             Tok::kAmpAmp, Tok::kPipePipe, Tok::kPlusPlus, Tok::kMinusMinus};
+  for (std::size_t i = 0; i < expect.size(); ++i) EXPECT_EQ(toks[i].kind, expect[i]) << i;
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto toks = Lex("a\nb\n  c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].col, 3);
+}
+
+TEST(Lexer, RejectsGarbage) { EXPECT_THROW(Lex("int @"), CompileError); }
+
+// ---------------------------------------------------------------------------
+// Parser diagnostics
+// ---------------------------------------------------------------------------
+
+ModuleAst ParseOk(const std::string& src) {
+  ModuleAst m = Parse(src);
+  Analyze(m);
+  return m;
+}
+
+TEST(Parser, MinimalKernel) {
+  ModuleAst m = ParseOk("__kernel void f(float* p) { p[0] = 1.0f; }");
+  ASSERT_EQ(m.kernels.size(), 1u);
+  EXPECT_EQ(m.kernels[0].name, "f");
+  ASSERT_EQ(m.kernels[0].params.size(), 1u);
+  EXPECT_TRUE(m.kernels[0].params[0].type.is_pointer);
+}
+
+TEST(Parser, BreakContinueRejectedWithGuidance) {
+  try {
+    Parse("__kernel void f(int n) { for (int i = 0; i < n; i++) { break; } }");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("break/continue"), std::string::npos);
+  }
+}
+
+TEST(Parser, NonVoidKernelRejected) {
+  EXPECT_THROW(Parse("__kernel int f() { }"), CompileError);
+}
+
+TEST(Parser, ThreadGeometryBuiltins) {
+  EXPECT_NO_THROW(ParseOk(
+      "__kernel void f(int* o) { o[0] = (int)(threadIdx.x + blockIdx.y * gridDim.z); }"));
+  EXPECT_THROW(Parse("__kernel void f() { int a = threadIdx.w; }"), CompileError);
+}
+
+TEST(Parser, CastVsParenDisambiguation) {
+  EXPECT_NO_THROW(ParseOk("__kernel void f(float* o, int a) { o[0] = (float)a * (a + 1); }"));
+}
+
+// ---------------------------------------------------------------------------
+// Sema diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(Sema, UndeclaredIdentifier) {
+  try {
+    ParseOk("__kernel void f() { int a = MISSING_CONST; }");
+    FAIL();
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("specialization"), std::string::npos);
+  }
+}
+
+TEST(Sema, ShadowingRejected) {
+  EXPECT_THROW(ParseOk("__kernel void f(int n) { int x = 0; { int x = 1; } }"), CompileError);
+  EXPECT_THROW(ParseOk("__kernel void f(int n) { int n = 0; }"), CompileError);
+}
+
+TEST(Sema, SharedArrayNeedsConstantSize) {
+  EXPECT_THROW(ParseOk("__kernel void f(int n) { __shared float s[n]; }"), CompileError);
+  EXPECT_NO_THROW(ParseOk("__kernel void f(int n) { __shared float s[2 * 8]; s[0] = 1.0f; }"));
+}
+
+TEST(Sema, SharedArrayMustBeTopLevel) {
+  EXPECT_THROW(
+      ParseOk("__kernel void f(int n) { if (n > 0) { __shared float s[8]; } }"),
+      CompileError);
+}
+
+TEST(Sema, ConstVariableNotAssignable) {
+  EXPECT_THROW(ParseOk("__kernel void f() { const int a = 1; a = 2; }"), CompileError);
+}
+
+TEST(Sema, ConstantMemoryReadOnly) {
+  EXPECT_THROW(ParseOk("__constant float c[4];\n__kernel void f() { c[0] = 1.0f; }"),
+               CompileError);
+  EXPECT_NO_THROW(ParseOk("__constant float c[4];\n__kernel void f(float* o) { o[0] = c[1]; }"));
+}
+
+TEST(Sema, ConstantMemorySizeLimit) {
+  EXPECT_THROW(ParseOk("__constant float c[20000];\n__constant float d[20000];\n"
+                       "__kernel void f() { }"),
+               CompileError);
+}
+
+TEST(Sema, PointerArithmeticRules) {
+  EXPECT_NO_THROW(ParseOk("__kernel void f(float* p, int i) { *(p + i) = 1.0f; }"));
+  EXPECT_THROW(ParseOk("__kernel void f(float* p, float x) { *(p + x) = 1.0f; }"),
+               CompileError);
+  EXPECT_THROW(ParseOk("__kernel void f(float* p, float* q) { float x = *(p * q); }"),
+               CompileError);
+}
+
+TEST(Sema, UnknownFunctionRejected) {
+  EXPECT_THROW(ParseOk("__kernel void f() { float x = myhelper(1.0f); }"), CompileError);
+}
+
+TEST(Sema, IntrinsicArityChecked) {
+  EXPECT_THROW(ParseOk("__kernel void f() { float x = fminf(1.0f); }"), CompileError);
+  EXPECT_NO_THROW(ParseOk("__kernel void f(float* o) { o[0] = fminf(1.0f, 2.0f); }"));
+}
+
+TEST(Sema, AtomicsNeedPointerFirstArg) {
+  EXPECT_THROW(ParseOk("__kernel void f(float x) { atomicAdd(x, 1.0f); }"), CompileError);
+  EXPECT_NO_THROW(ParseOk("__kernel void f(float* p) { atomicAdd(p, 1.0f); }"));
+}
+
+TEST(Sema, BitwiseOnFloatsRejected) {
+  EXPECT_THROW(ParseOk("__kernel void f(float a, float b) { float c = a & b; }"),
+               CompileError);
+  EXPECT_THROW(ParseOk("__kernel void f(float a) { float c = a << 2; }"), CompileError);
+}
+
+}  // namespace
+}  // namespace kspec::kcc

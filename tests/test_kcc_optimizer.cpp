@@ -1,0 +1,344 @@
+// Tests for the kcc middle/back end: constant folding, loop unrolling,
+// scalarization, strength reduction, DCE/CSE, register accounting, and the
+// MiniPTX structure of compiled kernels.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kcc/compiler.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+#include "vgpu/isa.hpp"
+
+namespace kspec::kcc {
+namespace {
+
+using vgpu::Opcode;
+
+const vgpu::CompiledKernel& CompileOne(CompiledModule& storage, const std::string& src,
+                                       const CompileOptions& opts = {}) {
+  storage = CompileModule(src, opts);
+  KSPEC_CHECK(!storage.kernels.empty());
+  return storage.kernels[0];
+}
+
+int CountOp(const vgpu::CompiledKernel& k, Opcode op) {
+  int n = 0;
+  for (const auto& i : k.code) {
+    if (i.op == op) ++n;
+  }
+  return n;
+}
+
+bool HasBranches(const vgpu::CompiledKernel& k) {
+  return CountOp(k, Opcode::kBra) + CountOp(k, Opcode::kBraPred) > 0;
+}
+
+TEST(Unroll, ConstantTripLoopFullyUnrolls) {
+  CompiledModule m;
+  const auto& k = CompileOne(m, R"(
+__kernel void f(float* o) {
+  float acc = 0.0f;
+  for (int i = 0; i < 8; i++) { acc += (float)i; }
+  o[threadIdx.x] = acc;
+}
+)");
+  EXPECT_FALSE(HasBranches(k));
+  EXPECT_EQ(k.stats.unrolled_loops, 1);
+}
+
+TEST(Unroll, RuntimeBoundStaysRolled) {
+  CompiledModule m;
+  const auto& k = CompileOne(m, R"(
+__kernel void f(float* o, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; i++) { acc += (float)i; }
+  o[threadIdx.x] = acc;
+}
+)");
+  EXPECT_TRUE(HasBranches(k));
+  EXPECT_EQ(k.stats.unrolled_loops, 0);
+}
+
+TEST(Unroll, DefineTurnsRuntimeIntoUnrolled) {
+  const char* src = R"(
+#ifndef N
+#define N n
+#endif
+__kernel void f(float* o, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < N; i++) { acc += (float)i; }
+  o[threadIdx.x] = acc;
+}
+)";
+  CompiledModule m1, m2;
+  const auto& re = CompileOne(m1, src);
+  CompileOptions opts;
+  opts.defines["N"] = "6";
+  const auto& sk = CompileOne(m2, src, opts);
+  EXPECT_TRUE(HasBranches(re));
+  EXPECT_FALSE(HasBranches(sk));
+}
+
+TEST(Unroll, GeometricReductionLoopUnrolls) {
+  CompiledModule m;
+  const auto& k = CompileOne(m, R"(
+__kernel void f(float* o) {
+  float acc = 0.0f;
+  for (unsigned int step = 16; step > 0; step = step >> 1) { acc += (float)step; }
+  o[0] = acc;
+}
+)");
+  EXPECT_FALSE(HasBranches(k));
+  // 16+8+4+2+1 = 31 folds into a single constant store.
+  EXPECT_GE(k.stats.folded_consts, 1);
+}
+
+TEST(Unroll, NestedLoopsUnrollInsideOut) {
+  CompiledModule m;
+  const auto& k = CompileOne(m, R"(
+__kernel void f(float* o) {
+  float acc = 0.0f;
+  for (int y = 0; y < 3; y++) {
+    for (int x = 0; x < y + 2; x++) { acc += 1.0f; }
+  }
+  o[0] = acc;
+}
+)");
+  // Inner bound depends on the outer induction variable: both unroll once the
+  // outer is expanded.
+  EXPECT_FALSE(HasBranches(k));
+}
+
+TEST(Unroll, OverBudgetLoopStaysRolled) {
+  CompiledModule m;
+  CompileOptions opts;
+  opts.max_unroll = 16;
+  const auto& k = CompileOne(m, R"(
+__kernel void f(float* o) {
+  float acc = 0.0f;
+  for (int i = 0; i < 100; i++) { acc += 1.0f; }
+  o[0] = acc;
+}
+)", opts);
+  EXPECT_TRUE(HasBranches(k));
+}
+
+TEST(Scalarize, RegisterArrayBecomesRegisters) {
+  CompiledModule m;
+  const auto& k = CompileOne(m, R"(
+__kernel void f(float* o) {
+  float acc[4];
+  for (int i = 0; i < 4; i++) { acc[i] = (float)i; }
+  float total = 0.0f;
+  for (int i = 0; i < 4; i++) { total += acc[i]; }
+  o[threadIdx.x] = total;
+}
+)");
+  // No local-memory traffic: the only memory op is the final global store.
+  EXPECT_EQ(CountOp(k, Opcode::kSt), 1);
+  EXPECT_EQ(CountOp(k, Opcode::kLd), 0);
+}
+
+TEST(Scalarize, DynamicIndexDiagnosed) {
+  try {
+    CompiledModule m;
+    CompileOne(m, R"(
+__kernel void f(float* o, int j) {
+  float acc[4];
+  acc[j] = 1.0f;
+  o[0] = acc[0];
+}
+)");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("indirectly addressed"), std::string::npos);
+  }
+}
+
+TEST(Scalarize, OutOfBoundsConstantIndexDiagnosed) {
+  CompiledModule m;
+  EXPECT_THROW(CompileOne(m, R"(
+__kernel void f(float* o) {
+  float acc[2];
+  acc[5] = 1.0f;
+  o[0] = acc[0];
+}
+)"),
+               CompileError);
+}
+
+TEST(Passes, StrengthReductionOnSpecializedValues) {
+  const char* src = R"(
+#ifndef W
+#define W w
+#endif
+__kernel void f(float* o, unsigned int w) {
+  unsigned int i = threadIdx.x;
+  o[i / W] = (float)(i % W);
+}
+)";
+  CompiledModule m1, m2;
+  const auto& re = CompileOne(m1, src);
+  CompileOptions opts;
+  opts.defines["W"] = "16";  // power of two -> shift/mask
+  const auto& sk = CompileOne(m2, src, opts);
+  EXPECT_EQ(CountOp(re, Opcode::kDiv) + CountOp(re, Opcode::kRem), 2);
+  EXPECT_EQ(CountOp(sk, Opcode::kDiv) + CountOp(sk, Opcode::kRem), 0);
+  EXPECT_GE(sk.stats.strength_reduced, 2);
+
+  // A non-power-of-two constant cannot be strength-reduced this way.
+  CompiledModule m3;
+  opts.defines["W"] = "12";
+  const auto& sk12 = CompileOne(m3, src, opts);
+  EXPECT_GE(CountOp(sk12, Opcode::kDiv) + CountOp(sk12, Opcode::kRem), 1);
+}
+
+TEST(Passes, ConstantBranchElimination) {
+  CompiledModule m;
+  CompileOptions opts;
+  opts.defines["FLAG"] = "0";
+  const auto& k = CompileOne(m, R"(
+__kernel void f(float* o) {
+  if (FLAG) {
+    o[0] = 1.0f;
+  } else {
+    o[0] = 2.0f;
+  }
+}
+)", opts);
+  EXPECT_FALSE(HasBranches(k));
+  EXPECT_EQ(CountOp(k, Opcode::kSt), 1);
+}
+
+TEST(Passes, DeadCodeEliminated) {
+  CompiledModule m;
+  const auto& k = CompileOne(m, R"(
+__kernel void f(float* o) {
+  float unused = 3.0f * 4.0f + 1.0f;
+  float kept = 2.0f;
+  o[0] = kept;
+}
+)");
+  // Everything except the store's operands must be gone.
+  EXPECT_LE(k.stats.static_instrs, 3);
+}
+
+TEST(Passes, CseDeduplicatesAddressMath) {
+  CompiledModule m;
+  const auto& k = CompileOne(m, R"(
+__kernel void f(float* a, float* b, int i) {
+  b[i * 4 + 1] = a[i * 4 + 1] + 1.0f;
+}
+)");
+  // The i*4 computation appears once thanks to local CSE (mul or shl).
+  EXPECT_LE(CountOp(k, Opcode::kMul) + CountOp(k, Opcode::kShl), 2);
+}
+
+TEST(Regalloc, SpecializationReducesRegisterCount) {
+  const char* src = R"(
+#ifndef N
+#define N n
+#endif
+#ifndef S
+#define S s
+#endif
+__kernel void f(float* in, float* out, int n, int s) {
+  float acc = 0.0f;
+  unsigned int base = blockIdx.x * blockDim.x + threadIdx.x;
+  for (int i = 0; i < N; i++) { acc += in[base + i * S]; }
+  out[base] = acc;
+}
+)";
+  CompiledModule m1, m2;
+  const auto& re = CompileOne(m1, src);
+  CompileOptions opts;
+  opts.defines["N"] = "4";
+  opts.defines["S"] = "8";
+  const auto& sk = CompileOne(m2, src, opts);
+  EXPECT_LT(sk.stats.reg_count, re.stats.reg_count);
+}
+
+TEST(Regalloc, RegisterBlockingIncreasesRegisterCount) {
+  auto compile_rb = [](int rb) {
+    std::string src = Format(R"(
+__kernel void f(float* in, float* out) {
+  float acc[%d];
+  unsigned int t = threadIdx.x;
+  for (int k = 0; k < %d; k++) { acc[k] = in[t + (unsigned int)k * 32u]; }
+  float total = 0.0f;
+  for (int k = 0; k < %d; k++) { total += acc[k] * acc[k]; }
+  out[t] = total;
+}
+)", rb, rb, rb);
+    return CompileModule(src, {}).kernels[0].stats.reg_count;
+  };
+  EXPECT_LT(compile_rb(2), compile_rb(8));
+}
+
+TEST(Regalloc, IlpGrowsWithUnrolledIndependentWork) {
+  auto avg_ilp = [](const vgpu::CompiledKernel& k) {
+    double sum = 0;
+    for (float v : k.ilp_at_pc) sum += v;
+    return sum / static_cast<double>(k.ilp_at_pc.size());
+  };
+  CompiledModule m1, m2;
+  // Serial dependency chain vs independent accumulators.
+  const auto& serial = CompileOne(m1, R"(
+__kernel void f(float* o, float x) {
+  float a = x;
+  a = a * a + 1.0f;
+  a = a * a + 1.0f;
+  a = a * a + 1.0f;
+  a = a * a + 1.0f;
+  o[0] = a;
+}
+)");
+  const auto& parallel = CompileOne(m2, R"(
+__kernel void f(float* o, float x) {
+  float a = x * 2.0f;
+  float b = x * 3.0f;
+  float c = x * 4.0f;
+  float d = x * 5.0f;
+  o[0] = a + b + c + d;
+}
+)");
+  EXPECT_GT(avg_ilp(parallel), avg_ilp(serial));
+}
+
+TEST(Listing, ContainsEntryAndDefines) {
+  CompileOptions opts;
+  opts.defines["N"] = "4";
+  CompiledModule m = CompileModule(
+      "__kernel void k(float* o) { for (int i = 0; i < N; i++) { o[i] = 0.0f; } }", opts);
+  const std::string& listing = m.kernels[0].listing;
+  EXPECT_NE(listing.find(".entry k"), std::string::npos);
+  EXPECT_NE(listing.find("-D N=4"), std::string::npos);
+}
+
+TEST(Compiler, MultipleKernelsPerModule) {
+  CompiledModule m = CompileModule(R"(
+__kernel void a(float* o) { o[0] = 1.0f; }
+__kernel void b(float* o) { o[0] = 2.0f; }
+)");
+  EXPECT_EQ(m.kernels.size(), 2u);
+  EXPECT_NE(m.FindKernel("a"), nullptr);
+  EXPECT_NE(m.FindKernel("b"), nullptr);
+  EXPECT_EQ(m.FindKernel("c"), nullptr);
+}
+
+TEST(Compiler, ConstantLayout) {
+  CompiledModule m = CompileModule(R"(
+__constant float table[8];
+__constant double wide[2];
+__kernel void k(float* o) { o[0] = table[3] + (float)wide[1]; }
+)");
+  ASSERT_EQ(m.constants.size(), 2u);
+  EXPECT_EQ(m.constants[0].offset, 0u);
+  EXPECT_EQ(m.constants[0].bytes, 32u);
+  EXPECT_EQ(m.constants[1].offset % 8, 0u);
+  EXPECT_EQ(m.const_bytes, m.constants[1].offset + 16u);
+}
+
+}  // namespace
+}  // namespace kspec::kcc

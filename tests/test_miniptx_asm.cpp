@@ -1,0 +1,187 @@
+// MiniPTX assembler tests: hand-written programs executed directly on the
+// simulator, plus the disassemble/assemble round-trip property over every
+// application kernel (RE and SK builds).
+#include <gtest/gtest.h>
+
+#include "apps/backproj/kernels.hpp"
+#include "apps/matching/kernels.hpp"
+#include "apps/piv/kernels.hpp"
+#include "kcc/compiler.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/asm.hpp"
+#include "vgpu/interp.hpp"
+
+namespace kspec::vgpu {
+namespace {
+
+bool SameOperand(const Operand& a, const Operand& b) {
+  if (a.kind != b.kind) return false;
+  if (a.is_reg()) return a.reg == b.reg;
+  if (a.is_imm()) return a.imm == b.imm;
+  return true;
+}
+
+bool SameInstr(const Instr& a, const Instr& b) {
+  return a.op == b.op && a.type == b.type &&
+         (a.op != Opcode::kCvt || a.type2 == b.type2) &&
+         (a.op != Opcode::kSetp || a.cmp == b.cmp) &&
+         ((a.op != Opcode::kLd && a.op != Opcode::kSt &&
+           a.op != Opcode::kAtomAdd && a.op != Opcode::kAtomMin &&
+           a.op != Opcode::kAtomMax && a.op != Opcode::kAtomExch &&
+           a.op != Opcode::kAtomCas) ||
+          a.space == b.space) &&
+         a.neg == b.neg && a.dst == b.dst && SameOperand(a.a, b.a) && SameOperand(a.b, b.b) &&
+         SameOperand(a.c, b.c) &&
+         ((a.op != Opcode::kBra && a.op != Opcode::kBraPred && a.op != Opcode::kTex2D &&
+           a.op != Opcode::kTex1D) ||
+          a.target == b.target) &&
+         (a.op != Opcode::kBraPred || a.reconv == b.reconv);
+}
+
+TEST(MiniPtxAsm, HandWrittenSaxpyRuns) {
+  // y[t] = 2*x[t] + y[t] for 32 threads, written directly in MiniPTX.
+  // Params: vreg0 = x pointer, vreg1 = y pointer.
+  const char* text = R"(
+    mov.u32 %r2, %tid.x
+    cvt.u64.u32 %r3, %r2
+    shl.u64 %r4, %r3, 2
+    add.u64 %r5, %r0, %r4
+    add.u64 %r6, %r1, %r4
+    ld.global.f32 %r7, [%r5+0]
+    ld.global.f32 %r8, [%r6+0]
+    mad.f32 %r9, %r7, 0f40000000, %r8
+    st.global.f32 [%r6+0], %r9
+    exit
+)";
+  CompiledKernel k;
+  k.name = "saxpy";
+  k.code = Assemble(text);
+  k.params = {{"x", Type::kU64}, {"y", Type::kU64}};
+  k.num_vregs = 10;
+  k.stats.reg_count = 8;
+
+  GlobalMemory mem(1 << 20);
+  DevPtr x = mem.Alloc(32 * 4), y = mem.Alloc(32 * 4);
+  std::vector<float> xs(32), ys(32);
+  for (int i = 0; i < 32; ++i) {
+    xs[i] = static_cast<float>(i);
+    ys[i] = 100.0f;
+  }
+  mem.WriteSpan<float>(x, xs);
+  mem.WriteSpan<float>(y, ys);
+
+  DeviceProfile dev = TeslaC1060();
+  Interpreter interp(dev, &mem);
+  LaunchConfig cfg;
+  cfg.grid = Dim3(1);
+  cfg.block = Dim3(32);
+  cfg.args = {x, y};
+  interp.Launch(k, cfg);
+
+  std::vector<float> out(32);
+  mem.ReadSpan<float>(y, std::span<float>(out));
+  for (int i = 0; i < 32; ++i) EXPECT_FLOAT_EQ(out[i], 2.0f * i + 100.0f) << i;
+}
+
+TEST(MiniPtxAsm, HandWrittenDivergentBranch) {
+  // out[t] = t < 16 ? 1.0 : 2.0 with an explicit reconvergence point:
+  //   pc 2 branches lanes with t >= 16 to the else-move at pc 5; the
+  //   then-side runs pc 3 and jumps over it; both sides join at pc 6.
+  const char* good = R"(
+    mov.u32 %r1, %tid.x
+    setp.lt.u32 %p2, %r1, 16
+    @!%p2 bra L5  // reconv L6
+    mov.f32 %r3, 0f3F800000
+    bra L6
+    mov.f32 %r3, 0f40000000
+    cvt.u64.u32 %r4, %r1
+    shl.u64 %r5, %r4, 2
+    add.u64 %r6, %r0, %r5
+    st.global.f32 [%r6+0], %r3
+    exit
+)";
+  CompiledKernel k;
+  k.name = "branchy";
+  k.code = Assemble(good);
+  k.params = {{"out", Type::kU64}};
+  k.num_vregs = 7;
+  k.stats.reg_count = 6;
+
+  GlobalMemory mem(1 << 20);
+  DevPtr out = mem.Alloc(32 * 4);
+  DeviceProfile dev = TeslaC1060();
+  Interpreter interp(dev, &mem);
+  LaunchConfig cfg;
+  cfg.grid = Dim3(1);
+  cfg.block = Dim3(32);
+  cfg.args = {out};
+  interp.Launch(k, cfg);
+  std::vector<float> res(32);
+  mem.ReadSpan<float>(out, std::span<float>(res));
+  for (int t = 0; t < 32; ++t) EXPECT_FLOAT_EQ(res[t], t < 16 ? 1.0f : 2.0f) << t;
+}
+
+TEST(MiniPtxAsm, DiagnosticsCarryLineNumbers) {
+  try {
+    Assemble("add.s32 %r1, %r2,\n  frobnicate.f32 %r1");
+    FAIL() << "expected DeviceError";
+  } catch (const DeviceError& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+// Round trip over every application kernel, RE and SK.
+TEST(MiniPtxAsm, RoundTripsAllApplicationKernels) {
+  struct Case {
+    std::string source;
+    kcc::CompileOptions opts;
+  };
+  auto piv_src = [](const char* body) {
+    std::string s = body;
+    std::string tag = "__COMMON__";
+    s.replace(s.find(tag), tag.size(), apps::piv::kPivCommonHeader);
+    return s;
+  };
+  kcc::CompileOptions piv_sk;
+  piv_sk.defines = {{"CT_MASK", "1"},    {"K_MASK_W", "8"},   {"K_MASK_AREA", "64"},
+                    {"CT_SEARCH", "1"},  {"K_SEARCH_W", "5"}, {"K_N_OFFSETS", "25"},
+                    {"CT_THREADS", "1"}, {"K_THREADS", "64"}};
+  kcc::CompileOptions piv_rb = piv_sk;
+  piv_rb.defines["K_RB"] = "1";
+  kcc::CompileOptions bp_sk;
+  bp_sk.defines = {{"CT_ANGLES", "1"}, {"K_N_ANGLES", "4"}, {"CT_ZPT", "1"},
+                   {"K_ZPT", "2"},     {"CT_VOL", "1"},     {"K_VOL_Z", "4"},
+                   {"CT_THREADS", "1"}, {"K_THREADS", "32"}};
+
+  std::vector<Case> cases = {
+      {apps::matching::kNumeratorSource, {}},
+      {apps::matching::kSummationSource, {}},
+      {apps::matching::kWindowStatsSource, {}},
+      {apps::matching::kScorePeakSource, {}},
+      {piv_src(apps::piv::kPivBasicSource), {}},
+      {piv_src(apps::piv::kPivBasicSource), piv_sk},
+      {piv_src(apps::piv::kPivRegBlockSource), piv_rb},
+      {piv_src(apps::piv::kPivWarpSpecSource), piv_sk},
+      {piv_src(apps::piv::kPivMultiMaskSource), {}},
+      {apps::backproj::kBackprojSource, {}},
+      {apps::backproj::kBackprojSource, bp_sk},
+      {apps::backproj::kBackprojTexSource, {}},
+  };
+
+  for (std::size_t n = 0; n < cases.size(); ++n) {
+    kcc::CompiledModule mod = kcc::CompileModule(cases[n].source, cases[n].opts);
+    for (const auto& k : mod.kernels) {
+      std::string text = Disassemble(k.code);
+      std::vector<Instr> back = Assemble(text);
+      ASSERT_EQ(back.size(), k.code.size()) << "case " << n << " kernel " << k.name;
+      for (std::size_t pc = 0; pc < k.code.size(); ++pc) {
+        ASSERT_TRUE(SameInstr(k.code[pc], back[pc]))
+            << "case " << n << " kernel " << k.name << " pc " << pc << "\n  orig: "
+            << Disassemble(k.code[pc], pc) << "\n  back: " << Disassemble(back[pc], pc);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kspec::vgpu

@@ -1,0 +1,168 @@
+// PIV application tests: CPU/FPGA reference agreement, all three GPU kernel
+// variants vs the reference, planted-displacement recovery, register blocking
+// constraints, and the warp-specialization performance claim.
+#include <gtest/gtest.h>
+
+#include "apps/piv/cpu_ref.hpp"
+#include "apps/piv/gpu.hpp"
+#include "apps/piv/problem.hpp"
+#include "apps/piv/stream.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace kspec::apps::piv {
+namespace {
+
+Problem SmallProblem() { return Generate("small", 48, 8, 2, 8, 99); }
+
+TEST(PivProblem, GeometryDerivations) {
+  Problem p = SmallProblem();
+  EXPECT_EQ(p.search_w(), 5);
+  EXPECT_EQ(p.n_offsets(), 25);
+  EXPECT_EQ(p.mask_area(), 64);
+  EXPECT_GT(p.n_masks(), 0);
+  EXPECT_LE(p.true_dy, p.range_y);
+  EXPECT_GE(p.true_dy, -p.range_y);
+}
+
+TEST(PivCpu, RecoversPlantedDisplacement) {
+  Problem p = SmallProblem();
+  VectorField f = CpuPiv(p, 2);
+  int expected = p.true_offset_index();
+  int correct = 0;
+  for (int v : f.best_offset) {
+    if (v == expected) ++correct;
+  }
+  // Border effects can perturb a few masks; the overwhelming majority must
+  // recover the planted vector.
+  EXPECT_GE(correct, static_cast<int>(f.best_offset.size() * 9 / 10));
+}
+
+TEST(PivFpgaModel, MatchesCpuAnswers) {
+  Problem p = SmallProblem();
+  VectorField cpu = CpuPiv(p, 1);
+  VectorField fpga = FpgaModel(p);
+  EXPECT_EQ(cpu.best_offset, fpga.best_offset);
+  EXPECT_GT(fpga.millis, 0.0);
+}
+
+class PivVariantTest : public ::testing::TestWithParam<std::tuple<Variant, bool>> {};
+
+TEST_P(PivVariantTest, MatchesCpuReference) {
+  auto [variant, specialize] = GetParam();
+  if (variant == Variant::kRegBlock && !specialize) GTEST_SKIP();
+  Problem p = SmallProblem();
+  VectorField cpu = CpuPiv(p, 1);
+
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  PivConfig cfg;
+  cfg.variant = variant;
+  cfg.threads = 64;
+  cfg.specialize = specialize;
+  PivGpuResult gpu = GpuPiv(ctx, p, cfg);
+
+  ASSERT_EQ(gpu.field.best_offset.size(), cpu.best_offset.size());
+  for (std::size_t m = 0; m < cpu.best_offset.size(); ++m) {
+    EXPECT_EQ(gpu.field.best_offset[m], cpu.best_offset[m]) << "mask " << m;
+    EXPECT_NEAR(gpu.field.best_score[m], cpu.best_score[m],
+                1e-3f * (1.0f + cpu.best_score[m]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, PivVariantTest,
+    ::testing::Combine(::testing::Values(Variant::kBasic, Variant::kRegBlock,
+                                         Variant::kWarpSpec),
+                       ::testing::Values(false, true)),
+    [](const auto& info) {
+      return std::string(VariantName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_sk" : "_re");
+    });
+
+TEST(PivGpu, RegBlockRequiresSpecialization) {
+  Problem p = SmallProblem();
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  PivConfig cfg;
+  cfg.variant = Variant::kRegBlock;
+  cfg.specialize = false;
+  EXPECT_THROW(GpuPiv(ctx, p, cfg), DeviceError);
+}
+
+TEST(PivGpu, WarpSpecRemovesBarrierBottleneck) {
+  Problem p = Generate("perf", 64, 16, 3, 8, 5);
+  vcuda::Context ctx(vgpu::TeslaC2070());
+  PivConfig basic{Variant::kBasic, 64, true, 0};
+  PivConfig warp{Variant::kWarpSpec, 64, true, 0};
+  PivGpuResult rb = GpuPiv(ctx, p, basic);
+  PivGpuResult rw = GpuPiv(ctx, p, warp);
+  // Same answers, far fewer block-wide barriers, faster simulated time.
+  EXPECT_EQ(rb.field.best_offset, rw.field.best_offset);
+  EXPECT_LT(rw.stats.barriers, rb.stats.barriers / 4);
+  EXPECT_LT(rw.stats.sim_millis, rb.stats.sim_millis);
+}
+
+TEST(PivGpu, SpecializationReducesRegistersOrTime) {
+  Problem p = Generate("skre", 64, 16, 2, 8, 6);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  PivConfig re{Variant::kBasic, 64, false, 0};
+  PivConfig sk{Variant::kBasic, 64, true, 0};
+  PivGpuResult r_re = GpuPiv(ctx, p, re);
+  PivGpuResult r_sk = GpuPiv(ctx, p, sk);
+  EXPECT_EQ(r_re.field.best_offset, r_sk.field.best_offset);
+  EXPECT_LT(r_sk.stats.sim_millis, r_re.stats.sim_millis);
+  EXPECT_LE(r_sk.reg_count, r_re.reg_count);
+}
+
+TEST(PivGpu, AutoRbCoversMask) {
+  Problem p = Generate("rb", 56, 12, 2, 6, 7);  // 144 pixels, 64 threads -> RB 3
+  vcuda::Context ctx(vgpu::TeslaC2070());
+  PivConfig cfg{Variant::kRegBlock, 64, true, 0};
+  PivGpuResult r = GpuPiv(ctx, p, cfg);
+  VectorField cpu = CpuPiv(p, 1);
+  EXPECT_EQ(r.field.best_offset, cpu.best_offset);
+}
+
+TEST(PivGpu, ExplicitRbSweepStaysCorrect) {
+  Problem p = Generate("rbsweep", 48, 8, 2, 8, 8);  // 64 pixels
+  VectorField cpu = CpuPiv(p, 1);
+  for (int rb : {1, 2, 4}) {
+    if (rb * 64 < p.mask_area()) continue;
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    PivConfig cfg{Variant::kRegBlock, 64, true, rb};
+    PivGpuResult r = GpuPiv(ctx, p, cfg);
+    EXPECT_EQ(r.field.best_offset, cpu.best_offset) << "rb=" << rb;
+  }
+}
+
+
+TEST(PivStream, StreamsPairsAndRetunesMidRun) {
+  Recording rec = GenerateRecording(/*img=*/56, /*n_pairs=*/6, /*range=*/2, 777);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  PivStream stream(&ctx, rec, /*mask=*/8, /*range=*/2, /*stride=*/8);
+
+  stream.Run(3);
+  auto misses_before_retune = ctx.cache_stats().misses;
+
+  // Operator widens the interrogation windows mid-stream; the module
+  // re-specializes and buffers resize on the next iteration.
+  stream.SetMaskSize(16);
+  stream.Run(3);
+  EXPECT_GT(ctx.cache_stats().misses, misses_before_retune);
+
+  const auto& results = stream.results();
+  ASSERT_EQ(results.size(), 6u);
+  for (int f = 0; f < 6; ++f) {
+    int expect = (rec.true_dy[f] + 2) * stream.search_w() + (rec.true_dx[f] + 2);
+    int correct = 0;
+    for (int v : results[f]) {
+      if (v == expect) ++correct;
+    }
+    // Nearly all masks recover the planted displacement in every frame pair,
+    // before and after the retune.
+    EXPECT_GE(correct, static_cast<int>(results[f].size() * 9 / 10)) << "pair " << f;
+  }
+  // The retune changed the mask grid, hence the per-pair vector count.
+  EXPECT_NE(results[0].size(), results[5].size());
+}
+
+}  // namespace
+}  // namespace kspec::apps::piv

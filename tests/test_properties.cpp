@@ -1,0 +1,310 @@
+// Property-based sweeps (TEST_P) over the library's core invariants:
+//
+//  P1  SK == RE: for every application and every configuration, the
+//      specialized kernel computes exactly what the run-time-evaluated one
+//      does — the soundness property of the whole technique.
+//  P2  Occupancy never violates any per-SM resource limit.
+//  P3  In-block reductions are correct for every power-of-two block size.
+//  P4  Unrolled loops compute what rolled loops compute, for every trip
+//      count and step pattern.
+//  P5  The cost model is monotone: more work never models faster.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/backproj/gpu.hpp"
+#include "apps/matching/cpu_ref.hpp"
+#include "apps/matching/gpu.hpp"
+#include "apps/piv/cpu_ref.hpp"
+#include "apps/piv/gpu.hpp"
+#include "kcc/compiler.hpp"
+#include "support/str.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/cost.hpp"
+
+namespace kspec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// P1: SK == RE across applications and configurations
+// ---------------------------------------------------------------------------
+
+struct MatchCase {
+  int tile;
+  int threads;
+  const char* device;
+};
+
+class MatchingSkReEquivalence : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(MatchingSkReEquivalence, ScoresIdentical) {
+  const MatchCase& c = GetParam();
+  apps::matching::Problem p = apps::matching::Generate("p1", 14, 11, 6, 7, 42);
+  vcuda::Context ctx(vgpu::ProfileByName(c.device));
+  apps::matching::MatcherConfig cfg;
+  cfg.tile_h = cfg.tile_w = c.tile;
+  cfg.threads = c.threads;
+  cfg.specialize = false;
+  auto re = apps::matching::GpuMatch(ctx, p, cfg);
+  cfg.specialize = true;
+  auto sk = apps::matching::GpuMatch(ctx, p, cfg);
+  ASSERT_EQ(re.scores.size(), sk.scores.size());
+  for (std::size_t i = 0; i < re.scores.size(); ++i) {
+    // Same arithmetic in the same order: bit-identical.
+    EXPECT_EQ(re.scores[i], sk.scores[i]) << i;
+  }
+  EXPECT_EQ(re.best_idx, sk.best_idx);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatchingSkReEquivalence,
+                         ::testing::Values(MatchCase{4, 32, "VC1060"},
+                                           MatchCase{4, 64, "VC2070"},
+                                           MatchCase{8, 64, "VC1060"},
+                                           MatchCase{8, 128, "VC2070"},
+                                           MatchCase{16, 256, "VC1060"}),
+                         [](const auto& info) {
+                           return Format("tile%d_t%d_%s", info.param.tile, info.param.threads,
+                                         info.param.device);
+                         });
+
+struct PivCase {
+  apps::piv::Variant variant;
+  int threads;
+};
+
+class PivSkReEquivalence : public ::testing::TestWithParam<PivCase> {};
+
+TEST_P(PivSkReEquivalence, VectorsIdentical) {
+  const PivCase& c = GetParam();
+  apps::piv::Problem p = apps::piv::Generate("p1", 48, 8, 2, 8, 17);
+  vcuda::Context ctx(vgpu::TeslaC2070());
+  apps::piv::PivConfig cfg;
+  cfg.variant = c.variant;
+  cfg.threads = c.threads;
+  cfg.specialize = true;
+  auto sk = apps::piv::GpuPiv(ctx, p, cfg);
+  if (c.variant == apps::piv::Variant::kRegBlock) {
+    // No RE twin exists (register blocking requires specialization); compare
+    // against the CPU reference instead.
+    auto cpu = apps::piv::CpuPiv(p, 1);
+    EXPECT_EQ(sk.field.best_offset, cpu.best_offset);
+    return;
+  }
+  cfg.specialize = false;
+  auto re = apps::piv::GpuPiv(ctx, p, cfg);
+  EXPECT_EQ(re.field.best_offset, sk.field.best_offset);
+  for (std::size_t i = 0; i < re.field.best_score.size(); ++i) {
+    EXPECT_EQ(re.field.best_score[i], sk.field.best_score[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PivSkReEquivalence,
+    ::testing::Values(PivCase{apps::piv::Variant::kBasic, 32},
+                      PivCase{apps::piv::Variant::kBasic, 128},
+                      PivCase{apps::piv::Variant::kRegBlock, 64},
+                      PivCase{apps::piv::Variant::kWarpSpec, 64},
+                      PivCase{apps::piv::Variant::kWarpSpec, 128}),
+    [](const auto& info) {
+      return Format("%s_t%d", apps::piv::VariantName(info.param.variant), info.param.threads);
+    });
+
+// ---------------------------------------------------------------------------
+// P2: occupancy respects every limit
+// ---------------------------------------------------------------------------
+
+struct OccCase {
+  unsigned threads, regs, smem;
+};
+
+class OccupancyInvariants
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned, unsigned>> {};
+
+TEST_P(OccupancyInvariants, NoResourceOversubscribed) {
+  const OccCase c{std::get<0>(GetParam()), std::get<1>(GetParam()), std::get<2>(GetParam())};
+  for (const auto& dev : {vgpu::TeslaC1060(), vgpu::TeslaC2070()}) {
+    vgpu::Occupancy occ = vgpu::ComputeOccupancy(dev, vgpu::Dim3(c.threads), c.regs, c.smem);
+    if (occ.blocks_per_sm == 0) continue;  // unlaunchable is a valid answer
+    unsigned warps_per_block = (c.threads + dev.warp_size - 1) / dev.warp_size;
+    EXPECT_LE(occ.blocks_per_sm * warps_per_block, dev.max_warps_per_sm);
+    EXPECT_LE(occ.blocks_per_sm, dev.max_blocks_per_sm);
+    unsigned regs_per_warp = ((c.regs * dev.warp_size + dev.register_alloc_unit - 1) /
+                              dev.register_alloc_unit) *
+                             dev.register_alloc_unit;
+    EXPECT_LE(occ.blocks_per_sm * warps_per_block * regs_per_warp, dev.registers_per_sm);
+    unsigned smem_block = ((std::max(c.smem, 1u) + 127) / 128) * 128;
+    EXPECT_LE(occ.blocks_per_sm * smem_block, dev.shared_mem_per_sm);
+    EXPECT_EQ(occ.active_warps, occ.blocks_per_sm * warps_per_block);
+    EXPECT_LE(occ.occupancy, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OccupancyInvariants,
+                         ::testing::Combine(::testing::Values(32u, 96u, 128u, 256u, 512u),
+                                            ::testing::Values(8u, 21u, 40u, 63u),
+                                            ::testing::Values(0u, 2048u, 12288u)),
+                         [](const auto& info) {
+                           return Format("t%u_r%u_s%u", std::get<0>(info.param),
+                                         std::get<1>(info.param), std::get<2>(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// P3: reductions correct at every power-of-two block size
+// ---------------------------------------------------------------------------
+
+class ReductionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReductionSweep, BlockSumMatchesSerial) {
+  unsigned threads = GetParam();
+  std::string src = Format(R"(
+__kernel void blockSum(float* in, float* out) {
+  __shared float red[%u];
+  unsigned int t = threadIdx.x;
+  red[t] = in[blockIdx.x * %uu + t];
+  __syncthreads();
+  for (unsigned int step = %uu; step > 0u; step = step >> 1) {
+    if (t < step) {
+      red[t] += red[t + step];
+    }
+    __syncthreads();
+  }
+  if (t == 0u) {
+    out[blockIdx.x] = red[0];
+  }
+}
+)", threads, threads, threads / 2);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  auto mod = ctx.LoadModule(src, {});
+  const unsigned blocks = 3;
+  std::vector<float> in(threads * blocks);
+  std::iota(in.begin(), in.end(), 1.0f);
+  auto d_in = vcuda::Upload<float>(ctx, std::span<const float>(in));
+  auto d_out = ctx.Malloc(blocks * 4);
+  vcuda::ArgPack args;
+  args.Ptr(d_in).Ptr(d_out);
+  ctx.Launch(*mod, "blockSum", vgpu::Dim3(blocks), vgpu::Dim3(threads), args);
+  auto out = vcuda::Download<float>(ctx, d_out, blocks);
+  for (unsigned b = 0; b < blocks; ++b) {
+    float expect = 0;
+    for (unsigned t = 0; t < threads; ++t) expect += in[b * threads + t];
+    EXPECT_FLOAT_EQ(out[b], expect) << "block " << b << " threads " << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, ReductionSweep, ::testing::Values(2u, 4u, 32u, 64u, 128u, 256u, 512u));
+
+// ---------------------------------------------------------------------------
+// P4: unrolled == rolled for assorted trip patterns
+// ---------------------------------------------------------------------------
+
+struct LoopCase {
+  int start, bound, step;
+  const char* cmp;
+};
+
+class UnrollEquivalence : public ::testing::TestWithParam<LoopCase> {};
+
+TEST_P(UnrollEquivalence, SameSumEitherWay) {
+  const LoopCase& c = GetParam();
+  // N as a macro (constant -> unrolls); same loop with a runtime bound stays
+  // rolled. The iteration space is identical; sums must match bit-exactly.
+  std::string body = Format(R"(
+  float acc = 0.0f;
+  for (int i = %d; i %s BOUND; i += %d) {
+    acc += (float)(i * 3 - 1);
+  }
+  out[threadIdx.x] = acc;
+)", c.start, c.cmp, c.step);
+  std::string src_const = "#define BOUND " + std::to_string(c.bound) +
+                          "\n__kernel void f(float* out, int bound) {" + body + "}";
+  std::string src_runtime =
+      "#define BOUND bound\n__kernel void f(float* out, int bound) {" + body + "}";
+
+  auto run = [&](const std::string& src) {
+    vcuda::Context ctx(vgpu::TeslaC1060());
+    auto mod = ctx.LoadModule(src, {});
+    auto d_out = ctx.Malloc(32 * 4);
+    vcuda::ArgPack args;
+    args.Ptr(d_out).Int(c.bound);
+    ctx.Launch(*mod, "f", vgpu::Dim3(1), vgpu::Dim3(32), args);
+    return vcuda::Download<float>(ctx, d_out, 32)[0];
+  };
+  EXPECT_EQ(run(src_const), run(src_runtime));
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, UnrollEquivalence,
+                         ::testing::Values(LoopCase{0, 8, 1, "<"}, LoopCase{0, 0, 1, "<"},
+                                           LoopCase{0, 1, 1, "<"}, LoopCase{2, 17, 3, "<"},
+                                           LoopCase{0, 9, 2, "<="}, LoopCase{5, 33, 7, "<"}),
+                         [](const auto& info) {
+                           return Format("s%d_b%d_st%d_%s", info.param.start, info.param.bound,
+                                         info.param.step,
+                                         std::string(info.param.cmp) == "<" ? "lt" : "le");
+                         });
+
+// ---------------------------------------------------------------------------
+// P5: cost model monotonicity over a parameter grid
+// ---------------------------------------------------------------------------
+
+TEST(CostModelProperty, MonotoneInWorkAndOccupancy) {
+  vgpu::DeviceProfile dev = vgpu::TeslaC1060();
+  for (double issue : {1e4, 1e5, 1e6}) {
+    for (std::uint64_t mem : {std::uint64_t{1000}, std::uint64_t{50000}}) {
+      for (unsigned regs : {10u, 30u, 60u}) {
+        vgpu::LaunchStats a;
+        a.blocks = 120;
+        a.threads_per_block = 128;
+        a.issue_cycles = issue;
+        a.memory_cycles = static_cast<double>(mem);
+        a.global_instrs = mem / 10;
+        a.warp_instrs = static_cast<std::uint64_t>(issue);
+        a.occupancy = vgpu::ComputeOccupancy(dev, vgpu::Dim3(128), regs, 1024);
+        vgpu::LaunchStats more_compute = a;
+        more_compute.issue_cycles *= 1.5;
+        vgpu::LaunchStats more_mem = a;
+        more_mem.memory_cycles *= 1.5;
+        vgpu::ApplyCostModel(dev, a);
+        vgpu::ApplyCostModel(dev, more_compute);
+        vgpu::ApplyCostModel(dev, more_mem);
+        EXPECT_GE(more_compute.sim_millis, a.sim_millis);
+        EXPECT_GE(more_mem.sim_millis, a.sim_millis);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backprojection zpt partition property: any zpt dividing vol_z gives the
+// same volume bit-for-bit.
+// ---------------------------------------------------------------------------
+
+class BackprojZptSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackprojZptSweep, PartitionInvariant) {
+  int zpt = GetParam();
+  apps::backproj::Geometry g;
+  g.vol_n = 10;
+  g.vol_z = 8;
+  g.det_u = 20;
+  g.det_v = 14;
+  g.n_angles = 6;
+  apps::backproj::Problem p = apps::backproj::Generate("prop", g, 2, 88);
+  vcuda::Context ctx(vgpu::TeslaC2070());
+  apps::backproj::BackprojConfig base;
+  base.threads = 32;
+  base.zpt = 1;
+  base.specialize = true;
+  auto ref = apps::backproj::GpuBackproject(ctx, p, base);
+  apps::backproj::BackprojConfig cfg = base;
+  cfg.zpt = zpt;
+  auto r = apps::backproj::GpuBackproject(ctx, p, cfg);
+  ASSERT_EQ(ref.volume.size(), r.volume.size());
+  for (std::size_t i = 0; i < ref.volume.size(); ++i) {
+    EXPECT_EQ(ref.volume[i], r.volume[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, BackprojZptSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace kspec

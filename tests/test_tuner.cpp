@@ -1,0 +1,141 @@
+// Autotuner tests: search correctness on synthetic surfaces, infeasible-point
+// handling, the tuning cache, coordinate-descent economy, end-to-end PIV
+// tuning against the exhaustive optimum, and the source-to-source
+// specialization alternative.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/piv/gpu.hpp"
+#include "kcc/compiler.hpp"
+#include "kcc/preprocess.hpp"
+#include "tune/tuner.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace kspec::tune {
+namespace {
+
+double Bowl(const Config& c) {
+  // Convex in both parameters; minimum at (threads=128, rb=4).
+  double t = static_cast<double>(c.at("threads"));
+  double r = static_cast<double>(c.at("rb"));
+  return std::pow(std::log2(t) - 7.0, 2.0) + std::pow(r - 4.0, 2.0) + 1.0;
+}
+
+std::vector<ParamRange> BowlSpace() {
+  return {{"threads", {32, 64, 128, 256}}, {"rb", {1, 2, 4, 8, 16}}};
+}
+
+TEST(GridSearch, FindsGlobalMinimum) {
+  TuneResult r = GridSearch(BowlSpace(), Bowl);
+  EXPECT_EQ(r.best.at("threads"), 128);
+  EXPECT_EQ(r.best.at("rb"), 4);
+  EXPECT_DOUBLE_EQ(r.best_millis, 1.0);
+  EXPECT_EQ(r.evaluated, 20u);
+}
+
+TEST(GridSearch, SkipsInfeasiblePoints) {
+  auto eval = [](const Config& c) -> double {
+    if (c.at("rb") * c.at("threads") < 256) throw Error("cannot cover mask");
+    return Bowl(c);
+  };
+  TuneResult r = GridSearch(BowlSpace(), eval);
+  EXPECT_GT(r.skipped, 0u);
+  EXPECT_GE(r.best.at("rb") * r.best.at("threads"), 256);
+}
+
+TEST(CoordinateDescent, FindsMinimumOnConvexSurface) {
+  TuneResult r = CoordinateDescent(BowlSpace(), Bowl);
+  EXPECT_EQ(r.best.at("threads"), 128);
+  EXPECT_EQ(r.best.at("rb"), 4);
+  // Much cheaper than the exhaustive 20 evaluations... it may tie on tiny
+  // spaces, but must never exceed the grid.
+  EXPECT_LE(r.evaluated, 20u);
+}
+
+TEST(CoordinateDescent, SurvivesInfeasibleStart) {
+  auto eval = [](const Config& c) -> double {
+    if (c.at("threads") < 128) return std::nan("");  // first values infeasible
+    return Bowl(c);
+  };
+  TuneResult r = CoordinateDescent(BowlSpace(), eval);
+  EXPECT_EQ(r.best.at("threads"), 128);
+}
+
+TEST(CoordinateDescent, AllInfeasibleYieldsEmptyBest) {
+  auto eval = [](const Config&) -> double { return std::nan(""); };
+  TuneResult r = CoordinateDescent(BowlSpace(), eval);
+  EXPECT_TRUE(r.best.empty());
+  EXPECT_EQ(r.evaluated, 0u);
+}
+
+TEST(TuningCache, StoreAndLookup) {
+  TuningCache cache;
+  EXPECT_FALSE(cache.Lookup("piv/mask16/VC1060").has_value());
+  cache.Store("piv/mask16/VC1060", {{"threads", 64}, {"rb", 4}});
+  auto hit = cache.Lookup("piv/mask16/VC1060");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->at("rb"), 4);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// End to end: tune the PIV regblock kernel; coordinate descent must land
+// within 10% of the exhaustive optimum with fewer evaluations.
+TEST(Integration, TunesPivRegBlock) {
+  using namespace kspec::apps::piv;
+  Problem p = Generate("tune", 56, 16, 2, 8, 321);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+
+  auto eval = [&](const Config& c) -> double {
+    PivConfig cfg;
+    cfg.variant = Variant::kRegBlock;
+    cfg.threads = static_cast<int>(c.at("threads"));
+    cfg.rb = static_cast<int>(c.at("rb"));
+    cfg.specialize = true;
+    if (cfg.rb * cfg.threads < p.mask_area()) throw Error("uncoverable");
+    return GpuPiv(ctx, p, cfg).stats.sim_millis;
+  };
+  std::vector<ParamRange> space = {{"threads", {32, 64, 128, 256}}, {"rb", {1, 2, 4, 8}}};
+
+  TuneResult grid = GridSearch(space, eval);
+  TuneResult cd = CoordinateDescent(space, eval);
+  ASSERT_FALSE(grid.best.empty());
+  ASSERT_FALSE(cd.best.empty());
+  EXPECT_LE(cd.best_millis, grid.best_millis * 1.10);
+  EXPECT_LE(cd.evaluated, grid.evaluated);
+}
+
+TEST(SourceToSource, EquivalentToDashD) {
+  const char* src = R"(
+#ifndef N
+#define N n
+#endif
+__kernel void f(float* o, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < N; i++) { acc += (float)i; }
+  o[0] = acc;
+}
+)";
+  std::map<std::string, std::string> defines = {{"N", "6"}};
+
+  kcc::CompileOptions with_d;
+  with_d.defines = defines;
+  auto via_d = kcc::CompileModule(src, with_d);
+
+  std::string customized = kcc::SpecializeSource(src, defines);
+  auto via_src = kcc::CompileModule(customized, {});  // NO options
+
+  ASSERT_EQ(via_d.kernels.size(), via_src.kernels.size());
+  EXPECT_EQ(via_d.kernels[0].stats.static_instrs, via_src.kernels[0].stats.static_instrs);
+  EXPECT_EQ(via_d.kernels[0].stats.reg_count, via_src.kernels[0].stats.reg_count);
+  EXPECT_EQ(via_d.kernels[0].stats.unrolled_loops, via_src.kernels[0].stats.unrolled_loops);
+  // The instruction streams themselves must match.
+  ASSERT_EQ(via_d.kernels[0].code.size(), via_src.kernels[0].code.size());
+  for (std::size_t i = 0; i < via_d.kernels[0].code.size(); ++i) {
+    EXPECT_EQ(vgpu::Disassemble(via_d.kernels[0].code[i], i),
+              vgpu::Disassemble(via_src.kernels[0].code[i], i));
+  }
+}
+
+}  // namespace
+}  // namespace kspec::tune
