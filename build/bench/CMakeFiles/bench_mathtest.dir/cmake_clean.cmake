@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mathtest.dir/bench_mathtest.cpp.o"
+  "CMakeFiles/bench_mathtest.dir/bench_mathtest.cpp.o.d"
+  "bench_mathtest"
+  "bench_mathtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mathtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

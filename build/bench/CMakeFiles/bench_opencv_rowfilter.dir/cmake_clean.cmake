@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opencv_rowfilter.dir/bench_opencv_rowfilter.cpp.o"
+  "CMakeFiles/bench_opencv_rowfilter.dir/bench_opencv_rowfilter.cpp.o.d"
+  "bench_opencv_rowfilter"
+  "bench_opencv_rowfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opencv_rowfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_6_15.dir/bench_table_6_15.cpp.o"
+  "CMakeFiles/bench_table_6_15.dir/bench_table_6_15.cpp.o.d"
+  "bench_table_6_15"
+  "bench_table_6_15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_6_15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

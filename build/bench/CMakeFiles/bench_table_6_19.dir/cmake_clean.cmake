@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_6_19.dir/bench_table_6_19.cpp.o"
+  "CMakeFiles/bench_table_6_19.dir/bench_table_6_19.cpp.o.d"
+  "bench_table_6_19"
+  "bench_table_6_19.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_6_19.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

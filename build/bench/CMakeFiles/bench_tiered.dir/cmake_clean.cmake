@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tiered.dir/bench_tiered.cpp.o"
+  "CMakeFiles/bench_tiered.dir/bench_tiered.cpp.o.d"
+  "bench_tiered"
+  "bench_tiered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tiered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backprojection_demo.dir/backprojection_demo.cpp.o"
+  "CMakeFiles/backprojection_demo.dir/backprojection_demo.cpp.o.d"
+  "backprojection_demo"
+  "backprojection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backprojection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

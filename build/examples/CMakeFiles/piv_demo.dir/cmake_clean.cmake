@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piv_demo.dir/piv_demo.cpp.o"
+  "CMakeFiles/piv_demo.dir/piv_demo.cpp.o.d"
+  "piv_demo"
+  "piv_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piv_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

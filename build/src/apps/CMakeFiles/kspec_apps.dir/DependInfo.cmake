@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/backproj/cpu_ref.cpp" "src/apps/CMakeFiles/kspec_apps.dir/backproj/cpu_ref.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/backproj/cpu_ref.cpp.o.d"
+  "/root/repo/src/apps/backproj/gpu.cpp" "src/apps/CMakeFiles/kspec_apps.dir/backproj/gpu.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/backproj/gpu.cpp.o.d"
+  "/root/repo/src/apps/backproj/problem.cpp" "src/apps/CMakeFiles/kspec_apps.dir/backproj/problem.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/backproj/problem.cpp.o.d"
+  "/root/repo/src/apps/matching/cpu_ref.cpp" "src/apps/CMakeFiles/kspec_apps.dir/matching/cpu_ref.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/matching/cpu_ref.cpp.o.d"
+  "/root/repo/src/apps/matching/gpu.cpp" "src/apps/CMakeFiles/kspec_apps.dir/matching/gpu.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/matching/gpu.cpp.o.d"
+  "/root/repo/src/apps/matching/problem.cpp" "src/apps/CMakeFiles/kspec_apps.dir/matching/problem.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/matching/problem.cpp.o.d"
+  "/root/repo/src/apps/matching/sequence.cpp" "src/apps/CMakeFiles/kspec_apps.dir/matching/sequence.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/matching/sequence.cpp.o.d"
+  "/root/repo/src/apps/piv/cpu_ref.cpp" "src/apps/CMakeFiles/kspec_apps.dir/piv/cpu_ref.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/piv/cpu_ref.cpp.o.d"
+  "/root/repo/src/apps/piv/gpu.cpp" "src/apps/CMakeFiles/kspec_apps.dir/piv/gpu.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/piv/gpu.cpp.o.d"
+  "/root/repo/src/apps/piv/problem.cpp" "src/apps/CMakeFiles/kspec_apps.dir/piv/problem.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/piv/problem.cpp.o.d"
+  "/root/repo/src/apps/piv/stream.cpp" "src/apps/CMakeFiles/kspec_apps.dir/piv/stream.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/piv/stream.cpp.o.d"
+  "/root/repo/src/apps/rowfilter/rowfilter.cpp" "src/apps/CMakeFiles/kspec_apps.dir/rowfilter/rowfilter.cpp.o" "gcc" "src/apps/CMakeFiles/kspec_apps.dir/rowfilter/rowfilter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpupf/CMakeFiles/kspec_gpupf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcuda/CMakeFiles/kspec_vcuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/kcc/CMakeFiles/kspec_kcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/kspec_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

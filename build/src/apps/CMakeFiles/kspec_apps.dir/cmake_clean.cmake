@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kspec_apps.dir/backproj/cpu_ref.cpp.o"
+  "CMakeFiles/kspec_apps.dir/backproj/cpu_ref.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/backproj/gpu.cpp.o"
+  "CMakeFiles/kspec_apps.dir/backproj/gpu.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/backproj/problem.cpp.o"
+  "CMakeFiles/kspec_apps.dir/backproj/problem.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/matching/cpu_ref.cpp.o"
+  "CMakeFiles/kspec_apps.dir/matching/cpu_ref.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/matching/gpu.cpp.o"
+  "CMakeFiles/kspec_apps.dir/matching/gpu.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/matching/problem.cpp.o"
+  "CMakeFiles/kspec_apps.dir/matching/problem.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/matching/sequence.cpp.o"
+  "CMakeFiles/kspec_apps.dir/matching/sequence.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/piv/cpu_ref.cpp.o"
+  "CMakeFiles/kspec_apps.dir/piv/cpu_ref.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/piv/gpu.cpp.o"
+  "CMakeFiles/kspec_apps.dir/piv/gpu.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/piv/problem.cpp.o"
+  "CMakeFiles/kspec_apps.dir/piv/problem.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/piv/stream.cpp.o"
+  "CMakeFiles/kspec_apps.dir/piv/stream.cpp.o.d"
+  "CMakeFiles/kspec_apps.dir/rowfilter/rowfilter.cpp.o"
+  "CMakeFiles/kspec_apps.dir/rowfilter/rowfilter.cpp.o.d"
+  "libkspec_apps.a"
+  "libkspec_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kspec_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

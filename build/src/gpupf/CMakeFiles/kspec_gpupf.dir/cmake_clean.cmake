@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kspec_gpupf.dir/pipeline.cpp.o"
+  "CMakeFiles/kspec_gpupf.dir/pipeline.cpp.o.d"
+  "libkspec_gpupf.a"
+  "libkspec_gpupf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kspec_gpupf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

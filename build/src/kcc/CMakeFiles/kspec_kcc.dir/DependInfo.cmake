@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kcc/ast.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/ast.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/ast.cpp.o.d"
+  "/root/repo/src/kcc/compiler.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/compiler.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/compiler.cpp.o.d"
+  "/root/repo/src/kcc/fold.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/fold.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/fold.cpp.o.d"
+  "/root/repo/src/kcc/lexer.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/lexer.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/lexer.cpp.o.d"
+  "/root/repo/src/kcc/lower.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/lower.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/lower.cpp.o.d"
+  "/root/repo/src/kcc/parser.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/parser.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/parser.cpp.o.d"
+  "/root/repo/src/kcc/passes.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/passes.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/passes.cpp.o.d"
+  "/root/repo/src/kcc/preprocess.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/preprocess.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/preprocess.cpp.o.d"
+  "/root/repo/src/kcc/regalloc.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/regalloc.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/regalloc.cpp.o.d"
+  "/root/repo/src/kcc/sema.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/sema.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/sema.cpp.o.d"
+  "/root/repo/src/kcc/unroll.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/unroll.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/kspec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/kspec_vgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kspec_kcc.dir/ast.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/ast.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/compiler.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/compiler.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/fold.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/fold.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/lexer.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/lexer.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/lower.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/lower.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/parser.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/parser.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/passes.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/passes.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/preprocess.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/preprocess.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/regalloc.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/regalloc.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/sema.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/sema.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/unroll.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/unroll.cpp.o.d"
+  "libkspec_kcc.a"
+  "libkspec_kcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kspec_kcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

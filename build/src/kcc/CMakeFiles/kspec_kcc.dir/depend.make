@@ -1,0 +1,2 @@
+# Empty dependencies file for kspec_kcc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kspec_support.dir/csv.cpp.o"
+  "CMakeFiles/kspec_support.dir/csv.cpp.o.d"
+  "CMakeFiles/kspec_support.dir/log.cpp.o"
+  "CMakeFiles/kspec_support.dir/log.cpp.o.d"
+  "CMakeFiles/kspec_support.dir/str.cpp.o"
+  "CMakeFiles/kspec_support.dir/str.cpp.o.d"
+  "libkspec_support.a"
+  "libkspec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kspec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kspec_tune.dir/tuner.cpp.o"
+  "CMakeFiles/kspec_tune.dir/tuner.cpp.o.d"
+  "libkspec_tune.a"
+  "libkspec_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kspec_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

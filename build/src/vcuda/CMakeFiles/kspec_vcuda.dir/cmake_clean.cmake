@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kspec_vcuda.dir/tiered.cpp.o"
+  "CMakeFiles/kspec_vcuda.dir/tiered.cpp.o.d"
+  "CMakeFiles/kspec_vcuda.dir/vcuda.cpp.o"
+  "CMakeFiles/kspec_vcuda.dir/vcuda.cpp.o.d"
+  "libkspec_vcuda.a"
+  "libkspec_vcuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kspec_vcuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

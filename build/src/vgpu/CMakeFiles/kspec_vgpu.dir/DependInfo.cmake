@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/asm.cpp" "src/vgpu/CMakeFiles/kspec_vgpu.dir/asm.cpp.o" "gcc" "src/vgpu/CMakeFiles/kspec_vgpu.dir/asm.cpp.o.d"
+  "/root/repo/src/vgpu/cost.cpp" "src/vgpu/CMakeFiles/kspec_vgpu.dir/cost.cpp.o" "gcc" "src/vgpu/CMakeFiles/kspec_vgpu.dir/cost.cpp.o.d"
+  "/root/repo/src/vgpu/device.cpp" "src/vgpu/CMakeFiles/kspec_vgpu.dir/device.cpp.o" "gcc" "src/vgpu/CMakeFiles/kspec_vgpu.dir/device.cpp.o.d"
+  "/root/repo/src/vgpu/interp.cpp" "src/vgpu/CMakeFiles/kspec_vgpu.dir/interp.cpp.o" "gcc" "src/vgpu/CMakeFiles/kspec_vgpu.dir/interp.cpp.o.d"
+  "/root/repo/src/vgpu/isa.cpp" "src/vgpu/CMakeFiles/kspec_vgpu.dir/isa.cpp.o" "gcc" "src/vgpu/CMakeFiles/kspec_vgpu.dir/isa.cpp.o.d"
+  "/root/repo/src/vgpu/memory.cpp" "src/vgpu/CMakeFiles/kspec_vgpu.dir/memory.cpp.o" "gcc" "src/vgpu/CMakeFiles/kspec_vgpu.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/kspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

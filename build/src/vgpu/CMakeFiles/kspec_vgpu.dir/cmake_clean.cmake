@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kspec_vgpu.dir/asm.cpp.o"
+  "CMakeFiles/kspec_vgpu.dir/asm.cpp.o.d"
+  "CMakeFiles/kspec_vgpu.dir/cost.cpp.o"
+  "CMakeFiles/kspec_vgpu.dir/cost.cpp.o.d"
+  "CMakeFiles/kspec_vgpu.dir/device.cpp.o"
+  "CMakeFiles/kspec_vgpu.dir/device.cpp.o.d"
+  "CMakeFiles/kspec_vgpu.dir/interp.cpp.o"
+  "CMakeFiles/kspec_vgpu.dir/interp.cpp.o.d"
+  "CMakeFiles/kspec_vgpu.dir/isa.cpp.o"
+  "CMakeFiles/kspec_vgpu.dir/isa.cpp.o.d"
+  "CMakeFiles/kspec_vgpu.dir/memory.cpp.o"
+  "CMakeFiles/kspec_vgpu.dir/memory.cpp.o.d"
+  "libkspec_vgpu.a"
+  "libkspec_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kspec_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

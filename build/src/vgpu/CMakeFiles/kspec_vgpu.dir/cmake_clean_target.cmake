@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkspec_vgpu.a"
+)

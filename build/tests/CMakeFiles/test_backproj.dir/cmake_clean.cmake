@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backproj.dir/test_backproj.cpp.o"
+  "CMakeFiles/test_backproj.dir/test_backproj.cpp.o.d"
+  "test_backproj"
+  "test_backproj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backproj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

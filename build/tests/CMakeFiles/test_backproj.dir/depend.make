@@ -1,0 +1,2 @@
+# Empty dependencies file for test_backproj.
+# This may be replaced when dependencies are built.

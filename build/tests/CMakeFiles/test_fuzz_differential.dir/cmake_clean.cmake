@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_differential.dir/test_fuzz_differential.cpp.o"
+  "CMakeFiles/test_fuzz_differential.dir/test_fuzz_differential.cpp.o.d"
+  "test_fuzz_differential"
+  "test_fuzz_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpupf.dir/test_gpupf.cpp.o"
+  "CMakeFiles/test_gpupf.dir/test_gpupf.cpp.o.d"
+  "test_gpupf"
+  "test_gpupf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpupf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kcc_optimizer.dir/test_kcc_optimizer.cpp.o"
+  "CMakeFiles/test_kcc_optimizer.dir/test_kcc_optimizer.cpp.o.d"
+  "test_kcc_optimizer"
+  "test_kcc_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kcc_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miniptx_asm.dir/test_miniptx_asm.cpp.o"
+  "CMakeFiles/test_miniptx_asm.dir/test_miniptx_asm.cpp.o.d"
+  "test_miniptx_asm"
+  "test_miniptx_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miniptx_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

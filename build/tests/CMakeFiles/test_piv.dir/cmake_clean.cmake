@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piv.dir/test_piv.cpp.o"
+  "CMakeFiles/test_piv.dir/test_piv.cpp.o.d"
+  "test_piv"
+  "test_piv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rowfilter.dir/test_rowfilter.cpp.o"
+  "CMakeFiles/test_rowfilter.dir/test_rowfilter.cpp.o.d"
+  "test_rowfilter"
+  "test_rowfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rowfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

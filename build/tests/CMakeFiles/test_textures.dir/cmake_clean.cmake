@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textures.dir/test_textures.cpp.o"
+  "CMakeFiles/test_textures.dir/test_textures.cpp.o.d"
+  "test_textures"
+  "test_textures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kccc.dir/kccc.cpp.o"
+  "CMakeFiles/kccc.dir/kccc.cpp.o.d"
+  "kccc"
+  "kccc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kccc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
