@@ -1,8 +1,12 @@
 // Section 4.3 trade-offs: run-time compilation overhead and the binary
 // cache. Uses google-benchmark for the host-side timing (these are real wall
-// times, not simulated), covering cold compiles of each application kernel,
-// cache hits, and the interpreter's launch overhead.
+// times, not simulated), covering the full load-time ladder — cold compile,
+// warm in-memory cache hit, and persistent disk-cache hit (a fresh Context
+// deserializing a previously stored artifact instead of recompiling) — plus
+// the interpreter's launch overhead.
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
 
 #include "apps/backproj/kernels.hpp"
 #include "apps/matching/kernels.hpp"
@@ -58,9 +62,9 @@ void BM_CompileCold_Backproj(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileCold_Backproj)->Unit(benchmark::kMillisecond);
 
-// Cache hit: the Section 4.3 claim that re-encountering a parameter set
+// Warm cache hit: the Section 4.3 claim that re-encountering a parameter set
 // loads "with speed similar to loading a dynamically linked shared object".
-void BM_CacheHit(benchmark::State& state) {
+void BM_CacheHit_Warm(benchmark::State& state) {
   vcuda::Context ctx(vgpu::TeslaC1060());
   kcc::CompileOptions opts;
   opts.defines = {{"CT_ANGLES", "1"}, {"K_N_ANGLES", "16"}};
@@ -70,7 +74,33 @@ void BM_CacheHit(benchmark::State& state) {
     benchmark::DoNotOptimize(mod);
   }
 }
-BENCHMARK(BM_CacheHit)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CacheHit_Warm)->Unit(benchmark::kMicrosecond);
+
+// Disk cache hit: a brand-new Context (standing in for a second process)
+// deserializes the stored artifact instead of invoking the compiler. Sits
+// between the cold compile and the warm hit on the load-time ladder.
+void BM_CacheHit_Disk(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "kspec_bench_disk_cache";
+  fs::create_directories(dir);
+  kcc::CompileOptions opts;
+  opts.defines = {{"CT_ANGLES", "1"}, {"K_N_ANGLES", "16"}};
+  {
+    vcuda::Context warmer(vgpu::TeslaC1060(), 1 << 20);
+    warmer.set_cache_dir(dir.string());
+    warmer.LoadModule(apps::backproj::kBackprojSource, opts);  // store the artifact
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    vcuda::Context ctx(vgpu::TeslaC1060(), 1 << 20);
+    ctx.set_cache_dir(dir.string());
+    state.ResumeTiming();
+    auto mod = ctx.LoadModule(apps::backproj::kBackprojSource, opts);
+    benchmark::DoNotOptimize(mod);
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CacheHit_Disk)->Unit(benchmark::kMicrosecond);
 
 // Interpreter throughput: lane-operations per second on a dense kernel.
 void BM_InterpreterThroughput(benchmark::State& state) {

@@ -176,9 +176,7 @@ bench/CMakeFiles/bench_autotune.dir/bench_autotune.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/apps/piv/gpu.hpp /root/repo/src/apps/piv/cpu_ref.hpp \
  /root/repo/src/apps/piv/problem.hpp /root/repo/src/vcuda/vcuda.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -215,17 +213,24 @@ bench/CMakeFiles/bench_autotune.dir/bench_autotune.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/kcc/compiler.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/kcc/cache_key.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/kcc/compiler.hpp \
  /root/repo/src/vgpu/module.hpp /root/repo/src/vgpu/isa.hpp \
  /root/repo/src/vgpu/types.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/vcuda/module_cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/vgpu/device.hpp /root/repo/src/vgpu/interp.hpp \
  /root/repo/src/vgpu/launch.hpp /root/repo/src/vgpu/memory.hpp \
  /root/repo/src/support/status.hpp /root/repo/src/support/csv.hpp \
  /root/repo/src/support/str.hpp /root/repo/src/support/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/tune/tuner.hpp /usr/include/c++/12/optional
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/tune/tuner.hpp \
+ /usr/include/c++/12/optional

@@ -217,11 +217,17 @@ bench/CMakeFiles/bench_fig_6_1_6_2.dir/bench_fig_6_1_6_2.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/kcc/compiler.hpp \
- /root/repo/src/vgpu/module.hpp /root/repo/src/vgpu/isa.hpp \
- /root/repo/src/vgpu/types.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/kcc/cache_key.hpp \
+ /root/repo/src/kcc/compiler.hpp /root/repo/src/vgpu/module.hpp \
+ /root/repo/src/vgpu/isa.hpp /root/repo/src/vgpu/types.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/vcuda/module_cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/vgpu/device.hpp /root/repo/src/vgpu/interp.hpp \
  /root/repo/src/vgpu/launch.hpp /root/repo/src/vgpu/memory.hpp \
  /root/repo/src/support/status.hpp /root/repo/src/support/csv.hpp \

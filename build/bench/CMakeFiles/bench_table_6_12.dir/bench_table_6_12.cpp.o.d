@@ -161,21 +161,16 @@ bench/CMakeFiles/bench_table_6_12.dir/bench_table_6_12.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/apps/backproj/problem.hpp \
  /root/repo/src/apps/cpu_model.hpp /root/repo/src/apps/backproj/gpu.hpp \
- /root/repo/src/vcuda/vcuda.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/memory \
+ /root/repo/src/vcuda/vcuda.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -206,19 +201,31 @@ bench/CMakeFiles/bench_table_6_12.dir/bench_table_6_12.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/kcc/compiler.hpp /root/repo/src/vgpu/module.hpp \
- /root/repo/src/vgpu/isa.hpp /root/repo/src/vgpu/types.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/vgpu/device.hpp /root/repo/src/vgpu/interp.hpp \
- /root/repo/src/vgpu/launch.hpp /root/repo/src/vgpu/memory.hpp \
- /root/repo/src/support/status.hpp /root/repo/bench/bench_common.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/kcc/cache_key.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/kcc/compiler.hpp \
+ /root/repo/src/vgpu/module.hpp /root/repo/src/vgpu/isa.hpp \
+ /root/repo/src/vgpu/types.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/vcuda/module_cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/vgpu/device.hpp \
+ /root/repo/src/vgpu/interp.hpp /root/repo/src/vgpu/launch.hpp \
+ /root/repo/src/vgpu/memory.hpp /root/repo/src/support/status.hpp \
+ /root/repo/bench/bench_common.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

@@ -219,6 +219,12 @@ src/apps/CMakeFiles/kspec_apps.dir/piv/stream.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/vgpu/types.hpp /root/repo/src/kcc/compiler.hpp \
  /root/repo/src/vgpu/module.hpp /root/repo/src/vgpu/isa.hpp \
- /root/repo/src/vcuda/vcuda.hpp /root/repo/src/vgpu/device.hpp \
- /root/repo/src/vgpu/interp.hpp /root/repo/src/vgpu/launch.hpp \
- /root/repo/src/apps/piv/kernels.hpp /root/repo/src/support/rng.hpp
+ /root/repo/src/vcuda/vcuda.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/kcc/cache_key.hpp \
+ /root/repo/src/vcuda/module_cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/vgpu/device.hpp /root/repo/src/vgpu/interp.hpp \
+ /root/repo/src/vgpu/launch.hpp /root/repo/src/apps/piv/kernels.hpp \
+ /root/repo/src/support/rng.hpp

@@ -217,14 +217,18 @@ src/gpupf/CMakeFiles/kspec_gpupf.dir/pipeline.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/vgpu/types.hpp /root/repo/src/kcc/compiler.hpp \
  /root/repo/src/vgpu/module.hpp /root/repo/src/vgpu/isa.hpp \
- /root/repo/src/vcuda/vcuda.hpp /root/repo/src/vgpu/device.hpp \
- /root/repo/src/vgpu/interp.hpp /root/repo/src/vgpu/launch.hpp \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/vcuda/vcuda.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/kcc/cache_key.hpp \
+ /root/repo/src/vcuda/module_cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/vgpu/device.hpp /root/repo/src/vgpu/interp.hpp \
+ /root/repo/src/vgpu/launch.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/support/log.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/support/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime
+ /root/repo/src/support/timer.hpp /usr/include/c++/12/chrono

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/kcc/ast.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/ast.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/ast.cpp.o.d"
+  "/root/repo/src/kcc/cache_key.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/cache_key.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/cache_key.cpp.o.d"
   "/root/repo/src/kcc/compiler.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/compiler.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/compiler.cpp.o.d"
   "/root/repo/src/kcc/fold.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/fold.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/fold.cpp.o.d"
   "/root/repo/src/kcc/lexer.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/lexer.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/lexer.cpp.o.d"
@@ -18,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/kcc/preprocess.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/preprocess.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/preprocess.cpp.o.d"
   "/root/repo/src/kcc/regalloc.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/regalloc.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/regalloc.cpp.o.d"
   "/root/repo/src/kcc/sema.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/sema.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/sema.cpp.o.d"
+  "/root/repo/src/kcc/serialize.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/serialize.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/serialize.cpp.o.d"
   "/root/repo/src/kcc/unroll.cpp" "src/kcc/CMakeFiles/kspec_kcc.dir/unroll.cpp.o" "gcc" "src/kcc/CMakeFiles/kspec_kcc.dir/unroll.cpp.o.d"
   )
 

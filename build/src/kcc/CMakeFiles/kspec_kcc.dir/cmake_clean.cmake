@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/kspec_kcc.dir/ast.cpp.o"
   "CMakeFiles/kspec_kcc.dir/ast.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/cache_key.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/cache_key.cpp.o.d"
   "CMakeFiles/kspec_kcc.dir/compiler.cpp.o"
   "CMakeFiles/kspec_kcc.dir/compiler.cpp.o.d"
   "CMakeFiles/kspec_kcc.dir/fold.cpp.o"
@@ -19,6 +21,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/kspec_kcc.dir/regalloc.cpp.o.d"
   "CMakeFiles/kspec_kcc.dir/sema.cpp.o"
   "CMakeFiles/kspec_kcc.dir/sema.cpp.o.d"
+  "CMakeFiles/kspec_kcc.dir/serialize.cpp.o"
+  "CMakeFiles/kspec_kcc.dir/serialize.cpp.o.d"
   "CMakeFiles/kspec_kcc.dir/unroll.cpp.o"
   "CMakeFiles/kspec_kcc.dir/unroll.cpp.o.d"
   "libkspec_kcc.a"

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/csv.cpp" "src/support/CMakeFiles/kspec_support.dir/csv.cpp.o" "gcc" "src/support/CMakeFiles/kspec_support.dir/csv.cpp.o.d"
   "/root/repo/src/support/log.cpp" "src/support/CMakeFiles/kspec_support.dir/log.cpp.o" "gcc" "src/support/CMakeFiles/kspec_support.dir/log.cpp.o.d"
+  "/root/repo/src/support/serialize.cpp" "src/support/CMakeFiles/kspec_support.dir/serialize.cpp.o" "gcc" "src/support/CMakeFiles/kspec_support.dir/serialize.cpp.o.d"
   "/root/repo/src/support/str.cpp" "src/support/CMakeFiles/kspec_support.dir/str.cpp.o" "gcc" "src/support/CMakeFiles/kspec_support.dir/str.cpp.o.d"
   )
 

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/kspec_support.dir/csv.cpp.o.d"
   "CMakeFiles/kspec_support.dir/log.cpp.o"
   "CMakeFiles/kspec_support.dir/log.cpp.o.d"
+  "CMakeFiles/kspec_support.dir/serialize.cpp.o"
+  "CMakeFiles/kspec_support.dir/serialize.cpp.o.d"
   "CMakeFiles/kspec_support.dir/str.cpp.o"
   "CMakeFiles/kspec_support.dir/str.cpp.o.d"
   "libkspec_support.a"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vcuda/module_cache.cpp" "src/vcuda/CMakeFiles/kspec_vcuda.dir/module_cache.cpp.o" "gcc" "src/vcuda/CMakeFiles/kspec_vcuda.dir/module_cache.cpp.o.d"
   "/root/repo/src/vcuda/tiered.cpp" "src/vcuda/CMakeFiles/kspec_vcuda.dir/tiered.cpp.o" "gcc" "src/vcuda/CMakeFiles/kspec_vcuda.dir/tiered.cpp.o.d"
   "/root/repo/src/vcuda/vcuda.cpp" "src/vcuda/CMakeFiles/kspec_vcuda.dir/vcuda.cpp.o" "gcc" "src/vcuda/CMakeFiles/kspec_vcuda.dir/vcuda.cpp.o.d"
   )

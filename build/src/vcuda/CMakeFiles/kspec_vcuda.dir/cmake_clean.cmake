@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/kspec_vcuda.dir/module_cache.cpp.o"
+  "CMakeFiles/kspec_vcuda.dir/module_cache.cpp.o.d"
   "CMakeFiles/kspec_vcuda.dir/tiered.cpp.o"
   "CMakeFiles/kspec_vcuda.dir/tiered.cpp.o.d"
   "CMakeFiles/kspec_vcuda.dir/vcuda.cpp.o"

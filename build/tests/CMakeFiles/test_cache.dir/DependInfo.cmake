@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/test_cache.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/test_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/kspec_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/kspec_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpupf/CMakeFiles/kspec_gpupf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kspec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/kspec_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kcc/CMakeFiles/kspec_kcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcuda/CMakeFiles/kspec_vcuda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -303,5 +303,8 @@ tests/CMakeFiles/test_gpupf.dir/test_gpupf.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/vgpu/types.hpp \
  /root/repo/src/kcc/compiler.hpp /root/repo/src/vgpu/module.hpp \
  /root/repo/src/vgpu/isa.hpp /root/repo/src/vcuda/vcuda.hpp \
- /root/repo/src/vgpu/device.hpp /root/repo/src/vgpu/interp.hpp \
- /root/repo/src/vgpu/launch.hpp
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/kcc/cache_key.hpp /root/repo/src/vcuda/module_cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/vgpu/device.hpp \
+ /root/repo/src/vgpu/interp.hpp /root/repo/src/vgpu/launch.hpp

@@ -315,9 +315,13 @@ tests/CMakeFiles/test_kernelc_semantics.dir/test_kernelc_semantics.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/vcuda/vcuda.hpp \
- /usr/include/c++/12/span /root/repo/src/kcc/compiler.hpp \
- /root/repo/src/vgpu/module.hpp /root/repo/src/vgpu/isa.hpp \
- /root/repo/src/vgpu/types.hpp /usr/include/c++/12/cstring \
- /root/repo/src/vgpu/device.hpp /root/repo/src/vgpu/interp.hpp \
- /root/repo/src/vgpu/launch.hpp /root/repo/src/vgpu/memory.hpp \
- /root/repo/src/support/status.hpp
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/span /root/repo/src/kcc/cache_key.hpp \
+ /root/repo/src/kcc/compiler.hpp /root/repo/src/vgpu/module.hpp \
+ /root/repo/src/vgpu/isa.hpp /root/repo/src/vgpu/types.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/vcuda/module_cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/vgpu/device.hpp \
+ /root/repo/src/vgpu/interp.hpp /root/repo/src/vgpu/launch.hpp \
+ /root/repo/src/vgpu/memory.hpp /root/repo/src/support/status.hpp

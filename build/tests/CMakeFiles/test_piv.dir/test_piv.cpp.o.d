@@ -295,11 +295,15 @@ tests/CMakeFiles/test_piv.dir/test_piv.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/apps/piv/cpu_ref.hpp /root/repo/src/apps/piv/problem.hpp \
  /root/repo/src/apps/piv/gpu.hpp /root/repo/src/vcuda/vcuda.hpp \
- /usr/include/c++/12/span /root/repo/src/kcc/compiler.hpp \
- /root/repo/src/vgpu/module.hpp /root/repo/src/vgpu/isa.hpp \
- /root/repo/src/vgpu/types.hpp /usr/include/c++/12/cstring \
- /root/repo/src/vgpu/device.hpp /root/repo/src/vgpu/interp.hpp \
- /root/repo/src/vgpu/launch.hpp /root/repo/src/vgpu/memory.hpp \
- /root/repo/src/support/status.hpp /root/repo/src/apps/piv/stream.hpp \
- /root/repo/src/gpupf/pipeline.hpp /root/repo/src/gpupf/params.hpp \
- /root/repo/src/support/str.hpp
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/span /root/repo/src/kcc/cache_key.hpp \
+ /root/repo/src/kcc/compiler.hpp /root/repo/src/vgpu/module.hpp \
+ /root/repo/src/vgpu/isa.hpp /root/repo/src/vgpu/types.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/vcuda/module_cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/vgpu/device.hpp \
+ /root/repo/src/vgpu/interp.hpp /root/repo/src/vgpu/launch.hpp \
+ /root/repo/src/vgpu/memory.hpp /root/repo/src/support/status.hpp \
+ /root/repo/src/apps/piv/stream.hpp /root/repo/src/gpupf/pipeline.hpp \
+ /root/repo/src/gpupf/params.hpp /root/repo/src/support/str.hpp

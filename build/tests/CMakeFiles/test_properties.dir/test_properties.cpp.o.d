@@ -297,12 +297,16 @@ tests/CMakeFiles/test_properties.dir/test_properties.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/apps/backproj/gpu.hpp \
  /root/repo/src/apps/backproj/problem.hpp /root/repo/src/vcuda/vcuda.hpp \
- /usr/include/c++/12/span /root/repo/src/kcc/compiler.hpp \
- /root/repo/src/vgpu/module.hpp /root/repo/src/vgpu/isa.hpp \
- /root/repo/src/vgpu/types.hpp /usr/include/c++/12/cstring \
- /root/repo/src/vgpu/device.hpp /root/repo/src/vgpu/interp.hpp \
- /root/repo/src/vgpu/launch.hpp /root/repo/src/vgpu/memory.hpp \
- /root/repo/src/support/status.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/span /root/repo/src/kcc/cache_key.hpp \
+ /root/repo/src/kcc/compiler.hpp /root/repo/src/vgpu/module.hpp \
+ /root/repo/src/vgpu/isa.hpp /root/repo/src/vgpu/types.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/vcuda/module_cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/vgpu/device.hpp \
+ /root/repo/src/vgpu/interp.hpp /root/repo/src/vgpu/launch.hpp \
+ /root/repo/src/vgpu/memory.hpp /root/repo/src/support/status.hpp \
  /root/repo/src/apps/matching/cpu_ref.hpp \
  /root/repo/src/apps/matching/problem.hpp \
  /root/repo/src/apps/matching/gpu.hpp /root/repo/src/apps/piv/cpu_ref.hpp \

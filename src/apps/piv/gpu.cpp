@@ -116,7 +116,7 @@ PivGpuResult GpuPiv(vcuda::Context& ctx, const Problem& p, const PivConfig& cfg)
                          Dim3(grid_x),
                          Dim3(static_cast<unsigned>(cfg.threads)), args);
   out.reg_count = kernel.stats.reg_count;
-  out.compile_millis = kernel.stats.compile_millis;
+  out.compile_millis = mod->compiled().compile_millis;
   out.kernel_listing = kernel.listing;
 
   out.field.best_offset = vcuda::Download<int>(ctx, d_best, n_masks);

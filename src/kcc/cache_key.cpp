@@ -1,0 +1,61 @@
+#include "kcc/cache_key.hpp"
+
+#include "support/serialize.hpp"
+#include "support/str.hpp"
+
+namespace kspec::kcc {
+
+ModuleCacheKey ModuleCacheKey::Make(const std::string& source, const CompileOptions& opts,
+                                    const std::string& device_name) {
+  ModuleCacheKey key;
+  key.source = source;
+  key.defines = opts.defines;
+  key.max_unroll = opts.max_unroll;
+  key.optimize = opts.optimize;
+  key.enable_unroll = opts.enable_unroll;
+  key.enable_strength_reduction = opts.enable_strength_reduction;
+  key.enable_cse = opts.enable_cse;
+  key.device_name = device_name;
+  return key;
+}
+
+CompileOptions ModuleCacheKey::Options() const {
+  CompileOptions opts;
+  opts.defines = defines;
+  opts.max_unroll = max_unroll;
+  opts.optimize = optimize;
+  opts.enable_unroll = enable_unroll;
+  opts.enable_strength_reduction = enable_strength_reduction;
+  opts.enable_cse = enable_cse;
+  return opts;
+}
+
+std::string ModuleCacheKey::CanonicalText() const {
+  ByteWriter w;
+  w.Str(source);
+  w.U32(static_cast<std::uint32_t>(defines.size()));
+  for (const auto& [name, value] : defines) {
+    w.Str(name);
+    w.Str(value);
+  }
+  w.I32(max_unroll);
+  w.U8(static_cast<std::uint8_t>((optimize ? 1 : 0) | (enable_unroll ? 2 : 0) |
+                                 (enable_strength_reduction ? 4 : 0) | (enable_cse ? 8 : 0)));
+  w.Str(device_name);
+  std::vector<std::uint8_t> bytes = w.Take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::uint64_t ModuleCacheKey::Hash() const { return Fnv1a(CanonicalText()); }
+
+std::string ModuleCacheKey::FileName() const {
+  return Format("k%016llx.kmod", static_cast<unsigned long long>(Hash()));
+}
+
+std::string ModuleCacheKey::Describe() const {
+  return Format("%s |unroll=%d|opt=%d%d%d%d|dev=%s", DefinesToString(defines).c_str(),
+                max_unroll, optimize ? 1 : 0, enable_unroll ? 1 : 0,
+                enable_strength_reduction ? 1 : 0, enable_cse ? 1 : 0, device_name.c_str());
+}
+
+}  // namespace kspec::kcc

@@ -1,0 +1,56 @@
+// Structured specialization-cache key.
+//
+// The cache that backs the dissertation's "load with speed similar to a
+// dynamically linked shared object" claim (Section 4.3) must never serve the
+// wrong specialized binary. A bare 64-bit digest cannot guarantee that, so the
+// key is a structured value covering everything that changes the compiled
+// artifact — source text, every -D definition, every CompileOptions field, and
+// the target device — and cache lookups verify full-key equality on every hash
+// match instead of trusting the digest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "kcc/compiler.hpp"
+
+namespace kspec::kcc {
+
+struct ModuleCacheKey {
+  std::string source;
+  std::map<std::string, std::string> defines;  // std::map iterates sorted
+  int max_unroll = 512;
+  bool optimize = true;
+  bool enable_unroll = true;
+  bool enable_strength_reduction = true;
+  bool enable_cse = true;
+  std::string device_name;
+
+  static ModuleCacheKey Make(const std::string& source, const CompileOptions& opts,
+                             const std::string& device_name);
+
+  // The CompileOptions this key was built from.
+  CompileOptions Options() const;
+
+  bool operator==(const ModuleCacheKey&) const = default;
+
+  // Injective binary encoding of every field (length-prefixed, sorted
+  // defines). Two keys are equal iff their canonical texts are equal, so this
+  // string is what cache entries store and verify against.
+  std::string CanonicalText() const;
+
+  // FNV-1a of CanonicalText(); the cache's bucket index, never trusted alone.
+  std::uint64_t Hash() const;
+
+  // Disk artifact file name, e.g. "k01234567deadbeef.kmod". Derived from the
+  // hash; the artifact embeds CanonicalText() so a colliding file is detected
+  // and treated as a miss.
+  std::string FileName() const;
+
+  // Short human-readable form for log messages (defines + options + device);
+  // not injective — the source text is elided.
+  std::string Describe() const;
+};
+
+}  // namespace kspec::kcc

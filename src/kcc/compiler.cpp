@@ -110,8 +110,7 @@ CompiledModule CompileModule(const std::string& source, const CompileOptions& op
     mod.kernels.push_back(std::move(k));
   }
 
-  double ms = timer.ElapsedMillis();
-  for (auto& k : mod.kernels) k.stats.compile_millis = ms;
+  mod.compile_millis = timer.ElapsedMillis();
   return mod;
 }
 

@@ -50,6 +50,11 @@ struct CompiledModule {
   std::vector<std::string> textures;
   unsigned const_bytes = 0;
 
+  // Host wall time spent compiling the whole module. Recorded here (once)
+  // rather than duplicated into every kernel's CompileStats so that modules
+  // without kernels still account their compile cost.
+  double compile_millis = 0;
+
   const vgpu::CompiledKernel* FindKernel(const std::string& name) const;
   const ConstantInfo* FindConstant(const std::string& name) const;
 };

@@ -1,0 +1,50 @@
+// Persistent cache artifacts: (de)serialization of CompiledModule.
+//
+// This is what lets a *second process* skip run-time compilation entirely
+// (the KLARAPTOR-style cross-run amortization): a compiled specialization is
+// written to disk once and any later Context pointed at the same cache_dir
+// loads it back at shared-object-load speed.
+//
+// Artifact layout (all integers little-endian):
+//   [0..7]   magic "KSPCMOD1"
+//   [8..11]  u32 format version (kModuleFormatVersion)
+//   [12..19] u64 FNV-1a checksum of the payload bytes
+//   [20..27] u64 payload byte count
+//   [28..]   payload: length-prefixed cache-key canonical text, then the module
+//
+// Deserialize throws SerializeError on any corruption, truncation, checksum
+// mismatch, or version mismatch; cache consumers catch it and fall back to
+// recompilation (never crash on a bad cache file).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kcc/compiler.hpp"
+
+namespace kspec::kcc {
+
+// Bump whenever the serialized layout of CompiledModule (or the key text)
+// changes; older artifacts are then treated as misses and recompiled.
+inline constexpr std::uint32_t kModuleFormatVersion = 1;
+
+// Byte offset of the version field, for tests that forge a version bump.
+inline constexpr std::size_t kFormatVersionOffset = 8;
+
+// Serializes `mod` into a self-validating artifact. `key_text` is the
+// ModuleCacheKey::CanonicalText() of the key the module was compiled under;
+// it is embedded so readers can detect a hash-colliding artifact.
+std::vector<std::uint8_t> Serialize(const CompiledModule& mod, const std::string& key_text = {});
+
+// Parses an artifact produced by Serialize. If `key_text` is non-null it
+// receives the embedded cache-key canonical text. Throws SerializeError on
+// any malformed input.
+CompiledModule Deserialize(std::span<const std::uint8_t> bytes, std::string* key_text = nullptr);
+
+// Approximate in-memory footprint of a compiled module, used by the
+// in-memory cache's LRU byte budget.
+std::size_t ApproxModuleBytes(const CompiledModule& mod);
+
+}  // namespace kspec::kcc

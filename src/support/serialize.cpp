@@ -1,0 +1,136 @@
+#include "support/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace kspec {
+
+void ByteWriter::U32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::U64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::F32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  U32(bits);
+}
+
+void ByteWriter::F64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  U64(bits);
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  Raw(s.data(), s.size());
+}
+
+void ByteWriter::Raw(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void ByteWriter::PatchU64(std::size_t offset, std::uint64_t v) {
+  KSPEC_CHECK(offset + 8 <= buf_.size());
+  for (int i = 0; i < 8; ++i) buf_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void ByteReader::Need(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw SerializeError("truncated input: need " + std::to_string(n) + " bytes at offset " +
+                         std::to_string(pos_) + " of " + std::to_string(data_.size()));
+  }
+}
+
+std::uint8_t ByteReader::U8() {
+  Need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::U32() {
+  Need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::U64() {
+  Need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+float ByteReader::F32() {
+  std::uint32_t bits = U32();
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+double ByteReader::F64() {
+  std::uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::string ByteReader::Str() {
+  std::uint32_t n = U32();
+  Need(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::uint64_t Fnv1aBytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  std::streampos end = in.tellg();
+  if (end < 0) return false;
+  in.seekg(0, std::ios::beg);
+  out->resize(static_cast<std::size_t>(end));
+  if (!out->empty()) in.read(reinterpret_cast<char*>(out->data()), end);
+  return static_cast<bool>(in);
+}
+
+bool WriteFileAtomic(const std::string& path, std::span<const std::uint8_t> bytes) {
+  // The temp file lives next to the target so the rename stays within one
+  // filesystem (rename across devices is not atomic).
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    if (!bytes.empty()) out.write(reinterpret_cast<const char*>(bytes.data()),
+                                  static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace kspec

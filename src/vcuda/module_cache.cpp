@@ -1,0 +1,73 @@
+#include "vcuda/module_cache.hpp"
+
+#include <algorithm>
+
+#include "kcc/serialize.hpp"
+#include "support/log.hpp"
+#include "support/status.hpp"
+
+namespace kspec::vcuda {
+
+std::shared_ptr<const kcc::CompiledModule> ModuleCache::Get(std::uint64_t hash,
+                                                            const kcc::ModuleCacheKey& key) {
+  auto bucket = buckets_.find(hash);
+  if (bucket == buckets_.end()) return nullptr;
+  bool collided = false;
+  for (auto it : bucket->second) {
+    if (it->key == key) {
+      lru_.splice(lru_.begin(), lru_, it);  // bump to most recently used
+      return it->module;
+    }
+    collided = true;
+  }
+  if (collided) {
+    ++collisions_detected_;
+    KSPEC_LOG_WARN << "specialization cache: hash collision detected on "
+                   << key.Describe() << " — treating as a miss";
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const kcc::CompiledModule> ModuleCache::Put(
+    std::uint64_t hash, const kcc::ModuleCacheKey& key,
+    std::shared_ptr<const kcc::CompiledModule> module) {
+  auto& bucket = buckets_[hash];
+  for (auto it : bucket) {
+    if (it->key == key) return it->module;  // lost a compile race; reuse theirs
+  }
+  Entry entry;
+  entry.hash = hash;
+  entry.key = key;
+  entry.module = std::move(module);
+  entry.bytes = kcc::ApproxModuleBytes(*entry.module);
+  bytes_cached_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  bucket.push_back(lru_.begin());
+  EvictOverBudget();
+  return lru_.front().module;
+}
+
+void ModuleCache::set_byte_budget(std::size_t bytes) {
+  byte_budget_ = bytes;
+  EvictOverBudget();
+}
+
+void ModuleCache::EvictOverBudget() {
+  // Keep at least the most recently used entry so a single over-budget module
+  // still caches (evicting it would force a recompile on every load).
+  while (bytes_cached_ > byte_budget_ && lru_.size() > 1) {
+    auto victim = std::prev(lru_.end());
+    auto bucket = buckets_.find(victim->hash);
+    KSPEC_CHECK(bucket != buckets_.end());
+    auto& entries = bucket->second;
+    entries.erase(std::find(entries.begin(), entries.end(), victim));
+    if (entries.empty()) buckets_.erase(bucket);
+    bytes_cached_ -= victim->bytes;
+    ++evictions_;
+    KSPEC_LOG_DEBUG << "specialization cache: evicted " << victim->key.Describe() << " ("
+                    << victim->bytes << " bytes)";
+    lru_.erase(victim);
+  }
+}
+
+}  // namespace kspec::vcuda

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "kcc/cache_key.hpp"
 #include "vcuda/vcuda.hpp"
 
 namespace kspec::vcuda {
@@ -42,8 +43,12 @@ class TieredLoader {
   const Stats& stats() const { return stats_; }
 
  private:
+  // Heat is tracked per full parameter set. The key must cover every
+  // CompileOptions field, not just the defines: two option sets with equal
+  // defines but different max_unroll/pass flags compile to different
+  // binaries, so they must heat up — and report IsSpecialized — separately.
   std::string Key(const kcc::CompileOptions& opts) const {
-    return kcc::DefinesToString(opts.defines);
+    return kcc::ModuleCacheKey::Make(source_, opts, ctx_->device().name).CanonicalText();
   }
 
   Context* ctx_;

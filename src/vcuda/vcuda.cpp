@@ -1,6 +1,10 @@
 #include "vcuda/vcuda.hpp"
 
+#include <filesystem>
+
+#include "kcc/serialize.hpp"
 #include "support/log.hpp"
+#include "support/serialize.hpp"
 #include "support/status.hpp"
 #include "support/str.hpp"
 
@@ -82,33 +86,107 @@ ArgPack& ArgPack::Ptr(DevPtr p) {
 Context::Context(vgpu::DeviceProfile profile, std::uint64_t heap_bytes)
     : device_(std::move(profile)), memory_(heap_bytes) {}
 
+void Context::set_cache_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_dir_ = dir;
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      KSPEC_LOG_WARN << "specialization cache: cannot create cache_dir '" << dir
+                     << "': " << ec.message() << " — persistence disabled";
+      cache_dir_.clear();
+    }
+  }
+}
+
+void Context::set_cache_byte_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.set_byte_budget(bytes);
+}
+
+CacheStats Context::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  CacheStats stats = cache_stats_;
+  stats.evictions = cache_.evictions();
+  stats.collisions_detected = cache_.collisions_detected();
+  stats.bytes_cached = cache_.bytes_cached();
+  return stats;
+}
+
+std::shared_ptr<const kcc::CompiledModule> Context::TryLoadFromDisk(
+    const std::string& dir, const kcc::ModuleCacheKey& key) {
+  std::string path = dir + "/" + key.FileName();
+  std::vector<std::uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes)) return nullptr;  // no artifact: plain miss
+  try {
+    std::string stored_key;
+    auto mod = std::make_shared<const kcc::CompiledModule>(kcc::Deserialize(bytes, &stored_key));
+    if (stored_key != key.CanonicalText()) {
+      // The artifact's hash-derived file name matched but its full key does
+      // not: an on-disk collision. Recompile (and overwrite it) rather than
+      // serve the wrong specialization.
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      ++cache_stats_.collisions_detected;
+      KSPEC_LOG_WARN << "specialization cache: disk artifact " << path
+                     << " belongs to a different key (hash collision) — recompiling";
+      return nullptr;
+    }
+    return mod;
+  } catch (const SerializeError& e) {
+    KSPEC_LOG_WARN << "specialization cache: discarding unreadable artifact " << path << " ("
+                   << e.what() << ") — recompiling";
+    return nullptr;
+  }
+}
+
+void Context::StoreToDisk(const std::string& dir, const kcc::ModuleCacheKey& key,
+                          const kcc::CompiledModule& mod) {
+  std::string path = dir + "/" + key.FileName();
+  std::vector<std::uint8_t> bytes = kcc::Serialize(mod, key.CanonicalText());
+  if (!WriteFileAtomic(path, bytes)) {
+    KSPEC_LOG_WARN << "specialization cache: failed to write " << path
+                   << " — continuing without persistence for this module";
+  }
+}
+
 std::shared_ptr<Module> Context::LoadModule(const std::string& source,
                                             const kcc::CompileOptions& opts) {
-  std::string key_text = source;
-  key_text += '\x1f';
-  key_text += kcc::DefinesToString(opts.defines);
-  key_text += Format("|unroll=%d|opt=%d%d%d%d|dev=%s", opts.max_unroll, opts.optimize ? 1 : 0,
-                     opts.enable_unroll ? 1 : 0, opts.enable_strength_reduction ? 1 : 0,
-                     opts.enable_cse ? 1 : 0, device_.name.c_str());
-  std::uint64_t key = Fnv1a(key_text);
+  kcc::ModuleCacheKey key = kcc::ModuleCacheKey::Make(source, opts, device_.name);
+  const std::uint64_t hash = key.Hash();
 
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++cache_stats_.hits;
-    KSPEC_LOG_DEBUG << "module cache hit (" << kcc::DefinesToString(opts.defines) << ")";
-    return std::make_shared<Module>(it->second);
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (auto cached = cache_.Get(hash, key)) {
+      ++cache_stats_.hits;
+      KSPEC_LOG_DEBUG << "module cache hit (" << key.Describe() << ")";
+      return std::make_shared<Module>(std::move(cached));
+    }
+    dir = cache_dir_;
   }
-  ++cache_stats_.misses;
+
+  // Disk tier (outside the lock: file I/O + deserialization).
+  if (!dir.empty()) {
+    if (auto from_disk = TryLoadFromDisk(dir, key)) {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      ++cache_stats_.disk_hits;
+      KSPEC_LOG_DEBUG << "module disk cache hit (" << key.Describe() << ")";
+      return std::make_shared<Module>(cache_.Put(hash, key, std::move(from_disk)));
+    }
+  }
+
+  // Compile outside the lock so independent specializations build in
+  // parallel; a lost race is resolved by Put reusing the winner's module.
   auto compiled = std::make_shared<const kcc::CompiledModule>(kcc::CompileModule(source, opts));
-  if (!compiled->kernels.empty()) {
-    cache_stats_.compile_millis_total += compiled->kernels.front().stats.compile_millis;
-  }
-  cache_[key] = compiled;
-  KSPEC_LOG_DEBUG << "compiled module (" << kcc::DefinesToString(opts.defines) << ") in "
-                  << (compiled->kernels.empty() ? 0.0
-                                                : compiled->kernels.front().stats.compile_millis)
-                  << " ms";
-  return std::make_shared<Module>(compiled);
+  if (!dir.empty()) StoreToDisk(dir, key, *compiled);
+  KSPEC_LOG_DEBUG << "compiled module (" << key.Describe() << ") in "
+                  << compiled->compile_millis << " ms";
+
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++cache_stats_.misses;
+  cache_stats_.compile_millis_total += compiled->compile_millis;
+  return std::make_shared<Module>(cache_.Put(hash, key, std::move(compiled)));
 }
 
 vgpu::LaunchStats Context::Launch(const Module& module, const std::string& kernel,

@@ -10,13 +10,15 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "kcc/cache_key.hpp"
 #include "kcc/compiler.hpp"
+#include "vcuda/module_cache.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/interp.hpp"
 #include "vgpu/memory.hpp"
@@ -75,8 +77,12 @@ class ArgPack {
 };
 
 struct CacheStats {
-  std::size_t hits = 0;
-  std::size_t misses = 0;
+  std::size_t hits = 0;        // served from the in-memory cache
+  std::size_t misses = 0;      // compiled from source (== compile count)
+  std::size_t disk_hits = 0;   // deserialized from cache_dir, no compile
+  std::size_t evictions = 0;   // entries dropped by the LRU byte budget
+  std::size_t collisions_detected = 0;  // hash matches with unequal full keys
+  std::size_t bytes_cached = 0;         // approximate in-memory footprint
   double compile_millis_total = 0;
 };
 
@@ -103,12 +109,25 @@ class Context {
 
   // -------- modules --------
   // Compiles (or retrieves from the specialization cache) a module. The cache
-  // key covers the source text, every -D definition, and the compile options;
-  // the device is fixed per context.
+  // key covers the source text, every -D definition, every compile option,
+  // and the device name; lookups verify the full key, not just its hash.
+  // Thread-safe: concurrent LoadModule calls are allowed, and compilation
+  // runs outside the cache lock.
   std::shared_ptr<Module> LoadModule(const std::string& source,
                                      const kcc::CompileOptions& opts = {});
 
-  const CacheStats& cache_stats() const { return cache_stats_; }
+  // Enables the persistent cache tier: compiled specializations are written
+  // to `dir` (created if absent) and later Contexts — including ones in other
+  // processes — load them from disk instead of recompiling. Corrupt, stale,
+  // or version-mismatched artifacts are recompiled with a warning, never
+  // fatal. Empty string disables persistence.
+  void set_cache_dir(const std::string& dir);
+  const std::string& cache_dir() const { return cache_dir_; }
+
+  // Byte budget for the in-memory tier (LRU eviction beyond it).
+  void set_cache_byte_budget(std::size_t bytes);
+
+  CacheStats cache_stats() const;
 
   // -------- execution --------
   // Launches and runs to completion; returns simulated statistics (including
@@ -123,10 +142,19 @@ class Context {
   void reset_sim_clock() { total_sim_millis_ = 0; }
 
  private:
+  // Returns the module for `key` from the disk tier, or nullptr if absent,
+  // corrupt, version-mismatched, or keyed differently (hash collision).
+  std::shared_ptr<const kcc::CompiledModule> TryLoadFromDisk(const std::string& dir,
+                                                             const kcc::ModuleCacheKey& key);
+  void StoreToDisk(const std::string& dir, const kcc::ModuleCacheKey& key,
+                   const kcc::CompiledModule& mod);
+
   vgpu::DeviceProfile device_;
   vgpu::GlobalMemory memory_;
-  std::map<std::uint64_t, std::shared_ptr<const kcc::CompiledModule>> cache_;
+  mutable std::mutex cache_mutex_;  // guards cache_, cache_stats_
+  ModuleCache cache_;
   CacheStats cache_stats_;
+  std::string cache_dir_;
   double total_sim_millis_ = 0;
 };
 

@@ -26,7 +26,8 @@ struct CompileStats {
   int unrolled_loops = 0;     // loops fully unrolled by the front-end
   int folded_consts = 0;      // constant-folding rewrites applied
   int strength_reduced = 0;   // div/mod/mul -> shift/mask rewrites
-  double compile_millis = 0;  // host wall time spent compiling
+  // Compile wall time lives on kcc::CompiledModule::compile_millis (it is a
+  // whole-module cost, not a per-kernel one).
 };
 
 struct CompiledKernel {

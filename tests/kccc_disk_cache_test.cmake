@@ -1,0 +1,44 @@
+# Runs kccc twice with the same --cache-dir and asserts that the first run
+# compiles (cache miss) while the second is served from disk (cache hit).
+# Invoked by ctest with -DKCCC=... -DKERNEL=... -DWORK_DIR=...
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(ARGS "${KERNEL}" -D CT_LOOP_COUNT=1 -D LOOP_COUNT=5 --cache-dir "${WORK_DIR}/cache")
+
+execute_process(COMMAND "${KCCC}" ${ARGS}
+  OUTPUT_VARIABLE out1 ERROR_VARIABLE err1 RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "first kccc run failed (rc=${rc1}):\n${out1}\n${err1}")
+endif()
+if(NOT out1 MATCHES "cache: miss")
+  message(FATAL_ERROR "first run should report a cache miss:\n${out1}")
+endif()
+
+execute_process(COMMAND "${KCCC}" ${ARGS}
+  OUTPUT_VARIABLE out2 ERROR_VARIABLE err2 RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "second kccc run failed (rc=${rc2}):\n${out2}\n${err2}")
+endif()
+if(NOT out2 MATCHES "cache: disk hit")
+  message(FATAL_ERROR "second run should report a disk hit:\n${out2}")
+endif()
+
+# A corrupted artifact must fall back to recompilation, not crash.
+file(GLOB artifacts "${WORK_DIR}/cache/*.kmod")
+list(LENGTH artifacts n_artifacts)
+if(NOT n_artifacts EQUAL 1)
+  message(FATAL_ERROR "expected exactly one cache artifact, found ${n_artifacts}")
+endif()
+list(GET artifacts 0 artifact)
+file(WRITE "${artifact}" "garbage, not a module artifact")
+execute_process(COMMAND "${KCCC}" ${ARGS}
+  OUTPUT_VARIABLE out3 ERROR_VARIABLE err3 RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "kccc crashed on a corrupt cache artifact (rc=${rc3}):\n${out3}\n${err3}")
+endif()
+if(NOT out3 MATCHES "cache: miss")
+  message(FATAL_ERROR "corrupt artifact should fall back to a miss:\n${out3}")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")

@@ -7,12 +7,16 @@
 // Prints per-kernel statistics (instructions, registers, shared memory,
 // unrolled loops, occupancy for a chosen block size) and optionally the
 // MiniPTX listing — the artifacts the dissertation's Appendices C/D show.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "kcc/cache_key.hpp"
 #include "kcc/compiler.hpp"
 #include "kcc/preprocess.hpp"
+#include "kcc/serialize.hpp"
+#include "support/serialize.hpp"
 #include "support/status.hpp"
 #include "support/str.hpp"
 #include "vgpu/device.hpp"
@@ -28,6 +32,9 @@ void Usage() {
       "  --max-unroll N    full-unroll budget per loop (default 512)\n"
       "  --no-opt          disable the optimizer (-O0)\n"
       "  --no-unroll       disable loop unrolling only\n"
+      "  --cache-dir DIR   persistent specialization cache: reuse a previously\n"
+      "                    compiled artifact for this exact (source, -D, options,\n"
+      "                    device) key, and store fresh compiles there\n"
       "  --dump-miniptx    print each kernel's MiniPTX listing\n"
       "  --dump-preprocessed  print the post-preprocessor source and exit\n";
 }
@@ -43,6 +50,7 @@ int main(int argc, char** argv) {
 
   std::string path;
   kcc::CompileOptions opts;
+  std::string cache_dir;
   std::string device = "VC1060";
   unsigned block = 128;
   bool dump_miniptx = false;
@@ -67,6 +75,8 @@ int main(int argc, char** argv) {
       device = argv[++i];
     } else if (arg == "--block" && i + 1 < argc) {
       block = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cache_dir = argv[++i];
     } else if (arg == "--max-unroll" && i + 1 < argc) {
       opts.max_unroll = std::stoi(argv[++i]);
     } else if (arg == "--no-opt") {
@@ -107,9 +117,53 @@ int main(int argc, char** argv) {
       return 0;
     }
     vgpu::DeviceProfile dev = vgpu::ProfileByName(device);
-    kcc::CompiledModule mod = kcc::CompileModule(source, opts);
+
+    kcc::CompiledModule mod;
+    bool disk_hit = false;
+    std::string artifact;
+    if (!cache_dir.empty()) {
+      kcc::ModuleCacheKey key = kcc::ModuleCacheKey::Make(source, opts, dev.name);
+      artifact = cache_dir + "/" + key.FileName();
+      std::vector<std::uint8_t> bytes;
+      if (ReadFileBytes(artifact, &bytes)) {
+        try {
+          std::string stored_key;
+          kcc::CompiledModule cached = kcc::Deserialize(bytes, &stored_key);
+          if (stored_key == key.CanonicalText()) {
+            mod = std::move(cached);
+            disk_hit = true;
+          } else {
+            std::cerr << "kccc: cache artifact " << artifact
+                      << " belongs to a different key (hash collision); recompiling\n";
+          }
+        } catch (const SerializeError& e) {
+          std::cerr << "kccc: discarding unreadable cache artifact " << artifact << " ("
+                    << e.what() << "); recompiling\n";
+        }
+      }
+      if (!disk_hit) {
+        mod = kcc::CompileModule(source, opts);
+        std::error_code ec;
+        std::filesystem::create_directories(cache_dir, ec);
+        std::vector<std::uint8_t> out = kcc::Serialize(mod, key.CanonicalText());
+        if (ec || !WriteFileAtomic(artifact, out)) {
+          std::cerr << "kccc: warning: could not store cache artifact " << artifact << "\n";
+          artifact.clear();
+        }
+      }
+    } else {
+      mod = kcc::CompileModule(source, opts);
+    }
 
     std::cout << "kccc: " << path << "  (" << kcc::DefinesToString(opts.defines) << ")\n";
+    if (!cache_dir.empty()) {
+      if (disk_hit) {
+        std::cout << "cache: disk hit (" << artifact << ")\n";
+      } else {
+        std::cout << "cache: miss — compiled in " << Format("%.3f", mod.compile_millis)
+                  << " ms" << (artifact.empty() ? "" : ", stored " + artifact) << "\n";
+      }
+    }
     if (mod.const_bytes) {
       std::cout << "constant segment: " << mod.const_bytes << " bytes in "
                 << mod.constants.size() << " array(s)\n";
