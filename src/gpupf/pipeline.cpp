@@ -1,5 +1,6 @@
 #include "gpupf/pipeline.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 
@@ -53,14 +54,46 @@ ResolvedEndpoint Resolve(const CopyAction::Endpoint& ep, std::uint64_t iter) {
 // ---------------------------------------------------------------------------
 
 bool ModuleRes::Refresh(Pipeline& p) {
+  // Swap in a finished background re-specialization first; Refresh runs every
+  // pipeline iteration, so this is also the polling point.
+  bool swapped = false;
+  if (pending_.valid() &&
+      pending_.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+    try {
+      if (auto mod = pending_.get()) {
+        module_ = std::move(mod);
+        swapped = true;
+        KSPEC_LOG_INFO << "gpupf: swapped in background respecialization of '" << name() << "'";
+      }
+    } catch (const std::exception& e) {
+      KSPEC_LOG_WARN << "gpupf: background respecialization of '" << name() << "' failed ("
+                     << e.what() << ") — keeping the previous build";
+    }
+    pending_ = {};
+  }
+
   std::vector<const Param*> deps;
   deps.reserve(bindings_.size());
   for (const auto& [macro, param] : bindings_) deps.push_back(param);
-  if (!DepsChanged(deps)) return false;
+  if (!DepsChanged(deps)) return swapped;
 
   kcc::CompileOptions opts;
   opts.defines = fixed_defines_;
   for (const auto& [macro, param] : bindings_) opts.defines[macro] = DefineValue(param);
+
+  if (async_refresh_ && module_ && p.ctx().async_service()) {
+    vcuda::SubmitResult r = p.ctx().LoadModuleAsync(source_, opts);
+    if (r.ok()) {
+      // Supersedes any older still-running flight; the abandoned result just
+      // lands in the context's cache.
+      pending_ = r.future;
+      KSPEC_LOG_INFO << "gpupf: scheduled respecialization of '" << name() << "' ("
+                     << kcc::DefinesToString(opts.defines) << ") — serving previous build";
+      return swapped;
+    }
+    // Rejected (service saturated): fall through to the blocking path rather
+    // than run the stale build for an unbounded number of refreshes.
+  }
   module_ = p.ctx().LoadModule(source_, opts);
   KSPEC_LOG_INFO << "gpupf: refreshed module '" << name() << "' ("
                  << kcc::DefinesToString(opts.defines) << ")";

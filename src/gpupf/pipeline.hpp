@@ -82,6 +82,18 @@ class ModuleRes : public Resource {
     fixed_defines_[macro] = std::move(value);
   }
 
+  // Opt-in non-blocking re-specialization. After the first (always blocking)
+  // build, a parameter change schedules the recompile on the Context's
+  // AsyncCompileService and keeps serving the previous build until the new
+  // one is ready; the swap bumps the generation, so dependent resources
+  // (texture bindings) re-derive then. Only enable this when running a few
+  // iterations on the stale specialization is acceptable — i.e. the bound
+  // defines are performance parameters, or the kernel also reads the values
+  // from its run-time arguments (the Appendix B single-source pattern).
+  void set_async_refresh(bool on) { async_refresh_ = on; }
+  // True while a scheduled re-specialization has not been swapped in yet.
+  bool respecialization_pending() const { return pending_.valid(); }
+
   bool Refresh(Pipeline& p) override;
 
   vcuda::Module& module() const {
@@ -94,6 +106,8 @@ class ModuleRes : public Resource {
   std::vector<std::pair<std::string, const Param*>> bindings_;
   std::map<std::string, std::string> fixed_defines_;
   std::shared_ptr<vcuda::Module> module_;
+  bool async_refresh_ = false;
+  vcuda::ModuleFuture pending_;
 };
 
 // A kernel within a module (Table 4.2).

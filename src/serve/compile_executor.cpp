@@ -1,0 +1,148 @@
+#include "serve/compile_executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "kcc/cache_key.hpp"
+#include "support/log.hpp"
+#include "support/str.hpp"
+#include "support/timer.hpp"
+
+namespace kspec::serve {
+
+namespace {
+
+// Two Contexts may share one executor, and equal sources/options targeting
+// different contexts must not coalesce (each context owns its cache and its
+// Module instances), so the flight key prefixes the canonical module key with
+// the context's identity.
+std::string FlightKey(vcuda::Context& ctx, const vcuda::CompileRequest& req) {
+  return Format("%p|", static_cast<void*>(&ctx)) +
+         kcc::ModuleCacheKey::Make(req.source, req.opts, ctx.device().name).CanonicalText();
+}
+
+}  // namespace
+
+CompileExecutor::CompileExecutor(ExecutorOptions options) : options_(options) {
+  if (options_.workers < 1) options_.workers = 1;
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CompileExecutor::~CompileExecutor() { Shutdown(); }
+
+vcuda::SubmitResult CompileExecutor::SubmitLoad(vcuda::Context& ctx,
+                                                const vcuda::CompileRequest& req) {
+  std::string key = FlightKey(ctx, req);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (auto it = in_flight_.find(key); it != in_flight_.end()) {
+    ++stats_.coalesced;
+    return {vcuda::SubmitStatus::kCoalesced, it->second->future};
+  }
+  if (stopping_ || queue_.size() >= options_.max_queue) {
+    ++stats_.rejected;
+    return {vcuda::SubmitStatus::kRejected, {}};
+  }
+  auto flight = std::make_shared<Flight>();
+  flight->ctx = &ctx;
+  flight->req = req;
+  flight->key = std::move(key);
+  flight->future = flight->promise.get_future().share();
+  in_flight_.emplace(flight->key, flight);
+  queue_.push_back(flight);
+  stats_.queue_depth_high_water = std::max(stats_.queue_depth_high_water, queue_.size());
+  work_cv_.notify_one();
+  return {vcuda::SubmitStatus::kScheduled, flight->future};
+}
+
+void CompileExecutor::Finish(const std::shared_ptr<Flight>& flight,
+                             std::shared_ptr<vcuda::Module> module, std::exception_ptr error,
+                             double compile_ms, bool expired) {
+  // Fulfill before retiring the flight so that anything woken by Drain (which
+  // waits on the backlog counters updated below) observes a ready future. A
+  // submit landing between fulfillment and retirement coalesces onto an
+  // already-ready future, which is harmless.
+  if (error) {
+    flight->promise.set_exception(error);
+  } else {
+    flight->promise.set_value(std::move(module));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_.erase(flight->key);
+  ++stats_.completed;
+  if (expired) {
+    ++stats_.expired;
+  } else if (error) {
+    ++stats_.failed;
+    stats_.RecordCompileMillis(compile_ms);
+  } else {
+    ++stats_.succeeded;
+    stats_.RecordCompileMillis(compile_ms);
+  }
+  --active_;
+  if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+}
+
+void CompileExecutor::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Flight> flight;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with the backlog drained
+      flight = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+
+    if (flight->req.HasDeadline() && std::chrono::steady_clock::now() > flight->req.deadline) {
+      // Expired while queued: don't burn a worker on a result nobody can use
+      // in time. The null module tells waiters to keep their fallback.
+      Finish(flight, nullptr, nullptr, 0, /*expired=*/true);
+      continue;
+    }
+
+    WallTimer timer;
+    std::shared_ptr<vcuda::Module> module;
+    std::exception_ptr error;
+    try {
+      module = flight->ctx->LoadModule(flight->req.source, flight->req.opts);
+    } catch (...) {
+      error = std::current_exception();
+      KSPEC_LOG_WARN << "serve: background compile failed for a flight — waiters will rethrow";
+    }
+    Finish(flight, std::move(module), error, timer.ElapsedMillis(), /*expired=*/false);
+  }
+}
+
+void CompileExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void CompileExecutor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+ServeStats CompileExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t CompileExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace kspec::serve

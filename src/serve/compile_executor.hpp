@@ -1,0 +1,104 @@
+// The asynchronous specialization service: a bounded worker pool compiling
+// (source, CompileOptions, device) requests off the launch path.
+//
+// The dissertation's Section 4.3 trade-off — run-time compilation costs
+// hundreds of milliseconds and must be amortized — is paid here in the
+// background instead of inline in Context::LoadModule. KLARAPTOR and the
+// parametric-kernel literature frame per-parameter-set code generation as a
+// service invoked at launch time; this is that service:
+//
+//   * SubmitLoad returns a shared future immediately; worker threads run the
+//     compile through the Context's two-tier cache.
+//   * Single-flight coalescing, keyed on kcc::ModuleCacheKey (plus the
+//     context's identity): N concurrent requests for the same specialization
+//     trigger exactly one compile, and the other N-1 share its future.
+//   * Bounded queue with backpressure: at the cap, SubmitLoad rejects and the
+//     caller falls back (serve the RE build, compile inline, skip).
+//   * Per-request deadlines: a flight still queued when its deadline passes
+//     resolves to a null module instead of burning a worker.
+//   * A ServeStats counter block, including a compile-wall-time histogram.
+//
+// Thread-safe throughout; Contexts attach it with set_async_service to make
+// LoadModuleAsync, TieredLoader promotion, and GPU-PF re-specialization
+// non-blocking.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/serve_stats.hpp"
+#include "vcuda/async.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace kspec::serve {
+
+struct ExecutorOptions {
+  // Worker threads compiling in parallel. Only distinct keys occupy workers;
+  // same-key requests coalesce onto one flight.
+  int workers = 2;
+  // Maximum flights waiting for a worker (running flights don't count). At
+  // the cap SubmitLoad returns kRejected.
+  std::size_t max_queue = 64;
+};
+
+class CompileExecutor final : public vcuda::AsyncCompileService {
+ public:
+  explicit CompileExecutor(ExecutorOptions options = {});
+  ~CompileExecutor() override;  // Shutdown()
+
+  CompileExecutor(const CompileExecutor&) = delete;
+  CompileExecutor& operator=(const CompileExecutor&) = delete;
+
+  vcuda::SubmitResult SubmitLoad(vcuda::Context& ctx,
+                                 const vcuda::CompileRequest& req) override;
+
+  // Blocks until every flight accepted so far has completed (the queue is
+  // empty and no worker is mid-compile).
+  void Drain();
+
+  // Stops accepting work (further submits are rejected), completes the
+  // already-accepted flights, and joins the workers. Idempotent; the
+  // destructor runs it.
+  void Shutdown();
+
+  ServeStats stats() const;
+  std::size_t queue_depth() const;
+
+ private:
+  struct Flight {
+    vcuda::Context* ctx = nullptr;
+    vcuda::CompileRequest req;
+    std::string key;
+    std::promise<std::shared_ptr<vcuda::Module>> promise;
+    vcuda::ModuleFuture future;
+  };
+
+  void WorkerLoop();
+  // Fulfills the flight's promise, then retires it from the in-flight map and
+  // updates counters. `error`/`ms` describe the compile outcome; an expired
+  // flight passes `expired`.
+  void Finish(const std::shared_ptr<Flight>& flight, std::shared_ptr<vcuda::Module> module,
+              std::exception_ptr error, double compile_ms, bool expired);
+
+  ExecutorOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for queue items
+  std::condition_variable idle_cv_;  // Drain waits for an empty backlog
+  bool stopping_ = false;
+  std::size_t active_ = 0;  // flights currently on a worker
+  std::deque<std::shared_ptr<Flight>> queue_;
+  // key -> flight, from submit until the flight's promise is fulfilled; this
+  // map is what makes coalescing single-flight.
+  std::unordered_map<std::string, std::shared_ptr<Flight>> in_flight_;
+  ServeStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kspec::serve

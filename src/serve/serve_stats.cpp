@@ -1,0 +1,39 @@
+#include "serve/serve_stats.hpp"
+
+#include "support/str.hpp"
+
+namespace kspec::serve {
+
+void ServeStats::RecordCompileMillis(double ms) {
+  compile_millis_total += ms;
+  std::size_t bucket = 0;
+  while (bucket < kCompileMsBucketUpper.size() && ms >= kCompileMsBucketUpper[bucket]) {
+    ++bucket;
+  }
+  ++compile_ms_hist[bucket];
+}
+
+std::string ServeStats::Render() const {
+  std::string out = Format(
+      "serve: submitted=%llu coalesced=%llu completed=%llu (ok=%llu failed=%llu expired=%llu) "
+      "rejected=%llu queue-high-water=%zu\n",
+      static_cast<unsigned long long>(submitted), static_cast<unsigned long long>(coalesced),
+      static_cast<unsigned long long>(completed), static_cast<unsigned long long>(succeeded),
+      static_cast<unsigned long long>(failed), static_cast<unsigned long long>(expired),
+      static_cast<unsigned long long>(rejected), queue_depth_high_water);
+  out += "serve: compile wall ms:";
+  double lo = 0;
+  for (std::size_t i = 0; i < kCompileMsBuckets; ++i) {
+    if (i < kCompileMsBucketUpper.size()) {
+      out += Format(" [%g,%g)=%llu", lo, kCompileMsBucketUpper[i],
+                    static_cast<unsigned long long>(compile_ms_hist[i]));
+      lo = kCompileMsBucketUpper[i];
+    } else {
+      out += Format(" [%g,inf)=%llu", lo, static_cast<unsigned long long>(compile_ms_hist[i]));
+    }
+  }
+  out += Format("  total=%.1f ms\n", compile_millis_total);
+  return out;
+}
+
+}  // namespace kspec::serve

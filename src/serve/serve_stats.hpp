@@ -1,0 +1,42 @@
+// Counter block for the asynchronous specialization service.
+//
+// The executor's accounting obeys one invariant the concurrency tests assert:
+// every SubmitLoad call lands in exactly one of a new flight (which shows up
+// in `completed` once it finishes), `coalesced`, or `rejected` — so once the
+// executor has drained, submitted == coalesced + completed + rejected.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace kspec::serve {
+
+// Upper edges (exclusive) of the compile-wall-time histogram buckets, in
+// milliseconds; a final open-ended bucket catches everything beyond.
+inline constexpr std::array<double, 6> kCompileMsBucketUpper = {1, 10, 50, 100, 250, 500};
+inline constexpr std::size_t kCompileMsBuckets = kCompileMsBucketUpper.size() + 1;
+
+struct ServeStats {
+  std::uint64_t submitted = 0;  // every SubmitLoad call
+  std::uint64_t coalesced = 0;  // joined an in-flight compile of the same key
+  std::uint64_t completed = 0;  // flights finished: succeeded + failed + expired
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;     // compile threw; waiters rethrow on get()
+  std::uint64_t expired = 0;    // deadline passed while queued; null result
+  std::uint64_t rejected = 0;   // bounded queue full at submit time
+  std::size_t queue_depth_high_water = 0;
+
+  // Wall time of each flight's LoadModule call (a cache hit lands in the
+  // lowest bucket, a cold compile in the hundreds-of-ms ones).
+  std::array<std::uint64_t, kCompileMsBuckets> compile_ms_hist{};
+  double compile_millis_total = 0;
+
+  void RecordCompileMillis(double ms);
+
+  // Multi-line human-readable block for benches and kccc --jobs.
+  std::string Render() const;
+};
+
+}  // namespace kspec::serve

@@ -1,0 +1,67 @@
+// Asynchronous module loading: the seam between the driver layer and the
+// specialization service (src/serve/).
+//
+// Run-time compilation costs ~hundreds of milliseconds (Section 4.3) and must
+// stay off the launch path under concurrent traffic, so compiles are handed to
+// an AsyncCompileService — in production the bounded worker pool in
+// src/serve/compile_executor.hpp — which returns a shared future. vcuda only
+// sees this interface; the dependency points serve -> vcuda and the driver
+// layer stays free of threading policy.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "kcc/compiler.hpp"
+
+namespace kspec::vcuda {
+
+class Context;
+class Module;
+
+// Shared so that coalesced requests (N callers awaiting one in-flight
+// compile of the same key) all observe the same result.
+using ModuleFuture = std::shared_future<std::shared_ptr<Module>>;
+
+enum class SubmitStatus {
+  kScheduled,  // a new background flight was created for this key
+  kCoalesced,  // joined an already-in-flight compile of the same key
+  kRejected,   // bounded queue full: no future, the caller must fall back
+  kInline,     // no service attached: compiled synchronously, future ready
+};
+
+struct SubmitResult {
+  SubmitStatus status = SubmitStatus::kRejected;
+  ModuleFuture future;  // invalid iff status == kRejected
+
+  bool ok() const { return future.valid(); }
+};
+
+struct CompileRequest {
+  std::string source;
+  kcc::CompileOptions opts;
+  // Default-constructed = no deadline. A flight still queued when its
+  // deadline passes is completed with a null module instead of being
+  // compiled; waiters keep serving whatever they fell back to.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool HasDeadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+};
+
+// Implemented by serve::CompileExecutor. Attached to a Context with
+// Context::set_async_service; not owned by the Context.
+class AsyncCompileService {
+ public:
+  virtual ~AsyncCompileService() = default;
+
+  // Schedules (or coalesces, or rejects) a compile of `req` against `ctx`'s
+  // module cache. Compile failures propagate through the future: get()
+  // rethrows the CompileError.
+  virtual SubmitResult SubmitLoad(Context& ctx, const CompileRequest& req) = 0;
+};
+
+}  // namespace kspec::vcuda

@@ -1,28 +1,115 @@
 #include "vcuda/tiered.hpp"
 
+#include <chrono>
+
+#include "support/log.hpp"
+
 namespace kspec::vcuda {
 
+namespace {
+
+bool Ready(const ModuleFuture& f) {
+  return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+}  // namespace
+
+std::shared_ptr<Module> TieredLoader::ReModule() {
+  if (!re_module_) re_module_ = ctx_->LoadModule(source_, {});  // one RE build for all sets
+  return re_module_;
+}
+
 std::shared_ptr<Module> TieredLoader::Get(const kcc::CompileOptions& specialized_opts) {
-  std::string key = Key(specialized_opts);
-  int& heat = heat_[key];
-  ++heat;
-  if (heat < hot_threshold_) {
-    ++stats_.re_served;
-    if (!re_module_) {
-      re_module_ = ctx_->LoadModule(source_, {});  // one RE build for all sets
-    }
-    return re_module_;
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::string key = KeyFor(specialized_opts);
+  SetState& s = state_[key];
+  ++s.heat;
+
+  if (s.specialized) {
+    ++stats_.sk_served;
+    return s.specialized;
   }
-  if (heat == hot_threshold_) ++stats_.specializations;
-  ++stats_.sk_served;
-  // The context's cache makes repeated loads of the same specialization
-  // cheap; this call compiles only on the promotion request.
-  return ctx_->LoadModule(source_, specialized_opts);
+
+  // A background promotion is in flight: swap it in if it finished, keep
+  // serving the RE build if not.
+  if (s.pending.valid()) {
+    if (!Ready(s.pending)) {
+      ++stats_.re_served;
+      ++stats_.re_served_while_compiling;
+      return ReModule();
+    }
+    ModuleFuture done = std::move(s.pending);
+    s.pending = {};
+    --stats_.promotions_pending;
+    try {
+      if (std::shared_ptr<Module> mod = done.get()) {
+        s.specialized = std::move(mod);
+        ++stats_.specializations;
+        ++stats_.sk_served;
+        return s.specialized;
+      }
+      // Null module: the flight's deadline expired before a worker picked it
+      // up. Fall through — heat is already past the threshold, so the
+      // promotion is rescheduled below.
+    } catch (const std::exception& e) {
+      s.failed = true;
+      ++stats_.failed_promotions;
+      KSPEC_LOG_WARN << "tiered: background specialization failed (" << e.what()
+                     << ") — continuing to serve the RE build";
+    }
+  }
+
+  if (s.heat >= hot_threshold_ && !s.failed) {
+    if (AsyncCompileService* svc = ctx_->async_service()) {
+      // Non-blocking promotion: schedule the specialized build and answer
+      // this request with the RE build. (Workers never take mu_, so calling
+      // into the service under the lock cannot deadlock.)
+      CompileRequest req;
+      req.source = source_;
+      req.opts = specialized_opts;
+      if (promotion_deadline_.count() > 0) {
+        req.deadline = std::chrono::steady_clock::now() + promotion_deadline_;
+      }
+      SubmitResult r = svc->SubmitLoad(*ctx_, req);
+      if (r.ok()) {
+        s.pending = r.future;
+        ++stats_.background_compiles;
+        ++stats_.promotions_pending;
+        ++stats_.re_served_while_compiling;
+      }
+      // Rejected (service backpressure): serve RE now; the next Get retries.
+      ++stats_.re_served;
+      return ReModule();
+    }
+
+    // Blocking fallback (no service attached) — the original inline
+    // promotion. Compile outside the lock: LoadModule is thread-safe and
+    // other parameter sets should not stall behind this one's compile.
+    lock.unlock();
+    std::shared_ptr<Module> mod = ctx_->LoadModule(source_, specialized_opts);
+    lock.lock();
+    SetState& again = state_[key];
+    if (!again.specialized) {
+      again.specialized = std::move(mod);
+      ++stats_.specializations;
+    }
+    ++stats_.sk_served;
+    return again.specialized;
+  }
+
+  ++stats_.re_served;
+  return ReModule();
 }
 
 bool TieredLoader::IsSpecialized(const kcc::CompileOptions& specialized_opts) const {
-  auto it = heat_.find(Key(specialized_opts));
-  return it != heat_.end() && it->second >= hot_threshold_;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = state_.find(KeyFor(specialized_opts));
+  return it != state_.end() && it->second.specialized != nullptr;
+}
+
+TieredLoader::Stats TieredLoader::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace kspec::vcuda

@@ -9,14 +9,25 @@
 // specialized build is compiled and served from then on. The break-even
 // arithmetic is exactly Section 4.3's: compile overhead is amortized when
 //   launches * (re_time - sk_time) > compile_time.
+//
+// Promotion is *non-blocking* when the Context has an AsyncCompileService
+// attached (Context::set_async_service): the hot request schedules the
+// specialized build on the service and keeps being served the RE build while
+// it compiles in the background, then the specialized module is swapped in
+// atomically — the launch that triggers promotion never stalls for the
+// ~hundreds-of-ms compile. Without a service the loader falls back to the
+// original blocking promotion. All entry points are thread-safe.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "kcc/cache_key.hpp"
+#include "vcuda/async.hpp"
 #include "vcuda/vcuda.hpp"
 
 namespace kspec::vcuda {
@@ -29,33 +40,66 @@ class TieredLoader {
       : ctx_(ctx), source_(std::move(source)), hot_threshold_(hot_threshold) {}
 
   // Returns the module to use for this parameter set: the shared RE build
-  // while the set is cold, the specialized build once it is hot.
+  // while the set is cold (or while its specialized build is still compiling
+  // in the background), the specialized build once it is ready.
   std::shared_ptr<Module> Get(const kcc::CompileOptions& specialized_opts);
 
-  // True if the given parameter set is currently served specialized.
+  // True if the given parameter set is currently served specialized (i.e. its
+  // specialized build finished and was swapped in).
   bool IsSpecialized(const kcc::CompileOptions& specialized_opts) const;
+
+  // Bounds how long a scheduled promotion may sit in the service's queue; an
+  // expired promotion resolves to the RE build and is rescheduled by the next
+  // hot request. Zero (the default) = no deadline.
+  void set_promotion_deadline(std::chrono::milliseconds d) {
+    std::lock_guard<std::mutex> lock(mu_);
+    promotion_deadline_ = d;
+  }
 
   struct Stats {
     std::uint64_t re_served = 0;
     std::uint64_t sk_served = 0;
     std::uint64_t specializations = 0;  // parameter sets promoted
+    // Non-blocking promotion accounting:
+    std::uint64_t background_compiles = 0;        // promotions scheduled async
+    std::uint64_t promotions_pending = 0;         // gauge: scheduled, not yet swapped
+    std::uint64_t re_served_while_compiling = 0;  // hot Gets answered RE meanwhile
+    std::uint64_t failed_promotions = 0;          // background compiles that threw
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
+  // Per-parameter-set promotion state. `specialized` is written exactly once,
+  // under mu_ — readers either see the RE build or the complete specialized
+  // module, never a torn promotion.
+  struct SetState {
+    int heat = 0;
+    bool failed = false;                  // background compile threw; stay on RE
+    std::shared_ptr<Module> specialized;  // serve this once set
+    ModuleFuture pending;                 // valid while a background compile runs
+  };
+
   // Heat is tracked per full parameter set. The key must cover every
   // CompileOptions field, not just the defines: two option sets with equal
   // defines but different max_unroll/pass flags compile to different
   // binaries, so they must heat up — and report IsSpecialized — separately.
-  std::string Key(const kcc::CompileOptions& opts) const {
+  std::string KeyFor(const kcc::CompileOptions& opts) const {
     return kcc::ModuleCacheKey::Make(source_, opts, ctx_->device().name).CanonicalText();
   }
+
+  // Serves the shared RE build, compiling it on first use. Runs under mu_:
+  // the RE build compiles exactly once, and nothing can be served before it
+  // exists anyway.
+  std::shared_ptr<Module> ReModule();
 
   Context* ctx_;
   std::string source_;
   int hot_threshold_;
+
+  mutable std::mutex mu_;  // guards everything below
+  std::chrono::milliseconds promotion_deadline_{0};
   std::shared_ptr<Module> re_module_;
-  std::map<std::string, int> heat_;
+  std::map<std::string, SetState> state_;
   Stats stats_;
 };
 

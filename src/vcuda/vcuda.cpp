@@ -189,6 +189,30 @@ std::shared_ptr<Module> Context::LoadModule(const std::string& source,
   return std::make_shared<Module>(cache_.Put(hash, key, std::move(compiled)));
 }
 
+SubmitResult Context::LoadModuleAsync(const std::string& source,
+                                      const kcc::CompileOptions& opts,
+                                      std::chrono::milliseconds deadline) {
+  CompileRequest req;
+  req.source = source;
+  req.opts = opts;
+  if (deadline.count() > 0) req.deadline = std::chrono::steady_clock::now() + deadline;
+  if (AsyncCompileService* svc = async_service_.load()) {
+    return svc->SubmitLoad(*this, req);
+  }
+  // No service attached: compile inline, but still deliver the result (or the
+  // compile error) through the future so callers handle one channel.
+  std::promise<std::shared_ptr<Module>> promise;
+  SubmitResult result;
+  result.status = SubmitStatus::kInline;
+  result.future = promise.get_future().share();
+  try {
+    promise.set_value(LoadModule(source, opts));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+  return result;
+}
+
 vgpu::LaunchStats Context::Launch(const Module& module, const std::string& kernel,
                                   vgpu::Dim3 grid, vgpu::Dim3 block, const ArgPack& args,
                                   unsigned dynamic_smem_bytes) {

@@ -9,6 +9,8 @@
 // statistics.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -18,6 +20,7 @@
 
 #include "kcc/cache_key.hpp"
 #include "kcc/compiler.hpp"
+#include "vcuda/async.hpp"
 #include "vcuda/module_cache.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/interp.hpp"
@@ -116,6 +119,24 @@ class Context {
   std::shared_ptr<Module> LoadModule(const std::string& source,
                                      const kcc::CompileOptions& opts = {});
 
+  // Attaches (or detaches, with nullptr) the background compile service used
+  // by LoadModuleAsync and by TieredLoader's non-blocking promotion. The
+  // service is not owned and must outlive every Context it is attached to.
+  void set_async_service(AsyncCompileService* svc) { async_service_.store(svc); }
+  AsyncCompileService* async_service() const { return async_service_.load(); }
+
+  // Non-blocking load: schedules compilation through the attached service and
+  // returns a shared future immediately (status kScheduled, or kCoalesced if
+  // an equal request is already in flight), or kRejected when the service's
+  // bounded queue is full. Without a service the module is compiled inline
+  // and the returned future is already ready (status kInline). Compile
+  // failures surface through the future on every path. `deadline` (zero =
+  // none) bounds how long the request may wait for a worker; an expired
+  // flight resolves to a null module.
+  SubmitResult LoadModuleAsync(const std::string& source,
+                               const kcc::CompileOptions& opts = {},
+                               std::chrono::milliseconds deadline = {});
+
   // Enables the persistent cache tier: compiled specializations are written
   // to `dir` (created if absent) and later Contexts — including ones in other
   // processes — load them from disk instead of recompiling. Corrupt, stale,
@@ -155,6 +176,7 @@ class Context {
   ModuleCache cache_;
   CacheStats cache_stats_;
   std::string cache_dir_;
+  std::atomic<AsyncCompileService*> async_service_{nullptr};
   double total_sim_millis_ = 0;
 };
 

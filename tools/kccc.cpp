@@ -16,9 +16,11 @@
 #include "kcc/compiler.hpp"
 #include "kcc/preprocess.hpp"
 #include "kcc/serialize.hpp"
+#include "serve/compile_executor.hpp"
 #include "support/serialize.hpp"
 #include "support/status.hpp"
 #include "support/str.hpp"
+#include "vcuda/vcuda.hpp"
 #include "vgpu/device.hpp"
 
 namespace {
@@ -35,8 +37,70 @@ void Usage() {
       "  --cache-dir DIR   persistent specialization cache: reuse a previously\n"
       "                    compiled artifact for this exact (source, -D, options,\n"
       "                    device) key, and store fresh compiles there\n"
+      "  --jobs N          batch mode: compile through the async specialization\n"
+      "                    service with N worker threads (duplicate -D sets\n"
+      "                    coalesce into one compile)\n"
+      "  --batch FILE      one -D set per line (\"TILE_W=16 CT_SHIFT=1\"), layered\n"
+      "                    on the common -D flags; '#' starts a comment. Implies\n"
+      "                    batch mode. With --cache-dir this precompiles every\n"
+      "                    set's artifact for later processes.\n"
       "  --dump-miniptx    print each kernel's MiniPTX listing\n"
       "  --dump-preprocessed  print the post-preprocessor source and exit\n";
+}
+
+void AddDefine(kspec::kcc::CompileOptions& opts, const std::string& def) {
+  std::size_t eq = def.find('=');
+  if (eq == std::string::npos) {
+    opts.defines[def] = "1";
+  } else {
+    opts.defines[def.substr(0, eq)] = def.substr(eq + 1);
+  }
+}
+
+// Batch mode: precompile every -D set through the CompileExecutor, sharing
+// one Context (so its in-memory and disk cache tiers dedupe across sets).
+int RunBatch(const std::string& source, const std::vector<kspec::kcc::CompileOptions>& sets,
+             const kspec::vgpu::DeviceProfile& dev, const std::string& cache_dir, int jobs) {
+  using namespace kspec;
+  vcuda::Context ctx(dev);
+  if (!cache_dir.empty()) ctx.set_cache_dir(cache_dir);
+
+  serve::ExecutorOptions ex_opts;
+  ex_opts.workers = jobs;
+  ex_opts.max_queue = sets.size() + 16;
+  serve::CompileExecutor executor(ex_opts);
+  ctx.set_async_service(&executor);
+
+  std::vector<vcuda::SubmitResult> results;
+  results.reserve(sets.size());
+  for (const auto& set : sets) {
+    results.push_back(ctx.LoadModuleAsync(source, set));
+  }
+
+  int failures = 0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    std::string defines = kcc::DefinesToString(sets[i].defines);
+    if (defines.empty()) defines = "(no defines)";
+    if (!results[i].ok()) {
+      std::cout << Format("set %-3zu REJECTED  %s\n", i, defines.c_str());
+      ++failures;
+      continue;
+    }
+    try {
+      auto mod = results[i].future.get();
+      std::cout << Format("set %-3zu ok        %-48s kernels=%zu\n", i, defines.c_str(),
+                          mod->compiled().kernels.size());
+    } catch (const std::exception& e) {
+      std::cout << Format("set %-3zu FAILED    %s: %s\n", i, defines.c_str(), e.what());
+      ++failures;
+    }
+  }
+  executor.Drain();
+  std::cout << executor.stats().Render();
+  vcuda::CacheStats cs = ctx.cache_stats();
+  std::cout << Format("cache: %zu compiled, %zu warm hits, %zu disk hits\n", cs.misses, cs.hits,
+                      cs.disk_hits);
+  return failures ? 1 : 0;
 }
 
 }  // namespace
@@ -53,24 +117,21 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::string device = "VC1060";
   unsigned block = 128;
+  int jobs = 0;
+  std::string batch_path;
   bool dump_miniptx = false;
   bool dump_preprocessed = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "-D" && i + 1 < argc) {
-      std::string def = argv[++i];
-      std::size_t eq = def.find('=');
-      if (eq == std::string::npos) {
-        opts.defines[def] = "1";
-      } else {
-        opts.defines[def.substr(0, eq)] = def.substr(eq + 1);
-      }
+      AddDefine(opts, argv[++i]);
     } else if (arg.rfind("-D", 0) == 0 && arg.size() > 2) {
-      std::string def = arg.substr(2);
-      std::size_t eq = def.find('=');
-      if (eq == std::string::npos) opts.defines[def] = "1";
-      else opts.defines[def.substr(0, eq)] = def.substr(eq + 1);
+      AddDefine(opts, arg.substr(2));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::stoi(argv[++i]);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch_path = argv[++i];
     } else if (arg == "--device" && i + 1 < argc) {
       device = argv[++i];
     } else if (arg == "--block" && i + 1 < argc) {
@@ -117,6 +178,42 @@ int main(int argc, char** argv) {
       return 0;
     }
     vgpu::DeviceProfile dev = vgpu::ProfileByName(device);
+
+    if (jobs > 0 || !batch_path.empty()) {
+      if (jobs <= 0) jobs = 2;
+      std::vector<kcc::CompileOptions> sets;
+      if (batch_path.empty()) {
+        sets.push_back(opts);
+      } else {
+        std::ifstream bf(batch_path);
+        if (!bf) {
+          std::cerr << "kccc: cannot open batch file " << batch_path << "\n";
+          return 1;
+        }
+        std::string line;
+        while (std::getline(bf, line)) {
+          if (std::size_t hash = line.find('#'); hash != std::string::npos) {
+            line.erase(hash);
+          }
+          kcc::CompileOptions set = opts;
+          std::istringstream tokens(line);
+          std::string tok;
+          bool any = false;
+          while (tokens >> tok) {
+            AddDefine(set, tok);
+            any = true;
+          }
+          if (any) sets.push_back(std::move(set));
+        }
+        if (sets.empty()) {
+          std::cerr << "kccc: batch file " << batch_path << " contains no -D sets\n";
+          return 1;
+        }
+      }
+      std::cout << "kccc: " << path << " — batch of " << sets.size() << " set(s), " << jobs
+                << " worker(s)" << (cache_dir.empty() ? "" : ", cache-dir " + cache_dir) << "\n";
+      return RunBatch(source, sets, dev, cache_dir, jobs);
+    }
 
     kcc::CompiledModule mod;
     bool disk_hit = false;
