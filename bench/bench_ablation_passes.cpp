@@ -7,6 +7,8 @@
 #include "apps/backproj/gpu.hpp"
 #include "apps/piv/gpu.hpp"
 #include "bench_common.hpp"
+#include "launch/spec_builder.hpp"
+#include "vcuda/device_buffer.hpp"
 #include "support/math.hpp"
 #include "kcc/compiler.hpp"
 #include "apps/piv/kernels.hpp"
@@ -53,25 +55,23 @@ int main() {
 
   for (const auto& ab : kAblations) {
     // ---- PIV basic kernel, specialized ----
-    kcc::CompileOptions piv_opts;
-    piv_opts.defines = {{"CT_MASK", "1"},
-                        {"K_MASK_W", std::to_string(piv_p.mask_w)},
-                        {"K_MASK_AREA", std::to_string(piv_p.mask_area())},
-                        {"CT_SEARCH", "1"},
-                        {"K_SEARCH_W", std::to_string(piv_p.search_w())},
-                        {"K_N_OFFSETS", std::to_string(piv_p.n_offsets())},
-                        {"CT_THREADS", "1"},
-                        {"K_THREADS", "64"}};
-    piv_opts.enable_unroll = ab.unroll;
-    piv_opts.enable_strength_reduction = ab.sr;
-    piv_opts.enable_cse = ab.cse;
-    auto piv_mod = ctx.LoadModule(PivSrc(), piv_opts);
-    auto d_a = vcuda::Upload<float>(ctx, std::span<const float>(piv_p.frame_a));
-    auto d_b = vcuda::Upload<float>(ctx, std::span<const float>(piv_p.frame_b));
-    auto d_best = ctx.Malloc(piv_p.n_masks() * 4);
-    auto d_score = ctx.Malloc(piv_p.n_masks() * 4);
+    kcc::CompileOptions pass_opts;
+    pass_opts.enable_unroll = ab.unroll;
+    pass_opts.enable_strength_reduction = ab.sr;
+    pass_opts.enable_cse = ab.cse;
+    launch::SpecBuilder piv_spec(true, &apps::piv::PivParams());
+    piv_spec.Flag("CT_MASK").Value("K_MASK_W", piv_p.mask_w)
+        .Value("K_MASK_AREA", piv_p.mask_area())
+        .Flag("CT_SEARCH").Value("K_SEARCH_W", piv_p.search_w())
+        .Value("K_N_OFFSETS", piv_p.n_offsets())
+        .Flag("CT_THREADS").Value("K_THREADS", 64);
+    auto piv_mod = ctx.LoadModule(PivSrc(), piv_spec.Build(pass_opts));
+    auto d_a = vcuda::UploadBuffer<float>(ctx, std::span<const float>(piv_p.frame_a));
+    auto d_b = vcuda::UploadBuffer<float>(ctx, std::span<const float>(piv_p.frame_b));
+    vcuda::TypedBuffer<int> d_best(ctx, piv_p.n_masks());
+    vcuda::TypedBuffer<float> d_score(ctx, piv_p.n_masks());
     vcuda::ArgPack piv_args;
-    piv_args.Ptr(d_a).Ptr(d_b).Ptr(d_best).Ptr(d_score)
+    piv_args.Ptr(d_a.get()).Ptr(d_b.get()).Ptr(d_best.get()).Ptr(d_score.get())
         .Int(piv_p.img_w).Int(piv_p.mask_w).Int(piv_p.mask_area())
         .Int(piv_p.stride_x).Int(piv_p.stride_y).Int(piv_p.masks_x())
         .Int(piv_p.search_w()).Int(piv_p.n_offsets())
@@ -83,18 +83,12 @@ int main() {
     const auto& piv_k = piv_mod->GetKernel("pivBasic");
 
     // ---- backprojection kernel, specialized ----
-    kcc::CompileOptions bp_opts;
-    bp_opts.defines = {{"CT_ANGLES", "1"},
-                       {"K_N_ANGLES", std::to_string(bp_p.geo.n_angles)},
-                       {"CT_ZPT", "1"},
-                       {"K_ZPT", "4"},
-                       {"CT_VOL", "1"},
-                       {"K_VOL_Z", std::to_string(bp_p.geo.vol_z)},
-                       {"CT_THREADS", "1"},
-                       {"K_THREADS", "64"}};
-    bp_opts.enable_unroll = ab.unroll;
-    bp_opts.enable_strength_reduction = ab.sr;
-    bp_opts.enable_cse = ab.cse;
+    launch::SpecBuilder bp_spec(true, &apps::backproj::BackprojParams());
+    bp_spec.Flag("CT_ANGLES").Value("K_N_ANGLES", bp_p.geo.n_angles)
+        .Flag("CT_ZPT").Value("K_ZPT", 4)
+        .Flag("CT_VOL").Value("K_VOL_Z", bp_p.geo.vol_z)
+        .Flag("CT_THREADS").Value("K_THREADS", 64);
+    kcc::CompileOptions bp_opts = bp_spec.Build(pass_opts);
 
     double bp_ms = -1;
     int bp_instrs = -1, bp_regs = -1;
@@ -104,11 +98,11 @@ int main() {
       apps::backproj::AngleTables(bp_p.geo, &cos_tab, &sin_tab);
       bp_mod->SetConstant("cosTab", cos_tab.data(), cos_tab.size() * 4);
       bp_mod->SetConstant("sinTab", sin_tab.data(), sin_tab.size() * 4);
-      auto d_proj = vcuda::Upload<float>(ctx, std::span<const float>(bp_p.projections));
-      auto d_vol = ctx.Malloc(bp_p.voxel_count() * 4);
+      auto d_proj = vcuda::UploadBuffer<float>(ctx, std::span<const float>(bp_p.projections));
+      vcuda::TypedBuffer<float> d_vol(ctx, bp_p.voxel_count());
       const auto& g = bp_p.geo;
       vcuda::ArgPack bp_args;
-      bp_args.Ptr(d_proj).Ptr(d_vol)
+      bp_args.Ptr(d_proj.get()).Ptr(d_vol.get())
           .Int(g.vol_n).Int(g.vol_z).Int(g.det_u).Int(g.det_v).Int(g.n_angles)
           .Float(g.du).Float(g.dv).Float(g.cu()).Float(g.cv())
           .Float(g.sad).Float(g.vox_size);
@@ -120,8 +114,6 @@ int main() {
       const auto& bp_k = bp_mod->GetKernel("backproject");
       bp_instrs = bp_k.stats.static_instrs;
       bp_regs = bp_k.stats.reg_count;
-      ctx.Free(d_proj);
-      ctx.Free(d_vol);
     } catch (const Error&) {
       // zpt=4 without unrolling cannot scalarize the register array — a real
       // dependency between the passes worth surfacing in the table.
@@ -135,11 +127,6 @@ int main() {
     } else {
       row << "needs unroll" << "-" << "-";
     }
-
-    ctx.Free(d_a);
-    ctx.Free(d_b);
-    ctx.Free(d_best);
-    ctx.Free(d_score);
   }
   table.WriteAscii(std::cout);
   std::cout << "\nShape check: unrolling is the dominant single contribution; strength\n"

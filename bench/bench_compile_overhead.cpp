@@ -12,6 +12,7 @@
 #include "apps/matching/kernels.hpp"
 #include "apps/piv/kernels.hpp"
 #include "kcc/compiler.hpp"
+#include "vcuda/device_buffer.hpp"
 #include "vcuda/vcuda.hpp"
 
 namespace {
@@ -115,10 +116,10 @@ __kernel void saxpy(float* x, float* y, float a, int n) {
 )";
   auto mod = ctx.LoadModule(src, {});
   const int n = 64 * 64;
-  auto dx = ctx.Malloc(n * 4), dy = ctx.Malloc(n * 4);
+  vcuda::DeviceBuffer dx(ctx, n * 4), dy(ctx, n * 4);
   for (auto _ : state) {
     vcuda::ArgPack args;
-    args.Ptr(dx).Ptr(dy).Float(2.0f).Int(n);
+    args.Ptr(dx.get()).Ptr(dy.get()).Float(2.0f).Int(n);
     auto stats = ctx.Launch(*mod, "saxpy", vgpu::Dim3(64), vgpu::Dim3(64), args);
     benchmark::DoNotOptimize(stats);
     state.counters["lane_ops"] = benchmark::Counter(

@@ -6,6 +6,7 @@
 
 #include "bench_common.hpp"
 #include "kcc/compiler.hpp"
+#include "vcuda/device_buffer.hpp"
 #include "vcuda/vcuda.hpp"
 
 namespace {
@@ -62,15 +63,15 @@ int main() {
     vcuda::Context ctx(profile);
     const unsigned n = threads * blocks;
     std::vector<float> in(n + loops * arg_a * arg_b + 1, 1.0f);
-    auto d_in = vcuda::Upload<float>(ctx, std::span<const float>(in));
-    auto d_out = ctx.Malloc(n * sizeof(float));
+    auto d_in = vcuda::UploadBuffer<float>(ctx, std::span<const float>(in));
+    vcuda::TypedBuffer<float> d_out(ctx, n);
 
     double re_ms = 0;
     for (bool specialized : {false, true}) {
       auto mod = ctx.LoadModule(kMathTest, specialized ? sk_opts : re_opts);
       const auto& kernel = mod->GetKernel("mathTest");
       vcuda::ArgPack args;
-      args.Ptr(d_in).Ptr(d_out).Int(arg_a).Int(arg_b).Int(loops);
+      args.Ptr(d_in.get()).Ptr(d_out.get()).Int(arg_a).Int(arg_b).Int(loops);
       auto stats = ctx.Launch(*mod, "mathTest", vgpu::Dim3(blocks), vgpu::Dim3(threads), args);
       if (!specialized) re_ms = stats.sim_millis;
       table.Row() << profile.name << (specialized ? "SK" : "RE") << kernel.stats.static_instrs
@@ -80,8 +81,6 @@ int main() {
         (specialized ? sk_listing : re_listing) = kernel.listing;
       }
     }
-    ctx.Free(d_in);
-    ctx.Free(d_out);
   }
   table.WriteAscii(std::cout);
 

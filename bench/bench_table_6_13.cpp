@@ -41,7 +41,7 @@ int main() {
                 ms[variant] = r.sim_millis;
                 tile_desc[variant] = Format("%dx%d", tile, tile);
                 threads_best[variant] = threads;
-                regs[variant] = r.stages[0].reg_count;  // numerator stage
+                regs[variant] = r.breakdown.stages[0].reg_count;  // numerator stage
               }
             } catch (const Error&) {
             }

@@ -3,13 +3,16 @@
 //   1. Write a Kernel-C kernel in terms of macros with run-time fallbacks
 //      (the dissertation's Appendix B pattern).
 //   2. Create a context for a simulated device.
-//   3. Load the module twice: once bare (run-time evaluated) and once with
-//      -D definitions for the current problem instance (specialized).
+//   3. Build the define set with launch::SpecBuilder and load the module
+//      twice: once in RE mode (empty define set, run-time evaluated) and
+//      once specialized for the current problem instance.
 //   4. Launch both, compare results, statistics, and the MiniPTX listings.
 //
 // Build: cmake --build build && ./build/examples/quickstart
 #include <iostream>
 
+#include "launch/spec_builder.hpp"
+#include "vcuda/device_buffer.hpp"
 #include "vcuda/vcuda.hpp"
 
 // A dot-product-with-stride kernel. TILE (the per-thread work count) controls
@@ -39,25 +42,30 @@ int main() {
   const int tile = 8, stride = 4;
   const unsigned threads = 128, blocks = 8, n = threads * blocks;
 
+  // RAII device buffers: freed when they go out of scope, leak-free even if
+  // something below throws.
   std::vector<float> input(n + tile * stride, 1.0f);
-  auto d_in = vcuda::Upload<float>(ctx, std::span<const float>(input));
-  auto d_out = ctx.Malloc(n * sizeof(float));
+  auto d_in = vcuda::UploadBuffer<float>(ctx, std::span<const float>(input));
+  vcuda::TypedBuffer<float> d_out(ctx, n);
 
   // --- run-time evaluated: one binary adapts to any tile/stride ---
-  auto re = ctx.LoadModule(kKernel);
+  // SpecBuilder in RE mode records the parameters but emits no defines.
+  launch::SpecBuilder re_spec(/*specialize=*/false);
+  re_spec.Value("TILE", tile);
+  auto re = ctx.LoadModule(kKernel, re_spec.Build());
 
   // --- specialized: recompiled for THIS tile value (cached thereafter) ---
-  kcc::CompileOptions opts;
-  opts.defines["TILE"] = std::to_string(tile);
-  auto sk = ctx.LoadModule(kKernel, opts);
+  launch::SpecBuilder sk_spec;
+  sk_spec.Value("TILE", tile);
+  auto sk = ctx.LoadModule(kKernel, sk_spec.Build());
 
   for (auto& [name, mod] : {std::pair{"RE", re}, std::pair{"SK", sk}}) {
     vcuda::ArgPack args;
-    args.Ptr(d_in).Ptr(d_out).Int(tile).Int(stride);
+    args.Ptr(d_in.get()).Ptr(d_out.get()).Int(tile).Int(stride);
     vgpu::LaunchStats stats =
         ctx.Launch(*mod, "strideSum", vgpu::Dim3(blocks), vgpu::Dim3(threads), args);
 
-    auto result = vcuda::Download<float>(ctx, d_out, n);
+    auto result = d_out.Download();
     const auto& k = mod->GetKernel("strideSum");
     std::cout << name << ": result[0]=" << result[0]
               << "  static instrs=" << k.stats.static_instrs

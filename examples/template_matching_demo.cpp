@@ -34,7 +34,7 @@ int main() {
               << "  simulated=" << r.sim_millis << " ms (+ " << r.transfer_millis
               << " ms transfers)\n";
     Table stages({"stage", "sim ms", "regs", "occupancy"});
-    for (const auto& s : r.stages) {
+    for (const auto& s : r.breakdown.stages) {
       stages.Row() << s.name << s.sim_millis << s.reg_count << s.launch.occupancy.occupancy;
     }
     stages.WriteAscii(std::cout);

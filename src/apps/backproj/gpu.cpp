@@ -9,7 +9,23 @@ namespace kspec::apps::backproj {
 using vcuda::ArgPack;
 using vgpu::Dim3;
 
-BackprojGpuResult GpuBackproject(vcuda::Context& ctx, const Problem& p,
+const launch::ParamTable& BackprojParams() {
+  static const launch::ParamTable table = [] {
+    launch::ParamTable t("backproj");
+    t.Flag("CT_ANGLES", "projection angle count fixed at compile time");
+    t.Value("K_N_ANGLES", "number of projection angles");
+    t.Flag("CT_ZPT", "z register blocking depth fixed at compile time");
+    t.Value("K_ZPT", "voxels per thread along z");
+    t.Flag("CT_VOL", "volume depth fixed at compile time");
+    t.Value("K_VOL_Z", "volume depth in voxels");
+    t.Flag("CT_THREADS", "block size fixed at compile time");
+    t.Value("K_THREADS", "threads per block");
+    return t;
+  }();
+  return table;
+}
+
+BackprojGpuResult GpuBackproject(launch::StageRunner& runner, const Problem& p,
                                  const BackprojConfig& cfg) {
   const Geometry& g = p.geo;
   KSPEC_CHECK_MSG(cfg.threads > 0 && cfg.threads <= 512, "bad thread count");
@@ -28,55 +44,58 @@ BackprojGpuResult GpuBackproject(vcuda::Context& ctx, const Problem& p,
     }
   }
 
-  kcc::CompileOptions opts;
-  if (cfg.specialize) {
-    opts.defines["CT_ANGLES"] = "1";
-    opts.defines["K_N_ANGLES"] = std::to_string(g.n_angles);
-    opts.defines["CT_ZPT"] = "1";
-    opts.defines["K_ZPT"] = std::to_string(cfg.zpt);
-    opts.defines["CT_VOL"] = "1";
-    opts.defines["K_VOL_Z"] = std::to_string(g.vol_z);
-    opts.defines["CT_THREADS"] = "1";
-    opts.defines["K_THREADS"] = std::to_string(cfg.threads);
-  }
-  auto mod = ctx.LoadModule(cfg.use_texture ? kBackprojTexSource : kBackprojSource, opts);
+  launch::SpecBuilder spec(cfg.specialize, &BackprojParams());
+  spec.Flag("CT_ANGLES").Value("K_N_ANGLES", g.n_angles)
+      .Flag("CT_ZPT").Value("K_ZPT", cfg.zpt)
+      .Flag("CT_VOL").Value("K_VOL_Z", g.vol_z)
+      .Flag("CT_THREADS").Value("K_THREADS", cfg.threads);
+  auto mod = runner.LoadStage("backproject",
+                              cfg.use_texture ? kBackprojTexSource : kBackprojSource, spec);
 
   std::vector<float> cos_tab, sin_tab;
   AngleTables(g, &cos_tab, &sin_tab);
   mod->SetConstant("cosTab", cos_tab.data(), cos_tab.size() * sizeof(float));
   mod->SetConstant("sinTab", sin_tab.data(), sin_tab.size() * sizeof(float));
+  runner.AccountHtoD((cos_tab.size() + sin_tab.size()) * sizeof(float));
 
-  auto d_proj = vcuda::Upload<float>(ctx, std::span<const float>(p.projections));
+  auto d_proj = runner.Upload<float>(std::span<const float>(p.projections));
   if (cfg.use_texture) {
     // All angles stack vertically: one detU x (nAngles * detV) texture.
-    mod->BindTexture("projTex", d_proj, g.det_u, g.n_angles * g.det_v);
+    mod->BindTexture("projTex", d_proj.get(), g.det_u, g.n_angles * g.det_v);
   }
-  auto d_vol = ctx.Malloc(p.voxel_count() * sizeof(float));
-  ctx.Memset(d_vol, 0, p.voxel_count() * sizeof(float));
+  auto d_vol = runner.Alloc<float>(p.voxel_count());
+  runner.ctx().Memset(d_vol.get(), 0, p.voxel_count() * sizeof(float));
 
   const unsigned nxy = static_cast<unsigned>(g.vol_n * g.vol_n);
   const unsigned blocks = static_cast<unsigned>(CeilDiv<unsigned>(nxy, cfg.threads));
 
   ArgPack args;
-  if (!cfg.use_texture) args.Ptr(d_proj);
-  args.Ptr(d_vol)
+  if (!cfg.use_texture) args.Ptr(d_proj.get());
+  args.Ptr(d_vol.get())
       .Int(g.vol_n).Int(g.vol_z).Int(g.det_u).Int(g.det_v).Int(g.n_angles)
       .Float(g.du).Float(g.dv).Float(g.cu()).Float(g.cv())
       .Float(g.sad).Float(g.vox_size);
 
   const char* kernel_name = cfg.use_texture ? "backprojectTex" : "backproject";
   BackprojGpuResult out;
-  out.stats = ctx.Launch(*mod, kernel_name, Dim3(blocks),
-                         Dim3(static_cast<unsigned>(cfg.threads)), args);
-  out.sim_millis = out.stats.sim_millis;
+  out.stats = runner.Launch("backproject", *mod, kernel_name, Dim3(blocks),
+                            Dim3(static_cast<unsigned>(cfg.threads)), args);
   const vgpu::CompiledKernel& k = mod->GetKernel(kernel_name);
   out.reg_count = k.stats.reg_count;
   out.kernel_listing = k.listing;
-  out.volume = vcuda::Download<float>(ctx, d_vol, p.voxel_count());
+  out.volume = runner.Download(d_vol);
 
-  ctx.Free(d_proj);
-  ctx.Free(d_vol);
+  out.breakdown = runner.TakeBreakdown();
+  out.sim_millis = out.breakdown.sim_millis;
+  out.compile_millis = out.breakdown.compile_millis;
+  out.transfer_millis = out.breakdown.transfer_millis;
   return out;
+}
+
+BackprojGpuResult GpuBackproject(vcuda::Context& ctx, const Problem& p,
+                                 const BackprojConfig& cfg) {
+  launch::StageRunner runner(ctx);
+  return GpuBackproject(runner, p, cfg);
 }
 
 }  // namespace kspec::apps::backproj

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "apps/backproj/problem.hpp"
+#include "launch/spec_builder.hpp"
+#include "launch/stage_runner.hpp"
 #include "vcuda/vcuda.hpp"
 #include "vgpu/launch.hpp"
 
@@ -24,10 +26,21 @@ struct BackprojGpuResult {
   std::vector<float> volume;  // vol_z * vol_n * vol_n
   vgpu::LaunchStats stats;
   int reg_count = 0;
-  double sim_millis = 0;
+  double sim_millis = 0;       // == breakdown.sim_millis
+  double compile_millis = 0;   // == breakdown.compile_millis
+  double transfer_millis = 0;  // == breakdown.transfer_millis
   std::string kernel_listing;
+  launch::LaunchBreakdown breakdown;
 };
 
+// The backprojector's declared specialization parameters (Table 4.1 analogue).
+const launch::ParamTable& BackprojParams();
+
+// The StageRunner overload lets callers share a runner (and its tiered
+// promotion state) across calls; the Context overload uses a private inline
+// runner, the exact pre-refactor behavior.
+BackprojGpuResult GpuBackproject(launch::StageRunner& runner, const Problem& p,
+                                 const BackprojConfig& cfg);
 BackprojGpuResult GpuBackproject(vcuda::Context& ctx, const Problem& p,
                                  const BackprojConfig& cfg);
 

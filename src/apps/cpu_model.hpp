@@ -12,11 +12,18 @@
 // This is deliberately simple and stated openly; EXPERIMENTS.md treats it as
 // the "paper-era CPU" column while wall time remains the ground truth for
 // what actually ran here.
+// Its transfer-side companion — the analytic host<->device copy model every
+// app and gpupf charge uniformly — is launch::TransferModel, re-exported here
+// so table harnesses get both models from one include.
 #pragma once
 
 #include <cstdint>
 
+#include "launch/transfer_model.hpp"
+
 namespace kspec::apps {
+
+using launch::TransferModel;
 
 struct CpuModel {
   int cores = 4;

@@ -7,7 +7,6 @@
 #include "apps/matching/kernels.hpp"
 #include "support/math.hpp"
 #include "support/status.hpp"
-#include "support/str.hpp"
 
 namespace kspec::apps::matching {
 
@@ -16,16 +15,46 @@ namespace {
 using vcuda::ArgPack;
 using vgpu::Dim3;
 
-struct TileRegion {
-  int th, tw;       // tile dimensions
-  int off_y, off_x; // region origin within the template
-  int tiles_y, tiles_x;
-  int tiles() const { return tiles_y * tiles_x; }
-};
+launch::SpecBuilder CommonSpec(const Problem& p, const MatcherConfig& cfg) {
+  launch::SpecBuilder spec(cfg.specialize, &MatcherParams());
+  spec.Flag("CT_SHIFT")
+      .Value("K_SHIFT_W", p.shift_w)
+      .Value("K_N_SHIFTS", p.n_shifts())
+      .Flag("CT_THREADS")
+      .Value("K_THREADS", cfg.threads);
+  return spec;
+}
+
+}  // namespace
+
+const launch::ParamTable& MatcherParams() {
+  static const launch::ParamTable table = [] {
+    launch::ParamTable t("matching");
+    t.Flag("CT_SHIFT", "shift-grid geometry fixed at compile time");
+    t.Value("K_SHIFT_W", "shift grid width");
+    t.Value("K_N_SHIFTS", "total shifts (also read by CT_SUM's kernel)");
+    t.Flag("CT_THREADS", "block size fixed at compile time");
+    t.Value("K_THREADS", "threads per block");
+    t.Flag("CT_TILE", "tile geometry fixed at compile time");
+    t.Value("K_TILE_H", "tile height for this region");
+    t.Value("K_TILE_W", "tile width for this region");
+    t.Flag("CT_SUM", "partial-sum count fixed at compile time");
+    t.Value("K_N_TILES", "total tiles across regions");
+    t.Flag("CT_TEMPLATE", "template geometry fixed at compile time");
+    t.Value("K_TPL_H", "template height");
+    t.Value("K_TPL_W", "template width");
+    return t;
+  }();
+  return table;
+}
 
 std::vector<TileRegion> MakeRegions(const Problem& p, const MatcherConfig& cfg) {
   const int mh = p.tpl_h / cfg.tile_h;
   const int mw = p.tpl_w / cfg.tile_w;
+  // The decomposition needs at least one full tile row or column; a template
+  // smaller than a single tile in both dimensions means the tiling (and the
+  // per-geometry specialization it drives) is degenerate — reject it.
+  KSPEC_CHECK_MSG(mh > 0 || mw > 0, "template smaller than a single tile row/column");
   const int rem_h = p.tpl_h % cfg.tile_h;
   const int rem_w = p.tpl_w % cfg.tile_w;
   std::vector<TileRegion> regions;
@@ -39,20 +68,7 @@ std::vector<TileRegion> MakeRegions(const Problem& p, const MatcherConfig& cfg) 
   return regions;
 }
 
-kcc::CompileOptions CommonDefines(const Problem& p, const MatcherConfig& cfg) {
-  kcc::CompileOptions opts;
-  if (!cfg.specialize) return opts;
-  opts.defines["CT_SHIFT"] = "1";
-  opts.defines["K_SHIFT_W"] = std::to_string(p.shift_w);
-  opts.defines["K_N_SHIFTS"] = std::to_string(p.n_shifts());
-  opts.defines["CT_THREADS"] = "1";
-  opts.defines["K_THREADS"] = std::to_string(cfg.threads);
-  return opts;
-}
-
-}  // namespace
-
-MatchResult GpuMatch(vcuda::Context& ctx, const Problem& p, const MatcherConfig& cfg) {
+MatchResult GpuMatch(launch::StageRunner& runner, const Problem& p, const MatcherConfig& cfg) {
   KSPEC_CHECK_MSG(IsPow2(static_cast<std::uint64_t>(cfg.threads)),
                   "thread count must be a power of two (in-block reduction)");
   KSPEC_CHECK_MSG(cfg.threads <= 512, "thread count above reduction scratch allocation");
@@ -73,122 +89,79 @@ MatchResult GpuMatch(vcuda::Context& ctx, const Problem& p, const MatcherConfig&
   const float tpl_denom = TemplateDenom(p);
   const float inv_n = 1.0f / static_cast<float>(p.tpl_h * p.tpl_w);
 
-  // ---- device buffers ----
-  auto d_roi = vcuda::Upload<float>(ctx, std::span<const float>(p.roi));
-  auto d_tplc = vcuda::Upload<float>(ctx, std::span<const float>(tplc));
+  // ---- device buffers (RAII: a throw below this point leaks nothing) ----
+  auto d_roi = runner.Upload<float>(std::span<const float>(p.roi));
+  auto d_tplc = runner.Upload<float>(std::span<const float>(tplc));
   std::vector<TileRegion> regions = MakeRegions(p, cfg);
   int total_tiles = 0;
   for (const auto& r : regions) total_tiles += r.tiles();
 
-  auto d_partials = ctx.Malloc(static_cast<std::uint64_t>(total_tiles) * n_shifts * sizeof(float));
-  auto d_numerators = ctx.Malloc(static_cast<std::uint64_t>(n_shifts) * sizeof(float));
-  auto d_sums = ctx.Malloc(static_cast<std::uint64_t>(n_shifts) * sizeof(float));
-  auto d_sumsqs = ctx.Malloc(static_cast<std::uint64_t>(n_shifts) * sizeof(float));
-  auto d_scores = ctx.Malloc(static_cast<std::uint64_t>(n_shifts) * sizeof(float));
-  auto d_block_best = ctx.Malloc(static_cast<std::uint64_t>(n_blocks_shift) * sizeof(float));
-  auto d_block_best_idx = ctx.Malloc(static_cast<std::uint64_t>(n_blocks_shift) * sizeof(int));
-
-  // Modeled upload cost (ROI + template).
-  out.transfer_millis +=
-      0.008 + static_cast<double>((p.roi.size() + tplc.size()) * sizeof(float)) / 6.0e6;
+  auto d_partials = runner.Alloc<float>(static_cast<std::size_t>(total_tiles) * n_shifts);
+  auto d_numerators = runner.Alloc<float>(n_shifts);
+  auto d_sums = runner.Alloc<float>(n_shifts);
+  auto d_sumsqs = runner.Alloc<float>(n_shifts);
+  auto d_scores = runner.Alloc<float>(n_shifts);
+  auto d_block_best = runner.Alloc<float>(n_blocks_shift);
+  auto d_block_best_idx = runner.Alloc<int>(n_blocks_shift);
 
   // ---- stage 1: numerator partials, one launch per tile region ----
-  StageStats numerator_stage;
-  numerator_stage.name = "numerator";
   int tile_base = 0;
   for (const auto& r : regions) {
-    kcc::CompileOptions opts = CommonDefines(p, cfg);
-    if (cfg.specialize) {
-      opts.defines["CT_TILE"] = "1";
-      opts.defines["K_TILE_H"] = std::to_string(r.th);
-      opts.defines["K_TILE_W"] = std::to_string(r.tw);
-    }
-    auto mod = ctx.LoadModule(kNumeratorSource, opts);
+    launch::SpecBuilder spec = CommonSpec(p, cfg);
+    spec.Flag("CT_TILE").Value("K_TILE_H", r.th).Value("K_TILE_W", r.tw);
     ArgPack args;
-    args.Ptr(d_roi).Ptr(d_tplc).Ptr(d_partials)
+    args.Ptr(d_roi.get()).Ptr(d_tplc.get()).Ptr(d_partials.get())
         .Int(p.roi_w()).Int(p.tpl_w)
         .Int(r.th).Int(r.tw)
         .Int(r.off_y).Int(r.off_x)
         .Int(r.tiles_x).Int(tile_base)
         .Int(p.shift_w).Int(n_shifts);
-    auto st = ctx.Launch(*mod, "numeratorTiles",
-                         Dim3(static_cast<unsigned>(r.tiles()),
-                              static_cast<unsigned>(n_blocks_shift)),
-                         Dim3(static_cast<unsigned>(cfg.threads)), args);
-    numerator_stage.launch = st;
-    numerator_stage.reg_count = mod->GetKernel("numeratorTiles").stats.reg_count;
-    numerator_stage.sim_millis += st.sim_millis;
+    runner.Run("numerator", kNumeratorSource, spec, "numeratorTiles",
+               Dim3(static_cast<unsigned>(r.tiles()), static_cast<unsigned>(n_blocks_shift)),
+               Dim3(static_cast<unsigned>(cfg.threads)), args);
     tile_base += r.tiles();
   }
-  out.stages.push_back(numerator_stage);
 
   // ---- stage 2: sum partials across tiles ----
   {
-    kcc::CompileOptions opts = CommonDefines(p, cfg);
-    if (cfg.specialize) {
-      opts.defines["CT_SUM"] = "1";
-      opts.defines["K_N_TILES"] = std::to_string(total_tiles);
-      // K_N_SHIFTS already present via CT_SHIFT? The summation kernel uses
-      // CT_SUM's K_N_SHIFTS; reuse the common value.
-    }
-    auto mod = ctx.LoadModule(kSummationSource, opts);
+    launch::SpecBuilder spec = CommonSpec(p, cfg);
+    spec.Flag("CT_SUM").Value("K_N_TILES", total_tiles).Reuse("K_N_SHIFTS");
     ArgPack args;
-    args.Ptr(d_partials).Ptr(d_numerators).Int(total_tiles).Int(n_shifts);
-    auto st = ctx.Launch(*mod, "sumPartials", Dim3(static_cast<unsigned>(n_blocks_shift)),
-                         Dim3(static_cast<unsigned>(cfg.threads)), args);
-    StageStats stage;
-    stage.name = "summation";
-    stage.launch = st;
-    stage.reg_count = mod->GetKernel("sumPartials").stats.reg_count;
-    stage.sim_millis = st.sim_millis;
-    out.stages.push_back(stage);
+    args.Ptr(d_partials.get()).Ptr(d_numerators.get()).Int(total_tiles).Int(n_shifts);
+    runner.Run("summation", kSummationSource, spec, "sumPartials",
+               Dim3(static_cast<unsigned>(n_blocks_shift)),
+               Dim3(static_cast<unsigned>(cfg.threads)), args);
   }
 
   // ---- stage 3: window statistics ----
   {
-    kcc::CompileOptions opts = CommonDefines(p, cfg);
-    if (cfg.specialize) {
-      opts.defines["CT_TEMPLATE"] = "1";
-      opts.defines["K_TPL_H"] = std::to_string(p.tpl_h);
-      opts.defines["K_TPL_W"] = std::to_string(p.tpl_w);
-    }
-    auto mod = ctx.LoadModule(kWindowStatsSource, opts);
+    launch::SpecBuilder spec = CommonSpec(p, cfg);
+    spec.Flag("CT_TEMPLATE").Value("K_TPL_H", p.tpl_h).Value("K_TPL_W", p.tpl_w);
     ArgPack args;
-    args.Ptr(d_roi).Ptr(d_sums).Ptr(d_sumsqs)
+    args.Ptr(d_roi.get()).Ptr(d_sums.get()).Ptr(d_sumsqs.get())
         .Int(p.roi_w()).Int(p.tpl_h).Int(p.tpl_w)
         .Int(p.shift_w).Int(n_shifts);
-    auto st = ctx.Launch(*mod, "windowStats", Dim3(static_cast<unsigned>(n_blocks_shift)),
-                         Dim3(static_cast<unsigned>(cfg.threads)), args);
-    StageStats stage;
-    stage.name = "windowStats";
-    stage.launch = st;
-    stage.reg_count = mod->GetKernel("windowStats").stats.reg_count;
-    stage.sim_millis = st.sim_millis;
-    out.stages.push_back(stage);
+    runner.Run("windowStats", kWindowStatsSource, spec, "windowStats",
+               Dim3(static_cast<unsigned>(n_blocks_shift)),
+               Dim3(static_cast<unsigned>(cfg.threads)), args);
   }
 
   // ---- stage 4: score + in-block peak reduction ----
   {
-    kcc::CompileOptions opts = CommonDefines(p, cfg);
-    auto mod = ctx.LoadModule(kScorePeakSource, opts);
+    launch::SpecBuilder spec = CommonSpec(p, cfg);
     ArgPack args;
-    args.Ptr(d_numerators).Ptr(d_sums).Ptr(d_sumsqs)
-        .Ptr(d_scores).Ptr(d_block_best).Ptr(d_block_best_idx)
+    args.Ptr(d_numerators.get()).Ptr(d_sums.get()).Ptr(d_sumsqs.get())
+        .Ptr(d_scores.get()).Ptr(d_block_best.get()).Ptr(d_block_best_idx.get())
         .Int(n_shifts).Float(tpl_denom).Float(inv_n);
-    auto st = ctx.Launch(*mod, "scorePeak", Dim3(static_cast<unsigned>(n_blocks_shift)),
-                         Dim3(static_cast<unsigned>(cfg.threads)), args);
-    StageStats stage;
-    stage.name = "scorePeak";
-    stage.launch = st;
-    stage.reg_count = mod->GetKernel("scorePeak").stats.reg_count;
-    stage.sim_millis = st.sim_millis;
-    out.stages.push_back(stage);
+    runner.Run("scorePeak", kScorePeakSource, spec, "scorePeak",
+               Dim3(static_cast<unsigned>(n_blocks_shift)),
+               Dim3(static_cast<unsigned>(cfg.threads)), args);
   }
 
   // ---- host-side final reduce over block results ----
-  out.scores = vcuda::Download<float>(ctx, d_scores, n_shifts);
-  auto best_vals = vcuda::Download<float>(ctx, d_block_best, n_blocks_shift);
-  auto best_idxs = vcuda::Download<int>(ctx, d_block_best_idx, n_blocks_shift);
+  out.scores = runner.Download(d_scores);
+  auto best_vals = runner.Download(d_block_best);
+  auto best_idxs = runner.Download(d_block_best_idx);
   out.best_idx = -1;
   out.best_score = -1e30f;
   for (int b = 0; b < n_blocks_shift; ++b) {
@@ -197,20 +170,16 @@ MatchResult GpuMatch(vcuda::Context& ctx, const Problem& p, const MatcherConfig&
       out.best_idx = best_idxs[b];
     }
   }
-  out.transfer_millis += 0.008 + static_cast<double>(n_shifts * sizeof(float)) / 6.0e6;
 
-  for (const auto& s : out.stages) out.sim_millis += s.sim_millis;
-
-  ctx.Free(d_roi);
-  ctx.Free(d_tplc);
-  ctx.Free(d_partials);
-  ctx.Free(d_numerators);
-  ctx.Free(d_sums);
-  ctx.Free(d_sumsqs);
-  ctx.Free(d_scores);
-  ctx.Free(d_block_best);
-  ctx.Free(d_block_best_idx);
+  out.breakdown = runner.TakeBreakdown();
+  out.sim_millis = out.breakdown.sim_millis;
+  out.transfer_millis = out.breakdown.transfer_millis;
   return out;
+}
+
+MatchResult GpuMatch(vcuda::Context& ctx, const Problem& p, const MatcherConfig& cfg) {
+  launch::StageRunner runner(ctx);
+  return GpuMatch(runner, p, cfg);
 }
 
 }  // namespace kspec::apps::matching

@@ -1,4 +1,5 @@
-// GPU template matcher (Section 5.1.3): four-stage pipeline over vcuda.
+// GPU template matcher (Section 5.1.3): four-stage pipeline over the shared
+// launch layer.
 //
 // Stage 1 computes tiled numerator partial sums, launched once per tile
 // region (main / right-edge / bottom-edge / corner, Figure 5.4) so that a
@@ -11,6 +12,8 @@
 #include <vector>
 
 #include "apps/matching/problem.hpp"
+#include "launch/spec_builder.hpp"
+#include "launch/stage_runner.hpp"
 #include "vcuda/vcuda.hpp"
 #include "vgpu/launch.hpp"
 
@@ -23,25 +26,37 @@ struct MatcherConfig {
   bool specialize = true;  // SK when true, fully run-time evaluated when false
 };
 
-struct StageStats {
-  std::string name;
-  vgpu::LaunchStats launch;   // last launch of the stage
-  int reg_count = 0;
-  double sim_millis = 0;      // accumulated over the stage's launches
-};
+// Per-stage statistics are the launch layer's unified record.
+using StageStats = launch::StageRecord;
 
 struct MatchResult {
   std::vector<float> scores;
   int best_idx = -1;
   float best_score = 0;
-  double sim_millis = 0;       // total simulated GPU time
-  double transfer_millis = 0;  // modeled host<->device transfer time
-  std::vector<StageStats> stages;
+  double sim_millis = 0;       // == breakdown.sim_millis
+  double transfer_millis = 0;  // == breakdown.transfer_millis
+  launch::LaunchBreakdown breakdown;  // compile/transfer/sim + per-stage records
 };
+
+// The matcher's declared specialization parameters (Table 4.1 analogue).
+const launch::ParamTable& MatcherParams();
+
+// The tiling decomposition stage 1 launches over. Exposed for testing.
+struct TileRegion {
+  int th, tw;        // tile dimensions
+  int off_y, off_x;  // region origin within the template
+  int tiles_y, tiles_x;
+  int tiles() const { return tiles_y * tiles_x; }
+};
+std::vector<TileRegion> MakeRegions(const Problem& p, const MatcherConfig& cfg);
 
 // Runs the full pipeline for one problem. Throws on invalid configurations
 // (e.g. RE tile larger than the fixed worst-case shared allocation — the
 // exact adaptability ceiling the paper's OpenCV example suffers from).
+// The StageRunner overload lets callers share a runner (and its tiered
+// promotion state) across calls; the Context overload uses a private inline
+// runner, the exact pre-refactor behavior.
+MatchResult GpuMatch(launch::StageRunner& runner, const Problem& p, const MatcherConfig& cfg);
 MatchResult GpuMatch(vcuda::Context& ctx, const Problem& p, const MatcherConfig& cfg);
 
 }  // namespace kspec::apps::matching

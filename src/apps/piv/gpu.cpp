@@ -5,7 +5,6 @@
 #include "apps/piv/kernels.hpp"
 #include "support/math.hpp"
 #include "support/status.hpp"
-#include "support/str.hpp"
 
 namespace kspec::apps::piv {
 
@@ -51,7 +50,25 @@ const char* VariantName(Variant v) {
   return "?";
 }
 
-PivGpuResult GpuPiv(vcuda::Context& ctx, const Problem& p, const PivConfig& cfg) {
+const launch::ParamTable& PivParams() {
+  static const launch::ParamTable table = [] {
+    launch::ParamTable t("piv");
+    t.Flag("CT_MASK", "mask geometry fixed at compile time");
+    t.Value("K_MASK_W", "interrogation mask width");
+    t.Value("K_MASK_AREA", "mask pixel count");
+    t.Flag("CT_SEARCH", "search geometry fixed at compile time");
+    t.Value("K_SEARCH_W", "search window width");
+    t.Value("K_N_OFFSETS", "candidate offsets per mask");
+    t.Flag("CT_THREADS", "block size fixed at compile time");
+    t.Value("K_THREADS", "threads per block");
+    t.Value("K_RB", "register blocking depth (kRegBlock only)");
+    t.Value("K_GUARD", "bounds guard needed when RB*THREADS != MASK_AREA");
+    return t;
+  }();
+  return table;
+}
+
+PivGpuResult GpuPiv(launch::StageRunner& runner, const Problem& p, const PivConfig& cfg) {
   KSPEC_CHECK_MSG(IsPow2(static_cast<std::uint64_t>(cfg.threads)) && cfg.threads >= 32 &&
                       cfg.threads <= 256,
                   "PIV thread count must be a power of two in [32, 256]");
@@ -69,35 +86,27 @@ PivGpuResult GpuPiv(vcuda::Context& ctx, const Problem& p, const PivConfig& cfg)
   KSPEC_CHECK_MSG(rb * cfg.threads >= p.mask_area(),
                   "register blocking depth too small to cover the mask");
 
-  kcc::CompileOptions opts;
-  if (cfg.specialize) {
-    opts.defines["CT_MASK"] = "1";
-    opts.defines["K_MASK_W"] = std::to_string(p.mask_w);
-    opts.defines["K_MASK_AREA"] = std::to_string(p.mask_area());
-    opts.defines["CT_SEARCH"] = "1";
-    opts.defines["K_SEARCH_W"] = std::to_string(p.search_w());
-    opts.defines["K_N_OFFSETS"] = std::to_string(p.n_offsets());
-    opts.defines["CT_THREADS"] = "1";
-    opts.defines["K_THREADS"] = std::to_string(cfg.threads);
-    if (cfg.variant == Variant::kRegBlock) {
-      opts.defines["K_RB"] = std::to_string(rb);
-      // The striped index k*NTHREADS+tid is provably in range only when the
-      // register file tiles the mask exactly.
-      opts.defines["K_GUARD"] = (rb * cfg.threads == p.mask_area()) ? "0" : "1";
-    }
+  launch::SpecBuilder spec(cfg.specialize, &PivParams());
+  spec.Flag("CT_MASK").Value("K_MASK_W", p.mask_w).Value("K_MASK_AREA", p.mask_area())
+      .Flag("CT_SEARCH").Value("K_SEARCH_W", p.search_w()).Value("K_N_OFFSETS", p.n_offsets())
+      .Flag("CT_THREADS").Value("K_THREADS", cfg.threads);
+  if (cfg.variant == Variant::kRegBlock) {
+    // The striped index k*NTHREADS+tid is provably in range only when the
+    // register file tiles the mask exactly.
+    spec.Value("K_RB", rb).Value("K_GUARD", rb * cfg.threads == p.mask_area() ? 0 : 1);
   }
 
-  auto mod = ctx.LoadModule(SourceFor(cfg.variant), opts);
+  auto mod = runner.LoadStage("piv", SourceFor(cfg.variant), spec);
   const vgpu::CompiledKernel& kernel = mod->GetKernel(KernelName(cfg.variant));
 
-  auto d_a = vcuda::Upload<float>(ctx, std::span<const float>(p.frame_a));
-  auto d_b = vcuda::Upload<float>(ctx, std::span<const float>(p.frame_b));
+  auto d_a = runner.Upload<float>(std::span<const float>(p.frame_a));
+  auto d_b = runner.Upload<float>(std::span<const float>(p.frame_b));
   const int n_masks = p.n_masks();
-  auto d_best = ctx.Malloc(static_cast<std::uint64_t>(n_masks) * sizeof(int));
-  auto d_score = ctx.Malloc(static_cast<std::uint64_t>(n_masks) * sizeof(float));
+  auto d_best = runner.Alloc<int>(n_masks);
+  auto d_score = runner.Alloc<float>(n_masks);
 
   ArgPack args;
-  args.Ptr(d_a).Ptr(d_b).Ptr(d_best).Ptr(d_score)
+  args.Ptr(d_a.get()).Ptr(d_b.get()).Ptr(d_best.get()).Ptr(d_score.get())
       .Int(p.img_w).Int(p.mask_w).Int(p.mask_area())
       .Int(p.stride_x).Int(p.stride_y).Int(p.masks_x())
       .Int(p.search_w()).Int(p.n_offsets())
@@ -112,22 +121,24 @@ PivGpuResult GpuPiv(vcuda::Context& ctx, const Problem& p, const PivConfig& cfg)
   }
 
   PivGpuResult out;
-  out.stats = ctx.Launch(*mod, KernelName(cfg.variant),
-                         Dim3(grid_x),
-                         Dim3(static_cast<unsigned>(cfg.threads)), args);
+  out.stats = runner.Launch("piv", *mod, KernelName(cfg.variant), Dim3(grid_x),
+                            Dim3(static_cast<unsigned>(cfg.threads)), args);
   out.reg_count = kernel.stats.reg_count;
-  out.compile_millis = mod->compiled().compile_millis;
   out.kernel_listing = kernel.listing;
 
-  out.field.best_offset = vcuda::Download<int>(ctx, d_best, n_masks);
-  out.field.best_score = vcuda::Download<float>(ctx, d_score, n_masks);
+  out.field.best_offset = runner.Download(d_best);
+  out.field.best_score = runner.Download(d_score);
   out.field.millis = out.stats.sim_millis;
 
-  ctx.Free(d_a);
-  ctx.Free(d_b);
-  ctx.Free(d_best);
-  ctx.Free(d_score);
+  out.breakdown = runner.TakeBreakdown();
+  out.compile_millis = out.breakdown.compile_millis;
+  out.transfer_millis = out.breakdown.transfer_millis;
   return out;
+}
+
+PivGpuResult GpuPiv(vcuda::Context& ctx, const Problem& p, const PivConfig& cfg) {
+  launch::StageRunner runner(ctx);
+  return GpuPiv(runner, p, cfg);
 }
 
 }  // namespace kspec::apps::piv

@@ -6,6 +6,8 @@
 
 #include "apps/piv/cpu_ref.hpp"
 #include "apps/piv/problem.hpp"
+#include "launch/spec_builder.hpp"
+#include "launch/stage_runner.hpp"
 #include "vcuda/vcuda.hpp"
 #include "vgpu/launch.hpp"
 
@@ -32,10 +34,19 @@ struct PivGpuResult {
   VectorField field;            // per-mask vectors; millis = simulated time
   vgpu::LaunchStats stats;      // the launch's statistics
   int reg_count = 0;            // kernel registers/thread
-  double compile_millis = 0;
+  double compile_millis = 0;    // == breakdown.compile_millis
+  double transfer_millis = 0;   // == breakdown.transfer_millis
   std::string kernel_listing;   // MiniPTX of the kernel that ran
+  launch::LaunchBreakdown breakdown;
 };
 
+// The PIV kernels' declared specialization parameters (Table 4.1 analogue).
+const launch::ParamTable& PivParams();
+
+// The StageRunner overload lets callers share a runner (and its tiered
+// promotion state) across calls; the Context overload uses a private inline
+// runner, the exact pre-refactor behavior.
+PivGpuResult GpuPiv(launch::StageRunner& runner, const Problem& p, const PivConfig& cfg);
 PivGpuResult GpuPiv(vcuda::Context& ctx, const Problem& p, const PivConfig& cfg);
 
 }  // namespace kspec::apps::piv

@@ -152,18 +152,28 @@ std::vector<float> CpuRowFilter(const Image& img, const FilterSpec& spec) {
   return out;
 }
 
-RowFilterResult GpuRowFilter(vcuda::Context& ctx, const Image& img, const FilterSpec& spec,
-                             const RowFilterConfig& cfg) {
+const launch::ParamTable& RowFilterParams() {
+  static const launch::ParamTable table = [] {
+    launch::ParamTable t("rowfilter");
+    t.Value("KSIZE", "filter tap count (loop bound; constant -> unrolled)");
+    t.Value("ANCHOR", "anchor folded into the index math");
+    t.Value("CT_BORDER", "border mode selected at compile time (0/1/2)");
+    t.Value("SRC_T", "source element type, substituted textually");
+    return t;
+  }();
+  return table;
+}
+
+RowFilterResult GpuRowFilter(launch::StageRunner& runner, const Image& img,
+                             const FilterSpec& spec, const RowFilterConfig& cfg) {
   KSPEC_CHECK_MSG(spec.ksize() <= 32,
                   "filter exceeds the 32-tap constant-memory ceiling (Section 2.6)");
 
-  kcc::CompileOptions opts;
-  if (cfg.specialize) {
-    opts.defines["KSIZE"] = std::to_string(spec.ksize());
-    opts.defines["ANCHOR"] = std::to_string(spec.anchor_or_default());
-    opts.defines["CT_BORDER"] = std::to_string(static_cast<int>(spec.border));
-    opts.defines["SRC_T"] = spec.elem == ElemType::kInt ? "int" : "float";
-  }
+  launch::SpecBuilder sb(cfg.specialize, &RowFilterParams());
+  sb.Value("KSIZE", spec.ksize())
+    .Value("ANCHOR", spec.anchor_or_default())
+    .Value("CT_BORDER", static_cast<int>(spec.border))
+    .Value("SRC_T", spec.elem == ElemType::kInt ? "int" : "float");
   // The RE build serves float input only (the OpenCV analogue would need a
   // pre-compiled variant per type; our RE fallback picks the default).
   if (!cfg.specialize && spec.elem != ElemType::kFloat) {
@@ -172,37 +182,47 @@ RowFilterResult GpuRowFilter(vcuda::Context& ctx, const Image& img, const Filter
         "specialize SRC_T for other types (the OpenCV binary pre-compiles 800 variants "
         "to cover this)");
   }
-  auto mod = ctx.LoadModule(kRowFilterSource, opts);
+  auto mod = runner.LoadStage("rowFilter", kRowFilterSource, sb);
   mod->SetConstant("filt", spec.taps.data(), spec.taps.size() * sizeof(float));
+  runner.AccountHtoD(spec.taps.size() * sizeof(float));
 
   const std::size_t n = img.data.size();
-  vcuda::DevPtr d_in;
+  vcuda::TypedBuffer<int> d_in_int;
+  vcuda::TypedBuffer<float> d_in_float;
+  vcuda::DevPtr d_in = 0;
   if (spec.elem == ElemType::kInt) {
     std::vector<int> as_int(n);
     for (std::size_t i = 0; i < n; ++i) as_int[i] = static_cast<int>(img.data[i]);
-    d_in = vcuda::Upload<int>(ctx, std::span<const int>(as_int));
+    d_in_int = runner.Upload<int>(std::span<const int>(as_int));
+    d_in = d_in_int.get();
   } else {
-    d_in = vcuda::Upload<float>(ctx, std::span<const float>(img.data));
+    d_in_float = runner.Upload<float>(std::span<const float>(img.data));
+    d_in = d_in_float.get();
   }
-  auto d_out = ctx.Malloc(n * sizeof(float));
+  auto d_out = runner.Alloc<float>(n);
 
   vcuda::ArgPack args;
-  args.Ptr(d_in).Ptr(d_out).Int(img.w).Int(img.h)
+  args.Ptr(d_in).Ptr(d_out.get()).Int(img.w).Int(img.h)
       .Int(spec.ksize()).Int(spec.anchor_or_default()).Int(static_cast<int>(spec.border));
 
   RowFilterResult result;
-  result.stats = ctx.Launch(
-      *mod, "rowFilter",
+  result.stats = runner.Launch(
+      "rowFilter", *mod, "rowFilter",
       vgpu::Dim3(static_cast<unsigned>(CeilDiv(img.w, cfg.threads)),
                  static_cast<unsigned>(img.h)),
       vgpu::Dim3(static_cast<unsigned>(cfg.threads)), args);
-  result.sim_millis = result.stats.sim_millis;
   result.reg_count = mod->GetKernel("rowFilter").stats.reg_count;
-  result.out = vcuda::Download<float>(ctx, d_out, n);
+  result.out = runner.Download(d_out);
 
-  ctx.Free(d_in);
-  ctx.Free(d_out);
+  result.breakdown = runner.TakeBreakdown();
+  result.sim_millis = result.breakdown.sim_millis;
   return result;
+}
+
+RowFilterResult GpuRowFilter(vcuda::Context& ctx, const Image& img, const FilterSpec& spec,
+                             const RowFilterConfig& cfg) {
+  launch::StageRunner runner(ctx);
+  return GpuRowFilter(runner, img, spec, cfg);
 }
 
 }  // namespace kspec::apps::rowfilter

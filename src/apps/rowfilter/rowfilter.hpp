@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "launch/spec_builder.hpp"
+#include "launch/stage_runner.hpp"
 #include "vcuda/vcuda.hpp"
 #include "vgpu/launch.hpp"
 
@@ -55,10 +57,19 @@ struct RowFilterResult {
   std::vector<float> out;
   vgpu::LaunchStats stats;
   int reg_count = 0;
-  double sim_millis = 0;
+  double sim_millis = 0;  // == breakdown.sim_millis
+  launch::LaunchBreakdown breakdown;
 };
 
-// Applies the filter along rows on the simulated GPU.
+// The row filter's declared specialization parameters (Table 4.1 analogue —
+// the axes OpenCV pre-compiles 800 variants over).
+const launch::ParamTable& RowFilterParams();
+
+// Applies the filter along rows on the simulated GPU. The StageRunner
+// overload lets callers share a runner (and its tiered promotion state);
+// the Context overload uses a private inline runner.
+RowFilterResult GpuRowFilter(launch::StageRunner& runner, const Image& img,
+                             const FilterSpec& spec, const RowFilterConfig& cfg);
 RowFilterResult GpuRowFilter(vcuda::Context& ctx, const Image& img, const FilterSpec& spec,
                              const RowFilterConfig& cfg);
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "launch/spec_builder.hpp"
+#include "launch/transfer_model.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
 
@@ -11,20 +13,23 @@ namespace kspec::gpupf {
 
 namespace {
 
-// Stringifies a parameter for use as a -D macro value.
-std::string DefineValue(const Param* p) {
+// Binds a parameter's current value onto the define set. Stringification is
+// the launch layer's: SpecBuilder is the single implementation of -D macro
+// formatting across gpupf and the app drivers.
+void BindParamDefine(launch::SpecBuilder& spec, const std::string& macro, const Param* p) {
   if (auto* i = dynamic_cast<const IntParam*>(p)) {
-    return Format("%lld", static_cast<long long>(i->value()));
+    spec.Value(macro, i->value());
+  } else if (auto* b = dynamic_cast<const BoolParam*>(p)) {
+    spec.Value(macro, b->value());
+  } else if (auto* f = dynamic_cast<const FloatParam*>(p)) {
+    spec.Value(macro, f->value());
+  } else if (auto* ptr = dynamic_cast<const PointerParam*>(p)) {
+    spec.Pointer(macro, ptr->value());
+  } else if (auto* s = dynamic_cast<const StepParam*>(p)) {
+    spec.Value(macro, s->value());
+  } else {
+    throw PipelineError("parameter '" + p->name() + "' cannot be bound to a #define");
   }
-  if (auto* b = dynamic_cast<const BoolParam*>(p)) return b->value() ? "1" : "0";
-  if (auto* f = dynamic_cast<const FloatParam*>(p)) return Format("%.9gf", f->value());
-  if (auto* ptr = dynamic_cast<const PointerParam*>(p)) {
-    return Format("0x%llx", static_cast<unsigned long long>(ptr->value()));
-  }
-  if (auto* s = dynamic_cast<const StepParam*>(p)) {
-    return Format("%lld", static_cast<long long>(s->value()));
-  }
-  throw PipelineError("parameter '" + p->name() + "' cannot be bound to a #define");
 }
 
 struct ResolvedEndpoint {
@@ -77,9 +82,11 @@ bool ModuleRes::Refresh(Pipeline& p) {
   for (const auto& [macro, param] : bindings_) deps.push_back(param);
   if (!DepsChanged(deps)) return swapped;
 
-  kcc::CompileOptions opts;
-  opts.defines = fixed_defines_;
-  for (const auto& [macro, param] : bindings_) opts.defines[macro] = DefineValue(param);
+  launch::SpecBuilder spec;  // gpupf modules always specialize; duplicate
+                             // fixed-define/binding macros are rejected
+  for (const auto& [macro, text] : fixed_defines_) spec.Value(macro, text);
+  for (const auto& [macro, param] : bindings_) BindParamDefine(spec, macro, param);
+  kcc::CompileOptions opts = spec.Build();
 
   if (async_refresh_ && module_ && p.ctx().async_service()) {
     vcuda::SubmitResult r = p.ctx().LoadModuleAsync(source_, opts);
@@ -160,9 +167,7 @@ void CopyAction::Execute(Pipeline& p, std::uint64_t iter) {
     auto& mem = p.ctx().memory();
     std::memmove(mem.Access(dst.mem->dev_ptr() + dst.offset, bytes),
                  mem.Access(src.mem->dev_ptr() + src.offset, bytes), bytes);
-    // Device-to-device moves at roughly device bandwidth (both a read and a
-    // write), modeled as 2x the PCIe-free cost.
-    timing_.sim_millis += static_cast<double>(bytes) / 40e6;
+    timing_.sim_millis += launch::TransferModel{}.DtoDMillis(bytes);
   } else if (sl == Loc::kHost && dl == Loc::kHost) {
     std::memmove(dst.mem->host().data() + dst.offset, src.mem->host().data() + src.offset, bytes);
   } else if (dl == Loc::kConstant) {
@@ -419,8 +424,8 @@ std::string Pipeline::TimingReport() const {
 }
 
 double Pipeline::HtoDMillis(std::uint64_t bytes) const {
-  // PCIe 2.0 x16-ish: ~6 GB/s plus ~8 microseconds of launch/setup latency.
-  return 0.008 + static_cast<double>(bytes) / 6.0e6;
+  // The shared analytic transfer model (launch/transfer_model.hpp).
+  return launch::TransferModel{}.HtoDMillis(bytes);
 }
 
 }  // namespace kspec::gpupf

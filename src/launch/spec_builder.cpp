@@ -1,0 +1,83 @@
+#include "launch/spec_builder.hpp"
+
+#include "support/str.hpp"
+
+namespace kspec::launch {
+
+ParamTable& ParamTable::Flag(std::string macro, std::string doc) {
+  entries_[std::move(macro)] = Entry{true, std::move(doc)};
+  return *this;
+}
+
+ParamTable& ParamTable::Value(std::string macro, std::string doc) {
+  entries_[std::move(macro)] = Entry{false, std::move(doc)};
+  return *this;
+}
+
+bool ParamTable::IsFlag(const std::string& macro) const {
+  auto it = entries_.find(macro);
+  KSPEC_CHECK_MSG(it != entries_.end(), "macro not in parameter table: " + macro);
+  return it->second.is_flag;
+}
+
+std::string ParamTable::Describe() const {
+  std::string out = app_.empty() ? "specialization parameters:\n"
+                                 : app_ + " specialization parameters:\n";
+  for (const auto& [macro, e] : entries_) {
+    out += Format("  %-14s %-5s %s\n", macro.c_str(), e.is_flag ? "flag" : "value",
+                  e.doc.c_str());
+  }
+  return out;
+}
+
+SpecBuilder& SpecBuilder::Flag(const std::string& macro) {
+  return Set(macro, "1", /*is_flag=*/true);
+}
+
+SpecBuilder& SpecBuilder::Reuse(const std::string& macro) {
+  if (table_ != nullptr && !table_->Knows(macro)) {
+    throw SpecError("Reuse of macro not in the " + table_->app() + " parameter table: " + macro);
+  }
+  if (seen_.count(macro) == 0) {
+    throw SpecError("Reuse(" + macro + ") but the macro was never defined on this builder");
+  }
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::Set(const std::string& macro, std::string value, bool is_flag) {
+  if (macro.empty()) throw SpecError("empty macro name");
+  if (table_ != nullptr) {
+    if (!table_->Knows(macro)) {
+      throw SpecError("macro not in the " + table_->app() + " parameter table: " + macro);
+    }
+    if (table_->IsFlag(macro) != is_flag) {
+      throw SpecError(macro + (is_flag ? " is a value parameter, use Value()"
+                                       : " is a capability flag, use Flag()"));
+    }
+  }
+  if (!seen_.insert(macro).second) {
+    throw SpecError("duplicate define: " + macro +
+                    " (use Reuse() to document an intentional cross-stage reuse)");
+  }
+  if (specialize_) defines_[macro] = std::move(value);
+  return *this;
+}
+
+kcc::CompileOptions SpecBuilder::Build(kcc::CompileOptions base) const {
+  base.defines = defines_;
+  return base;
+}
+
+std::string SpecBuilder::Stringify(long long v) { return Format("%lld", v); }
+
+std::string SpecBuilder::Stringify(unsigned long long v) { return Format("%llu", v); }
+
+std::string SpecBuilder::Stringify(double v) { return Format("%.9gf", v); }
+
+std::string SpecBuilder::StringifyBool(bool v) { return v ? "1" : "0"; }
+
+std::string SpecBuilder::StringifyPointer(std::uint64_t address) {
+  return Format("0x%llx", static_cast<unsigned long long>(address));
+}
+
+}  // namespace kspec::launch

@@ -1,0 +1,131 @@
+// SpecBuilder: the one place -D define sets are built and stringified.
+//
+// Every app driver used to hand-roll `opts.defines["..."] = std::to_string(...)`
+// and gpupf kept its own stringification rules; SpecBuilder replaces both with
+// a fluent builder:
+//
+//   launch::SpecBuilder spec(cfg.specialize, &MatcherParams());
+//   spec.Flag("CT_SHIFT").Value("K_SHIFT_W", p.shift_w)
+//       .Value("K_N_SHIFTS", p.n_shifts());
+//   auto mod = ctx.LoadModule(source, spec.Build());
+//
+// The builder validates against a per-app declared ParamTable (the Table 4.1
+// analogue: the specialization parameters an application exposes), rejects
+// duplicate defines, and — when constructed in run-time-evaluated mode —
+// records the set for validation but emits an *empty* define set, so the RE
+// build of the single adaptable source (Appendix B) falls out of the same
+// call sites. Stringification matches the GPU-PF rules exactly: integers via
+// %lld/%llu, booleans as 1/0, floats as %.9g with an 'f' suffix, pointers as
+// hex literals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <type_traits>
+
+#include "kcc/compiler.hpp"
+#include "support/status.hpp"
+
+namespace kspec::launch {
+
+// Misuse of the specialization-parameter API (duplicate define, undeclared
+// macro, kind mismatch against the ParamTable).
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error("spec error: " + what) {}
+};
+
+// An application's declared specialization parameters: which macros exist and
+// whether each is a flag (CT_*, present/absent) or carries a value (K_*).
+class ParamTable {
+ public:
+  explicit ParamTable(std::string app = {}) : app_(std::move(app)) {}
+
+  ParamTable& Flag(std::string macro, std::string doc = {});
+  ParamTable& Value(std::string macro, std::string doc = {});
+
+  bool Knows(const std::string& macro) const { return entries_.count(macro) != 0; }
+  bool IsFlag(const std::string& macro) const;
+  const std::string& app() const { return app_; }
+
+  // Human-readable parameter listing (macro, kind, doc) for docs and demos.
+  std::string Describe() const;
+
+ private:
+  struct Entry {
+    bool is_flag = false;
+    std::string doc;
+  };
+  std::string app_;
+  std::map<std::string, Entry> entries_;
+};
+
+class SpecBuilder {
+ public:
+  // `specialize` false = RE mode: calls are validated and recorded but Build()
+  // produces no defines. `table`, when given, validates every macro.
+  explicit SpecBuilder(bool specialize = true, const ParamTable* table = nullptr)
+      : specialize_(specialize), table_(table) {}
+
+  // Defines `macro` to 1 (a CT_* capability flag).
+  SpecBuilder& Flag(const std::string& macro);
+
+  // Defines `macro` to a stringified value (a K_* parameter).
+  template <typename T, typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  SpecBuilder& Value(const std::string& macro, T v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      return Set(macro, StringifyBool(v), /*is_flag=*/false);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return Set(macro, Stringify(static_cast<double>(v)), false);
+    } else if constexpr (std::is_signed_v<T>) {
+      return Set(macro, Stringify(static_cast<long long>(v)), false);
+    } else {
+      return Set(macro, Stringify(static_cast<unsigned long long>(v)), false);
+    }
+  }
+  // Verbatim textual value (e.g. SRC_T=float — the -D type substitution).
+  SpecBuilder& Value(const std::string& macro, const std::string& text) {
+    return Set(macro, text, /*is_flag=*/false);
+  }
+  SpecBuilder& Value(const std::string& macro, const char* text) {
+    return Set(macro, std::string(text), /*is_flag=*/false);
+  }
+
+  // Defines `macro` to a device address as a hex literal.
+  SpecBuilder& Pointer(const std::string& macro, std::uint64_t address) {
+    return Set(macro, StringifyPointer(address), /*is_flag=*/false);
+  }
+
+  // Documents that a later stage deliberately reads a macro an earlier call
+  // already defined (e.g. the summation kernel reusing CT_SHIFT's K_N_SHIFTS).
+  // Throws if the macro is NOT already defined — the reuse must be real.
+  SpecBuilder& Reuse(const std::string& macro);
+
+  bool specializing() const { return specialize_; }
+  const std::map<std::string, std::string>& defines() const { return defines_; }
+
+  // Compile options carrying the accumulated defines. Non-define fields come
+  // from `base` so callers can combine specialization with optimizer
+  // settings (ablations, unroll budgets).
+  kcc::CompileOptions Build(kcc::CompileOptions base = {}) const;
+
+  // The canonical stringifications (shared with gpupf — exactly one
+  // implementation of define formatting exists).
+  static std::string Stringify(long long v);
+  static std::string Stringify(unsigned long long v);
+  static std::string Stringify(double v);  // %.9g + 'f' suffix
+  static std::string StringifyBool(bool v);
+  static std::string StringifyPointer(std::uint64_t address);  // 0x%llx
+
+ private:
+  SpecBuilder& Set(const std::string& macro, std::string value, bool is_flag);
+
+  bool specialize_;
+  const ParamTable* table_;
+  std::set<std::string> seen_;  // duplicates rejected even in RE mode
+  std::map<std::string, std::string> defines_;
+};
+
+}  // namespace kspec::launch

@@ -1,0 +1,31 @@
+// The analytic host<->device transfer cost model, shared by every consumer.
+//
+// This is the companion of the kernel-side analytic model in
+// src/apps/cpu_model.hpp: benchmark tables that report "GPU time including
+// transfers" (Section 6.1) need one consistent model, not the three
+// different ad-hoc constants the app drivers used to inline. The numbers
+// model a PCIe 2.0 x16-generation part: ~6 GB/s effective host<->device
+// bandwidth plus ~8 microseconds of per-transfer launch/setup latency, and
+// device-to-device copies at roughly device bandwidth (a read and a write),
+// PCIe-free.
+#pragma once
+
+#include <cstdint>
+
+namespace kspec::launch {
+
+struct TransferModel {
+  double latency_millis = 0.008;           // fixed per-transfer setup cost
+  double host_bytes_per_milli = 6.0e6;     // host<->device (PCIe)
+  double device_bytes_per_milli = 40.0e6;  // device<->device
+
+  double HtoDMillis(std::uint64_t bytes) const {
+    return latency_millis + static_cast<double>(bytes) / host_bytes_per_milli;
+  }
+  double DtoHMillis(std::uint64_t bytes) const { return HtoDMillis(bytes); }
+  double DtoDMillis(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) / device_bytes_per_milli;
+  }
+};
+
+}  // namespace kspec::launch

@@ -1,0 +1,113 @@
+// RAII ownership for device allocations.
+//
+// Every raw Malloc/Free pair in a host driver is a leak on any throwing path
+// between the two calls (a mid-pipeline DeviceError used to strand every
+// buffer already uploaded). DeviceBuffer ties the allocation's lifetime to a
+// C++ scope: move-only, frees on destruction, and `release()` for the rare
+// hand-off. TypedBuffer<T> adds element counts and host<->device copies;
+// UploadBuffer is the one-line "allocate + copy host data" idiom.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace kspec::vcuda {
+
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  // Allocates `bytes` from the context's global memory (zero bytes = empty
+  // buffer, no allocation). Throws DeviceError when the heap is exhausted.
+  DeviceBuffer(Context& ctx, std::uint64_t bytes) : ctx_(&ctx), bytes_(bytes) {
+    if (bytes_ > 0) ptr_ = ctx_->Malloc(bytes_);
+  }
+  ~DeviceBuffer() { Reset(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ctx_ = std::exchange(other.ctx_, nullptr);
+      ptr_ = std::exchange(other.ptr_, 0);
+      bytes_ = std::exchange(other.bytes_, 0);
+    }
+    return *this;
+  }
+
+  DevPtr get() const { return ptr_; }
+  std::uint64_t bytes() const { return bytes_; }
+  explicit operator bool() const { return ptr_ != 0; }
+
+  // Relinquishes ownership: the caller becomes responsible for Free.
+  DevPtr release() {
+    ctx_ = nullptr;
+    bytes_ = 0;
+    return std::exchange(ptr_, 0);
+  }
+
+  // Frees the allocation now (also called by the destructor).
+  void Reset() {
+    if (ptr_ != 0 && ctx_ != nullptr) ctx_->Free(ptr_);
+    ctx_ = nullptr;
+    ptr_ = 0;
+    bytes_ = 0;
+  }
+
+ private:
+  Context* ctx_ = nullptr;
+  DevPtr ptr_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+// A DeviceBuffer that knows its element type and count.
+template <typename T>
+class TypedBuffer {
+ public:
+  TypedBuffer() = default;
+  TypedBuffer(Context& ctx, std::size_t count)
+      : buf_(ctx, count * sizeof(T)), ctx_(&ctx), count_(count) {}
+
+  DevPtr get() const { return buf_.get(); }
+  std::size_t count() const { return count_; }
+  std::uint64_t bytes() const { return buf_.bytes(); }
+  explicit operator bool() const { return static_cast<bool>(buf_); }
+
+  void Upload(std::span<const T> host) {
+    KSPEC_CHECK_MSG(host.size() == count_, "upload size mismatches buffer element count");
+    if (!host.empty()) ctx_->MemcpyHtoD(buf_.get(), host.data(), host.size_bytes());
+  }
+
+  std::vector<T> Download() const {
+    std::vector<T> out(count_);
+    if (count_ > 0) ctx_->MemcpyDtoH(out.data(), buf_.get(), count_ * sizeof(T));
+    return out;
+  }
+
+  void Reset() {
+    buf_.Reset();
+    ctx_ = nullptr;
+    count_ = 0;
+  }
+
+ private:
+  DeviceBuffer buf_;
+  Context* ctx_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+// Allocates a device buffer sized for `host` and copies the data in.
+template <typename T>
+TypedBuffer<T> UploadBuffer(Context& ctx, std::span<const T> host) {
+  TypedBuffer<T> buf(ctx, host.size());
+  buf.Upload(host);
+  return buf;
+}
+
+}  // namespace kspec::vcuda

@@ -28,6 +28,9 @@ class GlobalMemory {
   void Free(DevPtr ptr);
 
   std::uint64_t bytes_in_use() const { return in_use_; }
+  // Number of live (not yet freed) allocations — the leak-regression hook:
+  // a well-behaved driver leaves this at zero, including on throwing paths.
+  std::size_t allocation_count() const { return live_.size(); }
   std::uint64_t capacity() const { return capacity_; }
 
   // Host <-> device transfers.

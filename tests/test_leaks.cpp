@@ -1,0 +1,123 @@
+// Device-memory leak regression (the RAII guarantee of the launch layer).
+//
+// Before the DeviceBuffer refactor every app driver paired raw Malloc/Free
+// calls, so any throw between them stranded the buffers already uploaded —
+// GpuMatch could leak nine allocations from a single bad configuration. These
+// tests pin the fix: after an app call returns OR throws, the context's
+// GlobalMemory must report zero outstanding allocations and zero bytes in
+// use. The throwing paths are driven two ways: a configuration check that
+// fires mid-pipeline (after uploads), and a heap-size sweep that makes an
+// allocation fail at a different depth of each driver.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/backproj/gpu.hpp"
+#include "apps/backproj/problem.hpp"
+#include "apps/matching/gpu.hpp"
+#include "apps/matching/problem.hpp"
+#include "apps/piv/gpu.hpp"
+#include "apps/piv/problem.hpp"
+#include "apps/rowfilter/rowfilter.hpp"
+#include "support/status.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace kspec {
+namespace {
+
+void ExpectNoLiveAllocations(vcuda::Context& ctx) {
+  EXPECT_EQ(ctx.memory().allocation_count(), 0u);
+  EXPECT_EQ(ctx.memory().bytes_in_use(), 0u);
+}
+
+TEST(LeakRegression, MatchingThrowAfterUploadsLeaksNothing) {
+  // A 6x6 template with 8x8 tiles fails the tiling check — which fires AFTER
+  // the ROI and centered template are already on the device. Pre-refactor
+  // this stranded both uploads.
+  apps::matching::Problem p = apps::matching::Generate("tiny", 6, 6, 2, 2, 3);
+  vcuda::Context ctx(vgpu::TeslaC2070());
+  apps::matching::MatcherConfig cfg;
+  cfg.tile_h = 8;
+  cfg.tile_w = 8;
+  EXPECT_THROW(apps::matching::GpuMatch(ctx, p, cfg), Error);
+  ExpectNoLiveAllocations(ctx);
+}
+
+TEST(LeakRegression, MatchingOversizedReTileLeaksNothing) {
+  // The adaptability ceiling from matching/gpu.cpp: an RE tile above the
+  // fixed shared allocation throws DeviceError.
+  apps::matching::Problem p = apps::matching::Generate("big", 40, 40, 4, 4, 3);
+  vcuda::Context ctx(vgpu::TeslaC2070());
+  apps::matching::MatcherConfig cfg;
+  cfg.tile_h = 40;
+  cfg.tile_w = 40;
+  cfg.threads = 32;
+  cfg.specialize = false;
+  EXPECT_THROW(apps::matching::GpuMatch(ctx, p, cfg), DeviceError);
+  ExpectNoLiveAllocations(ctx);
+}
+
+// Runs `call` against contexts whose heaps shrink from roomy to hopeless, so
+// the out-of-memory DeviceError fires at a different allocation in each run.
+// Every outcome — success or throw — must leave the heap empty.
+template <typename Fn>
+void SweepHeapSizes(Fn call) {
+  int threw = 0, succeeded = 0;
+  for (std::uint64_t heap : {std::uint64_t{1} << 24, std::uint64_t{1} << 16,
+                             std::uint64_t{1} << 13, std::uint64_t{1} << 10,
+                             std::uint64_t{256}}) {
+    vcuda::Context ctx(vgpu::TeslaC2070(), heap);
+    try {
+      call(ctx);
+      ++succeeded;
+    } catch (const Error&) {
+      ++threw;
+    }
+    ExpectNoLiveAllocations(ctx);
+  }
+  // The sweep must actually exercise both paths: the largest heap fits the
+  // whole problem, the smallest cannot fit the first upload.
+  EXPECT_GE(succeeded, 1);
+  EXPECT_GE(threw, 1);
+}
+
+TEST(LeakRegression, MatchingHeapExhaustionSweep) {
+  apps::matching::Problem p = apps::matching::Generate("sweep", 12, 10, 6, 8, 77);
+  SweepHeapSizes([&](vcuda::Context& ctx) {
+    apps::matching::MatcherConfig cfg;
+    cfg.tile_h = 4;
+    cfg.tile_w = 4;
+    apps::matching::GpuMatch(ctx, p, cfg);
+  });
+}
+
+TEST(LeakRegression, PivHeapExhaustionSweep) {
+  apps::piv::Problem p = apps::piv::Generate("sweep", 32, 8, 2, 4, 7);
+  SweepHeapSizes([&](vcuda::Context& ctx) {
+    apps::piv::PivConfig cfg;
+    cfg.threads = 32;
+    apps::piv::GpuPiv(ctx, p, cfg);
+  });
+}
+
+TEST(LeakRegression, BackprojHeapExhaustionSweep) {
+  apps::backproj::Geometry geo;  // default 24^2 x 16 volume, 48x32x16 detector
+  apps::backproj::Problem p = apps::backproj::Generate("sweep", geo, 2, 11);
+  SweepHeapSizes([&](vcuda::Context& ctx) {
+    apps::backproj::BackprojConfig cfg;
+    apps::backproj::GpuBackproject(ctx, p, cfg);
+  });
+}
+
+TEST(LeakRegression, RowFilterHeapExhaustionSweep) {
+  apps::rowfilter::Image img = apps::rowfilter::MakeTestImage(48, 24, 5);
+  apps::rowfilter::FilterSpec filter = apps::rowfilter::BoxFilter(5);
+  SweepHeapSizes([&](vcuda::Context& ctx) {
+    apps::rowfilter::RowFilterConfig cfg;
+    apps::rowfilter::GpuRowFilter(ctx, img, filter, cfg);
+  });
+}
+
+}  // namespace
+}  // namespace kspec

@@ -119,7 +119,7 @@ TEST(MatchingGpu, SpecializationImprovesSimTimeAndRegisters) {
 
   EXPECT_LT(sk.sim_millis, re.sim_millis);
   // The numerator stage is the register-pressure hot spot.
-  EXPECT_LT(sk.stages[0].reg_count, re.stages[0].reg_count);
+  EXPECT_LT(sk.breakdown.stages[0].reg_count, re.breakdown.stages[0].reg_count);
   ExpectScoresClose(sk.scores, re.scores, 1e-4f);
 }
 

@@ -61,7 +61,9 @@ INSTANTIATE_TEST_SUITE_P(Sweep, MatchingSkReEquivalence,
                                            MatchCase{4, 64, "VC2070"},
                                            MatchCase{8, 64, "VC1060"},
                                            MatchCase{8, 128, "VC2070"},
-                                           MatchCase{16, 256, "VC1060"}),
+                                           // 11 spans the full template width (14x11):
+                                           // exercises the remainder-row decomposition.
+                                           MatchCase{11, 256, "VC1060"}),
                          [](const auto& info) {
                            return Format("tile%d_t%d_%s", info.param.tile, info.param.threads,
                                          info.param.device);
