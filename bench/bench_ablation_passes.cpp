@@ -41,7 +41,8 @@ std::string PivSrc() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_ablation_passes", argc, argv);
   bench::Banner("Ablation", "contribution of each compile-time optimization (specialized builds)");
   bench::Note("Simulated time of the same specialized kernel with one pass family disabled;");
   bench::Note("'none' approximates compiling the specialized source without optimization.");

@@ -8,7 +8,8 @@
 #include "support/timer.hpp"
 #include "tune/tuner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_autotune", argc, argv);
   using namespace kspec;
   using namespace kspec::apps::piv;
   bench::Banner("Autotuning", "grid search vs coordinate descent for PIV (regblock)");

@@ -6,7 +6,10 @@
 // milliseconds (the vgpu cost model) and are deterministic across runs.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -15,10 +18,110 @@
 #include "apps/piv/gpu.hpp"
 #include "support/csv.hpp"
 #include "support/str.hpp"
+#include "support/timer.hpp"
 #include "vcuda/vcuda.hpp"
 #include "vgpu/device.hpp"
 
 namespace kspec::bench {
+
+// One measurement row of a bench session's machine-readable output.
+struct BenchRecord {
+  std::string name;
+  double wall_ms = 0;   // host wall-clock time
+  double sim_ms = 0;    // simulated-device milliseconds (0 when n/a)
+  double speedup = 0;   // vs the bench's own baseline (0 when n/a)
+  unsigned threads = 0; // host worker threads used (0 when n/a)
+};
+
+// Session: common command-line handling for every bench binary.
+//
+//   --json <path>   write the recorded measurements as JSON on exit
+//   --reps N        timed repetitions for TimeMs (default 3)
+//   --warmup N      untimed warmup runs for TimeMs (default 1)
+//
+// Records accumulate via Record(); the destructor appends a "<bench>/total"
+// row with the session's own wall time and writes the JSON file (if asked).
+// The ASCII tables benches print are unaffected — the JSON is an additional,
+// machine-readable channel for tools/bench_report.
+class Session {
+ public:
+  Session(std::string bench_name, int argc, char** argv) : bench_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+      if (a == "--json" && v) {
+        json_path_ = v;
+        ++i;
+      } else if (a == "--reps" && v) {
+        reps_ = std::max(1, std::atoi(v));
+        ++i;
+      } else if (a == "--warmup" && v) {
+        warmup_ = std::max(0, std::atoi(v));
+        ++i;
+      }
+    }
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ~Session() {
+    Record(bench_ + "/total", timer_.ElapsedMillis());
+    if (json_path_.empty()) return;
+    std::ofstream out(json_path_);
+    if (!out) {
+      std::cerr << "bench: cannot write " << json_path_ << "\n";
+      return;
+    }
+    out << "{\n  \"bench\": \"" << Escape(bench_) << "\",\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      out << "    {\"name\": \"" << Escape(r.name) << "\", \"wall_ms\": " << r.wall_ms
+          << ", \"sim_ms\": " << r.sim_ms << ", \"speedup\": " << r.speedup
+          << ", \"threads\": " << r.threads << "}" << (i + 1 < records_.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  int reps() const { return reps_; }
+  int warmup() const { return warmup_; }
+
+  // Runs fn `warmup` times untimed, then `reps` times timed; returns the
+  // minimum wall-clock milliseconds (the standard noise-resistant estimator).
+  double TimeMs(const std::function<void()>& fn) const {
+    for (int i = 0; i < warmup_; ++i) fn();
+    double best = 1e300;
+    for (int i = 0; i < reps_; ++i) {
+      WallTimer t;
+      fn();
+      best = std::min(best, t.ElapsedMillis());
+    }
+    return best;
+  }
+
+  void Record(std::string name, double wall_ms, double sim_ms = 0, double speedup = 0,
+              unsigned threads = 0) {
+    records_.push_back({std::move(name), wall_ms, sim_ms, speedup, threads});
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string json_path_;
+  int reps_ = 3;
+  int warmup_ = 1;
+  WallTimer timer_;
+  std::vector<BenchRecord> records_;
+};
 
 inline void Banner(const std::string& id, const std::string& caption) {
   std::cout << "\n============================================================\n"

@@ -8,6 +8,8 @@
 
 #include <filesystem>
 
+#include "bench_common.hpp"
+
 #include "apps/backproj/kernels.hpp"
 #include "apps/matching/kernels.hpp"
 #include "apps/piv/kernels.hpp"
@@ -130,4 +132,25 @@ BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared Session flags (--json/--reps/
+// --warmup) coexist with google-benchmark's own argument parsing: Session
+// consumes its flags, the remainder goes to benchmark::Initialize.
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_compile_overhead", argc, argv);
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if ((a == "--json" || a == "--reps" || a == "--warmup") && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    rest.push_back(argv[i]);
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

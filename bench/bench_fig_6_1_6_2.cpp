@@ -9,7 +9,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_fig_6_1_6_2", argc, argv);
   using namespace kspec;
   using namespace kspec::apps::piv;
 
@@ -23,6 +24,7 @@ int main() {
                          profile.name.c_str()));
     ++fig;
     for (const Problem& p : MaskSizeSet()) {
+      WallTimer dataset_timer;
       std::map<std::pair<int, int>, double> grid;
       double peak = 1e300;
       std::pair<int, int> peak_cfg{-1, -1};
@@ -78,6 +80,8 @@ int main() {
             << 100.0 * peak / ms << "\n";
       }
       std::cout << "  (grid written to " << csv_name << ")\n";
+      session.Record(Format("%s@%s", p.name.c_str(), profile.name.c_str()),
+                     dataset_timer.ElapsedMillis(), peak);
     }
   }
   std::cout << "\nShape check: the peak marker moves across the (rb, threads) plane as mask\n"

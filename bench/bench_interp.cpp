@@ -1,0 +1,152 @@
+// Execution-engine benchmark: wall-clock time of the interpreter across the
+// four applications, serial vs the parallel block engine at 2/4/8 workers.
+//
+// Every parallel run is checked against the serial reference: application
+// outputs must match byte-for-byte and LaunchStats must be bit-identical
+// (the determinism contract of DESIGN.md section 8). Simulated milliseconds
+// are invariant by construction — the speedup column is *host* wall time,
+// i.e. how much faster the simulation itself runs, which is the number that
+// matters for iterating on experiments. Results land in the --json output
+// (aggregate with tools/bench_report).
+#include <cstring>
+
+#include "apps/backproj/gpu.hpp"
+#include "apps/matching/gpu.hpp"
+#include "apps/piv/gpu.hpp"
+#include "apps/rowfilter/rowfilter.hpp"
+#include "bench_common.hpp"
+#include "vgpu/interp.hpp"
+
+namespace {
+
+using namespace kspec;
+
+// One application's benchmark harness: runs the app under the current
+// execution policy and returns its outputs (as raw bytes) plus launch stats.
+struct AppRun {
+  std::vector<unsigned char> output;
+  vgpu::LaunchStats stats;
+  double sim_millis = 0;
+};
+
+template <typename T>
+std::vector<unsigned char> Bytes(const std::vector<T>& v) {
+  std::vector<unsigned char> out(v.size() * sizeof(T));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+struct AppCase {
+  std::string name;
+  std::function<AppRun()> run;
+};
+
+std::vector<AppCase> Cases() {
+  std::vector<AppCase> cases;
+
+  cases.push_back({"piv", [] {
+    static const apps::piv::Problem p = apps::piv::Generate("bench", 192, 16, 4, 12, 11);
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    apps::piv::PivConfig cfg;
+    cfg.variant = apps::piv::Variant::kWarpSpec;
+    cfg.threads = 64;
+    apps::piv::PivGpuResult r = GpuPiv(ctx, p, cfg);
+    AppRun out;
+    out.output = Bytes(r.field.best_offset);
+    auto scores = Bytes(r.field.best_score);
+    out.output.insert(out.output.end(), scores.begin(), scores.end());
+    out.stats = r.stats;
+    out.sim_millis = r.stats.sim_millis;
+    return out;
+  }});
+
+  cases.push_back({"rowfilter", [] {
+    static const apps::rowfilter::Image img = apps::rowfilter::MakeTestImage(512, 192, 7);
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    apps::rowfilter::RowFilterConfig cfg;
+    apps::rowfilter::RowFilterResult r =
+        GpuRowFilter(ctx, img, apps::rowfilter::BoxFilter(9), cfg);
+    AppRun out;
+    out.output = Bytes(r.out);
+    out.stats = r.stats;
+    out.sim_millis = r.sim_millis;
+    return out;
+  }});
+
+  cases.push_back({"matching", [] {
+    static const apps::matching::Problem p = apps::matching::PatientSets().front();
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    apps::matching::MatcherConfig cfg;
+    apps::matching::MatchResult r = GpuMatch(ctx, p, cfg);
+    AppRun out;
+    out.output = Bytes(r.scores);
+    // The matcher is a multi-launch pipeline: compare the final stage's
+    // stats plus the accumulated simulated time.
+    out.stats = r.breakdown.stages.back().launch;
+    out.sim_millis = r.sim_millis;
+    return out;
+  }});
+
+  cases.push_back({"backproj", [] {
+    static const apps::backproj::Problem p = apps::backproj::BenchmarkSets().front();
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    apps::backproj::BackprojConfig cfg;
+    apps::backproj::BackprojGpuResult r = GpuBackproject(ctx, p, cfg);
+    AppRun out;
+    out.output = Bytes(r.volume);
+    out.stats = r.stats;
+    out.sim_millis = r.sim_millis;
+    return out;
+  }});
+
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kspec;
+  bench::Session session("bench_interp", argc, argv);
+
+  bench::Banner("Execution engine", "interpreter wall time, serial vs parallel workers");
+  bench::Note("outputs and LaunchStats are checked identical across modes");
+  std::cout << Format("  %-12s %10s %12s %12s %9s\n", "app", "mode", "wall_ms", "sim_ms",
+                      "speedup");
+
+  const unsigned worker_counts[] = {2, 4, 8};
+  for (const auto& app : Cases()) {
+    // Serial reference: correctness baseline and speedup denominator.
+    vgpu::ExecPolicy serial{vgpu::ExecMode::kSerial, 1};
+    vgpu::SetExecPolicyOverride(&serial);
+    const AppRun ref = app.run();
+    const double serial_ms = session.TimeMs([&] { app.run(); });
+    std::cout << Format("  %-12s %10s %12.1f %12.2f %9s\n", app.name.c_str(), "serial",
+                        serial_ms, ref.sim_millis, "1.00x");
+    session.Record(app.name + "/serial", serial_ms, ref.sim_millis, 1.0, 1);
+
+    for (unsigned workers : worker_counts) {
+      vgpu::ExecPolicy par{vgpu::ExecMode::kParallel, workers};
+      vgpu::SetExecPolicyOverride(&par);
+      const AppRun got = app.run();
+      if (got.output != ref.output) {
+        std::cerr << "FAIL: " << app.name << " output differs with " << workers
+                  << " workers\n";
+        return 1;
+      }
+      if (!vgpu::StatsBitIdentical(got.stats, ref.stats) ||
+          got.sim_millis != ref.sim_millis) {
+        std::cerr << "FAIL: " << app.name << " LaunchStats differ with " << workers
+                  << " workers\n";
+        return 1;
+      }
+      const double ms = session.TimeMs([&] { app.run(); });
+      const double speedup = ms > 0 ? serial_ms / ms : 0;
+      std::cout << Format("  %-12s %9uw %12.1f %12.2f %8.2fx\n", app.name.c_str(), workers,
+                          ms, got.sim_millis, speedup);
+      session.Record(app.name + Format("/w%u", workers), ms, got.sim_millis, speedup,
+                     workers);
+    }
+    vgpu::SetExecPolicyOverride(nullptr);
+  }
+  return 0;
+}

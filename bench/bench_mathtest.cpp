@@ -38,7 +38,8 @@ __kernel void mathTest(float* in, float* out, int argA, int argB, int loopCount)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_mathtest", argc, argv);
   using namespace kspec;
   bench::Banner("Listings 4.1 / 4.2 + Appendices C / D",
                 "mathTest: run-time evaluated vs specialized kernel");

@@ -7,7 +7,8 @@
 #include "apps/rowfilter/rowfilter.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_opencv_rowfilter", argc, argv);
   using namespace kspec;
   using namespace kspec::apps::rowfilter;
   bench::Banner("OpenCV row filter (Sections 2.6/4.2)",

@@ -63,7 +63,8 @@ GetSample TimedGet(vcuda::TieredLoader& tiered, const kcc::CompileOptions& opts)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_serve", argc, argv);
   bench::Banner("serve", "async specialization service: promotion latency + coalescing");
 
   int failures = 0;

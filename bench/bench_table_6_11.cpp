@@ -5,7 +5,8 @@
 #include "apps/piv/cpu_ref.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_table_6_11", argc, argv);
   using namespace kspec;
   using namespace kspec::apps::piv;
   bench::Banner("Table 6.11", "PIV: FPGA reference vs best CUDA configuration");

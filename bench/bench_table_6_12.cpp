@@ -7,7 +7,8 @@
 #include "apps/backproj/gpu.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_table_6_12", argc, argv);
   using namespace kspec;
   using namespace kspec::apps::backproj;
   bench::Banner("Table 6.12", "Backprojection: OpenMP CPU (4 threads) vs both GPUs");

@@ -5,7 +5,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_table_6_14", argc, argv);
   using namespace kspec;
   using namespace kspec::apps::piv;
   bench::Banner("Table 6.14", "PIV kernel variants across the FPGA benchmark set");

@@ -2,8 +2,9 @@
 // optimal register blocking and thread counts.
 #include "piv_sweep_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return kspec::bench::PivSweepTableMain(
       "Table 6.15", "PIV: FPGA benchmark set with optimal register blocking / thread counts",
-      kspec::apps::piv::FpgaBenchmarkSet());
+      kspec::apps::piv::FpgaBenchmarkSet(),
+      "bench_table_6_15", argc, argv);
 }

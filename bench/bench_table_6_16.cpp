@@ -2,8 +2,9 @@
 // (Table 6.4 problems), including optimal register blocking and threads.
 #include "piv_sweep_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return kspec::bench::PivSweepTableMain(
       "Table 6.16", "PIV: impact of mask size (Table 6.4 problem set)",
-      kspec::apps::piv::MaskSizeSet());
+      kspec::apps::piv::MaskSizeSet(),
+      "bench_table_6_16", argc, argv);
 }

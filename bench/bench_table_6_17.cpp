@@ -2,8 +2,9 @@
 // (Table 6.5 problems), including optimal register blocking and threads.
 #include "piv_sweep_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return kspec::bench::PivSweepTableMain(
       "Table 6.17", "PIV: impact of search offset count (Table 6.5 problem set)",
-      kspec::apps::piv::SearchSizeSet());
+      kspec::apps::piv::SearchSizeSet(),
+      "bench_table_6_17", argc, argv);
 }

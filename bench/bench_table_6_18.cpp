@@ -3,8 +3,9 @@
 // and thread counts.
 #include "piv_sweep_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return kspec::bench::PivSweepTableMain(
       "Table 6.18", "PIV: impact of window overlap (Table 6.6 problem set)",
-      kspec::apps::piv::OverlapSet());
+      kspec::apps::piv::OverlapSet(),
+      "bench_table_6_18", argc, argv);
 }

@@ -7,7 +7,8 @@
 #include "apps/backproj/problem.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_table_6_19", argc, argv);
   using namespace kspec;
   using namespace kspec::apps::backproj;
   bench::Banner("Table 6.19", "Backprojection kernel comparisons (RE vs SK)");

@@ -8,7 +8,8 @@
 #include "apps/backproj/problem.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_table_6_20", argc, argv);
   using namespace kspec;
   using namespace kspec::apps::backproj;
   bench::Banner("Table 6.20", "Occupancy and execution data (VC1060, V2 data set)");

@@ -9,7 +9,8 @@
 #include "apps/matching/problem.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_table_6_21", argc, argv);
   using namespace kspec;
   using namespace kspec::apps::matching;
   bench::Banner("Table 6.21",

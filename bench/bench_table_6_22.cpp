@@ -6,7 +6,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_table_6_22", argc, argv);
   using namespace kspec;
   using namespace kspec::apps::piv;
   bench::Banner("Table 6.22", "PIV: % of per-problem peak with fixed rb/thread configs");

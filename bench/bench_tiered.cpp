@@ -42,7 +42,8 @@ std::string RegBlockSource() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kspec::bench::Session session("bench_tiered", argc, argv);
   using namespace kspec::apps::piv;
   bench::Banner("Section 4.3 / 7.2.3", "specialization break-even: RE vs SK vs tiered");
   bench::Note("'total' = measured compile wall time + simulated launch time; the");

@@ -9,8 +9,10 @@
 namespace kspec::bench {
 
 inline int PivSweepTableMain(const std::string& id, const std::string& caption,
-                             const std::vector<apps::piv::Problem>& problems) {
+                             const std::vector<apps::piv::Problem>& problems,
+                             const std::string& bench_name, int argc, char** argv) {
   using namespace apps::piv;
+  Session session(bench_name, argc, argv);
   Banner(id, caption);
   Note("'opt rb' / 'opt thr' are the register blocking depth and thread count of the");
   Note("fastest specialized regblock configuration (the paper's optimal-configuration");

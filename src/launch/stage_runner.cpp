@@ -1,5 +1,7 @@
 #include "launch/stage_runner.hpp"
 
+#include <chrono>
+
 namespace kspec::launch {
 
 const StageRecord* LaunchBreakdown::Stage(const std::string& name) const {
@@ -60,12 +62,17 @@ vgpu::LaunchStats StageRunner::Launch(const std::string& stage, const vcuda::Mod
                                       const std::string& kernel, vgpu::Dim3 grid,
                                       vgpu::Dim3 block, const vcuda::ArgPack& args,
                                       unsigned dynamic_smem_bytes) {
+  const auto t0 = std::chrono::steady_clock::now();
   vgpu::LaunchStats st = ctx_->Launch(module, kernel, grid, block, args, dynamic_smem_bytes);
+  const double wall =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
   StageRecord& rec = StageFor(stage);
   rec.launch = st;
   rec.reg_count = module.GetKernel(kernel).stats.reg_count;
   rec.sim_millis += st.sim_millis;
+  rec.wall_millis += wall;
   breakdown_.sim_millis += st.sim_millis;
+  breakdown_.wall_millis += wall;
   return st;
 }
 

@@ -45,6 +45,7 @@ struct StageRecord {
   int reg_count = 0;          // registers/thread of the last kernel launched
   double sim_millis = 0;      // accumulated over the stage's launches
   double compile_millis = 0;  // build cost of the modules the stage loaded
+  double wall_millis = 0;     // host wall-clock time spent inside Launch
 };
 
 // The unified timing story of one app call.
@@ -52,6 +53,7 @@ struct LaunchBreakdown {
   double compile_millis = 0;   // sum of loaded modules' build costs
   double transfer_millis = 0;  // modeled host<->device transfer time
   double sim_millis = 0;       // simulated GPU execution time
+  double wall_millis = 0;      // host wall-clock time spent inside Launch
   std::vector<StageRecord> stages;
 
   const StageRecord* Stage(const std::string& name) const;

@@ -37,6 +37,19 @@ bool Module::HasKernel(const std::string& name) const {
   return compiled_->FindKernel(name) != nullptr;
 }
 
+std::shared_ptr<const vgpu::DecodedKernel> Module::Decoded(
+    const vgpu::CompiledKernel& kernel, const vgpu::DeviceProfile& dev) const {
+  // Issue costs are device dependent, so the cache key carries the device
+  // name alongside the kernel (one module may serve several contexts).
+  const std::string key = dev.name + "/" + kernel.name;
+  std::lock_guard<std::mutex> lk(decoded_mutex_);
+  auto it = decoded_.find(key);
+  if (it != decoded_.end()) return it->second;
+  auto dk = vgpu::DecodeKernel(kernel, dev);
+  decoded_.emplace(key, dk);
+  return dk;
+}
+
 void Module::SetConstant(const std::string& name, const void* data, std::size_t bytes) {
   const kcc::ConstantInfo* c = compiled_->FindConstant(name);
   if (!c) throw DeviceError("module has no __constant named '" + name + "'");
@@ -240,9 +253,10 @@ vgpu::LaunchStats Context::Launch(const Module& module, const std::string& kerne
   cfg.dynamic_smem_bytes = dynamic_smem_bytes;
   cfg.args = args.values();
   cfg.textures = module.texture_bindings();
+  cfg.exec = exec_policy_;
 
   vgpu::Interpreter interp(device_, &memory_);
-  vgpu::LaunchStats stats = interp.Launch(k, cfg, module.const_mem());
+  vgpu::LaunchStats stats = interp.Launch(*module.Decoded(k, device_), cfg, module.const_mem());
   total_sim_millis_ += stats.sim_millis;
   return stats;
 }

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -54,10 +55,19 @@ class Module {
   std::span<const unsigned char> const_mem() const { return const_mem_; }
   const std::vector<vgpu::TextureBinding>& texture_bindings() const { return textures_; }
 
+  // Returns the kernel pre-decoded for `dev` (handler table + issue costs),
+  // decoding at most once per (device, kernel) over the module's lifetime.
+  // Thread-safe; Context::Launch goes through this so repeated launches skip
+  // the per-launch decode entirely.
+  std::shared_ptr<const vgpu::DecodedKernel> Decoded(const vgpu::CompiledKernel& kernel,
+                                                     const vgpu::DeviceProfile& dev) const;
+
  private:
   std::shared_ptr<const kcc::CompiledModule> compiled_;
   std::vector<unsigned char> const_mem_;
   std::vector<vgpu::TextureBinding> textures_;
+  mutable std::mutex decoded_mutex_;
+  mutable std::map<std::string, std::shared_ptr<const vgpu::DecodedKernel>> decoded_;
 };
 
 // Typed argument pack checked against the kernel's parameter list at launch.
@@ -162,6 +172,11 @@ class Context {
   double total_sim_millis() const { return total_sim_millis_; }
   void reset_sim_clock() { total_sim_millis_ = 0; }
 
+  // Execution policy applied to every launch from this context (still subject
+  // to the VGPU_WORKERS environment override and the test override).
+  void set_exec_policy(vgpu::ExecPolicy policy) { exec_policy_ = policy; }
+  vgpu::ExecPolicy exec_policy() const { return exec_policy_; }
+
  private:
   // Returns the module for `key` from the disk tier, or nullptr if absent,
   // corrupt, version-mismatched, or keyed differently (hash collision).
@@ -178,6 +193,7 @@ class Context {
   std::string cache_dir_;
   std::atomic<AsyncCompileService*> async_service_{nullptr};
   double total_sim_millis_ = 0;
+  vgpu::ExecPolicy exec_policy_;
 };
 
 // Convenience: uploads a host vector and returns the device pointer.

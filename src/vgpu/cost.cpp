@@ -51,6 +51,45 @@ void ApplyCostModel(const DeviceProfile& dev, LaunchStats& stats,
   stats.sim_millis = sm_cycles / (dev.clock_ghz * 1e6);
 }
 
+void FoldBlockStats(std::span<const BlockStats> parts, LaunchStats& into) {
+  // Fold strictly in chunk-index order: the floating-point sums below are not
+  // associative, and this fixed order is what makes LaunchStats bit-identical
+  // regardless of which host thread produced which partial.
+  std::uint64_t warp_instrs = 0;
+  double ilp_sum = 0;
+  for (const BlockStats& p : parts) {
+    warp_instrs += p.warp_instrs;
+    into.lane_instrs += p.lane_instrs;
+    into.global_instrs += p.global_instrs;
+    into.mem_transactions += p.mem_transactions;
+    into.texture_fetches += p.texture_fetches;
+    into.shared_conflict_cycles += p.shared_conflict_cycles;
+    into.barriers += p.barriers;
+    into.issue_cycles += p.issue_cycles;
+    into.memory_cycles += p.memory_cycles;
+    ilp_sum += p.ilp_sum;
+  }
+  into.warp_instrs += warp_instrs;
+  // Dynamic-instruction-weighted average, not a mean of per-chunk means: each
+  // warp issue contributes its pc's static ILP once, so the weight of a chunk
+  // is exactly the number of instructions it issued.
+  if (warp_instrs > 0 && ilp_sum > 0) {
+    into.avg_ilp = ilp_sum / static_cast<double>(warp_instrs);
+  }
+}
+
+bool StatsBitIdentical(const LaunchStats& a, const LaunchStats& b) {
+  return a.warp_instrs == b.warp_instrs && a.lane_instrs == b.lane_instrs &&
+         a.global_instrs == b.global_instrs && a.mem_transactions == b.mem_transactions &&
+         a.texture_fetches == b.texture_fetches &&
+         a.shared_conflict_cycles == b.shared_conflict_cycles && a.barriers == b.barriers &&
+         a.issue_cycles == b.issue_cycles && a.memory_cycles == b.memory_cycles &&
+         a.avg_ilp == b.avg_ilp && a.blocks == b.blocks &&
+         a.threads_per_block == b.threads_per_block && a.regs_per_thread == b.regs_per_thread &&
+         a.spilled_regs == b.spilled_regs && a.smem_per_block == b.smem_per_block &&
+         a.sim_cycles == b.sim_cycles && a.sim_millis == b.sim_millis;
+}
+
 std::string LaunchStats::ToString() const {
   return Format(
       "blocks=%u threads=%u regs=%u smem=%u occ=%.2f (%s) warp_instrs=%llu "

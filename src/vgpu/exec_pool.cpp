@@ -1,0 +1,117 @@
+#include "vgpu/exec_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace kspec::vgpu {
+
+namespace {
+// Upper bound on pool threads; requests beyond it still complete, just with
+// fewer helpers. Keeps a pathological workers value from spawning hundreds of
+// threads.
+constexpr unsigned kMaxThreads = 64;
+}  // namespace
+
+struct ExecPool::Job {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr err;
+};
+
+ExecPool& ExecPool::Instance() {
+  static ExecPool pool;
+  return pool;
+}
+
+ExecPool::~ExecPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+unsigned ExecPool::thread_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<unsigned>(threads_.size());
+}
+
+void ExecPool::EnsureThreads(unsigned want) {
+  std::lock_guard<std::mutex> lk(mu_);
+  want = std::min(want, kMaxThreads);
+  while (threads_.size() < want) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ExecPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || !tickets_.empty(); });
+      if (tickets_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(tickets_.front());
+      tickets_.pop_front();
+    }
+    Participate(*job);
+  }
+}
+
+void ExecPool::Participate(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    // After a failure the remaining indices are claimed but not run, so the
+    // completion count still converges and the caller wakes promptly.
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job.mu);
+        if (!job.err) job.err = std::current_exception();
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      std::lock_guard<std::mutex> lk(job.mu);  // pairs with the caller's wait
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ExecPool::ParallelFor(unsigned workers, std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const unsigned helpers =
+      std::min<unsigned>({workers - 1, kMaxThreads, static_cast<unsigned>(n - 1)});
+  EnsureThreads(helpers);
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (unsigned i = 0; i < helpers; ++i) tickets_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  Participate(*job);
+  {
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->done_cv.wait(lk, [&] { return job->completed.load(std::memory_order_acquire) == n; });
+  }
+  if (job->err) std::rethrow_exception(job->err);
+}
+
+}  // namespace kspec::vgpu

@@ -1,0 +1,63 @@
+// A process-wide pool of host worker threads for the parallel execution
+// engine.
+//
+// The pool hands out *work tickets*, not tasks: ParallelFor publishes one job
+// (an index space plus a callback) and queues one ticket per helper thread.
+// Each participant — helpers and the calling thread alike — claims indices
+// from a shared atomic cursor until the space is exhausted, which gives
+// dynamic load balancing without per-index queue traffic (the same
+// backpressure-free idiom as serve/compile_executor, minus the result
+// plumbing that launches don't need).
+//
+// Threads are created lazily, grow to the largest worker count ever
+// requested, and persist for the life of the process; an idle pool costs a
+// few parked threads. Exceptions thrown by the callback are captured
+// (first one wins), remaining indices are drained without running, and the
+// exception is rethrown on the calling thread — so a DeviceError from block
+// 977 surfaces exactly like it would from a serial loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kspec::vgpu {
+
+class ExecPool {
+ public:
+  static ExecPool& Instance();
+
+  // Runs fn(i) for every i in [0, n), on up to `workers` threads including
+  // the caller. Blocks until all indices completed; rethrows the first
+  // exception any participant saw. workers <= 1 degenerates to a plain loop.
+  void ParallelFor(unsigned workers, std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Threads currently alive (for tests / introspection).
+  unsigned thread_count() const;
+
+  ExecPool(const ExecPool&) = delete;
+  ExecPool& operator=(const ExecPool&) = delete;
+
+ private:
+  struct Job;
+
+  ExecPool() = default;
+  ~ExecPool();
+
+  void EnsureThreads(unsigned want);
+  void WorkerLoop();
+  static void Participate(Job& job);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> tickets_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+}  // namespace kspec::vgpu

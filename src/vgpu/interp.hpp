@@ -8,12 +8,23 @@
 // removed from the current mask and every stack entry), which handles the
 // ubiquitous `if (out_of_range) return;` guard pattern exactly.
 //
-// Blocks execute sequentially (the host has no real parallelism to offer) but
-// the cost model accounts for them as if distributed across the device's SMs.
-// Warps within a block are scheduled round-robin between barriers, which makes
-// producer/consumer warp specialization (Section 5.2) deterministic.
+// Execution engine (DESIGN.md section 8):
+//   - Each kernel is pre-decoded once into a DecodedKernel: a per-instruction
+//     table of handler function pointers, issue costs, and static ILP, so the
+//     dynamic-instruction inner loop does a single indirect call instead of
+//     re-running the opcode/type/issue-cost switches per issue.
+//   - Thread blocks are independent, so the grid is partitioned into chunks
+//     and executed either serially or across a persistent host worker pool
+//     (LaunchConfig::exec, overridable process-wide with VGPU_WORKERS).
+//     Chunking depends only on the grid, each chunk folds its own partial
+//     counters in block order, and partials merge in chunk order — LaunchStats
+//     are bit-identical for any worker count. Global-space atomics execute as
+//     real std::atomic RMW on the arena.
+//   - Warps within a block are scheduled round-robin between barriers, which
+//     makes producer/consumer warp specialization (Section 5.2) deterministic.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "vgpu/device.hpp"
@@ -23,6 +34,22 @@
 
 namespace kspec::vgpu {
 
+// A CompiledKernel pre-decoded for one device profile: handler table, issue
+// costs, ILP row, and the flags the auto execution policy consults. Opaque —
+// produced by DecodeKernel, consumed by Interpreter::Launch. Decoding is
+// cheap (one pass over the static code), but callers that launch the same
+// kernel repeatedly should cache the result (vcuda::Module does).
+struct DecodedKernel;
+
+std::shared_ptr<const DecodedKernel> DecodeKernel(const CompiledKernel& kernel,
+                                                  const DeviceProfile& dev);
+
+// Process-wide execution-policy override for tests and tools: while set, it
+// wins over both VGPU_WORKERS and LaunchConfig::exec. Pass nullptr to clear.
+// The pointed-to policy is copied. Not thread-safe against concurrent
+// launches — set it from the test main thread between runs.
+void SetExecPolicyOverride(const ExecPolicy* policy);
+
 class Interpreter {
  public:
   Interpreter(const DeviceProfile& dev, GlobalMemory* gmem)
@@ -31,8 +58,11 @@ class Interpreter {
   // Runs the kernel to completion and returns the dynamic statistics with the
   // cost model applied. `const_mem` is the module's constant-memory segment.
   // Throws DeviceError on invalid configurations, out-of-bounds accesses,
-  // barrier divergence, or deadlock.
+  // barrier divergence, or deadlock — including when the failing block ran on
+  // a pool worker. The CompiledKernel overload decodes on the fly.
   LaunchStats Launch(const CompiledKernel& kernel, const LaunchConfig& cfg,
+                     std::span<const unsigned char> const_mem = {});
+  LaunchStats Launch(const DecodedKernel& kernel, const LaunchConfig& cfg,
                      std::span<const unsigned char> const_mem = {});
 
  private:

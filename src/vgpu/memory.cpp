@@ -7,15 +7,37 @@
 
 namespace kspec::vgpu {
 
+namespace {
+// Per-thread cache of recently hit allocations. Four entries cover the usual
+// kernel working set (a couple of inputs, an output, a table) with a trivial
+// round-robin replacement; the generation check makes stale entries miss.
+constexpr int kCacheWays = 4;
+struct ThreadCache {
+  GlobalMemory const* owner[kCacheWays] = {};
+  std::uint64_t gen[kCacheWays] = {};
+  std::uint64_t base[kCacheWays] = {};
+  std::uint64_t end[kCacheWays] = {};
+  int victim = 0;
+};
+thread_local ThreadCache t_cache;
+}  // namespace
+
 GlobalMemory::GlobalMemory(std::uint64_t capacity_bytes)
     : capacity_(capacity_bytes), bump_(kBase) {
-  // The backing store grows on demand (capacity_ is the cap, not the initial
-  // allocation) so that creating a context with a multi-GB heap stays cheap.
+  // Reserve the whole arena up front so growth never reallocates: workers
+  // may hold raw pointers into data_ across an Alloc on another thread.
+  // reserve() maps address space without touching it, so a multi-GB heap is
+  // still cheap to create; resize (below, under the lock) commits pages on
+  // demand exactly like the pre-parallel version did.
+  data_.reserve(kBase + capacity_);
   data_.resize(kBase + 4096);
+  limit_.store(data_.size(), std::memory_order_release);
 }
 
 DevPtr GlobalMemory::Alloc(std::uint64_t bytes) {
   bytes = AlignUp<std::uint64_t>(std::max<std::uint64_t>(bytes, 1), 16);
+  std::lock_guard<std::mutex> lk(mu_);
+  alloc_gen_.fetch_add(1, std::memory_order_relaxed);
   // First-fit reuse of freed blocks keeps long-running pipelines bounded.
   for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
     if (it->second >= bytes) {
@@ -24,6 +46,7 @@ DevPtr GlobalMemory::Alloc(std::uint64_t bytes) {
       free_list_.erase(it);
       live_[ptr] = size;
       in_use_ += size;
+      peak_in_use_ = std::max(peak_in_use_, in_use_);
       return ptr;
     }
   }
@@ -35,39 +58,118 @@ DevPtr GlobalMemory::Alloc(std::uint64_t bytes) {
   if (bump_ + bytes > data_.size()) {
     std::uint64_t want = std::max<std::uint64_t>(bump_ + bytes, data_.size() * 2);
     data_.resize(std::min<std::uint64_t>(want, capacity_ + kBase));
+    limit_.store(data_.size(), std::memory_order_release);
   }
   DevPtr ptr = bump_;
   bump_ += bytes;
   live_[ptr] = bytes;
   in_use_ += bytes;
+  peak_in_use_ = std::max(peak_in_use_, in_use_);
   return ptr;
 }
 
 void GlobalMemory::Free(DevPtr ptr) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = live_.find(ptr);
   if (it == live_.end()) throw DeviceError("free of unknown device pointer");
+  alloc_gen_.fetch_add(1, std::memory_order_relaxed);
   in_use_ -= it->second;
   free_list_.emplace_back(it->first, it->second);
   live_.erase(it);
 }
 
-void GlobalMemory::CheckRange(DevPtr addr, std::uint64_t bytes) const {
-  // A fast path covers the vast majority of accesses: inside the arena and
-  // above the guard region.
-  if (addr < kBase || addr + bytes > data_.size()) {
-    throw DeviceError(Format("out-of-bounds device access at 0x%llx (%llu bytes)",
-                             static_cast<unsigned long long>(addr),
-                             static_cast<unsigned long long>(bytes)));
-  }
+std::uint64_t GlobalMemory::bytes_in_use() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_use_;
 }
 
-unsigned char* GlobalMemory::Access(DevPtr addr, std::uint64_t bytes) {
-  CheckRange(addr, bytes);
+std::size_t GlobalMemory::allocation_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_.size();
+}
+
+std::uint64_t GlobalMemory::peak_bytes_in_use() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peak_in_use_;
+}
+
+std::pair<DevPtr, std::uint64_t> GlobalMemory::LookupSlow(DevPtr addr) const {
+  std::uint64_t gen;
+  DevPtr base = 0;
+  std::uint64_t end = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    gen = alloc_gen_.load(std::memory_order_relaxed);
+    auto it = live_.upper_bound(addr);
+    if (it != live_.begin()) {
+      --it;
+      if (addr < it->first + it->second) {
+        base = it->first;
+        end = it->first + it->second;
+      }
+    }
+  }
+  if (end != 0) {
+    ThreadCache& c = t_cache;
+    int v = c.victim;
+    c.victim = (v + 1) % kCacheWays;
+    c.owner[v] = this;
+    c.gen[v] = gen;
+    c.base[v] = base;
+    c.end[v] = end;
+  }
+  return {base, end};
+}
+
+[[noreturn]] void GlobalMemory::ThrowBadAccess(DevPtr addr, std::uint64_t bytes) const {
+  throw DeviceError(Format("out-of-bounds device access at 0x%llx (%llu bytes)",
+                           static_cast<unsigned long long>(addr),
+                           static_cast<unsigned long long>(bytes)));
+}
+
+const unsigned char* GlobalMemory::CheckedPointer(DevPtr addr, std::uint64_t bytes) const {
+  // Arena-level guard first: cheap, catches null/garbage pointers, and keeps
+  // addr + bytes overflow out of the allocation check below.
+  if (addr < kBase || bytes > limit_.load(std::memory_order_relaxed) ||
+      addr + bytes > limit_.load(std::memory_order_relaxed)) {
+    ThrowBadAccess(addr, bytes);
+  }
+  const std::uint64_t gen = alloc_gen_.load(std::memory_order_relaxed);
+  const ThreadCache& c = t_cache;
+  for (int v = 0; v < kCacheWays; ++v) {
+    if (c.owner[v] == this && c.gen[v] == gen && addr >= c.base[v] &&
+        addr + bytes <= c.end[v]) {
+      return data_.data() + addr;
+    }
+  }
+  auto [base, end] = LookupSlow(addr);
+  if (end == 0 || addr + bytes > end) ThrowBadAccess(addr, bytes);
   return data_.data() + addr;
 }
 
+unsigned char* GlobalMemory::Access(DevPtr addr, std::uint64_t bytes) {
+  return const_cast<unsigned char*>(CheckedPointer(addr, bytes));
+}
+
 const unsigned char* GlobalMemory::Access(DevPtr addr, std::uint64_t bytes) const {
-  CheckRange(addr, bytes);
+  return CheckedPointer(addr, bytes);
+}
+
+const unsigned char* GlobalMemory::TryAccess(DevPtr addr, std::uint64_t bytes) const {
+  if (addr < kBase || bytes > limit_.load(std::memory_order_relaxed) ||
+      addr + bytes > limit_.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  const std::uint64_t gen = alloc_gen_.load(std::memory_order_relaxed);
+  const ThreadCache& c = t_cache;
+  for (int v = 0; v < kCacheWays; ++v) {
+    if (c.owner[v] == this && c.gen[v] == gen && addr >= c.base[v] &&
+        addr + bytes <= c.end[v]) {
+      return data_.data() + addr;
+    }
+  }
+  auto [base, end] = LookupSlow(addr);
+  if (end == 0 || addr + bytes > end) return nullptr;
   return data_.data() + addr;
 }
 

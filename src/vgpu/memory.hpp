@@ -3,11 +3,26 @@
 // Device pointers are plain 64-bit offsets into one flat arena, biased so a
 // null pointer never aliases a live allocation. The host reads and writes
 // through typed spans, mirroring cudaMemcpy semantics in the driver layer.
+//
+// Thread-safety contract (the parallel execution engine's lock plan):
+//   - Alloc/Free/getters serialize on one mutex; the arena is *reserved* at
+//     full capacity up front, so growing it never moves data_ and a worker
+//     holding a raw pointer across an Alloc on another thread stays valid.
+//   - Access/CheckRange are the lane-load hot path and take the lock only on
+//     a cache miss: each thread keeps a small thread-local table of recently
+//     hit allocations, invalidated by a generation counter that Alloc/Free
+//     bump. A hit costs a few compares and no atomics beyond two relaxed
+//     loads.
+//   - Accesses are validated against the *live allocation* containing them,
+//     not just the arena, so use-after-free and inter-allocation overruns
+//     surface as DeviceError even when the address lands inside the heap.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -27,10 +42,12 @@ class GlobalMemory {
   // Frees an allocation returned by Alloc (exact pointer required).
   void Free(DevPtr ptr);
 
-  std::uint64_t bytes_in_use() const { return in_use_; }
+  std::uint64_t bytes_in_use() const;
   // Number of live (not yet freed) allocations — the leak-regression hook:
   // a well-behaved driver leaves this at zero, including on throwing paths.
-  std::size_t allocation_count() const { return live_.size(); }
+  std::size_t allocation_count() const;
+  // High-water mark of bytes_in_use over the arena's lifetime.
+  std::uint64_t peak_bytes_in_use() const;
   std::uint64_t capacity() const { return capacity_; }
 
   // Host <-> device transfers.
@@ -47,21 +64,45 @@ class GlobalMemory {
     Read(dst.data(), src, dst.size_bytes());
   }
 
-  // Raw access for the interpreter. Validates [addr, addr+bytes) is inside a
-  // live allocation region.
+  // Raw access for the interpreter. Validates that [addr, addr+bytes) lies
+  // inside one live allocation.
   unsigned char* Access(DevPtr addr, std::uint64_t bytes);
   const unsigned char* Access(DevPtr addr, std::uint64_t bytes) const;
 
+  // Like Access, but returns nullptr instead of throwing when the range does
+  // not sit inside a single live allocation. The interpreter resolves a whole
+  // warp's address span with one call and falls back to per-lane Access (for
+  // the precise error) when this fails.
+  const unsigned char* TryAccess(DevPtr addr, std::uint64_t bytes) const;
+
  private:
-  void CheckRange(DevPtr addr, std::uint64_t bytes) const;
+  struct CacheEntry {  // one thread-local recently-hit allocation
+    const GlobalMemory* owner = nullptr;
+    std::uint64_t gen = 0;
+    DevPtr base = 0;
+    std::uint64_t end = 0;  // base + size
+  };
+  // Looks `addr` up in live_ under the lock, fills a cache slot, and returns
+  // the containing allocation's [base, end) — or {0, 0} when none contains it.
+  std::pair<DevPtr, std::uint64_t> LookupSlow(DevPtr addr) const;
+  const unsigned char* CheckedPointer(DevPtr addr, std::uint64_t bytes) const;
+  [[noreturn]] void ThrowBadAccess(DevPtr addr, std::uint64_t bytes) const;
 
   static constexpr DevPtr kBase = 0x10000;  // null-pointer guard region
   std::uint64_t capacity_;
+
+  mutable std::mutex mu_;  // guards the allocator state and data_ growth
   std::uint64_t bump_;
   std::uint64_t in_use_ = 0;
+  std::uint64_t peak_in_use_ = 0;
   std::vector<unsigned char> data_;
   std::map<DevPtr, std::uint64_t> live_;  // ptr -> size
   std::vector<std::pair<DevPtr, std::uint64_t>> free_list_;
+
+  // Committed arena bytes (== data_.size()), readable without the lock.
+  std::atomic<std::uint64_t> limit_{0};
+  // Bumped by every Alloc/Free; stale thread-local cache entries miss.
+  mutable std::atomic<std::uint64_t> alloc_gen_{1};
 };
 
 }  // namespace kspec::vgpu

@@ -1,0 +1,305 @@
+// Parallel execution engine tests (DESIGN.md section 8): the determinism
+// contract (bit-identical outputs and LaunchStats for any worker count),
+// exact cross-block atomic reductions under the worker pool, error
+// propagation out of worker threads, and the dynamic-instruction-weighted
+// LaunchStats fold.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "apps/backproj/gpu.hpp"
+#include "apps/matching/gpu.hpp"
+#include "apps/piv/gpu.hpp"
+#include "apps/rowfilter/rowfilter.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/cost.hpp"
+#include "vgpu/interp.hpp"
+#include "vgpu/launch.hpp"
+
+namespace kspec::vgpu {
+namespace {
+
+// Scoped process-wide execution-policy override (wins over LaunchConfig and
+// the VGPU_WORKERS environment variable). Restores the default on exit.
+class ScopedPolicy {
+ public:
+  explicit ScopedPolicy(ExecMode mode, unsigned workers) : policy_{mode, workers} {
+    SetExecPolicyOverride(&policy_);
+  }
+  ~ScopedPolicy() { SetExecPolicyOverride(nullptr); }
+  ScopedPolicy(const ScopedPolicy&) = delete;
+  ScopedPolicy& operator=(const ScopedPolicy&) = delete;
+
+ private:
+  ExecPolicy policy_;
+};
+
+// ---------------------------------------------------------------------------
+// FoldBlockStats: the dynamic-instruction-weighted average
+// ---------------------------------------------------------------------------
+
+TEST(FoldStats, AvgIlpIsDynamicInstructionWeighted) {
+  // Chunk A: 100 issues at average ILP 4.0; chunk B: 300 issues at 1.0.
+  // Weighted: (400 + 300) / 400 = 1.75. A mean of the per-chunk averages
+  // would report 2.5 — wrong by 43%.
+  BlockStats a, b;
+  a.warp_instrs = 100;
+  a.ilp_sum = 400.0;
+  b.warp_instrs = 300;
+  b.ilp_sum = 300.0;
+  const BlockStats parts[] = {a, b};
+  LaunchStats out;
+  FoldBlockStats(parts, out);
+  EXPECT_EQ(out.warp_instrs, 400u);
+  EXPECT_DOUBLE_EQ(out.avg_ilp, 1.75);
+}
+
+TEST(FoldStats, FoldIsOrderSensitiveButChunkOrderIsFixed) {
+  // The fold accumulates doubles in chunk-index order; callers guarantee the
+  // chunk decomposition depends only on the grid, so this is deterministic.
+  BlockStats a, b;
+  a.warp_instrs = 1;
+  a.issue_cycles = 1e16;
+  a.ilp_sum = 1.0;
+  b.warp_instrs = 1;
+  b.issue_cycles = 1.0;
+  b.ilp_sum = 1.0;
+  const BlockStats ab[] = {a, b};
+  LaunchStats s1, s2;
+  FoldBlockStats(ab, s1);
+  FoldBlockStats(ab, s2);
+  EXPECT_TRUE(StatsBitIdentical(s1, s2));
+}
+
+TEST(FoldStats, EmptyIlpLeavesDefaultUntouched) {
+  BlockStats a;
+  a.warp_instrs = 0;
+  a.ilp_sum = 0.0;
+  const BlockStats parts[] = {a};
+  LaunchStats out;
+  const double before = out.avg_ilp;
+  FoldBlockStats(parts, out);
+  EXPECT_DOUBLE_EQ(out.avg_ilp, before);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract across the four applications
+// ---------------------------------------------------------------------------
+
+struct AppRun {
+  std::vector<unsigned char> output;
+  LaunchStats stats;
+  double sim_millis = 0;
+};
+
+template <typename T>
+std::vector<unsigned char> Bytes(const std::vector<T>& v) {
+  std::vector<unsigned char> out(v.size() * sizeof(T));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+// Runs `run` serially and with 2/4/8 workers; outputs must be byte-equal and
+// LaunchStats bit-identical in every mode.
+void CheckDeterminism(const char* app, const std::function<AppRun()>& run) {
+  AppRun ref;
+  {
+    ScopedPolicy serial(ExecMode::kSerial, 1);
+    ref = run();
+  }
+  for (unsigned workers : {2u, 4u, 8u}) {
+    ScopedPolicy par(ExecMode::kParallel, workers);
+    const AppRun got = run();
+    EXPECT_EQ(got.output, ref.output) << app << " output differs with " << workers
+                                      << " workers";
+    EXPECT_TRUE(StatsBitIdentical(got.stats, ref.stats))
+        << app << " LaunchStats differ with " << workers << " workers:\n"
+        << got.stats.ToString() << "\nvs serial:\n"
+        << ref.stats.ToString();
+    EXPECT_EQ(got.sim_millis, ref.sim_millis) << app;
+  }
+}
+
+TEST(ParallelDeterminism, Piv) {
+  const apps::piv::Problem p = apps::piv::Generate("det", 96, 16, 4, 12, 3);
+  CheckDeterminism("piv", [&] {
+    vcuda::Context ctx(TeslaC2070());
+    apps::piv::PivConfig cfg;
+    cfg.variant = apps::piv::Variant::kWarpSpec;
+    cfg.threads = 64;
+    apps::piv::PivGpuResult r = GpuPiv(ctx, p, cfg);
+    AppRun out;
+    out.output = Bytes(r.field.best_offset);
+    auto scores = Bytes(r.field.best_score);
+    out.output.insert(out.output.end(), scores.begin(), scores.end());
+    out.stats = r.stats;
+    out.sim_millis = r.stats.sim_millis;
+    return out;
+  });
+}
+
+TEST(ParallelDeterminism, Rowfilter) {
+  const apps::rowfilter::Image img = apps::rowfilter::MakeTestImage(256, 96, 5);
+  CheckDeterminism("rowfilter", [&] {
+    vcuda::Context ctx(TeslaC2070());
+    apps::rowfilter::RowFilterConfig cfg;
+    apps::rowfilter::RowFilterResult r =
+        GpuRowFilter(ctx, img, apps::rowfilter::BoxFilter(7), cfg);
+    AppRun out;
+    out.output = Bytes(r.out);
+    out.stats = r.stats;
+    out.sim_millis = r.sim_millis;
+    return out;
+  });
+}
+
+TEST(ParallelDeterminism, Matching) {
+  const apps::matching::Problem p = apps::matching::PatientSets().front();
+  CheckDeterminism("matching", [&] {
+    vcuda::Context ctx(TeslaC2070());
+    apps::matching::MatcherConfig cfg;
+    apps::matching::MatchResult r = GpuMatch(ctx, p, cfg);
+    AppRun out;
+    out.output = Bytes(r.scores);
+    out.stats = r.breakdown.stages.back().launch;
+    out.sim_millis = r.sim_millis;
+    return out;
+  });
+}
+
+TEST(ParallelDeterminism, Backproj) {
+  const apps::backproj::Problem p = apps::backproj::BenchmarkSets().front();
+  CheckDeterminism("backproj", [&] {
+    vcuda::Context ctx(TeslaC2070());
+    apps::backproj::BackprojConfig cfg;
+    apps::backproj::BackprojGpuResult r = GpuBackproject(ctx, p, cfg);
+    AppRun out;
+    out.output = Bytes(r.volume);
+    out.stats = r.stats;
+    out.sim_millis = r.sim_millis;
+    return out;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Cross-block atomics under the worker pool
+// ---------------------------------------------------------------------------
+
+// 64 blocks x 128 threads hammer a 16-bin histogram through global atomicAdd
+// while every worker thread streams through the same arena. Integer atomic
+// addition is associative and commutative, so the totals must be *exact*
+// regardless of interleaving — and TSan must see no data race on the bins.
+TEST(ParallelAtomics, CrossBlockHistogramSumsExactly) {
+  const char* src = R"(
+__kernel void hist(int* bins, int* total) {
+  unsigned int gid = blockIdx.x * 128u + threadIdx.x;
+  unsigned int bin = (gid * 2654435761u) % 16u;
+  atomicAdd(bins + bin, 1);
+  atomicAdd(total, 1);
+}
+)";
+  ScopedPolicy par(ExecMode::kParallel, 8);
+  vcuda::Context ctx(TeslaC1060());
+  auto mod = ctx.LoadModule(src, {});
+  DevPtr bins = ctx.Malloc(16 * 4);
+  DevPtr total = ctx.Malloc(4);
+  ctx.Memset(bins, 0, 16 * 4);
+  ctx.Memset(total, 0, 4);
+  vcuda::ArgPack args;
+  args.Ptr(bins).Ptr(total);
+  ctx.Launch(*mod, "hist", Dim3(64), Dim3(128), args);
+
+  std::vector<int> h = vcuda::Download<int>(ctx, bins, 16);
+  std::vector<int> expect(16, 0);
+  for (unsigned gid = 0; gid < 64 * 128; ++gid) expect[(gid * 2654435761u) % 16u]++;
+  EXPECT_EQ(h, expect);
+  EXPECT_EQ(vcuda::Download<int>(ctx, total, 1)[0], 64 * 128);
+}
+
+// ---------------------------------------------------------------------------
+// Errors cross the worker-thread boundary as DeviceError
+// ---------------------------------------------------------------------------
+
+TEST(ParallelErrors, DivergentBarrierPropagatesFromWorkers) {
+  const char* src = R"(
+__kernel void f(float* o) {
+  __shared float s[32];
+  unsigned int t = threadIdx.x;
+  if (t < 16u) {
+    s[t] = 1.0f;
+    __syncthreads();
+  }
+  o[t] = 0.0f;
+}
+)";
+  ScopedPolicy par(ExecMode::kParallel, 8);
+  vcuda::Context ctx(TeslaC1060());
+  auto mod = ctx.LoadModule(src, {});
+  vcuda::ArgPack args;
+  args.Ptr(ctx.Malloc(32 * 4));
+  EXPECT_THROW(ctx.Launch(*mod, "f", Dim3(16), Dim3(32), args), DeviceError);
+}
+
+TEST(ParallelErrors, OutOfBoundsStorePropagatesFromWorkers) {
+  const char* src = R"(
+__kernel void f(float* o) {
+  o[1000000u + blockIdx.x] = 1.0f;
+}
+)";
+  ScopedPolicy par(ExecMode::kParallel, 8);
+  vcuda::Context ctx(TeslaC1060());
+  auto mod = ctx.LoadModule(src, {});
+  vcuda::ArgPack args;
+  args.Ptr(ctx.Malloc(64));
+  EXPECT_THROW(ctx.Launch(*mod, "f", Dim3(32), Dim3(32), args), DeviceError);
+}
+
+// A launch after a worker-thread failure must still work: the pool drains
+// cleanly and the next launch succeeds.
+TEST(ParallelErrors, PoolSurvivesFailedLaunch) {
+  const char* bad = R"(
+__kernel void f(float* o) { o[1000000] = 1.0f; }
+)";
+  const char* good = R"(
+__kernel void g(float* o) {
+  o[blockIdx.x * 32u + threadIdx.x] = 2.0f;
+}
+)";
+  ScopedPolicy par(ExecMode::kParallel, 8);
+  vcuda::Context ctx(TeslaC1060());
+  auto bad_mod = ctx.LoadModule(bad, {});
+  auto good_mod = ctx.LoadModule(good, {});
+  DevPtr p = ctx.Malloc(8 * 32 * 4);
+  {
+    vcuda::ArgPack args;
+    args.Ptr(p);
+    EXPECT_THROW(ctx.Launch(*bad_mod, "f", Dim3(8), Dim3(32), args), DeviceError);
+  }
+  vcuda::ArgPack args;
+  args.Ptr(p);
+  ctx.Launch(*good_mod, "g", Dim3(8), Dim3(32), args);
+  std::vector<float> out = vcuda::Download<float>(ctx, p, 8 * 32);
+  for (float v : out) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Peak-allocation accounting stays consistent under concurrency
+// ---------------------------------------------------------------------------
+
+TEST(Memory, PeakBytesInUseTracksHighWaterMark) {
+  GlobalMemory mem(1 << 20);
+  EXPECT_EQ(mem.peak_bytes_in_use(), 0u);
+  DevPtr a = mem.Alloc(1000);
+  DevPtr b = mem.Alloc(2000);
+  mem.Free(a);
+  mem.Free(b);
+  // Peak counts both live allocations (sizes may be alignment-padded).
+  EXPECT_GE(mem.peak_bytes_in_use(), 3000u);
+  mem.Alloc(100);
+  EXPECT_GE(mem.peak_bytes_in_use(), 3000u);  // high-water mark never drops
+}
+
+}  // namespace
+}  // namespace kspec::vgpu

@@ -1,0 +1,68 @@
+// bench_report: aggregates the --json outputs of bench binaries into one
+// report file (default BENCH_interp.json), so a benchmark trajectory across
+// configurations or commits lives in a single reviewable artifact.
+//
+// Usage: bench_report [-o out.json] session1.json [session2.json ...]
+//
+// Each input is a bench Session file ({"bench": ..., "records": [...]}); the
+// output wraps them in {"benches": [...]}. Inputs are embedded verbatim, so
+// the tool stays schema-agnostic — any valid JSON object per input works.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_interp.json";
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "-h" || a == "--help") {
+      std::cout << "usage: bench_report [-o out.json] session1.json [session2.json ...]\n";
+      return 0;
+    } else {
+      inputs.push_back(a);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "bench_report: no input files (see --help)\n";
+    return 1;
+  }
+
+  std::vector<std::string> bodies;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "bench_report: cannot read " << path << "\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string body = ss.str();
+    // Trim trailing whitespace so the embedded object composes cleanly.
+    while (!body.empty() && (body.back() == '\n' || body.back() == ' ' || body.back() == '\t')) {
+      body.pop_back();
+    }
+    if (body.empty()) {
+      std::cerr << "bench_report: " << path << " is empty\n";
+      return 1;
+    }
+    bodies.push_back(std::move(body));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_report: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n\"benches\": [\n";
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    out << bodies[i] << (i + 1 < bodies.size() ? "," : "") << "\n";
+  }
+  out << "]\n}\n";
+  std::cout << "bench_report: wrote " << out_path << " (" << bodies.size() << " sessions)\n";
+  return 0;
+}
