@@ -1,64 +1,56 @@
 // Autotuning demo: specialization and search working together (the Chapter 3
-// relationship). The tuner explores the (threads x register-blocking) space
-// for the PIV kernel — each probe is a run-time specialization, compiled in
-// milliseconds and cached — then the tuned configuration is remembered per
-// problem signature so the next encounter skips the search.
+// relationship), now through the predictive tier. The tuner statically prunes
+// infeasible (threads x register-blocking) points with the occupancy
+// pre-pass, measures a small seed sample — each probe is a run-time
+// specialization, compiled in milliseconds and cached — fits a cost model,
+// and verifies only its best predictions. The winner is persisted in an
+// on-disk TuningCache keyed by (kernel, device, problem signature), so a
+// *separate process* encountering the same problem skips the search
+// entirely.
+#include <filesystem>
 #include <iostream>
 
 #include "apps/piv/gpu.hpp"
-#include "support/str.hpp"
+#include "apps/piv/tune.hpp"
 #include "tune/tuner.hpp"
 
 int main() {
   using namespace kspec;
   using namespace kspec::apps::piv;
 
-  vcuda::Context ctx(vgpu::TeslaC2070());
-  tune::TuningCache cache;
+  const std::string cache_path =
+      (std::filesystem::temp_directory_path() / "kspec_autotune_demo.bin").string();
+  std::filesystem::remove(cache_path);  // fresh demo, cold cache
 
-  std::vector<tune::ParamRange> space = {{"threads", {32, 64, 128, 256}},
-                                         {"rb", {1, 2, 4, 8}}};
+  vcuda::Context ctx(vgpu::TeslaC2070());
 
   for (const Problem& p : {Generate("runA", 64, 16, 3, 8, 1),
                            Generate("runB", 80, 16, 3, 8, 2),   // same signature class
                            Generate("runC", 96, 24, 3, 12, 3)}) {
-    std::string signature =
-        Format("piv/mask%dx%d/search%d/%s", p.mask_w, p.mask_h, p.search_w(),
-               ctx.device().name.c_str());
+    // A fresh TuningCache per problem stands in for a new process: entry
+    // lookups are answered from disk, not from this run's memory.
+    tune::TuningCache cache(cache_path);
+    tune::TuneResult r;
+    PivConfig cfg = TunedRegBlock(ctx, p, &cache, &r);
 
-    tune::Config best;
-    if (auto hit = cache.Lookup(signature)) {
-      best = *hit;
-      std::cout << p.name << ": tuning cache hit for " << signature << "\n";
+    if (r.cache_hit) {
+      std::cout << p.name << ": tuning cache hit (zero evaluations)\n";
     } else {
-      auto eval = [&](const tune::Config& c) -> double {
-        PivConfig cfg;
-        cfg.variant = Variant::kRegBlock;
-        cfg.threads = static_cast<int>(c.at("threads"));
-        cfg.rb = static_cast<int>(c.at("rb"));
-        cfg.specialize = true;
-        if (cfg.rb * cfg.threads < p.mask_area()) throw Error("uncoverable");
-        return GpuPiv(ctx, p, cfg).stats.sim_millis;
-      };
-      tune::TuneResult r = tune::CoordinateDescent(space, eval);
-      best = r.best;
-      cache.Store(signature, best);
-      std::cout << p.name << ": tuned " << signature << " in " << r.evaluated
-                << " measured configs (skipped " << r.skipped << " infeasible)\n";
+      std::cout << p.name << ": tuned in " << r.evaluated << " measured configs ("
+                << r.pruned_static << " statically pruned, " << r.skipped << " skipped"
+                << (r.used_fallback ? ", model fell back to descent" : "") << ")\n";
     }
 
-    PivConfig cfg;
-    cfg.variant = Variant::kRegBlock;
-    cfg.threads = static_cast<int>(best.at("threads"));
-    cfg.rb = static_cast<int>(best.at("rb"));
-    cfg.specialize = true;
-    PivGpuResult r = GpuPiv(ctx, p, cfg);
+    PivGpuResult result = GpuPiv(ctx, p, cfg);
     std::cout << "    best = threads " << cfg.threads << ", rb " << cfg.rb << "  ->  "
-              << r.stats.sim_millis << " ms simulated, " << r.reg_count
-              << " regs/thread, occupancy " << r.stats.occupancy.occupancy << "\n";
+              << result.stats.sim_millis << " ms simulated, " << result.reg_count
+              << " regs/thread, occupancy " << result.stats.occupancy.occupancy << "\n";
   }
 
+  // runA and runB share a problem signature, so the second tune is a disk
+  // hit; runC's signature differs and is searched on first sight.
   std::cout << "\nKernel compiles this whole session: " << ctx.cache_stats().misses
             << " (cache hits: " << ctx.cache_stats().hits << ")\n";
+  std::filesystem::remove(cache_path);
   return 0;
 }

@@ -1,0 +1,182 @@
+#include "apps/matching/tune.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "apps/matching/kernels.hpp"
+#include "launch/spec_builder.hpp"
+#include "support/math.hpp"
+#include "support/status.hpp"
+#include "tune/prepass.hpp"
+#include "vgpu/device.hpp"
+
+namespace kspec::apps::matching {
+
+namespace {
+
+// Mirrors CommonSpec in gpu.cpp so reference compiles hit the same
+// module-cache entries real evaluations do.
+launch::SpecBuilder CommonSpec(const Problem& p, int threads) {
+  launch::SpecBuilder spec(/*specialize=*/true, &MatcherParams());
+  spec.Flag("CT_SHIFT")
+      .Value("K_SHIFT_W", p.shift_w)
+      .Value("K_N_SHIFTS", p.n_shifts())
+      .Flag("CT_THREADS")
+      .Value("K_THREADS", threads);
+  return spec;
+}
+
+// Per-stage register counts, read from MiniPTX on first use and shared
+// across copies of the PruneFn.
+using RegMemo = std::map<std::string, unsigned>;
+
+// Screens one stage launch: no compile at all when even the device's
+// per-thread register maximum keeps the launch admissible; otherwise the
+// stage is reference-compiled (memoized) and judged on its exact count.
+bool StageRejected(vcuda::Context& ctx, const vgpu::DeviceProfile& dev, RegMemo& memo,
+                   const std::string& memo_key, const char* source, const char* kernel,
+                   const kcc::CompileOptions& opts, unsigned threads, unsigned smem) {
+  tune::ResourceEstimate est{threads, 1, smem};
+  if (!tune::AdmitsLaunch(dev, est)) return true;  // regs irrelevant
+  est.regs_per_thread = dev.max_regs_per_thread;
+  if (tune::AdmitsLaunch(dev, est)) return false;  // no register count can sink it
+  auto it = memo.find(memo_key);
+  if (it == memo.end()) {
+    auto mod = ctx.LoadModule(source, opts);
+    it = memo.emplace(memo_key,
+                      static_cast<unsigned>(mod->GetKernel(kernel).stats.reg_count))
+             .first;
+  }
+  est.regs_per_thread = it->second;
+  return !tune::AdmitsLaunch(dev, est);
+}
+
+}  // namespace
+
+std::vector<tune::ParamRange> MatcherSpace() {
+  return {{"threads", {32, 64, 128, 256, 512, 1024}},
+          {"tile_h", {2, 4, 6, 8, 12, 16}},
+          {"tile_w", {2, 4, 6, 8, 12, 16}}};
+}
+
+tune::EvalFn MatcherEval(vcuda::Context& ctx, const Problem& p) {
+  return [ctx = &ctx, p = &p](const tune::Config& c) -> double {
+    MatcherConfig cfg;
+    cfg.specialize = true;
+    cfg.threads = static_cast<int>(c.at("threads"));
+    cfg.tile_h = static_cast<int>(c.at("tile_h"));
+    cfg.tile_w = static_cast<int>(c.at("tile_w"));
+    return GpuMatch(*ctx, *p, cfg).sim_millis;
+  };
+}
+
+tune::PruneFn MatcherPrune(vcuda::Context& ctx, const Problem& p) {
+  const vgpu::DeviceProfile dev = ctx.device();
+  auto memo = std::make_shared<RegMemo>();
+
+  return [ctx = &ctx, p = &p, dev, memo](const tune::Config& c) -> bool {
+    const auto threads = c.at("threads");
+    const int tile_h = static_cast<int>(c.at("tile_h"));
+    const int tile_w = static_cast<int>(c.at("tile_w"));
+    // Structural screens mirroring GpuMatch's own admission: power-of-two
+    // block for the reduction, the scratch allocation ceiling, and a tiling
+    // that covers the template with at least one full row or column.
+    if (threads < 1 || !IsPow2(static_cast<std::uint64_t>(threads)) || threads > 512) {
+      return true;
+    }
+    if (p->tpl_h / tile_h == 0 && p->tpl_w / tile_w == 0) return true;  // degenerate tiling
+    const unsigned t = static_cast<unsigned>(threads);
+
+    // Every stage of the pipeline must launch; screen each with its exact
+    // specialization. Stage 1 runs one launch per tile-region geometry.
+    MatcherConfig mc;
+    mc.specialize = true;
+    mc.threads = static_cast<int>(threads);
+    mc.tile_h = tile_h;
+    mc.tile_w = tile_w;
+    int total_tiles = 0;
+    for (const TileRegion& r : MakeRegions(*p, mc)) {
+      total_tiles += r.tiles();
+      launch::SpecBuilder spec = CommonSpec(*p, mc.threads);
+      spec.Flag("CT_TILE").Value("K_TILE_H", r.th).Value("K_TILE_W", r.tw);
+      const std::string key = "num/" + std::to_string(threads) + "/" + std::to_string(r.th) +
+                              "x" + std::to_string(r.tw);
+      const unsigned smem = static_cast<unsigned>(r.th * r.tw) * 4;  // shared tile
+      if (StageRejected(*ctx, dev, *memo, key, kNumeratorSource, "numeratorTiles",
+                        spec.Build(), t, smem)) {
+        return true;
+      }
+    }
+    {
+      launch::SpecBuilder spec = CommonSpec(*p, mc.threads);
+      spec.Flag("CT_TEMPLATE").Value("K_TPL_H", p->tpl_h).Value("K_TPL_W", p->tpl_w);
+      if (StageRejected(*ctx, dev, *memo, "stats/" + std::to_string(threads),
+                        kWindowStatsSource, "windowStats", spec.Build(), t, /*smem=*/0)) {
+        return true;
+      }
+    }
+    {
+      launch::SpecBuilder spec = CommonSpec(*p, mc.threads);
+      // scorePeak: __shared float sVal[K_THREADS] + __shared int sIdx[K_THREADS].
+      if (StageRejected(*ctx, dev, *memo, "peak/" + std::to_string(threads),
+                        kScorePeakSource, "scorePeak", spec.Build(), t, t * 8)) {
+        return true;
+      }
+    }
+    {
+      launch::SpecBuilder spec = CommonSpec(*p, mc.threads);
+      spec.Flag("CT_SUM").Value("K_N_TILES", total_tiles).Reuse("K_N_SHIFTS");
+      if (StageRejected(*ctx, dev, *memo,
+                        "sum/" + std::to_string(threads) + "/" + std::to_string(total_tiles),
+                        kSummationSource, "sumPartials", spec.Build(), t, /*smem=*/0)) {
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
+std::string MatcherCacheKey(const vcuda::Context& ctx, const Problem& p) {
+  return tune::TuningCache::MakeKey(
+      "matching/pipeline", ctx.device().name,
+      "tpl" + std::to_string(p.tpl_h) + "x" + std::to_string(p.tpl_w) + "/shift" +
+          std::to_string(p.shift_h) + "x" + std::to_string(p.shift_w));
+}
+
+MatcherConfig TunedMatcher(vcuda::Context& ctx, const Problem& p, tune::TuningCache* cache,
+                           tune::TuneResult* result, tune::PredictiveOptions opts) {
+  const std::string key = MatcherCacheKey(ctx, p);
+  auto to_config = [](const tune::Config& c) {
+    MatcherConfig cfg;
+    cfg.specialize = true;
+    cfg.threads = static_cast<int>(c.at("threads"));
+    cfg.tile_h = static_cast<int>(c.at("tile_h"));
+    cfg.tile_w = static_cast<int>(c.at("tile_w"));
+    return cfg;
+  };
+
+  if (cache) {
+    if (std::optional<tune::Config> hit = cache->Lookup(key)) {
+      if (result) {
+        *result = tune::TuneResult{};
+        result->best = *hit;
+        result->status = tune::TuneStatus::kOk;
+        result->cache_hit = true;
+      }
+      return to_config(*hit);
+    }
+  }
+
+  if (!opts.prune) opts.prune = MatcherPrune(ctx, p);
+  tune::TuneResult r = tune::PredictiveSearch(MatcherSpace(), MatcherEval(ctx, p), opts);
+  if (!r.ok()) {
+    throw Error("matching autotune: no feasible (threads, tile) configuration for " + key);
+  }
+  if (cache) cache->Store(key, r.best);
+  if (result) *result = r;
+  return to_config(r.best);
+}
+
+}  // namespace kspec::apps::matching

@@ -1,0 +1,44 @@
+// Autotuning wiring for the template matcher: the (threads, tile_h, tile_w)
+// implementation-parameter space, its evaluator, its static feasibility
+// pre-pass, and a cache-first entry point mirroring apps/piv/tune.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/matching/gpu.hpp"
+#include "apps/matching/problem.hpp"
+#include "tune/tuner.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace kspec::apps::matching {
+
+// The matcher tuning space. The thread axis deliberately includes 1024 —
+// legal on neither the kernels' reduction scratch nor (for the C1060) the
+// device — so the pre-pass has real work on every device.
+std::vector<tune::ParamRange> MatcherSpace();
+
+// Measures one configuration: run the four-stage pipeline, return the
+// summed simulated ms. Throws (-> skipped) on configurations GpuMatch
+// rejects.
+tune::EvalFn MatcherEval(vcuda::Context& ctx, const Problem& p);
+
+// Static pre-pass: the matcher's structural admission (power-of-two thread
+// counts within the reduction scratch, non-degenerate tiling) plus the
+// occupancy screen over the pipeline's hungriest stages — the tiled
+// numerator (shared tile of tile_area floats) and the score/peak reduction
+// (two scratch arrays of `threads` entries). The returned callable borrows
+// `ctx` and `p`; both must outlive it.
+tune::PruneFn MatcherPrune(vcuda::Context& ctx, const Problem& p);
+
+// (kernel, device, problem-geometry) key for the persistent TuningCache.
+std::string MatcherCacheKey(const vcuda::Context& ctx, const Problem& p);
+
+// Cache-first autotuned configuration; see piv::TunedRegBlock for the
+// contract. Throws Error when the space holds no feasible configuration.
+MatcherConfig TunedMatcher(vcuda::Context& ctx, const Problem& p,
+                           tune::TuningCache* cache = nullptr,
+                           tune::TuneResult* result = nullptr,
+                           tune::PredictiveOptions opts = {});
+
+}  // namespace kspec::apps::matching

@@ -28,6 +28,8 @@ std::string SourceFor(Variant v) {
   return body;
 }
 
+}  // namespace
+
 const char* KernelName(Variant v) {
   switch (v) {
     case Variant::kBasic: return "pivBasic";
@@ -38,7 +40,7 @@ const char* KernelName(Variant v) {
   return "?";
 }
 
-}  // namespace
+std::string KernelSource(Variant v) { return SourceFor(v); }
 
 const char* VariantName(Variant v) {
   switch (v) {

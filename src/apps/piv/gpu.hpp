@@ -22,6 +22,12 @@ enum class Variant {
 
 const char* VariantName(Variant v);
 
+// The variant's single-source kernel text (common header spliced in) and its
+// kernel name. Exposed so the autotuner's occupancy pre-pass can reference-
+// compile a variant and read MiniPTX register counts without launching.
+std::string KernelSource(Variant v);
+const char* KernelName(Variant v);
+
 struct PivConfig {
   Variant variant = Variant::kWarpSpec;
   int threads = 64;        // power of two, multiple of 32, <= 256

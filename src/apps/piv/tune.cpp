@@ -1,0 +1,135 @@
+#include "apps/piv/tune.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "launch/spec_builder.hpp"
+#include "support/math.hpp"
+#include "support/status.hpp"
+#include "tune/prepass.hpp"
+#include "vgpu/device.hpp"
+
+namespace kspec::apps::piv {
+
+namespace {
+
+// The exact specialization defines GpuPiv would emit for this configuration,
+// so reference compiles hit the same module-cache entries real evaluations do.
+kcc::CompileOptions RegBlockOpts(const Problem& p, int threads, int rb) {
+  launch::SpecBuilder spec(/*specialize=*/true, &PivParams());
+  spec.Flag("CT_MASK").Value("K_MASK_W", p.mask_w).Value("K_MASK_AREA", p.mask_area())
+      .Flag("CT_SEARCH").Value("K_SEARCH_W", p.search_w()).Value("K_N_OFFSETS", p.n_offsets())
+      .Flag("CT_THREADS").Value("K_THREADS", threads)
+      .Value("K_RB", rb).Value("K_GUARD", rb * threads == p.mask_area() ? 0 : 1);
+  return spec.Build();
+}
+
+}  // namespace
+
+std::vector<tune::ParamRange> RegBlockSpace(int max_rb) {
+  std::vector<std::int64_t> rb;
+  for (int r = 1; r <= max_rb; ++r) rb.push_back(r);
+  return {{"threads", {32, 64, 128, 256}}, {"rb", std::move(rb)}};
+}
+
+tune::EvalFn RegBlockEval(vcuda::Context& ctx, const Problem& p) {
+  return [ctx = &ctx, p = &p](const tune::Config& c) -> double {
+    PivConfig cfg;
+    cfg.variant = Variant::kRegBlock;
+    cfg.specialize = true;
+    cfg.threads = static_cast<int>(c.at("threads"));
+    cfg.rb = static_cast<int>(c.at("rb"));
+    return GpuPiv(*ctx, *p, cfg).stats.sim_millis;
+  };
+}
+
+tune::PruneFn RegBlockPrune(vcuda::Context& ctx, const Problem& p) {
+  const vgpu::DeviceProfile dev = ctx.device();
+  // Register counts per (threads, rb), read from MiniPTX on first use. The
+  // map is shared across copies of the returned std::function.
+  auto reg_memo = std::make_shared<std::map<std::pair<int, int>, unsigned>>();
+
+  tune::ResourceFn resources = [ctx = &ctx, p = &p, dev, reg_memo](const tune::Config& c)
+      -> std::optional<tune::ResourceEstimate> {
+    const auto threads = c.at("threads");
+    const auto rb = c.at("rb");
+    // Structural screens mirroring GpuPiv's own admission.
+    if (threads < 32 || threads > 256 || !IsPow2(static_cast<std::uint64_t>(threads))) {
+      return std::nullopt;
+    }
+    if (rb * threads < p->mask_area()) return std::nullopt;  // uncoverable mask
+
+    tune::ResourceEstimate est;
+    est.threads = static_cast<unsigned>(threads);
+    est.smem_per_block = est.threads * 4;  // pivRegBlock: __shared float red[NTHREADS]
+
+    // Registers can only decide feasibility when even the device's per-thread
+    // maximum would zero out occupancy at this block size — for every other
+    // configuration the answer is already "launchable" and the MiniPTX count
+    // is not worth a compile.
+    est.regs_per_thread = 1;
+    if (vgpu::ComputeOccupancy(dev, vgpu::Dim3(est.threads), dev.max_regs_per_thread,
+                               est.smem_per_block)
+            .blocks_per_sm > 0) {
+      return est;
+    }
+    auto key = std::make_pair(static_cast<int>(threads), static_cast<int>(rb));
+    auto it = reg_memo->find(key);
+    if (it == reg_memo->end()) {
+      auto mod = ctx->LoadModule(KernelSource(Variant::kRegBlock),
+                                 RegBlockOpts(*p, key.first, key.second));
+      it = reg_memo
+               ->emplace(key, static_cast<unsigned>(
+                                  mod->GetKernel(KernelName(Variant::kRegBlock)).stats.reg_count))
+               .first;
+    }
+    est.regs_per_thread = it->second;
+    return est;
+  };
+  return tune::OccupancyPrune(dev, std::move(resources));
+}
+
+std::string RegBlockCacheKey(const vcuda::Context& ctx, const Problem& p) {
+  // The signature covers exactly the shape the kernel specializes on (mask
+  // and search dimensions); the mask *count* only scales the launch grid and
+  // produces the same binary, so same-shape problems share the tuned entry.
+  return tune::TuningCache::MakeKey(
+      "piv/regblock", ctx.device().name,
+      "mask" + std::to_string(p.mask_h) + "x" + std::to_string(p.mask_w) + "/search" +
+          std::to_string(p.search_h()) + "x" + std::to_string(p.search_w()));
+}
+
+PivConfig TunedRegBlock(vcuda::Context& ctx, const Problem& p, tune::TuningCache* cache,
+                        tune::TuneResult* result, tune::PredictiveOptions opts) {
+  const std::string key = RegBlockCacheKey(ctx, p);
+  auto to_config = [](const tune::Config& c) {
+    PivConfig cfg;
+    cfg.variant = Variant::kRegBlock;
+    cfg.specialize = true;
+    cfg.threads = static_cast<int>(c.at("threads"));
+    cfg.rb = static_cast<int>(c.at("rb"));
+    return cfg;
+  };
+
+  if (cache) {
+    if (std::optional<tune::Config> hit = cache->Lookup(key)) {
+      if (result) {
+        *result = tune::TuneResult{};
+        result->best = *hit;
+        result->status = tune::TuneStatus::kOk;
+        result->cache_hit = true;
+      }
+      return to_config(*hit);
+    }
+  }
+
+  if (!opts.prune) opts.prune = RegBlockPrune(ctx, p);
+  tune::TuneResult r = tune::PredictiveSearch(RegBlockSpace(), RegBlockEval(ctx, p), opts);
+  if (!r.ok()) throw Error("piv autotune: no feasible (threads, rb) configuration for " + key);
+  if (cache) cache->Store(key, r.best);
+  if (result) *result = r;
+  return to_config(r.best);
+}
+
+}  // namespace kspec::apps::piv

@@ -1,0 +1,46 @@
+// Autotuning wiring for the PIV register-blocking kernel: the (threads, rb)
+// implementation-parameter space, its evaluator, its static feasibility
+// pre-pass, and a cache-first entry point that skips the search when a
+// persisted TuningCache already knows this (device, problem) pair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/piv/gpu.hpp"
+#include "apps/piv/problem.hpp"
+#include "tune/tuner.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace kspec::apps::piv {
+
+// The kRegBlock tuning space. `max_rb` bounds the register-blocking axis;
+// thread counts are the PIV-legal powers of two.
+std::vector<tune::ParamRange> RegBlockSpace(int max_rb = 48);
+
+// Measures one configuration: specialize, launch, return simulated ms.
+// Throws (-> skipped) on configurations GpuPiv rejects.
+tune::EvalFn RegBlockEval(vcuda::Context& ctx, const Problem& p);
+
+// Static pre-pass over the same space: coverage arithmetic (rb * threads
+// must tile the mask) plus the occupancy screen of tune::OccupancyPrune.
+// Register counts come from MiniPTX via memoized reference compiles — and
+// only for configurations where the device profile says registers could
+// actually zero out occupancy, so the common case costs no compile at all.
+// The returned callable borrows `ctx` and `p`; both must outlive it.
+tune::PruneFn RegBlockPrune(vcuda::Context& ctx, const Problem& p);
+
+// (kernel, device, problem-geometry) key for the persistent TuningCache.
+std::string RegBlockCacheKey(const vcuda::Context& ctx, const Problem& p);
+
+// Cache-first autotuned configuration: answers from `cache` when it already
+// holds this key (zero evaluations), otherwise runs PredictiveSearch with
+// the pre-pass and stores the winner. Throws Error when the space holds no
+// feasible configuration. `result`, when given, receives the full TuneResult
+// (cache_hit = true and evaluated = 0 on the cache path).
+PivConfig TunedRegBlock(vcuda::Context& ctx, const Problem& p,
+                        tune::TuningCache* cache = nullptr,
+                        tune::TuneResult* result = nullptr,
+                        tune::PredictiveOptions opts = {});
+
+}  // namespace kspec::apps::piv

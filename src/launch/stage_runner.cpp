@@ -49,12 +49,15 @@ std::shared_ptr<vcuda::Module> StageRunner::LoadStage(const std::string& stage,
   } else {
     mod = LoaderFor(source).Get(spec.Build());
   }
-  // Charge the module's (possibly amortized) build cost: a cached load still
-  // reports the original compile time, matching the pre-refactor per-app
-  // compile_millis semantics.
-  const double compile = mod->compiled().compile_millis;
-  StageFor(stage).compile_millis += compile;
-  breakdown_.compile_millis += compile;
+  // Charge the module's (possibly amortized) build cost once per (stage,
+  // binary) per breakdown. A cached load still reports the original compile
+  // time — but a stage that loads the same binary on every frame must not
+  // multiply that one compile by the launch count.
+  if (charged_.insert({stage, mod->compiled_ptr().get()}).second) {
+    const double compile = mod->compiled().compile_millis;
+    StageFor(stage).compile_millis += compile;
+    breakdown_.compile_millis += compile;
+  }
   return mod;
 }
 
@@ -95,6 +98,7 @@ void StageRunner::AccountDtoH(std::uint64_t bytes) {
 LaunchBreakdown StageRunner::TakeBreakdown() {
   LaunchBreakdown out = std::move(breakdown_);
   breakdown_ = LaunchBreakdown{};
+  charged_.clear();  // next breakdown charges each binary's compile afresh
   return out;
 }
 

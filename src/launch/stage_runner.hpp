@@ -25,8 +25,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "launch/spec_builder.hpp"
@@ -80,8 +82,9 @@ class StageRunner {
   const TransferModel& transfer_model() const { return opts_.transfer; }
 
   // Loads the stage's module under the configured policy and charges its
-  // build cost to the stage record. Under a tiered policy a cold parameter
-  // set is answered with the shared RE build of `source`.
+  // build cost to the stage record — once per distinct compiled binary per
+  // breakdown, however many launches reload it. Under a tiered policy a cold
+  // parameter set is answered with the shared RE build of `source`.
   std::shared_ptr<vcuda::Module> LoadStage(const std::string& stage, const std::string& source,
                                            const SpecBuilder& spec);
 
@@ -138,6 +141,12 @@ class StageRunner {
   vcuda::Context* ctx_;
   RunnerOptions opts_;
   LaunchBreakdown breakdown_;
+  // (stage, compiled binary) pairs whose build cost is already in the current
+  // breakdown. Repeated LoadStage calls for the same binary — one per launch
+  // in every multi-launch stage — must not re-charge its compile time.
+  // Cleared by TakeBreakdown; a tiered promotion swaps in a new binary and is
+  // charged as such.
+  std::set<std::pair<std::string, const kcc::CompiledModule*>> charged_;
   std::map<std::string, std::unique_ptr<vcuda::TieredLoader>> loaders_;  // by source
 };
 

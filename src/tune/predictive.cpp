@@ -1,0 +1,261 @@
+// PredictiveSearch: the KLARAPTOR idea (fit a cheap cost model from a few
+// samples, then only verify its best predictions) adapted to the
+// deterministic simulator, where it can be validated exactly against
+// grid-search ground truth.
+//
+// Pipeline:
+//   1. pre-pass   — statically infeasible configurations are pruned before
+//                   anything compiles or launches (pruned_static);
+//   2. seed       — a stratified sample of the surviving space is measured;
+//   3. fit        — least squares of log(cost) on {1, x_d, x_d^2} per
+//                   parameter, x_d = log2(value). Quadratic-in-log captures
+//                   the U-shaped occupancy/ILP tradeoff curves GPU launch
+//                   parameters produce (KLARAPTOR fits rational programs;
+//                   on piecewise-smooth simulator surfaces a low-order
+//                   polynomial ranks just as well and needs fewer samples);
+//   4. rank+verify— every unmeasured candidate is scored by the model and
+//                   only the top-k predictions are measured for real;
+//   5. fallback   — a poor fit (R^2 below threshold, or too few feasible
+//                   seeds to determine the coefficients) falls back to
+//                   multi-start CoordinateDescent over the same memoized
+//                   evaluations.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "support/status.hpp"
+#include "tune/search_internal.hpp"
+#include "tune/tuner.hpp"
+
+namespace kspec::tune {
+
+namespace {
+
+using internal::Evaluator;
+
+double Feature(std::int64_t v) {
+  return v > 0 ? std::log2(static_cast<double>(v)) : static_cast<double>(v);
+}
+
+// Solves the p x p system A w = b by Gaussian elimination with partial
+// pivoting. Returns false when (numerically) singular.
+bool SolveLinear(std::vector<std::vector<double>> a, std::vector<double> b,
+                 std::vector<double>* w) {
+  const std::size_t p = b.size();
+  for (std::size_t col = 0; col < p; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < p; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < p; ++r) {
+      double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < p; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  w->assign(p, 0);
+  for (std::size_t col = p; col-- > 0;) {
+    double acc = b[col];
+    for (std::size_t c = col + 1; c < p; ++c) acc -= a[col][c] * (*w)[c];
+    (*w)[col] = acc / a[col][col];
+  }
+  return true;
+}
+
+// The fitted per-parameter quadratic cost model.
+struct CostModel {
+  // Dimensions that actually vary across the seed sample; constant ones
+  // carry no information and would make the normal equations singular.
+  std::vector<std::string> dims;
+  std::vector<double> coeffs;  // 1 + 2 * dims.size()
+  double r2 = 0;
+
+  std::vector<double> Row(const Config& cfg) const {
+    std::vector<double> row;
+    row.reserve(1 + 2 * dims.size());
+    row.push_back(1.0);
+    for (const std::string& d : dims) {
+      double x = Feature(cfg.at(d));
+      row.push_back(x);
+      row.push_back(x * x);
+    }
+    return row;
+  }
+
+  double Predict(const Config& cfg) const {
+    std::vector<double> row = Row(cfg);
+    double y = 0;
+    for (std::size_t i = 0; i < row.size(); ++i) y += coeffs[i] * row[i];
+    return y;  // log-cost; monotone in cost, which is all ranking needs
+  }
+};
+
+// Fits log(ms) over the measured samples. Returns false when the sample
+// cannot determine the model (too few points or singular system).
+bool FitModel(const std::vector<ParamRange>& space, const std::vector<Sample>& samples,
+              CostModel* model) {
+  model->dims.clear();
+  for (const auto& r : space) {
+    std::set<std::int64_t> seen;
+    for (const Sample& s : samples) seen.insert(s.config.at(r.name));
+    if (seen.size() >= 2) model->dims.push_back(r.name);
+  }
+  const std::size_t p = 1 + 2 * model->dims.size();
+  // Require residual degrees of freedom: with exactly p samples the model
+  // interpolates anything (R^2 = 1 on pure noise) and the gate below is
+  // meaningless.
+  if (samples.size() < p + 2) return false;
+
+  // Normal equations: (X^T X) w = X^T y.
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0));
+  std::vector<double> xty(p, 0);
+  for (const Sample& s : samples) {
+    std::vector<double> row = model->Row(s.config);
+    double y = std::log(std::max(s.millis, 1e-12));
+    for (std::size_t i = 0; i < p; ++i) {
+      xty[i] += row[i] * y;
+      for (std::size_t j = 0; j < p; ++j) xtx[i][j] += row[i] * row[j];
+    }
+  }
+  if (!SolveLinear(std::move(xtx), std::move(xty), &model->coeffs)) return false;
+
+  double mean = 0;
+  for (const Sample& s : samples) mean += std::log(std::max(s.millis, 1e-12));
+  mean /= static_cast<double>(samples.size());
+  double ss_res = 0, ss_tot = 0;
+  for (const Sample& s : samples) {
+    double y = std::log(std::max(s.millis, 1e-12));
+    double e = y - model->Predict(s.config);
+    ss_res += e * e;
+    ss_tot += (y - mean) * (y - mean);
+  }
+  const double raw = ss_tot < 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+  // Degrees-of-freedom-adjusted R^2: raw R^2 is inflated when the sample is
+  // barely larger than the coefficient count (7 coefficients fit 10 random
+  // points to ~0.7), which would wave garbage models through the quality
+  // gate. The adjustment can go negative; the gate only cares about "high".
+  const double m = static_cast<double>(samples.size());
+  model->r2 = 1.0 - (1.0 - raw) * (m - 1.0) / (m - static_cast<double>(p) - 1.0);
+  return true;
+}
+
+}  // namespace
+
+TuneResult PredictiveSearch(const std::vector<ParamRange>& space, const EvalFn& eval,
+                            PredictiveOptions opts) {
+  internal::CheckSpace(space);
+  KSPEC_CHECK_MSG(opts.seed_samples > 0 && opts.verify_top_k >= 0,
+                  "invalid predictive-search options");
+
+  TuneResult result;
+
+  // Static pre-pass over the whole space: everything it rejects is out of
+  // consideration before a single compile or launch.
+  std::vector<Config> candidates;
+  std::set<Config> pruned;
+  for (Config& cfg : internal::EnumerateSpace(space)) {
+    if (opts.prune && opts.prune(cfg)) {
+      ++result.pruned_static;
+      pruned.insert(std::move(cfg));
+    } else {
+      candidates.push_back(std::move(cfg));
+    }
+  }
+
+  // The evaluator still shields against pruned configurations (the fallback
+  // descent probes the raw space) without re-counting them.
+  PruneFn shield;
+  if (!pruned.empty()) shield = [&pruned](const Config& c) { return pruned.count(c) != 0; };
+  Evaluator ev(eval, shield, &result, /*count_pruned=*/false);
+  auto measure = [&](const Config& cfg) {
+    double ms = ev(cfg);
+    internal::Offer(&result, cfg, ms);
+    return ms;
+  };
+
+  if (candidates.empty()) {
+    result.best_millis = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  const std::size_t budget =
+      opts.max_evaluations > 0
+          ? static_cast<std::size_t>(opts.max_evaluations)
+          : static_cast<std::size_t>(opts.seed_samples + opts.verify_top_k);
+
+  // Degenerate case: a space no larger than the budget is measured
+  // exhaustively — the result is exact, not predicted.
+  if (candidates.size() <= budget) {
+    for (const Config& cfg : candidates) measure(cfg);
+    result.fit_r2 = 1.0;
+    if (!result.ok()) result.best_millis = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  // Seed sample: a golden-section stride, made coprime to n. A naive evenly
+  // spaced stride aliases with the enumeration period (the first dimension
+  // varies fastest), which can pin one parameter to a near-constant value
+  // across the whole sample — the coprime stride walks every dimension's
+  // period out of phase instead, so each axis is exercised. Extended with a
+  // linear scan if dynamic infeasibility eats into the sample.
+  const std::size_t n = candidates.size();
+  const std::size_t want_seeds =
+      std::min({static_cast<std::size_t>(opts.seed_samples), n, budget});
+  std::size_t step = std::max<std::size_t>(1, static_cast<std::size_t>(0.618 * n));
+  while (std::gcd(step, n) != 1) ++step;
+  std::set<std::size_t> tried;
+  for (std::size_t j = 0; j < want_seeds; ++j) {
+    std::size_t idx = (j * step) % n;
+    if (tried.insert(idx).second) measure(candidates[idx]);
+  }
+  for (std::size_t idx = 0; idx < n && result.evaluated < want_seeds; ++idx) {
+    if (tried.insert(idx).second) measure(candidates[idx]);
+  }
+
+  // Fit; rank; verify the top-k predictions with real measurements.
+  CostModel model;
+  const bool fitted = FitModel(space, result.history, &model);
+  result.fit_r2 = fitted ? model.r2 : 0.0;
+  if (fitted && model.r2 >= opts.min_fit_r2) {
+    std::vector<std::size_t> ranked;
+    ranked.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ev.Measured(candidates[i]) && !tried.count(i)) ranked.push_back(i);
+    }
+    std::vector<double> pred(n, 0);
+    for (std::size_t i : ranked) pred[i] = model.Predict(candidates[i]);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&](std::size_t a, std::size_t b) { return pred[a] < pred[b]; });
+
+    // Dynamically infeasible predictions cost no budget but are capped so a
+    // wrong model cannot trigger a compile storm.
+    std::size_t attempts = 0;
+    const std::size_t max_attempts =
+        std::max<std::size_t>(2 * static_cast<std::size_t>(opts.verify_top_k), 8);
+    std::size_t verified = 0;
+    for (std::size_t i : ranked) {
+      if (verified >= static_cast<std::size_t>(opts.verify_top_k)) break;
+      if (result.evaluated >= budget || attempts >= max_attempts) break;
+      ++attempts;
+      if (std::isfinite(measure(candidates[i]))) ++verified;
+    }
+  } else {
+    // The model cannot be trusted: descend instead, reusing every
+    // measurement already taken. An explicit evaluation budget still binds;
+    // the implicit seed+top-k budget does not (the fallback is the escape
+    // hatch, not a prediction).
+    result.used_fallback = true;
+    internal::CoordinateDescentInto(space, ev, &result, opts.fallback_max_rounds,
+                                    opts.max_evaluations > 0 ? budget : 0);
+  }
+
+  if (!result.ok()) result.best_millis = std::numeric_limits<double>::infinity();
+  return result;
+}
+
+}  // namespace kspec::tune

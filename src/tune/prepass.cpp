@@ -1,0 +1,25 @@
+#include "tune/prepass.hpp"
+
+#include <algorithm>
+
+namespace kspec::tune {
+
+bool AdmitsLaunch(const vgpu::DeviceProfile& dev, const ResourceEstimate& r) {
+  if (r.threads == 0 || r.threads > dev.max_threads_per_block) return false;
+  if (r.smem_per_block > dev.shared_mem_per_sm) return false;
+  // Registers beyond the device limit spill (the kernel still launches
+  // with the clamped count) — mirror interp.cpp's admission exactly.
+  const unsigned regs = std::min(std::max(r.regs_per_thread, 1u), dev.max_regs_per_thread);
+  return vgpu::ComputeOccupancy(dev, vgpu::Dim3(r.threads), regs, r.smem_per_block)
+             .blocks_per_sm > 0;
+}
+
+PruneFn OccupancyPrune(const vgpu::DeviceProfile& dev, ResourceFn resources) {
+  return [dev, resources = std::move(resources)](const Config& cfg) -> bool {
+    std::optional<ResourceEstimate> r = resources(cfg);
+    if (!r) return true;  // structurally infeasible
+    return !AdmitsLaunch(dev, *r);
+  };
+}
+
+}  // namespace kspec::tune

@@ -1,0 +1,45 @@
+// Static occupancy/feasibility pre-pass (the Lim et al. idea: prune launch
+// configurations from resource analysis before any launch).
+//
+// The simulator admits a launch exactly when the block fits the device, the
+// shared-memory request fits an SM, and occupancy is non-zero after the
+// register count is clamped to the device's per-thread maximum (spilling).
+// OccupancyPrune mirrors that admission decision over a *static resource
+// estimate* — typically MiniPTX register counts read from a handful of
+// axis-aligned reference compiles (registers vary with one parameter,
+// shared memory with another) — so an entire tuning space can be screened
+// with no per-candidate compile and no launch at all.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "tune/tuner.hpp"
+#include "vgpu/device.hpp"
+
+namespace kspec::tune {
+
+// What one configuration would ask the device for at launch.
+struct ResourceEstimate {
+  unsigned threads = 0;          // block size (threads per block)
+  unsigned regs_per_thread = 0;  // MiniPTX-derived register estimate
+  unsigned smem_per_block = 0;   // static + dynamic shared bytes
+};
+
+// Returns the resources `cfg` would request, or nullopt when the
+// configuration is structurally infeasible for non-resource reasons
+// (uncoverable mask, degenerate tiling, ...). Must not launch anything.
+using ResourceFn = std::function<std::optional<ResourceEstimate>(const Config&)>;
+
+// Replays the simulator's launch admission against one static estimate:
+// block-size limit, shared-memory limit, then zero occupancy with the
+// register count clamped the way the interpreter clamps it. Exposed for
+// multi-stage pipelines that must screen several kernels per configuration.
+bool AdmitsLaunch(const vgpu::DeviceProfile& dev, const ResourceEstimate& r);
+
+// Builds a PruneFn from AdmitsLaunch over `resources`. A config is pruned
+// only when the estimate says the launch would be *rejected* — estimates
+// for launchable configs merely cost nothing.
+PruneFn OccupancyPrune(const vgpu::DeviceProfile& dev, ResourceFn resources);
+
+}  // namespace kspec::tune

@@ -1,0 +1,60 @@
+// Internals shared by the search strategies (tuner.cpp, predictive.cpp).
+// Not part of the public tune API.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "tune/tuner.hpp"
+
+namespace kspec::tune::internal {
+
+// Memoizing evaluator with unified accounting: each unique configuration is
+// pruned / measured / skipped at most once per search, no matter how many
+// times a strategy revisits it (multi-start descent, seed-then-verify).
+// Infeasible points — statically pruned or dynamically rejected — evaluate
+// to +inf so strategies can compare costs uniformly.
+class Evaluator {
+ public:
+  // `count_pruned` false lets a strategy that already tallied the pre-pass
+  // over the whole space (PredictiveSearch) still shield itself with the
+  // prune without double-counting pruned_static.
+  Evaluator(const EvalFn& eval, const PruneFn& prune, TuneResult* result,
+            bool count_pruned = true)
+      : eval_(eval), prune_(prune), result_(result), count_pruned_(count_pruned) {}
+
+  double operator()(const Config& cfg);
+
+  // True if cfg was already measured (finite) by a previous call.
+  bool Measured(const Config& cfg) const;
+
+  std::size_t measured_count() const { return result_->evaluated; }
+
+ private:
+  const EvalFn& eval_;
+  const PruneFn& prune_;
+  TuneResult* result_;
+  bool count_pruned_ = true;
+  std::map<Config, double> memo_;
+};
+
+// Validates the space (throws on empty) — shared precondition of every
+// strategy.
+void CheckSpace(const std::vector<ParamRange>& space);
+
+// Enumerates the full cross product in odometer order (first range varies
+// fastest).
+std::vector<Config> EnumerateSpace(const std::vector<ParamRange>& space);
+
+// The multi-start coordinate-descent core, folding measurements into
+// `ev`'s result. Updates result->best/best_millis with anything better it
+// finds. `max_evaluations` (0 = unlimited) stops the descent once the
+// evaluator has measured that many configurations in total.
+void CoordinateDescentInto(const std::vector<ParamRange>& space, Evaluator& ev,
+                           TuneResult* result, int max_rounds,
+                           std::size_t max_evaluations = 0);
+
+// Folds a candidate into result->best and marks the result ok.
+void Offer(TuneResult* result, const Config& cfg, double ms);
+
+}  // namespace kspec::tune::internal

@@ -4,50 +4,59 @@
 #include <limits>
 
 #include "support/status.hpp"
+#include "tune/search_internal.hpp"
 
 namespace kspec::tune {
 
-namespace {
+namespace internal {
 
-// Safely evaluates one configuration; infeasible points become +inf.
-double TryEval(const EvalFn& eval, const Config& cfg, TuneResult* result) {
+double Evaluator::operator()(const Config& cfg) {
+  auto it = memo_.find(cfg);
+  if (it != memo_.end()) return it->second;
+
   double ms = std::numeric_limits<double>::infinity();
-  try {
-    ms = eval(cfg);
-    if (!std::isfinite(ms)) ms = std::numeric_limits<double>::infinity();
-  } catch (const Error&) {
-    ms = std::numeric_limits<double>::infinity();
-  }
-  if (std::isinf(ms)) {
-    ++result->skipped;
+  if (prune_ && prune_(cfg)) {
+    if (count_pruned_) ++result_->pruned_static;
   } else {
-    ++result->evaluated;
-    result->history.push_back({cfg, ms});
+    try {
+      ms = eval_(cfg);
+      if (!std::isfinite(ms)) ms = std::numeric_limits<double>::infinity();
+    } catch (const Error&) {
+      ms = std::numeric_limits<double>::infinity();
+    }
+    if (std::isinf(ms)) {
+      ++result_->skipped;
+    } else {
+      ++result_->evaluated;
+      result_->history.push_back({cfg, ms});
+    }
   }
+  memo_[cfg] = ms;
   return ms;
 }
 
-}  // namespace
+bool Evaluator::Measured(const Config& cfg) const {
+  auto it = memo_.find(cfg);
+  return it != memo_.end() && std::isfinite(it->second);
+}
 
-TuneResult GridSearch(const std::vector<ParamRange>& space, const EvalFn& eval) {
+void CheckSpace(const std::vector<ParamRange>& space) {
   KSPEC_CHECK_MSG(!space.empty(), "empty tuning space");
   for (const auto& r : space) KSPEC_CHECK_MSG(!r.values.empty(), "empty range: " + r.name);
+}
 
-  TuneResult result;
-  result.best_millis = std::numeric_limits<double>::infinity();
-
+std::vector<Config> EnumerateSpace(const std::vector<ParamRange>& space) {
+  std::vector<Config> out;
+  std::size_t total = 1;
+  for (const auto& r : space) total *= r.values.size();
+  out.reserve(total);
   std::vector<std::size_t> idx(space.size(), 0);
   while (true) {
     Config cfg;
     for (std::size_t d = 0; d < space.size(); ++d) {
       cfg[space[d].name] = space[d].values[idx[d]];
     }
-    double ms = TryEval(eval, cfg, &result);
-    if (ms < result.best_millis) {
-      result.best_millis = ms;
-      result.best = cfg;
-    }
-    // Odometer increment.
+    out.push_back(std::move(cfg));
     std::size_t d = 0;
     while (d < space.size()) {
       if (++idx[d] < space[d].values.size()) break;
@@ -56,44 +65,43 @@ TuneResult GridSearch(const std::vector<ParamRange>& space, const EvalFn& eval) 
     }
     if (d == space.size()) break;
   }
-  return result;
+  return out;
 }
 
-TuneResult CoordinateDescent(const std::vector<ParamRange>& space, const EvalFn& eval,
-                             int max_rounds) {
-  KSPEC_CHECK_MSG(!space.empty(), "empty tuning space");
-  for (const auto& r : space) KSPEC_CHECK_MSG(!r.values.empty(), "empty range: " + r.name);
+void Offer(TuneResult* result, const Config& cfg, double ms) {
+  if (!std::isfinite(ms)) return;
+  if (result->status != TuneStatus::kOk || ms < result->best_millis) {
+    result->best = cfg;
+    result->best_millis = ms;
+    result->status = TuneStatus::kOk;
+  }
+}
 
-  TuneResult result;
-  result.best_millis = std::numeric_limits<double>::infinity();
-
-  // Evaluations are memoized so multi-start restarts never re-measure a
-  // configuration (kernel-cache-style reuse).
-  std::map<Config, double> memo;
-  auto eval_memo = [&](const Config& cfg) -> double {
-    auto it = memo.find(cfg);
-    if (it != memo.end()) return it->second;
-    double ms = TryEval(eval, cfg, &result);
-    memo[cfg] = ms;
-    return ms;
+void CoordinateDescentInto(const std::vector<ParamRange>& space, Evaluator& ev,
+                           TuneResult* result, int max_rounds,
+                           std::size_t max_evaluations) {
+  auto budget_left = [&] {
+    return max_evaluations == 0 || ev.measured_count() < max_evaluations;
   };
 
   // Multi-start: descend once from every value of the first dimension. GPU
   // cost surfaces are only piecewise-smooth (feasibility cliffs from
   // occupancy and coverage constraints), so single-seed descent can trap.
   for (std::int64_t seed : space[0].values) {
+    if (!budget_left()) return;
     Config current;
     for (const auto& r : space) current[r.name] = r.values.front();
     current[space[0].name] = seed;
-    double current_ms = eval_memo(current);
+    double current_ms = ev(current);
 
     if (std::isinf(current_ms)) {
       // Walk remaining dimensions looking for any feasible start.
       for (std::size_t d = 1; d < space.size() && std::isinf(current_ms); ++d) {
         for (std::int64_t v : space[d].values) {
+          if (!budget_left()) return;
           Config probe = current;
           probe[space[d].name] = v;
-          double ms = eval_memo(probe);
+          double ms = ev(probe);
           if (!std::isinf(ms)) {
             current = probe;
             current_ms = ms;
@@ -109,9 +117,13 @@ TuneResult CoordinateDescent(const std::vector<ParamRange>& space, const EvalFn&
       for (const auto& r : space) {
         for (std::int64_t v : r.values) {
           if (v == current[r.name]) continue;
+          if (!budget_left()) {
+            Offer(result, current, current_ms);
+            return;
+          }
           Config probe = current;
           probe[r.name] = v;
-          double ms = eval_memo(probe);
+          double ms = ev(probe);
           if (ms < current_ms) {
             current = probe;
             current_ms = ms;
@@ -122,22 +134,32 @@ TuneResult CoordinateDescent(const std::vector<ParamRange>& space, const EvalFn&
       if (!improved) break;
     }
 
-    if (current_ms < result.best_millis) {
-      result.best_millis = current_ms;
-      result.best = current;
-    }
+    Offer(result, current, current_ms);
   }
+}
+
+}  // namespace internal
+
+TuneResult GridSearch(const std::vector<ParamRange>& space, const EvalFn& eval,
+                      const PruneFn& prune) {
+  internal::CheckSpace(space);
+  TuneResult result;
+  internal::Evaluator ev(eval, prune, &result);
+  for (const Config& cfg : internal::EnumerateSpace(space)) {
+    internal::Offer(&result, cfg, ev(cfg));
+  }
+  if (!result.ok()) result.best_millis = std::numeric_limits<double>::infinity();
   return result;
 }
 
-std::optional<Config> TuningCache::Lookup(const std::string& key) const {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
-}
-
-void TuningCache::Store(const std::string& key, Config config) {
-  entries_[key] = std::move(config);
+TuneResult CoordinateDescent(const std::vector<ParamRange>& space, const EvalFn& eval,
+                             int max_rounds, const PruneFn& prune) {
+  internal::CheckSpace(space);
+  TuneResult result;
+  internal::Evaluator ev(eval, prune, &result);
+  internal::CoordinateDescentInto(space, ev, &result, max_rounds);
+  if (!result.ok()) result.best_millis = std::numeric_limits<double>::infinity();
+  return result;
 }
 
 }  // namespace kspec::tune

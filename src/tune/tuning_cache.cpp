@@ -1,0 +1,136 @@
+// Persistent tier of the TuningCache.
+//
+// Artifact layout mirrors the .kmod envelope (src/kcc/serialize.cpp): magic,
+// format version, FNV-1a content checksum, payload size, then the entry map.
+// Any malformed file — truncated, corrupt, version-bumped — deserializes to
+// an empty cache with a warning rather than an error: tuned configurations
+// are always recomputable, so the cache must never be able to wedge a run.
+// Writes go through WriteFileAtomic (temp file + rename) after re-merging
+// the on-disk entries, so concurrent processes sharing one path never see a
+// torn file and a late writer does not drop an earlier writer's entries.
+#include <cstring>
+#include <utility>
+
+#include "support/log.hpp"
+#include "support/serialize.hpp"
+#include "tune/tuner.hpp"
+
+namespace kspec::tune {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'S', 'P', 'C', 'T', 'U', 'N', '1'};
+constexpr std::uint32_t kTuneFormatVersion = 1;
+
+std::vector<std::uint8_t> SerializeEntries(const std::map<std::string, Config>& entries) {
+  ByteWriter payload;
+  payload.U32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [key, config] : entries) {
+    payload.Str(key);
+    payload.U32(static_cast<std::uint32_t>(config.size()));
+    for (const auto& [name, value] : config) {
+      payload.Str(name);
+      payload.I64(value);
+    }
+  }
+  ByteWriter out;
+  out.Raw(kMagic, sizeof(kMagic));
+  out.U32(kTuneFormatVersion);
+  out.U64(Fnv1aBytes(payload.bytes().data(), payload.size()));
+  out.U64(payload.size());
+  out.Raw(payload.bytes().data(), payload.size());
+  return out.Take();
+}
+
+// Throws SerializeError on any malformation; callers downgrade to "empty".
+std::map<std::string, Config> DeserializeEntries(std::span<const std::uint8_t> bytes) {
+  ByteReader header(bytes);
+  char magic[8];
+  if (header.remaining() < sizeof(magic)) throw SerializeError("artifact shorter than header");
+  for (char& c : magic) c = static_cast<char>(header.U8());
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw SerializeError("bad magic: not a tuning-cache artifact");
+  }
+  std::uint32_t version = header.U32();
+  if (version != kTuneFormatVersion) {
+    throw SerializeError("format version " + std::to_string(version) + " != expected " +
+                         std::to_string(kTuneFormatVersion));
+  }
+  std::uint64_t checksum = header.U64();
+  std::uint64_t payload_size = header.U64();
+  if (payload_size != header.remaining()) {
+    throw SerializeError("payload size mismatch");
+  }
+  std::span<const std::uint8_t> payload = header.Rest();
+  if (Fnv1aBytes(payload.data(), payload.size()) != checksum) {
+    throw SerializeError("content checksum mismatch (corrupt artifact)");
+  }
+
+  ByteReader r(payload);
+  std::map<std::string, Config> entries;
+  const std::uint32_t n = r.U32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = r.Str();
+    Config config;
+    const std::uint32_t params = r.U32();
+    for (std::uint32_t j = 0; j < params; ++j) {
+      std::string name = r.Str();
+      config[std::move(name)] = r.I64();
+    }
+    entries[std::move(key)] = std::move(config);
+  }
+  if (!r.AtEnd()) throw SerializeError("trailing bytes after entries");
+  return entries;
+}
+
+// Best-effort read of `path` into an entry map; empty on any failure.
+std::map<std::string, Config> ReadEntries(const std::string& path, bool warn) {
+  std::vector<std::uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes)) return {};
+  try {
+    return DeserializeEntries(bytes);
+  } catch (const SerializeError& e) {
+    if (warn) {
+      KSPEC_LOG_WARN << "tuning cache " << path << ": " << e.what()
+                     << " — starting empty (entries will be re-tuned)";
+    }
+    return {};
+  }
+}
+
+}  // namespace
+
+TuningCache::TuningCache(std::string path) : path_(std::move(path)) { LoadFromDisk(); }
+
+void TuningCache::LoadFromDisk() { entries_ = ReadEntries(path_, /*warn=*/true); }
+
+std::string TuningCache::MakeKey(const std::string& kernel, const std::string& device,
+                                 const std::string& problem_signature) {
+  return kernel + "|" + device + "|" + problem_signature;
+}
+
+std::optional<Config> TuningCache::Lookup(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TuningCache::Store(const std::string& key, Config config) {
+  entries_[key] = std::move(config);
+  if (!path_.empty()) Flush();
+}
+
+bool TuningCache::Flush() const {
+  if (path_.empty()) return true;
+  // Re-merge what other processes wrote meanwhile; our entries win ties.
+  std::map<std::string, Config> merged = ReadEntries(path_, /*warn=*/false);
+  for (const auto& [key, config] : entries_) merged[key] = config;
+  std::vector<std::uint8_t> bytes = SerializeEntries(merged);
+  if (!WriteFileAtomic(path_, bytes)) {
+    KSPEC_LOG_WARN << "tuning cache: cannot write " << path_;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace kspec::tune

@@ -15,7 +15,13 @@ bool Ready(const ModuleFuture& f) {
 }  // namespace
 
 std::shared_ptr<Module> TieredLoader::ReModule() {
-  if (!re_module_) re_module_ = ctx_->LoadModule(source_, {});  // one RE build for all sets
+  // One RE build for all sets. call_once (not mu_) guards the compile:
+  // concurrent first users all wait here, but threads that don't need the RE
+  // build never queue behind a cold compile.
+  std::call_once(re_once_, [&] {
+    if (re_compile_hook_) re_compile_hook_();
+    re_module_ = ctx_->LoadModule(source_, {});
+  });
   return re_module_;
 }
 
@@ -36,6 +42,7 @@ std::shared_ptr<Module> TieredLoader::Get(const kcc::CompileOptions& specialized
     if (!Ready(s.pending)) {
       ++stats_.re_served;
       ++stats_.re_served_while_compiling;
+      lock.unlock();  // a cold RE build must not run under mu_
       return ReModule();
     }
     ModuleFuture done = std::move(s.pending);
@@ -79,6 +86,7 @@ std::shared_ptr<Module> TieredLoader::Get(const kcc::CompileOptions& specialized
       }
       // Rejected (service backpressure): serve RE now; the next Get retries.
       ++stats_.re_served;
+      lock.unlock();
       return ReModule();
     }
 
@@ -98,6 +106,7 @@ std::shared_ptr<Module> TieredLoader::Get(const kcc::CompileOptions& specialized
   }
 
   ++stats_.re_served;
+  lock.unlock();
   return ReModule();
 }
 

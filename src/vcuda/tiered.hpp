@@ -21,6 +21,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,6 +57,21 @@ class TieredLoader {
     promotion_deadline_ = d;
   }
 
+  // Adjusts the promotion threshold at run time (e.g. threshold 1 promotes
+  // every set on first use; a large value pins everything to the RE build).
+  void set_hot_threshold(int t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hot_threshold_ = t;
+  }
+
+  // Test-only: runs at the start of the one-time RE compile, outside mu_.
+  // Lets tests hold the RE build open and prove that concurrent Gets for
+  // already-specialized sets are not serialized behind it. Must be set
+  // before the loader is used concurrently.
+  void set_test_compile_hook(std::function<void()> hook) {
+    re_compile_hook_ = std::move(hook);
+  }
+
   struct Stats {
     std::uint64_t re_served = 0;
     std::uint64_t sk_served = 0;
@@ -87,20 +103,28 @@ class TieredLoader {
     return kcc::ModuleCacheKey::Make(source_, opts, ctx_->device().name).CanonicalText();
   }
 
-  // Serves the shared RE build, compiling it on first use. Runs under mu_:
-  // the RE build compiles exactly once, and nothing can be served before it
-  // exists anyway.
+  // Serves the shared RE build, compiling it on first use. Must be called
+  // WITHOUT mu_ held: the compile is guarded by re_once_ instead, so a cold
+  // RE build (a real kcc compile, potentially hundreds of ms) never blocks
+  // unrelated Gets that only need mu_ for their own bookkeeping. After the
+  // call_once completes, re_module_ is immutable and safe to read lock-free.
   std::shared_ptr<Module> ReModule();
 
   Context* ctx_;
   std::string source_;
-  int hot_threshold_;
+  std::function<void()> re_compile_hook_;  // test-only; set before concurrency
 
-  mutable std::mutex mu_;  // guards everything below
+  mutable std::mutex mu_;  // guards everything below except re_module_
+  int hot_threshold_;
   std::chrono::milliseconds promotion_deadline_{0};
-  std::shared_ptr<Module> re_module_;
   std::map<std::string, SetState> state_;
   Stats stats_;
+
+  // The shared RE build: written exactly once inside re_once_, read only
+  // after call_once returns (which synchronizes), so it needs no mutex and
+  // its compile happens outside mu_.
+  std::once_flag re_once_;
+  std::shared_ptr<Module> re_module_;
 };
 
 }  // namespace kspec::vcuda

@@ -40,6 +40,9 @@ class Module {
   Module(std::shared_ptr<const kcc::CompiledModule> compiled);
 
   const kcc::CompiledModule& compiled() const { return *compiled_; }
+  // Identity of the underlying compiled binary: two Modules served from the
+  // same cache entry (or the same tiered promotion) share one pointer.
+  const std::shared_ptr<const kcc::CompiledModule>& compiled_ptr() const { return compiled_; }
 
   // Returns the kernel or throws DeviceError if absent.
   const vgpu::CompiledKernel& GetKernel(const std::string& name) const;

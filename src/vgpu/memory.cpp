@@ -35,7 +35,12 @@ GlobalMemory::GlobalMemory(std::uint64_t capacity_bytes)
 }
 
 DevPtr GlobalMemory::Alloc(std::uint64_t bytes) {
-  bytes = AlignUp<std::uint64_t>(std::max<std::uint64_t>(bytes, 1), 16);
+  // 256-byte granularity, like cuMemAlloc's alignment guarantee. This also
+  // makes the cost model's transaction counts independent of allocation
+  // history: every block base — fresh bump or first-fit reuse — is segment-
+  // aligned, so identical access patterns charge identically no matter which
+  // block they land in (the autotuner's exact-regret claim relies on it).
+  bytes = AlignUp<std::uint64_t>(std::max<std::uint64_t>(bytes, 1), 256);
   std::lock_guard<std::mutex> lk(mu_);
   alloc_gen_.fetch_add(1, std::memory_order_relaxed);
   // First-fit reuse of freed blocks keeps long-running pipelines bounded.

@@ -36,7 +36,8 @@ class GlobalMemory {
  public:
   explicit GlobalMemory(std::uint64_t capacity_bytes);
 
-  // Allocates `bytes` (16-byte aligned); throws DeviceError when exhausted.
+  // Allocates `bytes` (256-byte aligned, like cuMemAlloc); throws
+  // DeviceError when exhausted.
   DevPtr Alloc(std::uint64_t bytes);
 
   // Frees an allocation returned by Alloc (exact pointer required).

@@ -65,6 +65,8 @@ TEST(CoordinateDescent, SurvivesInfeasibleStart) {
 TEST(CoordinateDescent, AllInfeasibleYieldsEmptyBest) {
   auto eval = [](const Config&) -> double { return std::nan(""); };
   TuneResult r = CoordinateDescent(BowlSpace(), eval);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status, TuneStatus::kNoFeasibleConfig);
   EXPECT_TRUE(r.best.empty());
   EXPECT_EQ(r.evaluated, 0u);
 }
@@ -99,8 +101,8 @@ TEST(Integration, TunesPivRegBlock) {
 
   TuneResult grid = GridSearch(space, eval);
   TuneResult cd = CoordinateDescent(space, eval);
-  ASSERT_FALSE(grid.best.empty());
-  ASSERT_FALSE(cd.best.empty());
+  ASSERT_TRUE(grid.ok());
+  ASSERT_TRUE(cd.ok());
   EXPECT_LE(cd.best_millis, grid.best_millis * 1.10);
   EXPECT_LE(cd.evaluated, grid.evaluated);
 }

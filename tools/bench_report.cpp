@@ -2,26 +2,77 @@
 // report file (default BENCH_interp.json), so a benchmark trajectory across
 // configurations or commits lives in a single reviewable artifact.
 //
-// Usage: bench_report [-o out.json] session1.json [session2.json ...]
+// Usage: bench_report [-o out.json] [--append] session1.json [session2.json ...]
 //
 // Each input is a bench Session file ({"bench": ..., "records": [...]}); the
 // output wraps them in {"benches": [...]}. Inputs are embedded verbatim, so
 // the tool stays schema-agnostic — any valid JSON object per input works.
+// With --append, sessions already in the output file are kept and the new
+// inputs are folded onto the end (e.g. growing BENCH_tune.json across PRs);
+// a missing or empty output file appends onto nothing.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+namespace {
+
+std::string Trim(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.pop_back();
+  }
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == '\n' || s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) ++i;
+  return s.substr(i);
+}
+
+// Splits an existing {"benches": [...]} report into its top-level session
+// bodies (balanced-brace scan; the embedded sessions are objects). Returns
+// false when the file does not look like a report.
+bool ExistingSessions(const std::string& text, std::vector<std::string>* out) {
+  const std::size_t open = text.find('[');
+  const std::size_t close = text.rfind(']');
+  if (open == std::string::npos || close == std::string::npos || close < open) return false;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t start = std::string::npos;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') {
+      if (depth++ == 0) start = i;
+    } else if (c == '}') {
+      if (--depth == 0 && start != std::string::npos) {
+        out->push_back(text.substr(start, i - start + 1));
+        start = std::string::npos;
+      }
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_interp.json";
+  bool append = false;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "-o" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (a == "--append") {
+      append = true;
     } else if (a == "-h" || a == "--help") {
-      std::cout << "usage: bench_report [-o out.json] session1.json [session2.json ...]\n";
+      std::cout << "usage: bench_report [-o out.json] [--append] session1.json "
+                   "[session2.json ...]\n";
       return 0;
     } else {
       inputs.push_back(a);
@@ -33,6 +84,19 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> bodies;
+  if (append) {
+    std::ifstream in(out_path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const std::string existing = Trim(ss.str());
+      if (!existing.empty() && !ExistingSessions(existing, &bodies)) {
+        std::cerr << "bench_report: " << out_path << " is not a bench report; not appending\n";
+        return 1;
+      }
+    }
+  }
+
   for (const std::string& path : inputs) {
     std::ifstream in(path);
     if (!in) {
@@ -41,11 +105,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream ss;
     ss << in.rdbuf();
-    std::string body = ss.str();
-    // Trim trailing whitespace so the embedded object composes cleanly.
-    while (!body.empty() && (body.back() == '\n' || body.back() == ' ' || body.back() == '\t')) {
-      body.pop_back();
-    }
+    std::string body = Trim(ss.str());
     if (body.empty()) {
       std::cerr << "bench_report: " << path << " is empty\n";
       return 1;
