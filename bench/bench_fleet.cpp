@@ -1,0 +1,203 @@
+// bench_fleet: cache-affinity routing vs seeded-random routing on a mixed
+// 4-shard fleet (2x VC1060 + 2x VC2070) under >= 1000 synthetic clients whose
+// specialization keys follow a Zipf distribution — the standard model of
+// serving traffic, where a few hot kernels dominate and a long tail stays
+// cold.
+//
+// The claim under test is the scheduler's reason to exist: on a fleet, the
+// specialization caches make placement matter. Affinity routing concentrates
+// each key where its specialized build already lives, so the fleet compiles
+// each key roughly once; random routing re-pays the compile on every shard a
+// key happens to land on and serves more launches from the slower RE build.
+// The headline comparison is p99 time-to-result (admission -> completion) and
+// total specialized-build compiles.
+//
+//   --json <path>  machine-readable records for tools/bench_report
+//                  (aggregate into BENCH_fleet.json)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sched/fleet.hpp"
+#include "vcuda/device_buffer.hpp"
+#include "vgpu/device.hpp"
+
+namespace kspec {
+namespace {
+
+constexpr const char* kKernel = R"(
+#ifndef N
+#define N n
+#endif
+__kernel void f(float* out, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < N; i++) { acc += 1.0f; }
+  out[threadIdx.x] = acc;
+}
+)";
+
+constexpr int kClients = 1200;  // >= 1000 synthetic clients
+constexpr int kKeys = 48;       // distinct specializations in the traffic
+constexpr double kZipfS = 1.1;  // classic web-traffic skew
+constexpr std::uint64_t kTrafficSeed = 0x5eed5eed5eed5eedull;
+
+std::uint64_t Xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+// Key sequence drawn from Zipf(kZipfS) over kKeys keys: key rank r has weight
+// 1/(r+1)^s. Deterministic per seed, identical for both routing arms.
+std::vector<int> ZipfTraffic() {
+  std::vector<double> cdf(kKeys);
+  double total = 0;
+  for (int r = 0; r < kKeys; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), kZipfS);
+    cdf[r] = total;
+  }
+  std::uint64_t s = kTrafficSeed;
+  std::vector<int> keys;
+  keys.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    const double u = total * (static_cast<double>(Xorshift(s) >> 11) /
+                              static_cast<double>(1ull << 53));
+    keys.push_back(static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin()));
+  }
+  return keys;
+}
+
+// One client's launch: key k runs the N = 16 + k specialization.
+sched::LaunchRequest RequestFor(int key) {
+  const int n = 16 + key;
+  sched::LaunchRequest req;
+  req.source = kKernel;
+  req.opts.defines["N"] = std::to_string(n);
+  req.kernel = "f";
+  req.grid = vgpu::Dim3(1);
+  req.block = vgpu::Dim3(32);
+  req.prepare = [n](vcuda::Context& ctx, std::vector<vcuda::DeviceBuffer>& scratch) {
+    scratch.emplace_back(ctx, 32 * sizeof(float));
+    vcuda::ArgPack args;
+    args.Ptr(scratch.back().get()).Int(n);
+    return args;
+  };
+  return req;
+}
+
+struct ArmResult {
+  double wall_ms = 0;        // submission of the first to completion of the last
+  double throughput = 0;     // completed clients per wall second
+  double p50_ms = 0;         // median time-to-result
+  double p99_ms = 0;         // tail time-to-result
+  double affinity_rate = 0;  // dispatches that hit a resident shard
+  double sk_rate = 0;        // launches served by the specialized build
+  std::uint64_t compiles = 0;  // module-cache misses summed over the shards
+  double sim_ms = 0;           // simulated device time summed over the shards
+};
+
+double Percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  const std::size_t i =
+      std::min(v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[i];
+}
+
+ArmResult RunArm(sched::Routing routing, const std::vector<int>& traffic) {
+  sched::FleetOptions opts;
+  opts.routing = routing;
+  opts.max_queue = kClients + 64;
+  sched::FleetScheduler fleet(
+      {vgpu::TeslaC1060(), vgpu::TeslaC2070(), vgpu::TeslaC2070(), vgpu::TeslaC1060()},
+      opts);
+
+  WallTimer timer;
+  std::vector<std::shared_future<sched::LaunchResult>> futures;
+  futures.reserve(traffic.size());
+  for (int key : traffic) futures.push_back(fleet.Submit(RequestFor(key)).result);
+  fleet.Drain();
+  const double wall = timer.ElapsedMillis();
+
+  ArmResult arm;
+  arm.wall_ms = wall;
+  std::vector<double> totals;
+  totals.reserve(futures.size());
+  std::uint64_t sk = 0;
+  for (auto& f : futures) {
+    const sched::LaunchResult r = f.get();
+    totals.push_back(r.total_millis);
+    sk += r.specialized ? 1 : 0;
+  }
+  arm.throughput = 1000.0 * static_cast<double>(totals.size()) / wall;
+  arm.p50_ms = Percentile(totals, 0.50);
+  arm.p99_ms = Percentile(totals, 0.99);
+  const sched::FleetStats s = fleet.stats();
+  arm.affinity_rate =
+      static_cast<double>(s.affinity_hits) / static_cast<double>(s.dispatched);
+  arm.sk_rate = static_cast<double>(sk) / static_cast<double>(totals.size());
+  for (std::size_t i = 0; i < fleet.shard_count(); ++i) {
+    arm.compiles += fleet.shard(i).ctx().cache_stats().misses;
+    arm.sim_ms += fleet.shard_stats(i).sim_millis;
+  }
+  return arm;
+}
+
+}  // namespace
+}  // namespace kspec
+
+int main(int argc, char** argv) {
+  using namespace kspec;
+  bench::Session session("bench_fleet", argc, argv);
+
+  bench::Banner("Fleet", "affinity vs random routing, 4 mixed shards, Zipf traffic");
+  bench::Note(Format("%d clients, %d specializations, Zipf s=%.1f, fleet = "
+                     "2x VC1060 + 2x VC2070",
+                     kClients, kKeys, kZipfS));
+  bench::Note("expected shape: affinity compiles each key ~once fleet-wide and");
+  bench::Note("serves more launches specialized, so its p99 time-to-result beats");
+  bench::Note("random routing, which re-compiles hot keys on every shard they");
+  bench::Note("land on.");
+
+  const std::vector<int> traffic = ZipfTraffic();
+  const ArmResult affinity = RunArm(sched::Routing::kAffinity, traffic);
+  const ArmResult random = RunArm(sched::Routing::kRandom, traffic);
+
+  std::printf("\n  %-10s %10s %12s %9s %9s %9s %7s %9s\n", "routing", "wall ms",
+              "req/s", "p50 ms", "p99 ms", "aff-hit", "sk", "compiles");
+  auto row = [](const char* name, const ArmResult& a) {
+    std::printf("  %-10s %10.1f %12.0f %9.2f %9.2f %8.1f%% %6.1f%% %9llu\n", name,
+                a.wall_ms, a.throughput, a.p50_ms, a.p99_ms, 100.0 * a.affinity_rate,
+                100.0 * a.sk_rate, static_cast<unsigned long long>(a.compiles));
+  };
+  row("affinity", affinity);
+  row("random", random);
+
+  const double p99_speedup = random.p99_ms / affinity.p99_ms;
+  bench::Note(Format("affinity p99 speedup over random: %.2fx (%llu vs %llu compiles)",
+                     p99_speedup, static_cast<unsigned long long>(affinity.compiles),
+                     static_cast<unsigned long long>(random.compiles)));
+  if (p99_speedup <= 1.0) {
+    bench::Note("UNEXPECTED: affinity did not beat random on p99 time-to-result");
+  }
+
+  auto record = [&session](const std::string& arm, const ArmResult& a) {
+    session.Record("fleet/" + arm + "/wall_ms", a.wall_ms, a.sim_ms);
+    session.Record("fleet/" + arm + "/throughput_per_s", a.throughput);
+    session.Record("fleet/" + arm + "/p50_ms", a.p50_ms);
+    session.Record("fleet/" + arm + "/p99_ms", a.p99_ms);
+    session.Record("fleet/" + arm + "/affinity_hit_rate", a.affinity_rate);
+    session.Record("fleet/" + arm + "/specialized_rate", a.sk_rate);
+    session.Record("fleet/" + arm + "/compiles", static_cast<double>(a.compiles));
+  };
+  record("affinity", affinity);
+  record("random", random);
+  session.Record("fleet/p99_speedup_affinity_vs_random", p99_speedup, 0, p99_speedup);
+  return 0;
+}

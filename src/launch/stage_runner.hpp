@@ -88,6 +88,14 @@ class StageRunner {
   std::shared_ptr<vcuda::Module> LoadStage(const std::string& stage, const std::string& source,
                                            const SpecBuilder& spec);
 
+  // The fleet entry point: identical contract, but takes the canonical
+  // CompileOptions directly — a sched::LaunchRequest carries its
+  // specialization as options (built once, client-side, from a SpecBuilder)
+  // so whichever shard the request lands on can load it without re-deriving
+  // the define set.
+  std::shared_ptr<vcuda::Module> LoadStage(const std::string& stage, const std::string& source,
+                                           const kcc::CompileOptions& opts);
+
   // Launches and folds the statistics into the stage record.
   vgpu::LaunchStats Launch(const std::string& stage, const vcuda::Module& module,
                            const std::string& kernel, vgpu::Dim3 grid, vgpu::Dim3 block,
@@ -133,6 +141,14 @@ class StageRunner {
   // True when the given (source, parameter set) is currently served by its
   // specialized build. Always true under kInline (loads always specialize).
   bool IsSpecialized(const std::string& source, const SpecBuilder& spec) const;
+  bool IsSpecialized(const std::string& source, const kcc::CompileOptions& opts) const;
+
+  // Cache-affinity probe for fleet routing: true when loading this
+  // (source, parameter set) here would be served specialized without a fresh
+  // compile — either the tiered loader already promoted it (a finished
+  // background promotion counts) or the context's module cache holds the
+  // specialized binary.
+  bool IsResident(const std::string& source, const kcc::CompileOptions& opts) const;
 
  private:
   StageRecord& StageFor(const std::string& name);

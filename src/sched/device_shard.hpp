@@ -1,0 +1,105 @@
+// One simulated device in the fleet: a vcuda::Context (with its module and
+// tuning caches) plus a run queue of routed launch requests.
+//
+// A shard is where the PR 2-6 stack becomes multi-tenant state worth routing
+// for: its Context owns the two-tier specialization cache, its StageRunner
+// owns the TieredLoader heat per source, and the fleet-shared TuningCache is
+// keyed by the shard's device name — so "which shard runs this request"
+// decides whether the request is a microsecond cache hit or a
+// hundreds-of-milliseconds compile. The scheduler's affinity router asks
+// IsResident; everything else here is the machinery to answer requests once
+// they are queued.
+//
+// Threading: Enqueue/QueueDepth/stats are thread-safe (the dispatcher routes
+// while ExecPool workers drain). DrainQueue itself is run by exactly one
+// ExecPool participant at a time — the dispatcher's ParallelFor hands each
+// shard index to one worker — so the Context/StageRunner see single-threaded
+// use with ParallelFor's completion barrier ordering successive batches.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "launch/stage_runner.hpp"
+#include "sched/request.hpp"
+#include "tune/tuner.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/device.hpp"
+
+namespace kspec::sched {
+
+// A routed request waiting on a shard's run queue.
+struct PendingLaunch {
+  LaunchRequest req;
+  std::promise<LaunchResult> promise;
+  std::chrono::steady_clock::time_point submitted;   // admission time
+  std::chrono::steady_clock::time_point dispatched;  // routing time
+  bool affinity_hit = false;
+};
+
+class DeviceShard {
+ public:
+  // `executor`, when given, is attached to the shard's context so tiered
+  // promotion and prewarm compile in the background; `tuning_cache`, when
+  // given, is the fleet-shared tuned-configuration store (thread-safe).
+  DeviceShard(int id, const vgpu::DeviceProfile& profile, int hot_threshold,
+              vcuda::AsyncCompileService* executor, tune::TuningCache* tuning_cache);
+
+  int id() const { return id_; }
+  const std::string& device_name() const { return ctx_.device().name; }
+  vcuda::Context& ctx() { return ctx_; }
+  launch::StageRunner& runner() { return runner_; }
+
+  // Affinity probe: would this (source, specialization) be served without a
+  // fresh compile here? Safe from the dispatcher thread.
+  bool IsResident(const std::string& source, const kcc::CompileOptions& opts) const {
+    return runner_.IsResident(source, opts);
+  }
+
+  // Fleet-shared tuned configuration for this shard's device: answers from
+  // the shared TuningCache (the key embeds the device name, so same-profile
+  // shards reuse each other's entries), running `search` at most once
+  // fleet-wide per (kernel, device, signature). Without a shared cache the
+  // search runs locally every time.
+  tune::Config TunedConfig(const std::string& kernel, const std::string& problem_signature,
+                           const std::function<tune::Config()>& search);
+
+  // -------- run queue --------
+  void Enqueue(PendingLaunch item);
+  std::size_t QueueDepth() const;
+
+  // Runs every currently queued request to completion (later enqueues during
+  // the drain are picked up too) and fulfills their promises. A request that
+  // throws — DeviceError from a bad configuration, CompileError from a bad
+  // specialization — fails only its own promise: the queue, the shard, and
+  // the rest of the batch keep going. Returns {delivered results, delivered
+  // exceptions} for the scheduler's fleet accounting.
+  struct DrainOutcome {
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+  };
+  DrainOutcome DrainQueue();
+
+  ShardStats stats() const;
+
+ private:
+  // Returns true when the request delivered a result, false when it
+  // delivered an exception.
+  bool RunOne(PendingLaunch& item);
+
+  const int id_;
+  vcuda::Context ctx_;
+  launch::StageRunner runner_;
+  tune::TuningCache* tuning_cache_;  // fleet-shared; may be null
+
+  mutable std::mutex mu_;  // guards queue_ and stats_
+  std::deque<PendingLaunch> queue_;
+  ShardStats stats_;
+};
+
+}  // namespace kspec::sched

@@ -1,0 +1,209 @@
+#include "sched/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "support/status.hpp"
+#include "vgpu/exec_pool.hpp"
+
+namespace kspec::sched {
+
+FleetScheduler::FleetScheduler(const std::vector<vgpu::DeviceProfile>& devices,
+                               FleetOptions opts)
+    : opts_(opts), rng_state_(opts.random_seed ? opts.random_seed : 1) {
+  KSPEC_CHECK_MSG(!devices.empty(), "a fleet needs at least one device");
+  shards_.reserve(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    shards_.push_back(std::make_unique<DeviceShard>(static_cast<int>(i), devices[i],
+                                                    opts_.hot_threshold, opts_.executor,
+                                                    opts_.tuning_cache));
+  }
+  if (opts_.autostart) Start();
+}
+
+FleetScheduler::~FleetScheduler() { Shutdown(); }
+
+void FleetScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+FleetScheduler::Ticket FleetScheduler::Submit(LaunchRequest req) {
+  if (req.pin_shard >= static_cast<int>(shards_.size())) {
+    throw Error("fleet: pin_shard " + std::to_string(req.pin_shard) + " out of range (" +
+                std::to_string(shards_.size()) + " shards)");
+  }
+  PendingLaunch item;
+  item.req = std::move(req);
+  item.submitted = std::chrono::steady_clock::now();
+  std::shared_future<LaunchResult> fut = item.promise.get_future().share();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_ || admission_.size() >= opts_.max_queue) {
+    ++stats_.rejected;
+    return {};
+  }
+  ++stats_.submitted;
+  admission_.push_back(std::move(item));
+  stats_.queue_high_water = std::max(stats_.queue_high_water, admission_.size());
+  work_cv_.notify_one();
+  return {true, std::move(fut)};
+}
+
+int FleetScheduler::Prewarm(const std::string& source, const kcc::CompileOptions& opts,
+                            int shard) {
+  if (shard < 0) shard = static_cast<int>(LeastLoadedShard());
+  if (shard >= static_cast<int>(shards_.size())) {
+    throw Error("fleet: prewarm shard " + std::to_string(shard) + " out of range");
+  }
+  DeviceShard& s = *shards_[shard];
+  if (opts_.executor != nullptr) {
+    vcuda::CompileRequest req;
+    req.source = source;
+    req.opts = opts;
+    if (!opts_.executor->Prewarm(s.ctx(), req).ok()) return -1;
+  } else {
+    s.ctx().LoadModule(source, opts);  // no executor: warm inline
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.prewarms;
+  return shard;
+}
+
+void FleetScheduler::DispatchLoop() {
+  for (;;) {
+    std::vector<PendingLaunch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !admission_.empty(); });
+      if (admission_.empty()) return;  // stopping with the backlog drained
+      while (!admission_.empty() && batch.size() < opts_.max_batch) {
+        batch.push_back(std::move(admission_.front()));
+        admission_.pop_front();
+      }
+      ++stats_.batches;
+      in_dispatch_ += batch.size();
+    }
+
+    // Route the whole batch before running any of it: depth-based choices see
+    // the batch's own placements, so a burst of one hot key spreads only as
+    // far as its affinity shard's queue justifies.
+    const auto dispatched_at = std::chrono::steady_clock::now();
+    std::uint64_t hits = 0;
+    for (PendingLaunch& item : batch) {
+      bool affinity_hit = false;
+      const std::size_t target = Route(item.req, &affinity_hit);
+      item.dispatched = dispatched_at;
+      item.affinity_hit = affinity_hit;
+      hits += affinity_hit ? 1 : 0;
+      shards_[target]->Enqueue(std::move(item));
+    }
+
+    // Drain every shard's run queue concurrently on the shared worker pool:
+    // one participant per shard, launches inside a shard stay in order.
+    std::vector<DeviceShard::DrainOutcome> outcomes(shards_.size());
+    vgpu::ExecPool::Instance().ParallelFor(
+        static_cast<unsigned>(shards_.size()), shards_.size(),
+        [&](std::size_t i) { outcomes[i] = shards_[i]->DrainQueue(); });
+
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.dispatched += batch.size();
+    stats_.affinity_hits += hits;
+    for (const DeviceShard::DrainOutcome& o : outcomes) {
+      stats_.completed += o.completed;
+      stats_.failed += o.failed;
+    }
+    in_dispatch_ -= batch.size();
+    if (admission_.empty() && in_dispatch_ == 0) idle_cv_.notify_all();
+  }
+}
+
+std::size_t FleetScheduler::LeastLoadedShard() const {
+  std::size_t best = 0;
+  std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::size_t depth = shards_[i]->QueueDepth();
+    if (depth < best_depth) {  // strict: ties break to the lowest index
+      best = i;
+      best_depth = depth;
+    }
+  }
+  return best;
+}
+
+std::size_t FleetScheduler::Route(const LaunchRequest& req, bool* affinity_hit) {
+  *affinity_hit = false;
+  if (req.pin_shard >= 0) return static_cast<std::size_t>(req.pin_shard);
+  switch (opts_.routing) {
+    case Routing::kRandom: {
+      // xorshift64: deterministic per seed, uncorrelated with key identity —
+      // the control arm affinity routing is benchmarked against.
+      rng_state_ ^= rng_state_ << 13;
+      rng_state_ ^= rng_state_ >> 7;
+      rng_state_ ^= rng_state_ << 17;
+      return static_cast<std::size_t>(rng_state_ % shards_.size());
+    }
+    case Routing::kLeastLoaded:
+      return LeastLoadedShard();
+    case Routing::kAffinity: {
+      // Prefer the least-loaded shard among those already holding this
+      // build; no resident shard means this key is cold fleet-wide, so place
+      // it by load (and let the tiered promotion make it resident there).
+      std::size_t best = shards_.size();
+      std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (!shards_[i]->IsResident(req.source, req.opts)) continue;
+        const std::size_t depth = shards_[i]->QueueDepth();
+        if (depth < best_depth) {
+          best = i;
+          best_depth = depth;
+        }
+      }
+      if (best < shards_.size()) {
+        *affinity_hit = true;
+        return best;
+      }
+      return LeastLoadedShard();
+    }
+  }
+  return 0;  // unreachable; keeps -Wreturn-type quiet
+}
+
+void FleetScheduler::Drain() {
+  Start();  // a paused scheduler would otherwise wait forever
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return admission_.empty() && in_dispatch_ == 0; });
+}
+
+void FleetScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    work_cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // A never-started scheduler may still hold accepted requests: fail them
+  // explicitly rather than letting their promises break silently.
+  std::deque<PendingLaunch> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(admission_);
+    stats_.failed += leftover.size();
+    idle_cv_.notify_all();
+  }
+  for (PendingLaunch& item : leftover) {
+    item.promise.set_exception(
+        std::make_exception_ptr(Error("fleet: scheduler shut down before dispatch")));
+  }
+}
+
+FleetStats FleetScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace kspec::sched

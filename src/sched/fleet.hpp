@@ -1,0 +1,126 @@
+// FleetScheduler: many independent launches routed across N simulated
+// devices.
+//
+// The dissertation's claim is that one specializable kernel source adapts
+// across GPU generations; a serving fleet turns that into a placement
+// problem. KLARAPTOR showed optimal launch parameters are per-device, and the
+// specialization caches (module + tuning) are per-context — so a device that
+// already holds the specialized `.kmod` and the tuned configuration answers
+// the same request orders of magnitude faster than a cold one. The scheduler
+// therefore routes by *cache affinity* first (see Routing in request.hpp),
+// not load alone.
+//
+// Shape: Submit() places requests on one bounded admission queue (rejecting
+// at the cap — callers observe backpressure, exactly like the compile
+// service). A dispatcher thread takes requests in batches, routes each one
+// to a DeviceShard run queue, then drains every shard queue concurrently on
+// the process-wide ExecPool — one participant per shard, so shard-internal
+// state needs no locking and fleet throughput scales with shards up to the
+// host's cores. Results come back through per-request futures carrying the
+// launch stats and the queue/total latency split the benchmarks report.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/device_shard.hpp"
+#include "sched/request.hpp"
+#include "serve/compile_executor.hpp"
+#include "tune/tuner.hpp"
+#include "vgpu/device.hpp"
+
+namespace kspec::sched {
+
+struct FleetOptions {
+  std::size_t max_queue = 1024;  // admission-queue bound; Submit rejects past it
+  std::size_t max_batch = 64;    // requests routed per dispatcher wake-up
+  // Tiered hot threshold per shard. 1 = promote on first request: a serving
+  // fleet wants every key specialized somewhere as soon as it shows up, and
+  // the promotion compiles in the background when an executor is attached.
+  int hot_threshold = 1;
+  Routing routing = Routing::kAffinity;
+  std::uint64_t random_seed = 0x9e3779b97f4a7c15ull;  // kRandom's xorshift seed
+  // Start the dispatcher in the constructor. Tests that need deterministic
+  // queue states construct paused and call Start() themselves.
+  bool autostart = true;
+  // Attached to every shard context: background tiered promotion + prewarm.
+  // Not owned; must outlive the scheduler. May be null (blocking promotion).
+  serve::CompileExecutor* executor = nullptr;
+  // Fleet-shared tuned-configuration store (thread-safe; keys embed the
+  // device name, so same-profile shards share). Not owned; may be null.
+  tune::TuningCache* tuning_cache = nullptr;
+};
+
+class FleetScheduler {
+ public:
+  // One shard per profile, in order; `devices` may mix VC1060/VC2070 freely.
+  FleetScheduler(const std::vector<vgpu::DeviceProfile>& devices, FleetOptions opts = {});
+  ~FleetScheduler();  // Shutdown()
+
+  FleetScheduler(const FleetScheduler&) = delete;
+  FleetScheduler& operator=(const FleetScheduler&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  DeviceShard& shard(std::size_t i) { return *shards_.at(i); }
+
+  // Admission. `accepted == false` means the bounded queue was full (or the
+  // scheduler is shutting down): the request was NOT enqueued and `result`
+  // is invalid — the caller retries or degrades, exactly like a kRejected
+  // compile submit. Throws Error on malformed requests (bad pin_shard).
+  struct Ticket {
+    bool accepted = false;
+    std::shared_future<LaunchResult> result;
+  };
+  Ticket Submit(LaunchRequest req);
+
+  // Seeds cache affinity: compiles (source, opts) on `shard` — or, with a
+  // negative shard, on the currently least-loaded one — through the attached
+  // CompileExecutor (background), or inline when none is attached. Returns
+  // the shard chosen, or -1 when the executor rejected the prewarm.
+  int Prewarm(const std::string& source, const kcc::CompileOptions& opts, int shard = -1);
+
+  // Starts the dispatcher (idempotent; the constructor calls it unless
+  // autostart is false).
+  void Start();
+
+  // Blocks until every accepted request has been dispatched and completed
+  // (the admission queue is empty and every shard queue has drained).
+  void Drain();
+
+  // Rejects further submits, completes the accepted backlog, joins the
+  // dispatcher. Idempotent; the destructor runs it.
+  void Shutdown();
+
+  FleetStats stats() const;
+  ShardStats shard_stats(std::size_t i) const { return shards_.at(i)->stats(); }
+
+ private:
+  void DispatchLoop();
+  // Picks the shard for `req` (dispatcher thread only). Sets *affinity_hit
+  // when the choice was residency-driven.
+  std::size_t Route(const LaunchRequest& req, bool* affinity_hit);
+  std::size_t LeastLoadedShard() const;
+
+  FleetOptions opts_;
+  std::vector<std::unique_ptr<DeviceShard>> shards_;
+
+  mutable std::mutex mu_;  // guards the admission queue, stats, and lifecycle
+  std::condition_variable work_cv_;  // dispatcher waits for admissions
+  std::condition_variable idle_cv_;  // Drain waits for an empty backlog
+  bool stopping_ = false;
+  bool started_ = false;
+  std::size_t in_dispatch_ = 0;  // requests routed but not yet completed
+  std::deque<PendingLaunch> admission_;
+  FleetStats stats_;
+  std::uint64_t rng_state_;
+  std::thread dispatcher_;
+};
+
+}  // namespace kspec::sched

@@ -1,0 +1,98 @@
+// The fleet scheduler's request/response vocabulary.
+//
+// Production traffic is many independent small launches, not one process
+// driving one device: a client ships (source, specialization options, kernel,
+// geometry) plus callbacks that materialize its arguments on whichever shard
+// the scheduler picks. The specialization is carried as canonical
+// kcc::CompileOptions — built once, client-side, typically from a
+// launch::SpecBuilder — so the request is routable: the scheduler can ask
+// every shard "do you already hold this build?" before choosing one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "kcc/compiler.hpp"
+#include "vcuda/device_buffer.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/launch.hpp"
+
+namespace kspec::sched {
+
+// Builds the argument pack on the shard chosen to run the request. Device
+// pointers are per-shard, so arguments cannot travel with the request: the
+// callback uploads the client's inputs into `scratch` (buffers it pushes
+// there are freed after the launch and the finish hook) and returns the args.
+using PrepareFn =
+    std::function<vcuda::ArgPack(vcuda::Context& ctx, std::vector<vcuda::DeviceBuffer>& scratch)>;
+
+// Optional post-launch hook on the same shard, before the scratch buffers are
+// freed (download results, verify, hand off).
+using FinishFn = std::function<void(vcuda::Context& ctx)>;
+
+struct LaunchRequest {
+  std::string stage = "fleet";  // accounting label in the shard's breakdown
+  std::string source;           // single adaptable Kernel-C source
+  kcc::CompileOptions opts;     // the specialization (empty = RE build)
+  std::string kernel;
+  vgpu::Dim3 grid{1, 1, 1};
+  vgpu::Dim3 block{32, 1, 1};
+  unsigned dynamic_smem_bytes = 0;
+  PrepareFn prepare;  // may be empty for argument-less kernels
+  FinishFn finish;    // optional
+  // Tests and benchmarks: force the request onto one shard (-1 = route
+  // normally). Out-of-range values are a submit-time error.
+  int pin_shard = -1;
+};
+
+struct LaunchResult {
+  vgpu::LaunchStats stats;   // the launch's simulated statistics
+  int shard = -1;            // which shard ran it
+  bool affinity_hit = false; // routed to a shard already holding the build
+  bool specialized = false;  // served by the specialized build (vs the RE build)
+  double queue_millis = 0;   // admission -> dispatch (batching + routing wait)
+  double total_millis = 0;   // admission -> completion: time-to-result
+};
+
+// How the dispatcher picks a shard for an unpinned request.
+//
+//   kAffinity    — prefer shards where the specialization is already resident
+//                  (specialized tiered build or module-cache entry); among
+//                  those, the least loaded; no resident shard -> kLeastLoaded.
+//                  The tradeoff: affinity concentrates a hot key on one shard,
+//                  which wins while compile cost and cache reuse dominate, but
+//                  it deliberately forgoes spreading that key's load — the
+//                  least-loaded fallback and the per-batch depth tiebreak are
+//                  what keep a single viral key from starving a shard.
+//   kLeastLoaded — ignore residency, balance queue depth only.
+//   kRandom      — seeded xorshift; the control arm for benchmarks.
+enum class Routing { kAffinity, kLeastLoaded, kRandom };
+
+struct ShardStats {
+  std::uint64_t launches = 0;        // requests run to completion (ok)
+  std::uint64_t failures = 0;        // requests whose run threw
+  std::uint64_t specialized_served = 0;  // completed launches served specialized
+  double sim_millis = 0;             // accumulated simulated device time
+  std::size_t queue_high_water = 0;  // run-queue depth high-water mark
+};
+
+// Fleet-level accounting. Invariant (asserted by tests, after Drain):
+//   submitted == dispatched == completed + failed
+// and `rejected` counts admissions bounced at the queue cap — a rejected
+// request is never submitted, dispatched, or completed.
+struct FleetStats {
+  std::uint64_t submitted = 0;   // accepted into the admission queue
+  std::uint64_t rejected = 0;    // bounced: admission queue at capacity
+  std::uint64_t dispatched = 0;  // routed onto a shard run queue
+  std::uint64_t completed = 0;   // result delivered
+  std::uint64_t failed = 0;      // exception delivered
+  std::uint64_t affinity_hits = 0;    // dispatches that hit a resident shard
+  std::uint64_t prewarms = 0;         // Prewarm calls accepted
+  std::uint64_t batches = 0;          // dispatcher wake-ups that routed work
+  std::size_t queue_high_water = 0;   // admission-queue depth high-water mark
+};
+
+}  // namespace kspec::sched

@@ -58,6 +58,16 @@ vcuda::SubmitResult CompileExecutor::SubmitLoad(vcuda::Context& ctx,
   return {vcuda::SubmitStatus::kScheduled, flight->future};
 }
 
+vcuda::SubmitResult CompileExecutor::Prewarm(vcuda::Context& ctx,
+                                             const vcuda::CompileRequest& req) {
+  vcuda::SubmitResult r = SubmitLoad(ctx, req);
+  if (r.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.prewarmed;
+  }
+  return r;
+}
+
 void CompileExecutor::Finish(const std::shared_ptr<Flight>& flight,
                              std::shared_ptr<vcuda::Module> module, std::exception_ptr error,
                              double compile_ms, bool expired) {

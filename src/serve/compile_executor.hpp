@@ -59,6 +59,14 @@ class CompileExecutor final : public vcuda::AsyncCompileService {
   vcuda::SubmitResult SubmitLoad(vcuda::Context& ctx,
                                  const vcuda::CompileRequest& req) override;
 
+  // Scheduler-driven warm-up: submits `req` so the specialization lands in
+  // `ctx`'s module cache before traffic needs it (sched::FleetScheduler uses
+  // this to seed cache affinity on a chosen shard). Identical semantics to
+  // SubmitLoad — coalescing, backpressure, deadlines — plus a `prewarmed`
+  // tally in ServeStats. Returns the submit result so callers can observe
+  // rejection and retry or fall back to a blocking load.
+  vcuda::SubmitResult Prewarm(vcuda::Context& ctx, const vcuda::CompileRequest& req);
+
   // Blocks until every flight accepted so far has completed (the queue is
   // empty and no worker is mid-compile).
   void Drain();

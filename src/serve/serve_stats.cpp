@@ -16,11 +16,12 @@ void ServeStats::RecordCompileMillis(double ms) {
 std::string ServeStats::Render() const {
   std::string out = Format(
       "serve: submitted=%llu coalesced=%llu completed=%llu (ok=%llu failed=%llu expired=%llu) "
-      "rejected=%llu queue-high-water=%zu\n",
+      "rejected=%llu prewarmed=%llu queue-high-water=%zu\n",
       static_cast<unsigned long long>(submitted), static_cast<unsigned long long>(coalesced),
       static_cast<unsigned long long>(completed), static_cast<unsigned long long>(succeeded),
       static_cast<unsigned long long>(failed), static_cast<unsigned long long>(expired),
-      static_cast<unsigned long long>(rejected), queue_depth_high_water);
+      static_cast<unsigned long long>(rejected), static_cast<unsigned long long>(prewarmed),
+      queue_depth_high_water);
   out += "serve: compile wall ms:";
   double lo = 0;
   for (std::size_t i = 0; i < kCompileMsBuckets; ++i) {

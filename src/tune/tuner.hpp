@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -121,9 +123,16 @@ TuneResult PredictiveSearch(const std::vector<ParamRange>& space, const EvalFn& 
 // rename, so concurrent processes sharing the path never observe a torn
 // file and late writers do not drop earlier writers' entries.
 //
-// Not internally synchronized (like ModuleCache): guard shared in-process
-// use externally. Cross-process sharing is safe through the atomic file
-// protocol.
+// Thread-safety contract (guaranteed): Lookup, Store, Flush, size, and
+// LookupOrCompute may be called concurrently from any number of threads —
+// the entry map is guarded by an internal mutex, and Flush's read-merge-write
+// of the backing file runs outside that mutex (file I/O never blocks lookups)
+// but is serialized against other in-process flushes so interleaved
+// read-merge-write cycles cannot drop a concurrent Store's entry from disk.
+// This is what lets N scheduler shards (sched::FleetScheduler) share one
+// fleet-wide cache: same-device shards reuse each other's tuned entries with
+// no external locking. Cross-process sharing remains safe through the atomic
+// file protocol, exactly as before.
 class TuningCache {
  public:
   TuningCache() = default;  // in-memory only
@@ -137,8 +146,17 @@ class TuningCache {
 
   std::optional<Config> Lookup(const std::string& key) const;
   void Store(const std::string& key, Config config);
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const;
   const std::string& path() const { return path_; }
+
+  // Single-flight cache-or-search: returns the cached configuration for
+  // `key`, or runs `compute` (outside every cache lock — it is typically a
+  // full tuning search), stores its result, and returns it. Concurrent
+  // callers racing on the same cold key run `compute` exactly once and share
+  // the winner — the fleet-sharing primitive: the first shard to need a
+  // (kernel, device, signature) pays the search, every other shard hits.
+  // `compute` exceptions propagate to every waiter and nothing is stored.
+  Config LookupOrCompute(const std::string& key, const std::function<Config()>& compute);
 
   // Serializes the current entries to the bound path (no-op when unbound).
   // Automatic on Store; exposed for tests and tooling. Returns false on I/O
@@ -146,10 +164,18 @@ class TuningCache {
   bool Flush() const;
 
  private:
+  // One in-flight LookupOrCompute search per key; waiters share the outcome.
+  struct ComputeFlight;
+
   void LoadFromDisk();
 
   std::string path_;  // empty = in-memory only
+  mutable std::mutex mu_;  // guards entries_ and flights_
+  // Serializes Flush's read-merge-write file cycle (held without mu_, so
+  // file I/O never blocks Lookup/Store).
+  mutable std::mutex flush_mu_;
   std::map<std::string, Config> entries_;
+  std::map<std::string, std::shared_ptr<ComputeFlight>> flights_;
 };
 
 }  // namespace kspec::tune

@@ -100,9 +100,22 @@ std::map<std::string, Config> ReadEntries(const std::string& path, bool warn) {
 
 }  // namespace
 
+// One in-flight LookupOrCompute per key: the first thread runs the search
+// inside the once_flag, everyone else blocks on the same flag and shares the
+// outcome (mirroring TieredLoader's per-key blocking latch).
+struct TuningCache::ComputeFlight {
+  std::once_flag once;
+  Config config;
+  std::exception_ptr error;
+};
+
 TuningCache::TuningCache(std::string path) : path_(std::move(path)) { LoadFromDisk(); }
 
-void TuningCache::LoadFromDisk() { entries_ = ReadEntries(path_, /*warn=*/true); }
+void TuningCache::LoadFromDisk() {
+  std::map<std::string, Config> loaded = ReadEntries(path_, /*warn=*/true);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(loaded);
+}
 
 std::string TuningCache::MakeKey(const std::string& kernel, const std::string& device,
                                  const std::string& problem_signature) {
@@ -110,21 +123,69 @@ std::string TuningCache::MakeKey(const std::string& kernel, const std::string& d
 }
 
 std::optional<Config> TuningCache::Lookup(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
 }
 
 void TuningCache::Store(const std::string& key, Config config) {
-  entries_[key] = std::move(config);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[key] = std::move(config);
+  }
   if (!path_.empty()) Flush();
+}
+
+std::size_t TuningCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Config TuningCache::LookupOrCompute(const std::string& key,
+                                    const std::function<Config()>& compute) {
+  std::shared_ptr<ComputeFlight> flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second;
+    auto [fit, inserted] = flights_.try_emplace(key);
+    if (inserted) fit->second = std::make_shared<ComputeFlight>();
+    flight = fit->second;
+  }
+  // The search runs outside mu_ (it launches kernels, possibly for seconds);
+  // racers on the same key wait here instead of searching again.
+  std::call_once(flight->once, [&] {
+    try {
+      flight->config = compute();
+    } catch (...) {
+      flight->error = std::current_exception();
+    }
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flights_.erase(key);
+  }
+  if (flight->error) std::rethrow_exception(flight->error);
+  Store(key, flight->config);
+  return flight->config;
 }
 
 bool TuningCache::Flush() const {
   if (path_.empty()) return true;
+  // Serialize whole read-merge-write cycles against other in-process
+  // flushers: two interleaved cycles could each re-read the file before the
+  // other wrote, and the later rename would drop the earlier writer's entry.
+  std::lock_guard<std::mutex> io(flush_mu_);
+  std::map<std::string, Config> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = entries_;
+  }
   // Re-merge what other processes wrote meanwhile; our entries win ties.
+  // File I/O happens outside mu_ so a slow disk never blocks Lookup/Store.
   std::map<std::string, Config> merged = ReadEntries(path_, /*warn=*/false);
-  for (const auto& [key, config] : entries_) merged[key] = config;
+  for (const auto& [key, config] : snapshot) merged[key] = config;
   std::vector<std::uint8_t> bytes = SerializeEntries(merged);
   if (!WriteFileAtomic(path_, bytes)) {
     KSPEC_LOG_WARN << "tuning cache: cannot write " << path_;

@@ -28,6 +28,15 @@ std::shared_ptr<const kcc::CompiledModule> ModuleCache::Get(std::uint64_t hash,
   return nullptr;
 }
 
+bool ModuleCache::Contains(std::uint64_t hash, const kcc::ModuleCacheKey& key) const {
+  auto bucket = buckets_.find(hash);
+  if (bucket == buckets_.end()) return false;
+  for (auto it : bucket->second) {
+    if (it->key == key) return true;
+  }
+  return false;
+}
+
 std::shared_ptr<const kcc::CompiledModule> ModuleCache::Put(
     std::uint64_t hash, const kcc::ModuleCacheKey& key,
     std::shared_ptr<const kcc::CompiledModule> module) {

@@ -34,6 +34,12 @@ class ModuleCache {
   std::shared_ptr<const kcc::CompiledModule> Get(std::uint64_t hash,
                                                  const kcc::ModuleCacheKey& key);
 
+  // True when an entry with this exact key is resident, WITHOUT bumping its
+  // LRU recency — a scheduler's affinity probe must be able to ask "is this
+  // specialization here?" across every shard without distorting the eviction
+  // order of the shards it does not pick.
+  bool Contains(std::uint64_t hash, const kcc::ModuleCacheKey& key) const;
+
   // Inserts `module` under `key`, evicting LRU entries beyond the byte
   // budget. If an entry with an equal key already exists (a concurrent
   // compile raced us), the existing module is kept and returned; otherwise

@@ -92,13 +92,32 @@ std::shared_ptr<Module> TieredLoader::Get(const kcc::CompileOptions& specialized
 
     // Blocking fallback (no service attached) — the original inline
     // promotion. Compile outside the lock: LoadModule is thread-safe and
-    // other parameter sets should not stall behind this one's compile.
+    // other parameter sets should not stall behind this one's compile. The
+    // compile itself is guarded by a per-key single-flight latch (the
+    // re_once_ idiom, per parameter set): M threads crossing the hot
+    // threshold together run exactly one compile, the other M-1 wait on the
+    // same latch and share its module instead of burning M-1 discarded
+    // builds.
+    if (!s.blocking) s.blocking = std::make_shared<BlockingFlight>();
+    std::shared_ptr<BlockingFlight> flight = s.blocking;
     lock.unlock();
-    std::shared_ptr<Module> mod = ctx_->LoadModule(source_, specialized_opts);
+    std::call_once(flight->once, [&] {
+      try {
+        flight->module = ctx_->LoadModule(source_, specialized_opts);
+      } catch (...) {
+        flight->error = std::current_exception();
+      }
+    });
     lock.lock();
     SetState& again = state_[key];
+    if (again.blocking == flight) again.blocking.reset();  // latch resolved
+    if (flight->error) {
+      // Propagate like the original inline promotion did; heat stays above
+      // the threshold, so a later Get may retry with a fresh latch.
+      std::rethrow_exception(flight->error);
+    }
     if (!again.specialized) {
-      again.specialized = std::move(mod);
+      again.specialized = flight->module;
       ++stats_.specializations;
     }
     ++stats_.sk_served;
@@ -113,7 +132,21 @@ std::shared_ptr<Module> TieredLoader::Get(const kcc::CompileOptions& specialized
 bool TieredLoader::IsSpecialized(const kcc::CompileOptions& specialized_opts) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = state_.find(KeyFor(specialized_opts));
-  return it != state_.end() && it->second.specialized != nullptr;
+  if (it == state_.end()) return false;
+  const SetState& s = it->second;
+  if (s.specialized) return true;
+  // A finished background promotion counts even though only Get swaps it in:
+  // a caller that polls after CompileExecutor::Drain() must observe
+  // completion without having to issue another Get first. Peek the ready
+  // future; a failed or expired (null) flight is still "not specialized".
+  if (s.pending.valid() && Ready(s.pending)) {
+    try {
+      return s.pending.get() != nullptr;
+    } catch (...) {
+      return false;
+    }
+  }
+  return false;
 }
 
 TieredLoader::Stats TieredLoader::stats() const {

@@ -21,6 +21,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -85,6 +86,15 @@ class TieredLoader {
   Stats stats() const;
 
  private:
+  // One in-flight *blocking* promotion (the no-service path): the first
+  // hot thread compiles inside the once_flag, concurrent hot threads for the
+  // same key wait on it and share the module — never duplicate the compile.
+  struct BlockingFlight {
+    std::once_flag once;
+    std::shared_ptr<Module> module;
+    std::exception_ptr error;
+  };
+
   // Per-parameter-set promotion state. `specialized` is written exactly once,
   // under mu_ — readers either see the RE build or the complete specialized
   // module, never a torn promotion.
@@ -93,6 +103,7 @@ class TieredLoader {
     bool failed = false;                  // background compile threw; stay on RE
     std::shared_ptr<Module> specialized;  // serve this once set
     ModuleFuture pending;                 // valid while a background compile runs
+    std::shared_ptr<BlockingFlight> blocking;  // in-flight blocking promotion
   };
 
   // Heat is tracked per full parameter set. The key must cover every

@@ -202,6 +202,12 @@ std::shared_ptr<Module> Context::LoadModule(const std::string& source,
   return std::make_shared<Module>(cache_.Put(hash, key, std::move(compiled)));
 }
 
+bool Context::HasCachedModule(const std::string& source, const kcc::CompileOptions& opts) const {
+  kcc::ModuleCacheKey key = kcc::ModuleCacheKey::Make(source, opts, device_.name);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.Contains(key.Hash(), key);
+}
+
 SubmitResult Context::LoadModuleAsync(const std::string& source,
                                       const kcc::CompileOptions& opts,
                                       std::chrono::milliseconds deadline) {

@@ -132,6 +132,14 @@ class Context {
   std::shared_ptr<Module> LoadModule(const std::string& source,
                                      const kcc::CompileOptions& opts = {});
 
+  // Shard-visible cache residency probe: true when the specialization for
+  // (source, opts, this device) is resident in the in-memory tier right now.
+  // No compile, no disk probe, no LRU bump — safe and cheap to call from a
+  // scheduler's routing loop against every shard. A true answer means a
+  // LoadModule for the same key will be a ~microseconds cache hit.
+  bool HasCachedModule(const std::string& source,
+                       const kcc::CompileOptions& opts = {}) const;
+
   // Attaches (or detaches, with nullptr) the background compile service used
   // by LoadModuleAsync and by TieredLoader's non-blocking promotion. The
   // service is not owned and must outlive every Context it is attached to.

@@ -1,0 +1,327 @@
+// FleetScheduler tests: cache-affinity routing determinism (prewarm then
+// route), shard failure isolation, bounded-admission backpressure and the
+// FleetStats invariant, bit-identical launch statistics across same-profile
+// shards, seeded-random routing reproducibility, the fleet-shared TuningCache
+// single-search guarantee, and explicit failure of never-dispatched requests
+// on Shutdown.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/fleet.hpp"
+#include "serve/compile_executor.hpp"
+#include "tune/tuner.hpp"
+#include "vcuda/device_buffer.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/launch.hpp"
+
+namespace kspec {
+namespace {
+
+using sched::FleetOptions;
+using sched::FleetScheduler;
+using sched::FleetStats;
+using sched::LaunchRequest;
+using sched::LaunchResult;
+using sched::Routing;
+
+constexpr const char* kKernel = R"(
+#ifndef N
+#define N n
+#endif
+__kernel void f(float* out, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < N; i++) { acc += 1.0f; }
+  out[threadIdx.x] = acc;
+}
+)";
+
+kcc::CompileOptions OptsFor(int n) {
+  kcc::CompileOptions opts;
+  opts.defines["N"] = std::to_string(n);
+  return opts;
+}
+
+// A request for kKernel's f over a 32-float output buffer; `result` (when
+// given) receives lane 0 of the output in the finish hook, on whichever shard
+// ran the request.
+LaunchRequest RequestFor(int n, std::shared_ptr<float> result = nullptr,
+                         vgpu::Dim3 block = vgpu::Dim3(32)) {
+  LaunchRequest req;
+  req.source = kKernel;
+  req.opts = OptsFor(n);
+  req.kernel = "f";
+  req.grid = vgpu::Dim3(1);
+  req.block = block;
+  auto out_ptr = std::make_shared<vcuda::DevPtr>(0);
+  req.prepare = [n, out_ptr](vcuda::Context& ctx,
+                             std::vector<vcuda::DeviceBuffer>& scratch) {
+    scratch.emplace_back(ctx, 32 * sizeof(float));
+    *out_ptr = scratch.back().get();
+    vcuda::ArgPack args;
+    args.Ptr(*out_ptr).Int(n);
+    return args;
+  };
+  if (result) {
+    req.finish = [out_ptr, result](vcuda::Context& ctx) {
+      ctx.MemcpyDtoH(result.get(), *out_ptr, sizeof(float));
+    };
+  }
+  return req;
+}
+
+std::vector<vgpu::DeviceProfile> MixedFleet() {
+  return {vgpu::TeslaC1060(), vgpu::TeslaC2070(), vgpu::TeslaC2070(),
+          vgpu::TeslaC1060()};
+}
+
+// The documented FleetStats contract once Drain has returned.
+void ExpectDrainedInvariant(const FleetStats& s) {
+  EXPECT_EQ(s.submitted, s.dispatched);
+  EXPECT_EQ(s.dispatched, s.completed + s.failed);
+}
+
+// ---------------------------------------------------------------------------
+// Affinity routing: a prewarmed shard is the deterministic home for its key.
+// ---------------------------------------------------------------------------
+
+TEST(FleetScheduler, AffinityRoutesEveryRequestToThePrewarmedShard) {
+  FleetScheduler fleet(MixedFleet());
+  ASSERT_EQ(fleet.shard_count(), 4u);
+
+  // Seed the build on shard 2 only: from then on it is the single resident
+  // home for this specialization, so routing is fully deterministic.
+  ASSERT_EQ(fleet.Prewarm(kKernel, OptsFor(8), /*shard=*/2), 2);
+
+  constexpr int kRequests = 16;
+  std::vector<std::shared_ptr<float>> outputs;
+  std::vector<std::shared_future<LaunchResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    outputs.push_back(std::make_shared<float>(0.0f));
+    FleetScheduler::Ticket t = fleet.Submit(RequestFor(8, outputs.back()));
+    ASSERT_TRUE(t.accepted);
+    futures.push_back(t.result);
+  }
+  fleet.Drain();
+
+  for (int i = 0; i < kRequests; ++i) {
+    LaunchResult r = futures[i].get();
+    EXPECT_EQ(r.shard, 2) << "request " << i << " strayed from its resident shard";
+    EXPECT_TRUE(r.affinity_hit);
+    EXPECT_TRUE(r.specialized);  // hot_threshold=1 promotes on first use
+    EXPECT_GE(r.total_millis, r.queue_millis);
+    EXPECT_FLOAT_EQ(*outputs[i], 8.0f);
+  }
+
+  FleetStats s = fleet.stats();
+  ExpectDrainedInvariant(s);
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(s.affinity_hits, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.prewarms, 1u);
+  EXPECT_EQ(fleet.shard_stats(2).launches, static_cast<std::uint64_t>(kRequests));
+  for (std::size_t i : {0u, 1u, 3u}) {
+    EXPECT_EQ(fleet.shard_stats(i).launches, 0u) << "shard " << i;
+  }
+}
+
+TEST(FleetScheduler, ColdKeyFallsBackToLeastLoadedWithoutAffinityHit) {
+  FleetScheduler fleet(MixedFleet());
+  FleetScheduler::Ticket t = fleet.Submit(RequestFor(5));
+  ASSERT_TRUE(t.accepted);
+  fleet.Drain();
+  LaunchResult r = t.result.get();
+  EXPECT_FALSE(r.affinity_hit);  // nothing resident anywhere yet
+  EXPECT_EQ(r.shard, 0);         // all queues empty: ties break to shard 0
+  EXPECT_EQ(fleet.stats().affinity_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure isolation: one bad request fails its own future, nothing else.
+// ---------------------------------------------------------------------------
+
+TEST(FleetScheduler, ShardFailureIsolatesToTheOffendingRequest) {
+  // VC1060 caps blocks at 512 threads: a 1024-thread block is a DeviceError
+  // at launch, after routing and module load already succeeded.
+  FleetScheduler fleet({vgpu::TeslaC1060(), vgpu::TeslaC1060()});
+
+  LaunchRequest bad = RequestFor(8, nullptr, vgpu::Dim3(1024));
+  bad.pin_shard = 0;
+  FleetScheduler::Ticket bad_ticket = fleet.Submit(bad);
+  ASSERT_TRUE(bad_ticket.accepted);
+
+  constexpr int kGood = 6;
+  std::vector<std::shared_future<LaunchResult>> good;
+  for (int i = 0; i < kGood; ++i) {
+    LaunchRequest req = RequestFor(8);
+    req.pin_shard = 0;  // same shard, same queue, right behind the failure
+    FleetScheduler::Ticket t = fleet.Submit(req);
+    ASSERT_TRUE(t.accepted);
+    good.push_back(t.result);
+  }
+  fleet.Drain();
+
+  EXPECT_THROW(bad_ticket.result.get(), Error);
+  for (auto& f : good) EXPECT_EQ(f.get().shard, 0);  // shard stayed healthy
+
+  FleetStats s = fleet.stats();
+  ExpectDrainedInvariant(s);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kGood));
+  EXPECT_EQ(fleet.shard_stats(0).failures, 1u);
+  EXPECT_EQ(fleet.shard_stats(0).launches, static_cast<std::uint64_t>(kGood));
+  EXPECT_EQ(fleet.shard_stats(1).failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: the bounded admission queue rejects, never blocks or drops.
+// ---------------------------------------------------------------------------
+
+TEST(FleetScheduler, BoundedAdmissionQueueRejectsBeyondCapacity) {
+  FleetOptions opts;
+  opts.autostart = false;  // paused: admissions accumulate deterministically
+  opts.max_queue = 2;
+  FleetScheduler fleet({vgpu::TeslaC1060()}, opts);
+
+  std::vector<FleetScheduler::Ticket> tickets;
+  for (int i = 0; i < 5; ++i) tickets.push_back(fleet.Submit(RequestFor(8)));
+  EXPECT_TRUE(tickets[0].accepted);
+  EXPECT_TRUE(tickets[1].accepted);
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_FALSE(tickets[i].accepted) << "admission " << i << " should have bounced";
+  }
+
+  fleet.Start();
+  fleet.Drain();
+  FleetStats s = fleet.stats();
+  ExpectDrainedInvariant(s);
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.rejected, 3u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.queue_high_water, 2u);
+
+  // The queue reopened once drained: a post-drain submit is accepted.
+  FleetScheduler::Ticket again = fleet.Submit(RequestFor(8));
+  EXPECT_TRUE(again.accepted);
+  fleet.Drain();
+  EXPECT_EQ(fleet.stats().submitted, 3u);
+}
+
+TEST(FleetScheduler, OutOfRangePinShardThrowsAtSubmit) {
+  FleetScheduler fleet({vgpu::TeslaC1060()});
+  LaunchRequest req = RequestFor(8);
+  req.pin_shard = 7;
+  EXPECT_THROW(fleet.Submit(req), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same profile => bit-identical simulated statistics; different
+// profile => a genuinely different simulated execution.
+// ---------------------------------------------------------------------------
+
+TEST(FleetScheduler, SameProfileShardsProduceBitIdenticalLaunchStats) {
+  FleetScheduler fleet(MixedFleet());  // shards 0 and 3 are both VC1060
+
+  auto pinned = [&](int shard) {
+    LaunchRequest req = RequestFor(8);
+    req.pin_shard = shard;
+    FleetScheduler::Ticket t = fleet.Submit(req);
+    EXPECT_TRUE(t.accepted);
+    return t.result;
+  };
+  auto first = pinned(0);
+  auto mirror = pinned(3);
+  auto other = pinned(1);  // VC2070
+  fleet.Drain();
+
+  const vgpu::LaunchStats a = first.get().stats;
+  const vgpu::LaunchStats b = mirror.get().stats;
+  const vgpu::LaunchStats c = other.get().stats;
+  EXPECT_TRUE(vgpu::StatsBitIdentical(a, b))
+      << "the same request on two same-profile shards must simulate identically";
+  EXPECT_FALSE(vgpu::StatsBitIdentical(a, c))
+      << "a different device profile must change the simulated execution";
+}
+
+TEST(FleetScheduler, RandomRoutingIsReproduciblePerSeed) {
+  auto placements = [](std::uint64_t seed) {
+    FleetOptions opts;
+    opts.routing = Routing::kRandom;
+    opts.random_seed = seed;
+    FleetScheduler fleet(MixedFleet(), opts);
+    std::vector<std::shared_future<LaunchResult>> futures;
+    for (int i = 0; i < 32; ++i) {
+      FleetScheduler::Ticket t = fleet.Submit(RequestFor(8));
+      EXPECT_TRUE(t.accepted);
+      futures.push_back(t.result);
+    }
+    fleet.Drain();
+    std::vector<int> shards;
+    for (auto& f : futures) shards.push_back(f.get().shard);
+    return shards;
+  };
+
+  const std::vector<int> a = placements(1234);
+  EXPECT_EQ(a, placements(1234));  // same seed, same traffic: same placement
+  bool spread = false;
+  for (int s : a) spread = spread || s != a[0];
+  EXPECT_TRUE(spread) << "32 random placements over 4 shards should use >1 shard";
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-shared tuning cache: one search per (kernel, device kind, signature).
+// ---------------------------------------------------------------------------
+
+TEST(FleetScheduler, SharedTuningCacheSearchesOncePerDeviceKind) {
+  tune::TuningCache cache;  // in-memory; thread-safe per the tuner.hpp contract
+  FleetOptions opts;
+  opts.tuning_cache = &cache;
+  FleetScheduler fleet(MixedFleet(), opts);
+
+  int searches = 0;
+  auto search = [&searches] {
+    ++searches;
+    return tune::Config{{"threads", 64}};
+  };
+
+  tune::Config a = fleet.shard(0).TunedConfig("f", "n=8", search);  // VC1060: search
+  tune::Config b = fleet.shard(3).TunedConfig("f", "n=8", search);  // VC1060: cache hit
+  EXPECT_EQ(searches, 1);
+  EXPECT_EQ(a.at("threads"), b.at("threads"));
+
+  fleet.shard(1).TunedConfig("f", "n=8", search);  // VC2070: its own key
+  EXPECT_EQ(searches, 2);
+  fleet.shard(0).TunedConfig("f", "n=16", search);  // new signature: new search
+  EXPECT_EQ(searches, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown: accepted-but-never-dispatched requests fail loudly.
+// ---------------------------------------------------------------------------
+
+TEST(FleetScheduler, ShutdownFailsRequestsItNeverDispatched) {
+  FleetOptions opts;
+  opts.autostart = false;
+  FleetScheduler fleet({vgpu::TeslaC1060()}, opts);
+  FleetScheduler::Ticket t1 = fleet.Submit(RequestFor(8));
+  FleetScheduler::Ticket t2 = fleet.Submit(RequestFor(9));
+  ASSERT_TRUE(t1.accepted);
+  ASSERT_TRUE(t2.accepted);
+
+  fleet.Shutdown();
+  EXPECT_THROW(t1.result.get(), Error);
+  EXPECT_THROW(t2.result.get(), Error);
+  FleetStats s = fleet.stats();
+  EXPECT_EQ(s.failed, 2u);
+  EXPECT_EQ(s.dispatched, 0u);
+  EXPECT_FALSE(fleet.Submit(RequestFor(8)).accepted);  // closed for business
+}
+
+}  // namespace
+}  // namespace kspec

@@ -320,6 +320,101 @@ TEST(TieredAsync, FailedPromotionKeepsServingReWithoutRetrying) {
 }
 
 // ---------------------------------------------------------------------------
+// Regression: a finished background promotion must be observable through
+// IsSpecialized alone. Only Get swaps the ready future into `specialized`, so
+// IsSpecialized used to report false forever on the drain-then-poll path —
+// which also blinded any residency-based router to completed promotions.
+// ---------------------------------------------------------------------------
+
+TEST(TieredAsync, IsSpecializedObservesFinishedPromotionWithoutAnotherGet) {
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  CompileExecutor ex({.workers = 1, .max_queue = 16});
+  ctx.set_async_service(&ex);
+  vcuda::TieredLoader tiered(&ctx, kKernel, /*hot_threshold=*/1);
+  auto opts = OptsFor(21);
+
+  EXPECT_FALSE(tiered.IsSpecialized(opts));  // cold: no state at all
+  auto mod = tiered.Get(opts);               // hot at once: schedules, serves RE
+  EXPECT_EQ(mod->GetKernel("f").stats.unrolled_loops, 0);
+  ex.Drain();  // the background build is now finished — but no Get consumed it
+
+  EXPECT_TRUE(tiered.IsSpecialized(opts))
+      << "a finished promotion must be visible without another Get";
+  EXPECT_TRUE(tiered.IsSpecialized(opts));  // polling is idempotent
+
+  // The poll did not perturb the swap-in path: the next Get still consumes
+  // the pending future normally.
+  auto promoted = tiered.Get(opts);
+  EXPECT_EQ(promoted->GetKernel("f").stats.unrolled_loops, 1);
+  EXPECT_EQ(tiered.stats().promotions_pending, 0u);
+  EXPECT_EQ(tiered.stats().specializations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: the blocking promotion path (no service attached) must compile
+// once per key. M threads crossing the hot threshold together used to each
+// call LoadModule — M-1 discarded duplicate compiles of a
+// hundreds-of-milliseconds build.
+// ---------------------------------------------------------------------------
+
+TEST(TieredBlocking, ConcurrentHotPromotionCompilesExactlyOnce) {
+  constexpr int kThreads = 8;
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  vcuda::TieredLoader tiered(&ctx, kKernel, /*hot_threshold=*/1);
+
+  // Threshold 1 sends every first Get straight into the promotion path, and
+  // the blocker specialization compiles slowly enough that all 8 threads are
+  // inside the promotion together — before the single-flight latch each one
+  // ran (and cache-miss-counted) its own compile.
+  const kcc::CompileOptions opts = BlockerOpts();
+  std::atomic<int> ready{0};
+  std::vector<std::shared_ptr<vcuda::Module>> modules(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      modules[t] = tiered.Get(opts);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(modules[t], nullptr) << "thread " << t;
+    EXPECT_EQ(modules[t], modules[0]) << "thread " << t << " got its own build";
+  }
+  // Exactly one compile happened fleet-wide for this key (the RE build was
+  // never needed: threshold 1 promotes before it is ever served).
+  EXPECT_EQ(ctx.cache_stats().misses, 1u);
+  auto s = tiered.stats();
+  EXPECT_EQ(s.specializations, 1u);
+  EXPECT_EQ(s.sk_served, static_cast<std::uint64_t>(kThreads));
+  EXPECT_TRUE(tiered.IsSpecialized(opts));
+}
+
+// ---------------------------------------------------------------------------
+// Prewarm: fleet-style cache seeding through the executor.
+// ---------------------------------------------------------------------------
+
+TEST(CompileExecutor, PrewarmSeedsTheTargetContextCache) {
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  CompileExecutor ex({.workers = 1, .max_queue = 16});
+  auto opts = OptsFor(33);
+
+  ASSERT_FALSE(ctx.HasCachedModule(kKernel, opts));
+  vcuda::SubmitResult r = ex.Prewarm(ctx, RequestFor(opts));
+  ASSERT_TRUE(r.ok());
+  ex.Drain();
+  ASSERT_NE(r.future.get(), nullptr);
+  EXPECT_TRUE(ctx.HasCachedModule(kKernel, opts));
+
+  ServeStats s = ex.stats();
+  EXPECT_EQ(s.prewarmed, 1u);
+  EXPECT_EQ(s.submitted, 1u);
+  ExpectInvariant(s);
+}
+
+// ---------------------------------------------------------------------------
 // Stress: one TieredLoader + one CompileExecutor, >= 8 threads, overlapping
 // parameter sets
 // ---------------------------------------------------------------------------

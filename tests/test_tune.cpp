@@ -270,6 +270,112 @@ TEST(TuningCache, StoreMergesOtherWritersEntries) {
   EXPECT_TRUE(c.Lookup("beta").has_value());
 }
 
+// Regression: TuningCache is shared by every shard of a fleet, but Store and
+// Lookup used to touch the entries map with no synchronization at all — a
+// data race TSan flags the moment two schedulers' shards tune concurrently.
+// This test is in the TSan CI job; it also checks nothing is lost or torn.
+TEST(TuningCache, ConcurrentStoreLookupFlushIsSafe) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  constexpr int kKeys = 16;
+  TempDir tmp;
+  tune::TuningCache cache(tmp.File("tune.bin"));
+
+  std::atomic<int> ready{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kIters; ++i) {
+        const std::string key = "k" + std::to_string((t * 13 + i) % kKeys);
+        switch (i % 4) {
+          case 0:
+            cache.Store(key, {{"threads", 32 + (i % 4) * 32}});
+            break;
+          case 1:
+            if (auto hit = cache.Lookup(key)) {
+              EXPECT_GT(hit->at("threads"), 0);  // never torn
+            }
+            break;
+          case 2:
+            (void)cache.size();
+            break;
+          default:
+            if (i % 32 == 3) cache.Flush();  // read-merge-write under fire
+            break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Every key was stored at least once; all of them survive the storm, both
+  // in memory and (after one more flush) on disk.
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_TRUE(cache.Lookup("k" + std::to_string(k)).has_value()) << "key " << k;
+  }
+  cache.Flush();
+  tune::TuningCache reread(tmp.File("tune.bin"));
+  EXPECT_EQ(reread.size(), static_cast<std::size_t>(kKeys));
+}
+
+// LookupOrCompute is the fleet's single-search guarantee: N shards asking for
+// the same (kernel, device, signature) key concurrently run the search once
+// and share the result.
+TEST(TuningCache, LookupOrComputeRunsComputeOncePerKey) {
+  constexpr int kThreads = 8;
+  tune::TuningCache cache;  // in-memory is enough: the contract is per-process
+
+  std::atomic<int> computes{0};
+  std::atomic<int> ready{0};
+  std::vector<tune::Config> results(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      results[t] = cache.LookupOrCompute("piv|VC1060|n=8", [&] {
+        computes.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return tune::Config{{"threads", 64}, {"rb", 4}};
+      });
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(computes.load(), 1) << "the search ran more than once for one key";
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].at("threads"), 64) << "thread " << t;
+    EXPECT_EQ(results[t].at("rb"), 4) << "thread " << t;
+  }
+  EXPECT_TRUE(cache.Lookup("piv|VC1060|n=8").has_value());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// A failed compute must propagate to every waiter and leave nothing cached —
+// the next call retries with a fresh flight.
+TEST(TuningCache, LookupOrComputeFailureIsNotCached) {
+  tune::TuningCache cache;
+  std::atomic<int> computes{0};
+  EXPECT_THROW(cache.LookupOrCompute("bad",
+                                     [&]() -> tune::Config {
+                                       computes.fetch_add(1);
+                                       throw Error("search blew up");
+                                     }),
+               Error);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("bad").has_value());
+
+  tune::Config ok = cache.LookupOrCompute("bad", [&] {
+    computes.fetch_add(1);
+    return tune::Config{{"threads", 128}};
+  });
+  EXPECT_EQ(computes.load(), 2);  // the failure was not latched forever
+  EXPECT_EQ(ok.at("threads"), 128);
+  EXPECT_TRUE(cache.Lookup("bad").has_value());
+}
+
 // The acceptance path: a second process (modeled by a fresh TuningCache
 // instance over the same file) reuses the persisted entry and performs ZERO
 // evaluations.

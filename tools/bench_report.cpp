@@ -1,8 +1,13 @@
 // bench_report: aggregates the --json outputs of bench binaries into one
-// report file (default BENCH_interp.json), so a benchmark trajectory across
-// configurations or commits lives in a single reviewable artifact.
+// report file, so a benchmark trajectory across configurations or commits
+// lives in a single reviewable artifact.
 //
 // Usage: bench_report [-o out.json] [--append] session1.json [session2.json ...]
+//
+// Without -o the output name is derived from the first session's "bench"
+// field — bench_fleet -> BENCH_fleet.json, bench_autotune -> BENCH_tune.json,
+// anything else -> BENCH_interp.json — so each bench family lands in its own
+// artifact by default.
 //
 // Each input is a bench Session file ({"bench": ..., "records": [...]}); the
 // output wraps them in {"benches": [...]}. Inputs are embedded verbatim, so
@@ -58,10 +63,31 @@ bool ExistingSessions(const std::string& text, std::vector<std::string>* out) {
   return depth == 0 && !in_string;
 }
 
+// Pulls the "bench" field out of a session body (flat string scan; the field
+// is written by bench::Session, first in the object). Empty when absent.
+std::string BenchName(const std::string& body) {
+  const std::string tag = "\"bench\"";
+  std::size_t pos = body.find(tag);
+  if (pos == std::string::npos) return "";
+  pos = body.find('"', body.find(':', pos + tag.size()));
+  if (pos == std::string::npos) return "";
+  const std::size_t end = body.find('"', pos + 1);
+  if (end == std::string::npos) return "";
+  return body.substr(pos + 1, end - pos - 1);
+}
+
+// Default report path for a session family: each bench binary's sessions
+// aggregate into their own BENCH_*.json artifact.
+std::string DefaultOutPath(const std::string& bench) {
+  if (bench == "bench_fleet") return "BENCH_fleet.json";
+  if (bench == "bench_autotune") return "BENCH_tune.json";
+  return "BENCH_interp.json";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_interp.json";
+  std::string out_path;
   bool append = false;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
@@ -83,20 +109,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<std::string> bodies;
-  if (append) {
-    std::ifstream in(out_path);
-    if (in) {
-      std::ostringstream ss;
-      ss << in.rdbuf();
-      const std::string existing = Trim(ss.str());
-      if (!existing.empty() && !ExistingSessions(existing, &bodies)) {
-        std::cerr << "bench_report: " << out_path << " is not a bench report; not appending\n";
-        return 1;
-      }
-    }
-  }
-
+  std::vector<std::string> session_bodies;
   for (const std::string& path : inputs) {
     std::ifstream in(path);
     if (!in) {
@@ -110,8 +123,24 @@ int main(int argc, char** argv) {
       std::cerr << "bench_report: " << path << " is empty\n";
       return 1;
     }
-    bodies.push_back(std::move(body));
+    session_bodies.push_back(std::move(body));
   }
+  if (out_path.empty()) out_path = DefaultOutPath(BenchName(session_bodies.front()));
+
+  std::vector<std::string> bodies;
+  if (append) {
+    std::ifstream in(out_path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const std::string existing = Trim(ss.str());
+      if (!existing.empty() && !ExistingSessions(existing, &bodies)) {
+        std::cerr << "bench_report: " << out_path << " is not a bench report; not appending\n";
+        return 1;
+      }
+    }
+  }
+  for (std::string& body : session_bodies) bodies.push_back(std::move(body));
 
   std::ofstream out(out_path);
   if (!out) {
