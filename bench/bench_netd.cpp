@@ -1,0 +1,360 @@
+// bench_netd: specialization-as-a-service vs per-process compilation under
+// >= 512 concurrent synthetic clients whose keys follow a Zipf distribution.
+//
+// The daemon arm models a warm machine: one in-process kspecd owns every
+// compile, clients take the client fast path (read the shared artifact store
+// directly) and fall back to one RPC round trip when the artifact is not
+// published yet. Cross-process single-flight means the fleet pays each
+// distinct specialization exactly once — the bench *asserts* that
+// (daemon compiled count == distinct keys in the traffic) and fails loudly if
+// the invariant does not hold. The per-process arm is the world without the
+// service: every client is its own process with its own cold cache and
+// compiles its key itself.
+//
+// The headline comparison is p99 time-to-specialized-binary (request issued
+// -> validated .kmod in hand) and total compiles across the fleet.
+//
+//   --json <path>  machine-readable records for tools/bench_report
+//                  (aggregate into BENCH_netd.json)
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kcc/cache_key.hpp"
+#include "kcc/serialize.hpp"
+#include "netd/artifact_store.hpp"
+#include "netd/daemon.hpp"
+#include "netd/protocol.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/device.hpp"
+
+namespace kspec {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kKernel = R"(
+#ifndef N
+#define N n
+#endif
+__kernel void f(float* out, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < N; i++) { acc += 1.0f; }
+  out[threadIdx.x] = acc;
+}
+)";
+
+constexpr int kClients = 512;   // >= 512 concurrent synthetic clients
+constexpr int kKeys = 48;       // distinct specializations in the traffic
+constexpr double kZipfS = 1.1;  // classic web-traffic skew
+constexpr std::uint64_t kTrafficSeed = 0x5eed5eed5eed5eedull;
+
+std::uint64_t Xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+// Key sequence drawn from Zipf(kZipfS) over kKeys keys: key rank r has weight
+// 1/(r+1)^s. Deterministic per seed, identical for both arms.
+std::vector<int> ZipfTraffic() {
+  std::vector<double> cdf(kKeys);
+  double total = 0;
+  for (int r = 0; r < kKeys; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), kZipfS);
+    cdf[r] = total;
+  }
+  std::uint64_t s = kTrafficSeed;
+  std::vector<int> keys;
+  keys.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    const double u = total * (static_cast<double>(Xorshift(s) >> 11) /
+                              static_cast<double>(1ull << 53));
+    keys.push_back(static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin()));
+  }
+  return keys;
+}
+
+// Each key's specialization fully unrolls an N-iteration loop, N in the
+// thousands — a deliberately expensive compile (this is the paper's premise:
+// run-time specialization costs real time, which is exactly what the daemon
+// amortizes fleet-wide). Without this, trivial microsecond compiles would
+// make RPC overhead the whole measurement.
+kcc::CompileOptions OptsFor(int key) {
+  kcc::CompileOptions opts;
+  opts.defines["N"] = std::to_string(1500 + 100 * key);
+  opts.max_unroll = 1500 + 100 * kKeys;
+  return opts;
+}
+
+kcc::ModuleCacheKey KeyFor(int key) {
+  return kcc::ModuleCacheKey::Make(kKernel, OptsFor(key), vgpu::TeslaC1060().name);
+}
+
+// Scratch directory for socket + store; short path keeps AF_UNIX happy.
+struct ScratchDir {
+  std::string path;
+  ScratchDir() {
+    char tmpl[] = "/tmp/kspec_bench_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    path = made != nullptr ? made : "/tmp/kspec_bench_fallback";
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+// Releases all client threads at once so the arms measure genuine concurrency.
+class StartGate {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+struct ArmResult {
+  double wall_ms = 0;          // gate open -> last client done
+  double throughput = 0;       // clients per wall second
+  double p50_ms = 0;           // median time-to-specialized-binary
+  double p99_ms = 0;           // tail time-to-specialized-binary
+  std::uint64_t compiles = 0;  // compiles paid across the whole fleet
+  std::uint64_t store_hits = 0;   // clients served straight from the store
+  std::uint64_t rpc_fetches = 0;  // clients served over the wire
+  std::uint64_t failures = 0;     // clients that did not get a valid artifact
+};
+
+double Percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  const std::size_t i =
+      std::min(v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[i];
+}
+
+// One client in the daemon arm: try the shared store (the no-RPC fast path),
+// then one compile RPC. Success = a deserialized artifact whose embedded key
+// matches the request.
+bool DaemonClient(const std::string& socket_path, netd::ArtifactStore& store,
+                  const kcc::ModuleCacheKey& key, bool* via_store) {
+  std::vector<std::uint8_t> bytes;
+  *via_store = store.LoadBytes(key, &bytes);
+  if (!*via_store) {
+    const int fd = netd::ConnectUnix(socket_path);
+    if (fd < 0) return false;
+    netd::SetRecvTimeout(fd, std::chrono::milliseconds(120000));
+    netd::CompileReq req;
+    req.tenant = "bench";
+    req.key_text = key.CanonicalText();
+    const bool sent = netd::SendFrame(fd, netd::FrameType::kCompileReq,
+                                      netd::EncodeCompileReq(req));
+    netd::Frame frame;
+    const bool got = sent && netd::RecvFrame(fd, &frame) == netd::RecvStatus::kOk &&
+                     frame.type == netd::FrameType::kArtifactResp;
+    ::close(fd);
+    if (!got) return false;
+    bytes = std::move(frame.payload);
+  }
+  try {
+    std::string embedded;
+    kcc::Deserialize(bytes, &embedded);
+    return embedded == key.CanonicalText();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+ArmResult RunDaemonArm(const std::vector<int>& traffic, std::size_t distinct_keys) {
+  ScratchDir scratch;
+  netd::DaemonOptions opts;
+  opts.socket_path = scratch.path + "/kspecd.sock";
+  opts.store_dir = scratch.path + "/store";
+  opts.workers = 4;
+  opts.max_queue = kClients;
+  opts.tenant_max_inflight = kClients;  // admission control is not under test
+  opts.prewarm_top_k = 0;               // cold start: no persisted hot keys
+  netd::SpecDaemon daemon(opts);
+  daemon.Start();
+
+  // The clients' direct read handle on the shared store (one per machine in
+  // production; shared here, its internals are thread-safe).
+  netd::ArtifactStore client_store(opts.store_dir);
+
+  StartGate gate;
+  std::vector<double> elapsed(traffic.size(), 0.0);
+  std::atomic<std::uint64_t> store_hits{0}, rpc_fetches{0}, failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(traffic.size());
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    clients.emplace_back([&, i] {
+      const kcc::ModuleCacheKey key = KeyFor(traffic[i]);
+      gate.Wait();
+      WallTimer timer;
+      bool via_store = false;
+      const bool ok = DaemonClient(opts.socket_path, client_store, key, &via_store);
+      elapsed[i] = timer.ElapsedMillis();
+      if (!ok) {
+        failures.fetch_add(1);
+      } else if (via_store) {
+        store_hits.fetch_add(1);
+      } else {
+        rpc_fetches.fetch_add(1);
+      }
+    });
+  }
+
+  WallTimer wall;
+  gate.Open();
+  for (std::thread& t : clients) t.join();
+  const double wall_ms = wall.ElapsedMillis();
+
+  ArmResult arm;
+  arm.wall_ms = wall_ms;
+  arm.throughput = 1000.0 * static_cast<double>(traffic.size()) / wall_ms;
+  arm.p50_ms = Percentile(elapsed, 0.50);
+  arm.p99_ms = Percentile(elapsed, 0.99);
+  arm.compiles = daemon.daemon_stats().compiled;
+  arm.store_hits = store_hits.load();
+  arm.rpc_fetches = rpc_fetches.load();
+  arm.failures = failures.load();
+
+  // The tentpole invariant: the daemon compiled each distinct key exactly
+  // once, fleet-wide, no matter how many clients raced for it.
+  if (arm.compiles != distinct_keys) {
+    bench::Note(Format("UNEXPECTED: daemon compiled %llu times for %zu distinct keys",
+                       static_cast<unsigned long long>(arm.compiles), distinct_keys));
+    arm.failures += 1;
+  }
+  daemon.Stop();
+  return arm;
+}
+
+ArmResult RunPerProcessArm(const std::vector<int>& traffic) {
+  StartGate gate;
+  std::vector<double> elapsed(traffic.size(), 0.0);
+  std::atomic<std::uint64_t> compiles{0}, failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(traffic.size());
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    clients.emplace_back([&, i] {
+      gate.Wait();
+      WallTimer timer;
+      try {
+        // Its own process = its own cold cache: the compile is always paid.
+        vcuda::Context ctx(vgpu::TeslaC1060(), 1ull << 20);
+        ctx.LoadModule(kKernel, OptsFor(traffic[i]));
+        compiles.fetch_add(ctx.cache_stats().misses);
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+      elapsed[i] = timer.ElapsedMillis();
+    });
+  }
+
+  WallTimer wall;
+  gate.Open();
+  for (std::thread& t : clients) t.join();
+  const double wall_ms = wall.ElapsedMillis();
+
+  ArmResult arm;
+  arm.wall_ms = wall_ms;
+  arm.throughput = 1000.0 * static_cast<double>(traffic.size()) / wall_ms;
+  arm.p50_ms = Percentile(elapsed, 0.50);
+  arm.p99_ms = Percentile(elapsed, 0.99);
+  arm.compiles = compiles.load();
+  arm.failures = failures.load();
+  return arm;
+}
+
+}  // namespace
+}  // namespace kspec
+
+int main(int argc, char** argv) {
+  using namespace kspec;
+  bench::Session session("bench_netd", argc, argv);
+
+  bench::Banner("Netd", "kspecd daemon vs per-process compilation, Zipf traffic");
+  bench::Note(Format("%d concurrent clients, %d specializations, Zipf s=%.1f",
+                     kClients, kKeys, kZipfS));
+  bench::Note("expected shape: the daemon compiles each distinct key exactly once");
+  bench::Note("fleet-wide (asserted) and serves everyone else from the shared");
+  bench::Note("store or a coalesced flight, so its p99 time-to-specialized-binary");
+  bench::Note("and total compiles beat 512 processes each compiling for itself.");
+
+  const std::vector<int> traffic = ZipfTraffic();
+  const std::size_t distinct_keys =
+      std::set<int>(traffic.begin(), traffic.end()).size();
+
+  const ArmResult daemon = RunDaemonArm(traffic, distinct_keys);
+  const ArmResult per_process = RunPerProcessArm(traffic);
+
+  std::printf("\n  %-12s %10s %12s %9s %9s %9s %7s %7s\n", "arm", "wall ms",
+              "clients/s", "p50 ms", "p99 ms", "compiles", "store", "rpc");
+  auto row = [](const char* name, const ArmResult& a) {
+    std::printf("  %-12s %10.1f %12.0f %9.2f %9.2f %9llu %7llu %7llu\n", name,
+                a.wall_ms, a.throughput, a.p50_ms, a.p99_ms,
+                static_cast<unsigned long long>(a.compiles),
+                static_cast<unsigned long long>(a.store_hits),
+                static_cast<unsigned long long>(a.rpc_fetches));
+  };
+  row("daemon", daemon);
+  row("per-process", per_process);
+
+  const double p99_speedup = per_process.p99_ms / daemon.p99_ms;
+  bench::Note(Format("daemon p99 speedup over per-process: %.2fx (%llu vs %llu compiles, "
+                     "%zu distinct keys)",
+                     p99_speedup, static_cast<unsigned long long>(daemon.compiles),
+                     static_cast<unsigned long long>(per_process.compiles),
+                     distinct_keys));
+  if (p99_speedup <= 1.0) {
+    bench::Note("UNEXPECTED: the daemon did not beat per-process on p99");
+  }
+
+  auto record = [&session](const std::string& arm, const ArmResult& a) {
+    session.Record("netd/" + arm + "/wall_ms", a.wall_ms);
+    session.Record("netd/" + arm + "/throughput_per_s", a.throughput);
+    session.Record("netd/" + arm + "/p50_ms", a.p50_ms);
+    session.Record("netd/" + arm + "/p99_ms", a.p99_ms);
+    session.Record("netd/" + arm + "/compiles", static_cast<double>(a.compiles));
+  };
+  record("daemon", daemon);
+  record("per_process", per_process);
+  session.Record("netd/daemon/store_hits", static_cast<double>(daemon.store_hits));
+  session.Record("netd/daemon/rpc_fetches", static_cast<double>(daemon.rpc_fetches));
+  session.Record("netd/distinct_keys", static_cast<double>(distinct_keys));
+  session.Record("netd/p99_speedup_daemon_vs_per_process", p99_speedup, 0, p99_speedup);
+
+  const std::uint64_t total_failures = daemon.failures + per_process.failures;
+  if (total_failures != 0) {
+    bench::Note(Format("UNEXPECTED: %llu client failures",
+                       static_cast<unsigned long long>(total_failures)));
+    return 1;
+  }
+  return 0;
+}

@@ -155,7 +155,7 @@ int main(int argc, char** argv) {
     executor.Drain();
 
     serve::ServeStats s = executor.stats();
-    std::cout << "  " << s.Render();
+    std::cout << serve::RenderServiceReport(s, ctx.cache_stats());
     std::cout << Format("  %d threads served in %.1f ms; compiles run: %zu\n", kThreads, wall_ms,
                         ctx.cache_stats().misses);
     if (s.coalesced == kThreads - 1 && ctx.cache_stats().misses == 1) {

@@ -46,6 +46,28 @@ std::string ModuleCacheKey::CanonicalText() const {
   return std::string(bytes.begin(), bytes.end());
 }
 
+ModuleCacheKey ModuleCacheKey::FromCanonicalText(std::string_view text) {
+  ByteReader r(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  ModuleCacheKey key;
+  key.source = r.Str();
+  const std::uint32_t ndefines = r.U32();
+  for (std::uint32_t i = 0; i < ndefines; ++i) {
+    std::string name = r.Str();
+    key.defines[std::move(name)] = r.Str();
+  }
+  key.max_unroll = r.I32();
+  const std::uint8_t flags = r.U8();
+  key.optimize = (flags & 1) != 0;
+  key.enable_unroll = (flags & 2) != 0;
+  key.enable_strength_reduction = (flags & 4) != 0;
+  key.enable_cse = (flags & 8) != 0;
+  key.device_name = r.Str();
+  if (!r.AtEnd()) throw SerializeError("trailing bytes after cache key");
+  if (flags > 15) throw SerializeError("unknown cache-key option flags");
+  return key;
+}
+
 std::uint64_t ModuleCacheKey::Hash() const { return Fnv1a(CanonicalText()); }
 
 std::string ModuleCacheKey::FileName() const {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "kcc/compiler.hpp"
 
@@ -37,8 +38,14 @@ struct ModuleCacheKey {
 
   // Injective binary encoding of every field (length-prefixed, sorted
   // defines). Two keys are equal iff their canonical texts are equal, so this
-  // string is what cache entries store and verify against.
+  // string is what cache entries store and verify against — and what the
+  // specialization daemon's wire protocol carries as the request body.
   std::string CanonicalText() const;
+
+  // Inverse of CanonicalText: FromCanonicalText(k.CanonicalText()) == k.
+  // Throws SerializeError on malformed or trailing input, so a daemon never
+  // acts on a corrupted request frame.
+  static ModuleCacheKey FromCanonicalText(std::string_view text);
 
   // FNV-1a of CanonicalText(); the cache's bucket index, never trusted alone.
   std::uint64_t Hash() const;

@@ -1,0 +1,129 @@
+#include "netd/artifact_store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "kcc/serialize.hpp"
+#include "support/log.hpp"
+#include "support/serialize.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+
+namespace kspec::netd {
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+  KSPEC_CHECK_MSG(!dir_.empty(), "artifact store needs a directory");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) throw Error("artifact store: cannot create '" + dir_ + "': " + ec.message());
+}
+
+std::string ArtifactStore::PathFor(const kcc::ModuleCacheKey& key) const {
+  return dir_ + "/" + key.FileName();
+}
+
+void ArtifactStore::Quarantine(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string aside = path + Format(".bad.%d.%llu", static_cast<int>(::getpid()),
+                                          static_cast<unsigned long long>(counter.fetch_add(1)));
+  if (std::rename(path.c_str(), aside.c_str()) != 0) ::unlink(path.c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.corrupt_quarantined;
+}
+
+bool ArtifactStore::LoadBytes(const kcc::ModuleCacheKey& key, std::vector<std::uint8_t>* out) {
+  const std::string path = PathFor(key);
+  std::vector<std::uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return false;
+  }
+  try {
+    std::string stored_key;
+    kcc::Deserialize(bytes, &stored_key);  // full parse: checksum, version, layout
+    if (stored_key != key.CanonicalText()) {
+      // A valid artifact for a different key under this hash-derived name.
+      // Not corruption — don't quarantine; the caller's eventual publish of
+      // this key overwrites it.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.collisions;
+      ++stats_.misses;
+      KSPEC_LOG_WARN << "artifact store: " << path
+                     << " belongs to a different key (hash collision) — treating as miss";
+      return false;
+    }
+  } catch (const SerializeError& e) {
+    KSPEC_LOG_WARN << "artifact store: quarantining unreadable artifact " << path << " ("
+                   << e.what() << ")";
+    Quarantine(path);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+  }
+  *out = std::move(bytes);
+  return true;
+}
+
+std::shared_ptr<const kcc::CompiledModule> ArtifactStore::Load(const kcc::ModuleCacheKey& key) {
+  std::vector<std::uint8_t> bytes;
+  if (!LoadBytes(key, &bytes)) return nullptr;
+  // LoadBytes already validated; a parse failure here would mean the bytes
+  // changed in flight, which a local vector cannot.
+  return std::make_shared<const kcc::CompiledModule>(kcc::Deserialize(bytes));
+}
+
+bool ArtifactStore::Publish(const kcc::ModuleCacheKey& key, const kcc::CompiledModule& mod) {
+  const std::vector<std::uint8_t> bytes = kcc::Serialize(mod, key.CanonicalText());
+  const std::string path = PathFor(key);
+  if (!WriteFileAtomic(path, bytes)) {
+    KSPEC_LOG_WARN << "artifact store: failed to publish " << path << " — continuing";
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.publishes;
+  return true;
+}
+
+bool ArtifactStore::PublishBytes(const kcc::ModuleCacheKey& key,
+                                 std::span<const std::uint8_t> bytes) {
+  try {
+    std::string stored_key;
+    kcc::Deserialize(bytes, &stored_key);
+    if (stored_key != key.CanonicalText()) {
+      KSPEC_LOG_WARN << "artifact store: refusing to publish bytes keyed differently than "
+                     << key.FileName();
+      return false;
+    }
+  } catch (const SerializeError& e) {
+    KSPEC_LOG_WARN << "artifact store: refusing to publish malformed artifact for "
+                   << key.FileName() << " (" << e.what() << ")";
+    return false;
+  }
+  const std::string path = PathFor(key);
+  if (!WriteFileAtomic(path, bytes)) {
+    KSPEC_LOG_WARN << "artifact store: failed to publish " << path << " — continuing";
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.publishes;
+  return true;
+}
+
+bool ArtifactStore::Contains(const kcc::ModuleCacheKey& key) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(key), ec);
+}
+
+StoreStats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace kspec::netd

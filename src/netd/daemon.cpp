@@ -1,0 +1,445 @@
+#include "netd/daemon.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "kcc/serialize.hpp"
+#include "support/log.hpp"
+#include "support/serialize.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+#include "vgpu/device.hpp"
+
+namespace kspec::netd {
+
+namespace {
+
+constexpr std::uint32_t kHotKeysMagic = 0x544F484B;  // "KHOT"
+constexpr std::uint32_t kHotKeysVersion = 1;
+
+// Tenant name the startup prewarmer submits under, so its traffic is
+// distinguishable from real tenants in the stats.
+constexpr const char* kPrewarmTenant = "_prewarm";
+
+}  // namespace
+
+SpecDaemon::SpecDaemon(DaemonOptions options)
+    : options_(std::move(options)),
+      store_(options_.store_dir),
+      executor_({.workers = options_.workers, .max_queue = options_.max_queue}) {
+  KSPEC_CHECK_MSG(!options_.socket_path.empty(), "kspecd needs a socket path");
+}
+
+SpecDaemon::~SpecDaemon() { Stop(); }
+
+void SpecDaemon::Start() {
+  const int fd = ListenUnix(options_.socket_path);
+  if (fd < 0) {
+    throw Error("kspecd: cannot listen on '" + options_.socket_path +
+                "': " + std::strerror(errno));
+  }
+  LoadHotKeys();
+
+  // Hottest keys first; only ones the store does not already hold are worth a
+  // prewarm flight.
+  std::vector<std::pair<std::uint64_t, std::string>> ranked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listen_fd_ = fd;
+    running_ = true;
+    for (const auto& [text, count] : key_counts_) ranked.emplace_back(count, text);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> hot;
+  for (const auto& [count, text] : ranked) {
+    if (hot.size() >= options_.prewarm_top_k) break;
+    hot.push_back(text);
+  }
+
+  accept_thread_ = std::thread(&SpecDaemon::AcceptLoop, this);
+  if (!hot.empty()) {
+    prewarm_thread_ = std::thread(&SpecDaemon::PrewarmHotKeys, this, std::move(hot));
+  }
+  KSPEC_LOG_INFO << "kspecd: serving on " << options_.socket_path << " (store "
+                 << options_.store_dir << ", " << options_.workers << " workers)";
+}
+
+void SpecDaemon::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [this] { return shutdown_requested_ || stopping_ || !running_; });
+}
+
+void SpecDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || !running_) return;
+    stopping_ = true;
+    // Severed under the lock: a handler only closes its fd after removing it
+    // from conn_fds_ (also under the lock), so no fd here can have been
+    // closed and reused.
+    for (int cfd : conn_fds_) ::shutdown(cfd, SHUT_RDWR);
+    // Wakes the blocked accept() (Linux: shutdown on a listening socket).
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    tenant_cv_.notify_all();
+    stop_cv_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (prewarm_thread_.joinable()) prewarm_thread_.join();
+  {
+    // Handler threads are detached; wait for every one to retire (their
+    // in-flight compiles finish normally — the executor is still up).
+    std::unique_lock<std::mutex> lock(mu_);
+    conns_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  }
+  executor_.Drain();
+  SaveHotKeys();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_ = false;
+  }
+  ::unlink(options_.socket_path.c_str());
+  KSPEC_LOG_INFO << "kspecd: stopped";
+}
+
+bool SpecDaemon::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ && !stopping_;
+}
+
+void SpecDaemon::AcceptLoop() {
+  for (;;) {
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener severed by Stop(), or fatal
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(cfd);
+        return;
+      }
+      conn_fds_.push_back(cfd);
+      ++active_conns_;  // counted before the thread exists: Stop() never misses it
+    }
+    std::thread(&SpecDaemon::HandleConnection, this, cfd).detach();
+  }
+}
+
+void SpecDaemon::HandleConnection(int fd) {
+  for (;;) {
+    Frame frame;
+    const RecvStatus rs = RecvFrame(fd, &frame);
+    if (rs == RecvStatus::kClosed) break;
+    if (rs != RecvStatus::kOk) {
+      SendError(fd, ErrorCode::kBadRequest,
+                rs == RecvStatus::kTooLarge ? "frame too large" : "malformed frame");
+      break;
+    }
+    switch (frame.type) {
+      case FrameType::kPing:
+        if (!SendFrame(fd, FrameType::kOkResp, std::span<const std::uint8_t>{})) goto done;
+        break;
+      case FrameType::kStatsReq:
+        if (!SendFrame(fd, FrameType::kStatsResp, StatsJson())) goto done;
+        break;
+      case FrameType::kShutdownReq: {
+        SendFrame(fd, FrameType::kOkResp, std::span<const std::uint8_t>{});
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_requested_ = true;
+        stop_cv_.notify_all();
+        goto done;
+      }
+      case FrameType::kCompileReq: {
+        // An undecodable body inside a well-formed frame is a bad request,
+        // not a framing failure: answer it and keep the connection, exactly
+        // like the bad-key and unknown-device paths inside HandleCompile.
+        CompileReq req;
+        bool decoded = true;
+        try {
+          req = DecodeCompileReq(frame.payload);
+        } catch (const SerializeError& e) {
+          decoded = false;
+          if (!SendError(fd, ErrorCode::kBadRequest, e.what())) goto done;
+        }
+        if (decoded) HandleCompile(fd, req);
+        break;
+      }
+      default:
+        SendError(fd, ErrorCode::kBadRequest, "unexpected frame type");
+        goto done;
+    }
+  }
+done:
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd), conn_fds_.end());
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_conns_;
+  conns_cv_.notify_all();
+}
+
+bool SpecDaemon::SendError(int fd, ErrorCode code, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (code != ErrorCode::kThrottled) ++stats_.errors;
+  }
+  ErrorBody err;
+  err.code = code;
+  err.message = message;
+  return SendFrame(fd, FrameType::kErrorResp, EncodeError(err));
+}
+
+bool SpecDaemon::AcquireTenant(const std::string& tenant) {
+  std::unique_lock<std::mutex> lock(mu_);
+  TenantState& t = tenants_[tenant];
+  const auto deadline = std::chrono::steady_clock::now() + options_.tenant_wait_cap;
+  tenant_cv_.wait_until(lock, deadline, [&] {
+    return t.inflight < options_.tenant_max_inflight || stopping_;
+  });
+  if (stopping_ || t.inflight >= options_.tenant_max_inflight) {
+    ++t.throttled;
+    ++stats_.throttled;
+    return false;
+  }
+  ++t.inflight;
+  return true;
+}
+
+void SpecDaemon::ReleaseTenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --tenants_[tenant].inflight;
+  tenant_cv_.notify_all();
+}
+
+vcuda::Context& SpecDaemon::ContextFor(const std::string& device_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = contexts_.find(device_name);
+  if (it == contexts_.end()) {
+    vgpu::DeviceProfile profile = vgpu::ProfileByName(device_name);  // throws if unknown
+    it = contexts_
+             .emplace(device_name,
+                      std::make_unique<vcuda::Context>(std::move(profile), options_.heap_bytes))
+             .first;
+  }
+  return *it->second;
+}
+
+void SpecDaemon::HandleCompile(int fd, const CompileReq& creq) {
+  kcc::ModuleCacheKey key;
+  try {
+    key = kcc::ModuleCacheKey::FromCanonicalText(creq.key_text);
+  } catch (const SerializeError& e) {
+    SendError(fd, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    ++key_counts_[creq.key_text];
+  }
+
+  // Fast path: an earlier publish (any tenant, any daemon lifetime) already
+  // holds the artifact.
+  std::vector<std::uint8_t> bytes;
+  if (store_.LoadBytes(key, &bytes)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.store_hits;
+    }
+    SendFrame(fd, FrameType::kArtifactResp, bytes);
+    return;
+  }
+
+  if (!AcquireTenant(creq.tenant)) {
+    SendError(fd, ErrorCode::kThrottled,
+              Format("tenant '%s' exceeded %zu in-flight compiles", creq.tenant.c_str(),
+                     options_.tenant_max_inflight));
+    return;
+  }
+  struct TenantRelease {
+    SpecDaemon* daemon;
+    const std::string& tenant;
+    ~TenantRelease() { daemon->ReleaseTenant(tenant); }
+  } release{this, creq.tenant};
+
+  vcuda::Context* ctx = nullptr;
+  try {
+    ctx = &ContextFor(key.device_name);
+  } catch (const Error& e) {
+    SendError(fd, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+
+  vcuda::CompileRequest req;
+  req.source = key.source;
+  req.opts = key.Options();
+  req.tenant = creq.tenant;
+  if (creq.deadline_ms > 0) {
+    req.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(creq.deadline_ms);
+  }
+  const vcuda::SubmitResult r = executor_.SubmitLoad(*ctx, req);
+  if (!r.ok()) {
+    std::string reason = "compile queue full";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.throttled;
+      ++tenants_[creq.tenant].throttled;
+      if (stopping_ || shutdown_requested_) reason = "daemon shutting down";
+    }
+    SendError(fd, reason == "compile queue full" ? ErrorCode::kThrottled
+                                                 : ErrorCode::kShuttingDown,
+              reason);
+    return;
+  }
+  {
+    // Cross-process single-flight accounting: all tenants share this
+    // executor, so a kCoalesced whose flight another tenant scheduled is a
+    // compile some *other process* paid for.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (r.status == vcuda::SubmitStatus::kScheduled) {
+      flight_origin_[creq.key_text] = creq.tenant;
+    } else if (r.status == vcuda::SubmitStatus::kCoalesced) {
+      auto it = flight_origin_.find(creq.key_text);
+      if (it != flight_origin_.end() && it->second != creq.tenant) {
+        ++stats_.cross_process_coalesced;
+      }
+    }
+  }
+
+  std::shared_ptr<vcuda::Module> module;
+  try {
+    module = r.future.get();
+  } catch (const std::exception& e) {
+    SendError(fd, ErrorCode::kCompileFailed, e.what());
+    return;
+  }
+  if (!module) {
+    SendError(fd, ErrorCode::kExpired, "deadline passed before a compile worker was free");
+    return;
+  }
+
+  bytes = kcc::Serialize(module->compiled(), creq.key_text);
+  // Coalesced waiters all land here; one publish suffices (and a racing
+  // double publish is safe — atomic rename, identical content).
+  if (!store_.Contains(key)) store_.PublishBytes(key, bytes);
+  SendFrame(fd, FrameType::kArtifactResp, bytes);
+}
+
+void SpecDaemon::PrewarmHotKeys(std::vector<std::string> key_texts) {
+  for (const std::string& text : key_texts) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    try {
+      const kcc::ModuleCacheKey key = kcc::ModuleCacheKey::FromCanonicalText(text);
+      if (store_.Contains(key)) continue;  // warm store already has it
+      vcuda::Context& ctx = ContextFor(key.device_name);
+      vcuda::CompileRequest req;
+      req.source = key.source;
+      req.opts = key.Options();
+      req.tenant = kPrewarmTenant;
+      const vcuda::SubmitResult r = executor_.Prewarm(ctx, req);
+      if (!r.ok()) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.prewarm_submitted;
+      }
+      if (auto module = r.future.get()) {
+        if (!store_.Contains(key)) store_.Publish(key, module->compiled());
+      }
+    } catch (const std::exception& e) {
+      KSPEC_LOG_WARN << "kspecd: prewarm of a persisted hot key failed: " << e.what();
+    }
+  }
+}
+
+void SpecDaemon::LoadHotKeys() {
+  std::vector<std::uint8_t> bytes;
+  if (!ReadFileBytes(options_.store_dir + "/hotkeys.bin", &bytes)) return;
+  try {
+    ByteReader r(bytes);
+    if (r.U32() != kHotKeysMagic) throw SerializeError("bad hot-keys magic");
+    if (r.U32() != kHotKeysVersion) throw SerializeError("hot-keys version mismatch");
+    const std::uint32_t count = r.U32();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::string text = r.Str();
+      key_counts_[std::move(text)] += r.U64();
+    }
+  } catch (const SerializeError& e) {
+    KSPEC_LOG_WARN << "kspecd: ignoring unreadable hot-key telemetry (" << e.what() << ")";
+  }
+}
+
+void SpecDaemon::SaveHotKeys() const {
+  ByteWriter w;
+  w.U32(kHotKeysMagic);
+  w.U32(kHotKeysVersion);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    w.U32(static_cast<std::uint32_t>(key_counts_.size()));
+    for (const auto& [text, count] : key_counts_) {
+      w.Str(text);
+      w.U64(count);
+    }
+  }
+  WriteFileAtomic(options_.store_dir + "/hotkeys.bin", w.bytes());
+}
+
+DaemonStats SpecDaemon::daemon_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DaemonStats d = stats_;
+  // The exact fleet-wide compile count: module-cache misses summed over the
+  // daemon's per-device contexts (flights that were memory-cache hits or
+  // coalesced never compiled).
+  for (const auto& [name, ctx] : contexts_) d.compiled += ctx->cache_stats().misses;
+  return d;
+}
+
+serve::ServeStats SpecDaemon::serve_stats() const {
+  serve::ServeStats s = executor_.stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  s.throttled = stats_.throttled;
+  s.cross_process_coalesced = stats_.cross_process_coalesced;
+  for (const auto& [name, t] : tenants_) s.tenants[name].throttled = t.throttled;
+  return s;
+}
+
+std::string SpecDaemon::StatsJson() const {
+  const serve::ServeStats s = serve_stats();
+  const StoreStats st = store_.stats();
+  const DaemonStats d = daemon_stats();
+  std::string out = "{\"serve\":" + s.ToJson();
+  out += Format(",\"store\":{\"hits\":%llu,\"misses\":%llu,\"publishes\":%llu,"
+                "\"corrupt_quarantined\":%llu,\"collisions\":%llu}",
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.publishes),
+                static_cast<unsigned long long>(st.corrupt_quarantined),
+                static_cast<unsigned long long>(st.collisions));
+  out += Format(",\"daemon\":{\"requests\":%llu,\"store_hits\":%llu,\"compiled\":%llu,"
+                "\"throttled\":%llu,\"errors\":%llu,\"prewarm_submitted\":%llu,"
+                "\"cross_process_coalesced\":%llu}}",
+                static_cast<unsigned long long>(d.requests),
+                static_cast<unsigned long long>(d.store_hits),
+                static_cast<unsigned long long>(d.compiled),
+                static_cast<unsigned long long>(d.throttled),
+                static_cast<unsigned long long>(d.errors),
+                static_cast<unsigned long long>(d.prewarm_submitted),
+                static_cast<unsigned long long>(d.cross_process_coalesced));
+  return out;
+}
+
+}  // namespace kspec::netd

@@ -1,0 +1,149 @@
+// kspecd — the specialization daemon.
+//
+// One process per machine owns run-time kernel compilation for every client
+// process (Section 4.3's hundreds-of-milliseconds cost, paid once fleet-wide
+// instead of once per process):
+//
+//   * requests arrive over the wire protocol (netd/protocol.hpp) as canonical
+//     ModuleCacheKeys; responses are .kmod artifacts,
+//   * compiled artifacts are published to a shared ArtifactStore that clients
+//     also read directly (the fast path needs no RPC at all),
+//   * all tenants' compiles of one key coalesce onto a single flight through
+//     the daemon's CompileExecutor — cross-process single-flight,
+//   * per-tenant admission control (in-flight quotas with a bounded wait) on
+//     top of the executor's bounded queue keeps one flooding tenant from
+//     starving the rest,
+//   * per-key request counts persist across restarts and drive Prewarm of the
+//     hottest keys before traffic returns.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "netd/artifact_store.hpp"
+#include "netd/protocol.hpp"
+#include "serve/compile_executor.hpp"
+#include "vcuda/vcuda.hpp"
+
+namespace kspec::netd {
+
+struct DaemonOptions {
+  std::string socket_path;
+  std::string store_dir;
+  // Compile workers and queue bound of the daemon's executor.
+  int workers = 4;
+  std::size_t max_queue = 256;
+  // Admission control: a tenant may have at most this many un-answered
+  // compile requests in the daemon at once; beyond it the request parks for
+  // up to tenant_wait_cap before being bounced with kThrottled.
+  std::size_t tenant_max_inflight = 8;
+  std::chrono::milliseconds tenant_wait_cap{5000};
+  // Hottest keys prewarmed (and published) at startup from the persisted
+  // per-key counts; 0 disables.
+  std::size_t prewarm_top_k = 8;
+  // Device heap of the daemon's per-device compile contexts. Compilation
+  // never allocates device memory, so this stays tiny.
+  std::uint64_t heap_bytes = 1ull << 20;
+};
+
+struct DaemonStats {
+  std::uint64_t requests = 0;       // compile requests received
+  std::uint64_t store_hits = 0;     // answered straight from the store
+  std::uint64_t compiled = 0;       // artifacts produced by a flight we ran
+  std::uint64_t throttled = 0;      // bounced by admission control
+  std::uint64_t errors = 0;         // error responses other than throttled
+  std::uint64_t prewarm_submitted = 0;  // startup prewarms issued
+  std::uint64_t cross_process_coalesced = 0;  // joined a flight another tenant started
+};
+
+class SpecDaemon {
+ public:
+  explicit SpecDaemon(DaemonOptions options);
+  ~SpecDaemon();  // Stop()
+
+  SpecDaemon(const SpecDaemon&) = delete;
+  SpecDaemon& operator=(const SpecDaemon&) = delete;
+
+  // Binds the socket, loads persisted hot-key counts, kicks off prewarming,
+  // and starts accepting connections. Throws kspec::Error if the socket
+  // cannot be bound.
+  void Start();
+
+  // Blocks until a kShutdownReq arrives or Stop() is called from elsewhere.
+  void Wait();
+
+  // Stops accepting, severs open connections, drains the executor, persists
+  // hot-key counts, and joins every thread. Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  DaemonStats daemon_stats() const;
+  StoreStats store_stats() const { return store_.stats(); }
+  // Executor counters with the daemon-level fields (throttled,
+  // cross_process_coalesced, per-tenant throttles) merged in.
+  serve::ServeStats serve_stats() const;
+  // {"serve": ..., "store": ..., "daemon": ...} — the kStatsResp body.
+  std::string StatsJson() const;
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct TenantState {
+    std::size_t inflight = 0;
+    std::uint64_t throttled = 0;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void HandleCompile(int fd, const CompileReq& req);
+  bool SendError(int fd, ErrorCode code, const std::string& message);
+
+  // Admission control. AcquireTenant returns false when the quota stayed
+  // exhausted for tenant_wait_cap (or the daemon began stopping).
+  bool AcquireTenant(const std::string& tenant);
+  void ReleaseTenant(const std::string& tenant);
+
+  // The per-device compile context, created on demand. Throws DeviceError for
+  // an unknown device name.
+  vcuda::Context& ContextFor(const std::string& device_name);
+
+  void LoadHotKeys();
+  void SaveHotKeys() const;
+  void PrewarmHotKeys(std::vector<std::string> key_texts);
+
+  DaemonOptions options_;
+  ArtifactStore store_;
+  serve::CompileExecutor executor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;    // Wait() sleeps here
+  std::condition_variable tenant_cv_;  // parked over-quota requests
+  std::condition_variable conns_cv_;   // Stop() waits for handlers to finish
+  bool running_ = false;
+  bool stopping_ = false;
+  bool shutdown_requested_ = false;  // a kShutdownReq arrived; Wait() returns
+  int listen_fd_ = -1;
+  DaemonStats stats_;
+  std::map<std::string, TenantState> tenants_;
+  std::map<std::string, std::unique_ptr<vcuda::Context>> contexts_;
+  // key canonical text -> lifetime request count (persisted as hot keys).
+  std::unordered_map<std::string, std::uint64_t> key_counts_;
+  // key canonical text -> tenant whose request scheduled the current flight.
+  std::unordered_map<std::string, std::string> flight_origin_;
+  std::vector<int> conn_fds_;     // open connections, severed by Stop()
+  std::size_t active_conns_ = 0;  // live handler threads (detached; counted)
+
+  std::thread accept_thread_;
+  std::thread prewarm_thread_;
+};
+
+}  // namespace kspec::netd

@@ -1,0 +1,192 @@
+#include "netd/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/serialize.hpp"
+
+namespace kspec::netd {
+
+namespace {
+
+// Restarts on EINTR; false on error or EOF before `n` bytes.
+bool WriteAll(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < n) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not kill the
+    // process with SIGPIPE.
+    const ssize_t w = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Returns the byte count read before EOF/error (restarting on EINTR).
+std::size_t ReadUpTo(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return done;
+    }
+    if (r == 0) return done;
+    done += static_cast<std::size_t>(r);
+  }
+  return done;
+}
+
+std::uint32_t LoadU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t LoadU64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(LoadU32(p)) |
+         (static_cast<std::uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kCompileFailed: return "compile-failed";
+    case ErrorCode::kThrottled: return "throttled";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> EncodeCompileReq(const CompileReq& req) {
+  ByteWriter w;
+  w.Str(req.tenant);
+  w.Str(req.key_text);
+  w.U32(req.deadline_ms);
+  return w.Take();
+}
+
+CompileReq DecodeCompileReq(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  CompileReq req;
+  req.tenant = r.Str();
+  req.key_text = r.Str();
+  req.deadline_ms = r.U32();
+  if (!r.AtEnd()) throw SerializeError("trailing bytes after compile request");
+  return req;
+}
+
+std::vector<std::uint8_t> EncodeError(const ErrorBody& err) {
+  ByteWriter w;
+  w.U8(static_cast<std::uint8_t>(err.code));
+  w.Str(err.message);
+  return w.Take();
+}
+
+ErrorBody DecodeError(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  ErrorBody err;
+  err.code = static_cast<ErrorCode>(r.U8());
+  err.message = r.Str();
+  if (!r.AtEnd()) throw SerializeError("trailing bytes after error body");
+  return err;
+}
+
+bool SendFrame(int fd, FrameType type, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  ByteWriter w;
+  w.U32(kFrameMagic);
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<std::uint8_t>(type));
+  w.U8(0);
+  w.U8(0);
+  w.U64(payload.size());
+  const std::vector<std::uint8_t>& header = w.bytes();
+  if (!WriteAll(fd, header.data(), header.size())) return false;
+  return payload.empty() || WriteAll(fd, payload.data(), payload.size());
+}
+
+bool SendFrame(int fd, FrameType type, const std::string& payload) {
+  return SendFrame(fd, type,
+                   std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()));
+}
+
+RecvStatus RecvFrame(int fd, Frame* out) {
+  std::uint8_t header[kFrameHeaderBytes];
+  const std::size_t got = ReadUpTo(fd, header, sizeof(header));
+  if (got == 0) return RecvStatus::kClosed;
+  if (got < sizeof(header)) return RecvStatus::kMalformed;  // torn header
+  if (LoadU32(header) != kFrameMagic) return RecvStatus::kMalformed;
+  if (header[4] != kProtocolVersion) return RecvStatus::kMalformed;
+  if (header[6] != 0 || header[7] != 0) return RecvStatus::kMalformed;
+  const std::uint64_t len = LoadU64(header + 8);
+  if (len > kMaxFramePayload) return RecvStatus::kTooLarge;
+  out->type = static_cast<FrameType>(header[5]);
+  out->payload.resize(static_cast<std::size_t>(len));
+  if (len > 0 && ReadUpTo(fd, out->payload.data(), out->payload.size()) != out->payload.size()) {
+    return RecvStatus::kMalformed;  // truncated mid-payload
+  }
+  return RecvStatus::kOk;
+}
+
+int ListenUnix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  ::unlink(path.c_str());  // stale socket from a dead daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+bool SetRecvTimeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+}  // namespace kspec::netd

@@ -1,0 +1,111 @@
+// Wire protocol of the specialization daemon (kspecd).
+//
+// The daemon answers one question — "give me the compiled artifact for this
+// specialization key" — so the protocol is deliberately small: length-prefixed
+// frames over a local AF_UNIX stream socket. A compile request carries the
+// canonical serialized ModuleCacheKey (the same injective encoding the cache
+// verifies against, so the daemon compiles *exactly* what the client would
+// have); the success response is the raw self-validating .kmod artifact
+// (kcc::Serialize envelope — magic, version, checksum), which the client
+// verifies with the very same Deserialize path it uses for its disk cache.
+//
+// Frame layout (all integers little-endian):
+//   [0..3]   u32 magic "KSPN"
+//   [4]      u8 protocol version (kProtocolVersion)
+//   [5]      u8 frame type (FrameType)
+//   [6..7]   u16 reserved, must be 0
+//   [8..15]  u64 payload byte count (<= kMaxFramePayload)
+//   [16..]   payload
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kspec::netd {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4E50534B;  // "KSPN" little-endian
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+// Artifacts are small (kilobytes); anything near this cap is a corrupt or
+// hostile frame, not a real request.
+inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
+
+enum class FrameType : std::uint8_t {
+  kCompileReq = 1,    // CompileReq payload -> kArtifactResp | kErrorResp
+  kArtifactResp = 2,  // raw .kmod artifact bytes
+  kErrorResp = 3,     // ErrorBody payload
+  kStatsReq = 4,      // empty -> kStatsResp
+  kStatsResp = 5,     // JSON text
+  kShutdownReq = 6,   // empty -> kOkResp, then the daemon stops
+  kOkResp = 7,        // empty acknowledgement
+  kPing = 8,          // empty -> kOkResp
+};
+
+// Typed failure the daemon reports instead of an artifact. The client decides
+// which are soft (fall back to a local compile) and which are hard.
+enum class ErrorCode : std::uint8_t {
+  kCompileFailed = 1,  // the key's source does not compile; hard, rethrown
+  kThrottled = 2,      // per-tenant quota or queue full; soft
+  kBadRequest = 3,     // malformed key / unknown device; hard
+  kShuttingDown = 4,   // daemon is stopping; soft
+  kInternal = 5,       // daemon-side invariant failure; soft
+  kExpired = 6,        // the request's deadline passed while queued
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::vector<std::uint8_t> payload;
+};
+
+// Compile request body.
+struct CompileReq {
+  std::string tenant;    // admission-control identity ("" = anonymous)
+  std::string key_text;  // kcc::ModuleCacheKey::CanonicalText()
+  std::uint32_t deadline_ms = 0;  // 0 = no deadline
+};
+
+// Error response body.
+struct ErrorBody {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+std::vector<std::uint8_t> EncodeCompileReq(const CompileReq& req);
+// Throws SerializeError on malformed payload.
+CompileReq DecodeCompileReq(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> EncodeError(const ErrorBody& err);
+// Throws SerializeError on malformed payload.
+ErrorBody DecodeError(std::span<const std::uint8_t> payload);
+
+// Writes one frame to `fd`, restarting on EINTR. False on any I/O failure
+// (notably EPIPE when the peer vanished).
+bool SendFrame(int fd, FrameType type, std::span<const std::uint8_t> payload);
+bool SendFrame(int fd, FrameType type, const std::string& payload);
+
+enum class RecvStatus {
+  kOk,
+  kClosed,     // clean EOF before any header byte, or peer reset
+  kMalformed,  // bad magic/version/reserved bits, or truncated mid-frame
+  kTooLarge,   // payload length beyond kMaxFramePayload
+};
+
+// Reads one frame. Blocks (subject to any SO_RCVTIMEO on the fd — a receive
+// timeout surfaces as kClosed).
+RecvStatus RecvFrame(int fd, Frame* out);
+
+// AF_UNIX stream helpers. Both return -1 with errno set on failure.
+// ListenUnix unlinks a stale socket file at `path` first.
+int ListenUnix(const std::string& path, int backlog = 64);
+int ConnectUnix(const std::string& path);
+
+// Sets a receive timeout on the socket so a hung daemon cannot wedge a client
+// worker forever. Zero clears the timeout.
+bool SetRecvTimeout(int fd, std::chrono::milliseconds timeout);
+
+}  // namespace kspec::netd

@@ -1,0 +1,190 @@
+#include "netd/remote_service.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "kcc/serialize.hpp"
+#include "support/log.hpp"
+#include "support/serialize.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+
+namespace kspec::netd {
+
+namespace {
+
+// Closes the RPC socket on every exit path.
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+RemoteCompileService::RemoteCompileService(RemoteServiceOptions options)
+    : serve::CompileExecutor({.workers = options.workers, .max_queue = options.max_queue}),
+      options_(std::move(options)) {
+  if (!options_.store_dir.empty()) {
+    store_ = std::make_unique<ArtifactStore>(options_.store_dir);
+  }
+}
+
+RemoteCompileService::~RemoteCompileService() {
+  // The base destructor would also Shutdown(), but by then this object's
+  // ExecuteFlight override (and store_) would already be destroyed under a
+  // still-running worker. Stop the workers while we are whole.
+  Shutdown();
+}
+
+RemoteStats RemoteCompileService::remote_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return remote_stats_;
+}
+
+std::shared_ptr<const kcc::CompiledModule> RemoteCompileService::FetchFromDaemon(
+    const kcc::ModuleCacheKey& key, const std::string& key_text, std::uint32_t deadline_ms,
+    bool* expired) {
+  *expired = false;
+  const int fd = ConnectUnix(options_.socket_path);
+  if (fd < 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++remote_stats_.rpc_errors;
+    return nullptr;
+  }
+  FdCloser closer{fd};
+  SetRecvTimeout(fd, options_.rpc_timeout);
+
+  CompileReq req;
+  req.tenant = options_.tenant;
+  req.key_text = key_text;
+  req.deadline_ms = deadline_ms;
+  Frame resp;
+  if (!SendFrame(fd, FrameType::kCompileReq, EncodeCompileReq(req)) ||
+      RecvFrame(fd, &resp) != RecvStatus::kOk) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++remote_stats_.rpc_errors;
+    return nullptr;
+  }
+
+  if (resp.type == FrameType::kErrorResp) {
+    ErrorBody err;
+    try {
+      err = DecodeError(resp.payload);
+    } catch (const SerializeError&) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++remote_stats_.rpc_errors;
+      return nullptr;
+    }
+    switch (err.code) {
+      case ErrorCode::kCompileFailed:
+        // Hard: the key's source does not compile. Retrying locally would
+        // fail identically; waiters must see the compile error.
+        throw CompileError("(via kspecd) " + err.message);
+      case ErrorCode::kExpired:
+        *expired = true;
+        return nullptr;
+      case ErrorCode::kThrottled:
+      case ErrorCode::kShuttingDown: {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++remote_stats_.remote_throttled;
+        return nullptr;
+      }
+      default: {
+        KSPEC_LOG_WARN << "netd: daemon error (" << ErrorCodeName(err.code)
+                       << "): " << err.message;
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++remote_stats_.rpc_errors;
+        return nullptr;
+      }
+    }
+  }
+  if (resp.type != FrameType::kArtifactResp) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++remote_stats_.rpc_errors;
+    return nullptr;
+  }
+
+  // The artifact is self-validating; verify it is for *our* key before it can
+  // enter this process's cache.
+  try {
+    std::string stored_key;
+    auto mod = std::make_shared<const kcc::CompiledModule>(
+        kcc::Deserialize(resp.payload, &stored_key));
+    if (stored_key != key_text) {
+      KSPEC_LOG_WARN << "netd: daemon returned an artifact for a different key ("
+                     << key.FileName() << ") — discarding";
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++remote_stats_.rpc_errors;
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++remote_stats_.rpc_fetches;
+    return mod;
+  } catch (const SerializeError& e) {
+    KSPEC_LOG_WARN << "netd: daemon returned a malformed artifact (" << e.what()
+                   << ") — discarding";
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++remote_stats_.rpc_errors;
+    return nullptr;
+  }
+}
+
+std::shared_ptr<vcuda::Module> RemoteCompileService::ExecuteFlight(
+    vcuda::Context& ctx, const vcuda::CompileRequest& req) {
+  // Memory-cache hit: nothing to fetch.
+  if (ctx.HasCachedModule(req.source, req.opts)) {
+    return ctx.LoadModule(req.source, req.opts);
+  }
+
+  const kcc::ModuleCacheKey key =
+      kcc::ModuleCacheKey::Make(req.source, req.opts, ctx.device().name);
+
+  // Fast path: the shared store, no RPC.
+  if (store_) {
+    if (auto mod = store_->Load(key)) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++remote_stats_.store_hits;
+      }
+      return ctx.AdoptCompiledModule(key, std::move(mod));
+    }
+  }
+
+  // RPC path.
+  if (!options_.socket_path.empty()) {
+    std::uint32_t deadline_ms = 0;
+    if (req.HasDeadline()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          req.deadline - std::chrono::steady_clock::now());
+      // Already past: the daemon would only tell us "expired"; do it here.
+      if (left.count() <= 0) return nullptr;
+      deadline_ms = static_cast<std::uint32_t>(left.count());
+    }
+    bool expired = false;
+    if (auto mod = FetchFromDaemon(key, key.CanonicalText(), deadline_ms, &expired)) {
+      return ctx.AdoptCompiledModule(key, std::move(mod));
+    }
+    if (expired) return nullptr;  // same contract as the local executor
+  }
+
+  // Soft remote failure (or no daemon configured).
+  if (!options_.fallback_local) {
+    throw Error("netd: specialization daemon unavailable for " + key.FileName() +
+                " and local fallback is disabled");
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++remote_stats_.local_fallbacks;
+  }
+  auto module = ctx.LoadModule(req.source, req.opts);
+  // Best-effort publish so the fleet still converges on one compile per key
+  // even while the daemon is down.
+  if (store_ && module && !store_->Contains(key)) store_->Publish(key, module->compiled());
+  return module;
+}
+
+}  // namespace kspec::netd

@@ -1,0 +1,84 @@
+// Client side of the specialization service.
+//
+// RemoteCompileService is a serve::CompileExecutor whose flights fetch the
+// compiled artifact instead of compiling: first from the shared ArtifactStore
+// directly (no RPC — the common warm-fleet path), then from the kspecd daemon
+// over the wire protocol, and only as a last resort (daemon unreachable or
+// throttling, with fallback_local set) by compiling in-process. Because it
+// subclasses the executor at the ExecuteFlight seam, every guarantee client
+// code already depends on — single-flight coalescing, bounded-queue
+// backpressure, deadlines, ServeStats — is inherited, and it slots into
+// Context::set_async_service exactly like the local executor: LoadModuleAsync,
+// TieredLoader promotion, and StageRunner policies work unchanged.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "netd/artifact_store.hpp"
+#include "netd/protocol.hpp"
+#include "serve/compile_executor.hpp"
+
+namespace kspec::netd {
+
+struct RemoteServiceOptions {
+  // Daemon socket. Empty = no RPC; the store (and fallback) serve everything.
+  std::string socket_path;
+  // Shared artifact store for the direct-read fast path. Empty = RPC only.
+  std::string store_dir;
+  // Admission-control identity sent with every request.
+  std::string tenant;
+  // Local executor shape (worker threads here are fetchers, not compilers).
+  int workers = 2;
+  std::size_t max_queue = 64;
+  // Bound on one RPC round trip (connect + compile + response). The daemon
+  // compiles on first request, so this must cover a cold compile.
+  std::chrono::milliseconds rpc_timeout{30000};
+  // When the daemon is unreachable or throttling: true = compile in-process
+  // (degraded but correct), false = fail the flight.
+  bool fallback_local = true;
+};
+
+struct RemoteStats {
+  std::uint64_t store_hits = 0;      // artifact read straight from the store
+  std::uint64_t rpc_fetches = 0;     // artifact obtained from the daemon
+  std::uint64_t rpc_errors = 0;      // connect/protocol/timeout failures
+  std::uint64_t remote_throttled = 0;  // daemon answered kThrottled/kShuttingDown
+  std::uint64_t local_fallbacks = 0;   // flights compiled in-process instead
+};
+
+class RemoteCompileService final : public serve::CompileExecutor {
+ public:
+  explicit RemoteCompileService(RemoteServiceOptions options);
+  ~RemoteCompileService() override;  // must Shutdown() before members die
+
+  RemoteCompileService(const RemoteCompileService&) = delete;
+  RemoteCompileService& operator=(const RemoteCompileService&) = delete;
+
+  RemoteStats remote_stats() const;
+
+ protected:
+  std::shared_ptr<vcuda::Module> ExecuteFlight(vcuda::Context& ctx,
+                                               const vcuda::CompileRequest& req) override;
+
+ private:
+  // One RPC round trip. Returns the validated compiled module, or nullptr for
+  // soft failures (unreachable / throttled / shutting down, tallied in
+  // stats). Hard failures — the daemon says the source doesn't compile, or
+  // the deadline expired — throw (CompileError / return-null via *expired).
+  std::shared_ptr<const kcc::CompiledModule> FetchFromDaemon(const kcc::ModuleCacheKey& key,
+                                                             const std::string& key_text,
+                                                             std::uint32_t deadline_ms,
+                                                             bool* expired);
+
+  RemoteServiceOptions options_;
+  std::unique_ptr<ArtifactStore> store_;  // null when store_dir is empty
+
+  mutable std::mutex stats_mu_;
+  RemoteStats remote_stats_;
+};
+
+}  // namespace kspec::netd

@@ -65,6 +65,17 @@ DeviceShard::DrainOutcome DeviceShard::DrainQueue() {
   }
 }
 
+bool DeviceShard::StealOne(PendingLaunch* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    if (it->pinned) continue;
+    *out = std::move(*it);
+    queue_.erase(std::next(it).base());
+    return true;
+  }
+  return false;
+}
+
 bool DeviceShard::RunOne(PendingLaunch& item) {
   const LaunchRequest& req = item.req;
   try {

@@ -40,6 +40,9 @@ struct PendingLaunch {
   std::chrono::steady_clock::time_point submitted;   // admission time
   std::chrono::steady_clock::time_point dispatched;  // routing time
   bool affinity_hit = false;
+  // The caller pinned this request to its shard (req.pin_shard >= 0): an
+  // idle shard must never steal it.
+  bool pinned = false;
 };
 
 class DeviceShard {
@@ -85,13 +88,22 @@ class DeviceShard {
   };
   DrainOutcome DrainQueue();
 
+  // Runs one request on THIS shard's context and fulfills its promise — the
+  // work-stealing path: the scheduler hands an idle shard an item popped off
+  // a busy shard's queue. Same failure isolation as DrainQueue. Returns true
+  // when the request delivered a result, false when it delivered an
+  // exception. Only call from the shard's current drain participant.
+  bool RunOne(PendingLaunch& item);
+
+  // Pops the newest non-pinned queued request for a stealing shard; false
+  // when the queue holds nothing stealable. Newest-first keeps the oldest
+  // items with the shard that was routed them (it is actively draining from
+  // the front, and they are likelier to be cache-resident there).
+  bool StealOne(PendingLaunch* out);
+
   ShardStats stats() const;
 
  private:
-  // Returns true when the request delivered a result, false when it
-  // delivered an exception.
-  bool RunOne(PendingLaunch& item);
-
   const int id_;
   vcuda::Context ctx_;
   launch::StageRunner runner_;

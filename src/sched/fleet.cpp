@@ -98,20 +98,51 @@ void FleetScheduler::DispatchLoop() {
       const std::size_t target = Route(item.req, &affinity_hit);
       item.dispatched = dispatched_at;
       item.affinity_hit = affinity_hit;
+      item.pinned = item.req.pin_shard >= 0;
       hits += affinity_hit ? 1 : 0;
       shards_[target]->Enqueue(std::move(item));
     }
 
     // Drain every shard's run queue concurrently on the shared worker pool:
-    // one participant per shard, launches inside a shard stay in order.
+    // one participant per shard, launches inside a shard stay in order. With
+    // work stealing, a participant that drains early relieves the longest
+    // remaining queue instead of idling out the batch.
     std::vector<DeviceShard::DrainOutcome> outcomes(shards_.size());
+    std::vector<std::uint64_t> steals(shards_.size(), 0);
     vgpu::ExecPool::Instance().ParallelFor(
-        static_cast<unsigned>(shards_.size()), shards_.size(),
-        [&](std::size_t i) { outcomes[i] = shards_[i]->DrainQueue(); });
+        static_cast<unsigned>(shards_.size()), shards_.size(), [&](std::size_t i) {
+          outcomes[i] = shards_[i]->DrainQueue();
+          if (!opts_.work_stealing) return;
+          for (;;) {
+            std::size_t victim = shards_.size();
+            std::size_t deepest = 1;  // >= 2 to steal: never contest the last item
+            for (std::size_t j = 0; j < shards_.size(); ++j) {
+              if (j == i) continue;
+              const std::size_t depth = shards_[j]->QueueDepth();
+              if (depth > deepest) {
+                deepest = depth;
+                victim = j;
+              }
+            }
+            if (victim == shards_.size()) return;
+            PendingLaunch item;
+            // A failed pop (the victim drained it first, or everything left
+            // is pinned) ends this thief's round rather than re-scanning: a
+            // queue of unstealable pinned items must not spin us forever.
+            if (!shards_[victim]->StealOne(&item)) return;
+            ++steals[i];
+            if (shards_[i]->RunOne(item)) {
+              ++outcomes[i].completed;
+            } else {
+              ++outcomes[i].failed;
+            }
+          }
+        });
 
     std::lock_guard<std::mutex> lock(mu_);
     stats_.dispatched += batch.size();
     stats_.affinity_hits += hits;
+    for (std::uint64_t s : steals) stats_.steals += s;
     for (const DeviceShard::DrainOutcome& o : outcomes) {
       stats_.completed += o.completed;
       stats_.failed += o.failed;

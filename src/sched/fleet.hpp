@@ -47,6 +47,12 @@ struct FleetOptions {
   int hot_threshold = 1;
   Routing routing = Routing::kAffinity;
   std::uint64_t random_seed = 0x9e3779b97f4a7c15ull;  // kRandom's xorshift seed
+  // Work stealing between shards: a shard whose run queue drains while the
+  // batch is still in flight pops the newest non-pinned item off the longest
+  // remaining queue and runs it locally (paying a cold compile if the build
+  // is not resident — the trade-off is latency tail vs. cache affinity,
+  // which is why it is off by default). Pinned requests are never stolen.
+  bool work_stealing = false;
   // Start the dispatcher in the constructor. Tests that need deterministic
   // queue states construct paused and call Start() themselves.
   bool autostart = true;

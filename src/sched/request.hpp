@@ -90,6 +90,7 @@ struct FleetStats {
   std::uint64_t completed = 0;   // result delivered
   std::uint64_t failed = 0;      // exception delivered
   std::uint64_t affinity_hits = 0;    // dispatches that hit a resident shard
+  std::uint64_t steals = 0;           // requests run by an idle shard that stole them
   std::uint64_t prewarms = 0;         // Prewarm calls accepted
   std::uint64_t batches = 0;          // dispatcher wake-ups that routed work
   std::size_t queue_high_water = 0;   // admission-queue depth high-water mark

@@ -10,19 +10,6 @@
 
 namespace kspec::serve {
 
-namespace {
-
-// Two Contexts may share one executor, and equal sources/options targeting
-// different contexts must not coalesce (each context owns its cache and its
-// Module instances), so the flight key prefixes the canonical module key with
-// the context's identity.
-std::string FlightKey(vcuda::Context& ctx, const vcuda::CompileRequest& req) {
-  return Format("%p|", static_cast<void*>(&ctx)) +
-         kcc::ModuleCacheKey::Make(req.source, req.opts, ctx.device().name).CanonicalText();
-}
-
-}  // namespace
-
 CompileExecutor::CompileExecutor(ExecutorOptions options) : options_(options) {
   if (options_.workers < 1) options_.workers = 1;
   workers_.reserve(static_cast<std::size_t>(options_.workers));
@@ -35,37 +22,56 @@ CompileExecutor::~CompileExecutor() { Shutdown(); }
 
 vcuda::SubmitResult CompileExecutor::SubmitLoad(vcuda::Context& ctx,
                                                 const vcuda::CompileRequest& req) {
-  std::string key = FlightKey(ctx, req);
+  return Submit(ctx, req, /*prewarm=*/false);
+}
+
+vcuda::SubmitResult CompileExecutor::Prewarm(vcuda::Context& ctx,
+                                             const vcuda::CompileRequest& req) {
+  return Submit(ctx, req, /*prewarm=*/true);
+}
+
+vcuda::SubmitResult CompileExecutor::Submit(vcuda::Context& ctx,
+                                            const vcuda::CompileRequest& req, bool prewarm) {
+  const kcc::ModuleCacheKey mkey =
+      kcc::ModuleCacheKey::Make(req.source, req.opts, ctx.device().name);
+  // Two Contexts may share one executor, and equal sources/options targeting
+  // different contexts must not coalesce (each context owns its cache and its
+  // Module instances), so the flight key prefixes the canonical module key
+  // with the context's identity.
+  std::string key = Format("%p|", static_cast<void*>(&ctx)) + mkey.CanonicalText();
+  const std::string key_id = Format("k%016llx", static_cast<unsigned long long>(mkey.Hash()));
+
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.submitted;
+  ++stats_.key_requests[key_id];
+  ServeStats::TenantCounters& tenant = stats_.tenants[req.tenant];
+  ++tenant.submitted;
   if (auto it = in_flight_.find(key); it != in_flight_.end()) {
     ++stats_.coalesced;
+    ++tenant.coalesced;
+    if (prewarm) ++stats_.prewarmed;
+    // A demand request landing on a prewarm-originated flight is the prewarm
+    // paying off — the telemetry the daemon's hot-key predictor is scored on.
+    if (!prewarm && it->second->prewarm) ++stats_.prewarm_hits;
     return {vcuda::SubmitStatus::kCoalesced, it->second->future};
   }
   if (stopping_ || queue_.size() >= options_.max_queue) {
     ++stats_.rejected;
+    ++tenant.rejected;
     return {vcuda::SubmitStatus::kRejected, {}};
   }
   auto flight = std::make_shared<Flight>();
   flight->ctx = &ctx;
   flight->req = req;
   flight->key = std::move(key);
+  flight->prewarm = prewarm;
   flight->future = flight->promise.get_future().share();
   in_flight_.emplace(flight->key, flight);
   queue_.push_back(flight);
   stats_.queue_depth_high_water = std::max(stats_.queue_depth_high_water, queue_.size());
+  if (prewarm) ++stats_.prewarmed;
   work_cv_.notify_one();
   return {vcuda::SubmitStatus::kScheduled, flight->future};
-}
-
-vcuda::SubmitResult CompileExecutor::Prewarm(vcuda::Context& ctx,
-                                             const vcuda::CompileRequest& req) {
-  vcuda::SubmitResult r = SubmitLoad(ctx, req);
-  if (r.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.prewarmed;
-  }
-  return r;
 }
 
 void CompileExecutor::Finish(const std::shared_ptr<Flight>& flight,
@@ -119,13 +125,18 @@ void CompileExecutor::WorkerLoop() {
     std::shared_ptr<vcuda::Module> module;
     std::exception_ptr error;
     try {
-      module = flight->ctx->LoadModule(flight->req.source, flight->req.opts);
+      module = ExecuteFlight(*flight->ctx, flight->req);
     } catch (...) {
       error = std::current_exception();
       KSPEC_LOG_WARN << "serve: background compile failed for a flight — waiters will rethrow";
     }
     Finish(flight, std::move(module), error, timer.ElapsedMillis(), /*expired=*/false);
   }
+}
+
+std::shared_ptr<vcuda::Module> CompileExecutor::ExecuteFlight(vcuda::Context& ctx,
+                                                              const vcuda::CompileRequest& req) {
+  return ctx.LoadModule(req.source, req.opts);
 }
 
 void CompileExecutor::Drain() {

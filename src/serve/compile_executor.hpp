@@ -48,10 +48,17 @@ struct ExecutorOptions {
   std::size_t max_queue = 64;
 };
 
-class CompileExecutor final : public vcuda::AsyncCompileService {
+// Not final: netd::RemoteCompileService subclasses it, overriding only
+// ExecuteFlight so every coalescing/backpressure/deadline guarantee here is
+// inherited rather than reimplemented.
+class CompileExecutor : public vcuda::AsyncCompileService {
  public:
   explicit CompileExecutor(ExecutorOptions options = {});
-  ~CompileExecutor() override;  // Shutdown()
+  // Runs Shutdown(). Subclasses overriding ExecuteFlight MUST call Shutdown()
+  // from their own destructor: by the time the base destructor runs, the
+  // derived object is gone and a still-live worker would call the base
+  // ExecuteFlight (or worse) mid-teardown.
+  ~CompileExecutor() override;
 
   CompileExecutor(const CompileExecutor&) = delete;
   CompileExecutor& operator=(const CompileExecutor&) = delete;
@@ -79,15 +86,28 @@ class CompileExecutor final : public vcuda::AsyncCompileService {
   ServeStats stats() const;
   std::size_t queue_depth() const;
 
+ protected:
+  // Produces the module for one accepted flight. Runs on a worker thread with
+  // no executor lock held; a throw propagates to every waiter through the
+  // flight's future. The base implementation is the local path —
+  // ctx.LoadModule through the context's two-tier cache. RemoteCompileService
+  // overrides it to consult the shared artifact store and the daemon first.
+  virtual std::shared_ptr<vcuda::Module> ExecuteFlight(vcuda::Context& ctx,
+                                                       const vcuda::CompileRequest& req);
+
  private:
   struct Flight {
     vcuda::Context* ctx = nullptr;
     vcuda::CompileRequest req;
     std::string key;
+    bool prewarm = false;  // originated by Prewarm (for prewarm_hits scoring)
     std::promise<std::shared_ptr<vcuda::Module>> promise;
     vcuda::ModuleFuture future;
   };
 
+  // Shared body of SubmitLoad and Prewarm.
+  vcuda::SubmitResult Submit(vcuda::Context& ctx, const vcuda::CompileRequest& req,
+                             bool prewarm);
   void WorkerLoop();
   // Fulfills the flight's promise, then retires it from the in-flight map and
   // updates counters. `error`/`ms` describe the compile outcome; an expired

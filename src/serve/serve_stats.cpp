@@ -1,8 +1,36 @@
 #include "serve/serve_stats.hpp"
 
+#include <algorithm>
+
 #include "support/str.hpp"
+#include "vcuda/vcuda.hpp"
 
 namespace kspec::serve {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += Format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 void ServeStats::RecordCompileMillis(double ms) {
   compile_millis_total += ms;
@@ -22,6 +50,12 @@ std::string ServeStats::Render() const {
       static_cast<unsigned long long>(failed), static_cast<unsigned long long>(expired),
       static_cast<unsigned long long>(rejected), static_cast<unsigned long long>(prewarmed),
       queue_depth_high_water);
+  if (prewarm_hits || cross_process_coalesced || throttled) {
+    out += Format("serve: prewarm-hits=%llu cross-process-coalesced=%llu throttled=%llu\n",
+                  static_cast<unsigned long long>(prewarm_hits),
+                  static_cast<unsigned long long>(cross_process_coalesced),
+                  static_cast<unsigned long long>(throttled));
+  }
   out += "serve: compile wall ms:";
   double lo = 0;
   for (std::size_t i = 0; i < kCompileMsBuckets; ++i) {
@@ -34,6 +68,78 @@ std::string ServeStats::Render() const {
     }
   }
   out += Format("  total=%.1f ms\n", compile_millis_total);
+
+  // Per-tenant lines only when someone identified themselves: local benches
+  // with anonymous traffic keep the compact three-line block above.
+  const bool named_tenants =
+      !tenants.empty() && !(tenants.size() == 1 && tenants.begin()->first.empty());
+  if (named_tenants) {
+    for (const auto& [name, t] : tenants) {
+      out += Format("serve: tenant %-12s submitted=%llu coalesced=%llu rejected=%llu "
+                    "throttled=%llu\n",
+                    name.empty() ? "(anonymous)" : name.c_str(),
+                    static_cast<unsigned long long>(t.submitted),
+                    static_cast<unsigned long long>(t.coalesced),
+                    static_cast<unsigned long long>(t.rejected),
+                    static_cast<unsigned long long>(t.throttled));
+    }
+  }
+  if (!key_requests.empty()) {
+    const auto hottest = std::max_element(
+        key_requests.begin(), key_requests.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    out += Format("serve: %zu distinct keys, hottest %s x%llu\n", key_requests.size(),
+                  hottest->first.c_str(), static_cast<unsigned long long>(hottest->second));
+  }
+  return out;
+}
+
+std::string ServeStats::ToJson() const {
+  std::string out = Format(
+      "{\"submitted\":%llu,\"coalesced\":%llu,\"completed\":%llu,\"succeeded\":%llu,"
+      "\"failed\":%llu,\"expired\":%llu,\"rejected\":%llu,\"prewarmed\":%llu,"
+      "\"prewarm_hits\":%llu,\"cross_process_coalesced\":%llu,\"throttled\":%llu,"
+      "\"queue_depth_high_water\":%zu,\"compile_millis_total\":%.3f",
+      static_cast<unsigned long long>(submitted), static_cast<unsigned long long>(coalesced),
+      static_cast<unsigned long long>(completed), static_cast<unsigned long long>(succeeded),
+      static_cast<unsigned long long>(failed), static_cast<unsigned long long>(expired),
+      static_cast<unsigned long long>(rejected), static_cast<unsigned long long>(prewarmed),
+      static_cast<unsigned long long>(prewarm_hits),
+      static_cast<unsigned long long>(cross_process_coalesced),
+      static_cast<unsigned long long>(throttled), queue_depth_high_water, compile_millis_total);
+  out += ",\"compile_ms_hist\":[";
+  for (std::size_t i = 0; i < kCompileMsBuckets; ++i) {
+    if (i) out += ",";
+    out += Format("%llu", static_cast<unsigned long long>(compile_ms_hist[i]));
+  }
+  out += "],\"tenants\":{";
+  bool first = true;
+  for (const auto& [name, t] : tenants) {
+    if (!first) out += ",";
+    first = false;
+    out += Format("\"%s\":{\"submitted\":%llu,\"coalesced\":%llu,\"rejected\":%llu,"
+                  "\"throttled\":%llu}",
+                  JsonEscape(name).c_str(), static_cast<unsigned long long>(t.submitted),
+                  static_cast<unsigned long long>(t.coalesced),
+                  static_cast<unsigned long long>(t.rejected),
+                  static_cast<unsigned long long>(t.throttled));
+  }
+  out += "},\"keys\":{";
+  first = true;
+  for (const auto& [id, count] : key_requests) {
+    if (!first) out += ",";
+    first = false;
+    out += Format("\"%s\":%llu", JsonEscape(id).c_str(),
+                  static_cast<unsigned long long>(count));
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RenderServiceReport(const ServeStats& stats, const vcuda::CacheStats& cache) {
+  std::string out = stats.Render();
+  out += Format("cache: %zu compiled, %zu warm hits, %zu disk hits, %zu adopted\n", cache.misses,
+                cache.hits, cache.disk_hits, cache.adopted);
   return out;
 }
 

@@ -1,5 +1,9 @@
 #include "support/serialize.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -113,21 +117,36 @@ bool ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out) {
 
 bool WriteFileAtomic(const std::string& path, std::span<const std::uint8_t> bytes) {
   // The temp file lives next to the target so the rename stays within one
-  // filesystem (rename across devices is not atomic).
-  std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    if (!bytes.empty()) out.write(reinterpret_cast<const char*>(bytes.data()),
-                                  static_cast<std::streamsize>(bytes.size()));
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
+  // filesystem (rename across devices is not atomic), and its name is unique
+  // per process and per call: concurrent publishers of the same target must
+  // not truncate each other's half-written temp file, or the loser's rename
+  // would publish the winner's torn bytes.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
       return false;
     }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync BEFORE the rename: rename orders the directory entry, not the data
+  // blocks, so a crash between rename and writeback could otherwise surface a
+  // truncated-but-renamed file. Readers must never see that.
+  const bool synced = ::fsync(fd) == 0;
+  if (::close(fd) != 0 || !synced) {
+    ::unlink(tmp.c_str());
+    return false;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+    ::unlink(tmp.c_str());
     return false;
   }
   return true;

@@ -80,8 +80,11 @@ std::uint64_t Fnv1aBytes(const void* data, std::size_t n);
 // exist or cannot be read.
 bool ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out);
 
-// Writes `bytes` to `path` via a temp file + rename so that concurrent readers
-// never observe a half-written artifact. Returns false on any I/O failure.
+// Writes `bytes` to `path` via a uniquely named temp file + fsync + rename so
+// that (a) concurrent readers never observe a half-written artifact, (b) two
+// concurrent publishers of the same path never corrupt each other (last
+// complete rename wins), and (c) a crash right after the rename cannot
+// surface a truncated-but-renamed file. Returns false on any I/O failure.
 bool WriteFileAtomic(const std::string& path, std::span<const std::uint8_t> bytes);
 
 }  // namespace kspec

@@ -42,6 +42,10 @@ struct SubmitResult {
 struct CompileRequest {
   std::string source;
   kcc::CompileOptions opts;
+  // Accounting identity of the requester: the service's per-tenant counters
+  // and the specialization daemon's admission control (quotas, fair dequeue)
+  // are keyed by it. Empty = anonymous local caller.
+  std::string tenant;
   // Default-constructed = no deadline. A flight still queued when its
   // deadline passes is completed with a null module instead of being
   // compiled; waiters keep serving whatever they fell back to.

@@ -202,6 +202,14 @@ std::shared_ptr<Module> Context::LoadModule(const std::string& source,
   return std::make_shared<Module>(cache_.Put(hash, key, std::move(compiled)));
 }
 
+std::shared_ptr<Module> Context::AdoptCompiledModule(
+    const kcc::ModuleCacheKey& key, std::shared_ptr<const kcc::CompiledModule> compiled) {
+  KSPEC_CHECK(compiled != nullptr);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++cache_stats_.adopted;
+  return std::make_shared<Module>(cache_.Put(key.Hash(), key, std::move(compiled)));
+}
+
 bool Context::HasCachedModule(const std::string& source, const kcc::CompileOptions& opts) const {
   kcc::ModuleCacheKey key = kcc::ModuleCacheKey::Make(source, opts, device_.name);
   std::lock_guard<std::mutex> lock(cache_mutex_);

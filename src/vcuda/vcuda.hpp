@@ -96,6 +96,7 @@ struct CacheStats {
   std::size_t hits = 0;        // served from the in-memory cache
   std::size_t misses = 0;      // compiled from source (== compile count)
   std::size_t disk_hits = 0;   // deserialized from cache_dir, no compile
+  std::size_t adopted = 0;     // installed pre-compiled (daemon/store fetch)
   std::size_t evictions = 0;   // entries dropped by the LRU byte budget
   std::size_t collisions_detected = 0;  // hash matches with unequal full keys
   std::size_t bytes_cached = 0;         // approximate in-memory footprint
@@ -131,6 +132,16 @@ class Context {
   // runs outside the cache lock.
   std::shared_ptr<Module> LoadModule(const std::string& source,
                                      const kcc::CompileOptions& opts = {});
+
+  // Installs an externally obtained compiled binary (a daemon response or a
+  // shared-store artifact) into the in-memory cache under `key`, as if it had
+  // been compiled here — subsequent LoadModule calls for the same key are
+  // cache hits. The caller is responsible for having verified the artifact
+  // against the key (the netd deserialization path does). Counts in
+  // CacheStats::adopted, never in misses: no compile ran in this process.
+  std::shared_ptr<Module> AdoptCompiledModule(
+      const kcc::ModuleCacheKey& key,
+      std::shared_ptr<const kcc::CompiledModule> compiled);
 
   // Shard-visible cache residency probe: true when the specialization for
   // (source, opts, this device) is resident in the in-memory tier right now.

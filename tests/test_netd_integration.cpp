@@ -1,0 +1,140 @@
+// Multi-process integration test of the specialization service: a real
+// `kccc --daemon` process, two `kccc --connect` client processes sharing one
+// compile through the daemon and the artifact store, the `--stats` control
+// channel, and a clean `--stop` shutdown.
+//
+// The kccc binary and a kernel source are injected by CMake as KCCC_PATH and
+// KERNEL_PATH. Scratch state (socket, store, logs) lives in a mkdtemp
+// directory under /tmp so the AF_UNIX path stays short.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+
+#include "netd/protocol.hpp"
+
+namespace kspec {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  std::string path;
+  ScratchDir() {
+    char tmpl[] = "/tmp/kspec_it_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path = made != nullptr ? made : "/tmp/kspec_it_fallback";
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string File(const std::string& name) const { return path + "/" + name; }
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// Runs a command through the shell, capturing combined stdout/stderr.
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CmdResult RunCmd(const std::string& cmd, const std::string& capture_path) {
+  const std::string full = cmd + " > " + capture_path + " 2>&1";
+  const int rc = std::system(full.c_str());
+  CmdResult result;
+  result.output = ReadFile(capture_path);
+  if (rc != -1 && WIFEXITED(rc)) result.exit_code = WEXITSTATUS(rc);
+  return result;
+}
+
+TEST(NetdIntegration, DaemonAndTwoClientsShareOneCompileAcrossProcesses) {
+  ScratchDir scratch;
+  const std::string socket = scratch.File("d.sock");
+  const std::string store = scratch.File("store");
+  const std::string daemon_log = scratch.File("daemon.log");
+
+  // Launch the daemon as its own process (backgrounded by the shell).
+  const std::string daemon_cmd = std::string(KCCC_PATH) + " --daemon --socket " + socket +
+                                 " --store " + store + " > " + daemon_log + " 2>&1 &";
+  ASSERT_EQ(std::system(daemon_cmd.c_str()), 0);
+
+  // Readiness: the socket accepts a connection.
+  int probe = -1;
+  for (int i = 0; i < 1000 && probe < 0; ++i) {
+    probe = netd::ConnectUnix(socket);
+    if (probe < 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(probe, 0) << "daemon never came up; log:\n" << ReadFile(daemon_log);
+  ::close(probe);
+
+  const std::string client_base = std::string(KCCC_PATH) + " " + KERNEL_PATH +
+                                  " --connect " + socket + " --store " + store +
+                                  " -D TILE_W=16";
+
+  // Client 1: cold store, so the compile travels the RPC path — the daemon
+  // compiles once and publishes the artifact.
+  CmdResult c1 = RunCmd(client_base + " --tenant alpha", scratch.File("c1.log"));
+  EXPECT_EQ(c1.exit_code, 0) << c1.output;
+  EXPECT_NE(c1.output.find("rpc-fetches=1"), std::string::npos) << c1.output;
+  EXPECT_NE(c1.output.find("store-hits=0"), std::string::npos) << c1.output;
+  EXPECT_NE(c1.output.find("local-fallbacks=0"), std::string::npos) << c1.output;
+
+  // Client 2, same key: served from the shared store with no RPC and no
+  // recompile anywhere — this is the "two clients, one compile" contract.
+  CmdResult c2 = RunCmd(client_base + " --tenant beta", scratch.File("c2.log"));
+  EXPECT_EQ(c2.exit_code, 0) << c2.output;
+  EXPECT_NE(c2.output.find("store-hits=1"), std::string::npos) << c2.output;
+  EXPECT_NE(c2.output.find("rpc-fetches=0"), std::string::npos) << c2.output;
+  EXPECT_NE(c2.output.find("local-fallbacks=0"), std::string::npos) << c2.output;
+  EXPECT_NE(c2.output.find("0 compiled"), std::string::npos)
+      << "client 2 must not compile anything:\n"
+      << c2.output;
+  EXPECT_NE(c2.output.find("1 adopted"), std::string::npos) << c2.output;
+
+  // --stats: the daemon reports one request, one compile, one publish.
+  CmdResult stats = RunCmd(std::string(KCCC_PATH) + " --stats --connect " + socket,
+                        scratch.File("stats.log"));
+  EXPECT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("\"requests\":1"), std::string::npos) << stats.output;
+  EXPECT_NE(stats.output.find("\"compiled\":1"), std::string::npos) << stats.output;
+  EXPECT_NE(stats.output.find("\"publishes\":1"), std::string::npos) << stats.output;
+  EXPECT_NE(stats.output.find("\"tenants\""), std::string::npos) << stats.output;
+
+  // Exactly one artifact in the store, readable by any process.
+  std::size_t artifacts = 0;
+  for (const auto& entry : fs::directory_iterator(store)) {
+    if (entry.path().extension() == ".kmod") ++artifacts;
+  }
+  EXPECT_EQ(artifacts, 1u);
+
+  // --stop: acknowledged, and the daemon actually exits (it unlinks its
+  // socket on the way down).
+  CmdResult stop = RunCmd(std::string(KCCC_PATH) + " --stop --connect " + socket,
+                       scratch.File("stop.log"));
+  EXPECT_EQ(stop.exit_code, 0) << stop.output;
+  EXPECT_NE(stop.output.find("shutdown acknowledged"), std::string::npos) << stop.output;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fs::exists(socket)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "daemon did not exit after --stop; log:\n"
+        << ReadFile(daemon_log);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+}  // namespace kspec

@@ -323,5 +323,85 @@ TEST(FleetScheduler, ShutdownFailsRequestsItNeverDispatched) {
   EXPECT_FALSE(fleet.Submit(RequestFor(8)).accepted);  // closed for business
 }
 
+// ---------------------------------------------------------------------------
+// Work stealing: idle shards relieve a skewed one, pinned work stays put.
+// ---------------------------------------------------------------------------
+
+TEST(FleetScheduler, WorkStealingRelievesASkewedShard) {
+  // One hot key resident on shard 0 only, routed by affinity: without
+  // stealing the whole batch serializes there while three shards idle.
+  auto run = [](bool stealing) {
+    FleetOptions opts;
+    opts.work_stealing = stealing;
+    opts.autostart = false;  // accumulate the burst into one dispatch batch
+    FleetScheduler fleet({vgpu::TeslaC1060(), vgpu::TeslaC1060(), vgpu::TeslaC1060(),
+                          vgpu::TeslaC1060()},
+                         opts);
+    EXPECT_EQ(fleet.Prewarm(kKernel, OptsFor(2000), /*shard=*/0), 0);
+
+    constexpr int kRequests = 48;
+    std::vector<std::shared_ptr<float>> outputs;
+    std::vector<std::shared_future<LaunchResult>> futures;
+    for (int i = 0; i < kRequests; ++i) {
+      outputs.push_back(std::make_shared<float>(0.0f));
+      FleetScheduler::Ticket t = fleet.Submit(RequestFor(2000, outputs.back()));
+      EXPECT_TRUE(t.accepted);
+      futures.push_back(t.result);
+    }
+    fleet.Start();
+    fleet.Drain();
+
+    for (int i = 0; i < kRequests; ++i) {
+      EXPECT_FLOAT_EQ(*outputs[i], 2000.0f) << "request " << i;
+    }
+    FleetStats s = fleet.stats();
+    ExpectDrainedInvariant(s);
+    EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(s.failed, 0u);
+    // Routing happened before any stealing, so affinity accounting is intact.
+    EXPECT_EQ(s.affinity_hits, static_cast<std::uint64_t>(kRequests));
+
+    std::uint64_t run_total = 0;
+    for (std::size_t i = 0; i < fleet.shard_count(); ++i) {
+      run_total += fleet.shard_stats(i).launches;
+    }
+    EXPECT_EQ(run_total, static_cast<std::uint64_t>(kRequests));
+    // Every launch shard 0 did not run was a steal, and vice versa.
+    EXPECT_EQ(s.steals,
+              static_cast<std::uint64_t>(kRequests) - fleet.shard_stats(0).launches);
+    return s.steals;
+  };
+
+  EXPECT_EQ(run(/*stealing=*/false), 0u) << "the flag must gate the behavior";
+  EXPECT_GT(run(/*stealing=*/true), 0u)
+      << "three idle shards must relieve a 48-deep queue";
+}
+
+TEST(FleetScheduler, PinnedRequestsAreNeverStolen) {
+  FleetOptions opts;
+  opts.work_stealing = true;
+  opts.autostart = false;
+  FleetScheduler fleet({vgpu::TeslaC1060(), vgpu::TeslaC1060()}, opts);
+
+  constexpr int kRequests = 16;
+  std::vector<std::shared_future<LaunchResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    LaunchRequest req = RequestFor(2000);
+    req.pin_shard = 0;  // an explicit placement is a promise, not a hint
+    FleetScheduler::Ticket t = fleet.Submit(req);
+    ASSERT_TRUE(t.accepted);
+    futures.push_back(t.result);
+  }
+  fleet.Start();
+  fleet.Drain();
+
+  for (auto& f : futures) EXPECT_EQ(f.get().shard, 0);
+  FleetStats s = fleet.stats();
+  ExpectDrainedInvariant(s);
+  EXPECT_EQ(s.steals, 0u);
+  EXPECT_EQ(fleet.shard_stats(0).launches, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(fleet.shard_stats(1).launches, 0u);
+}
+
 }  // namespace
 }  // namespace kspec

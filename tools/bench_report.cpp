@@ -80,6 +80,7 @@ std::string BenchName(const std::string& body) {
 // aggregate into their own BENCH_*.json artifact.
 std::string DefaultOutPath(const std::string& bench) {
   if (bench == "bench_fleet") return "BENCH_fleet.json";
+  if (bench == "bench_netd") return "BENCH_netd.json";
   if (bench == "bench_autotune") return "BENCH_tune.json";
   return "BENCH_interp.json";
 }

@@ -7,15 +7,23 @@
 // Prints per-kernel statistics (instructions, registers, shared memory,
 // unrolled loops, occupancy for a chosen block size) and optionally the
 // MiniPTX listing — the artifacts the dissertation's Appendices C/D show.
+#include <unistd.h>
+
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <span>
 #include <sstream>
 
 #include "kcc/cache_key.hpp"
 #include "kcc/compiler.hpp"
 #include "kcc/preprocess.hpp"
 #include "kcc/serialize.hpp"
+#include "netd/daemon.hpp"
+#include "netd/protocol.hpp"
+#include "netd/remote_service.hpp"
 #include "serve/compile_executor.hpp"
 #include "support/serialize.hpp"
 #include "support/status.hpp"
@@ -45,7 +53,18 @@ void Usage() {
       "                    batch mode. With --cache-dir this precompiles every\n"
       "                    set's artifact for later processes.\n"
       "  --dump-miniptx    print each kernel's MiniPTX listing\n"
-      "  --dump-preprocessed  print the post-preprocessor source and exit\n";
+      "  --dump-preprocessed  print the post-preprocessor source and exit\n"
+      "\n"
+      "specialization service (kspecd):\n"
+      "  --daemon          run the specialization daemon (no source file needed);\n"
+      "                    requires --socket and --store. Stops on --stop.\n"
+      "  --socket PATH     daemon listening socket (AF_UNIX)\n"
+      "  --store DIR       shared artifact store directory\n"
+      "  --connect PATH    batch mode compiles through the daemon at PATH instead\n"
+      "                    of locally; pair with --store for the no-RPC fast path\n"
+      "  --tenant NAME     admission-control identity sent with --connect requests\n"
+      "  --stats           print the daemon's stats JSON (with --connect) and exit\n"
+      "  --stop            ask the daemon (via --connect) to shut down and exit\n";
 }
 
 void AddDefine(kspec::kcc::CompileOptions& opts, const std::string& def) {
@@ -57,19 +76,44 @@ void AddDefine(kspec::kcc::CompileOptions& opts, const std::string& def) {
   }
 }
 
-// Batch mode: precompile every -D set through the CompileExecutor, sharing
-// one Context (so its in-memory and disk cache tiers dedupe across sets).
+// Connection settings for the specialization service modes.
+struct NetOptions {
+  std::string connect;  // daemon socket for client modes; empty = local
+  std::string socket;   // daemon listening socket (--daemon)
+  std::string store;    // shared artifact store directory
+  std::string tenant;
+};
+
+// Batch mode: precompile every -D set through the async service — the local
+// CompileExecutor, or (with --connect/--store) the RemoteCompileService
+// fetching from the daemon and the shared store — sharing one Context (so
+// its in-memory and disk cache tiers dedupe across sets).
 int RunBatch(const std::string& source, const std::vector<kspec::kcc::CompileOptions>& sets,
-             const kspec::vgpu::DeviceProfile& dev, const std::string& cache_dir, int jobs) {
+             const kspec::vgpu::DeviceProfile& dev, const std::string& cache_dir, int jobs,
+             const NetOptions& net) {
   using namespace kspec;
   vcuda::Context ctx(dev);
   if (!cache_dir.empty()) ctx.set_cache_dir(cache_dir);
 
-  serve::ExecutorOptions ex_opts;
-  ex_opts.workers = jobs;
-  ex_opts.max_queue = sets.size() + 16;
-  serve::CompileExecutor executor(ex_opts);
-  ctx.set_async_service(&executor);
+  std::unique_ptr<serve::CompileExecutor> executor;
+  netd::RemoteCompileService* remote = nullptr;
+  if (!net.connect.empty() || !net.store.empty()) {
+    netd::RemoteServiceOptions ro;
+    ro.socket_path = net.connect;
+    ro.store_dir = net.store;
+    ro.tenant = net.tenant;
+    ro.workers = jobs;
+    ro.max_queue = sets.size() + 16;
+    auto svc = std::make_unique<netd::RemoteCompileService>(ro);
+    remote = svc.get();
+    executor = std::move(svc);
+  } else {
+    serve::ExecutorOptions ex_opts;
+    ex_opts.workers = jobs;
+    ex_opts.max_queue = sets.size() + 16;
+    executor = std::make_unique<serve::CompileExecutor>(ex_opts);
+  }
+  ctx.set_async_service(executor.get());
 
   std::vector<vcuda::SubmitResult> results;
   results.reserve(sets.size());
@@ -95,12 +139,72 @@ int RunBatch(const std::string& source, const std::vector<kspec::kcc::CompileOpt
       ++failures;
     }
   }
-  executor.Drain();
-  std::cout << executor.stats().Render();
-  vcuda::CacheStats cs = ctx.cache_stats();
-  std::cout << Format("cache: %zu compiled, %zu warm hits, %zu disk hits\n", cs.misses, cs.hits,
-                      cs.disk_hits);
+  executor->Drain();
+  std::cout << serve::RenderServiceReport(executor->stats(), ctx.cache_stats());
+  if (remote != nullptr) {
+    const netd::RemoteStats rs = remote->remote_stats();
+    std::cout << Format("netd: store-hits=%llu rpc-fetches=%llu throttled=%llu errors=%llu "
+                        "local-fallbacks=%llu\n",
+                        static_cast<unsigned long long>(rs.store_hits),
+                        static_cast<unsigned long long>(rs.rpc_fetches),
+                        static_cast<unsigned long long>(rs.remote_throttled),
+                        static_cast<unsigned long long>(rs.rpc_errors),
+                        static_cast<unsigned long long>(rs.local_fallbacks));
+  }
+  ctx.set_async_service(nullptr);
   return failures ? 1 : 0;
+}
+
+// --daemon: serve until a kShutdownReq (kccc --stop) arrives.
+int RunDaemon(const NetOptions& net, int jobs) {
+  using namespace kspec;
+  if (net.socket.empty() || net.store.empty()) {
+    std::cerr << "kccc: --daemon requires --socket and --store\n";
+    return 2;
+  }
+  netd::DaemonOptions dopts;
+  dopts.socket_path = net.socket;
+  dopts.store_dir = net.store;
+  if (jobs > 0) dopts.workers = jobs;
+  netd::SpecDaemon daemon(dopts);
+  daemon.Start();
+  // Parsable readiness line: integration tests poll for it before connecting.
+  std::cout << "kspecd: ready on " << net.socket << "\n" << std::flush;
+  daemon.Wait();
+  daemon.Stop();
+  std::cout << daemon.StatsJson() << "\n";
+  return 0;
+}
+
+// --stats / --stop against a running daemon.
+int RunControl(const NetOptions& net, bool stop) {
+  using namespace kspec;
+  if (net.connect.empty()) {
+    std::cerr << "kccc: " << (stop ? "--stop" : "--stats") << " requires --connect\n";
+    return 2;
+  }
+  const int fd = netd::ConnectUnix(net.connect);
+  if (fd < 0) {
+    std::cerr << "kccc: cannot connect to " << net.connect << "\n";
+    return 1;
+  }
+  netd::SetRecvTimeout(fd, std::chrono::milliseconds(10000));
+  const netd::FrameType req = stop ? netd::FrameType::kShutdownReq : netd::FrameType::kStatsReq;
+  netd::Frame resp;
+  bool ok = netd::SendFrame(fd, req, std::span<const std::uint8_t>{}) &&
+            netd::RecvFrame(fd, &resp) == netd::RecvStatus::kOk;
+  if (ok && !stop && resp.type == netd::FrameType::kStatsResp) {
+    std::cout << std::string(resp.payload.begin(), resp.payload.end()) << "\n";
+  } else if (ok && stop && resp.type == netd::FrameType::kOkResp) {
+    std::cout << "kspecd: shutdown acknowledged\n";
+  } else if (ok) {
+    std::cerr << "kccc: unexpected response frame\n";
+    ok = false;
+  } else {
+    std::cerr << "kccc: daemon did not answer\n";
+  }
+  ::close(fd);
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -121,10 +225,28 @@ int main(int argc, char** argv) {
   std::string batch_path;
   bool dump_miniptx = false;
   bool dump_preprocessed = false;
+  NetOptions net;
+  bool daemon_mode = false;
+  bool stats_mode = false;
+  bool stop_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "-D" && i + 1 < argc) {
+    if (arg == "--daemon") {
+      daemon_mode = true;
+    } else if (arg == "--stats") {
+      stats_mode = true;
+    } else if (arg == "--stop") {
+      stop_mode = true;
+    } else if (arg == "--socket" && i + 1 < argc) {
+      net.socket = argv[++i];
+    } else if (arg == "--connect" && i + 1 < argc) {
+      net.connect = argv[++i];
+    } else if (arg == "--store" && i + 1 < argc) {
+      net.store = argv[++i];
+    } else if (arg == "--tenant" && i + 1 < argc) {
+      net.tenant = argv[++i];
+    } else if (arg == "-D" && i + 1 < argc) {
       AddDefine(opts, argv[++i]);
     } else if (arg.rfind("-D", 0) == 0 && arg.size() > 2) {
       AddDefine(opts, arg.substr(2));
@@ -158,6 +280,14 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  try {
+    if (daemon_mode) return RunDaemon(net, jobs);
+    if (stats_mode || stop_mode) return RunControl(net, stop_mode);
+  } catch (const Error& e) {
+    std::cerr << "kccc: " << e.what() << "\n";
+    return 1;
+  }
+
   if (path.empty()) {
     Usage();
     return 2;
@@ -179,7 +309,9 @@ int main(int argc, char** argv) {
     }
     vgpu::DeviceProfile dev = vgpu::ProfileByName(device);
 
-    if (jobs > 0 || !batch_path.empty()) {
+    // --connect (or --store) routes compiles through the specialization
+    // service, which lives behind the batch path.
+    if (jobs > 0 || !batch_path.empty() || !net.connect.empty() || !net.store.empty()) {
       if (jobs <= 0) jobs = 2;
       std::vector<kcc::CompileOptions> sets;
       if (batch_path.empty()) {
@@ -211,8 +343,9 @@ int main(int argc, char** argv) {
         }
       }
       std::cout << "kccc: " << path << " — batch of " << sets.size() << " set(s), " << jobs
-                << " worker(s)" << (cache_dir.empty() ? "" : ", cache-dir " + cache_dir) << "\n";
-      return RunBatch(source, sets, dev, cache_dir, jobs);
+                << " worker(s)" << (cache_dir.empty() ? "" : ", cache-dir " + cache_dir)
+                << (net.connect.empty() ? "" : ", via " + net.connect) << "\n";
+      return RunBatch(source, sets, dev, cache_dir, jobs, net);
     }
 
     kcc::CompiledModule mod;
