@@ -31,6 +31,7 @@ struct BenchRecord {
   double sim_ms = 0;    // simulated-device milliseconds (0 when n/a)
   double speedup = 0;   // vs the bench's own baseline (0 when n/a)
   unsigned threads = 0; // host worker threads used (0 when n/a)
+  std::string tier;     // execution tier that served ("" when n/a)
 };
 
 // Session: common command-line handling for every bench binary.
@@ -78,8 +79,9 @@ class Session {
       const BenchRecord& r = records_[i];
       out << "    {\"name\": \"" << Escape(r.name) << "\", \"wall_ms\": " << r.wall_ms
           << ", \"sim_ms\": " << r.sim_ms << ", \"speedup\": " << r.speedup
-          << ", \"threads\": " << r.threads << "}" << (i + 1 < records_.size() ? "," : "")
-          << "\n";
+          << ", \"threads\": " << r.threads;
+      if (!r.tier.empty()) out << ", \"tier\": \"" << Escape(r.tier) << "\"";
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
   }
@@ -101,8 +103,8 @@ class Session {
   }
 
   void Record(std::string name, double wall_ms, double sim_ms = 0, double speedup = 0,
-              unsigned threads = 0) {
-    records_.push_back({std::move(name), wall_ms, sim_ms, speedup, threads});
+              unsigned threads = 0, std::string tier = "") {
+    records_.push_back({std::move(name), wall_ms, sim_ms, speedup, threads, std::move(tier)});
   }
 
  private:

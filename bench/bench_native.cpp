@@ -1,0 +1,222 @@
+// Native-tier benchmark: wall-clock time of the decoded interpreter vs the
+// specialized C++ shared objects the native backend emits, across a hot
+// compute kernel and the four applications.
+//
+// Every native run is checked against the decoded-serial reference in-bench:
+// application outputs must match byte-for-byte and LaunchStats must be
+// bit-identical (the determinism contract of DESIGN.md section 8 extended to
+// the native tier in section 12) — a speedup that breaks the statistics is a
+// bug, not a result. Both sides run the serial block schedule so the column
+// isolates the execution-engine difference, not host threading. The native
+// artifacts are built once during warmup (through the content-addressed .nso
+// cache) and the build cost is reported separately, never inside the timed
+// region — the same amortization argument the dissertation makes for
+// run-time kernel specialization itself.
+#include <cstring>
+
+#include "apps/backproj/gpu.hpp"
+#include "apps/matching/gpu.hpp"
+#include "apps/piv/gpu.hpp"
+#include "apps/rowfilter/rowfilter.hpp"
+#include "bench_common.hpp"
+#include "native/build.hpp"
+#include "native/engine.hpp"
+#include "support/temp_dir.hpp"
+#include "vgpu/interp.hpp"
+#include "vgpu/tier.hpp"
+
+namespace {
+
+using namespace kspec;
+
+struct AppRun {
+  std::vector<unsigned char> output;
+  vgpu::LaunchStats stats;
+  double sim_millis = 0;
+};
+
+template <typename T>
+std::vector<unsigned char> Bytes(const std::vector<T>& v) {
+  std::vector<unsigned char> out(v.size() * sizeof(T));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+struct AppCase {
+  std::string name;
+  std::function<AppRun(native::NativeEngine*)> run;
+};
+
+// A compute-bound kernel: a long data-dependent loop with divergence. This is
+// the shape specialization pays off most on — issue-bound code where the
+// decoded tier's per-instruction dispatch is the bottleneck.
+constexpr const char* kHotSource = R"(
+__kernel void hot(float* out, int iters) {
+  float x = (float)threadIdx.x * 0.001f + (float)blockIdx.x * 0.01f;
+  float acc = 0.0f;
+  for (int i = 0; i < iters; i++) {
+    x = x * 1.0000001f + 0.5f;
+    if (x > 100.0f) {
+      x = x - 100.0f;
+    }
+    acc += x;
+  }
+  out[blockIdx.x * blockDim.x + threadIdx.x] = acc;
+}
+)";
+
+// Context is pinned in place (it owns mutexes), so each case constructs its
+// own and attaches the engine when the native tier is under test.
+void Attach(vcuda::Context& ctx, native::NativeEngine* engine) {
+  if (engine) ctx.set_native_service(engine);
+}
+
+std::vector<AppCase> Cases() {
+  std::vector<AppCase> cases;
+
+  cases.push_back({"hotloop", [](native::NativeEngine* engine) {
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    Attach(ctx, engine);
+    auto mod = ctx.LoadModule(kHotSource);
+    const unsigned blocks = 64, threads = 128;
+    const int iters = 12000;
+    vcuda::DevPtr d_out = ctx.Malloc(std::uint64_t{blocks} * threads * sizeof(float));
+    vcuda::ArgPack args;
+    args.Ptr(d_out).Int(iters);
+    AppRun out;
+    out.stats = ctx.Launch(*mod, "hot", vgpu::Dim3(blocks), vgpu::Dim3(threads), args);
+    out.output = Bytes(vcuda::Download<float>(ctx, d_out, std::size_t{blocks} * threads));
+    out.sim_millis = out.stats.sim_millis;
+    ctx.Free(d_out);
+    return out;
+  }});
+
+  cases.push_back({"piv", [](native::NativeEngine* engine) {
+    static const apps::piv::Problem p = apps::piv::Generate("bench", 192, 16, 4, 12, 11);
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    Attach(ctx, engine);
+    apps::piv::PivConfig cfg;
+    cfg.variant = apps::piv::Variant::kWarpSpec;
+    cfg.threads = 64;
+    apps::piv::PivGpuResult r = GpuPiv(ctx, p, cfg);
+    AppRun out;
+    out.output = Bytes(r.field.best_offset);
+    auto scores = Bytes(r.field.best_score);
+    out.output.insert(out.output.end(), scores.begin(), scores.end());
+    out.stats = r.stats;
+    out.sim_millis = r.stats.sim_millis;
+    return out;
+  }});
+
+  cases.push_back({"rowfilter", [](native::NativeEngine* engine) {
+    static const apps::rowfilter::Image img = apps::rowfilter::MakeTestImage(512, 192, 7);
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    Attach(ctx, engine);
+    apps::rowfilter::RowFilterConfig cfg;
+    apps::rowfilter::RowFilterResult r =
+        GpuRowFilter(ctx, img, apps::rowfilter::BoxFilter(9), cfg);
+    AppRun out;
+    out.output = Bytes(r.out);
+    out.stats = r.stats;
+    out.sim_millis = r.sim_millis;
+    return out;
+  }});
+
+  cases.push_back({"matching", [](native::NativeEngine* engine) {
+    static const apps::matching::Problem p = apps::matching::PatientSets().front();
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    Attach(ctx, engine);
+    apps::matching::MatcherConfig cfg;
+    apps::matching::MatchResult r = GpuMatch(ctx, p, cfg);
+    AppRun out;
+    out.output = Bytes(r.scores);
+    out.stats = r.breakdown.stages.back().launch;
+    out.sim_millis = r.sim_millis;
+    return out;
+  }});
+
+  cases.push_back({"backproj", [](native::NativeEngine* engine) {
+    static const apps::backproj::Problem p = apps::backproj::BenchmarkSets().front();
+    vcuda::Context ctx(vgpu::TeslaC2070());
+    Attach(ctx, engine);
+    apps::backproj::BackprojConfig cfg;
+    apps::backproj::BackprojGpuResult r = GpuBackproject(ctx, p, cfg);
+    AppRun out;
+    out.output = Bytes(r.volume);
+    out.stats = r.stats;
+    out.sim_millis = r.sim_millis;
+    return out;
+  }});
+
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kspec;
+  bench::Session session("bench_native", argc, argv);
+
+  bench::Banner("Native execution tier",
+                "decoded interpreter vs emitted C++ shared objects (serial schedule)");
+  if (!native::ToolchainAvailable()) {
+    bench::Note("no host C++ toolchain available — native tier disabled, nothing to measure");
+    return 0;
+  }
+  bench::Note("outputs and LaunchStats are checked bit-identical across tiers");
+
+  // One engine for the whole session: artifacts build once (during warmup)
+  // into a scratch cache and every timed run is a memory hit.
+  ScopedTempDir cache("kspec-bench-native");
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.valid() ? cache.path() : std::string();
+  native::NativeEngine engine(nopts);
+
+  std::cout << Format("  %-12s %10s %12s %12s %9s\n", "app", "tier", "wall_ms", "sim_ms",
+                      "speedup");
+
+  vgpu::ExecPolicy serial{vgpu::ExecMode::kSerial, 1};
+  vgpu::SetExecPolicyOverride(&serial);
+
+  int failures = 0;
+  for (const auto& app : Cases()) {
+    vgpu::ExecutionTier decoded = vgpu::ExecutionTier::kDecoded;
+    vgpu::SetTierOverride(&decoded);
+    const AppRun ref = app.run(nullptr);
+    const double decoded_ms = session.TimeMs([&] { app.run(nullptr); });
+    std::cout << Format("  %-12s %10s %12.1f %12.2f %9s\n", app.name.c_str(), "decoded",
+                        decoded_ms, ref.sim_millis, "1.00x");
+    session.Record(app.name + "/decoded", decoded_ms, ref.sim_millis, 1.0, 1, "decoded");
+
+    vgpu::ExecutionTier native_tier = vgpu::ExecutionTier::kNative;
+    vgpu::SetTierOverride(&native_tier);
+    const std::uint64_t builds_before = engine.stats().builds_started;
+    const AppRun got = app.run(&engine);  // first run pays the SO builds
+    const std::uint64_t builds = engine.stats().builds_started - builds_before;
+    if (got.output != ref.output) {
+      std::cerr << "FAIL: " << app.name << " output differs on the native tier\n";
+      ++failures;
+      continue;
+    }
+    if (!vgpu::StatsBitIdentical(got.stats, ref.stats) || got.sim_millis != ref.sim_millis) {
+      std::cerr << "FAIL: " << app.name << " LaunchStats differ on the native tier\n";
+      ++failures;
+      continue;
+    }
+    const double native_ms = session.TimeMs([&] { app.run(&engine); });
+    const double speedup = native_ms > 0 ? decoded_ms / native_ms : 0;
+    std::cout << Format("  %-12s %10s %12.1f %12.2f %8.2fx   (%llu SO builds, amortized)\n",
+                        app.name.c_str(), "native", native_ms, got.sim_millis, speedup,
+                        static_cast<unsigned long long>(builds));
+    session.Record(app.name + "/native", native_ms, got.sim_millis, speedup, 1, "native");
+  }
+  vgpu::SetTierOverride(nullptr);
+  vgpu::SetExecPolicyOverride(nullptr);
+
+  const native::NativeEngineStats es = engine.stats();
+  bench::Note(Format("engine: %llu builds, %llu native launches, %llu fallbacks",
+                     static_cast<unsigned long long>(es.builds_completed),
+                     static_cast<unsigned long long>(es.served_launches),
+                     static_cast<unsigned long long>(es.fallbacks)));
+  return failures == 0 ? 0 : 1;
+}

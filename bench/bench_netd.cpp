@@ -37,6 +37,7 @@
 #include "netd/artifact_store.hpp"
 #include "netd/daemon.hpp"
 #include "netd/protocol.hpp"
+#include "support/temp_dir.hpp"
 #include "vcuda/vcuda.hpp"
 #include "vgpu/device.hpp"
 
@@ -104,20 +105,6 @@ kcc::CompileOptions OptsFor(int key) {
 kcc::ModuleCacheKey KeyFor(int key) {
   return kcc::ModuleCacheKey::Make(kKernel, OptsFor(key), vgpu::TeslaC1060().name);
 }
-
-// Scratch directory for socket + store; short path keeps AF_UNIX happy.
-struct ScratchDir {
-  std::string path;
-  ScratchDir() {
-    char tmpl[] = "/tmp/kspec_bench_XXXXXX";
-    const char* made = ::mkdtemp(tmpl);
-    path = made != nullptr ? made : "/tmp/kspec_bench_fallback";
-  }
-  ~ScratchDir() {
-    std::error_code ec;
-    fs::remove_all(path, ec);
-  }
-};
 
 // Releases all client threads at once so the arms measure genuine concurrency.
 class StartGate {
@@ -191,10 +178,11 @@ bool DaemonClient(const std::string& socket_path, netd::ArtifactStore& store,
 }
 
 ArmResult RunDaemonArm(const std::vector<int>& traffic, std::size_t distinct_keys) {
-  ScratchDir scratch;
+  // Short /tmp path keeps the AF_UNIX socket under its length limit.
+  ScopedTempDir scratch("kspec_bench_");
   netd::DaemonOptions opts;
-  opts.socket_path = scratch.path + "/kspecd.sock";
-  opts.store_dir = scratch.path + "/store";
+  opts.socket_path = scratch.File("kspecd.sock");
+  opts.store_dir = scratch.File("store");
   opts.workers = 4;
   opts.max_queue = kClients;
   opts.tenant_max_inflight = kClients;  // admission control is not under test

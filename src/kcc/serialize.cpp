@@ -196,6 +196,61 @@ CompiledModule Deserialize(std::span<const std::uint8_t> bytes, std::string* key
   return mod;
 }
 
+std::vector<std::uint8_t> SerializeNative(std::span<const std::uint8_t> so_bytes,
+                                          const std::string& key_text) {
+  static constexpr char kNsoMagic[8] = {'K', 'S', 'P', 'C', 'N', 'S', 'O', '1'};
+  ByteWriter payload;
+  payload.Str(key_text);
+  payload.U64(so_bytes.size());
+  payload.Raw(so_bytes.data(), so_bytes.size());
+
+  ByteWriter out;
+  out.Raw(kNsoMagic, sizeof(kNsoMagic));
+  out.U32(kNativeFormatVersion);
+  out.U64(Fnv1aBytes(payload.bytes().data(), payload.size()));
+  out.U64(payload.size());
+  out.Raw(payload.bytes().data(), payload.size());
+  return out.Take();
+}
+
+std::vector<std::uint8_t> DeserializeNative(std::span<const std::uint8_t> bytes,
+                                            std::string* key_text) {
+  static constexpr char kNsoMagic[8] = {'K', 'S', 'P', 'C', 'N', 'S', 'O', '1'};
+  ByteReader header(bytes);
+  char magic[8];
+  if (header.remaining() < sizeof(magic)) throw SerializeError("artifact shorter than header");
+  for (char& c : magic) c = static_cast<char>(header.U8());
+  if (std::memcmp(magic, kNsoMagic, sizeof(kNsoMagic)) != 0) {
+    throw SerializeError("bad magic: not a kspec native artifact");
+  }
+  std::uint32_t version = header.U32();
+  if (version != kNativeFormatVersion) {
+    throw SerializeError("native format version " + std::to_string(version) + " != expected " +
+                         std::to_string(kNativeFormatVersion));
+  }
+  std::uint64_t checksum = header.U64();
+  std::uint64_t payload_size = header.U64();
+  if (payload_size != header.remaining()) {
+    throw SerializeError("payload size mismatch: header says " + std::to_string(payload_size) +
+                         ", file has " + std::to_string(header.remaining()));
+  }
+  std::span<const std::uint8_t> payload = header.Rest();
+  if (Fnv1aBytes(payload.data(), payload.size()) != checksum) {
+    throw SerializeError("content checksum mismatch (corrupt artifact)");
+  }
+
+  ByteReader r(payload);
+  std::string stored_key = r.Str();
+  if (key_text) *key_text = std::move(stored_key);
+  std::uint64_t so_size = r.U64();
+  if (so_size != r.remaining()) {
+    throw SerializeError("shared object size mismatch: payload says " + std::to_string(so_size) +
+                         ", artifact has " + std::to_string(r.remaining()));
+  }
+  std::span<const std::uint8_t> so = r.Rest();
+  return std::vector<std::uint8_t>(so.begin(), so.end());
+}
+
 std::size_t ApproxModuleBytes(const CompiledModule& mod) {
   std::size_t total = sizeof(CompiledModule);
   for (const auto& k : mod.kernels) {

@@ -47,4 +47,36 @@ CompiledModule Deserialize(std::span<const std::uint8_t> bytes, std::string* key
 // in-memory cache's LRU byte budget.
 std::size_t ApproxModuleBytes(const CompiledModule& mod);
 
+// ---------------------------------------------------------------------------
+// Native-tier artifacts (.nso): a host shared object produced by the native
+// backend, wrapped in the same self-validating envelope shape as .kmod so the
+// disk cache and the netd ArtifactStore can treat both artifact kinds with
+// one corrupt-quarantine policy. Layout mirrors the module artifact:
+//   [0..7]   magic "KSPCNSO1"
+//   [8..11]  u32 format version (kNativeFormatVersion)
+//   [12..19] u64 FNV-1a checksum of the payload bytes
+//   [20..27] u64 payload byte count
+//   [28..]   payload: length-prefixed cache-key canonical text, then the
+//            raw shared-object image
+// The embedded key text lets readers detect hash-colliding artifacts; ABI /
+// codegen compatibility of the shared object itself is validated separately
+// at dlopen time (native::kNativeAbiVersion).
+
+// Bump whenever the .nso envelope layout changes; older artifacts are then
+// treated as misses and rebuilt.
+inline constexpr std::uint32_t kNativeFormatVersion = 1;
+
+// Byte offset of the .nso version field, for tests that forge a version bump.
+inline constexpr std::size_t kNativeFormatVersionOffset = 8;
+
+// Wraps a shared-object image in the .nso envelope.
+std::vector<std::uint8_t> SerializeNative(std::span<const std::uint8_t> so_bytes,
+                                          const std::string& key_text);
+
+// Unwraps a .nso artifact back to the raw shared-object image. If `key_text`
+// is non-null it receives the embedded cache-key canonical text. Throws
+// SerializeError on any malformed input.
+std::vector<std::uint8_t> DeserializeNative(std::span<const std::uint8_t> bytes,
+                                            std::string* key_text = nullptr);
+
 }  // namespace kspec::kcc

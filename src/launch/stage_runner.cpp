@@ -72,9 +72,18 @@ vgpu::LaunchStats StageRunner::Launch(const std::string& stage, const vcuda::Mod
                                       vgpu::Dim3 block, const vcuda::ArgPack& args,
                                       unsigned dynamic_smem_bytes) {
   const auto t0 = std::chrono::steady_clock::now();
-  vgpu::LaunchStats st = ctx_->Launch(module, kernel, grid, block, args, dynamic_smem_bytes);
+  vcuda::LaunchExecution exec;
+  exec.request = opts_.tier;
+  vgpu::LaunchStats st =
+      ctx_->Launch(module, kernel, grid, block, args, dynamic_smem_bytes, &exec);
   const double wall =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  switch (exec.served) {
+    case vgpu::ExecutionTier::kInterp: ++breakdown_.launches_interp; break;
+    case vgpu::ExecutionTier::kNative: ++breakdown_.launches_native; break;
+    default: ++breakdown_.launches_decoded; break;
+  }
+  if (exec.native_fallback) ++breakdown_.native_fallbacks;
   StageRecord& rec = StageFor(stage);
   rec.launch = st;
   rec.reg_count = module.GetKernel(kernel).stats.reg_count;

@@ -56,6 +56,12 @@ struct LaunchBreakdown {
   double transfer_millis = 0;  // modeled host<->device transfer time
   double sim_millis = 0;       // simulated GPU execution time
   double wall_millis = 0;      // host wall-clock time spent inside Launch
+  // Which execution tier actually served each launch this runner issued
+  // (vcuda::LaunchExecution out-fields, accumulated).
+  std::size_t launches_interp = 0;
+  std::size_t launches_decoded = 0;
+  std::size_t launches_native = 0;
+  std::size_t native_fallbacks = 0;  // native requested, decoded served
   std::vector<StageRecord> stages;
 
   const StageRecord* Stage(const std::string& name) const;
@@ -71,6 +77,10 @@ struct RunnerOptions {
   LoadPolicy policy = LoadPolicy::kInline;
   int hot_threshold = 3;  // tiered policies: promote after this many requests
   TransferModel transfer;
+  // Execution-tier request forwarded with every launch (still subject to the
+  // test override and VGPU_TIER; see vgpu::ResolveTier). kAuto lets the
+  // context pick decoded-or-native by artifact readiness.
+  vgpu::ExecutionTier tier = vgpu::ExecutionTier::kAuto;
 };
 
 class StageRunner {

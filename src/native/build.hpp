@@ -1,0 +1,36 @@
+// Host-toolchain discovery and shared-object compilation for the native tier.
+//
+// The native backend is only as available as the host's C++ compiler. The
+// probe order is:
+//
+//   1. KSPEC_NATIVE_CXX — authoritative when set: a usable value selects that
+//      compiler, an unusable one disables the tier outright (tests point it
+//      at /nonexistent to simulate hosts without a toolchain);
+//   2. the compiler that built this binary (cmake bakes its path in as
+//      KSPEC_HOST_CXX);
+//   3. `c++`, `g++`, `clang++` on PATH.
+//
+// Discovery runs once per process. Compilation is deliberately boring: write
+// the translation unit into a scratch ScopedTempDir, invoke the compiler with
+// a fixed flag set, read the shared object back as bytes. No fast-math — the
+// generated code must stay bit-identical to the interpreter, and the
+// transcendentals resolve to the same libm either way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kspec::native {
+
+// The discovered host compiler (a path or a command name), or "" when the
+// native tier is unavailable on this host. Probed once, then cached.
+const std::string& HostCompiler();
+
+inline bool ToolchainAvailable() { return !HostCompiler().empty(); }
+
+// Compiles `source` (a full C++20 translation unit) into a shared object and
+// returns its bytes. On failure returns empty and, when `error` is non-null,
+// fills it with the compiler's diagnostics (or the failing step).
+std::vector<std::uint8_t> CompileSharedObject(const std::string& source, std::string* error);
+
+}  // namespace kspec::native

@@ -1,0 +1,28 @@
+#include "native/build_executor.hpp"
+
+#include "kcc/cache_key.hpp"
+
+namespace kspec::native {
+
+NativeBuildExecutor::NativeBuildExecutor(NativeEngine* engine, serve::ExecutorOptions options)
+    : serve::CompileExecutor(options), engine_(engine) {}
+
+NativeBuildExecutor::~NativeBuildExecutor() {
+  // Workers must stop before our ExecuteFlight override is torn down.
+  Shutdown();
+}
+
+std::shared_ptr<vcuda::Module> NativeBuildExecutor::ExecuteFlight(
+    vcuda::Context& ctx, const vcuda::CompileRequest& req) {
+  std::shared_ptr<vcuda::Module> module = serve::CompileExecutor::ExecuteFlight(ctx, req);
+  if (module && engine_ != nullptr) {
+    const kcc::ModuleCacheKey key =
+        kcc::ModuleCacheKey::Make(req.source, req.opts, ctx.device().name);
+    // Best-effort: a failed or unavailable native build leaves the flight
+    // successful — the decoded tier keeps serving.
+    engine_->EnsureReady(key, module->compiled());
+  }
+  return module;
+}
+
+}  // namespace kspec::native

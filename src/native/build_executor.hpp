@@ -1,0 +1,37 @@
+// Background native-tier promotion riding the serve pipeline.
+//
+// NativeBuildExecutor is a serve::CompileExecutor whose flights, after the
+// ordinary compile-through-the-cache step, also make the module's native
+// artifact ready in an attached NativeEngine. Attach it to a Context with
+// set_async_service and the standard serve flow becomes the promotion path:
+// submit -> decoded module available almost immediately (the decoded tier
+// serves traffic) -> the same worker keeps going and builds / loads the
+// shared object -> subsequent kAuto launches are served natively.
+//
+// Everything CompileExecutor guarantees — coalescing, bounded queue,
+// deadlines, Drain/Shutdown — is inherited; the native build adds wall time
+// to the flight but never blocks a launch.
+#pragma once
+
+#include <memory>
+
+#include "native/engine.hpp"
+#include "serve/compile_executor.hpp"
+
+namespace kspec::native {
+
+class NativeBuildExecutor : public serve::CompileExecutor {
+ public:
+  // `engine` is not owned and must outlive the executor (and every flight).
+  explicit NativeBuildExecutor(NativeEngine* engine, serve::ExecutorOptions options = {});
+  ~NativeBuildExecutor() override;
+
+ protected:
+  std::shared_ptr<vcuda::Module> ExecuteFlight(vcuda::Context& ctx,
+                                               const vcuda::CompileRequest& req) override;
+
+ private:
+  NativeEngine* engine_;
+};
+
+}  // namespace kspec::native

@@ -1,0 +1,35 @@
+// MiniPTX -> C++ code generation for the native execution tier.
+//
+// EmitModuleSource walks every kernel of a decoded module and emits one
+// standalone C++20 translation unit (standard headers only) that the host
+// toolchain compiles into a shared object:
+//
+//   * the SoA register file and warp lanes become plain inner loops the host
+//     compiler can unroll and autovectorize;
+//   * the per-pc reconvergence machinery is lowered to structured control
+//     flow: a `dispatch` label plus one switch over basic-block leaders, each
+//     block a straight-line run of specialized statements;
+//   * cost-model charges are hoisted per basic block — the per-instruction
+//     issue-cost and ILP sums are folded into per-block constants at emit
+//     time (exact: every charge is a dyadic rational), so LaunchStats stay
+//     bit-identical to the interpreter;
+//   * each instruction is emitted against function templates in the generated
+//     prelude that transliterate the interpreter's handlers, specialized on
+//     (opcode, type, operand kinds) so immediates constant-fold.
+//
+// The emitted unit embeds the ModuleCacheKey canonical text (served back via
+// kspec_native_build_key) so a loaded artifact can be verified against the
+// key that names it.
+#pragma once
+
+#include <string>
+
+#include "kcc/compiler.hpp"
+
+namespace kspec::native {
+
+// Full translation-unit text for `mod`, tagged with the key's canonical text.
+std::string EmitModuleSource(const kcc::CompiledModule& mod,
+                             const std::string& key_canonical_text);
+
+}  // namespace kspec::native

@@ -1,0 +1,539 @@
+#include "native/engine.hpp"
+
+#include <dlfcn.h>
+
+#include <condition_variable>
+#include <filesystem>
+#include <vector>
+
+#include "kcc/serialize.hpp"
+#include "native/build.hpp"
+#include "native/codegen.hpp"
+#include "netd/artifact_store.hpp"
+#include "support/math.hpp"
+#include "support/serialize.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/exec_pool.hpp"
+#include "vgpu/isa.hpp"
+#include "vgpu/tier.hpp"
+
+namespace kspec::native {
+namespace {
+
+namespace fs = std::filesystem;
+using vgpu::Opcode;
+using vgpu::Space;
+
+// Renames a bad artifact aside so it is never read again and the next publish
+// lands cleanly. Best-effort; falls back to unlink.
+void QuarantineFile(const std::string& path) {
+  std::error_code ec;
+  fs::rename(path, path + ".bad", ec);
+  if (ec) fs::remove(path, ec);
+}
+
+bool IsGlobalAtomic(const vgpu::Instr& i) {
+  switch (i.op) {
+    case Opcode::kAtomAdd:
+    case Opcode::kAtomMin:
+    case Opcode::kAtomMax:
+    case Opcode::kAtomExch:
+    case Opcode::kAtomCas:
+      return i.space == Space::kGlobal;
+    default:
+      return false;
+  }
+}
+
+// ---- launch callbacks (the SO's only way back into the host) ----
+
+const unsigned char* TryAccessCb(void* gmem, std::uint64_t addr, std::uint64_t len) {
+  return static_cast<const vgpu::GlobalMemory*>(gmem)->TryAccess(addr, len);
+}
+
+unsigned char* AccessCb(void* gmem, std::uint64_t addr, std::uint64_t len) {
+  return static_cast<vgpu::GlobalMemory*>(gmem)->Access(addr, len);
+}
+
+// Context for formatting the interpreter's exact error text host-side: the
+// SO reports (code, a, b); the host owns the kernel and launch geometry.
+struct FailCtx {
+  const vgpu::CompiledKernel* kernel = nullptr;
+  std::size_t shared_size = 0;
+  std::size_t const_size = 0;
+};
+
+[[noreturn]] void FailCb(void* ctx, int code, std::uint64_t a, std::uint64_t b) {
+  const FailCtx& fc = *static_cast<const FailCtx*>(ctx);
+  switch (static_cast<KspecNativeFail>(code)) {
+    case kFailSharedOob:
+      throw DeviceError(Format("shared-memory access out of bounds: 0x%llx (+%zu) of %zu bytes",
+                               static_cast<unsigned long long>(a),
+                               static_cast<std::size_t>(b), fc.shared_size));
+    case kFailConstOob:
+      throw DeviceError(Format("constant-memory access out of bounds: 0x%llx of %zu bytes",
+                               static_cast<unsigned long long>(a), fc.const_size));
+    case kFailConstStore:
+      throw DeviceError("store to constant memory");
+    case kFailBadSpace:
+      throw DeviceError("unsupported memory space in ld/st");
+    case kFailMisalignedAtomic:
+      throw DeviceError(Format("misaligned %zu-byte atomic at 0x%llx",
+                               static_cast<std::size_t>(a),
+                               static_cast<unsigned long long>(b)));
+    case kFailTexUnbound:
+      throw DeviceError(Format("texture slot %d is not bound at launch",
+                               static_cast<int>(static_cast<std::int64_t>(a))));
+    case kFailTexInvalid:
+      throw DeviceError(Format("texture slot %d has an invalid binding",
+                               static_cast<int>(static_cast<std::int64_t>(a))));
+    case kFailDivergentBarrier:
+      throw DeviceError("__syncthreads() executed in divergent control flow");
+    case kFailWatchdog:
+      throw DeviceError(
+          "kernel exceeded the simulator watchdog limit (likely a non-terminating loop); raise "
+          "DeviceProfile::watchdog_warp_instrs if the workload is legitimately huge");
+    case kFailBarrierDeadlock:
+      throw DeviceError("__syncthreads deadlock: a warp retired or diverged past the barrier");
+    case kFailNoProgress:
+      throw DeviceError("block made no progress (scheduler deadlock)");
+    case kFailBadOp: {
+      // a = pc of the invalid (opcode, type) pair; mirror BlockRunner::BadOp.
+      const vgpu::Instr& i = fc.kernel->code[static_cast<std::size_t>(a)];
+      if (i.type == vgpu::Type::kF32) {
+        throw InternalError(Format("op %s invalid for f32", vgpu::OpcodeName(i.op)));
+      }
+      if (i.type == vgpu::Type::kF64) {
+        throw InternalError(Format("op %s invalid for f64", vgpu::OpcodeName(i.op)));
+      }
+      throw InternalError(Format("unhandled opcode %s for type %s", vgpu::OpcodeName(i.op),
+                                 vgpu::TypeName(i.type)));
+    }
+    case kFailBadDispatch:
+      throw InternalError(Format("native tier: branch to non-leader pc %llu",
+                                 static_cast<unsigned long long>(a)));
+    case kFailBadAtomic:
+      throw InternalError("bad atomic opcode");
+    case kFailNoReconv:
+      throw InternalError("divergent branch without reconvergence point");
+  }
+  throw InternalError(Format("native tier: unknown failure code %d", code));
+}
+
+}  // namespace
+
+struct NativeEngine::LoadedModule {
+  // Never dlclosed once any kernel ran: the SO holds thread_local state whose
+  // destructors would run after the handle is gone.
+  void* handle = nullptr;
+  RunBlockFn run_block = nullptr;
+  std::map<std::string, unsigned> kernels;  // name -> export index
+};
+
+struct NativeEngine::Entry {
+  std::mutex mu;
+  std::condition_variable cv;
+  enum State {
+    kUnknown,   // never probed
+    kMissing,   // probed (load-only): nothing servable yet, a build may fix it
+    kBuilding,  // one thread is loading/building; others wait (or degrade)
+    kReady,
+    kFailed,    // build failed; sticky for the life of the process
+  } state = kUnknown;
+  std::shared_ptr<LoadedModule> loaded;
+};
+
+NativeEngine::NativeEngine() : NativeEngine(Options{}) {}
+
+NativeEngine::NativeEngine(Options opts)
+    : opts_(std::move(opts)), scratch_("kspec-native-so") {}
+
+NativeEngine::~NativeEngine() = default;
+
+std::string NativeEngine::ArtifactFileName(const kcc::ModuleCacheKey& key) {
+  return Format("k%016llx.nso", static_cast<unsigned long long>(key.Hash()));
+}
+
+NativeEngineStats NativeEngine::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+bool NativeEngine::IsReady(const kcc::ModuleCacheKey& key) const {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(key.CanonicalText());
+    if (it == entries_.end()) return false;
+    entry = it->second;
+  }
+  std::lock_guard<std::mutex> lk(entry->mu);
+  return entry->state == Entry::kReady;
+}
+
+bool NativeEngine::EnsureReady(const kcc::ModuleCacheKey& key, const kcc::CompiledModule& mod) {
+  return Resolve(key, &mod, /*may_build=*/true) != nullptr;
+}
+
+std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::Resolve(const kcc::ModuleCacheKey& key,
+                                                                  const kcc::CompiledModule* mod,
+                                                                  bool may_build) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::shared_ptr<Entry>& slot = entries_[key.CanonicalText()];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  std::unique_lock<std::mutex> lk(entry->mu);
+  for (;;) {
+    switch (entry->state) {
+      case Entry::kReady:
+        return entry->loaded;
+      case Entry::kFailed:
+        return nullptr;
+      case Entry::kMissing:
+        // A load-only probe already came up empty; only a build changes that.
+        if (!may_build) return nullptr;
+        break;
+      case Entry::kBuilding:
+        // kAuto launches never wait on a build; forced ones do.
+        if (!may_build) return nullptr;
+        entry->cv.wait(lk);
+        continue;
+      case Entry::kUnknown:
+        break;
+    }
+    break;
+  }
+  entry->state = Entry::kBuilding;
+  lk.unlock();
+
+  std::shared_ptr<LoadedModule> lm;
+  try {
+    lm = LoadOrBuild(key, mod, may_build);
+  } catch (...) {
+    lm = nullptr;
+  }
+
+  lk.lock();
+  if (lm) {
+    entry->loaded = lm;
+    entry->state = Entry::kReady;
+  } else {
+    // A failed *build* is sticky; a fruitless load-only probe is retriable
+    // once somebody may build.
+    entry->state = may_build ? Entry::kFailed : Entry::kMissing;
+  }
+  entry->cv.notify_all();
+  return lm;
+}
+
+std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::TryLoadEnvelope(
+    const std::vector<std::uint8_t>& envelope, const kcc::ModuleCacheKey& key,
+    const std::string& quarantine_path) {
+  std::string key_text;
+  std::vector<std::uint8_t> so_bytes;
+  try {
+    so_bytes = kcc::DeserializeNative(envelope, &key_text);
+  } catch (const SerializeError&) {
+    if (!quarantine_path.empty()) QuarantineFile(quarantine_path);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.corrupt_quarantined;
+    return nullptr;
+  }
+  if (key_text != key.CanonicalText()) {
+    // Hash collision: the artifact belongs to a different key. Leave it in
+    // place for its own key; this launch degrades.
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.stale_discarded;
+    return nullptr;
+  }
+  return OpenSharedObject(so_bytes, key, quarantine_path);
+}
+
+std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::OpenSharedObject(
+    const std::vector<std::uint8_t>& so_bytes, const kcc::ModuleCacheKey& key,
+    const std::string& origin) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!scratch_.valid()) return nullptr;
+    path = scratch_.File(Format("k%016llx_%llu.so",
+                                static_cast<unsigned long long>(key.Hash()),
+                                static_cast<unsigned long long>(scratch_seq_++)));
+  }
+  if (!WriteFileAtomic(path, so_bytes)) return nullptr;
+  void* handle = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) return nullptr;
+
+  auto abi = reinterpret_cast<AbiVersionFn>(::dlsym(handle, "kspec_native_abi_version"));
+  auto build_key = reinterpret_cast<BuildKeyFn>(::dlsym(handle, "kspec_native_build_key"));
+  auto build_key_size =
+      reinterpret_cast<BuildKeySizeFn>(::dlsym(handle, "kspec_native_build_key_size"));
+  auto count = reinterpret_cast<KernelCountFn>(::dlsym(handle, "kspec_native_kernel_count"));
+  auto name = reinterpret_cast<KernelNameFn>(::dlsym(handle, "kspec_native_kernel_name"));
+  auto run = reinterpret_cast<RunBlockFn>(::dlsym(handle, "kspec_native_run_block"));
+  // The embedded key is binary (the canonical text has NULs) — compare by
+  // (pointer, size), never strlen.
+  if (!abi || !build_key || !build_key_size || !count || !name || !run ||
+      abi() != kNativeAbiVersion ||
+      key.CanonicalText() !=
+          std::string_view(build_key(), static_cast<std::size_t>(build_key_size()))) {
+    // Stale or foreign SO (older codegen, bumped ABI). Nothing stateful ran
+    // yet, so this is the one place dlclose is safe. An on-disk original is
+    // quarantined so the rebuild replaces it.
+    ::dlclose(handle);
+    if (!origin.empty()) QuarantineFile(origin);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.stale_discarded;
+    return nullptr;
+  }
+
+  auto lm = std::make_shared<LoadedModule>();
+  lm->handle = handle;
+  lm->run_block = run;
+  const unsigned n = count();
+  for (unsigned i = 0; i < n; ++i) lm->kernels[name(i)] = i;
+  return lm;
+}
+
+std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::LoadOrBuild(
+    const kcc::ModuleCacheKey& key, const kcc::CompiledModule* mod, bool may_build) {
+  // 1. Disk tier.
+  std::string disk_path;
+  if (!opts_.cache_dir.empty()) {
+    disk_path = (fs::path(opts_.cache_dir) / ArtifactFileName(key)).string();
+    std::vector<std::uint8_t> envelope;
+    if (ReadFileBytes(disk_path, &envelope)) {
+      if (auto lm = TryLoadEnvelope(envelope, key, disk_path)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.disk_hits;
+        return lm;
+      }
+    }
+  }
+
+  // 2. Shared store tier (write through to the disk tier on a hit).
+  if (opts_.store) {
+    std::vector<std::uint8_t> envelope;
+    if (opts_.store->LoadNativeBytes(key, &envelope)) {
+      if (auto lm = TryLoadEnvelope(envelope, key, /*quarantine_path=*/"")) {
+        if (!disk_path.empty()) WriteFileAtomic(disk_path, envelope);
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.store_hits;
+        return lm;
+      }
+    }
+  }
+
+  // 3. Build.
+  if (!may_build || mod == nullptr || !ToolchainAvailable()) return nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.builds_started;
+  }
+  const std::string source = EmitModuleSource(*mod, key.CanonicalText());
+  std::string error;
+  const std::vector<std::uint8_t> so_bytes = CompileSharedObject(source, &error);
+  if (so_bytes.empty()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.build_failures;
+    return nullptr;
+  }
+  auto lm = OpenSharedObject(so_bytes, key, /*origin=*/"");
+  if (!lm) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.build_failures;
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.builds_completed;
+  }
+  const std::vector<std::uint8_t> envelope = kcc::SerializeNative(so_bytes, key.CanonicalText());
+  if (!disk_path.empty()) WriteFileAtomic(disk_path, envelope);
+  if (opts_.store) opts_.store->PublishNativeBytes(key, envelope);
+  return lm;
+}
+
+bool NativeEngine::TryLaunch(vcuda::Context& ctx, const vcuda::NativeLaunchRequest& req,
+                             vgpu::LaunchStats* out) {
+  if (req.key == nullptr || req.kernel == nullptr || req.cfg == nullptr || out == nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.fallbacks;
+    return false;
+  }
+  std::shared_ptr<LoadedModule> lm =
+      Resolve(*req.key, req.module.get(), /*may_build=*/req.require);
+  if (!lm) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.fallbacks;
+    return false;
+  }
+  auto it = lm->kernels.find(req.kernel->name);
+  if (it == lm->kernels.end()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.fallbacks;
+    return false;
+  }
+  *out = RunNative(ctx, *lm, it->second, req);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.served_launches;
+  ++stats_.memory_hits;
+  return true;
+}
+
+vgpu::LaunchStats NativeEngine::RunNative(vcuda::Context& ctx, const LoadedModule& lm,
+                                          unsigned kernel_index,
+                                          const vcuda::NativeLaunchRequest& req) {
+  const vgpu::CompiledKernel& k = *req.kernel;
+  const vgpu::LaunchConfig& cfg = *req.cfg;
+  const vgpu::DeviceProfile& dev = ctx.device();
+
+  bool has_global_atomic = false;
+  for (const vgpu::Instr& i : k.code) {
+    if (IsGlobalAtomic(i)) {
+      has_global_atomic = true;
+      break;
+    }
+  }
+
+  // The shared launch shell — the same validation, spill clamping, policy
+  // resolution, and chunk plan the interpreter runs (vgpu/tier.hpp).
+  vgpu::LaunchShell shell =
+      vgpu::PrepareLaunch(dev, cfg, k.stats.reg_count, k.static_smem_bytes, has_global_atomic);
+  KSPEC_CHECK_MSG(cfg.args.size() == k.params.size(), "argument count mismatch");
+
+  const unsigned nthreads = static_cast<unsigned>(cfg.block.Count());
+  const unsigned nwarps = CeilDiv(nthreads, dev.warp_size);
+  const unsigned stride = nwarps * dev.warp_size;
+
+  // Per-lane thread coordinates, the interpreter's exact formula (padding
+  // lanes clamp to the last thread).
+  std::vector<std::uint32_t> tid_x(stride), tid_y(stride), tid_z(stride);
+  for (unsigned t = 0; t < stride; ++t) {
+    const unsigned lin = std::min(t, nthreads - 1);
+    tid_x[t] = lin % cfg.block.x;
+    tid_y[t] = (lin / cfg.block.x) % cfg.block.y;
+    tid_z[t] = lin / (cfg.block.x * cfg.block.y);
+  }
+
+  std::vector<KspecNativeTexture> textures(cfg.textures.size());
+  for (std::size_t i = 0; i < cfg.textures.size(); ++i) {
+    textures[i].base = cfg.textures[i].base;
+    textures[i].w = cfg.textures[i].w;
+    textures[i].h = cfg.textures[i].h;
+  }
+
+  const std::size_t shared_bytes =
+      static_cast<std::size_t>(k.static_smem_bytes) + cfg.dynamic_smem_bytes;
+  FailCtx fctx;
+  fctx.kernel = &k;
+  fctx.shared_size = shared_bytes;
+  fctx.const_size = req.const_mem.size();
+
+  KspecNativeLaunch L;
+  L.is_fermi = dev.IsFermi() ? 1 : 0;
+  L.warp_size = dev.warp_size;
+  L.shared_mem_banks = dev.shared_mem_banks;
+  L.cycles_per_global_tx = dev.cycles_per_global_tx;
+  L.shared_access_cost = dev.shared_access_cost;
+  L.watchdog_warp_instrs = dev.watchdog_warp_instrs;
+  L.grid_x = cfg.grid.x;
+  L.grid_y = cfg.grid.y;
+  L.grid_z = cfg.grid.z;
+  L.block_x = cfg.block.x;
+  L.block_y = cfg.block.y;
+  L.block_z = cfg.block.z;
+  L.args = cfg.args.data();
+  L.nargs = cfg.args.size();
+  L.cmem = req.const_mem.data();
+  L.cmem_bytes = req.const_mem.size();
+  L.textures = textures.data();
+  L.ntextures = textures.size();
+  L.tid_x = tid_x.data();
+  L.tid_y = tid_y.data();
+  L.tid_z = tid_z.data();
+  L.cb.gmem = &ctx.memory();
+  L.cb.try_access = &TryAccessCb;
+  L.cb.access = &AccessCb;
+  L.cb.fail_ctx = &fctx;
+  L.cb.fail = &FailCb;
+
+  // The per-worker execution state the SO borrows for each block. Mirrors
+  // BlockRunner: the register file and shared array are reused across blocks
+  // and chunks, the watchdog accumulator spans the runner's lifetime.
+  struct Runner {
+    std::vector<std::uint64_t> regs;
+    std::vector<unsigned char> shared;
+    std::uint64_t wd_accum = 0;
+  };
+  auto make_runner = [&] {
+    auto r = std::make_unique<Runner>();
+    r->regs.resize(static_cast<std::size_t>(k.num_vregs) * stride);
+    r->shared.resize(shared_bytes);
+    return r;
+  };
+
+  std::vector<vgpu::BlockStats> parts(shell.nparts);
+  auto run_chunk = [&](Runner& r, std::size_t ci) {
+    KspecNativeStats ns;  // zero-initialized; the SO only accumulates
+    const std::uint64_t b0 = static_cast<std::uint64_t>(ci) * shell.chunk;
+    const std::uint64_t b1 = std::min<std::uint64_t>(shell.nblocks, b0 + shell.chunk);
+    for (std::uint64_t b = b0; b < b1; ++b) {
+      const vgpu::Dim3 cta = vgpu::LinearToCta(cfg.grid, b);
+      KspecNativeBlock blk;
+      blk.ctaid_x = cta.x;
+      blk.ctaid_y = cta.y;
+      blk.ctaid_z = cta.z;
+      blk.regs = r.regs.data();
+      blk.shared = r.shared.data();
+      blk.shared_bytes = shared_bytes;
+      blk.stats = &ns;
+      blk.wd_accum = &r.wd_accum;
+      lm.run_block(kernel_index, &L, &blk);
+    }
+    vgpu::BlockStats& p = parts[ci];
+    p.warp_instrs = ns.warp_instrs;
+    p.lane_instrs = ns.lane_instrs;
+    p.global_instrs = ns.global_instrs;
+    p.mem_transactions = ns.mem_transactions;
+    p.texture_fetches = ns.texture_fetches;
+    p.shared_conflict_cycles = ns.shared_conflict_cycles;
+    p.barriers = ns.barriers;
+    p.issue_cycles = ns.issue_cycles;
+    p.memory_cycles = ns.memory_cycles;
+    p.ilp_sum = ns.ilp_sum;
+  };
+
+  if (!shell.parallel) {
+    std::unique_ptr<Runner> runner = make_runner();
+    for (std::size_t ci = 0; ci < shell.nparts; ++ci) run_chunk(*runner, ci);
+  } else {
+    std::mutex mu;
+    std::vector<std::unique_ptr<Runner>> idle;
+    std::function<void(std::size_t)> fn = [&](std::size_t ci) {
+      std::unique_ptr<Runner> runner;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!idle.empty()) {
+          runner = std::move(idle.back());
+          idle.pop_back();
+        }
+      }
+      if (!runner) runner = make_runner();
+      run_chunk(*runner, ci);
+      std::lock_guard<std::mutex> lk(mu);
+      idle.push_back(std::move(runner));
+    };
+    vgpu::ExecPool::Instance().ParallelFor(shell.workers, shell.nparts, fn);
+  }
+
+  vgpu::FinalizeLaunchStats(dev, shell, parts);
+  return shell.stats;
+}
+
+}  // namespace kspec::native

@@ -1,0 +1,129 @@
+// The native execution tier: content-addressed shared-object artifacts plus
+// the host-side launch mirror that runs them.
+//
+// NativeEngine implements vcuda::NativeExecutionService. Per ModuleCacheKey
+// it maintains a small state machine (unknown -> building -> ready | failed)
+// over a three-level artifact hierarchy:
+//
+//   memory  — a dlopen'd shared object, reused for every later launch;
+//   disk    — `k%016llx.nso` files in cache_dir (the .kmod layout's sibling):
+//             a second process with a warm cache directory serves the native
+//             tier with zero recompiles;
+//   store   — the shared netd::ArtifactStore, when attached.
+//
+// Every artifact is the self-validating kcc::SerializeNative envelope; a
+// corrupt file is quarantined (renamed aside) and treated as a miss, a loaded
+// SO whose kspec_native_abi_version or embedded build key disagrees is
+// discarded as stale — in every case the launch degrades to the decoded tier
+// instead of failing.
+//
+// Build policy follows NativeLaunchRequest::require: a forced native launch
+// builds inline (single-flight per key; concurrent launches wait); a kAuto
+// launch only serves what is already loadable and leaves background builds to
+// NativeBuildExecutor riding the serve pipeline.
+//
+// The launch itself mirrors the interpreter's shell exactly: the shared
+// vgpu::PrepareLaunch / FinalizeLaunchStats bracket per-chunk runs, per-worker
+// register files come from the same free-list idiom, and the chunk partials
+// fold in chunk order — which is why the native tier's LaunchStats are
+// bit-identical to the decoded tier's.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "native/abi.hpp"
+#include "support/temp_dir.hpp"
+#include "vcuda/native_hook.hpp"
+
+namespace kspec::netd {
+class ArtifactStore;
+}
+
+namespace kspec::native {
+
+struct NativeEngineStats {
+  std::uint64_t builds_started = 0;
+  std::uint64_t builds_completed = 0;
+  std::uint64_t build_failures = 0;
+  std::uint64_t served_launches = 0;   // launches run on the native tier
+  std::uint64_t fallbacks = 0;         // TryLaunch returned false
+  std::uint64_t memory_hits = 0;       // already-loaded SO served a launch
+  std::uint64_t disk_hits = 0;         // artifact loaded from cache_dir
+  std::uint64_t store_hits = 0;        // artifact fetched from the store
+  std::uint64_t corrupt_quarantined = 0;
+  std::uint64_t stale_discarded = 0;   // ABI-version or key mismatch
+};
+
+class NativeEngine : public vcuda::NativeExecutionService {
+ public:
+  struct Options {
+    // Directory for .nso artifacts; "" disables the disk tier. Shared with
+    // the .kmod cache_dir by convention (distinct extensions).
+    std::string cache_dir;
+    // Optional shared artifact store (not owned; must outlive the engine).
+    netd::ArtifactStore* store = nullptr;
+  };
+
+  NativeEngine();
+  explicit NativeEngine(Options opts);
+  ~NativeEngine() override;
+
+  NativeEngine(const NativeEngine&) = delete;
+  NativeEngine& operator=(const NativeEngine&) = delete;
+
+  // vcuda::NativeExecutionService. False = degrade to decoded (and counted);
+  // exceptions are the kernel's own faults, raised with the interpreter's
+  // exact error text.
+  bool TryLaunch(vcuda::Context& ctx, const vcuda::NativeLaunchRequest& req,
+                 vgpu::LaunchStats* out) override;
+
+  // Makes the artifact for (key, mod) servable now: memory -> disk -> store
+  // -> emit + compile + dlopen, publishing new builds back to disk and store.
+  // Blocking; single-flight per key (concurrent callers wait). False when the
+  // native tier cannot serve this key (no toolchain, failed build) — that
+  // answer is sticky per key until the process restarts.
+  bool EnsureReady(const kcc::ModuleCacheKey& key, const kcc::CompiledModule& mod);
+
+  // True when a launch for `key` would be served from memory right now.
+  bool IsReady(const kcc::ModuleCacheKey& key) const;
+
+  // Disk-tier artifact name for `key` ("k%016llx.nso").
+  static std::string ArtifactFileName(const kcc::ModuleCacheKey& key);
+
+  NativeEngineStats stats() const;
+
+ private:
+  struct LoadedModule;
+  struct Entry;
+
+  // Returns the ready entry for the request, loading or (require) building as
+  // allowed. nullptr = degrade.
+  std::shared_ptr<LoadedModule> Resolve(const kcc::ModuleCacheKey& key,
+                                        const kcc::CompiledModule* mod, bool may_build);
+  // The artifact ladder for one key, called with the entry locked in
+  // kBuilding state. Returns the loaded SO or nullptr.
+  std::shared_ptr<LoadedModule> LoadOrBuild(const kcc::ModuleCacheKey& key,
+                                            const kcc::CompiledModule* mod, bool may_build);
+  std::shared_ptr<LoadedModule> TryLoadEnvelope(const std::vector<std::uint8_t>& envelope,
+                                                const kcc::ModuleCacheKey& key,
+                                                const std::string& origin);
+  std::shared_ptr<LoadedModule> OpenSharedObject(const std::vector<std::uint8_t>& so_bytes,
+                                                 const kcc::ModuleCacheKey& key,
+                                                 const std::string& origin);
+
+  vgpu::LaunchStats RunNative(vcuda::Context& ctx, const LoadedModule& lm, unsigned kernel_index,
+                              const vcuda::NativeLaunchRequest& req);
+
+  Options opts_;
+  ScopedTempDir scratch_;  // dlopen needs the SO image on disk
+  mutable std::mutex mu_;  // guards entries_, stats_, scratch_ naming
+  std::map<std::string, std::shared_ptr<Entry>> entries_;  // by canonical key text
+  NativeEngineStats stats_;
+  std::uint64_t scratch_seq_ = 0;
+};
+
+}  // namespace kspec::native

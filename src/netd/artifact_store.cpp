@@ -121,6 +121,77 @@ bool ArtifactStore::Contains(const kcc::ModuleCacheKey& key) const {
   return std::filesystem::exists(PathFor(key), ec);
 }
 
+std::string ArtifactStore::PathForNative(const kcc::ModuleCacheKey& key) const {
+  return dir_ + "/" + Format("k%016llx.nso", static_cast<unsigned long long>(key.Hash()));
+}
+
+bool ArtifactStore::LoadNativeBytes(const kcc::ModuleCacheKey& key,
+                                    std::vector<std::uint8_t>* out) {
+  const std::string path = PathForNative(key);
+  std::vector<std::uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.native_misses;
+    return false;
+  }
+  try {
+    std::string stored_key;
+    kcc::DeserializeNative(bytes, &stored_key);  // checksum, version, layout
+    if (stored_key != key.CanonicalText()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.collisions;
+      ++stats_.native_misses;
+      KSPEC_LOG_WARN << "artifact store: " << path
+                     << " belongs to a different key (hash collision) — treating as miss";
+      return false;
+    }
+  } catch (const SerializeError& e) {
+    KSPEC_LOG_WARN << "artifact store: quarantining unreadable native artifact " << path
+                   << " (" << e.what() << ")";
+    Quarantine(path);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.native_misses;
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.native_hits;
+  }
+  *out = std::move(bytes);
+  return true;
+}
+
+bool ArtifactStore::PublishNativeBytes(const kcc::ModuleCacheKey& key,
+                                       std::span<const std::uint8_t> bytes) {
+  try {
+    std::string stored_key;
+    kcc::DeserializeNative(bytes, &stored_key);
+    if (stored_key != key.CanonicalText()) {
+      KSPEC_LOG_WARN << "artifact store: refusing to publish native bytes keyed differently "
+                        "than k"
+                     << Format("%016llx", static_cast<unsigned long long>(key.Hash()));
+      return false;
+    }
+  } catch (const SerializeError& e) {
+    KSPEC_LOG_WARN << "artifact store: refusing to publish malformed native artifact ("
+                   << e.what() << ")";
+    return false;
+  }
+  const std::string path = PathForNative(key);
+  if (!WriteFileAtomic(path, bytes)) {
+    KSPEC_LOG_WARN << "artifact store: failed to publish " << path << " — continuing";
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.native_publishes;
+  return true;
+}
+
+bool ArtifactStore::ContainsNative(const kcc::ModuleCacheKey& key) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathForNative(key), ec);
+}
+
 StoreStats ArtifactStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

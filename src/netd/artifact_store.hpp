@@ -30,6 +30,11 @@ struct StoreStats {
   std::uint64_t publishes = 0;   // artifacts written
   std::uint64_t corrupt_quarantined = 0;  // unreadable entries renamed aside
   std::uint64_t collisions = 0;  // file present but keyed differently
+  // The native-tier (.nso shared object) artifact kind, counted separately so
+  // a fleet report can tell module traffic from native-artifact traffic.
+  std::uint64_t native_hits = 0;
+  std::uint64_t native_misses = 0;
+  std::uint64_t native_publishes = 0;
 };
 
 class ArtifactStore {
@@ -61,6 +66,15 @@ class ArtifactStore {
 
   // Cheap existence probe (no validation, no stats).
   bool Contains(const kcc::ModuleCacheKey& key) const;
+
+  // ---- native-tier artifacts (.nso) ----
+  // Same directory, same hash-derived stem, `.nso` extension: the envelope is
+  // kcc::SerializeNative (a host shared object instead of a module), with the
+  // identical corrupt-quarantine / collision policy as the .kmod methods.
+  std::string PathForNative(const kcc::ModuleCacheKey& key) const;
+  bool LoadNativeBytes(const kcc::ModuleCacheKey& key, std::vector<std::uint8_t>* out);
+  bool PublishNativeBytes(const kcc::ModuleCacheKey& key, std::span<const std::uint8_t> bytes);
+  bool ContainsNative(const kcc::ModuleCacheKey& key) const;
 
   StoreStats stats() const;
 

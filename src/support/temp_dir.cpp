@@ -1,0 +1,74 @@
+#include "support/temp_dir.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+namespace kspec {
+
+namespace {
+
+std::string TempRoot() {
+  // std::filesystem::temp_directory_path can throw on exotic setups; this
+  // helper must not. TMPDIR mirrors what mkstemp-family users expect.
+  if (const char* env = std::getenv("TMPDIR"); env && *env) return env;
+  return "/tmp";
+}
+
+std::string Sanitize(const std::string& prefix) {
+  std::string out;
+  out.reserve(prefix.size());
+  for (char c : prefix) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? std::string("kspec_tmp_") : out;
+}
+
+}  // namespace
+
+ScopedTempDir::ScopedTempDir(const std::string& prefix) {
+  const std::string tmpl_str = TempRoot() + "/" + Sanitize(prefix) + "XXXXXX";
+  std::vector<char> tmpl(tmpl_str.begin(), tmpl_str.end());
+  tmpl.push_back('\0');
+  if (::mkdtemp(tmpl.data()) != nullptr) path_.assign(tmpl.data());
+}
+
+ScopedTempDir::~ScopedTempDir() { Remove(); }
+
+ScopedTempDir::ScopedTempDir(ScopedTempDir&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+std::string ScopedTempDir::File(const std::string& name) const {
+  return path_ + "/" + name;
+}
+
+std::string ScopedTempDir::Release() {
+  std::string out = std::move(path_);
+  path_.clear();
+  return out;
+}
+
+void ScopedTempDir::Remove() noexcept {
+  if (path_.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // best-effort by contract
+  path_.clear();
+}
+
+}  // namespace kspec

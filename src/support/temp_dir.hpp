@@ -1,0 +1,47 @@
+// Scoped temporary directories.
+//
+// One RAII owner for the mkdtemp/remove_all boilerplate that benches, the
+// netd/cache tests, and the native tier's build scratch dirs all need: a
+// unique directory under the system temp root, recursively removed on
+// destruction. Creation never throws — a failed mkdtemp leaves valid() false
+// so callers on throwaway paths (benchmarks, best-effort scratch space) can
+// degrade instead of crashing; callers that need the directory check valid().
+#pragma once
+
+#include <string>
+
+namespace kspec {
+
+class ScopedTempDir {
+ public:
+  // Creates /tmp-root/<prefix>XXXXXX. The prefix is sanitized to a path-safe
+  // token; pass something identifying the subsystem ("kspec_netd_",
+  // "kspec_native_") so leftover dirs from crashed runs are attributable.
+  explicit ScopedTempDir(const std::string& prefix = "kspec_tmp_");
+
+  // Removes the directory and everything under it (best-effort) unless
+  // Release() was called.
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+  ScopedTempDir(ScopedTempDir&& other) noexcept;
+  ScopedTempDir& operator=(ScopedTempDir&& other) noexcept;
+
+  bool valid() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  // "<path>/<name>" — the one-liner every call site wants.
+  std::string File(const std::string& name) const;
+
+  // Detaches ownership: the directory survives destruction (e.g. handing a
+  // build log to the user after a failed native compile). Returns the path.
+  std::string Release();
+
+ private:
+  void Remove() noexcept;
+
+  std::string path_;
+};
+
+}  // namespace kspec

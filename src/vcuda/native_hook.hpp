@@ -1,0 +1,56 @@
+// The native execution tier's seam into the driver layer.
+//
+// The native backend (src/native/) compiles specialized modules into host
+// shared objects — too heavy a dependency (toolchain discovery, subprocesses,
+// dlopen) for the driver layer to own. Mirroring the AsyncCompileService
+// pattern in async.hpp, vcuda only sees this interface: the dependency points
+// native -> vcuda, and Context::Launch consults the attached service when the
+// resolved ExecutionTier asks for (or allows) native execution.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "kcc/cache_key.hpp"
+#include "kcc/compiler.hpp"
+#include "vgpu/launch.hpp"
+
+namespace kspec::vcuda {
+
+class Context;
+
+// One launch the driver would like served on the native tier. The key is the
+// module's specialization identity (the same ModuleCacheKey that names its
+// .kmod artifact); the native tier content-addresses its shared objects by
+// it. All pointers are borrowed for the duration of the call.
+struct NativeLaunchRequest {
+  const kcc::ModuleCacheKey* key = nullptr;
+  std::shared_ptr<const kcc::CompiledModule> module;
+  const vgpu::CompiledKernel* kernel = nullptr;
+  const vgpu::LaunchConfig* cfg = nullptr;
+  std::span<const unsigned char> const_mem;
+  // true (forced native tier): build the artifact inline if it is not ready
+  // yet. false (kAuto promotion): serve only an already-loaded artifact and
+  // at most kick off a background build — never block the launch.
+  bool require = false;
+};
+
+// Implemented by native::NativeEngine. Attached to a Context with
+// Context::set_native_service; not owned by the Context and must outlive
+// every Context it is attached to.
+class NativeExecutionService {
+ public:
+  virtual ~NativeExecutionService() = default;
+
+  // Runs the launch on the native tier if an artifact is (or, with
+  // require=true, can be made) available. Returns true with *out filled on
+  // success; false means the caller should run the decoded tier. Tier
+  // availability problems (no host toolchain, corrupt artifact, failed
+  // build) are never exceptions — they are `false`, i.e. "degrade to
+  // decoded". Exceptions out of this call are the kernel's own faults
+  // (DeviceError and friends), which the decoded tier would raise too.
+  virtual bool TryLaunch(Context& ctx, const NativeLaunchRequest& req,
+                         vgpu::LaunchStats* out) = 0;
+};
+
+}  // namespace kspec::vcuda

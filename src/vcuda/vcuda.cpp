@@ -10,8 +10,9 @@
 
 namespace kspec::vcuda {
 
-Module::Module(std::shared_ptr<const kcc::CompiledModule> compiled)
-    : compiled_(std::move(compiled)) {
+Module::Module(std::shared_ptr<const kcc::CompiledModule> compiled,
+               std::shared_ptr<const kcc::ModuleCacheKey> key)
+    : compiled_(std::move(compiled)), key_(std::move(key)) {
   const_mem_.assign(compiled_->const_bytes, 0);
   textures_.resize(compiled_->textures.size());
 }
@@ -165,41 +166,43 @@ void Context::StoreToDisk(const std::string& dir, const kcc::ModuleCacheKey& key
 
 std::shared_ptr<Module> Context::LoadModule(const std::string& source,
                                             const kcc::CompileOptions& opts) {
-  kcc::ModuleCacheKey key = kcc::ModuleCacheKey::Make(source, opts, device_.name);
-  const std::uint64_t hash = key.Hash();
+  auto key = std::make_shared<const kcc::ModuleCacheKey>(
+      kcc::ModuleCacheKey::Make(source, opts, device_.name));
+  const std::uint64_t hash = key->Hash();
 
   std::string dir;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (auto cached = cache_.Get(hash, key)) {
+    if (auto cached = cache_.Get(hash, *key)) {
       ++cache_stats_.hits;
-      KSPEC_LOG_DEBUG << "module cache hit (" << key.Describe() << ")";
-      return std::make_shared<Module>(std::move(cached));
+      KSPEC_LOG_DEBUG << "module cache hit (" << key->Describe() << ")";
+      return std::make_shared<Module>(std::move(cached), std::move(key));
     }
     dir = cache_dir_;
   }
 
   // Disk tier (outside the lock: file I/O + deserialization).
   if (!dir.empty()) {
-    if (auto from_disk = TryLoadFromDisk(dir, key)) {
+    if (auto from_disk = TryLoadFromDisk(dir, *key)) {
       std::lock_guard<std::mutex> lock(cache_mutex_);
       ++cache_stats_.disk_hits;
-      KSPEC_LOG_DEBUG << "module disk cache hit (" << key.Describe() << ")";
-      return std::make_shared<Module>(cache_.Put(hash, key, std::move(from_disk)));
+      KSPEC_LOG_DEBUG << "module disk cache hit (" << key->Describe() << ")";
+      return std::make_shared<Module>(cache_.Put(hash, *key, std::move(from_disk)),
+                                      std::move(key));
     }
   }
 
   // Compile outside the lock so independent specializations build in
   // parallel; a lost race is resolved by Put reusing the winner's module.
   auto compiled = std::make_shared<const kcc::CompiledModule>(kcc::CompileModule(source, opts));
-  if (!dir.empty()) StoreToDisk(dir, key, *compiled);
-  KSPEC_LOG_DEBUG << "compiled module (" << key.Describe() << ") in "
+  if (!dir.empty()) StoreToDisk(dir, *key, *compiled);
+  KSPEC_LOG_DEBUG << "compiled module (" << key->Describe() << ") in "
                   << compiled->compile_millis << " ms";
 
   std::lock_guard<std::mutex> lock(cache_mutex_);
   ++cache_stats_.misses;
   cache_stats_.compile_millis_total += compiled->compile_millis;
-  return std::make_shared<Module>(cache_.Put(hash, key, std::move(compiled)));
+  return std::make_shared<Module>(cache_.Put(hash, *key, std::move(compiled)), std::move(key));
 }
 
 std::shared_ptr<Module> Context::AdoptCompiledModule(
@@ -207,7 +210,8 @@ std::shared_ptr<Module> Context::AdoptCompiledModule(
   KSPEC_CHECK(compiled != nullptr);
   std::lock_guard<std::mutex> lock(cache_mutex_);
   ++cache_stats_.adopted;
-  return std::make_shared<Module>(cache_.Put(key.Hash(), key, std::move(compiled)));
+  return std::make_shared<Module>(cache_.Put(key.Hash(), key, std::move(compiled)),
+                                  std::make_shared<const kcc::ModuleCacheKey>(key));
 }
 
 bool Context::HasCachedModule(const std::string& source, const kcc::CompileOptions& opts) const {
@@ -240,9 +244,18 @@ SubmitResult Context::LoadModuleAsync(const std::string& source,
   return result;
 }
 
+TierStats Context::tier_stats() const {
+  TierStats s;
+  s.launches_interp = tier_interp_.load();
+  s.launches_decoded = tier_decoded_.load();
+  s.launches_native = tier_native_.load();
+  s.native_fallbacks = tier_fallbacks_.load();
+  return s;
+}
+
 vgpu::LaunchStats Context::Launch(const Module& module, const std::string& kernel,
                                   vgpu::Dim3 grid, vgpu::Dim3 block, const ArgPack& args,
-                                  unsigned dynamic_smem_bytes) {
+                                  unsigned dynamic_smem_bytes, LaunchExecution* exec) {
   const vgpu::CompiledKernel& k = module.GetKernel(kernel);
   if (args.values().size() != k.params.size()) {
     throw DeviceError(Format("kernel %s takes %zu arguments; %zu supplied", kernel.c_str(),
@@ -269,8 +282,55 @@ vgpu::LaunchStats Context::Launch(const Module& module, const std::string& kerne
   cfg.textures = module.texture_bindings();
   cfg.exec = exec_policy_;
 
-  vgpu::Interpreter interp(device_, &memory_);
-  vgpu::LaunchStats stats = interp.Launch(*module.Decoded(k, device_), cfg, module.const_mem());
+  // Resolve the execution tier: test override > VGPU_TIER > per-launch
+  // request > context policy. kAuto means "decoded now, native when ready".
+  const vgpu::ExecutionTier tier = vgpu::ResolveTier(
+      exec ? exec->request : vgpu::ExecutionTier::kAuto, tier_policy_);
+  NativeExecutionService* native = native_service_.load();
+  const bool want_native =
+      tier == vgpu::ExecutionTier::kNative ||
+      (tier == vgpu::ExecutionTier::kAuto && native != nullptr);
+
+  vgpu::LaunchStats stats;
+  vgpu::ExecutionTier served = vgpu::ExecutionTier::kDecoded;
+  bool ran = false;
+  if (want_native && native != nullptr && module.cache_key() != nullptr) {
+    NativeLaunchRequest req;
+    req.key = module.cache_key().get();
+    req.module = module.compiled_ptr();
+    req.kernel = &k;
+    req.cfg = &cfg;
+    req.const_mem = module.const_mem();
+    req.require = tier == vgpu::ExecutionTier::kNative;
+    if (native->TryLaunch(*this, req, &stats)) {
+      served = vgpu::ExecutionTier::kNative;
+      ran = true;
+    }
+  }
+  if (!ran) {
+    vgpu::Interpreter interp(device_, &memory_);
+    if (tier == vgpu::ExecutionTier::kInterp) {
+      // Decode-per-launch reference tier.
+      stats = interp.Launch(k, cfg, module.const_mem());
+      served = vgpu::ExecutionTier::kInterp;
+    } else {
+      stats = interp.Launch(*module.Decoded(k, device_), cfg, module.const_mem());
+      served = vgpu::ExecutionTier::kDecoded;
+    }
+  }
+
+  const bool fallback =
+      tier == vgpu::ExecutionTier::kNative && served != vgpu::ExecutionTier::kNative;
+  switch (served) {
+    case vgpu::ExecutionTier::kInterp: ++tier_interp_; break;
+    case vgpu::ExecutionTier::kNative: ++tier_native_; break;
+    default: ++tier_decoded_; break;
+  }
+  if (fallback) ++tier_fallbacks_;
+  if (exec) {
+    exec->served = served;
+    exec->native_fallback = fallback;
+  }
   total_sim_millis_ += stats.sim_millis;
   return stats;
 }

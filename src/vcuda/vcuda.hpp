@@ -23,9 +23,11 @@
 #include "kcc/compiler.hpp"
 #include "vcuda/async.hpp"
 #include "vcuda/module_cache.hpp"
+#include "vcuda/native_hook.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/interp.hpp"
 #include "vgpu/memory.hpp"
+#include "vgpu/tier.hpp"
 
 namespace kspec::vcuda {
 
@@ -37,12 +39,22 @@ class Context;
 // specialization cache) plus this instance's own constant-memory segment.
 class Module {
  public:
-  Module(std::shared_ptr<const kcc::CompiledModule> compiled);
+  // `key` is the specialization identity the module was compiled/served
+  // under; Modules created through Context::LoadModule / AdoptCompiledModule
+  // always carry one. A keyless Module (direct construction) still runs on
+  // the interp/decoded tiers — only the content-addressed native tier needs
+  // the key and degrades to decoded without it.
+  explicit Module(std::shared_ptr<const kcc::CompiledModule> compiled,
+                  std::shared_ptr<const kcc::ModuleCacheKey> key = nullptr);
 
   const kcc::CompiledModule& compiled() const { return *compiled_; }
   // Identity of the underlying compiled binary: two Modules served from the
   // same cache entry (or the same tiered promotion) share one pointer.
   const std::shared_ptr<const kcc::CompiledModule>& compiled_ptr() const { return compiled_; }
+
+  // The specialization cache key the module was loaded under, or nullptr for
+  // a keyless Module (see the constructor comment).
+  const std::shared_ptr<const kcc::ModuleCacheKey>& cache_key() const { return key_; }
 
   // Returns the kernel or throws DeviceError if absent.
   const vgpu::CompiledKernel& GetKernel(const std::string& name) const;
@@ -67,6 +79,7 @@ class Module {
 
  private:
   std::shared_ptr<const kcc::CompiledModule> compiled_;
+  std::shared_ptr<const kcc::ModuleCacheKey> key_;
   std::vector<unsigned char> const_mem_;
   std::vector<vgpu::TextureBinding> textures_;
   mutable std::mutex decoded_mutex_;
@@ -90,6 +103,26 @@ class ArgPack {
  private:
   std::vector<std::uint64_t> values_;
   std::vector<vgpu::Type> types_;
+};
+
+// Per-tier launch accounting: which execution tier actually served each
+// Launch from this context, and how often a native request degraded.
+struct TierStats {
+  std::size_t launches_interp = 0;
+  std::size_t launches_decoded = 0;
+  std::size_t launches_native = 0;
+  // Launches where the native tier was requested (forced, or picked by kAuto
+  // with a service attached) but the decoded tier had to serve instead.
+  std::size_t native_fallbacks = 0;
+};
+
+// Optional in/out channel for a single Launch: callers that care which tier
+// runs (StageRunner, tests, kccc) pass one; everyone else keeps the old
+// signature. `request` feeds the precedence chain in vgpu::ResolveTier.
+struct LaunchExecution {
+  vgpu::ExecutionTier request = vgpu::ExecutionTier::kAuto;  // in
+  vgpu::ExecutionTier served = vgpu::ExecutionTier::kDecoded;  // out
+  bool native_fallback = false;  // out: native wanted, decoded served
 };
 
 struct CacheStats {
@@ -184,10 +217,28 @@ class Context {
 
   // -------- execution --------
   // Launches and runs to completion; returns simulated statistics (including
-  // sim_millis from the cost model). Argument types are validated.
+  // sim_millis from the cost model). Argument types are validated. The
+  // execution tier resolves as test override > VGPU_TIER > exec->request >
+  // tier_policy(); all tiers produce bit-identical LaunchStats. When `exec`
+  // is non-null its out fields report which tier actually served.
   vgpu::LaunchStats Launch(const Module& module, const std::string& kernel, vgpu::Dim3 grid,
                            vgpu::Dim3 block, const ArgPack& args,
-                           unsigned dynamic_smem_bytes = 0);
+                           unsigned dynamic_smem_bytes = 0, LaunchExecution* exec = nullptr);
+
+  // Attaches (or detaches, with nullptr) the native execution tier. The
+  // service is not owned and must outlive every Context it is attached to.
+  // Without one, native-tier requests degrade to the decoded tier (counted
+  // in TierStats::native_fallbacks).
+  void set_native_service(NativeExecutionService* svc) { native_service_.store(svc); }
+  NativeExecutionService* native_service() const { return native_service_.load(); }
+
+  // Default execution tier for launches from this context (still subject to
+  // the VGPU_TIER environment override, the test override, and per-launch
+  // LaunchExecution::request).
+  void set_tier_policy(vgpu::ExecutionTier tier) { tier_policy_ = tier; }
+  vgpu::ExecutionTier tier_policy() const { return tier_policy_; }
+
+  TierStats tier_stats() const;
 
   // Total simulated GPU milliseconds accumulated across launches (the
   // "GPU time" the benchmark tables report).
@@ -214,6 +265,12 @@ class Context {
   CacheStats cache_stats_;
   std::string cache_dir_;
   std::atomic<AsyncCompileService*> async_service_{nullptr};
+  std::atomic<NativeExecutionService*> native_service_{nullptr};
+  vgpu::ExecutionTier tier_policy_ = vgpu::ExecutionTier::kAuto;
+  std::atomic<std::size_t> tier_interp_{0};
+  std::atomic<std::size_t> tier_decoded_{0};
+  std::atomic<std::size_t> tier_native_{0};
+  std::atomic<std::size_t> tier_fallbacks_{0};
   double total_sim_millis_ = 0;
   vgpu::ExecPolicy exec_policy_;
 };

@@ -8,6 +8,38 @@
 
 namespace kspec::vgpu {
 
+double IssueCost(const DeviceProfile& dev, const Instr& i) {
+  const bool f64 = i.type == Type::kF64;
+  switch (i.op) {
+    case Opcode::kMul:
+    case Opcode::kMad:
+      if (i.type == Type::kI32 || i.type == Type::kU32) return dev.IsFermi() ? 1.0 : 2.0;
+      if (f64) return dev.IsFermi() ? 2.0 : 8.0;
+      return 1.0;
+    case Opcode::kMul24:
+      return dev.IsFermi() ? 3.0 : 1.0;
+    case Opcode::kDiv:
+    case Opcode::kRem:
+      if (IsIntType(i.type)) return 16.0;
+      return f64 ? 24.0 : 8.0;
+    case Opcode::kSqrt:
+    case Opcode::kRsqrt:
+    case Opcode::kExp:
+    case Opcode::kLog:
+    case Opcode::kSin:
+    case Opcode::kCos:
+      return f64 ? 24.0 : 8.0;
+    case Opcode::kBarSync:
+      return 2.0;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+      if (f64) return dev.IsFermi() ? 2.0 : 8.0;
+      return 1.0;
+    default:
+      return 1.0;
+  }
+}
+
 void ApplyCostModel(const DeviceProfile& dev, LaunchStats& stats,
                     const CostModelConstants& constants) {
   if (stats.blocks == 0) {

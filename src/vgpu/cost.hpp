@@ -16,9 +16,19 @@
 #pragma once
 
 #include "vgpu/device.hpp"
+#include "vgpu/isa.hpp"
 #include "vgpu/launch.hpp"
 
 namespace kspec::vgpu {
+
+// Issue cost in compute-pipe cycles for one static instruction. Device
+// dependent where the dissertation calls out generation differences (Section
+// 2.4: the relative throughput of `*` and __[u]mul24() inverted between cc
+// 1.3 and cc 2.0; double precision rates differ strongly). Shared by every
+// execution tier — the decoded interpreter evaluates it once per static
+// instruction at decode, the native backend bakes the summed per-basic-block
+// costs into the emitted translation unit.
+double IssueCost(const DeviceProfile& dev, const Instr& i);
 
 // Model constants shared by both device profiles.
 struct CostModelConstants {

@@ -33,6 +33,7 @@
 #include "support/str.hpp"
 #include "vgpu/cost.hpp"
 #include "vgpu/exec_pool.hpp"
+#include "vgpu/tier.hpp"
 
 namespace kspec::vgpu {
 
@@ -58,42 +59,6 @@ struct Warp {
   std::vector<StackEntry> stack;
   enum class State { kRunnable, kAtBarrier, kDone } state = State::kRunnable;
 };
-
-// Issue cost in compute-pipe cycles. Device dependent where the dissertation
-// calls out generation differences (Section 2.4: the relative throughput of
-// `*` and __[u]mul24() inverted between cc 1.3 and cc 2.0; double precision
-// rates differ strongly). Evaluated once per static instruction at decode.
-double IssueCost(const DeviceProfile& dev, const Instr& i) {
-  const bool f64 = i.type == Type::kF64;
-  switch (i.op) {
-    case Opcode::kMul:
-    case Opcode::kMad:
-      if (i.type == Type::kI32 || i.type == Type::kU32) return dev.IsFermi() ? 1.0 : 2.0;
-      if (f64) return dev.IsFermi() ? 2.0 : 8.0;
-      return 1.0;
-    case Opcode::kMul24:
-      return dev.IsFermi() ? 3.0 : 1.0;
-    case Opcode::kDiv:
-    case Opcode::kRem:
-      if (IsIntType(i.type)) return 16.0;
-      return f64 ? 24.0 : 8.0;
-    case Opcode::kSqrt:
-    case Opcode::kRsqrt:
-    case Opcode::kExp:
-    case Opcode::kLog:
-    case Opcode::kSin:
-    case Opcode::kCos:
-      return f64 ? 24.0 : 8.0;
-    case Opcode::kBarSync:
-      return 2.0;
-    case Opcode::kAdd:
-    case Opcode::kSub:
-      if (f64) return dev.IsFermi() ? 2.0 : 8.0;
-      return 1.0;
-    default:
-      return 1.0;
-  }
-}
 
 class BlockRunner;
 
@@ -1433,47 +1398,7 @@ ExecFn SelectMem(const Instr& i) {
   }
 }
 
-Dim3 LinearToCta(const Dim3& grid, std::uint64_t b) {
-  return Dim3(static_cast<unsigned>(b % grid.x),
-              static_cast<unsigned>((b / grid.x) % grid.y),
-              static_cast<unsigned>(b / (static_cast<std::uint64_t>(grid.x) * grid.y)));
-}
-
-// ---- execution-policy resolution ----
-
-ExecPolicy g_policy_override;
-std::atomic<bool> g_has_policy_override{false};
-
-// VGPU_WORKERS: 1 = force serial, N > 1 = force parallel with N workers,
-// 0/unset/garbage = no override. Parsed once.
-const ExecPolicy& EnvPolicy() {
-  static const ExecPolicy env = [] {
-    ExecPolicy p;  // workers == 0 doubles as the "not set" sentinel
-    if (const char* s = std::getenv("VGPU_WORKERS"); s && *s) {
-      const long v = std::strtol(s, nullptr, 10);
-      if (v == 1) {
-        p.mode = ExecMode::kSerial;
-        p.workers = 1;
-      } else if (v > 1) {
-        p.mode = ExecMode::kParallel;
-        p.workers = static_cast<unsigned>(v);
-      }
-    }
-    return p;
-  }();
-  return env;
-}
-
 }  // namespace interp_detail
-
-void SetExecPolicyOverride(const ExecPolicy* policy) {
-  if (policy) {
-    g_policy_override = *policy;
-    g_has_policy_override.store(true, std::memory_order_release);
-  } else {
-    g_has_policy_override.store(false, std::memory_order_release);
-  }
-}
 
 std::shared_ptr<const DecodedKernel> DecodeKernel(const CompiledKernel& kernel,
                                                   const DeviceProfile& dev) {
@@ -1530,79 +1455,23 @@ LaunchStats Interpreter::Launch(const CompiledKernel& kernel, const LaunchConfig
 
 LaunchStats Interpreter::Launch(const DecodedKernel& kernel, const LaunchConfig& cfg,
                                 std::span<const unsigned char> const_mem) {
-  if (cfg.block.Count() == 0 || cfg.grid.Count() == 0) {
-    throw DeviceError("empty grid or block");
-  }
-  if (cfg.block.Count() > dev_.max_threads_per_block) {
-    throw DeviceError(Format("block of %llu threads exceeds device limit %u",
-                             cfg.block.Count(), dev_.max_threads_per_block));
-  }
-  const unsigned smem = kernel.static_smem_bytes + cfg.dynamic_smem_bytes;
-  if (smem > dev_.shared_mem_per_sm) {
-    throw DeviceError(Format("shared memory per block %u exceeds device limit %u", smem,
-                             dev_.shared_mem_per_sm));
-  }
-  // Register demand beyond the device limit spills to local memory, exactly
-  // as nvcc would: the kernel still runs, but every spilled value pays
-  // memory traffic (and the clamped count is what occupancy sees).
-  const unsigned wanted_regs = std::max(kernel.reg_count, 1);
-  unsigned regs = wanted_regs;
-  unsigned spilled = 0;
-  if (regs > dev_.max_regs_per_thread) {
-    spilled = regs - dev_.max_regs_per_thread;
-    regs = dev_.max_regs_per_thread;
-  }
-
-  LaunchStats stats;
-  stats.spilled_regs = spilled;
-  stats.blocks = static_cast<unsigned>(cfg.grid.Count());
-  stats.threads_per_block = static_cast<unsigned>(cfg.block.Count());
-  stats.regs_per_thread = regs;
-  stats.smem_per_block = smem;
-  stats.occupancy = ComputeOccupancy(dev_, cfg.block, regs, smem);
-  if (stats.occupancy.blocks_per_sm == 0) {
-    throw DeviceError(Format("kernel cannot be launched: zero occupancy (limited by %s)",
-                             stats.occupancy.limiter));
-  }
-
-  // Resolve the execution policy: test override > VGPU_WORKERS > LaunchConfig.
-  ExecPolicy pol = cfg.exec;
-  if (EnvPolicy().workers > 0) pol = EnvPolicy();
-  if (g_has_policy_override.load(std::memory_order_acquire)) pol = g_policy_override;
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const unsigned workers = pol.workers > 0 ? pol.workers : hw;
-  const std::uint64_t nblocks = cfg.grid.Count();
-  bool parallel = false;
-  switch (pol.mode) {
-    case ExecMode::kSerial:
-      break;
-    case ExecMode::kParallel:
-      parallel = workers > 1 && nblocks > 1;
-      break;
-    case ExecMode::kAuto:
-      // Global atomics return schedule-dependent old values; keep those
-      // kernels on the reference serial schedule unless parallelism is
-      // requested explicitly.
-      parallel = workers > 1 && nblocks >= 4 && !kernel.has_global_atomic;
-      break;
-  }
-
-  // Chunking depends only on the grid — never on the worker count or mode —
-  // so the per-chunk partial stats and their fold order are invariant.
-  const std::uint64_t chunk = CeilDiv<std::uint64_t>(nblocks, std::min<std::uint64_t>(nblocks, 256));
-  const std::size_t nparts = static_cast<std::size_t>(CeilDiv<std::uint64_t>(nblocks, chunk));
-  std::vector<BlockStats> parts(nparts);
+  // Validation, spill clamping, policy resolution, and the chunk plan are the
+  // tier-shared launch shell (vgpu/tier.hpp) — the native backend runs the
+  // exact same code, which is half of the bit-identical-stats guarantee.
+  LaunchShell shell = PrepareLaunch(dev_, cfg, kernel.reg_count, kernel.static_smem_bytes,
+                                    kernel.has_global_atomic);
+  std::vector<BlockStats> parts(shell.nparts);
 
   auto run_chunk = [&](BlockRunner& runner, std::size_t ci) {
     runner.set_stats(&parts[ci]);
-    const std::uint64_t b0 = static_cast<std::uint64_t>(ci) * chunk;
-    const std::uint64_t b1 = std::min<std::uint64_t>(nblocks, b0 + chunk);
+    const std::uint64_t b0 = static_cast<std::uint64_t>(ci) * shell.chunk;
+    const std::uint64_t b1 = std::min<std::uint64_t>(shell.nblocks, b0 + shell.chunk);
     for (std::uint64_t b = b0; b < b1; ++b) runner.RunBlock(LinearToCta(cfg.grid, b));
   };
 
-  if (!parallel) {
+  if (!shell.parallel) {
     BlockRunner runner(dev_, gmem_, kernel, cfg, const_mem);
-    for (std::size_t ci = 0; ci < nparts; ++ci) run_chunk(runner, ci);
+    for (std::size_t ci = 0; ci < shell.nparts; ++ci) run_chunk(runner, ci);
   } else {
     // Per-worker runners come from a free-list so the pool can reuse the
     // register file and shared-memory arrays across chunks.
@@ -1624,21 +1493,11 @@ LaunchStats Interpreter::Launch(const DecodedKernel& kernel, const LaunchConfig&
       std::lock_guard<std::mutex> lk(mu);
       idle.push_back(std::move(runner));
     };
-    ExecPool::Instance().ParallelFor(workers, nparts, fn);
+    ExecPool::Instance().ParallelFor(shell.workers, shell.nparts, fn);
   }
 
-  FoldBlockStats(parts, stats);
-  if (spilled > 0) {
-    // Approximate spill traffic: the fraction of values living in local
-    // memory forces a load+store round trip on roughly that fraction of
-    // instructions (local accesses coalesce, so charge throughput cost).
-    double spill_frac =
-        std::min(1.0, 2.0 * static_cast<double>(spilled) / static_cast<double>(wanted_regs));
-    stats.memory_cycles += static_cast<double>(stats.warp_instrs) * spill_frac *
-                           0.5 * dev_.cycles_per_global_tx;
-  }
-  ApplyCostModel(dev_, stats);
-  return stats;
+  FinalizeLaunchStats(dev_, shell, parts);
+  return shell.stats;
 }
 
 }  // namespace kspec::vgpu

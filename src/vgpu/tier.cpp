@@ -1,0 +1,190 @@
+#include "vgpu/tier.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "support/math.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+#include "vgpu/cost.hpp"
+
+namespace kspec::vgpu {
+
+namespace {
+
+ExecutionTier g_tier_override = ExecutionTier::kAuto;
+std::atomic<bool> g_has_tier_override{false};
+
+ExecPolicy g_policy_override;
+std::atomic<bool> g_has_policy_override{false};
+
+// VGPU_WORKERS: 1 = force serial, N > 1 = force parallel with N workers,
+// 0/unset/garbage = no override. Parsed once.
+const ExecPolicy& EnvPolicy() {
+  static const ExecPolicy env = [] {
+    ExecPolicy p;  // workers == 0 doubles as the "not set" sentinel
+    if (const char* s = std::getenv("VGPU_WORKERS"); s && *s) {
+      const long v = std::strtol(s, nullptr, 10);
+      if (v == 1) {
+        p.mode = ExecMode::kSerial;
+        p.workers = 1;
+      } else if (v > 1) {
+        p.mode = ExecMode::kParallel;
+        p.workers = static_cast<unsigned>(v);
+      }
+    }
+    return p;
+  }();
+  return env;
+}
+
+}  // namespace
+
+const char* TierName(ExecutionTier tier) {
+  switch (tier) {
+    case ExecutionTier::kAuto: return "auto";
+    case ExecutionTier::kInterp: return "interp";
+    case ExecutionTier::kDecoded: return "decoded";
+    case ExecutionTier::kNative: return "native";
+  }
+  return "?";
+}
+
+bool ParseTier(std::string_view text, ExecutionTier* out) {
+  if (text == "auto") *out = ExecutionTier::kAuto;
+  else if (text == "interp") *out = ExecutionTier::kInterp;
+  else if (text == "decoded") *out = ExecutionTier::kDecoded;
+  else if (text == "native") *out = ExecutionTier::kNative;
+  else return false;
+  return true;
+}
+
+ExecutionTier EnvTier() {
+  static const ExecutionTier env = [] {
+    ExecutionTier t = ExecutionTier::kAuto;  // kAuto doubles as "not set"
+    if (const char* s = std::getenv("VGPU_TIER"); s && *s) ParseTier(s, &t);
+    return t;
+  }();
+  return env;
+}
+
+void SetTierOverride(const ExecutionTier* tier) {
+  if (tier) {
+    g_tier_override = *tier;
+    g_has_tier_override.store(true, std::memory_order_release);
+  } else {
+    g_has_tier_override.store(false, std::memory_order_release);
+  }
+}
+
+ExecutionTier ResolveTier(ExecutionTier request, ExecutionTier context_default) {
+  if (g_has_tier_override.load(std::memory_order_acquire)) return g_tier_override;
+  if (EnvTier() != ExecutionTier::kAuto) return EnvTier();
+  if (request != ExecutionTier::kAuto) return request;
+  return context_default;
+}
+
+void SetExecPolicyOverride(const ExecPolicy* policy) {
+  if (policy) {
+    g_policy_override = *policy;
+    g_has_policy_override.store(true, std::memory_order_release);
+  } else {
+    g_has_policy_override.store(false, std::memory_order_release);
+  }
+}
+
+ExecPolicy ResolveExecPolicy(const ExecPolicy& requested) {
+  ExecPolicy pol = requested;
+  if (EnvPolicy().workers > 0) pol = EnvPolicy();
+  if (g_has_policy_override.load(std::memory_order_acquire)) pol = g_policy_override;
+  return pol;
+}
+
+LaunchShell PrepareLaunch(const DeviceProfile& dev, const LaunchConfig& cfg,
+                          int reg_count, unsigned static_smem_bytes,
+                          bool has_global_atomic) {
+  if (cfg.block.Count() == 0 || cfg.grid.Count() == 0) {
+    throw DeviceError("empty grid or block");
+  }
+  if (cfg.block.Count() > dev.max_threads_per_block) {
+    throw DeviceError(Format("block of %llu threads exceeds device limit %u",
+                             cfg.block.Count(), dev.max_threads_per_block));
+  }
+  const unsigned smem = static_smem_bytes + cfg.dynamic_smem_bytes;
+  if (smem > dev.shared_mem_per_sm) {
+    throw DeviceError(Format("shared memory per block %u exceeds device limit %u", smem,
+                             dev.shared_mem_per_sm));
+  }
+
+  LaunchShell shell;
+  // Register demand beyond the device limit spills to local memory, exactly
+  // as nvcc would: the kernel still runs, but every spilled value pays
+  // memory traffic (and the clamped count is what occupancy sees).
+  shell.wanted_regs = std::max(reg_count, 1);
+  unsigned regs = shell.wanted_regs;
+  if (regs > dev.max_regs_per_thread) {
+    shell.spilled = regs - dev.max_regs_per_thread;
+    regs = dev.max_regs_per_thread;
+  }
+
+  shell.stats.spilled_regs = shell.spilled;
+  shell.stats.blocks = static_cast<unsigned>(cfg.grid.Count());
+  shell.stats.threads_per_block = static_cast<unsigned>(cfg.block.Count());
+  shell.stats.regs_per_thread = regs;
+  shell.stats.smem_per_block = smem;
+  shell.stats.occupancy = ComputeOccupancy(dev, cfg.block, regs, smem);
+  if (shell.stats.occupancy.blocks_per_sm == 0) {
+    throw DeviceError(Format("kernel cannot be launched: zero occupancy (limited by %s)",
+                             shell.stats.occupancy.limiter));
+  }
+
+  const ExecPolicy pol = ResolveExecPolicy(cfg.exec);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  shell.workers = pol.workers > 0 ? pol.workers : hw;
+  shell.nblocks = cfg.grid.Count();
+  switch (pol.mode) {
+    case ExecMode::kSerial:
+      break;
+    case ExecMode::kParallel:
+      shell.parallel = shell.workers > 1 && shell.nblocks > 1;
+      break;
+    case ExecMode::kAuto:
+      // Global atomics return schedule-dependent old values; keep those
+      // kernels on the reference serial schedule unless parallelism is
+      // requested explicitly.
+      shell.parallel = shell.workers > 1 && shell.nblocks >= 4 && !has_global_atomic;
+      break;
+  }
+
+  // Chunking depends only on the grid — never on the worker count or mode —
+  // so the per-chunk partial stats and their fold order are invariant.
+  shell.chunk =
+      CeilDiv<std::uint64_t>(shell.nblocks, std::min<std::uint64_t>(shell.nblocks, 256));
+  shell.nparts = static_cast<std::size_t>(CeilDiv<std::uint64_t>(shell.nblocks, shell.chunk));
+  return shell;
+}
+
+void FinalizeLaunchStats(const DeviceProfile& dev, LaunchShell& shell,
+                         std::span<const BlockStats> parts) {
+  FoldBlockStats(parts, shell.stats);
+  if (shell.spilled > 0) {
+    // Approximate spill traffic: the fraction of values living in local
+    // memory forces a load+store round trip on roughly that fraction of
+    // instructions (local accesses coalesce, so charge throughput cost).
+    double spill_frac = std::min(1.0, 2.0 * static_cast<double>(shell.spilled) /
+                                          static_cast<double>(shell.wanted_regs));
+    shell.stats.memory_cycles += static_cast<double>(shell.stats.warp_instrs) * spill_frac *
+                                 0.5 * dev.cycles_per_global_tx;
+  }
+  ApplyCostModel(dev, shell.stats);
+}
+
+Dim3 LinearToCta(const Dim3& grid, std::uint64_t b) {
+  return Dim3(static_cast<unsigned>(b % grid.x),
+              static_cast<unsigned>((b / grid.x) % grid.y),
+              static_cast<unsigned>(b / (static_cast<std::uint64_t>(grid.x) * grid.y)));
+}
+
+}  // namespace kspec::vgpu

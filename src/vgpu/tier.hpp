@@ -1,0 +1,106 @@
+// The execution-tier abstraction and the shared launch shell.
+//
+// The vgpu executes a kernel through one of three tiers, trading setup cost
+// for steady-state speed exactly the way the dissertation trades compile time
+// for specialized-kernel speed:
+//
+//   kInterp  — decode-per-launch interpretation: no per-kernel state, pays
+//              the full decode on every launch. Reference semantics.
+//   kDecoded — decode-once dispatch (the PR 5 fast path): a cached
+//              DecodedKernel with pre-selected handlers and issue costs.
+//   kNative  — a specialized C++ translation unit emitted from the decoded
+//              module, compiled by the host toolchain, and dlopen'd
+//              (src/native/). Built once per ModuleCacheKey, reused across
+//              launches and processes.
+//
+// All three tiers produce bit-identical LaunchStats: the cost-model charges
+// are defined by the instruction stream, never by how it is executed. This
+// header also hosts the launch shell that guarantees it — validation,
+// occupancy, register-spill clamping, execution-policy resolution, the
+// grid-chunking rule, and the final fold/spill/cost-model steps are shared
+// code, so the interpreter and the native backend cannot drift apart.
+//
+// Tier selection mirrors the VGPU_WORKERS precedence chain: test override >
+// VGPU_TIER environment variable > per-launch request > context default.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "vgpu/device.hpp"
+#include "vgpu/launch.hpp"
+
+namespace kspec::vgpu {
+
+enum class ExecutionTier : std::uint8_t {
+  kAuto = 0,  // let the runtime pick: decoded now, native once it is ready
+  kInterp,
+  kDecoded,
+  kNative,
+};
+
+// Stable lower-case name ("auto", "interp", "decoded", "native") for logs,
+// reports, and JSON.
+const char* TierName(ExecutionTier tier);
+
+// Parses a tier name (as accepted in VGPU_TIER / --tier). Returns false on
+// anything unrecognized; `out` is untouched then.
+bool ParseTier(std::string_view text, ExecutionTier* out);
+
+// VGPU_TIER: "interp" / "decoded" / "native" force that tier, "auto" / unset /
+// garbage = no override. Parsed once, like VGPU_WORKERS.
+ExecutionTier EnvTier();
+
+// Process-wide tier override for tests and tools: while set, it wins over
+// VGPU_TIER and every per-launch request. Pass nullptr to clear. The
+// pointed-to value is copied. Not thread-safe against concurrent launches —
+// set it from the test main thread between runs.
+void SetTierOverride(const ExecutionTier* tier);
+
+// Applies the precedence chain: test override > VGPU_TIER > `request` >
+// `context_default`. A kAuto at every level resolves to kAuto — the caller
+// (vcuda::Context) then picks decoded-or-native by artifact readiness.
+ExecutionTier ResolveTier(ExecutionTier request,
+                          ExecutionTier context_default = ExecutionTier::kAuto);
+
+// Resolves the block-level execution policy for one launch: test override
+// (SetExecPolicyOverride) > VGPU_WORKERS > `requested` (LaunchConfig::exec).
+ExecPolicy ResolveExecPolicy(const ExecPolicy& requested);
+
+// Everything a tier backend needs to run a launch the standard way, computed
+// by PrepareLaunch before any block executes. The stats member arrives with
+// the configuration echo and occupancy filled in; the backend executes
+// `nparts` chunks of `chunk` blocks into a BlockStats array and hands the
+// shell to FinalizeLaunchStats.
+struct LaunchShell {
+  LaunchStats stats;
+  unsigned wanted_regs = 1;  // pre-clamp register demand (spill accounting)
+  unsigned spilled = 0;
+  std::uint64_t nblocks = 0;
+  std::uint64_t chunk = 1;   // blocks per chunk; depends only on the grid
+  std::size_t nparts = 0;
+  unsigned workers = 1;      // resolved worker count (>= 1)
+  bool parallel = false;     // run chunks on the worker pool?
+};
+
+// Validates the configuration (empty launch, block size, shared-memory and
+// occupancy limits — throws DeviceError exactly like the interpreter always
+// did), clamps register demand to the device limit, resolves the execution
+// policy, and fixes the grid-chunking plan. `has_global_atomic` keeps kAuto
+// launches of schedule-dependent kernels on the serial reference schedule.
+LaunchShell PrepareLaunch(const DeviceProfile& dev, const LaunchConfig& cfg,
+                          int reg_count, unsigned static_smem_bytes,
+                          bool has_global_atomic);
+
+// Folds the per-chunk partials (in chunk order — this is what makes the
+// result independent of which worker ran which chunk), applies the register
+// spill charge, and runs the cost model. Leaves the final LaunchStats in
+// shell.stats.
+void FinalizeLaunchStats(const DeviceProfile& dev, LaunchShell& shell,
+                         std::span<const BlockStats> parts);
+
+// Linear block index -> CTA coordinates, row-major in x then y then z.
+Dim3 LinearToCta(const Dim3& grid, std::uint64_t b);
+
+}  // namespace kspec::vgpu

@@ -14,6 +14,7 @@
 #include "kcc/cache_key.hpp"
 #include "kcc/serialize.hpp"
 #include "support/serialize.hpp"
+#include "support/temp_dir.hpp"
 #include "vcuda/module_cache.hpp"
 #include "vcuda/tiered.hpp"
 #include "vcuda/vcuda.hpp"
@@ -52,15 +53,11 @@ float RunOnce(vcuda::Context& ctx, vcuda::Module& mod, int n) {
 
 // A scratch cache directory, fresh per test, removed on destruction.
 struct TempCacheDir {
-  TempCacheDir() {
-    dir = fs::temp_directory_path() /
-          ("kspec_cache_test_" + std::to_string(::getpid()) + "_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name());
-    fs::remove_all(dir);
-    fs::create_directories(dir);
+  TempCacheDir() : owner("kspec_cache_test_"), dir(owner.path()) {
+    EXPECT_TRUE(owner.valid());
   }
-  ~TempCacheDir() { fs::remove_all(dir); }
-  std::string str() const { return dir.string(); }
+  std::string str() const { return owner.path(); }
+  ScopedTempDir owner;
   fs::path dir;
 };
 

@@ -1,0 +1,721 @@
+// Native execution tier: bit-identical LaunchStats against the decoded tier
+// (serial and parallel), warm-cache cross-engine reuse with zero recompiles,
+// corrupt/stale/version-bump artifact degradation, store round-trips,
+// background promotion through NativeBuildExecutor, tier-selection precedence,
+// and cross-tier identity over all four applications.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+
+#include "apps/backproj/gpu.hpp"
+#include "apps/backproj/problem.hpp"
+#include "apps/matching/gpu.hpp"
+#include "apps/matching/problem.hpp"
+#include "apps/piv/gpu.hpp"
+#include "apps/piv/problem.hpp"
+#include "apps/rowfilter/rowfilter.hpp"
+#include "kcc/cache_key.hpp"
+#include "kcc/serialize.hpp"
+#include "native/build.hpp"
+#include "native/build_executor.hpp"
+#include "native/engine.hpp"
+#include "netd/artifact_store.hpp"
+#include "support/serialize.hpp"
+#include "vcuda/vcuda.hpp"
+#include "vgpu/interp.hpp"
+#include "vgpu/tier.hpp"
+
+namespace kspec {
+namespace {
+
+namespace fs = std::filesystem;
+using vgpu::ExecutionTier;
+
+// This suite exercises every level of the tier-precedence chain itself, so a
+// VGPU_TIER forced in the environment (the CI native leg runs the rest of the
+// suite that way) would invalidate the request-level assertions. Drop it
+// before any launch — EnvTier() parses lazily on first use.
+const bool kEnvTierNeutralized = [] {
+  ::unsetenv("VGPU_TIER");
+  return true;
+}();
+
+// A nontrivial kernel exercising the features the emitter must get right:
+// data-dependent divergence, a strided loop, shared memory, an in-block
+// reduction with barriers, and a specializable bound.
+constexpr const char* kKernel = R"(
+#ifndef SCALE
+#define SCALE scale
+#endif
+__kernel void reduce(float* out, float* in, int n, int scale) {
+  __shared float sums[64];
+  int t = threadIdx.x;
+  float acc = 0.0f;
+  for (int i = t; i < n; i += 64) {
+    float v = in[i + blockIdx.x * n];
+    if (v > 0.5f) {
+      acc += v * 2.0f;
+    } else {
+      acc -= v;
+    }
+  }
+  sums[t] = acc;
+  __syncthreads();
+  for (int s = 32; s > 0; s = s / 2) {
+    if (t < s) {
+      sums[t] = sums[t] + sums[t + s];
+    }
+    __syncthreads();
+  }
+  out[blockIdx.x * 64 + t] = sums[0] + acc * (float)SCALE;
+}
+)";
+
+kcc::CompileOptions OptsFor(int scale) {
+  kcc::CompileOptions opts;
+  opts.defines["SCALE"] = std::to_string(scale);
+  return opts;
+}
+
+// A scratch cache directory, fresh per test, removed on destruction. The tag
+// keeps multiple directories within one test distinct.
+struct TempCacheDir {
+  explicit TempCacheDir(const std::string& tag = "") {
+    dir = fs::temp_directory_path() /
+          ("kspec_native_test_" + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() + tag);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~TempCacheDir() { fs::remove_all(dir); }
+  std::string str() const { return dir.string(); }
+  fs::path dir;
+};
+
+// RAII guards for the process-wide overrides so a failing test cannot leak
+// its tier or worker policy into the next one.
+struct TierGuard {
+  explicit TierGuard(ExecutionTier t) { vgpu::SetTierOverride(&t); }
+  ~TierGuard() { vgpu::SetTierOverride(nullptr); }
+};
+struct PolicyGuard {
+  explicit PolicyGuard(vgpu::ExecPolicy p) { vgpu::SetExecPolicyOverride(&p); }
+  ~PolicyGuard() { vgpu::SetExecPolicyOverride(nullptr); }
+};
+
+vgpu::ExecPolicy Parallel4() {
+  vgpu::ExecPolicy p;
+  p.mode = vgpu::ExecMode::kParallel;
+  p.workers = 4;
+  return p;
+}
+
+struct LaunchOutcome {
+  vgpu::LaunchStats stats;
+  std::vector<float> out;
+  vcuda::LaunchExecution exec;
+};
+
+// One launch of kKernel's reduce over `blocks` blocks on the given tier.
+LaunchOutcome RunReduce(vcuda::Context& ctx, vcuda::Module& mod, ExecutionTier request,
+                        int blocks = 4, int n = 256, int scale = 3) {
+  std::vector<float> in(static_cast<std::size_t>(blocks) * n);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>((i * 37 % 100)) / 100.0f;
+  }
+  vcuda::DevPtr d_in = vcuda::Upload<float>(ctx, in);
+  vcuda::DevPtr d_out = ctx.Malloc(static_cast<std::uint64_t>(blocks) * 64 * sizeof(float));
+  vcuda::ArgPack args;
+  args.Ptr(d_out).Ptr(d_in).Int(n).Int(scale);
+  LaunchOutcome r;
+  r.exec.request = request;
+  r.stats = ctx.Launch(mod, "reduce", vgpu::Dim3(static_cast<unsigned>(blocks)),
+                       vgpu::Dim3(64), args, 0, &r.exec);
+  r.out = vcuda::Download<float>(ctx, d_out, static_cast<std::size_t>(blocks) * 64);
+  ctx.Free(d_out);
+  ctx.Free(d_in);
+  return r;
+}
+
+#define SKIP_WITHOUT_TOOLCHAIN()                                          \
+  if (!native::ToolchainAvailable()) {                                    \
+    GTEST_SKIP() << "no host C++ toolchain; native tier disabled";        \
+  }
+
+// ---------------------------------------------------------------------------
+// Tier selection plumbing (no toolchain needed).
+// ---------------------------------------------------------------------------
+
+TEST(TierSelection, ParseAndNameRoundTrip) {
+  for (ExecutionTier t : {ExecutionTier::kAuto, ExecutionTier::kInterp,
+                          ExecutionTier::kDecoded, ExecutionTier::kNative}) {
+    ExecutionTier parsed = ExecutionTier::kAuto;
+    EXPECT_TRUE(vgpu::ParseTier(vgpu::TierName(t), &parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  ExecutionTier parsed = ExecutionTier::kDecoded;
+  EXPECT_FALSE(vgpu::ParseTier("warp-drive", &parsed));
+  EXPECT_EQ(parsed, ExecutionTier::kDecoded) << "failed parse must not touch out";
+  EXPECT_FALSE(vgpu::ParseTier("", &parsed));
+}
+
+TEST(TierSelection, ResolvePrecedence) {
+  // Request beats context default; kAuto request defers to the default.
+  EXPECT_EQ(vgpu::ResolveTier(ExecutionTier::kInterp, ExecutionTier::kNative),
+            ExecutionTier::kInterp);
+  EXPECT_EQ(vgpu::ResolveTier(ExecutionTier::kAuto, ExecutionTier::kDecoded),
+            ExecutionTier::kDecoded);
+  EXPECT_EQ(vgpu::ResolveTier(ExecutionTier::kAuto, ExecutionTier::kAuto),
+            ExecutionTier::kAuto);
+  // The test override beats everything.
+  {
+    TierGuard g(ExecutionTier::kInterp);
+    EXPECT_EQ(vgpu::ResolveTier(ExecutionTier::kNative, ExecutionTier::kDecoded),
+              ExecutionTier::kInterp);
+  }
+  EXPECT_EQ(vgpu::ResolveTier(ExecutionTier::kNative), ExecutionTier::kNative);
+}
+
+TEST(TierSelection, ContextCountsServedTiers) {
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  LaunchOutcome interp = RunReduce(ctx, *mod, ExecutionTier::kInterp);
+  LaunchOutcome decoded = RunReduce(ctx, *mod, ExecutionTier::kDecoded);
+  EXPECT_EQ(interp.exec.served, ExecutionTier::kInterp);
+  EXPECT_EQ(decoded.exec.served, ExecutionTier::kDecoded);
+  EXPECT_TRUE(vgpu::StatsBitIdentical(interp.stats, decoded.stats));
+  EXPECT_EQ(interp.out, decoded.out);
+  vcuda::TierStats ts = ctx.tier_stats();
+  EXPECT_EQ(ts.launches_interp, 1u);
+  EXPECT_EQ(ts.launches_decoded, 1u);
+  EXPECT_EQ(ts.launches_native, 0u);
+}
+
+TEST(TierSelection, NativeRequestWithoutServiceFallsBack) {
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  LaunchOutcome native = RunReduce(ctx, *mod, ExecutionTier::kNative);
+  EXPECT_EQ(native.exec.served, ExecutionTier::kDecoded);
+  EXPECT_TRUE(native.exec.native_fallback);
+  EXPECT_EQ(ctx.tier_stats().native_fallbacks, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The native tier proper.
+// ---------------------------------------------------------------------------
+
+TEST(NativeTier, ForcedNativeBitIdenticalToDecoded) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+
+  LaunchOutcome decoded = RunReduce(ctx, *mod, ExecutionTier::kDecoded);
+  LaunchOutcome native = RunReduce(ctx, *mod, ExecutionTier::kNative);
+
+  EXPECT_EQ(native.exec.served, ExecutionTier::kNative);
+  EXPECT_FALSE(native.exec.native_fallback);
+  EXPECT_TRUE(vgpu::StatsBitIdentical(decoded.stats, native.stats))
+      << "decoded vs native LaunchStats diverged";
+  EXPECT_EQ(decoded.out, native.out);
+
+  native::NativeEngineStats es = engine.stats();
+  EXPECT_EQ(es.builds_started, 1u);
+  EXPECT_EQ(es.builds_completed, 1u);
+  EXPECT_EQ(es.build_failures, 0u);
+  EXPECT_EQ(es.served_launches, 1u);
+  // The artifact landed on disk under the content-addressed name.
+  kcc::ModuleCacheKey key =
+      kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+  EXPECT_TRUE(fs::exists(cache.dir / native::NativeEngine::ArtifactFileName(key)));
+
+  vcuda::TierStats ts = ctx.tier_stats();
+  EXPECT_EQ(ts.launches_native, 1u);
+  EXPECT_EQ(ts.native_fallbacks, 0u);
+}
+
+TEST(NativeTier, ParallelWorkersBitIdentical) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+
+  // Enough blocks for several chunks so the parallel path genuinely shards.
+  LaunchOutcome serial = RunReduce(ctx, *mod, ExecutionTier::kNative, /*blocks=*/32);
+  LaunchOutcome decoded_par = [&] {
+    PolicyGuard g(Parallel4());
+    return RunReduce(ctx, *mod, ExecutionTier::kDecoded, /*blocks=*/32);
+  }();
+  LaunchOutcome native_par = [&] {
+    PolicyGuard g(Parallel4());
+    return RunReduce(ctx, *mod, ExecutionTier::kNative, /*blocks=*/32);
+  }();
+
+  EXPECT_EQ(serial.exec.served, ExecutionTier::kNative);
+  EXPECT_EQ(native_par.exec.served, ExecutionTier::kNative);
+  EXPECT_TRUE(vgpu::StatsBitIdentical(serial.stats, decoded_par.stats));
+  EXPECT_TRUE(vgpu::StatsBitIdentical(serial.stats, native_par.stats));
+  EXPECT_EQ(serial.out, native_par.out);
+}
+
+TEST(NativeTier, AutoServesOnlyAfterEnsureReady) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  kcc::ModuleCacheKey key =
+      kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+
+  // kAuto with nothing built: the launch must not block on a build.
+  LaunchOutcome cold = RunReduce(ctx, *mod, ExecutionTier::kAuto);
+  EXPECT_EQ(cold.exec.served, ExecutionTier::kDecoded);
+  EXPECT_EQ(engine.stats().builds_started, 0u);
+  EXPECT_FALSE(engine.IsReady(key));
+
+  ASSERT_TRUE(engine.EnsureReady(key, mod->compiled()));
+  EXPECT_TRUE(engine.IsReady(key));
+
+  LaunchOutcome warm = RunReduce(ctx, *mod, ExecutionTier::kAuto);
+  EXPECT_EQ(warm.exec.served, ExecutionTier::kNative);
+  EXPECT_TRUE(vgpu::StatsBitIdentical(cold.stats, warm.stats));
+  EXPECT_EQ(cold.out, warm.out);
+}
+
+TEST(NativeTier, SecondEngineServesFromWarmDiskCacheWithZeroRebuilds) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  kcc::ModuleCacheKey key;
+  {
+    native::NativeEngine::Options nopts;
+    nopts.cache_dir = cache.str();
+    native::NativeEngine engine(nopts);
+    vcuda::Context ctx(vgpu::TeslaC1060());
+    ctx.set_native_service(&engine);
+    auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+    key = kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+    ASSERT_TRUE(engine.EnsureReady(key, mod->compiled()));
+    EXPECT_EQ(engine.stats().builds_started, 1u);
+  }
+  // A fresh engine (standing in for a second process) over the same cache
+  // directory: served from disk, no compiler invocation.
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine2(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine2);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  LaunchOutcome r = RunReduce(ctx, *mod, ExecutionTier::kNative);
+  EXPECT_EQ(r.exec.served, ExecutionTier::kNative);
+  native::NativeEngineStats es = engine2.stats();
+  EXPECT_EQ(es.disk_hits, 1u);
+  EXPECT_EQ(es.builds_started, 0u);
+  EXPECT_EQ(es.served_launches, 1u);
+}
+
+TEST(NativeTier, CorruptArtifactDegradesThenRebuilds) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  kcc::ModuleCacheKey key;
+  {
+    native::NativeEngine::Options nopts;
+    nopts.cache_dir = cache.str();
+    native::NativeEngine engine(nopts);
+    vcuda::Context ctx(vgpu::TeslaC1060());
+    ctx.set_native_service(&engine);
+    auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+    key = kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+    ASSERT_TRUE(engine.EnsureReady(key, mod->compiled()));
+  }
+  const fs::path artifact = cache.dir / native::NativeEngine::ArtifactFileName(key);
+  ASSERT_TRUE(fs::exists(artifact));
+
+  // Flip a byte deep in the payload: the checksum catches it.
+  {
+    std::fstream f(artifact, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(artifact) / 2));
+    char c = 0;
+    f.seekg(f.tellp());
+    f.read(&c, 1);
+    f.seekp(-1, std::ios::cur);
+    c = static_cast<char>(c ^ 0x5a);
+    f.write(&c, 1);
+  }
+
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine2(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine2);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+
+  // kAuto: the corrupt artifact is quarantined and the launch quietly runs
+  // decoded — never an error.
+  LaunchOutcome degraded = RunReduce(ctx, *mod, ExecutionTier::kAuto);
+  EXPECT_EQ(degraded.exec.served, ExecutionTier::kDecoded);
+  native::NativeEngineStats es = engine2.stats();
+  EXPECT_EQ(es.corrupt_quarantined, 1u);
+  EXPECT_EQ(es.builds_started, 0u);
+  EXPECT_FALSE(fs::exists(artifact)) << "corrupt artifact must be renamed aside";
+  EXPECT_TRUE(fs::exists(artifact.string() + ".bad"));
+
+  // A forced native launch may build, and the rebuild replaces the artifact.
+  LaunchOutcome forced = RunReduce(ctx, *mod, ExecutionTier::kNative);
+  EXPECT_EQ(forced.exec.served, ExecutionTier::kNative);
+  EXPECT_EQ(engine2.stats().builds_completed, 1u);
+  EXPECT_TRUE(fs::exists(artifact));
+  EXPECT_TRUE(vgpu::StatsBitIdentical(degraded.stats, forced.stats));
+  EXPECT_EQ(degraded.out, forced.out);
+}
+
+TEST(NativeTier, FormatVersionBumpQuarantines) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  kcc::ModuleCacheKey key;
+  {
+    native::NativeEngine::Options nopts;
+    nopts.cache_dir = cache.str();
+    native::NativeEngine engine(nopts);
+    vcuda::Context ctx(vgpu::TeslaC1060());
+    ctx.set_native_service(&engine);
+    auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+    key = kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+    ASSERT_TRUE(engine.EnsureReady(key, mod->compiled()));
+  }
+  const fs::path artifact = cache.dir / native::NativeEngine::ArtifactFileName(key);
+  {
+    // Pretend a future writer produced this file.
+    std::fstream f(artifact, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kcc::kNativeFormatVersionOffset));
+    const std::uint32_t bumped = kcc::kNativeFormatVersion + 1;
+    f.write(reinterpret_cast<const char*>(&bumped), sizeof(bumped));
+  }
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine2(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine2);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  LaunchOutcome r = RunReduce(ctx, *mod, ExecutionTier::kAuto);
+  EXPECT_EQ(r.exec.served, ExecutionTier::kDecoded);
+  EXPECT_EQ(engine2.stats().corrupt_quarantined, 1u);
+  EXPECT_FALSE(fs::exists(artifact));
+}
+
+TEST(NativeTier, HashCollisionArtifactLeftInPlace) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  kcc::ModuleCacheKey key3 =
+      kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+  kcc::ModuleCacheKey key5 =
+      kcc::ModuleCacheKey::Make(kKernel, OptsFor(5), ctx.device().name);
+  {
+    native::NativeEngine::Options nopts;
+    nopts.cache_dir = cache.str();
+    native::NativeEngine engine(nopts);
+    vcuda::Context build_ctx(vgpu::TeslaC1060());
+    build_ctx.set_native_service(&engine);
+    auto mod = build_ctx.LoadModule(kKernel, OptsFor(3));
+    ASSERT_TRUE(engine.EnsureReady(key3, mod->compiled()));
+  }
+  // Plant key3's (valid) artifact under key5's file name — a simulated hash
+  // collision. It is someone else's artifact, not corruption: discarded as a
+  // miss but left on disk.
+  const fs::path planted = cache.dir / native::NativeEngine::ArtifactFileName(key5);
+  fs::copy_file(cache.dir / native::NativeEngine::ArtifactFileName(key3), planted);
+
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine2(nopts);
+  ctx.set_native_service(&engine2);
+  auto mod5 = ctx.LoadModule(kKernel, OptsFor(5));
+  LaunchOutcome r = RunReduce(ctx, *mod5, ExecutionTier::kAuto, 4, 256, /*scale=*/5);
+  EXPECT_EQ(r.exec.served, ExecutionTier::kDecoded);
+  EXPECT_EQ(engine2.stats().stale_discarded, 1u);
+  EXPECT_EQ(engine2.stats().corrupt_quarantined, 0u);
+  EXPECT_TRUE(fs::exists(planted));
+}
+
+TEST(NativeTier, KeylessModuleDegrades) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  native::NativeEngine engine;
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine);
+  auto keyed = ctx.LoadModule(kKernel, OptsFor(3));
+  // A directly constructed Module has no specialization identity; the
+  // content-addressed native tier cannot serve it.
+  vcuda::Module keyless(keyed->compiled_ptr());
+  std::vector<float> in(1024, 0.25f);
+  vcuda::DevPtr d_in = vcuda::Upload<float>(ctx, in);
+  vcuda::DevPtr d_out = ctx.Malloc(4 * 64 * sizeof(float));
+  vcuda::ArgPack args;
+  args.Ptr(d_out).Ptr(d_in).Int(256).Int(3);
+  vcuda::LaunchExecution exec;
+  exec.request = ExecutionTier::kNative;
+  ctx.Launch(keyless, "reduce", vgpu::Dim3(4), vgpu::Dim3(64), args, 0, &exec);
+  EXPECT_EQ(exec.served, ExecutionTier::kDecoded);
+  EXPECT_TRUE(exec.native_fallback);
+  EXPECT_EQ(engine.stats().builds_started, 0u);
+  ctx.Free(d_out);
+  ctx.Free(d_in);
+}
+
+TEST(NativeTier, ArtifactStoreRoundTripWithWriteThrough) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir store_dir("_store");
+  TempCacheDir disk1("_disk1");
+  TempCacheDir disk2("_disk2");
+  netd::ArtifactStore store(store_dir.str());
+  kcc::ModuleCacheKey key;
+  {
+    native::NativeEngine::Options nopts;
+    nopts.cache_dir = disk1.str();
+    nopts.store = &store;
+    native::NativeEngine engine(nopts);
+    vcuda::Context ctx(vgpu::TeslaC1060());
+    ctx.set_native_service(&engine);
+    auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+    key = kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+    ASSERT_TRUE(engine.EnsureReady(key, mod->compiled()));
+    EXPECT_EQ(store.stats().native_publishes, 1u);
+    EXPECT_TRUE(store.ContainsNative(key));
+  }
+  // Engine 2 has a cold private disk cache but shares the store: the artifact
+  // comes from the store and is written through to the local disk tier.
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = disk2.str();
+  nopts.store = &store;
+  native::NativeEngine engine2(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine2);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  LaunchOutcome r = RunReduce(ctx, *mod, ExecutionTier::kNative);
+  EXPECT_EQ(r.exec.served, ExecutionTier::kNative);
+  native::NativeEngineStats es = engine2.stats();
+  EXPECT_EQ(es.store_hits, 1u);
+  EXPECT_EQ(es.disk_hits, 0u);
+  EXPECT_EQ(es.builds_started, 0u);
+  EXPECT_EQ(store.stats().native_hits, 1u);
+  EXPECT_TRUE(fs::exists(disk2.dir / native::NativeEngine::ArtifactFileName(key)));
+}
+
+TEST(NativeTier, BuildExecutorPromotesInBackground) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine(nopts);
+  native::NativeBuildExecutor exec(&engine);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine);
+  ctx.set_async_service(&exec);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  kcc::ModuleCacheKey key =
+      kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+  EXPECT_FALSE(engine.IsReady(key));
+
+  // The compile flight completes, then hands the module to the engine so the
+  // native artifact is ready before any launch forced a build.
+  vcuda::SubmitResult sr = ctx.LoadModuleAsync(kKernel, OptsFor(3));
+  ASSERT_TRUE(sr.future.valid());
+  exec.Drain();
+  EXPECT_TRUE(engine.IsReady(key));
+  EXPECT_EQ(engine.stats().builds_completed, 1u);
+
+  LaunchOutcome r = RunReduce(ctx, *mod, ExecutionTier::kAuto);
+  EXPECT_EQ(r.exec.served, ExecutionTier::kNative);
+}
+
+TEST(NativeTier, RuntimeDeviceTweaksFlowThroughCostConstants) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // The cache key only carries the device *name* — per-launch cost constants
+  // (transaction cycles, bank count, watchdog budget) must reach the SO at
+  // run time, not be baked in at emit time.
+  vgpu::DeviceProfile dev = vgpu::TeslaC1060();
+  dev.cycles_per_global_tx *= 3;
+  dev.shared_access_cost += 2;
+  TempCacheDir cache;
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine(nopts);
+  vcuda::Context ctx(dev);
+  ctx.set_native_service(&engine);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  LaunchOutcome decoded = RunReduce(ctx, *mod, ExecutionTier::kDecoded);
+  LaunchOutcome native = RunReduce(ctx, *mod, ExecutionTier::kNative);
+  ASSERT_EQ(native.exec.served, ExecutionTier::kNative);
+  EXPECT_TRUE(vgpu::StatsBitIdentical(decoded.stats, native.stats));
+  EXPECT_EQ(decoded.out, native.out);
+}
+
+TEST(NativeTier, KernelFaultsKeepInterpreterErrorText) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  constexpr const char* kDivergentBarrier = R"(
+__kernel void bad(float* out) {
+  if (threadIdx.x < 16u) {
+    __syncthreads();
+  }
+  out[threadIdx.x] = 1.0f;
+}
+)";
+  TempCacheDir cache;
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine);
+  auto mod = ctx.LoadModule(kDivergentBarrier);
+  vcuda::DevPtr d_out = ctx.Malloc(32 * sizeof(float));
+  vcuda::ArgPack args;
+  args.Ptr(d_out);
+  auto run = [&](ExecutionTier request) -> std::string {
+    vcuda::LaunchExecution exec;
+    exec.request = request;
+    try {
+      ctx.Launch(*mod, "bad", vgpu::Dim3(1), vgpu::Dim3(32), args, 0, &exec);
+    } catch (const DeviceError& e) {
+      return e.what();
+    }
+    return "<no error>";
+  };
+  const std::string decoded_msg = run(ExecutionTier::kDecoded);
+  const std::string native_msg = run(ExecutionTier::kNative);
+  EXPECT_NE(decoded_msg, "<no error>");
+  EXPECT_EQ(decoded_msg, native_msg)
+      << "a native-tier kernel fault must raise the interpreter's exact text";
+  ctx.Free(d_out);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tier identity over the four applications: decoded-serial,
+// decoded-parallel(4) and native runs of the same problem must agree on every
+// LaunchStats bit and every output element.
+// ---------------------------------------------------------------------------
+
+struct AppRun {
+  vgpu::LaunchStats stats;
+  std::vector<float> out;
+  std::size_t native_launches = 0;
+};
+
+template <typename Fn>
+void ExpectCrossTierIdentity(Fn run_app) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine(nopts);
+
+  AppRun serial = run_app(nullptr, ExecutionTier::kAuto);
+  AppRun parallel = [&] {
+    PolicyGuard g(Parallel4());
+    return run_app(nullptr, ExecutionTier::kAuto);
+  }();
+  AppRun nat = [&] {
+    TierGuard g(ExecutionTier::kNative);
+    return run_app(&engine, ExecutionTier::kNative);
+  }();
+
+  EXPECT_TRUE(vgpu::StatsBitIdentical(serial.stats, parallel.stats))
+      << "decoded-serial vs decoded-parallel stats diverged";
+  EXPECT_TRUE(vgpu::StatsBitIdentical(serial.stats, nat.stats))
+      << "decoded vs native stats diverged";
+  EXPECT_EQ(serial.out, parallel.out);
+  EXPECT_EQ(serial.out, nat.out);
+  EXPECT_GT(nat.native_launches, 0u) << "the native run never hit the native tier";
+  EXPECT_EQ(engine.stats().build_failures, 0u);
+}
+
+AppRun WithContext(native::NativeEngine* engine,
+                   const std::function<AppRun(vcuda::Context&)>& body) {
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  if (engine) ctx.set_native_service(engine);
+  AppRun r = body(ctx);
+  r.native_launches = ctx.tier_stats().launches_native;
+  return r;
+}
+
+TEST(NativeTierApps, RowFilter) {
+  ExpectCrossTierIdentity([](native::NativeEngine* engine, ExecutionTier) {
+    return WithContext(engine, [](vcuda::Context& ctx) {
+      apps::rowfilter::Image img = apps::rowfilter::MakeTestImage(64, 24, 42);
+      apps::rowfilter::FilterSpec spec = apps::rowfilter::BinomialFilter(7);
+      apps::rowfilter::RowFilterConfig cfg;
+      auto res = apps::rowfilter::GpuRowFilter(ctx, img, spec, cfg);
+      return AppRun{res.stats, std::move(res.out)};
+    });
+  });
+}
+
+TEST(NativeTierApps, Piv) {
+  ExpectCrossTierIdentity([](native::NativeEngine* engine, ExecutionTier) {
+    return WithContext(engine, [](vcuda::Context& ctx) {
+      apps::piv::Problem p = apps::piv::Generate("native", 48, 8, 2, 8, 99);
+      apps::piv::PivConfig cfg;
+      auto res = apps::piv::GpuPiv(ctx, p, cfg);
+      std::vector<float> out;
+      for (std::size_t i = 0; i < res.field.best_offset.size(); ++i) {
+        out.push_back(static_cast<float>(res.field.best_offset[i]));
+        out.push_back(res.field.best_score[i]);
+      }
+      return AppRun{res.stats, std::move(out)};
+    });
+  });
+}
+
+TEST(NativeTierApps, Matching) {
+  ExpectCrossTierIdentity([](native::NativeEngine* engine, ExecutionTier) {
+    return WithContext(engine, [](vcuda::Context& ctx) {
+      apps::matching::Problem p = apps::matching::Generate("native", 12, 10, 6, 8, 77);
+      apps::matching::MatcherConfig cfg;
+      auto res = apps::matching::GpuMatch(ctx, p, cfg);
+      std::vector<float> out = std::move(res.scores);
+      out.push_back(static_cast<float>(res.best_idx));
+      out.push_back(res.best_score);
+      // Multi-stage pipeline: fold every stage's stats bit-relevant counters
+      // through the last stage's record; stage-level identity is implied by
+      // identical outputs + the final stage stats below.
+      vgpu::LaunchStats last{};
+      if (!res.breakdown.stages.empty()) last = res.breakdown.stages.back().launch;
+      return AppRun{last, std::move(out)};
+    });
+  });
+}
+
+TEST(NativeTierApps, Backproj) {
+  ExpectCrossTierIdentity([](native::NativeEngine* engine, ExecutionTier) {
+    return WithContext(engine, [](vcuda::Context& ctx) {
+      apps::backproj::Geometry g;
+      g.vol_n = 12;
+      g.vol_z = 8;
+      g.det_u = 24;
+      g.det_v = 16;
+      g.n_angles = 8;
+      apps::backproj::Problem p = apps::backproj::Generate("native", g, 2, 77);
+      apps::backproj::BackprojConfig cfg;
+      cfg.use_texture = true;  // exercise the texture path on the native tier
+      auto res = apps::backproj::GpuBackproject(ctx, p, cfg);
+      return AppRun{res.stats, std::move(res.volume)};
+    });
+  });
+}
+
+}  // namespace
+}  // namespace kspec

@@ -39,6 +39,7 @@
 #include "serve/compile_executor.hpp"
 #include "support/serialize.hpp"
 #include "support/status.hpp"
+#include "support/temp_dir.hpp"
 #include "vcuda/tiered.hpp"
 #include "vcuda/vcuda.hpp"
 #include "vgpu/device.hpp"
@@ -108,21 +109,11 @@ float RunOnce(vcuda::Context& ctx, vcuda::Module& mod, int n) {
 }
 
 // A unique scratch directory (store dirs, daemon sockets), removed on scope
-// exit. Lives under /tmp so the AF_UNIX socket path stays well inside
-// sockaddr_un's ~108-byte limit regardless of the build tree's depth.
-struct ScratchDir {
-  std::string path;
-  ScratchDir() {
-    char tmpl[] = "/tmp/kspec_netd_XXXXXX";
-    const char* made = ::mkdtemp(tmpl);
-    EXPECT_NE(made, nullptr);
-    path = made != nullptr ? made : "/tmp/kspec_netd_fallback";
-  }
-  ~ScratchDir() {
-    std::error_code ec;
-    fs::remove_all(path, ec);
-  }
-  std::string File(const std::string& name) const { return path + "/" + name; }
+// exit. ScopedTempDir roots under /tmp (or TMPDIR) so the AF_UNIX socket path
+// stays well inside sockaddr_un's ~108-byte limit regardless of the build
+// tree's depth.
+struct ScratchDir : ScopedTempDir {
+  ScratchDir() : ScopedTempDir("kspec_netd_") { EXPECT_TRUE(valid()); }
 };
 
 std::vector<std::uint8_t> ReadAll(const std::string& path) {

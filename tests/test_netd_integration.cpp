@@ -20,25 +20,17 @@
 #include <thread>
 
 #include "netd/protocol.hpp"
+#include "support/temp_dir.hpp"
 
 namespace kspec {
 namespace {
 
 namespace fs = std::filesystem;
 
-struct ScratchDir {
-  std::string path;
-  ScratchDir() {
-    char tmpl[] = "/tmp/kspec_it_XXXXXX";
-    const char* made = ::mkdtemp(tmpl);
-    EXPECT_NE(made, nullptr);
-    path = made != nullptr ? made : "/tmp/kspec_it_fallback";
-  }
-  ~ScratchDir() {
-    std::error_code ec;
-    fs::remove_all(path, ec);
-  }
-  std::string File(const std::string& name) const { return path + "/" + name; }
+// Scratch directory; ScopedTempDir roots under /tmp (or TMPDIR) so the
+// daemon's AF_UNIX socket path stays short.
+struct ScratchDir : ScopedTempDir {
+  ScratchDir() : ScopedTempDir("kspec_it_") { EXPECT_TRUE(valid()); }
 };
 
 std::string ReadFile(const std::string& path) {

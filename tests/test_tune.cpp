@@ -19,6 +19,7 @@
 #include "apps/matching/tune.hpp"
 #include "apps/piv/tune.hpp"
 #include "launch/stage_runner.hpp"
+#include "support/temp_dir.hpp"
 #include "tune/prepass.hpp"
 #include "tune/tuner.hpp"
 #include "vcuda/tiered.hpp"
@@ -34,17 +35,8 @@ using tune::ParamRange;
 using tune::TuneResult;
 
 // A scratch directory, fresh per test, removed on destruction.
-struct TempDir {
-  TempDir() {
-    dir = fs::temp_directory_path() /
-          ("kspec_tune_test_" + std::to_string(::getpid()) + "_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name());
-    fs::remove_all(dir);
-    fs::create_directories(dir);
-  }
-  ~TempDir() { fs::remove_all(dir); }
-  std::string File(const std::string& name) const { return (dir / name).string(); }
-  fs::path dir;
+struct TempDir : ScopedTempDir {
+  TempDir() : ScopedTempDir("kspec_tune_test_") { EXPECT_TRUE(valid()); }
 };
 
 // log(cost) is smooth, separable, and quadratic in log2 of each parameter —

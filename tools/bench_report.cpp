@@ -15,6 +15,7 @@
 // With --append, sessions already in the output file are kept and the new
 // inputs are folded onto the end (e.g. growing BENCH_tune.json across PRs);
 // a missing or empty output file appends onto nothing.
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -82,7 +83,58 @@ std::string DefaultOutPath(const std::string& bench) {
   if (bench == "bench_fleet") return "BENCH_fleet.json";
   if (bench == "bench_netd") return "BENCH_netd.json";
   if (bench == "bench_autotune") return "BENCH_tune.json";
+  if (bench == "bench_native") return "BENCH_native.json";
   return "BENCH_interp.json";
+}
+
+// Light field scans over one record object ({"name": ..., "wall_ms": ...}).
+// The records are machine-written by bench::Session, so a flat find is
+// reliable; absent fields return the fallback.
+std::string StringField(const std::string& body, const std::string& field,
+                        const std::string& fallback = "") {
+  const std::string tag = "\"" + field + "\"";
+  std::size_t pos = body.find(tag);
+  if (pos == std::string::npos) return fallback;
+  pos = body.find('"', body.find(':', pos + tag.size()));
+  if (pos == std::string::npos) return fallback;
+  const std::size_t end = body.find('"', pos + 1);
+  if (end == std::string::npos) return fallback;
+  return body.substr(pos + 1, end - pos - 1);
+}
+
+std::string NumberField(const std::string& body, const std::string& field) {
+  const std::string tag = "\"" + field + "\"";
+  std::size_t pos = body.find(tag);
+  if (pos == std::string::npos) return "";
+  pos = body.find(':', pos + tag.size());
+  if (pos == std::string::npos) return "";
+  ++pos;
+  while (pos < body.size() && body[pos] == ' ') ++pos;
+  std::size_t end = pos;
+  while (end < body.size() && body[end] != ',' && body[end] != '}') ++end;
+  return body.substr(pos, end - pos);
+}
+
+// Prints one line per record of every session: bench, record name, the tier
+// that served (when the bench reports one), wall milliseconds, and speedup.
+void PrintSummary(const std::vector<std::string>& bodies) {
+  std::printf("  %-16s %-24s %-8s %12s %9s\n", "bench", "record", "tier", "wall_ms",
+              "speedup");
+  for (const std::string& session : bodies) {
+    const std::string bench = BenchName(session);
+    std::vector<std::string> records;
+    const std::size_t recs = session.find("\"records\"");
+    if (recs == std::string::npos) continue;
+    if (!ExistingSessions(session.substr(recs), &records)) continue;
+    for (const std::string& r : records) {
+      const std::string tier = StringField(r, "tier", "-");
+      const std::string wall = NumberField(r, "wall_ms");
+      const std::string speedup = NumberField(r, "speedup");
+      std::printf("  %-16s %-24s %-8s %12s %9s\n", bench.c_str(),
+                  StringField(r, "name").c_str(), tier.c_str(), wall.c_str(),
+                  speedup.c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -154,5 +206,6 @@ int main(int argc, char** argv) {
   }
   out << "]\n}\n";
   std::cout << "bench_report: wrote " << out_path << " (" << bodies.size() << " sessions)\n";
+  PrintSummary(bodies);
   return 0;
 }

@@ -21,6 +21,10 @@
 #include "kcc/compiler.hpp"
 #include "kcc/preprocess.hpp"
 #include "kcc/serialize.hpp"
+#include "native/build.hpp"
+#include "native/build_executor.hpp"
+#include "native/engine.hpp"
+#include "netd/artifact_store.hpp"
 #include "netd/daemon.hpp"
 #include "netd/protocol.hpp"
 #include "netd/remote_service.hpp"
@@ -52,6 +56,11 @@ void Usage() {
       "                    on the common -D flags; '#' starts a comment. Implies\n"
       "                    batch mode. With --cache-dir this precompiles every\n"
       "                    set's artifact for later processes.\n"
+      "  --tier NAME       execution tier to prepare artifacts for: auto (default),\n"
+      "                    interp, decoded, or native. With native, compiles also\n"
+      "                    build the specialized shared object (.nso beside .kmod in\n"
+      "                    --cache-dir / --store) so later launches start native;\n"
+      "                    a 'native:' counter line is appended to the report\n"
       "  --dump-miniptx    print each kernel's MiniPTX listing\n"
       "  --dump-preprocessed  print the post-preprocessor source and exit\n"
       "\n"
@@ -84,16 +93,52 @@ struct NetOptions {
   std::string tenant;
 };
 
+// The native-tier counter line, shaped like the netd: line so batch reports
+// stay one-glance parsable across service kinds.
+void PrintNativeReport(const kspec::native::NativeEngine& engine) {
+  const kspec::native::NativeEngineStats ns = engine.stats();
+  std::cout << kspec::Format(
+      "native: builds-started=%llu completed=%llu failures=%llu served=%llu "
+      "fallbacks=%llu disk-hits=%llu store-hits=%llu\n",
+      static_cast<unsigned long long>(ns.builds_started),
+      static_cast<unsigned long long>(ns.builds_completed),
+      static_cast<unsigned long long>(ns.build_failures),
+      static_cast<unsigned long long>(ns.served_launches),
+      static_cast<unsigned long long>(ns.fallbacks),
+      static_cast<unsigned long long>(ns.disk_hits),
+      static_cast<unsigned long long>(ns.store_hits));
+}
+
 // Batch mode: precompile every -D set through the async service — the local
 // CompileExecutor, or (with --connect/--store) the RemoteCompileService
 // fetching from the daemon and the shared store — sharing one Context (so
-// its in-memory and disk cache tiers dedupe across sets).
+// its in-memory and disk cache tiers dedupe across sets). With --tier native
+// the flights also make each set's specialized shared object ready, so this
+// is the fleet's native warm-up tool.
 int RunBatch(const std::string& source, const std::vector<kspec::kcc::CompileOptions>& sets,
              const kspec::vgpu::DeviceProfile& dev, const std::string& cache_dir, int jobs,
-             const NetOptions& net) {
+             const NetOptions& net, kspec::vgpu::ExecutionTier tier) {
   using namespace kspec;
   vcuda::Context ctx(dev);
   if (!cache_dir.empty()) ctx.set_cache_dir(cache_dir);
+
+  std::unique_ptr<netd::ArtifactStore> native_store;
+  std::unique_ptr<native::NativeEngine> engine;
+  if (tier == vgpu::ExecutionTier::kNative) {
+    if (!native::ToolchainAvailable()) {
+      std::cerr << "kccc: --tier native: no usable host C++ compiler; "
+                   "building decoded artifacts only\n";
+    } else {
+      native::NativeEngine::Options nopts;
+      nopts.cache_dir = cache_dir;
+      if (!net.store.empty()) {
+        native_store = std::make_unique<netd::ArtifactStore>(net.store);
+        nopts.store = native_store.get();
+      }
+      engine = std::make_unique<native::NativeEngine>(nopts);
+      ctx.set_native_service(engine.get());
+    }
+  }
 
   std::unique_ptr<serve::CompileExecutor> executor;
   netd::RemoteCompileService* remote = nullptr;
@@ -107,6 +152,11 @@ int RunBatch(const std::string& source, const std::vector<kspec::kcc::CompileOpt
     auto svc = std::make_unique<netd::RemoteCompileService>(ro);
     remote = svc.get();
     executor = std::move(svc);
+  } else if (engine) {
+    serve::ExecutorOptions ex_opts;
+    ex_opts.workers = jobs;
+    ex_opts.max_queue = sets.size() + 16;
+    executor = std::make_unique<native::NativeBuildExecutor>(engine.get(), ex_opts);
   } else {
     serve::ExecutorOptions ex_opts;
     ex_opts.workers = jobs;
@@ -122,6 +172,7 @@ int RunBatch(const std::string& source, const std::vector<kspec::kcc::CompileOpt
   }
 
   int failures = 0;
+  std::vector<std::shared_ptr<vcuda::Module>> mods;
   for (std::size_t i = 0; i < sets.size(); ++i) {
     std::string defines = kcc::DefinesToString(sets[i].defines);
     if (defines.empty()) defines = "(no defines)";
@@ -134,12 +185,20 @@ int RunBatch(const std::string& source, const std::vector<kspec::kcc::CompileOpt
       auto mod = results[i].future.get();
       std::cout << Format("set %-3zu ok        %-48s kernels=%zu\n", i, defines.c_str(),
                           mod->compiled().kernels.size());
+      mods.push_back(std::move(mod));
     } catch (const std::exception& e) {
       std::cout << Format("set %-3zu FAILED    %s: %s\n", i, defines.c_str(), e.what());
       ++failures;
     }
   }
   executor->Drain();
+  // Remote flights compile through the daemon, not NativeBuildExecutor —
+  // promote their artifacts here instead.
+  if (engine && remote != nullptr) {
+    for (const auto& mod : mods) {
+      if (mod->cache_key()) engine->EnsureReady(*mod->cache_key(), mod->compiled());
+    }
+  }
   std::cout << serve::RenderServiceReport(executor->stats(), ctx.cache_stats());
   if (remote != nullptr) {
     const netd::RemoteStats rs = remote->remote_stats();
@@ -151,7 +210,9 @@ int RunBatch(const std::string& source, const std::vector<kspec::kcc::CompileOpt
                         static_cast<unsigned long long>(rs.rpc_errors),
                         static_cast<unsigned long long>(rs.local_fallbacks));
   }
+  if (engine) PrintNativeReport(*engine);
   ctx.set_async_service(nullptr);
+  ctx.set_native_service(nullptr);
   return failures ? 1 : 0;
 }
 
@@ -226,6 +287,7 @@ int main(int argc, char** argv) {
   bool dump_miniptx = false;
   bool dump_preprocessed = false;
   NetOptions net;
+  vgpu::ExecutionTier tier = vgpu::ExecutionTier::kAuto;
   bool daemon_mode = false;
   bool stats_mode = false;
   bool stop_mode = false;
@@ -260,6 +322,12 @@ int main(int argc, char** argv) {
       block = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (arg == "--cache-dir" && i + 1 < argc) {
       cache_dir = argv[++i];
+    } else if (arg == "--tier" && i + 1 < argc) {
+      if (!vgpu::ParseTier(argv[++i], &tier)) {
+        std::cerr << "kccc: unknown tier " << argv[i]
+                  << " (expected auto, interp, decoded, or native)\n";
+        return 2;
+      }
     } else if (arg == "--max-unroll" && i + 1 < argc) {
       opts.max_unroll = std::stoi(argv[++i]);
     } else if (arg == "--no-opt") {
@@ -345,7 +413,7 @@ int main(int argc, char** argv) {
       std::cout << "kccc: " << path << " — batch of " << sets.size() << " set(s), " << jobs
                 << " worker(s)" << (cache_dir.empty() ? "" : ", cache-dir " + cache_dir)
                 << (net.connect.empty() ? "" : ", via " + net.connect) << "\n";
-      return RunBatch(source, sets, dev, cache_dir, jobs, net);
+      return RunBatch(source, sets, dev, cache_dir, jobs, net, tier);
     }
 
     kcc::CompiledModule mod;
@@ -413,6 +481,24 @@ int main(int argc, char** argv) {
           dev.name.c_str(), block, occ.occupancy * 100.0, occ.active_warps, occ.blocks_per_sm,
           occ.limiter);
       if (dump_miniptx) std::cout << k.listing << "\n";
+    }
+    // --tier native: also make this specialization's shared object ready, so
+    // a later process pointed at the same --cache-dir launches native from
+    // the first call. A warm .nso reports as a disk hit with zero builds.
+    if (tier == vgpu::ExecutionTier::kNative) {
+      if (!native::ToolchainAvailable()) {
+        std::cerr << "kccc: --tier native: no usable host C++ compiler; "
+                     "decoded artifact only\n";
+      } else {
+        native::NativeEngine::Options nopts;
+        nopts.cache_dir = cache_dir;
+        native::NativeEngine engine(nopts);
+        const kcc::ModuleCacheKey key = kcc::ModuleCacheKey::Make(source, opts, dev.name);
+        if (!engine.EnsureReady(key, mod)) {
+          std::cerr << "kccc: native artifact build failed\n";
+        }
+        PrintNativeReport(engine);
+      }
     }
     return 0;
   } catch (const Error& e) {
