@@ -40,8 +40,10 @@ struct BenchRecord {
 //   --reps N        timed repetitions for TimeMs (default 3)
 //   --warmup N      untimed warmup runs for TimeMs (default 1)
 //
-// Records accumulate via Record(); the destructor appends a "<bench>/total"
-// row with the session's own wall time and writes the JSON file (if asked).
+// Records accumulate via Record(); the destructor writes the JSON file (if
+// asked). Only explicitly recorded rows are emitted — the session's own wall
+// time is process overhead (compiles, warmups, table printing), not a
+// measurement, and would read as a bogus datapoint next to real rows.
 // The ASCII tables benches print are unaffected — the JSON is an additional,
 // machine-readable channel for tools/bench_report.
 class Session {
@@ -67,7 +69,6 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   ~Session() {
-    Record(bench_ + "/total", timer_.ElapsedMillis());
     if (json_path_.empty()) return;
     std::ofstream out(json_path_);
     if (!out) {
@@ -121,7 +122,6 @@ class Session {
   std::string json_path_;
   int reps_ = 3;
   int warmup_ = 1;
-  WallTimer timer_;
   std::vector<BenchRecord> records_;
 };
 

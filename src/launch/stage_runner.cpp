@@ -80,7 +80,10 @@ vgpu::LaunchStats StageRunner::Launch(const std::string& stage, const vcuda::Mod
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
   switch (exec.served) {
     case vgpu::ExecutionTier::kInterp: ++breakdown_.launches_interp; break;
-    case vgpu::ExecutionTier::kNative: ++breakdown_.launches_native; break;
+    case vgpu::ExecutionTier::kNative:
+      ++breakdown_.launches_native;
+      if (exec.native_shape) ++breakdown_.launches_native_shape;
+      break;
     default: ++breakdown_.launches_decoded; break;
   }
   if (exec.native_fallback) ++breakdown_.native_fallbacks;

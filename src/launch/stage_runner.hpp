@@ -61,6 +61,9 @@ struct LaunchBreakdown {
   std::size_t launches_interp = 0;
   std::size_t launches_decoded = 0;
   std::size_t launches_native = 0;
+  // Of launches_native, served by a shape-specialized variant (the rest ran
+  // the module's shape-generic artifact).
+  std::size_t launches_native_shape = 0;
   std::size_t native_fallbacks = 0;  // native requested, decoded served
   std::vector<StageRecord> stages;
 

@@ -17,7 +17,11 @@
 
 namespace kspec::native {
 
-inline constexpr int kNativeAbiVersion = 1;
+// Version 2: ALU-family prelude helpers take the active mask by value and
+// shape-specialized variants exist (KSPEC_SHAPE). The host-facing structs are
+// unchanged, but emitted TUs and cached artifacts from version 1 predate the
+// shape-variant dispatch contract, so they are invalidated wholesale.
+inline constexpr int kNativeAbiVersion = 2;
 
 // Mirrors vgpu::BlockStats field-for-field; the engine copies it across.
 struct KspecNativeStats {

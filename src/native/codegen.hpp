@@ -20,16 +20,24 @@
 // The emitted unit embeds the ModuleCacheKey canonical text (served back via
 // kspec_native_build_key) so a loaded artifact can be verified against the
 // key that names it.
+//
+// With a ShapeSpec the unit is shape-specialized: launch dimensions become
+// compile-time constants, each kernel gets a full-warp body (driven by the
+// mask-constant-propagation pass in maskprop.hpp) plus a boundary-warp body,
+// and the exported run_block refuses launches whose shape does not match.
 #pragma once
 
 #include <string>
 
 #include "kcc/compiler.hpp"
+#include "native/shape.hpp"
 
 namespace kspec::native {
 
 // Full translation-unit text for `mod`, tagged with the key's canonical text.
+// Pass `shape` to emit a shape-specialized variant (see file comment).
 std::string EmitModuleSource(const kcc::CompiledModule& mod,
-                             const std::string& key_canonical_text);
+                             const std::string& key_canonical_text,
+                             const ShapeSpec* shape = nullptr);
 
 }  // namespace kspec::native

@@ -125,11 +125,32 @@ struct FailCtx {
 }  // namespace
 
 struct NativeEngine::LoadedModule {
-  // Never dlclosed once any kernel ran: the SO holds thread_local state whose
-  // destructors would run after the handle is gone.
+  // Generic TUs are never dlclosed once any kernel ran: they hold
+  // thread_local state whose destructors would run after the handle is gone.
+  // Shape-variant TUs are emitted without thread_local state precisely so
+  // closeable can be true and LRU eviction can really unload them.
   void* handle = nullptr;
+  bool closeable = false;
   RunBlockFn run_block = nullptr;
   std::map<std::string, unsigned> kernels;  // name -> export index
+
+  ~LoadedModule() {
+    if (handle != nullptr && closeable) ::dlclose(handle);
+  }
+};
+
+struct NativeEngine::VariantSlot {
+  enum State {
+    kUnknown,   // never probed (or evicted; the disk artifact may remain)
+    kMissing,   // probed load-only: nothing servable, a build may fix it
+    kBuilding,  // one thread (eager launch or promoter) owns the ladder
+    kReady,
+    kFailed,    // build failed; sticky for the life of the process
+  } state = kUnknown;
+  std::shared_ptr<LoadedModule> loaded;
+  std::uint64_t heat = 0;       // launches observed for this (module, shape)
+  std::uint64_t last_used = 0;  // LRU tick of the last serve
+  bool promote_queued = false;  // a background promotion is queued/running
 };
 
 struct NativeEngine::Entry {
@@ -143,6 +164,17 @@ struct NativeEngine::Entry {
     kFailed,    // build failed; sticky for the life of the process
   } state = kUnknown;
   std::shared_ptr<LoadedModule> loaded;
+  // Shape-specialized variants by shape canonical text, bounded by
+  // Options::max_shape_variants. Guarded by mu like everything else here.
+  std::map<std::string, VariantSlot> variants;
+};
+
+struct NativeEngine::PromoteJob {
+  std::shared_ptr<Entry> entry;
+  kcc::ModuleCacheKey key;
+  std::shared_ptr<const kcc::CompiledModule> mod;
+  ShapeSpec shape;
+  std::string shape_text;
 };
 
 NativeEngine::NativeEngine() : NativeEngine(Options{}) {}
@@ -150,10 +182,31 @@ NativeEngine::NativeEngine() : NativeEngine(Options{}) {}
 NativeEngine::NativeEngine(Options opts)
     : opts_(std::move(opts)), scratch_("kspec-native-so") {}
 
-NativeEngine::~NativeEngine() = default;
+NativeEngine::~NativeEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    promo_shutdown_ = true;
+  }
+  promo_cv_.notify_all();
+  if (promoter_.joinable()) promoter_.join();
+}
 
 std::string NativeEngine::ArtifactFileName(const kcc::ModuleCacheKey& key) {
   return Format("k%016llx.nso", static_cast<unsigned long long>(key.Hash()));
+}
+
+std::string NativeEngine::VariantFileName(const kcc::ModuleCacheKey& key,
+                                          const ShapeSpec& shape) {
+  return Format("k%016llx_s%016llx.nso", static_cast<unsigned long long>(key.Hash()),
+                static_cast<unsigned long long>(shape.Hash()));
+}
+
+std::string NativeEngine::VariantKeyText(const kcc::ModuleCacheKey& key,
+                                         const ShapeSpec& shape) {
+  // The module canonical text is length-prefixed binary, so appending a
+  // suffix cannot collide with any other module's bare text — and no generic
+  // artifact ever embeds a text with this suffix.
+  return key.CanonicalText() + "\n" + shape.CanonicalText();
 }
 
 NativeEngineStats NativeEngine::stats() const {
@@ -232,8 +285,8 @@ std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::Resolve(const kcc::Mod
 }
 
 std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::TryLoadEnvelope(
-    const std::vector<std::uint8_t>& envelope, const kcc::ModuleCacheKey& key,
-    const std::string& quarantine_path) {
+    const std::vector<std::uint8_t>& envelope, const std::string& expect_key_text,
+    const std::string& quarantine_path, bool closeable) {
   std::string key_text;
   std::vector<std::uint8_t> so_bytes;
   try {
@@ -244,25 +297,24 @@ std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::TryLoadEnvelope(
     ++stats_.corrupt_quarantined;
     return nullptr;
   }
-  if (key_text != key.CanonicalText()) {
+  if (key_text != expect_key_text) {
     // Hash collision: the artifact belongs to a different key. Leave it in
     // place for its own key; this launch degrades.
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.stale_discarded;
     return nullptr;
   }
-  return OpenSharedObject(so_bytes, key, quarantine_path);
+  return OpenSharedObject(so_bytes, expect_key_text, quarantine_path, closeable);
 }
 
 std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::OpenSharedObject(
-    const std::vector<std::uint8_t>& so_bytes, const kcc::ModuleCacheKey& key,
-    const std::string& origin) {
+    const std::vector<std::uint8_t>& so_bytes, const std::string& expect_key_text,
+    const std::string& origin, bool closeable) {
   std::string path;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!scratch_.valid()) return nullptr;
-    path = scratch_.File(Format("k%016llx_%llu.so",
-                                static_cast<unsigned long long>(key.Hash()),
+    path = scratch_.File(Format("so_%llu.so",
                                 static_cast<unsigned long long>(scratch_seq_++)));
   }
   if (!WriteFileAtomic(path, so_bytes)) return nullptr;
@@ -280,11 +332,11 @@ std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::OpenSharedObject(
   // (pointer, size), never strlen.
   if (!abi || !build_key || !build_key_size || !count || !name || !run ||
       abi() != kNativeAbiVersion ||
-      key.CanonicalText() !=
+      expect_key_text !=
           std::string_view(build_key(), static_cast<std::size_t>(build_key_size()))) {
     // Stale or foreign SO (older codegen, bumped ABI). Nothing stateful ran
-    // yet, so this is the one place dlclose is safe. An on-disk original is
-    // quarantined so the rebuild replaces it.
+    // yet, so dlclose is safe here even for a non-closeable module. An
+    // on-disk original is quarantined so the rebuild replaces it.
     ::dlclose(handle);
     if (!origin.empty()) QuarantineFile(origin);
     std::lock_guard<std::mutex> lk(mu_);
@@ -294,6 +346,7 @@ std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::OpenSharedObject(
 
   auto lm = std::make_shared<LoadedModule>();
   lm->handle = handle;
+  lm->closeable = closeable;
   lm->run_block = run;
   const unsigned n = count();
   for (unsigned i = 0; i < n; ++i) lm->kernels[name(i)] = i;
@@ -308,7 +361,8 @@ std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::LoadOrBuild(
     disk_path = (fs::path(opts_.cache_dir) / ArtifactFileName(key)).string();
     std::vector<std::uint8_t> envelope;
     if (ReadFileBytes(disk_path, &envelope)) {
-      if (auto lm = TryLoadEnvelope(envelope, key, disk_path)) {
+      if (auto lm = TryLoadEnvelope(envelope, key.CanonicalText(), disk_path,
+                                    /*closeable=*/false)) {
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.disk_hits;
         return lm;
@@ -320,7 +374,8 @@ std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::LoadOrBuild(
   if (opts_.store) {
     std::vector<std::uint8_t> envelope;
     if (opts_.store->LoadNativeBytes(key, &envelope)) {
-      if (auto lm = TryLoadEnvelope(envelope, key, /*quarantine_path=*/"")) {
+      if (auto lm = TryLoadEnvelope(envelope, key.CanonicalText(), /*quarantine_path=*/"",
+                                    /*closeable=*/false)) {
         if (!disk_path.empty()) WriteFileAtomic(disk_path, envelope);
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.store_hits;
@@ -343,7 +398,8 @@ std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::LoadOrBuild(
     ++stats_.build_failures;
     return nullptr;
   }
-  auto lm = OpenSharedObject(so_bytes, key, /*origin=*/"");
+  auto lm = OpenSharedObject(so_bytes, key.CanonicalText(), /*origin=*/"",
+                             /*closeable=*/false);
   if (!lm) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.build_failures;
@@ -359,15 +415,285 @@ std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::LoadOrBuild(
   return lm;
 }
 
+std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::LoadOrBuildVariant(
+    const kcc::ModuleCacheKey& key, const kcc::CompiledModule* mod, const ShapeSpec& shape,
+    bool may_build) {
+  const std::string key_text = VariantKeyText(key, shape);
+  const std::string file_name = VariantFileName(key, shape);
+
+  // 1. Disk tier.
+  std::string disk_path;
+  if (!opts_.cache_dir.empty()) {
+    disk_path = (fs::path(opts_.cache_dir) / file_name).string();
+    std::vector<std::uint8_t> envelope;
+    if (ReadFileBytes(disk_path, &envelope)) {
+      if (auto lm = TryLoadEnvelope(envelope, key_text, disk_path, /*closeable=*/true)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.shape_disk_hits;
+        return lm;
+      }
+    }
+  }
+
+  // 2. Shared store tier (write through to the disk tier on a hit).
+  if (opts_.store) {
+    std::vector<std::uint8_t> envelope;
+    if (opts_.store->LoadNativeBytesNamed(file_name, key_text, &envelope)) {
+      if (auto lm = TryLoadEnvelope(envelope, key_text, /*quarantine_path=*/"",
+                                    /*closeable=*/true)) {
+        if (!disk_path.empty()) WriteFileAtomic(disk_path, envelope);
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.shape_store_hits;
+        return lm;
+      }
+    }
+  }
+
+  // 3. Build.
+  if (!may_build || mod == nullptr || !ToolchainAvailable()) return nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.shape_builds_started;
+  }
+  const std::string source = EmitModuleSource(*mod, key_text, &shape);
+  std::string error;
+  const std::vector<std::uint8_t> so_bytes = CompileSharedObject(source, &error);
+  if (so_bytes.empty()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.shape_build_failures;
+    return nullptr;
+  }
+  auto lm = OpenSharedObject(so_bytes, key_text, /*origin=*/"", /*closeable=*/true);
+  if (!lm) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.shape_build_failures;
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.shape_builds_completed;
+  }
+  const std::vector<std::uint8_t> envelope = kcc::SerializeNative(so_bytes, key_text);
+  if (!disk_path.empty()) WriteFileAtomic(disk_path, envelope);
+  if (opts_.store) opts_.store->PublishNativeBytesNamed(file_name, key_text, envelope);
+  return lm;
+}
+
+std::shared_ptr<NativeEngine::LoadedModule> NativeEngine::ResolveVariant(
+    const kcc::ModuleCacheKey& key, std::shared_ptr<const kcc::CompiledModule> mod,
+    const ShapeSpec& shape, vgpu::ShapeMode mode) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::shared_ptr<Entry>& slot = entries_[key.CanonicalText()];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  const std::string shape_text = shape.CanonicalText();
+
+  bool want_promote = false;
+  std::unique_lock<std::mutex> lk(entry->mu);
+  VariantSlot& slot = entry->variants[shape_text];
+  ++slot.heat;
+  for (;;) {
+    switch (slot.state) {
+      case VariantSlot::kReady:
+        slot.last_used = ++lru_tick_;
+        return slot.loaded;
+      case VariantSlot::kFailed:
+        return nullptr;
+      case VariantSlot::kBuilding:
+        // Eager launches wait for the variant (mirroring how forced generic
+        // launches wait on a build); kAuto never blocks — the generic
+        // artifact serves this launch.
+        if (mode != vgpu::ShapeMode::kEager) return nullptr;
+        entry->cv.wait(lk);
+        continue;
+      case VariantSlot::kUnknown:
+      case VariantSlot::kMissing:
+        break;
+    }
+    break;
+  }
+
+  const bool may_build = mode == vgpu::ShapeMode::kEager && mod != nullptr;
+  if (slot.state == VariantSlot::kMissing && !may_build) {
+    // The load-only ladder already came up empty. Queue a background
+    // promotion once the pair is hot; this launch runs on the generic TU.
+    if (mode == vgpu::ShapeMode::kAuto && mod != nullptr && !slot.promote_queued &&
+        slot.heat >= opts_.shape_hot_threshold && ToolchainAvailable()) {
+      slot.promote_queued = true;
+      want_promote = true;
+    }
+    lk.unlock();
+    if (want_promote) {
+      PromoteJob job;
+      job.entry = entry;
+      job.key = key;
+      job.mod = std::move(mod);
+      job.shape = shape;
+      job.shape_text = shape_text;
+      std::lock_guard<std::mutex> lk2(mu_);
+      if (!promo_shutdown_) {
+        if (!promoter_.joinable()) promoter_ = std::thread(&NativeEngine::PromoterMain, this);
+        promo_queue_.push_back(std::move(job));
+        promo_cv_.notify_all();
+      }
+    }
+    return nullptr;
+  }
+
+  // First probe (both modes) or eager build: run the ladder inline.
+  slot.state = VariantSlot::kBuilding;
+  lk.unlock();
+
+  std::shared_ptr<LoadedModule> lm;
+  try {
+    lm = LoadOrBuildVariant(key, mod.get(), shape, may_build);
+  } catch (...) {
+    lm = nullptr;
+  }
+  FinishVariant(entry, shape_text, lm, /*built=*/may_build);
+  if (lm) {
+    std::lock_guard<std::mutex> lk2(entry->mu);
+    entry->variants[shape_text].last_used = ++lru_tick_;
+  }
+  return lm;
+}
+
+void NativeEngine::FinishVariant(const std::shared_ptr<Entry>& entry,
+                                 const std::string& shape_text,
+                                 std::shared_ptr<LoadedModule> lm, bool built) {
+  // Evicted handles are released outside the lock: the shared_ptr dlcloses
+  // the SO once the last in-flight launch using it drops its reference.
+  std::vector<std::shared_ptr<LoadedModule>> evicted;
+  {
+    std::lock_guard<std::mutex> lk(entry->mu);
+    VariantSlot& slot = entry->variants[shape_text];
+    if (lm) {
+      slot.loaded = std::move(lm);
+      slot.state = VariantSlot::kReady;
+      slot.promote_queued = false;
+
+      unsigned ready = 0;
+      for (const auto& [text, vs] : entry->variants) {
+        if (vs.state == VariantSlot::kReady) ++ready;
+      }
+      while (ready > opts_.max_shape_variants) {
+        auto victim = entry->variants.end();
+        for (auto it = entry->variants.begin(); it != entry->variants.end(); ++it) {
+          if (it->first == shape_text || it->second.state != VariantSlot::kReady) continue;
+          if (victim == entry->variants.end() ||
+              it->second.last_used < victim->second.last_used) {
+            victim = it;
+          }
+        }
+        if (victim == entry->variants.end()) break;  // only the new variant left
+        evicted.push_back(std::move(victim->second.loaded));
+        victim->second.loaded.reset();
+        // Back to kUnknown: the disk/store artifact survives eviction, so a
+        // future launch re-enters the load ladder instead of rebuilding.
+        victim->second.state = VariantSlot::kUnknown;
+        victim->second.heat = 0;
+        victim->second.promote_queued = false;
+        --ready;
+      }
+    } else {
+      slot.loaded.reset();
+      slot.state = built ? VariantSlot::kFailed : VariantSlot::kMissing;
+      slot.promote_queued = false;
+    }
+    entry->cv.notify_all();
+  }
+  if (!evicted.empty()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.shape_evicted += evicted.size();
+  }
+}
+
+void NativeEngine::PromoterMain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    promo_cv_.wait(lk, [&] { return promo_shutdown_ || !promo_queue_.empty(); });
+    if (promo_shutdown_) return;
+    PromoteJob job = std::move(promo_queue_.front());
+    promo_queue_.pop_front();
+    ++promo_inflight_;
+    lk.unlock();
+
+    bool run = false;
+    {
+      std::lock_guard<std::mutex> elk(job.entry->mu);
+      VariantSlot& slot = job.entry->variants[job.shape_text];
+      if (slot.state == VariantSlot::kUnknown || slot.state == VariantSlot::kMissing) {
+        slot.state = VariantSlot::kBuilding;
+        run = true;
+      }
+    }
+    if (run) {
+      std::shared_ptr<LoadedModule> lm;
+      try {
+        lm = LoadOrBuildVariant(job.key, job.mod.get(), job.shape, /*may_build=*/true);
+      } catch (...) {
+        lm = nullptr;
+      }
+      FinishVariant(job.entry, job.shape_text, std::move(lm), /*built=*/true);
+    }
+
+    lk.lock();
+    --promo_inflight_;
+    promo_cv_.notify_all();
+  }
+}
+
+void NativeEngine::DrainShapeBuilds() {
+  std::unique_lock<std::mutex> lk(mu_);
+  promo_cv_.wait(lk, [&] { return promo_queue_.empty() && promo_inflight_ == 0; });
+}
+
+bool NativeEngine::IsVariantReady(const kcc::ModuleCacheKey& key, const ShapeSpec& shape) const {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(key.CanonicalText());
+    if (it == entries_.end()) return false;
+    entry = it->second;
+  }
+  std::lock_guard<std::mutex> lk(entry->mu);
+  auto it = entry->variants.find(shape.CanonicalText());
+  return it != entry->variants.end() && it->second.state == VariantSlot::kReady;
+}
+
 bool NativeEngine::TryLaunch(vcuda::Context& ctx, const vcuda::NativeLaunchRequest& req,
                              vgpu::LaunchStats* out) {
+  if (req.served_shape != nullptr) *req.served_shape = false;
   if (req.key == nullptr || req.kernel == nullptr || req.cfg == nullptr || out == nullptr) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.fallbacks;
     return false;
   }
+
+  // The generic artifact resolves first and stays resident: it is the
+  // always-available fallback the variant ladder sits on, and the build/hit
+  // counters it feeds keep their exact meanings whether or not a variant
+  // ends up serving. Only once the generic tier can serve this key at all do
+  // we look for a shape-specialized variant on top. Variants assume the
+  // 32-lane warp layout their codegen bakes in, so any other warp size stays
+  // on the generic path.
   std::shared_ptr<LoadedModule> lm =
       Resolve(*req.key, req.module.get(), /*may_build=*/req.require);
+  bool shape_served = false;
+  if (lm != nullptr) {
+    const vgpu::ShapeMode mode = vgpu::ResolveShapeMode(opts_.shape_mode);
+    if (mode != vgpu::ShapeMode::kOff && ctx.device().warp_size == 32) {
+      std::shared_ptr<LoadedModule> variant =
+          ResolveVariant(*req.key, req.module, ShapeSpec::FromConfig(*req.cfg), mode);
+      if (variant != nullptr) {
+        lm = std::move(variant);
+        shape_served = true;
+      }
+    }
+  }
   if (!lm) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.fallbacks;
@@ -380,9 +706,15 @@ bool NativeEngine::TryLaunch(vcuda::Context& ctx, const vcuda::NativeLaunchReque
     return false;
   }
   *out = RunNative(ctx, *lm, it->second, req);
+  if (shape_served && req.served_shape != nullptr) *req.served_shape = true;
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.served_launches;
-  ++stats_.memory_hits;
+  if (shape_served) {
+    ++stats_.shape_served_launches;
+    ++stats_.shape_memory_hits;
+  } else {
+    ++stats_.memory_hits;
+  }
   return true;
 }
 

@@ -22,6 +22,17 @@
 // launch only serves what is already loadable and leaves background builds to
 // NativeBuildExecutor riding the serve pipeline.
 //
+// On top of the generic artifact each module keeps a bounded ladder of
+// shape-specialized variants, content-addressed by (module key, launch
+// shape): divergence-aware TUs whose launch dimensions are compile-time
+// constants (codegen + maskprop). The generic artifact always stays resident
+// as the fallback, so a kAuto launch never blocks: under ShapeMode::kAuto a
+// (module, shape) pair that crosses Options::shape_hot_threshold launches is
+// promoted by a background builder thread; under kEager the variant builds
+// inline. Variants beyond Options::max_shape_variants are LRU-evicted — and
+// since shape TUs hold no thread_local state, an evicted variant's shared
+// object really is dlclosed once its last in-flight launch completes.
+//
 // The launch itself mirrors the interpreter's shell exactly: the shared
 // vgpu::PrepareLaunch / FinalizeLaunchStats bracket per-chunk runs, per-worker
 // register files come from the same free-list idiom, and the chunk partials
@@ -29,15 +40,21 @@
 // bit-identical to the decoded tier's.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "native/abi.hpp"
+#include "native/shape.hpp"
 #include "support/temp_dir.hpp"
 #include "vcuda/native_hook.hpp"
+#include "vgpu/tier.hpp"
 
 namespace kspec::netd {
 class ArtifactStore;
@@ -56,6 +73,17 @@ struct NativeEngineStats {
   std::uint64_t store_hits = 0;        // artifact fetched from the store
   std::uint64_t corrupt_quarantined = 0;
   std::uint64_t stale_discarded = 0;   // ABI-version or key mismatch
+
+  // Shape-specialized variants, counted separately from the generic ladder so
+  // the generic counters keep their exact PR-9 meanings.
+  std::uint64_t shape_builds_started = 0;
+  std::uint64_t shape_builds_completed = 0;
+  std::uint64_t shape_build_failures = 0;
+  std::uint64_t shape_served_launches = 0;  // launches run on a shape variant
+  std::uint64_t shape_memory_hits = 0;
+  std::uint64_t shape_disk_hits = 0;
+  std::uint64_t shape_store_hits = 0;
+  std::uint64_t shape_evicted = 0;          // resident variants LRU-evicted
 };
 
 class NativeEngine : public vcuda::NativeExecutionService {
@@ -66,6 +94,14 @@ class NativeEngine : public vcuda::NativeExecutionService {
     std::string cache_dir;
     // Optional shared artifact store (not owned; must outlive the engine).
     netd::ArtifactStore* store = nullptr;
+    // Shape-specialization fallback policy; KSPEC_NATIVE_SHAPE and
+    // vgpu::SetShapeModeOverride take precedence (vgpu::ResolveShapeMode).
+    vgpu::ShapeMode shape_mode = vgpu::ShapeMode::kAuto;
+    // Resident shape variants per module; least-recently-served variants are
+    // dlclosed beyond this (their disk/store artifacts survive).
+    unsigned max_shape_variants = 4;
+    // kAuto: launches of one (module, shape) before background promotion.
+    unsigned shape_hot_threshold = 3;
   };
 
   NativeEngine();
@@ -91,14 +127,31 @@ class NativeEngine : public vcuda::NativeExecutionService {
   // True when a launch for `key` would be served from memory right now.
   bool IsReady(const kcc::ModuleCacheKey& key) const;
 
+  // True when (key, shape) would be served from a resident shape variant.
+  bool IsVariantReady(const kcc::ModuleCacheKey& key, const ShapeSpec& shape) const;
+
+  // Blocks until every background shape promotion queued so far has finished
+  // (the queue is empty and no build is in flight). Test/bench hook.
+  void DrainShapeBuilds();
+
   // Disk-tier artifact name for `key` ("k%016llx.nso").
   static std::string ArtifactFileName(const kcc::ModuleCacheKey& key);
+
+  // Disk-tier artifact name for a (key, shape) variant ("k%016llx_s%016llx.nso").
+  static std::string VariantFileName(const kcc::ModuleCacheKey& key, const ShapeSpec& shape);
+
+  // The variant build key embedded in a shape artifact: the module key's
+  // canonical text, a '\n', then the shape's canonical text. The generic
+  // artifact embeds the bare module text, so the two can never be confused.
+  static std::string VariantKeyText(const kcc::ModuleCacheKey& key, const ShapeSpec& shape);
 
   NativeEngineStats stats() const;
 
  private:
   struct LoadedModule;
   struct Entry;
+  struct VariantSlot;
+  struct PromoteJob;
 
   // Returns the ready entry for the request, loading or (require) building as
   // allowed. nullptr = degrade.
@@ -109,21 +162,45 @@ class NativeEngine : public vcuda::NativeExecutionService {
   std::shared_ptr<LoadedModule> LoadOrBuild(const kcc::ModuleCacheKey& key,
                                             const kcc::CompiledModule* mod, bool may_build);
   std::shared_ptr<LoadedModule> TryLoadEnvelope(const std::vector<std::uint8_t>& envelope,
-                                                const kcc::ModuleCacheKey& key,
-                                                const std::string& origin);
+                                                const std::string& key_text,
+                                                const std::string& origin, bool closeable);
   std::shared_ptr<LoadedModule> OpenSharedObject(const std::vector<std::uint8_t>& so_bytes,
-                                                 const kcc::ModuleCacheKey& key,
-                                                 const std::string& origin);
+                                                 const std::string& key_text,
+                                                 const std::string& origin, bool closeable);
+
+  // Shape-variant ladder. ResolveVariant implements the per-mode policy
+  // (serve resident, probe disk/store, build inline for kEager, enqueue a
+  // background promotion for hot kAuto pairs); LoadOrBuildVariant is the
+  // memory -> disk -> store -> build ladder for one (key, shape).
+  std::shared_ptr<LoadedModule> ResolveVariant(const kcc::ModuleCacheKey& key,
+                                               std::shared_ptr<const kcc::CompiledModule> mod,
+                                               const ShapeSpec& shape, vgpu::ShapeMode mode);
+  std::shared_ptr<LoadedModule> LoadOrBuildVariant(const kcc::ModuleCacheKey& key,
+                                                   const kcc::CompiledModule* mod,
+                                                   const ShapeSpec& shape, bool may_build);
+  // Finishes a variant build slot under entry->mu and LRU-evicts beyond the
+  // per-module cap.
+  void FinishVariant(const std::shared_ptr<Entry>& entry, const std::string& shape_text,
+                     std::shared_ptr<LoadedModule> lm, bool built);
+  void PromoterMain();
 
   vgpu::LaunchStats RunNative(vcuda::Context& ctx, const LoadedModule& lm, unsigned kernel_index,
                               const vcuda::NativeLaunchRequest& req);
 
   Options opts_;
   ScopedTempDir scratch_;  // dlopen needs the SO image on disk
-  mutable std::mutex mu_;  // guards entries_, stats_, scratch_ naming
+  mutable std::mutex mu_;  // guards entries_, stats_, scratch_ naming, promoter state
   std::map<std::string, std::shared_ptr<Entry>> entries_;  // by canonical key text
   NativeEngineStats stats_;
   std::uint64_t scratch_seq_ = 0;
+  std::atomic<std::uint64_t> lru_tick_{0};  // advanced per shape-variant serve
+
+  // Background promotion of hot (module, shape) pairs (kAuto).
+  std::thread promoter_;
+  std::condition_variable promo_cv_;
+  std::deque<PromoteJob> promo_queue_;
+  unsigned promo_inflight_ = 0;
+  bool promo_shutdown_ = false;
 };
 
 }  // namespace kspec::native

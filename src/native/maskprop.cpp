@@ -1,0 +1,911 @@
+#include "native/maskprop.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "native/shape.hpp"
+
+namespace kspec::native {
+namespace {
+
+using vgpu::CmpOp;
+using vgpu::Instr;
+using vgpu::Opcode;
+using vgpu::Operand;
+using vgpu::SpecialReg;
+using vgpu::Type;
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u32 = std::uint32_t;
+using i32 = std::int32_t;
+
+// Range facts live in [0, kDomainMax] so the raw cell value equals its i32,
+// u32, i64 and u64 interpretations and survives enc_i32 unchanged.
+constexpr i64 kDomainMax = 0x7fffffff;
+
+// Uid tag spaces (identity bookkeeping for uniform values; equality is only
+// used to keep an identity stable across joins, never for soundness).
+constexpr u64 kUidDef = 1ull << 63;    // | pc
+constexpr u64 kUidParam = 1ull << 62;  // | param index
+constexpr u64 kUidJoin = 1ull << 61;   // | (leader << 20) | reg
+constexpr u64 kUidSreg = 3ull << 60;   // | special-reg id
+
+struct AV {
+  bool is_const = false;
+  u64 cval = 0;
+  bool uniform = false;
+  u64 uid = 0;
+  bool ranged = false;
+  i64 lo = 0, hi = 0;
+
+  bool operator==(const AV&) const = default;
+};
+
+AV Top() { return AV{}; }
+
+AV Const(u64 v) {
+  AV r;
+  r.is_const = true;
+  r.cval = v;
+  r.uniform = true;
+  r.uid = (5ull << 60) | (v & 0x0fffffffffffffffull);
+  if (v <= static_cast<u64>(kDomainMax)) {
+    r.ranged = true;
+    r.lo = r.hi = static_cast<i64>(v);
+  }
+  return r;
+}
+
+AV UniformVal(u64 uid) {
+  AV r;
+  r.uniform = true;
+  r.uid = uid;
+  return r;
+}
+
+AV Ranged(i64 lo, i64 hi, bool uniform = false, u64 uid = 0) {
+  if (lo < 0 || hi > kDomainMax || lo > hi) return uniform ? UniformVal(uid) : Top();
+  if (lo == hi) return Const(static_cast<u64>(lo));
+  AV r;
+  r.ranged = true;
+  r.lo = lo;
+  r.hi = hi;
+  r.uniform = uniform;
+  r.uid = uid;
+  return r;
+}
+
+std::optional<std::pair<i64, i64>> RangeOf(const AV& a) {
+  if (a.is_const) {
+    if (a.cval <= static_cast<u64>(kDomainMax)) {
+      return std::pair<i64, i64>(static_cast<i64>(a.cval), static_cast<i64>(a.cval));
+    }
+    return std::nullopt;
+  }
+  if (a.ranged) return std::pair<i64, i64>(a.lo, a.hi);
+  return std::nullopt;
+}
+
+// Merge at a non-reconvergence join: the warp enters over exactly one
+// predecessor per dynamic visit, so uniformity survives (with a fresh but
+// stable identity when the two sides disagree on which value it is).
+AV JoinUniform(const AV& a, const AV& b, u64 join_uid) {
+  AV r;
+  if (a.is_const && b.is_const && a.cval == b.cval) return a;
+  if (a.uniform && b.uniform) {
+    r.uniform = true;
+    r.uid = a.uid == b.uid ? a.uid : join_uid;
+  }
+  if (a.ranged && b.ranged) {
+    r.ranged = true;
+    r.lo = std::min(a.lo, b.lo);
+    r.hi = std::max(a.hi, b.hi);
+  } else {
+    auto ra = RangeOf(a), rb = RangeOf(b);
+    if (ra && rb) {
+      r.ranged = true;
+      r.lo = std::min(ra->first, rb->first);
+      r.hi = std::max(ra->second, rb->second);
+    }
+  }
+  return r;
+}
+
+// ---- Bit-exact integer folding, mirroring the emitted alu<>() templates. ----
+
+u64 INorm(bool is64, u64 v) { return is64 ? v : static_cast<u64>(static_cast<u32>(v)); }
+i64 AsSigned(bool is64, u64 v) {
+  return is64 ? static_cast<i64>(v) : static_cast<i64>(static_cast<i32>(static_cast<u32>(v)));
+}
+
+bool FoldInt(Opcode op, Type ty, u64 a, u64 b, u64 c, u64* out) {
+  if (ty == Type::kPred) ty = Type::kU32;  // emission maps pred to u32 ALU semantics
+  if (ty == Type::kF32 || ty == Type::kF64) return false;
+  const bool is64 = ty == Type::kI64 || ty == Type::kU64;
+  const bool sg = ty == Type::kI32 || ty == Type::kI64;
+  switch (op) {
+    case Opcode::kAdd: *out = INorm(is64, a + b); return true;
+    case Opcode::kSub: *out = INorm(is64, a - b); return true;
+    case Opcode::kMul: *out = INorm(is64, a * b); return true;
+    case Opcode::kMad: *out = INorm(is64, a * b + c); return true;
+    case Opcode::kMul24: {
+      const u64 x = a & 0xffffffu, y = b & 0xffffffu;
+      if (sg) {
+        const i64 sx = static_cast<i64>(x << 40) >> 40;
+        const i64 sy = static_cast<i64>(y << 40) >> 40;
+        *out = INorm(is64, static_cast<u64>(sx * sy));
+      } else {
+        *out = INorm(is64, x * y);
+      }
+      return true;
+    }
+    case Opcode::kDiv:
+      if (sg) {
+        const i64 d = AsSigned(is64, b);
+        if (d == 0) { *out = 0; return true; }
+        const i64 n = AsSigned(is64, a);
+        if (n == INT64_MIN && d == -1) return false;  // UB in host C++; punt
+        *out = INorm(is64, static_cast<u64>(n / d));
+      } else {
+        const u64 d = is64 ? b : static_cast<u32>(b);
+        const u64 n = is64 ? a : static_cast<u32>(a);
+        *out = d == 0 ? 0 : INorm(is64, n / d);
+      }
+      return true;
+    case Opcode::kRem:
+      if (sg) {
+        const i64 d = AsSigned(is64, b);
+        if (d == 0) { *out = 0; return true; }
+        const i64 n = AsSigned(is64, a);
+        if (n == INT64_MIN && d == -1) return false;
+        *out = INorm(is64, static_cast<u64>(n % d));
+      } else {
+        const u64 d = is64 ? b : static_cast<u32>(b);
+        const u64 n = is64 ? a : static_cast<u32>(a);
+        *out = d == 0 ? 0 : INorm(is64, n % d);
+      }
+      return true;
+    case Opcode::kMin:
+    case Opcode::kMax:
+      if (sg) {
+        const i64 x = AsSigned(is64, a), y = AsSigned(is64, b);
+        const i64 r = op == Opcode::kMin ? std::min(x, y) : std::max(x, y);
+        *out = INorm(is64, static_cast<u64>(r));
+      } else {
+        const u64 x = is64 ? a : static_cast<u32>(a);
+        const u64 y = is64 ? b : static_cast<u32>(b);
+        *out = INorm(is64, op == Opcode::kMin ? std::min(x, y) : std::max(x, y));
+      }
+      return true;
+    case Opcode::kNeg: *out = INorm(is64, ~a + 1); return true;
+    case Opcode::kAbs: {
+      const i64 v = AsSigned(is64, a);
+      if (v == INT64_MIN) return false;
+      *out = INorm(is64, static_cast<u64>(v < 0 ? -v : v));
+      return true;
+    }
+    case Opcode::kAnd: *out = INorm(is64, a & b); return true;
+    case Opcode::kOr: *out = INorm(is64, a | b); return true;
+    case Opcode::kXor: *out = INorm(is64, a ^ b); return true;
+    case Opcode::kNot: *out = INorm(is64, ~a); return true;
+    case Opcode::kShl: {
+      const unsigned width = is64 ? 64 : 32;
+      *out = b >= width ? 0 : INorm(is64, a << b);
+      return true;
+    }
+    case Opcode::kShr: {
+      const unsigned width = is64 ? 64 : 32;
+      if (sg) {
+        const i64 v = AsSigned(is64, a);
+        if (b >= width) { *out = INorm(is64, static_cast<u64>(v < 0 ? -1 : 0)); return true; }
+        *out = INorm(is64, static_cast<u64>(v >> b));
+      } else {
+        if (b >= width) { *out = 0; return true; }
+        const u64 v = is64 ? a : static_cast<u32>(a);
+        *out = INorm(is64, v >> b);
+      }
+      return true;
+    }
+    default: return false;
+  }
+}
+
+// Interval arithmetic for monotone ops over the nonnegative domain. Both
+// inputs and the result must stay within [0, kDomainMax]; anything else
+// drops the range (never widens unsoundly).
+std::optional<std::pair<i64, i64>> RangeArith(Opcode op, const AV& a, const AV& b,
+                                              const AV& c) {
+  const auto ra = RangeOf(a);
+  const auto rb = RangeOf(b);
+  auto ok = [](i64 lo, i64 hi) -> std::optional<std::pair<i64, i64>> {
+    if (lo < 0 || hi > kDomainMax || lo > hi) return std::nullopt;
+    return std::pair<i64, i64>(lo, hi);
+  };
+  switch (op) {
+    case Opcode::kAdd:
+      if (ra && rb) return ok(ra->first + rb->first, ra->second + rb->second);
+      return std::nullopt;
+    case Opcode::kSub:
+      if (ra && rb) return ok(ra->first - rb->second, ra->second - rb->first);
+      return std::nullopt;
+    case Opcode::kMul:
+      if (ra && rb) return ok(ra->first * rb->first, ra->second * rb->second);
+      return std::nullopt;
+    case Opcode::kMad: {
+      const auto rc = RangeOf(c);
+      if (ra && rb && rc) {
+        return ok(ra->first * rb->first + rc->first, ra->second * rb->second + rc->second);
+      }
+      return std::nullopt;
+    }
+    case Opcode::kMul24:
+      // Sign-extension of the low 24 bits is the identity below 2^23.
+      if (ra && rb && ra->second < (1 << 23) && rb->second < (1 << 23)) {
+        return ok(ra->first * rb->first, ra->second * rb->second);
+      }
+      return std::nullopt;
+    case Opcode::kDiv:
+      if (ra && rb && rb->first > 0) return ok(ra->first / rb->second, ra->second / rb->first);
+      return std::nullopt;
+    case Opcode::kRem:
+      if (ra && rb && rb->first > 0) return ok(0, rb->second - 1);
+      return std::nullopt;
+    case Opcode::kMin:
+      if (ra && rb) {
+        return ok(std::min(ra->first, rb->first), std::min(ra->second, rb->second));
+      }
+      return std::nullopt;
+    case Opcode::kMax:
+      if (ra && rb) {
+        return ok(std::max(ra->first, rb->first), std::max(ra->second, rb->second));
+      }
+      return std::nullopt;
+    case Opcode::kAnd:
+      // x & y <= min(x, y) for nonnegative values.
+      if (ra && rb) return ok(0, std::min(ra->second, rb->second));
+      if (ra) return ok(0, ra->second);
+      if (rb) return ok(0, rb->second);
+      return std::nullopt;
+    case Opcode::kAbs:
+      return ra;  // identity on the nonnegative domain
+    case Opcode::kShl:
+      if (ra && b.is_const && b.cval < 31) {
+        return ok(ra->first << b.cval, ra->second << b.cval);
+      }
+      return std::nullopt;
+    case Opcode::kShr:
+      if (ra && b.is_const && b.cval < 31) {
+        return ok(ra->first >> b.cval, ra->second >> b.cval);
+      }
+      return std::nullopt;
+    default: return std::nullopt;
+  }
+}
+
+// Typed compare over proven intervals; mirrors the emitted setp<>() exactly
+// when it answers (and stays silent otherwise).
+enum class Tri { kUnknown, kTrue, kFalse };
+
+Tri CmpIntervals(CmpOp cmp, i64 la, i64 ha, i64 lb, i64 hb) {
+  switch (cmp) {
+    case CmpOp::kEq:
+      if (la == ha && lb == hb && la == lb) return Tri::kTrue;
+      if (ha < lb || hb < la) return Tri::kFalse;
+      return Tri::kUnknown;
+    case CmpOp::kNe:
+      if (ha < lb || hb < la) return Tri::kTrue;
+      if (la == ha && lb == hb && la == lb) return Tri::kFalse;
+      return Tri::kUnknown;
+    case CmpOp::kLt:
+      if (ha < lb) return Tri::kTrue;
+      if (la >= hb) return Tri::kFalse;
+      return Tri::kUnknown;
+    case CmpOp::kLe:
+      if (ha <= lb) return Tri::kTrue;
+      if (la > hb) return Tri::kFalse;
+      return Tri::kUnknown;
+    case CmpOp::kGt:
+      if (la > hb) return Tri::kTrue;
+      if (ha <= lb) return Tri::kFalse;
+      return Tri::kUnknown;
+    case CmpOp::kGe:
+      if (la >= hb) return Tri::kTrue;
+      if (ha < lb) return Tri::kFalse;
+      return Tri::kUnknown;
+  }
+  return Tri::kUnknown;
+}
+
+bool CmpConst(CmpOp cmp, Type ty, u64 a, u64 b) {
+  auto apply = [&](auto x, auto y) -> bool {
+    switch (cmp) {
+      case CmpOp::kEq: return x == y;
+      case CmpOp::kNe: return x != y;
+      case CmpOp::kLt: return x < y;
+      case CmpOp::kLe: return x <= y;
+      case CmpOp::kGt: return x > y;
+      case CmpOp::kGe: return x >= y;
+    }
+    return false;
+  };
+  switch (ty) {
+    case Type::kI32:
+      return apply(static_cast<i64>(vgpu::DecodeI32(a)), static_cast<i64>(vgpu::DecodeI32(b)));
+    case Type::kU32:
+      return apply(static_cast<i64>(static_cast<u32>(a)), static_cast<i64>(static_cast<u32>(b)));
+    case Type::kI64: return apply(static_cast<i64>(a), static_cast<i64>(b));
+    default: return apply(a, b);  // u64 / pred: raw unsigned compare
+  }
+}
+
+// The comparison-domain interval of `a` under type `ty`, usable only when
+// the interval compare is exact for that view. Domain values are in
+// [0, kDomainMax], where all integer views agree; a constant outside the
+// domain still has an exact signed view for i32/u32/i64.
+std::optional<std::pair<i64, i64>> CmpRange(Type ty, const AV& a) {
+  if (a.is_const) {
+    switch (ty) {
+      case Type::kI32: {
+        const i64 v = vgpu::DecodeI32(a.cval);
+        return std::pair<i64, i64>(v, v);
+      }
+      case Type::kU32: {
+        const i64 v = static_cast<i64>(static_cast<u32>(a.cval));
+        return std::pair<i64, i64>(v, v);
+      }
+      case Type::kI64: {
+        const i64 v = static_cast<i64>(a.cval);
+        return std::pair<i64, i64>(v, v);
+      }
+      case Type::kU64:
+      case Type::kPred: {
+        if (a.cval > static_cast<u64>(INT64_MAX)) return std::nullopt;
+        const i64 v = static_cast<i64>(a.cval);
+        return std::pair<i64, i64>(v, v);
+      }
+      default: return std::nullopt;  // float compares are never folded
+    }
+  }
+  if (ty == Type::kF32 || ty == Type::kF64) return std::nullopt;
+  return RangeOf(a);  // domain values read identically under every int view
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<u32> CollectLeaders(const std::vector<Instr>& code) {
+  std::set<u32> leaders;
+  leaders.insert(0);
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instr& i = code[pc];
+    const bool control = i.op == Opcode::kBra || i.op == Opcode::kBraPred ||
+                         i.op == Opcode::kBarSync || i.op == Opcode::kExit;
+    if (i.op == Opcode::kBra || i.op == Opcode::kBraPred) {
+      if (i.target >= 0) leaders.insert(static_cast<u32>(i.target));
+      if (i.op == Opcode::kBraPred && i.reconv >= 0) {
+        leaders.insert(static_cast<u32>(i.reconv));
+      }
+    }
+    if (control && pc + 1 < code.size()) leaders.insert(static_cast<u32>(pc + 1));
+  }
+  std::vector<u32> out(leaders.begin(), leaders.end());
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](u32 pc) { return pc >= code.size(); }),
+            out.end());
+  return out;
+}
+
+struct RegState {
+  std::vector<AV> regs;
+  bool mask_full = false;
+  bool operator==(const RegState&) const = default;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const vgpu::CompiledKernel& ker, const ShapeSpec& shape, bool assume_full_entry)
+      : ker_(ker), shape_(shape), full_entry_(assume_full_entry) {
+    leaders_ = CollectLeaders(ker.code);
+    block_end_.resize(leaders_.size());
+    for (std::size_t i = 0; i < leaders_.size(); ++i) {
+      block_end_[i] = i + 1 < leaders_.size() ? leaders_[i + 1]
+                                              : static_cast<u32>(ker.code.size());
+    }
+  }
+
+  MaskFacts Run() {
+    MaskFacts facts;
+    facts.branch.assign(ker_.code.size(), BranchKind::kScan);
+    facts.full_at.assign(ker_.code.size(), 0);
+    if (ker_.code.empty() || leaders_.empty()) return facts;
+
+    // Outer loop: the divergent-branch set and the exit flag only grow /
+    // degrade, so this terminates within #branches + 2 restarts. Each inner
+    // run is an optimistic fixpoint under the current assumptions.
+    bool complete = false;
+    for (int restart = 0; restart < 4 + 2 * static_cast<int>(ker_.code.size()); ++restart) {
+      if (RunOnce()) {
+        complete = true;
+        break;
+      }
+    }
+    if (!complete) return facts;  // never publish a half-converged run
+
+    // Record the final classifications and full-block flags.
+    for (std::size_t bi = 0; bi < leaders_.size(); ++bi) {
+      const u32 leader = leaders_[bi];
+      auto it = in_.find(leader);
+      if (it == in_.end()) continue;  // unreachable
+      if (full_entry_ && it->second.mask_full) {
+        facts.full_at[leader] = 1;
+        ++facts.full_blocks;
+      }
+      for (u32 pc = leader; pc < block_end_[bi]; ++pc) {
+        if (ker_.code[pc].op != Opcode::kBraPred) continue;
+        const BranchKind k = final_kind_.count(pc) ? final_kind_.at(pc) : BranchKind::kScan;
+        facts.branch[pc] = k;
+        if (k == BranchKind::kAlwaysTaken || k == BranchKind::kNeverTaken) {
+          ++facts.folded_branches;
+        } else if (k == BranchKind::kUniform) {
+          ++facts.uniform_branches;
+        }
+      }
+    }
+    return facts;
+  }
+
+ private:
+  std::size_t BlockOf(u32 pc) const {
+    auto it = std::upper_bound(leaders_.begin(), leaders_.end(), pc);
+    return static_cast<std::size_t>(it - leaders_.begin()) - 1;
+  }
+
+  // Static successors of block `bi`, for the region DFS.
+  std::vector<u32> StaticSuccs(std::size_t bi) const {
+    std::vector<u32> out;
+    const u32 end = block_end_[bi];
+    const Instr& last = ker_.code[end - 1];
+    switch (last.op) {
+      case Opcode::kBra:
+        if (last.target >= 0) out.push_back(static_cast<u32>(last.target));
+        break;
+      case Opcode::kBraPred:
+        if (last.target >= 0) out.push_back(static_cast<u32>(last.target));
+        if (end < ker_.code.size()) out.push_back(end);
+        break;
+      case Opcode::kExit:
+        break;
+      default:  // BarSync or plain fallthrough
+        if (end < ker_.code.size()) out.push_back(end);
+        break;
+    }
+    return out;
+  }
+
+  // Recompute divergent-region membership and written-register sets from the
+  // current scan set. Regions are per reconvergence pc.
+  void RebuildRegions() {
+    region_of_.clear();
+    written_at_.clear();
+    scan_reconvs_.clear();
+    for (const auto& [pc, reconv] : scan_branches_) {
+      if (reconv < 0) continue;
+      const u32 r = static_cast<u32>(reconv);
+      scan_reconvs_.insert(r);
+      std::vector<u32> stack;
+      const std::size_t bi = BlockOf(pc);
+      const u32 end = block_end_[bi];
+      if (ker_.code[pc].target >= 0) stack.push_back(static_cast<u32>(ker_.code[pc].target));
+      if (end < ker_.code.size()) stack.push_back(end);
+      std::set<u32>& region = region_of_[r];
+      while (!stack.empty()) {
+        const u32 p = stack.back();
+        stack.pop_back();
+        if (p == r || p >= ker_.code.size()) continue;
+        const u32 leader = leaders_[BlockOf(p)];
+        if (!region.insert(leader).second) continue;
+        const std::size_t mbi = BlockOf(leader);
+        for (u32 q = leader; q < block_end_[mbi]; ++q) {
+          if (ker_.code[q].dst >= 0) written_at_[r].insert(ker_.code[q].dst);
+        }
+        for (u32 s : StaticSuccs(mbi)) stack.push_back(s);
+      }
+    }
+  }
+
+  AV OperandAV(const RegState& st, const Operand& o) const {
+    if (o.is_imm()) return Const(o.imm);
+    if (o.is_reg() && o.reg >= 0 && static_cast<std::size_t>(o.reg) < st.regs.size()) {
+      return st.regs[o.reg];
+    }
+    return Top();
+  }
+
+  AV EvalSreg(SpecialReg sr) const {
+    const unsigned nthreads = shape_.threads_per_block();
+    const unsigned nwarps = shape_.warps_per_block(32);
+    switch (sr) {
+      case SpecialReg::kTidX: return Ranged(0, static_cast<i64>(shape_.block_x) - 1);
+      case SpecialReg::kTidY: return Ranged(0, static_cast<i64>(shape_.block_y) - 1);
+      case SpecialReg::kTidZ: return Ranged(0, static_cast<i64>(shape_.block_z) - 1);
+      case SpecialReg::kNtidX: return Const(shape_.block_x);
+      case SpecialReg::kNtidY: return Const(shape_.block_y);
+      case SpecialReg::kNtidZ: return Const(shape_.block_z);
+      case SpecialReg::kCtaidX:
+        return Ranged(0, static_cast<i64>(shape_.grid_x) - 1, true,
+                      kUidSreg | static_cast<u64>(sr));
+      case SpecialReg::kCtaidY:
+        return Ranged(0, static_cast<i64>(shape_.grid_y) - 1, true,
+                      kUidSreg | static_cast<u64>(sr));
+      case SpecialReg::kCtaidZ:
+        return Ranged(0, static_cast<i64>(shape_.grid_z) - 1, true,
+                      kUidSreg | static_cast<u64>(sr));
+      case SpecialReg::kNctaidX: return Const(shape_.grid_x);
+      case SpecialReg::kNctaidY: return Const(shape_.grid_y);
+      case SpecialReg::kNctaidZ: return Const(shape_.grid_z);
+      case SpecialReg::kLaneId: return Ranged(0, 31);
+      case SpecialReg::kWarpId:
+        // lb is a multiple of the (gated) warp size 32, so (lb + l) / 32 is
+        // per-warp constant.
+        return Ranged(0, static_cast<i64>(nwarps) - 1, true,
+                      kUidSreg | static_cast<u64>(sr));
+    }
+    (void)nthreads;
+    return Top();
+  }
+
+  AV EvalSetp(u32 pc, const Instr& i, const AV& a, const AV& b) const {
+    if (a.is_const && b.is_const && i.type != Type::kF32 && i.type != Type::kF64) {
+      return Const(CmpConst(i.cmp, i.type, a.cval, b.cval) ? 1 : 0);
+    }
+    const auto ra = CmpRange(i.type, a);
+    const auto rb = CmpRange(i.type, b);
+    if (ra && rb) {
+      const Tri t = CmpIntervals(i.cmp, ra->first, ra->second, rb->first, rb->second);
+      if (t == Tri::kTrue) return Const(1);
+      if (t == Tri::kFalse) return Const(0);
+    }
+    AV r = Ranged(0, 1);  // predicates are always 0/1
+    if (a.uniform && b.uniform) {
+      r.uniform = true;
+      r.uid = kUidDef | pc;
+    }
+    return r;
+  }
+
+  AV EvalCvt(u32 pc, const Instr& i, const AV& a) const {
+    const Type dt = i.type, st = i.type2;
+    const bool int_dst = vgpu::IsIntType(dt);
+    const bool int_src = vgpu::IsIntType(st) || st == Type::kPred;
+    if (int_dst && int_src) {
+      if (a.is_const) {
+        i64 sv;
+        if (st == Type::kI32) sv = vgpu::DecodeI32(a.cval);
+        else if (st == Type::kU32) sv = static_cast<i64>(static_cast<u32>(a.cval));
+        else sv = static_cast<i64>(a.cval);
+        u64 out;
+        if (dt == Type::kI32) out = vgpu::EncodeI32(static_cast<i32>(sv));
+        else if (dt == Type::kU32) out = static_cast<u32>(sv);
+        else out = static_cast<u64>(sv);
+        return Const(out);
+      }
+      AV r = Top();
+      if (const auto ra = RangeOf(a)) {
+        // Domain values pass through every int->int conversion unchanged.
+        r = Ranged(ra->first, ra->second);
+      }
+      if (a.uniform) {
+        r.uniform = true;
+        r.uid = kUidDef | pc;
+      }
+      return r;
+    }
+    // Float-involved conversions: only uniformity survives (deterministic).
+    if (a.uniform) return UniformVal(kUidDef | pc);
+    return Top();
+  }
+
+  AV EvalAlu(u32 pc, const Instr& i, const RegState& st) const {
+    const AV a = OperandAV(st, i.a);
+    const AV b = OperandAV(st, i.b);
+    const AV c = OperandAV(st, i.c);
+    const bool is_float = i.type == Type::kF32 || i.type == Type::kF64;
+    const bool have_b = !i.b.is_none();
+    const bool have_c = !i.c.is_none();
+    if (!is_float && a.is_const && (!have_b || b.is_const) && (!have_c || c.is_const)) {
+      u64 out;
+      if (FoldInt(i.op, i.type, a.cval, b.cval, c.cval, &out)) return Const(out);
+    }
+    AV r = Top();
+    if (!is_float && i.type != Type::kPred) {
+      if (const auto rr = RangeArith(i.op, a, b, c)) {
+        r.ranged = true;
+        r.lo = rr->first;
+        r.hi = rr->second;
+      }
+    }
+    const bool operands_uniform =
+        a.uniform && (!have_b || b.uniform) && (!have_c || c.uniform);
+    if (operands_uniform) {
+      r.uniform = true;
+      r.uid = kUidDef | pc;
+    }
+    return r;
+  }
+
+  // Classify a bra.pred under the current state. Branches already forced
+  // divergent stay divergent (re-proving them would change edge semantics
+  // mid-run).
+  BranchKind Classify(u32 pc, const Instr& i, const RegState& st) const {
+    if (scan_branches_.count(pc)) return BranchKind::kScan;
+    const AV p = OperandAV(st, i.a);
+    if (p.is_const) {
+      const bool t = (p.cval != 0) != i.neg;
+      return t ? BranchKind::kAlwaysTaken : BranchKind::kNeverTaken;
+    }
+    if (p.ranged && p.lo >= 1) {
+      return i.neg ? BranchKind::kNeverTaken : BranchKind::kAlwaysTaken;
+    }
+    if (p.uniform) return BranchKind::kUniform;
+    return BranchKind::kScan;
+  }
+
+  void JoinInto(u32 target, RegState incoming, bool divergent_entry) {
+    const u32 tl = leaders_[BlockOf(target)];
+    if (divergent_entry) {
+      incoming.mask_full = restore_full_.count(tl) ? restore_full_.at(tl) && exits_ok_
+                                                   : exits_ok_;
+      if (const auto it = written_at_.find(tl); it != written_at_.end()) {
+        for (const i32 r : it->second) {
+          if (r >= 0 && static_cast<std::size_t>(r) < incoming.regs.size()) {
+            AV& av = incoming.regs[r];
+            av.is_const = false;
+            av.uniform = false;  // lanes merge with different write histories
+          }
+        }
+      }
+    }
+    auto [it, fresh] = in_.emplace(tl, incoming);
+    if (fresh) {
+      work_.push_back(tl);
+      return;
+    }
+    RegState& cur = it->second;
+    RegState joined = cur;
+    joined.mask_full = cur.mask_full && incoming.mask_full;
+    const int jc = ++join_count_[tl];
+    for (std::size_t r = 0; r < joined.regs.size(); ++r) {
+      AV j = JoinUniform(cur.regs[r], incoming.regs[r],
+                         kUidJoin | (static_cast<u64>(tl) << 20) | r);
+      // Widen: after a few joins, a still-growing interval (a loop counter)
+      // is dropped instead of crawling toward the domain bound.
+      if (jc > 4 && j.ranged && cur.regs[r].ranged &&
+          (j.lo < cur.regs[r].lo || j.hi > cur.regs[r].hi)) {
+        j.ranged = false;
+        if (j.is_const) j = Const(j.cval);
+      }
+      joined.regs[r] = j;
+    }
+    if (!(joined == cur)) {
+      cur = joined;
+      work_.push_back(tl);
+    }
+  }
+
+  // One optimistic fixpoint run. Returns true if the run completed under the
+  // current assumptions, false if an assumption was invalidated (caller
+  // restarts with the degraded assumption set).
+  bool RunOnce() {
+    RebuildRegions();
+    in_.clear();
+    join_count_.clear();
+    restore_full_.clear();
+    final_kind_.clear();
+    work_.clear();
+
+    RegState entry;
+    entry.regs.assign(static_cast<std::size_t>(std::max(ker_.num_vregs, 0)), Top());
+    for (std::size_t p = 0; p < ker_.params.size() && p < entry.regs.size(); ++p) {
+      entry.regs[p] = UniformVal(kUidParam | p);  // args are broadcast
+    }
+    entry.mask_full = full_entry_;
+    in_.emplace(0u, entry);
+    work_.push_back(0);
+
+    // Bounded by the lattice height; the guard is just a backstop.
+    const std::size_t max_steps = 64 * (leaders_.size() + 4) * (leaders_.size() + 4);
+    std::size_t steps = 0;
+    while (!work_.empty()) {
+      if (++steps > max_steps) {
+        // Backstop against a non-converging lattice bug: drop every fact
+        // rather than publish an optimistic half-fixpoint.
+        in_.clear();
+        final_kind_.clear();
+        return true;
+      }
+      const u32 leader = work_.back();
+      work_.pop_back();
+      RegState st = in_.at(leader);
+      const std::size_t bi = BlockOf(leader);
+      const u32 end = block_end_[bi];
+      bool closed = false;
+      for (u32 pc = leader; pc < end && !closed; ++pc) {
+        const Instr& i = ker_.code[pc];
+        switch (i.op) {
+          case Opcode::kBra:
+            if (i.target >= 0) JoinInto(static_cast<u32>(i.target), st, IsDivergentEntry(leader, static_cast<u32>(i.target)));
+            closed = true;
+            break;
+          case Opcode::kBraPred: {
+            const BranchKind kind = Classify(pc, i, st);
+            final_kind_[pc] = kind;
+            if (kind == BranchKind::kScan && !scan_branches_.count(pc)) {
+              // Optimism invalidated: this branch needs divergent semantics.
+              scan_branches_[pc] = i.reconv;
+              return false;
+            }
+            if (kind == BranchKind::kScan) {
+              // Divergent: arms run with a possibly partial mask; the
+              // reconvergence point restores the branch-point mask unless an
+              // exit may have retired lanes.
+              if (i.reconv >= 0) {
+                const u32 r = static_cast<u32>(i.reconv);
+                const u32 rl = leaders_[BlockOf(r)];
+                auto [rit, rf] = restore_full_.emplace(rl, st.mask_full);
+                if (!rf && rit->second && !st.mask_full) {
+                  rit->second = false;
+                  if (auto sit = in_.find(rl); sit != in_.end() && sit->second.mask_full) {
+                    sit->second.mask_full = false;
+                    work_.push_back(rl);
+                  }
+                }
+              }
+              RegState arm = st;
+              arm.mask_full = false;
+              if (i.target >= 0) {
+                JoinInto(static_cast<u32>(i.target), arm,
+                         IsDivergentEntry(leader, static_cast<u32>(i.target)));
+              }
+              if (end < ker_.code.size()) {
+                JoinInto(end, arm, IsDivergentEntry(leader, end));
+              }
+            } else if (kind == BranchKind::kAlwaysTaken) {
+              if (i.target >= 0) {
+                JoinInto(static_cast<u32>(i.target), st,
+                         IsDivergentEntry(leader, static_cast<u32>(i.target)));
+              }
+            } else if (kind == BranchKind::kNeverTaken) {
+              if (end < ker_.code.size()) JoinInto(end, st, IsDivergentEntry(leader, end));
+            } else {  // kUniform: both ways, mask intact, no push
+              if (i.target >= 0) {
+                JoinInto(static_cast<u32>(i.target), st,
+                         IsDivergentEntry(leader, static_cast<u32>(i.target)));
+              }
+              if (end < ker_.code.size()) JoinInto(end, st, IsDivergentEntry(leader, end));
+            }
+            closed = true;
+            break;
+          }
+          case Opcode::kBarSync:
+            if (end < ker_.code.size()) JoinInto(end, st, IsDivergentEntry(leader, end));
+            closed = true;
+            break;
+          case Opcode::kExit:
+            if (!st.mask_full && exits_ok_) {
+              // Lanes may retire under a partial mask: reconvergence points
+              // can no longer assume the pushed mask survives intact.
+              exits_ok_ = false;
+              return false;
+            }
+            closed = true;
+            break;
+          default: {
+            if (i.dst >= 0 && static_cast<std::size_t>(i.dst) < st.regs.size()) {
+              AV dv = Top();
+              switch (i.op) {
+                case Opcode::kNop: dv = st.regs[i.dst]; break;
+                case Opcode::kMov: dv = OperandAV(st, i.a); break;
+                case Opcode::kSreg:
+                  dv = EvalSreg(static_cast<SpecialReg>(i.a.imm));
+                  break;
+                case Opcode::kSetp:
+                  dv = EvalSetp(pc, i, OperandAV(st, i.a), OperandAV(st, i.b));
+                  break;
+                case Opcode::kSel: {
+                  const AV a = OperandAV(st, i.a);
+                  const AV b = OperandAV(st, i.b);
+                  const AV c = OperandAV(st, i.c);
+                  if (c.is_const) {
+                    dv = c.cval ? a : b;
+                  } else {
+                    dv = JoinUniform(a, b, kUidDef | pc);
+                    dv.uniform = a.uniform && b.uniform && c.uniform;
+                    if (dv.uniform) dv.uid = kUidDef | pc;
+                    dv.is_const = false;
+                  }
+                  break;
+                }
+                case Opcode::kCvt: dv = EvalCvt(pc, i, OperandAV(st, i.a)); break;
+                case Opcode::kLd:
+                case Opcode::kAtomAdd:
+                case Opcode::kAtomMin:
+                case Opcode::kAtomMax:
+                case Opcode::kAtomExch:
+                case Opcode::kAtomCas:
+                case Opcode::kTex2D:
+                case Opcode::kTex1D:
+                  dv = Top();
+                  break;
+                default: dv = EvalAlu(pc, i, st); break;
+              }
+              st.regs[i.dst] = dv;
+            }
+            break;
+          }
+        }
+      }
+      if (!closed) {
+        // Fell off the block (next leader) or off the end of the kernel
+        // (implicit exit, same retirement rule as kExit).
+        if (end < ker_.code.size()) {
+          JoinInto(end, st, IsDivergentEntry(leader, end));
+        } else if (!st.mask_full && exits_ok_) {
+          exits_ok_ = false;
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool IsDivergentEntry(u32 from_leader, u32 target) const {
+    const u32 tl = leaders_[BlockOf(target)];
+    if (!scan_reconvs_.count(tl)) return false;
+    // Entries into a divergent reconvergence pc happen via the pop-restore
+    // path both from inside the region and from the owning branch itself.
+    if (const auto it = region_of_.find(tl); it != region_of_.end()) {
+      if (it->second.count(from_leader)) return true;
+    }
+    for (const auto& [pc, reconv] : scan_branches_) {
+      if (reconv >= 0 && leaders_[BlockOf(static_cast<u32>(reconv))] == tl &&
+          leaders_[BlockOf(pc)] == from_leader) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const vgpu::CompiledKernel& ker_;
+  const ShapeSpec& shape_;
+  const bool full_entry_;
+
+  std::vector<u32> leaders_;
+  std::vector<u32> block_end_;
+
+  // Degrading assumption set, preserved across restarts.
+  std::map<u32, std::int32_t> scan_branches_;  // branch pc -> reconv pc
+  bool exits_ok_ = true;
+
+  // Per-run structures.
+  std::set<u32> scan_reconvs_;
+  std::map<u32, std::set<u32>> region_of_;    // reconv leader -> member leaders
+  std::map<u32, std::set<i32>> written_at_;   // reconv leader -> regs written in region
+  std::map<u32, RegState> in_;
+  std::map<u32, int> join_count_;
+  std::map<u32, bool> restore_full_;
+  std::map<u32, BranchKind> final_kind_;
+  std::vector<u32> work_;
+};
+
+}  // namespace
+
+MaskFacts AnalyzeKernelMasks(const vgpu::CompiledKernel& ker, const ShapeSpec& shape,
+                             bool assume_full_entry) {
+  Analyzer az(ker, shape, assume_full_entry);
+  return az.Run();
+}
+
+}  // namespace kspec::native

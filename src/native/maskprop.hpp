@@ -1,0 +1,85 @@
+// Mask-constant propagation over the decoded CFG for shape-specialized
+// native codegen.
+//
+// Given a kernel and a ShapeSpec (block + grid dimensions fixed at launch
+// time), this pass runs a forward abstract interpretation that tracks, per
+// virtual register and per active lane:
+//
+//   * constants  — the exact 64-bit cell value (folded with the interpreter's
+//                  own ALU semantics, so a proof here is a proof about what
+//                  the generic code would compute);
+//   * uniformity — "every active lane holds the same value" (parameters are
+//                  broadcast, ctaid/warp-id are per-warp constants, and any
+//                  op over uniform inputs is uniform);
+//   * ranges     — an interval [lo, hi] restricted to [0, INT32_MAX] so the
+//                  untyped register cell reads the same under every typed
+//                  view (tid_x in [0, ntid_x-1] with ntid_x shape-known is
+//                  the seed that makes `if (tid < n)` guards provable).
+//
+// The outputs drive divergence-aware emission:
+//
+//   * each `bra.pred` is classified: provably taken / provably not taken
+//     (the branch folds away), uniform (a single-lane test replaces the
+//     32-lane predicate scan — no reconvergence push needed, because the
+//     generic path's taken==mask / taken==0 cases would not push either), or
+//     divergent (keep the generic scan);
+//   * with `assume_full_entry`, blocks whose entry mask is provably the full
+//     warp are flagged, so lane loops there run straight-line 0..31 and the
+//     lane-count charge `popcount(mask)` becomes the compile-time constant 32.
+//
+// Soundness notes (the interesting bits):
+//   * Uniform-joins (any join that is not a divergent reconvergence point)
+//     keep uniformity: the warp arrives over exactly one predecessor at a
+//     time, so "uniform over the active lanes" survives the merge.
+//   * Divergent reconvergence points merge lanes with different histories:
+//     every register written anywhere inside the divergent region loses its
+//     constant/uniform facts there (ranges survive — they are per-lane
+//     properties and every lane's exit value is covered by the fixpoint
+//     union of the region's states).
+//   * A reconvergence point re-enters with the pushed (branch-point) mask
+//     only if no exit could have retired lanes while the mask was not
+//     provably full; the analysis restarts with restores disabled when it
+//     sees such an exit.
+//
+// The pass never assumes anything the interpreter does not guarantee: every
+// constant is folded with bit-exact interpreter semantics and every
+// classification degrades to the generic per-lane scan when unproven, so the
+// emitted code's LaunchStats stay bit-identical to the interpreter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vgpu/module.hpp"
+
+namespace kspec::native {
+
+struct ShapeSpec;
+
+enum class BranchKind : std::uint8_t {
+  kScan = 0,     // generic per-lane predicate scan + reconvergence push
+  kUniform,      // predicate uniform over active lanes: single-lane test
+  kAlwaysTaken,  // provably taken for every active lane: unconditional jump
+  kNeverTaken,   // provably not taken for any active lane: falls through
+};
+
+struct MaskFacts {
+  // Indexed by pc; meaningful only at kBraPred instructions.
+  std::vector<BranchKind> branch;
+  // Indexed by pc; true at a basic-block leader whose entry mask is provably
+  // the full warp. Only ever set when assume_full_entry was true.
+  std::vector<char> full_at;
+  // Emission/report summary.
+  unsigned folded_branches = 0;
+  unsigned uniform_branches = 0;
+  unsigned full_blocks = 0;
+};
+
+// Analyzes `ker` under launch shape `shape`. `assume_full_entry` is true for
+// the full-warp variant body (every lane active on entry) and false for the
+// boundary-warp body (entry mask unknown; branch facts still apply because
+// constants, ranges and uniformity are mask-independent).
+MaskFacts AnalyzeKernelMasks(const vgpu::CompiledKernel& ker, const ShapeSpec& shape,
+                             bool assume_full_entry);
+
+}  // namespace kspec::native

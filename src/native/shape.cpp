@@ -1,0 +1,32 @@
+#include "native/shape.hpp"
+
+#include "support/str.hpp"
+
+namespace kspec::native {
+
+ShapeSpec ShapeSpec::FromConfig(const vgpu::LaunchConfig& cfg) {
+  ShapeSpec s;
+  s.block_x = cfg.block.x;
+  s.block_y = cfg.block.y;
+  s.block_z = cfg.block.z;
+  s.grid_x = cfg.grid.x;
+  s.grid_y = cfg.grid.y;
+  s.grid_z = cfg.grid.z;
+  return s;
+}
+
+std::string ShapeSpec::CanonicalText() const {
+  return Format("b%ux%ux%u g%ux%ux%u", block_x, block_y, block_z, grid_x, grid_y, grid_z);
+}
+
+std::uint64_t ShapeSpec::Hash() const {
+  const std::string text = CanonicalText();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace kspec::native

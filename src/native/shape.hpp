@@ -1,0 +1,45 @@
+// Launch-shape signatures for shape-specialized native variants.
+//
+// A ShapeSpec captures the launch-time constants the shape-specialization
+// mode bakes into an emitted TU: the block and grid dimensions. That is
+// exactly the information needed to turn `ntid`/`nctaid` reads into
+// `constexpr`, to fix the warp count and the boundary-warp mask at compile
+// time, and to seed the mask-constant-propagation pass with the value ranges
+// of `tid`/`ctaid`. Dynamic shared memory and kernel arguments stay runtime
+// inputs — specializing on them would explode the variant space for no mask
+// information.
+//
+// The canonical text ("b16x16x1 g32x24x1") names the variant everywhere: it
+// is appended to the module key's canonical text to form the variant build
+// key embedded in the artifact, and its hash is the `s%016llx` half of the
+// variant artifact file name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vgpu/launch.hpp"
+
+namespace kspec::native {
+
+struct ShapeSpec {
+  unsigned block_x = 1, block_y = 1, block_z = 1;
+  unsigned grid_x = 1, grid_y = 1, grid_z = 1;
+
+  static ShapeSpec FromConfig(const vgpu::LaunchConfig& cfg);
+
+  unsigned threads_per_block() const { return block_x * block_y * block_z; }
+  unsigned warps_per_block(unsigned warp_size) const {
+    return (threads_per_block() + warp_size - 1) / warp_size;
+  }
+
+  // Stable one-line signature, e.g. "b16x16x1 g32x24x1".
+  std::string CanonicalText() const;
+
+  // FNV-1a over the canonical text; names the variant artifact on disk.
+  std::uint64_t Hash() const;
+
+  bool operator==(const ShapeSpec& o) const = default;
+};
+
+}  // namespace kspec::native

@@ -127,7 +127,17 @@ std::string ArtifactStore::PathForNative(const kcc::ModuleCacheKey& key) const {
 
 bool ArtifactStore::LoadNativeBytes(const kcc::ModuleCacheKey& key,
                                     std::vector<std::uint8_t>* out) {
-  const std::string path = PathForNative(key);
+  return LoadNativeAt(PathForNative(key), key.CanonicalText(), out);
+}
+
+bool ArtifactStore::LoadNativeBytesNamed(const std::string& file_name,
+                                         const std::string& key_text,
+                                         std::vector<std::uint8_t>* out) {
+  return LoadNativeAt(dir_ + "/" + file_name, key_text, out);
+}
+
+bool ArtifactStore::LoadNativeAt(const std::string& path, const std::string& key_text,
+                                 std::vector<std::uint8_t>* out) {
   std::vector<std::uint8_t> bytes;
   if (!ReadFileBytes(path, &bytes)) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -137,7 +147,7 @@ bool ArtifactStore::LoadNativeBytes(const kcc::ModuleCacheKey& key,
   try {
     std::string stored_key;
     kcc::DeserializeNative(bytes, &stored_key);  // checksum, version, layout
-    if (stored_key != key.CanonicalText()) {
+    if (stored_key != key_text) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.collisions;
       ++stats_.native_misses;
@@ -163,13 +173,24 @@ bool ArtifactStore::LoadNativeBytes(const kcc::ModuleCacheKey& key,
 
 bool ArtifactStore::PublishNativeBytes(const kcc::ModuleCacheKey& key,
                                        std::span<const std::uint8_t> bytes) {
+  return PublishNativeAt(PathForNative(key), key.CanonicalText(), bytes);
+}
+
+bool ArtifactStore::PublishNativeBytesNamed(const std::string& file_name,
+                                            const std::string& key_text,
+                                            std::span<const std::uint8_t> bytes) {
+  return PublishNativeAt(dir_ + "/" + file_name, key_text, bytes);
+}
+
+bool ArtifactStore::PublishNativeAt(const std::string& path, const std::string& key_text,
+                                    std::span<const std::uint8_t> bytes) {
   try {
     std::string stored_key;
     kcc::DeserializeNative(bytes, &stored_key);
-    if (stored_key != key.CanonicalText()) {
+    if (stored_key != key_text) {
       KSPEC_LOG_WARN << "artifact store: refusing to publish native bytes keyed differently "
-                        "than k"
-                     << Format("%016llx", static_cast<unsigned long long>(key.Hash()));
+                        "than "
+                     << path;
       return false;
     }
   } catch (const SerializeError& e) {
@@ -177,7 +198,6 @@ bool ArtifactStore::PublishNativeBytes(const kcc::ModuleCacheKey& key,
                    << e.what() << ")";
     return false;
   }
-  const std::string path = PathForNative(key);
   if (!WriteFileAtomic(path, bytes)) {
     KSPEC_LOG_WARN << "artifact store: failed to publish " << path << " — continuing";
     return false;
@@ -190,6 +210,11 @@ bool ArtifactStore::PublishNativeBytes(const kcc::ModuleCacheKey& key,
 bool ArtifactStore::ContainsNative(const kcc::ModuleCacheKey& key) const {
   std::error_code ec;
   return std::filesystem::exists(PathForNative(key), ec);
+}
+
+bool ArtifactStore::ContainsNativeNamed(const std::string& file_name) const {
+  std::error_code ec;
+  return std::filesystem::exists(dir_ + "/" + file_name, ec);
 }
 
 StoreStats ArtifactStore::stats() const {

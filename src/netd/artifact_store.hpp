@@ -76,9 +76,24 @@ class ArtifactStore {
   bool PublishNativeBytes(const kcc::ModuleCacheKey& key, std::span<const std::uint8_t> bytes);
   bool ContainsNative(const kcc::ModuleCacheKey& key) const;
 
+  // ---- named native artifacts (shape-specialized variants) ----
+  // Same envelope, validation, and quarantine policy, but the caller names
+  // the file (e.g. "k<hash>_s<hash>.nso") and supplies the expected embedded
+  // key text (module canonical text + "\n" + shape canonical text), because
+  // the artifact identity is wider than one ModuleCacheKey.
+  bool LoadNativeBytesNamed(const std::string& file_name, const std::string& key_text,
+                            std::vector<std::uint8_t>* out);
+  bool PublishNativeBytesNamed(const std::string& file_name, const std::string& key_text,
+                               std::span<const std::uint8_t> bytes);
+  bool ContainsNativeNamed(const std::string& file_name) const;
+
   StoreStats stats() const;
 
  private:
+  bool LoadNativeAt(const std::string& path, const std::string& key_text,
+                    std::vector<std::uint8_t>* out);
+  bool PublishNativeAt(const std::string& path, const std::string& key_text,
+                       std::span<const std::uint8_t> bytes);
   // Renames a bad entry aside so it is never read again and the next publish
   // lands cleanly. Best-effort; falls back to unlink.
   void Quarantine(const std::string& path);

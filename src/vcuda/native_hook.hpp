@@ -33,6 +33,9 @@ struct NativeLaunchRequest {
   // yet. false (kAuto promotion): serve only an already-loaded artifact and
   // at most kick off a background build — never block the launch.
   bool require = false;
+  // Out-channel (borrowed, optional): set to true when the launch was served
+  // by a shape-specialized variant rather than the generic artifact.
+  bool* served_shape = nullptr;
 };
 
 // Implemented by native::NativeEngine. Attached to a Context with

@@ -249,6 +249,7 @@ TierStats Context::tier_stats() const {
   s.launches_interp = tier_interp_.load();
   s.launches_decoded = tier_decoded_.load();
   s.launches_native = tier_native_.load();
+  s.launches_native_shape = tier_native_shape_.load();
   s.native_fallbacks = tier_fallbacks_.load();
   return s;
 }
@@ -294,6 +295,7 @@ vgpu::LaunchStats Context::Launch(const Module& module, const std::string& kerne
   vgpu::LaunchStats stats;
   vgpu::ExecutionTier served = vgpu::ExecutionTier::kDecoded;
   bool ran = false;
+  bool served_shape = false;
   if (want_native && native != nullptr && module.cache_key() != nullptr) {
     NativeLaunchRequest req;
     req.key = module.cache_key().get();
@@ -302,6 +304,7 @@ vgpu::LaunchStats Context::Launch(const Module& module, const std::string& kerne
     req.cfg = &cfg;
     req.const_mem = module.const_mem();
     req.require = tier == vgpu::ExecutionTier::kNative;
+    req.served_shape = &served_shape;
     if (native->TryLaunch(*this, req, &stats)) {
       served = vgpu::ExecutionTier::kNative;
       ran = true;
@@ -323,13 +326,17 @@ vgpu::LaunchStats Context::Launch(const Module& module, const std::string& kerne
       tier == vgpu::ExecutionTier::kNative && served != vgpu::ExecutionTier::kNative;
   switch (served) {
     case vgpu::ExecutionTier::kInterp: ++tier_interp_; break;
-    case vgpu::ExecutionTier::kNative: ++tier_native_; break;
+    case vgpu::ExecutionTier::kNative:
+      ++tier_native_;
+      if (served_shape) ++tier_native_shape_;
+      break;
     default: ++tier_decoded_; break;
   }
   if (fallback) ++tier_fallbacks_;
   if (exec) {
     exec->served = served;
     exec->native_fallback = fallback;
+    exec->native_shape = served == vgpu::ExecutionTier::kNative && served_shape;
   }
   total_sim_millis_ += stats.sim_millis;
   return stats;

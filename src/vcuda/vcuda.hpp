@@ -111,6 +111,9 @@ struct TierStats {
   std::size_t launches_interp = 0;
   std::size_t launches_decoded = 0;
   std::size_t launches_native = 0;
+  // Of launches_native, how many were served by a shape-specialized variant
+  // rather than the module's generic artifact.
+  std::size_t launches_native_shape = 0;
   // Launches where the native tier was requested (forced, or picked by kAuto
   // with a service attached) but the decoded tier had to serve instead.
   std::size_t native_fallbacks = 0;
@@ -123,6 +126,7 @@ struct LaunchExecution {
   vgpu::ExecutionTier request = vgpu::ExecutionTier::kAuto;  // in
   vgpu::ExecutionTier served = vgpu::ExecutionTier::kDecoded;  // out
   bool native_fallback = false;  // out: native wanted, decoded served
+  bool native_shape = false;     // out: served by a shape-specialized variant
 };
 
 struct CacheStats {
@@ -270,6 +274,7 @@ class Context {
   std::atomic<std::size_t> tier_interp_{0};
   std::atomic<std::size_t> tier_decoded_{0};
   std::atomic<std::size_t> tier_native_{0};
+  std::atomic<std::size_t> tier_native_shape_{0};
   std::atomic<std::size_t> tier_fallbacks_{0};
   double total_sim_millis_ = 0;
   vgpu::ExecPolicy exec_policy_;

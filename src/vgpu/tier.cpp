@@ -20,6 +20,9 @@ std::atomic<bool> g_has_tier_override{false};
 ExecPolicy g_policy_override;
 std::atomic<bool> g_has_policy_override{false};
 
+ShapeMode g_shape_override = ShapeMode::kAuto;
+std::atomic<bool> g_has_shape_override{false};
+
 // VGPU_WORKERS: 1 = force serial, N > 1 = force parallel with N workers,
 // 0/unset/garbage = no override. Parsed once.
 const ExecPolicy& EnvPolicy() {
@@ -68,6 +71,47 @@ ExecutionTier EnvTier() {
     return t;
   }();
   return env;
+}
+
+const char* ShapeModeName(ShapeMode mode) {
+  switch (mode) {
+    case ShapeMode::kOff: return "off";
+    case ShapeMode::kAuto: return "auto";
+    case ShapeMode::kEager: return "eager";
+  }
+  return "?";
+}
+
+bool ParseShapeMode(std::string_view text, ShapeMode* out) {
+  if (text == "off") *out = ShapeMode::kOff;
+  else if (text == "auto") *out = ShapeMode::kAuto;
+  else if (text == "eager") *out = ShapeMode::kEager;
+  else return false;
+  return true;
+}
+
+ShapeMode EnvShapeMode() {
+  static const ShapeMode env = [] {
+    ShapeMode m = ShapeMode::kAuto;  // kAuto doubles as "not set"
+    if (const char* s = std::getenv("KSPEC_NATIVE_SHAPE"); s && *s) ParseShapeMode(s, &m);
+    return m;
+  }();
+  return env;
+}
+
+void SetShapeModeOverride(const ShapeMode* mode) {
+  if (mode) {
+    g_shape_override = *mode;
+    g_has_shape_override.store(true, std::memory_order_release);
+  } else {
+    g_has_shape_override.store(false, std::memory_order_release);
+  }
+}
+
+ShapeMode ResolveShapeMode(ShapeMode fallback) {
+  if (g_has_shape_override.load(std::memory_order_acquire)) return g_shape_override;
+  if (EnvShapeMode() != ShapeMode::kAuto) return EnvShapeMode();
+  return fallback;
 }
 
 void SetTierOverride(const ExecutionTier* tier) {

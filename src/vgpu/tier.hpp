@@ -40,6 +40,37 @@ enum class ExecutionTier : std::uint8_t {
   kNative,
 };
 
+// How the native tier treats launch-shape-specialized variants. The shape
+// (block and grid dimensions) is a launch-time constant exactly like the
+// kernel's `#define` parameters, so the native backend can bake it into the
+// emitted TU: `ntid`/`nctaid` become `constexpr`, boundary-warp masks become
+// provable constants, and per-lane bit-scan loops collapse to straight-line
+// full-mask code where the mask-constant-propagation pass proves them full.
+enum class ShapeMode : std::uint8_t {
+  kOff = 0,   // serve only the shape-generic TU; never build variants
+  kAuto,      // serve generic immediately, promote hot shapes in background
+  kEager,     // build the shape variant inline on first use (tests, benches)
+};
+
+// Stable lower-case name ("off", "auto", "eager") for logs and reports.
+const char* ShapeModeName(ShapeMode mode);
+
+// Parses a shape-mode name (as accepted in KSPEC_NATIVE_SHAPE). Returns false
+// on anything unrecognized; `out` is untouched then.
+bool ParseShapeMode(std::string_view text, ShapeMode* out);
+
+// KSPEC_NATIVE_SHAPE: "off" / "auto" / "eager"; unset or garbage = kAuto.
+// Parsed once, like VGPU_TIER.
+ShapeMode EnvShapeMode();
+
+// Process-wide shape-mode override for tests and tools: while set, it wins
+// over KSPEC_NATIVE_SHAPE and the engine default. Pass nullptr to clear. Not
+// thread-safe against concurrent launches — set it between runs.
+void SetShapeModeOverride(const ShapeMode* mode);
+
+// Precedence chain: test override > KSPEC_NATIVE_SHAPE > `fallback`.
+ShapeMode ResolveShapeMode(ShapeMode fallback = ShapeMode::kAuto);
+
 // Stable lower-case name ("auto", "interp", "decoded", "native") for logs,
 // reports, and JSON.
 const char* TierName(ExecutionTier tier);

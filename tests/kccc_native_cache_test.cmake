@@ -29,7 +29,7 @@ execute_process(COMMAND "${KCCC}" ${ARGS}
 if(NOT rc2 EQUAL 0)
   message(FATAL_ERROR "second kccc run failed (rc=${rc2}):\n${out2}\n${err2}")
 endif()
-if(NOT out2 MATCHES "native: builds-started=0 completed=0 failures=0 served=0 fallbacks=0 disk-hits=1")
+if(NOT out2 MATCHES "native: builds-started=0 completed=0 failures=0 served=0 generic=0 shape=0 shape-builds=0 fallbacks=0 disk-hits=1")
   message(FATAL_ERROR "second run should serve the native artifact from disk with zero recompiles:\n${out2}")
 endif()
 

@@ -2,7 +2,10 @@
 // (serial and parallel), warm-cache cross-engine reuse with zero recompiles,
 // corrupt/stale/version-bump artifact degradation, store round-trips,
 // background promotion through NativeBuildExecutor, tier-selection precedence,
-// and cross-tier identity over all four applications.
+// cross-tier identity over all four applications, and the shape-specialized
+// variant ladder: eager/auto variant serving, variant-vs-generic cache-key
+// separation, per-variant corruption quarantine, and the per-module variant
+// cap with LRU eviction.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -106,6 +109,10 @@ struct TierGuard {
 struct PolicyGuard {
   explicit PolicyGuard(vgpu::ExecPolicy p) { vgpu::SetExecPolicyOverride(&p); }
   ~PolicyGuard() { vgpu::SetExecPolicyOverride(nullptr); }
+};
+struct ShapeGuard {
+  explicit ShapeGuard(vgpu::ShapeMode m) { vgpu::SetShapeModeOverride(&m); }
+  ~ShapeGuard() { vgpu::SetShapeModeOverride(nullptr); }
 };
 
 vgpu::ExecPolicy Parallel4() {
@@ -605,14 +612,15 @@ __kernel void bad(float* out) {
 
 // ---------------------------------------------------------------------------
 // Cross-tier identity over the four applications: decoded-serial,
-// decoded-parallel(4) and native runs of the same problem must agree on every
-// LaunchStats bit and every output element.
+// decoded-parallel(4), interp, native-generic and native-shape runs of the
+// same problem must agree on every LaunchStats bit and every output element.
 // ---------------------------------------------------------------------------
 
 struct AppRun {
   vgpu::LaunchStats stats;
   std::vector<float> out;
   std::size_t native_launches = 0;
+  std::size_t shape_launches = 0;
 };
 
 template <typename Fn>
@@ -628,19 +636,38 @@ void ExpectCrossTierIdentity(Fn run_app) {
     PolicyGuard g(Parallel4());
     return run_app(nullptr, ExecutionTier::kAuto);
   }();
+  AppRun itp = [&] {
+    TierGuard g(ExecutionTier::kInterp);
+    return run_app(nullptr, ExecutionTier::kInterp);
+  }();
   AppRun nat = [&] {
     TierGuard g(ExecutionTier::kNative);
+    ShapeGuard s(vgpu::ShapeMode::kOff);  // generic artifacts only
+    return run_app(&engine, ExecutionTier::kNative);
+  }();
+  AppRun shaped = [&] {
+    TierGuard g(ExecutionTier::kNative);
+    ShapeGuard s(vgpu::ShapeMode::kEager);  // every launch shape specialized
     return run_app(&engine, ExecutionTier::kNative);
   }();
 
   EXPECT_TRUE(vgpu::StatsBitIdentical(serial.stats, parallel.stats))
       << "decoded-serial vs decoded-parallel stats diverged";
+  EXPECT_TRUE(vgpu::StatsBitIdentical(serial.stats, itp.stats))
+      << "decoded vs interp stats diverged";
   EXPECT_TRUE(vgpu::StatsBitIdentical(serial.stats, nat.stats))
-      << "decoded vs native stats diverged";
+      << "decoded vs native-generic stats diverged";
+  EXPECT_TRUE(vgpu::StatsBitIdentical(serial.stats, shaped.stats))
+      << "decoded vs native-shape stats diverged";
   EXPECT_EQ(serial.out, parallel.out);
+  EXPECT_EQ(serial.out, itp.out);
   EXPECT_EQ(serial.out, nat.out);
+  EXPECT_EQ(serial.out, shaped.out);
   EXPECT_GT(nat.native_launches, 0u) << "the native run never hit the native tier";
+  EXPECT_GT(shaped.shape_launches, 0u)
+      << "the shape run was never served by a shape-specialized variant";
   EXPECT_EQ(engine.stats().build_failures, 0u);
+  EXPECT_EQ(engine.stats().shape_build_failures, 0u);
 }
 
 AppRun WithContext(native::NativeEngine* engine,
@@ -649,6 +676,7 @@ AppRun WithContext(native::NativeEngine* engine,
   if (engine) ctx.set_native_service(engine);
   AppRun r = body(ctx);
   r.native_launches = ctx.tier_stats().launches_native;
+  r.shape_launches = ctx.tier_stats().launches_native_shape;
   return r;
 }
 
@@ -715,6 +743,230 @@ TEST(NativeTierApps, Backproj) {
       return AppRun{res.stats, std::move(res.volume)};
     });
   });
+}
+
+// ---------------------------------------------------------------------------
+// Shape-specialized native variants.
+// ---------------------------------------------------------------------------
+
+// The launch shape RunReduce(blocks) produces: `blocks` x 1 x 1 grid of
+// 64-thread blocks.
+native::ShapeSpec ShapeFor(int blocks) {
+  native::ShapeSpec s;
+  s.block_x = 64;
+  s.grid_x = static_cast<unsigned>(blocks);
+  return s;
+}
+
+TEST(NativeShape, EagerVariantServesBitIdentical) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+
+  LaunchOutcome decoded = RunReduce(ctx, *mod, ExecutionTier::kDecoded);
+  LaunchOutcome interp = RunReduce(ctx, *mod, ExecutionTier::kInterp);
+  LaunchOutcome generic = [&] {
+    ShapeGuard g(vgpu::ShapeMode::kOff);
+    return RunReduce(ctx, *mod, ExecutionTier::kNative);
+  }();
+  LaunchOutcome shaped = [&] {
+    ShapeGuard g(vgpu::ShapeMode::kEager);
+    return RunReduce(ctx, *mod, ExecutionTier::kNative);
+  }();
+
+  EXPECT_EQ(generic.exec.served, ExecutionTier::kNative);
+  EXPECT_FALSE(generic.exec.native_shape);
+  EXPECT_EQ(shaped.exec.served, ExecutionTier::kNative);
+  EXPECT_TRUE(shaped.exec.native_shape);
+
+  // The whole point: four tiers, one LaunchStats, one output.
+  EXPECT_TRUE(vgpu::StatsBitIdentical(decoded.stats, interp.stats));
+  EXPECT_TRUE(vgpu::StatsBitIdentical(decoded.stats, generic.stats));
+  EXPECT_TRUE(vgpu::StatsBitIdentical(decoded.stats, shaped.stats))
+      << "shape-specialized variant diverged from the decoded tier";
+  EXPECT_EQ(decoded.out, interp.out);
+  EXPECT_EQ(decoded.out, generic.out);
+  EXPECT_EQ(decoded.out, shaped.out);
+
+  const kcc::ModuleCacheKey key =
+      kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+  const native::ShapeSpec shape = ShapeFor(4);
+  EXPECT_TRUE(engine.IsVariantReady(key, shape));
+  EXPECT_TRUE(fs::exists(cache.dir / native::NativeEngine::VariantFileName(key, shape)));
+
+  const native::NativeEngineStats es = engine.stats();
+  EXPECT_EQ(es.shape_builds_started, 1u);
+  EXPECT_EQ(es.shape_builds_completed, 1u);
+  EXPECT_EQ(es.shape_build_failures, 0u);
+  EXPECT_EQ(es.shape_served_launches, 1u);
+  EXPECT_EQ(es.served_launches, 2u);
+
+  const vcuda::TierStats ts = ctx.tier_stats();
+  EXPECT_EQ(ts.launches_native, 2u);
+  EXPECT_EQ(ts.launches_native_shape, 1u);
+}
+
+TEST(NativeShape, VariantCacheKeySeparation) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  kcc::ModuleCacheKey key;
+  const native::ShapeSpec shape4 = ShapeFor(4);
+  const native::ShapeSpec shape8 = ShapeFor(8);
+  LaunchOutcome ref4, ref8;
+  {
+    native::NativeEngine::Options nopts;
+    nopts.cache_dir = cache.str();
+    native::NativeEngine engine(nopts);
+    vcuda::Context ctx(vgpu::TeslaC1060());
+    ctx.set_native_service(&engine);
+    auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+    key = kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+    ShapeGuard g(vgpu::ShapeMode::kEager);
+    ref4 = RunReduce(ctx, *mod, ExecutionTier::kNative, /*blocks=*/4);
+    ref8 = RunReduce(ctx, *mod, ExecutionTier::kNative, /*blocks=*/8);
+    EXPECT_TRUE(ref4.exec.native_shape);
+    EXPECT_TRUE(ref8.exec.native_shape);
+  }
+  // Generic and per-shape artifacts occupy distinct content-addressed names,
+  // so they can never collide in one cache directory.
+  const std::string generic_name = native::NativeEngine::ArtifactFileName(key);
+  const std::string name4 = native::NativeEngine::VariantFileName(key, shape4);
+  const std::string name8 = native::NativeEngine::VariantFileName(key, shape8);
+  EXPECT_NE(generic_name, name4);
+  EXPECT_NE(generic_name, name8);
+  EXPECT_NE(name4, name8);
+  ASSERT_TRUE(fs::exists(cache.dir / generic_name));
+  ASSERT_TRUE(fs::exists(cache.dir / name4));
+  ASSERT_TRUE(fs::exists(cache.dir / name8));
+  // The embedded build keys differ too: a variant envelope can never
+  // validate as the generic artifact or as another shape's variant.
+  EXPECT_NE(native::NativeEngine::VariantKeyText(key, shape4),
+            native::NativeEngine::VariantKeyText(key, shape8));
+  EXPECT_NE(native::NativeEngine::VariantKeyText(key, shape4), key.CanonicalText());
+
+  // Corrupt shape4's variant only. A fresh engine must quarantine and rebuild
+  // exactly that variant: shape8 and the generic artifact serve from disk.
+  const fs::path bad = cache.dir / name4;
+  {
+    std::fstream f(bad, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(bad) / 2));
+    char c = 0;
+    f.seekg(f.tellp());
+    f.read(&c, 1);
+    f.seekp(-1, std::ios::cur);
+    c = static_cast<char>(c ^ 0x5a);
+    f.write(&c, 1);
+  }
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  native::NativeEngine engine2(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine2);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  ShapeGuard g(vgpu::ShapeMode::kEager);
+
+  LaunchOutcome warm8 = RunReduce(ctx, *mod, ExecutionTier::kNative, /*blocks=*/8);
+  EXPECT_TRUE(warm8.exec.native_shape);
+  EXPECT_EQ(engine2.stats().shape_disk_hits, 1u);
+  EXPECT_EQ(engine2.stats().corrupt_quarantined, 0u);
+
+  LaunchOutcome rebuilt4 = RunReduce(ctx, *mod, ExecutionTier::kNative, /*blocks=*/4);
+  EXPECT_TRUE(rebuilt4.exec.native_shape);
+  EXPECT_EQ(engine2.stats().corrupt_quarantined, 1u);
+  EXPECT_EQ(engine2.stats().shape_builds_completed, 1u) << "only shape4 may rebuild";
+  EXPECT_EQ(engine2.stats().builds_started, 0u) << "the generic artifact was never suspect";
+  EXPECT_TRUE(fs::exists(bad)) << "the rebuild must re-publish shape4's artifact";
+
+  EXPECT_TRUE(vgpu::StatsBitIdentical(ref4.stats, rebuilt4.stats));
+  EXPECT_TRUE(vgpu::StatsBitIdentical(ref8.stats, warm8.stats));
+  EXPECT_EQ(ref4.out, rebuilt4.out);
+  EXPECT_EQ(ref8.out, warm8.out);
+}
+
+TEST(NativeShape, VariantCapAndLruEviction) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  nopts.max_shape_variants = 2;
+  native::NativeEngine engine(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  const kcc::ModuleCacheKey key =
+      kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+  ShapeGuard g(vgpu::ShapeMode::kEager);
+
+  RunReduce(ctx, *mod, ExecutionTier::kNative, /*blocks=*/2);
+  RunReduce(ctx, *mod, ExecutionTier::kNative, /*blocks=*/4);
+  EXPECT_TRUE(engine.IsVariantReady(key, ShapeFor(2)));
+  EXPECT_TRUE(engine.IsVariantReady(key, ShapeFor(4)));
+  EXPECT_EQ(engine.stats().shape_evicted, 0u);
+
+  // A third shape exceeds the cap: the least-recently-served variant (shape 2)
+  // is evicted from memory; its disk artifact survives.
+  RunReduce(ctx, *mod, ExecutionTier::kNative, /*blocks=*/8);
+  EXPECT_EQ(engine.stats().shape_evicted, 1u);
+  EXPECT_FALSE(engine.IsVariantReady(key, ShapeFor(2)));
+  EXPECT_TRUE(engine.IsVariantReady(key, ShapeFor(4)));
+  EXPECT_TRUE(engine.IsVariantReady(key, ShapeFor(8)));
+  EXPECT_TRUE(fs::exists(cache.dir / native::NativeEngine::VariantFileName(key, ShapeFor(2))));
+
+  // Relaunching the evicted shape reloads it from disk — no rebuild — and
+  // LRU now turns over shape 4.
+  const std::uint64_t builds = engine.stats().shape_builds_started;
+  LaunchOutcome back2 = RunReduce(ctx, *mod, ExecutionTier::kNative, /*blocks=*/2);
+  EXPECT_TRUE(back2.exec.native_shape);
+  EXPECT_EQ(engine.stats().shape_builds_started, builds);
+  EXPECT_GE(engine.stats().shape_disk_hits, 1u);
+  EXPECT_EQ(engine.stats().shape_evicted, 2u);
+  EXPECT_TRUE(engine.IsVariantReady(key, ShapeFor(2)));
+  EXPECT_FALSE(engine.IsVariantReady(key, ShapeFor(4)));
+  EXPECT_TRUE(engine.IsVariantReady(key, ShapeFor(8)));
+}
+
+TEST(NativeShape, AutoPromotesHotShapeInBackground) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  TempCacheDir cache;
+  native::NativeEngine::Options nopts;
+  nopts.cache_dir = cache.str();
+  nopts.shape_hot_threshold = 2;
+  native::NativeEngine engine(nopts);
+  vcuda::Context ctx(vgpu::TeslaC1060());
+  ctx.set_native_service(&engine);
+  auto mod = ctx.LoadModule(kKernel, OptsFor(3));
+  const kcc::ModuleCacheKey key =
+      kcc::ModuleCacheKey::Make(kKernel, OptsFor(3), ctx.device().name);
+  ASSERT_TRUE(engine.EnsureReady(key, mod->compiled()));
+  ShapeGuard g(vgpu::ShapeMode::kAuto);
+
+  // Below the threshold every launch is served by the generic artifact and
+  // nothing builds — kAuto never blocks a launch on a variant compile.
+  LaunchOutcome first = RunReduce(ctx, *mod, ExecutionTier::kAuto);
+  EXPECT_EQ(first.exec.served, ExecutionTier::kNative);
+  EXPECT_FALSE(first.exec.native_shape);
+  EXPECT_EQ(engine.stats().shape_builds_started, 0u);
+
+  // The threshold-crossing launch still serves generic but queues the
+  // background promotion.
+  LaunchOutcome second = RunReduce(ctx, *mod, ExecutionTier::kAuto);
+  EXPECT_FALSE(second.exec.native_shape);
+  engine.DrainShapeBuilds();
+  EXPECT_EQ(engine.stats().shape_builds_completed, 1u);
+  EXPECT_TRUE(engine.IsVariantReady(key, ShapeFor(4)));
+
+  LaunchOutcome hot = RunReduce(ctx, *mod, ExecutionTier::kAuto);
+  EXPECT_EQ(hot.exec.served, ExecutionTier::kNative);
+  EXPECT_TRUE(hot.exec.native_shape);
+  EXPECT_TRUE(vgpu::StatsBitIdentical(first.stats, hot.stats));
+  EXPECT_EQ(first.out, hot.out);
+  EXPECT_EQ(ctx.tier_stats().launches_native_shape, 1u);
+  EXPECT_EQ(engine.stats().shape_served_launches, 1u);
 }
 
 }  // namespace

@@ -97,13 +97,20 @@ struct NetOptions {
 // stay one-glance parsable across service kinds.
 void PrintNativeReport(const kspec::native::NativeEngine& engine) {
   const kspec::native::NativeEngineStats ns = engine.stats();
+  // served= counts every native-tier launch; generic= vs shape= splits them
+  // by which artifact ran (the shape-generic TU or a shape-specialized
+  // variant). shape-builds= covers eager and background variant compiles.
   std::cout << kspec::Format(
       "native: builds-started=%llu completed=%llu failures=%llu served=%llu "
+      "generic=%llu shape=%llu shape-builds=%llu "
       "fallbacks=%llu disk-hits=%llu store-hits=%llu\n",
       static_cast<unsigned long long>(ns.builds_started),
       static_cast<unsigned long long>(ns.builds_completed),
       static_cast<unsigned long long>(ns.build_failures),
       static_cast<unsigned long long>(ns.served_launches),
+      static_cast<unsigned long long>(ns.served_launches - ns.shape_served_launches),
+      static_cast<unsigned long long>(ns.shape_served_launches),
+      static_cast<unsigned long long>(ns.shape_builds_completed),
       static_cast<unsigned long long>(ns.fallbacks),
       static_cast<unsigned long long>(ns.disk_hits),
       static_cast<unsigned long long>(ns.store_hits));
